@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Dvp Dvp_baseline Dvp_net Dvp_sim Dvp_storage Dvp_util Dvp_workload Float List Printf String

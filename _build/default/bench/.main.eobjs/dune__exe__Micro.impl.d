@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Dvp Dvp_storage Dvp_util Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,34 @@
+(* Benchmark harness entry point.
+
+     dune exec bench/main.exe            # run every experiment + micro-benches
+     dune exec bench/main.exe -- E3 E5   # run selected experiments
+     dune exec bench/main.exe -- micro   # micro-benchmarks only
+     dune exec bench/main.exe -- list    # list experiment ids
+
+   The experiments (E1-E10) regenerate the evaluation described in
+   DESIGN.md; EXPERIMENTS.md records the expected vs measured shapes. *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let ids = List.map fst Experiments.all in
+  match args with
+  | [ "list" ] ->
+    List.iter print_endline ids;
+    print_endline "micro"
+  | [] ->
+    print_endline "DvP and Virtual Messages: full experiment suite";
+    print_endline "(Soparkar & Silberschatz, PODS 1990 - constructed evaluation)";
+    List.iter (fun (_, f) -> f ()) Experiments.all;
+    Micro.run ()
+  | picks ->
+    List.iter
+      (fun pick ->
+        if pick = "micro" then Micro.run ()
+        else
+          match List.assoc_opt (String.uppercase_ascii pick) Experiments.all with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %S (try: %s, micro)\n" pick
+              (String.concat ", " ids);
+            exit 1)
+      picks

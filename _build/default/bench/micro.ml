@@ -1,0 +1,86 @@
+(* Bechamel micro-benchmarks (M1-M5): the per-operation costs underneath the
+   experiment tables — forced log appends, the local-commit fast path, event
+   queue operations, lock-table operations, and the Π algebra. *)
+
+open Bechamel
+open Toolkit
+
+let m1_wal_append =
+  let wal = Dvp_storage.Wal.create () in
+  let record =
+    Dvp.Log_event.Txn_commit
+      { txn = (1, 0); actions = [ Dvp.Log_event.Set_fragment { item = 0; value = 42 } ] }
+  in
+  Test.make ~name:"m1-wal-append-force" (Staged.stage (fun () -> Dvp_storage.Wal.append wal record))
+
+let m2_local_commit =
+  (* The paper's fast path: a write-only transaction at one site — lock,
+     force commit record, apply, unlock.  No messages. *)
+  let sys = Dvp.System.create ~seed:1 ~n:2 () in
+  Dvp.System.add_item sys ~item:0 ~total:1000 ();
+  Test.make ~name:"m2-local-txn-commit"
+    (Staged.stage (fun () ->
+         Dvp.System.submit sys ~site:0 ~ops:[ (0, Dvp.Op.Incr 1) ] ~on_done:(fun _ -> ())))
+
+let m3_heap =
+  let h = Dvp_util.Heap.create () in
+  for i = 1 to 1024 do
+    ignore (Dvp_util.Heap.add h ~priority:(float_of_int i) i)
+  done;
+  let next = ref 1025.0 in
+  Test.make ~name:"m3-heap-push-pop"
+    (Staged.stage (fun () ->
+         ignore (Dvp_util.Heap.add h ~priority:!next 0);
+         next := !next +. 1.0;
+         ignore (Dvp_util.Heap.pop h)))
+
+let m4_locks =
+  let lt = Dvp.Lock_table.create () in
+  let counter = ref 0 in
+  Test.make ~name:"m4-lock-acquire-release"
+    (Staged.stage (fun () ->
+         incr counter;
+         let txn = (!counter, 0) in
+         ignore (Dvp.Lock_table.try_acquire_all lt ~items:[ 1; 2; 3 ] ~txn);
+         ignore (Dvp.Lock_table.release_all lt ~txn)))
+
+let m5_value_algebra =
+  Test.make ~name:"m5-pi-split-merge"
+    (Staged.stage (fun () ->
+         let parts = Dvp.Value.split_even 100_000 ~parts:16 in
+         ignore (Dvp.Value.pi parts)))
+
+let m6_checkpoint =
+  (* Snapshot + truncate of a site with a realistic item count. *)
+  let sys = Dvp.System.create ~seed:2 ~n:4 () in
+  for item = 0 to 31 do
+    Dvp.System.add_item sys ~item ~total:1000 ()
+  done;
+  let site = Dvp.System.site sys 0 in
+  Test.make ~name:"m6-site-checkpoint" (Staged.stage (fun () -> Dvp.Site.checkpoint site))
+
+let tests = [ m1_wal_append; m2_local_commit; m3_heap; m4_locks; m5_value_algebra; m6_checkpoint ]
+
+let run () =
+  print_endline "\nMicro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "============================================";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  let merged = Analyze.merge ols instances results in
+  match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "(no results)"
+  | Some tbl ->
+    let rows =
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (name, ols) ->
+        match Analyze.OLS.estimates ols with
+        | Some [ ns ] -> Printf.printf "  %-32s %10.1f ns/op\n" name ns
+        | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+      rows

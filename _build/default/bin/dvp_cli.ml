@@ -1,0 +1,262 @@
+(* dvp-cli: run DvP / baseline systems against workloads from the shell.
+
+     dvp-cli run --system dvp --workload airline --sites 8 --rate 100 \
+                 --duration 20 --partition 5:10 --seed 7
+     dvp-cli demo
+     dvp-cli info
+
+   The `run` command builds the requested system, drives it with the chosen
+   workload preset (optionally under a partition window and/or a crash
+   cycle), and prints the outcome summary and metric table. *)
+
+open Cmdliner
+module Spec = Dvp_workload.Spec
+module Setup = Dvp_workload.Setup
+module Runner = Dvp_workload.Runner
+module Faultplan = Dvp_workload.Faultplan
+
+type system_kind = Dvp_sys | Two_pc | Three_pc | Quorum
+
+let system_conv =
+  let parse = function
+    | "dvp" -> Ok Dvp_sys
+    | "2pc" -> Ok Two_pc
+    | "3pc" -> Ok Three_pc
+    | "quorum" -> Ok Quorum
+    | s -> Error (`Msg (Printf.sprintf "unknown system %S (dvp|2pc|3pc|quorum)" s))
+  in
+  let print ppf k =
+    Format.pp_print_string ppf
+      (match k with Dvp_sys -> "dvp" | Two_pc -> "2pc" | Three_pc -> "3pc" | Quorum -> "quorum")
+  in
+  Arg.conv (parse, print)
+
+let workload_conv =
+  let parse = function
+    | "airline" | "banking" | "inventory" | "default" -> Ok ()
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  in
+  Arg.conv ((fun s -> Result.map (fun () -> s) (parse s)), Format.pp_print_string)
+
+let window_conv =
+  (* "start:len" in seconds *)
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ a; b ] -> (
+      match (float_of_string_opt a, float_of_string_opt b) with
+      | Some start, Some len -> Ok (start, len)
+      | _ -> Error (`Msg "expected start:len"))
+    | _ -> Error (`Msg "expected start:len")
+  in
+  Arg.conv (parse, fun ppf (a, b) -> Format.fprintf ppf "%g:%g" a b)
+
+let build_spec workload sites rate duration seed =
+  let base =
+    match workload with
+    | "airline" -> Spec.airline ~sites ~rate ~duration ()
+    | "banking" -> Spec.banking ~sites ~rate ~duration ()
+    | "inventory" -> Spec.inventory ~sites ~rate ~duration ()
+    | _ ->
+      {
+        Spec.default with
+        Spec.n_sites = sites;
+        Spec.arrival_rate = rate;
+        Spec.duration = duration;
+        Spec.items = List.init sites (fun i -> (i, 4000));
+      }
+  in
+  Spec.with_seed base seed
+
+let build_driver kind spec =
+  match kind with
+  | Dvp_sys -> Setup.dvp ~name:"dvp" spec
+  | Two_pc -> Setup.trad ~name:"2pc" spec
+  | Three_pc ->
+    Setup.trad ~name:"3pc"
+      ~config:
+        {
+          Dvp_baseline.Trad_site.default_config with
+          Dvp_baseline.Trad_site.protocol = Dvp_baseline.Trad_site.Three_phase;
+        }
+      spec
+  | Quorum ->
+    Setup.trad ~name:"quorum"
+      ~config:
+        {
+          Dvp_baseline.Trad_site.default_config with
+          Dvp_baseline.Trad_site.placement = Dvp_baseline.Trad_site.Replicated;
+        }
+      spec
+
+let split_groups n =
+  (* Cut the site set in half for partition windows. *)
+  let half = n / 2 in
+  [ List.init half (fun i -> i); List.init (n - half) (fun i -> half + i) ]
+
+let print_latency_histogram m =
+  let samples = Dvp.Metrics.latency_samples m in
+  if Array.length samples > 1 then begin
+    let hi = Float.max 0.001 (Dvp.Metrics.latency_p99 m *. 1.1) in
+    let h = Dvp_util.Dstats.Histogram.create ~lo:0.0 ~hi ~buckets:12 in
+    Array.iter (Dvp_util.Dstats.Histogram.add h) samples;
+    print_endline "commit latency histogram (seconds):";
+    print_string (Dvp_util.Dstats.Histogram.render h ~width:40)
+  end
+
+let run_cmd system workload sites rate duration seed partition crash export_dir =
+  let spec = build_spec workload sites rate duration seed in
+  let driver = build_driver system spec in
+  let faults =
+    let p =
+      match partition with
+      | Some (start, len) -> Faultplan.partition_window ~start ~len (split_groups sites)
+      | None -> Faultplan.empty
+    in
+    let c =
+      match crash with
+      | Some (start, len) -> Faultplan.crash_cycle ~site:(sites - 1) ~first:start ~downtime:len
+      | None -> Faultplan.empty
+    in
+    Faultplan.merge p c
+  in
+  (* For DvP we keep the system handle so the run can be exported. *)
+  let dvp_sys =
+    match system with
+    | Dvp_sys ->
+      let sys = Setup.dvp_system spec in
+      Some sys
+    | _ -> None
+  in
+  let driver =
+    match dvp_sys with Some sys -> Dvp_workload.Driver.of_dvp ~name:"dvp" sys | None -> driver
+  in
+  let o = Runner.run driver spec ~faults () in
+  Format.printf "%a@." Runner.pp_outcome o;
+  let m = o.Runner.metrics in
+  print_newline ();
+  List.iter
+    (fun (k, v) -> Printf.printf "  %-20s %s\n" k v)
+    (Dvp.Metrics.summary_rows m);
+  List.iter
+    (fun reason ->
+      let n = Dvp.Metrics.aborted_by m reason in
+      if n > 0 then
+        Printf.printf "  aborts/%-13s %d\n" (Dvp.Metrics.abort_reason_label reason) n)
+    Dvp.Metrics.all_abort_reasons;
+  print_newline ();
+  print_latency_histogram m;
+  (match (dvp_sys, export_dir) with
+  | Some sys, Some dir ->
+    let n = Dvp.Backup.export_system sys ~dir in
+    Printf.printf "exported %d stable log records to %s\n" n dir;
+    Printf.printf "conservation check: %b\n" (Dvp.System.conserved_all sys)
+  | _, Some _ ->
+    print_endline "(--export only applies to --system dvp; skipped)"
+  | _, None -> ());
+  print_newline ();
+  print_endline "availability timeline:";
+  List.iter
+    (fun (t_end, ratio) ->
+      if not (Float.is_nan ratio) then
+        Printf.printf "  t<%5.1f %s %3.0f%%\n" t_end
+          (String.make (int_of_float (ratio *. 40.0)) '#')
+          (100.0 *. ratio))
+    o.Runner.timeline
+
+let demo_cmd () =
+  print_endline "Running the airline workload on DvP with a partition window...";
+  run_cmd Dvp_sys "airline" 6 80.0 15.0 7 (Some (5.0, 5.0)) None None
+
+let restore_cmd workload sites dir =
+  (* Rebuild an installation from exported logs: the spec supplies the same
+     item registry the exporting run used; everything else comes from the
+     logs themselves. *)
+  let spec = build_spec workload sites 0.0 0.0 0 in
+  let sys = Setup.dvp_system spec in
+  match Dvp.Backup.restore_system sys ~dir with
+  | Error e ->
+    Printf.eprintf "restore failed: %s\n" e;
+    exit 1
+  | Ok n ->
+    Printf.printf "restored %d stable log records from %s\n" n dir;
+    List.iter
+      (fun item ->
+        let frags = Dvp.System.fragments sys ~item in
+        Printf.printf "  item %-3d total %-8d fragments [%s]\n" item
+          (Dvp.System.total_at_sites sys ~item)
+          (String.concat "; " (Array.to_list (Array.map string_of_int frags))))
+      (Dvp.System.items sys);
+    Printf.printf "conservation: %b\n" (Dvp.System.conserved_all sys)
+
+let info_cmd () =
+  print_endline
+    "dvp-cli: Data-value Partitioning and Virtual Messages (Soparkar &\n\
+     Silberschatz, PODS 1990) — reproduction harness.\n\n\
+     Systems:\n\
+    \  dvp     data-value partitioning with virtual messages (the paper)\n\
+    \  2pc     traditional single-copy placement, two-phase commit\n\
+    \  3pc     same, three-phase commit with the termination rule\n\
+    \  quorum  full replication with majority quorums over 2PC\n\n\
+     Workloads: airline, banking, inventory, default.\n\
+     See bench/main.exe for the full experiment suite (E1-E16)."
+
+(* ------------------------------------------------------------ cmdliner *)
+
+let system_arg =
+  Arg.(value & opt system_conv Dvp_sys & info [ "system"; "s" ] ~doc:"System under test.")
+
+let workload_arg =
+  Arg.(value & opt workload_conv "default" & info [ "workload"; "w" ] ~doc:"Workload preset.")
+
+let sites_arg = Arg.(value & opt int 6 & info [ "sites"; "n" ] ~doc:"Number of sites.")
+
+let rate_arg = Arg.(value & opt float 80.0 & info [ "rate"; "r" ] ~doc:"Arrivals per second.")
+
+let duration_arg = Arg.(value & opt float 15.0 & info [ "duration"; "d" ] ~doc:"Seconds of load.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let partition_arg =
+  Arg.(
+    value
+    & opt (some window_conv) None
+    & info [ "partition"; "p" ] ~doc:"Partition window start:len (halves the sites).")
+
+let crash_arg =
+  Arg.(
+    value
+    & opt (some window_conv) None
+    & info [ "crash" ] ~doc:"Crash window start:len for the last site.")
+
+let export_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "export" ] ~doc:"Export the run's stable logs to this directory (dvp only).")
+
+let run_term =
+  Term.(
+    const run_cmd $ system_arg $ workload_arg $ sites_arg $ rate_arg $ duration_arg
+    $ seed_arg $ partition_arg $ crash_arg $ export_arg)
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~doc:"Directory of exported site logs (from run --export).")
+
+let restore_term = Term.(const restore_cmd $ workload_arg $ sites_arg $ dir_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run a workload against a system") run_term;
+    Cmd.v
+      (Cmd.info "restore" ~doc:"Rebuild an installation from exported stable logs")
+      restore_term;
+    Cmd.v (Cmd.info "demo" ~doc:"A canned partition demo") Term.(const demo_cmd $ const ());
+    Cmd.v (Cmd.info "info" ~doc:"Describe the systems and workloads") Term.(const info_cmd $ const ());
+  ]
+
+let () =
+  let doc = "Data-value Partitioning and Virtual Messages reproduction" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "dvp-cli" ~doc) cmds))

@@ -1,0 +1,1 @@
+examples/airline_reservation.ml: Array Dvp Dvp_sim List Printf

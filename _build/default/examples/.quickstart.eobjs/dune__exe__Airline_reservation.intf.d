@@ -1,0 +1,1 @@
+examples/airline_reservation.mli:

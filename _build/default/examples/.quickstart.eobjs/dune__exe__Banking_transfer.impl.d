@@ -1,0 +1,1 @@
+examples/banking_transfer.ml: Dvp Dvp_net Dvp_sim Dvp_util Printf

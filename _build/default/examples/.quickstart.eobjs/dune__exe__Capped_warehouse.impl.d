@@ -1,0 +1,1 @@
+examples/capped_warehouse.ml: Dvp Dvp_sim Dvp_util Printf

@@ -1,0 +1,1 @@
+examples/capped_warehouse.mli:

@@ -1,0 +1,1 @@
+examples/hybrid_reads.ml: Dvp Dvp_sim Dvp_util Printf

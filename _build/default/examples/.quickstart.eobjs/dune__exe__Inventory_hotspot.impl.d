@@ -1,0 +1,1 @@
+examples/inventory_hotspot.ml: Array Dvp Dvp_baseline Dvp_net Dvp_sim Dvp_util Printf

@@ -1,0 +1,1 @@
+examples/inventory_hotspot.mli:

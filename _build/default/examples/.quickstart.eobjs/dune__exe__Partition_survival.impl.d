@@ -1,0 +1,1 @@
+examples/partition_survival.ml: Dvp_baseline Dvp_workload Faultplan Float List Printf Runner Setup Spec String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dvp Printf String

@@ -1,0 +1,1 @@
+examples/settlement_audit.ml: Dvp Dvp_sim Dvp_util Filename List Printf

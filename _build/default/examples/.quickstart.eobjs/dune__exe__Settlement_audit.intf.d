@@ -1,0 +1,1 @@
+examples/settlement_audit.mli:

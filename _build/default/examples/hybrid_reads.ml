@@ -1,0 +1,61 @@
+(* Dynamic DvP / primary-copy interchange (Section 8).
+
+   Run with:  dune exec examples/hybrid_reads.exe
+
+   The workload's read/update mix changes over time; the Hybrid manager
+   flips the item between partitioned mode (updates local, reads expensive)
+   and centralized mode (reads at the home site, updates pay a round trip)
+   and we watch the modes and costs follow the workload. *)
+
+let () =
+  print_endline "== Hybrid mode manager following the workload ==";
+  let sys = Dvp.System.create ~seed:41 ~n:6 () in
+  Dvp.System.add_item sys ~item:0 ~total:60_000 ();
+  let hybrid = Dvp.Hybrid.create sys ~hi:0.10 ~lo:0.02 ~check_every:0.5 () in
+  let rng = Dvp_util.Rng.create 17 in
+  let committed = ref 0 and aborted = ref 0 in
+  let record = function
+    | Dvp.Site.Committed _ -> incr committed
+    | Dvp.Site.Aborted _ -> incr aborted
+  in
+  (* Phase 1 (t in [0,6)): update-heavy.  Phase 2 ([6,14)): read-heavy
+     audits.  Phase 3 ([14,20)): updates again. *)
+  let read_share t = if t < 6.0 then 0.01 else if t < 14.0 then 0.5 else 0.01 in
+  for i = 1 to 800 do
+    let at = 20.0 *. float_of_int i /. 800.0 in
+    ignore
+      (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
+           let site = Dvp_util.Rng.int rng 6 in
+           if Dvp_util.Rng.bernoulli rng (read_share at) then
+             Dvp.Hybrid.submit_read hybrid ~site ~item:0 ~on_done:record
+           else begin
+             let m = 1 + Dvp_util.Rng.int rng 4 in
+             let op = if Dvp_util.Rng.bool rng then Dvp.Op.Decr m else Dvp.Op.Incr m in
+             Dvp.Hybrid.submit hybrid ~site ~ops:[ (0, op) ] ~on_done:record
+           end))
+  done;
+  (* Narrate the mode each second. *)
+  for s = 1 to 20 do
+    ignore
+      (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys)
+         ~at:(float_of_int s)
+         (fun () ->
+           let m =
+             match Dvp.Hybrid.mode hybrid ~item:0 with
+             | Dvp.Hybrid.Partitioned -> "partitioned"
+             | Dvp.Hybrid.Centralized -> "CENTRALIZED at home"
+           in
+           let phase =
+             if float_of_int s < 6.0 then "updates"
+             else if float_of_int s < 14.0 then "audit reads"
+             else "updates"
+           in
+           Printf.printf "[t=%2d] workload: %-11s mode: %s\n" s phase m))
+  done;
+  Dvp.System.run_until sys 25.0;
+  Printf.printf
+    "\n%d committed, %d aborted; %d centralizations, %d repartitions; conserved: %b\n"
+    !committed !aborted
+    (Dvp.Hybrid.centralizations hybrid)
+    (Dvp.Hybrid.repartitions hybrid)
+    (Dvp.System.conserved sys ~item:0)

@@ -1,0 +1,109 @@
+(* Inventory hot spot: DvP vs the central alternatives (Section 8).
+
+   Run with:  dune exec examples/inventory_hotspot.exe
+
+   One aggregate field — the stock count of a best-selling product — is
+   hammered by every site.  We run the same open-loop demand against three
+   designs and print the throughput each sustains:
+
+   - central strict-2PL: every order locks the aggregate at one server;
+   - central escrow (O'Neil 1986): concurrent escrows at one server;
+   - DvP: the count is value-partitioned, orders run at the local site.  *)
+
+module Rng = Dvp_util.Rng
+module Engine = Dvp_sim.Engine
+
+let n_sites = 8
+
+let demand_rate = 400.0 (* orders per second, whole system *)
+
+let duration = 10.0
+
+let stock = 1_000_000 (* plentiful: we measure contention, not exhaustion *)
+
+let run_central mode label =
+  let engine = Engine.create () in
+  let rng = Rng.create 3 in
+  let net = Dvp_net.Network.create engine ~rng:(Rng.split rng) ~n:n_sites () in
+  let metrics = Dvp.Metrics.create () in
+  let server =
+    Dvp_baseline.Escrow.server engine ~mode
+      ~send:(fun ~dst msg -> Dvp_net.Network.send net ~src:0 ~dst msg)
+      ()
+  in
+  Dvp_baseline.Escrow.install server ~item:0 stock;
+  Dvp_net.Network.set_handler net 0 (fun ~src msg ->
+      Dvp_baseline.Escrow.handle_server server ~src msg);
+  let clients =
+    Array.init n_sites (fun i ->
+        if i = 0 then None
+        else
+          Some
+            (Dvp_baseline.Escrow.client engine ~self:i
+               ~send:(fun msg -> Dvp_net.Network.send net ~src:i ~dst:0 msg)
+               ~metrics ()))
+  in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Some client ->
+        Dvp_net.Network.set_handler net i (fun ~src:_ msg ->
+            Dvp_baseline.Escrow.handle_client client msg)
+      | None -> ())
+    clients;
+  let rec arrivals () =
+    if Engine.now engine < duration then begin
+      let i = 1 + Rng.int rng (n_sites - 1) in
+      (match clients.(i) with
+      | Some client ->
+        Dvp_baseline.Escrow.request client ~item:0 ~op:(Dvp.Op.Decr 1) ~on_done:(fun _ -> ())
+      | None -> ());
+      ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. demand_rate)) arrivals)
+    end
+  in
+  ignore (Engine.schedule engine ~delay:0.001 arrivals);
+  Engine.run_until engine (duration +. 3.0);
+  Printf.printf "%-18s %6d committed  %7.1f orders/s  p99 latency %5.1f ms\n" label
+    (Dvp.Metrics.committed metrics)
+    (float_of_int (Dvp.Metrics.committed metrics) /. duration)
+    (1000.0 *. Dvp.Metrics.latency_p99 metrics)
+
+let run_dvp () =
+  let sys = Dvp.System.create ~seed:3 ~n:n_sites () in
+  Dvp.System.add_item sys ~item:0 ~total:stock ();
+  let engine = Dvp.System.engine sys in
+  let rng = Rng.create 3 in
+  let committed = ref 0 in
+  let lat = Dvp_util.Dstats.Sample.create () in
+  let rec arrivals () =
+    if Engine.now engine < duration then begin
+      let site = Rng.int rng n_sites in
+      let t0 = Engine.now engine in
+      Dvp.System.submit sys ~site
+        ~ops:[ (0, Dvp.Op.Decr 1) ]
+        ~on_done:(fun r ->
+          match r with
+          | Dvp.Site.Committed _ ->
+            incr committed;
+            Dvp_util.Dstats.Sample.add lat (Engine.now engine -. t0)
+          | Dvp.Site.Aborted _ -> ());
+      ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. demand_rate)) arrivals)
+    end
+  in
+  ignore (Engine.schedule engine ~delay:0.001 arrivals);
+  Engine.run_until engine (duration +. 3.0);
+  Printf.printf "%-18s %6d committed  %7.1f orders/s  p99 latency %5.1f ms\n"
+    "dvp (partitioned)" !committed
+    (float_of_int !committed /. duration)
+    (1000.0 *. Dvp_util.Dstats.Sample.percentile lat 99.0)
+
+let () =
+  Printf.printf "== Hot-spot aggregate: %d sites, %.0f orders/s for %.0fs ==\n" n_sites
+    demand_rate duration;
+  run_central Dvp_baseline.Escrow.Exclusive_locking "central 2PL";
+  run_central Dvp_baseline.Escrow.Escrow_locking "central escrow";
+  run_dvp ();
+  print_endline
+    "\nDvP runs the hot aggregate at memory speed at every site: no round\n\
+     trip to a central server, no serialisation on one lock, and the count\n\
+     survives partitions that would take the central server offline."

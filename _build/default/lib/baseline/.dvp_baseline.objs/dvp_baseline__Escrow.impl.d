@@ -1,0 +1,1 @@
+lib/baseline/escrow.ml: Dvp Dvp_sim Hashtbl List Queue

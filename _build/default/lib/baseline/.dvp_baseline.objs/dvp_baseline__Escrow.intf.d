@@ -1,0 +1,1 @@
+lib/baseline/escrow.mli: Dvp Dvp_sim

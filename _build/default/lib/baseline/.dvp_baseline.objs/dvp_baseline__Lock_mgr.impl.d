@@ -1,0 +1,1 @@
+lib/baseline/lock_mgr.ml: Dvp Dvp_sim Hashtbl List Option Queue

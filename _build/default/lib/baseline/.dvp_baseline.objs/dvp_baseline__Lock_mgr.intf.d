@@ -1,0 +1,1 @@
+lib/baseline/lock_mgr.mli: Dvp Dvp_sim

@@ -1,0 +1,1 @@
+lib/baseline/trad_msg.ml: Dvp Format

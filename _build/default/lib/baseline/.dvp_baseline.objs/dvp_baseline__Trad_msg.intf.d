@@ -1,0 +1,1 @@
+lib/baseline/trad_msg.mli: Dvp Format

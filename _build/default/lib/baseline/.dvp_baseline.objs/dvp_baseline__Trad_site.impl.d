@@ -1,0 +1,1 @@
+lib/baseline/trad_site.ml: Dvp Dvp_sim Dvp_storage Hashtbl List Lock_mgr Trad_msg

@@ -1,0 +1,1 @@
+lib/baseline/trad_site.mli: Dvp Dvp_sim Trad_msg

@@ -1,0 +1,1 @@
+lib/baseline/trad_system.ml: Array Dvp Dvp_net Dvp_sim Dvp_util Queue Trad_msg Trad_site

@@ -1,0 +1,1 @@
+lib/baseline/trad_system.mli: Dvp Dvp_net Dvp_sim Trad_site

@@ -1,0 +1,120 @@
+module Engine = Dvp_sim.Engine
+
+type waiter = {
+  txn : Dvp.Ids.txn;
+  k : bool -> unit;
+  mutable timer : Engine.timer option;
+  mutable cancelled : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  holders : (Dvp.Ids.item, Dvp.Ids.txn) Hashtbl.t;
+  queues : (Dvp.Ids.item, waiter Queue.t) Hashtbl.t;
+  (* items held by each transaction, for release_all *)
+  held_by : (Dvp.Ids.txn, Dvp.Ids.item list) Hashtbl.t;
+  mutable waiting : int;
+}
+
+let create engine =
+  {
+    engine;
+    holders = Hashtbl.create 32;
+    queues = Hashtbl.create 8;
+    held_by = Hashtbl.create 32;
+    waiting = 0;
+  }
+
+let holder t ~item = Hashtbl.find_opt t.holders item
+
+let note_held t txn item =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.held_by txn) in
+  Hashtbl.replace t.held_by txn (item :: cur)
+
+let grant t ~item ~txn =
+  Hashtbl.replace t.holders item txn;
+  note_held t txn item
+
+let acquire t ~item ~txn ~timeout k =
+  match Hashtbl.find_opt t.holders item with
+  | None ->
+    grant t ~item ~txn;
+    k true
+  | Some owner when Dvp.Ids.ts_compare owner txn = 0 -> k true
+  | Some _ ->
+    let w = { txn; k; timer = None; cancelled = false } in
+    let q =
+      match Hashtbl.find_opt t.queues item with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.queues item q;
+        q
+    in
+    Queue.add w q;
+    t.waiting <- t.waiting + 1;
+    w.timer <-
+      Some
+        (Engine.schedule t.engine ~delay:timeout (fun () ->
+             if not w.cancelled then begin
+               (* Timeout-based deadlock resolution: withdraw the request. *)
+               w.cancelled <- true;
+               t.waiting <- t.waiting - 1;
+               w.k false
+             end))
+
+(* Grant the lock to the next live waiter, if any. *)
+let promote t item =
+  match Hashtbl.find_opt t.queues item with
+  | None -> ()
+  | Some q ->
+    let rec next () =
+      match Queue.take_opt q with
+      | None -> Hashtbl.remove t.queues item
+      | Some w when w.cancelled -> next ()
+      | Some w ->
+        w.cancelled <- true;
+        (match w.timer with
+        | Some h -> ignore (Engine.cancel t.engine h)
+        | None -> ());
+        t.waiting <- t.waiting - 1;
+        grant t ~item ~txn:w.txn;
+        if Queue.is_empty q then Hashtbl.remove t.queues item;
+        w.k true
+    in
+    if not (Hashtbl.mem t.holders item) then next ()
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.held_by txn with
+  | None -> ()
+  | Some items ->
+    Hashtbl.remove t.held_by txn;
+    List.iter
+      (fun item ->
+        match Hashtbl.find_opt t.holders item with
+        | Some owner when Dvp.Ids.ts_compare owner txn = 0 ->
+          Hashtbl.remove t.holders item;
+          promote t item
+        | Some _ | None -> ())
+      items
+
+let clear t =
+  Hashtbl.reset t.holders;
+  Hashtbl.reset t.held_by;
+  Hashtbl.iter
+    (fun _ q ->
+      Queue.iter
+        (fun w ->
+          if not w.cancelled then begin
+            w.cancelled <- true;
+            (match w.timer with
+            | Some h -> ignore (Engine.cancel t.engine h)
+            | None -> ());
+            t.waiting <- t.waiting - 1;
+            w.k false
+          end)
+        q)
+    t.queues;
+  Hashtbl.reset t.queues
+
+let waiting t = t.waiting

@@ -1,0 +1,38 @@
+(** Strict two-phase-locking lock manager for the traditional baselines.
+
+    Unlike the DvP core's {!Dvp.Lock_table} (whose Conc1 discipline aborts on
+    conflict), a traditional lock manager queues conflicting requests.
+    Deadlocks — possible once transactions wait while holding locks across
+    sites — are resolved by a per-request timeout: a request that cannot be
+    granted in time is *refused*, and the caller votes to abort.
+
+    All locks are exclusive, matching the update-heavy aggregate-field
+    workloads the paper targets. *)
+
+type t
+
+val create : Dvp_sim.Engine.t -> t
+
+val acquire :
+  t ->
+  item:Dvp.Ids.item ->
+  txn:Dvp.Ids.txn ->
+  timeout:float ->
+  (bool -> unit) ->
+  unit
+(** [acquire t ~item ~txn ~timeout k] calls [k true] when the lock is
+    granted (possibly immediately), or [k false] if [timeout] elapses first
+    (the request is then withdrawn).  Reentrant acquisition is granted
+    immediately. *)
+
+val holder : t -> item:Dvp.Ids.item -> Dvp.Ids.txn option
+
+val release_all : t -> txn:Dvp.Ids.txn -> unit
+(** Release the transaction's locks and grant queued requests in FIFO
+    order. *)
+
+val clear : t -> unit
+(** Crash: forget everything (queued waiters get [k false]). *)
+
+val waiting : t -> int
+(** Number of queued (ungranted) requests — for contention metrics. *)

@@ -1,0 +1,46 @@
+type write = { item : Dvp.Ids.item; value : int; version : int }
+
+type read_result = { item : Dvp.Ids.item; value : int; version : int }
+
+type t =
+  | Exec of { txn : Dvp.Ids.txn; coordinator : Dvp.Ids.site; items : Dvp.Ids.item list }
+  | Exec_ack of { txn : Dvp.Ids.txn; ok : bool; reads : read_result list }
+  | Prepare of { txn : Dvp.Ids.txn; writes : write list }
+  | Vote of { txn : Dvp.Ids.txn; yes : bool }
+  | Precommit of { txn : Dvp.Ids.txn }
+  | Precommit_ack of { txn : Dvp.Ids.txn }
+  | Decision of { txn : Dvp.Ids.txn; commit : bool }
+  | Decision_ack of { txn : Dvp.Ids.txn }
+  | Status_query of { txn : Dvp.Ids.txn }
+  | Status_reply of { txn : Dvp.Ids.txn; decision : bool option }
+
+let pp ppf m =
+  let txn_of = function
+    | Exec { txn; _ }
+    | Exec_ack { txn; _ }
+    | Prepare { txn; _ }
+    | Vote { txn; _ }
+    | Precommit { txn }
+    | Precommit_ack { txn }
+    | Decision { txn; _ }
+    | Decision_ack { txn }
+    | Status_query { txn }
+    | Status_reply { txn; _ } -> txn
+  in
+  let tag = function
+    | Exec _ -> "Exec"
+    | Exec_ack { ok; _ } -> if ok then "Exec_ack(+)" else "Exec_ack(-)"
+    | Prepare _ -> "Prepare"
+    | Vote { yes; _ } -> if yes then "Vote(yes)" else "Vote(no)"
+    | Precommit _ -> "Precommit"
+    | Precommit_ack _ -> "Precommit_ack"
+    | Decision { commit; _ } -> if commit then "Decision(commit)" else "Decision(abort)"
+    | Decision_ack _ -> "Decision_ack"
+    | Status_query _ -> "Status_query"
+    | Status_reply { decision; _ } -> (
+      match decision with
+      | Some true -> "Status_reply(commit)"
+      | Some false -> "Status_reply(abort)"
+      | None -> "Status_reply(?)")
+  in
+  Format.fprintf ppf "%s[%a]" (tag m) Dvp.Ids.pp_txn (txn_of m)

@@ -1,0 +1,41 @@
+(** Wire protocol of the traditional distributed-database baselines.
+
+    The baselines execute every multi-site transaction under an atomic-commit
+    protocol — the very machinery whose blocking behaviour under partitions
+    (Section 2, Skeen's impossibility) motivates the paper.  One message set
+    serves all modes:
+
+    - single-copy placement: participants are the home sites of the items;
+    - quorum replication: participants are every replica, and the coordinator
+      proceeds on a majority;
+    - 2PC: prepare → vote → decision;
+    - 3PC: prepare → vote → pre-commit → decision, with the standard
+      termination rule at participants (uncertain ⇒ abort, pre-committed ⇒
+      commit) whose unsafety under partitions the benchmarks quantify.
+
+    In-doubt participants poll the coordinator with {!constructor:Status_query};
+    the decision table answering them is rebuilt from the coordinator's
+    stable log after a crash. *)
+
+type write = { item : Dvp.Ids.item; value : int; version : int }
+
+type read_result = { item : Dvp.Ids.item; value : int; version : int }
+
+type t =
+  | Exec of {
+      txn : Dvp.Ids.txn;
+      coordinator : Dvp.Ids.site;
+      items : Dvp.Ids.item list;  (** items to lock and read at the participant *)
+    }
+  | Exec_ack of { txn : Dvp.Ids.txn; ok : bool; reads : read_result list }
+  | Prepare of { txn : Dvp.Ids.txn; writes : write list }
+  | Vote of { txn : Dvp.Ids.txn; yes : bool }
+  | Precommit of { txn : Dvp.Ids.txn }
+  | Precommit_ack of { txn : Dvp.Ids.txn }
+  | Decision of { txn : Dvp.Ids.txn; commit : bool }
+  | Decision_ack of { txn : Dvp.Ids.txn }
+  | Status_query of { txn : Dvp.Ids.txn }
+  | Status_reply of { txn : Dvp.Ids.txn; decision : bool option }
+      (** [None]: coordinator does not know (yet) — keep waiting. *)
+
+val pp : Format.formatter -> t -> unit

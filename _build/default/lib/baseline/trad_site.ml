@@ -1,0 +1,629 @@
+module Engine = Dvp_sim.Engine
+module Wal = Dvp_storage.Wal
+module Ids = Dvp.Ids
+module Op = Dvp.Op
+module Metrics = Dvp.Metrics
+
+type protocol = Two_phase | Three_phase
+
+type placement = Single_copy | Primary_copy of Ids.site | Replicated
+
+type config = {
+  protocol : protocol;
+  placement : placement;
+  txn_timeout : float;
+  lock_timeout : float;
+  poll_interval : float;
+  termination_timeout : float;
+}
+
+let default_config =
+  {
+    protocol = Two_phase;
+    placement = Single_copy;
+    txn_timeout = 0.5;
+    lock_timeout = 0.25;
+    poll_interval = 0.2;
+    termination_timeout = 1.0;
+  }
+
+let home config ~n ~item =
+  match config.placement with
+  | Single_copy -> item mod n
+  | Primary_copy s -> ignore item; s
+  | Replicated -> invalid_arg "Trad_site.home: replicated items have no home"
+
+(* Stable log records of a traditional site. *)
+type log_record =
+  | L_value of { item : Ids.item; value : int; version : int }
+  | L_prepared of { txn : Ids.txn; coordinator : Ids.site; writes : Trad_msg.write list }
+  | L_decision of { txn : Ids.txn; commit : bool }
+
+(* ------------------------------------------------------------ replicas *)
+
+type replica = { mutable value : int; mutable version : int }
+
+(* ----------------------------------------------------- participant side *)
+
+type part_phase = P_locked | P_prepared | P_precommitted
+
+type participant_txn = {
+  p_txn : Ids.txn;
+  p_coord : Ids.site;
+  p_items : Ids.item list;
+  mutable p_lock_time : float;
+  mutable p_writes : Trad_msg.write list;
+  mutable p_phase : part_phase;
+  mutable p_prepare_time : float;
+  mutable p_poll : Engine.timer option;
+  mutable p_ttl : Engine.timer option;
+  mutable p_term : Engine.timer option;
+}
+
+(* ----------------------------------------------------- coordinator side *)
+
+type coord_phase = C_exec | C_vote | C_precommit
+
+type coord_txn = {
+  c_txn : Ids.txn;
+  c_ops : (Ids.item * Op.t) list;
+  c_participants : Ids.site list;
+  c_threshold : int;
+  c_started : float;
+  c_is_read : bool;
+  c_acks : (Ids.site, Trad_msg.read_result list) Hashtbl.t;
+  mutable c_quorum : Ids.site list;
+  mutable c_read_value : int option;
+  mutable c_votes : Ids.site list;
+  mutable c_pre_acks : Ids.site list;
+  mutable c_phase : coord_phase;
+  mutable c_timer : Engine.timer option;
+  c_on_done : Dvp.Site.txn_result -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  self : Ids.site;
+  n : int;
+  send : dst:Ids.site -> Trad_msg.t -> unit;
+  cfg : config;
+  on_unilateral : Ids.txn -> bool -> unit;
+  wal : log_record Wal.t;
+  db : (Ids.item, replica) Hashtbl.t;
+  locks : Lock_mgr.t;
+  clock : Ids.Clock.t;
+  metrics : Metrics.t;
+  parts : (Ids.txn, participant_txn) Hashtbl.t;
+  coords : (Ids.txn, coord_txn) Hashtbl.t;
+  decisions : (Ids.txn, bool) Hashtbl.t; (* coordinator decision table *)
+  mutable up : bool;
+}
+
+let create engine ~self ~n ~send ~config ~on_unilateral () =
+  {
+    engine;
+    self;
+    n;
+    send;
+    cfg = config;
+    on_unilateral;
+    wal = Wal.create ();
+    db = Hashtbl.create 32;
+    locks = Lock_mgr.create engine;
+    clock = Ids.Clock.create self;
+    metrics = Metrics.create ();
+    parts = Hashtbl.create 16;
+    coords = Hashtbl.create 16;
+    decisions = Hashtbl.create 64;
+    up = true;
+  }
+
+let self t = t.self
+
+let is_up t = t.up
+
+let metrics t = t.metrics
+
+let log_forces t = Wal.forces t.wal
+
+let in_doubt t =
+  Hashtbl.fold
+    (fun _ p acc ->
+      match p.p_phase with P_prepared | P_precommitted -> acc + 1 | P_locked -> acc)
+    t.parts 0
+
+let replica t item =
+  match Hashtbl.find_opt t.db item with
+  | Some r -> r
+  | None ->
+    let r = { value = 0; version = 0 } in
+    Hashtbl.replace t.db item r;
+    r
+
+let install_value t ~item value =
+  Wal.append t.wal (L_value { item; value; version = 0 });
+  let r = replica t item in
+  r.value <- value;
+  r.version <- 0
+
+let value_of t ~item = (replica t item).value
+
+let version_of t ~item = (replica t item).version
+
+let cancel t timer_ref =
+  match timer_ref with
+  | Some h ->
+    ignore (Engine.cancel t.engine h);
+    None
+  | None -> None
+
+(* ------------------------------------------------------ participant ops *)
+
+let part_release t p =
+  p.p_poll <- cancel t p.p_poll;
+  p.p_ttl <- cancel t p.p_ttl;
+  p.p_term <- cancel t p.p_term;
+  Metrics.lock_held t.metrics (Engine.now t.engine -. p.p_lock_time);
+  Lock_mgr.release_all t.locks ~txn:p.p_txn;
+  Hashtbl.remove t.parts p.p_txn
+
+let install_writes t writes =
+  List.iter
+    (fun (w : Trad_msg.write) ->
+      let r = replica t w.item in
+      if w.version >= r.version then begin
+        r.value <- w.value;
+        r.version <- w.version
+      end)
+    writes
+
+let part_blocked_over t p =
+  match p.p_phase with
+  | P_prepared | P_precommitted ->
+    Metrics.blocked_episode t.metrics (Engine.now t.engine -. p.p_prepare_time)
+  | P_locked -> ()
+
+(* A participant learns the decision (from a Decision message, a status
+   reply, or the 3PC termination rule). *)
+let part_decide t p commit =
+  part_blocked_over t p;
+  Wal.append t.wal (L_decision { txn = p.p_txn; commit });
+  if commit then install_writes t p.p_writes;
+  part_release t p
+
+let rec arm_poll t p =
+  p.p_poll <-
+    Some
+      (Engine.schedule t.engine ~delay:t.cfg.poll_interval (fun () ->
+           if t.up && Hashtbl.mem t.parts p.p_txn then begin
+             t.send ~dst:p.p_coord (Trad_msg.Status_query { txn = p.p_txn });
+             arm_poll t p
+           end))
+
+let arm_termination t p =
+  if t.cfg.protocol = Three_phase then
+    p.p_term <-
+      Some
+        (Engine.schedule t.engine ~delay:t.cfg.termination_timeout (fun () ->
+             if t.up && Hashtbl.mem t.parts p.p_txn then begin
+               (* The 3PC termination rule: uncertain aborts, pre-committed
+                  commits.  Under a partition this can contradict the
+                  coordinator — counted by the system as an atomicity
+                  violation. *)
+               let commit = p.p_phase = P_precommitted in
+               t.on_unilateral p.p_txn commit;
+               part_decide t p commit
+             end))
+
+let handle_exec t ~src ~txn ~items =
+  (* Acquire the locks one at a time; any refusal (deadlock-resolution
+     timeout) nacks the whole transaction. *)
+  let rec acquire_next acquired = function
+    | [] ->
+      let reads =
+        List.map
+          (fun item ->
+            let r = replica t item in
+            { Trad_msg.item; value = r.value; version = r.version })
+          items
+      in
+      let p =
+        {
+          p_txn = txn;
+          p_coord = src;
+          p_items = items;
+          p_lock_time = Engine.now t.engine;
+          p_writes = [];
+          p_phase = P_locked;
+          p_prepare_time = 0.0;
+          p_poll = None;
+          p_ttl = None;
+          p_term = None;
+        }
+      in
+      Hashtbl.replace t.parts txn p;
+      (* Safety valve: a participant that never hears a Prepare (aborted
+         coordinator, lost to a non-quorum race) releases after a generous
+         delay — it staged nothing, so this is safe. *)
+      p.p_ttl <-
+        Some
+          (Engine.schedule t.engine ~delay:(4.0 *. t.cfg.txn_timeout) (fun () ->
+               match Hashtbl.find_opt t.parts txn with
+               | Some p when p.p_phase = P_locked -> part_release t p
+               | Some _ | None -> ()));
+      t.send ~dst:src (Trad_msg.Exec_ack { txn; ok = true; reads })
+    | item :: rest ->
+      Lock_mgr.acquire t.locks ~item ~txn ~timeout:t.cfg.lock_timeout (fun granted ->
+          if not t.up then ()
+          else if granted then acquire_next (item :: acquired) rest
+          else begin
+            Lock_mgr.release_all t.locks ~txn;
+            t.send ~dst:src (Trad_msg.Exec_ack { txn; ok = false; reads = [] })
+          end)
+  in
+  acquire_next [] items
+
+let handle_prepare t ~src ~txn ~writes =
+  match Hashtbl.find_opt t.parts txn with
+  | Some p when p.p_phase = P_locked ->
+    p.p_ttl <- cancel t p.p_ttl;
+    p.p_writes <- writes;
+    Wal.append t.wal (L_prepared { txn; coordinator = p.p_coord; writes });
+    p.p_phase <- P_prepared;
+    p.p_prepare_time <- Engine.now t.engine;
+    t.send ~dst:src (Trad_msg.Vote { txn; yes = true });
+    arm_poll t p;
+    arm_termination t p
+  | Some _ -> () (* duplicate prepare *)
+  | None ->
+    (* We no longer know the transaction (crash or TTL release): vote no. *)
+    t.send ~dst:src (Trad_msg.Vote { txn; yes = false })
+
+let handle_precommit t ~src ~txn =
+  match Hashtbl.find_opt t.parts txn with
+  | Some p when p.p_phase = P_prepared ->
+    p.p_phase <- P_precommitted;
+    (* Restart the termination clock: the rule now says commit. *)
+    p.p_term <- cancel t p.p_term;
+    arm_termination t p;
+    t.send ~dst:src (Trad_msg.Precommit_ack { txn })
+  | Some p when p.p_phase = P_precommitted ->
+    t.send ~dst:src (Trad_msg.Precommit_ack { txn })
+  | Some _ | None -> ()
+
+let handle_decision t ~src ~txn ~commit =
+  (match Hashtbl.find_opt t.parts txn with
+  | Some p -> part_decide t p commit
+  | None -> ());
+  t.send ~dst:src (Trad_msg.Decision_ack { txn })
+
+(* ------------------------------------------------------ coordinator ops *)
+
+let coord_finish t c result =
+  c.c_timer <- cancel t c.c_timer;
+  Hashtbl.remove t.coords c.c_txn;
+  let latency = Engine.now t.engine -. c.c_started in
+  (match result with
+  | Dvp.Site.Committed _ -> Metrics.txn_committed t.metrics ~latency
+  | Dvp.Site.Aborted reason -> Metrics.txn_aborted t.metrics ~reason ~latency);
+  c.c_on_done result
+
+let coord_decide t c commit ~reason =
+  Wal.append t.wal (L_decision { txn = c.c_txn; commit });
+  Hashtbl.replace t.decisions c.c_txn commit;
+  let recipients = if commit then c.c_quorum else c.c_participants in
+  List.iter (fun dst -> t.send ~dst (Trad_msg.Decision { txn = c.c_txn; commit })) recipients;
+  if commit then
+    coord_finish t c (Dvp.Site.Committed { read_value = c.c_read_value })
+  else coord_finish t c (Dvp.Site.Aborted reason)
+
+let coord_timeout t txn () =
+  match Hashtbl.find_opt t.coords txn with
+  | None -> ()
+  | Some c -> (
+    c.c_timer <- None;
+    match c.c_phase with
+    | C_exec ->
+      let reason =
+        match t.cfg.placement with
+        | Replicated -> Metrics.No_quorum
+        | Single_copy | Primary_copy _ -> Metrics.Timeout
+      in
+      coord_decide t c false ~reason
+    | C_vote -> coord_decide t c false ~reason:Metrics.Timeout
+    | C_precommit ->
+      (* All participants voted yes: 3PC commits even if pre-commit acks are
+         missing. *)
+      coord_decide t c true ~reason:Metrics.Timeout)
+
+let coord_arm t c =
+  c.c_timer <- cancel t c.c_timer;
+  c.c_timer <- Some (Engine.schedule t.engine ~delay:t.cfg.txn_timeout (coord_timeout t c.c_txn))
+
+let items_for_participant t c site =
+  match t.cfg.placement with
+  | Replicated | Primary_copy _ -> List.map fst c.c_ops
+  | Single_copy -> List.filter (fun item -> item mod t.n = site) (List.map fst c.c_ops)
+
+let begin_txn t ~ops ~is_read ~on_done =
+  Ids.Clock.witness_counter t.clock (int_of_float (Engine.now t.engine *. 1_000_000.0));
+  let txn = Ids.Clock.next t.clock in
+  let participants =
+    match t.cfg.placement with
+    | Replicated -> List.init t.n (fun i -> i)
+    | Primary_copy s -> [ s ]
+    | Single_copy -> List.sort_uniq compare (List.map (fun (item, _) -> item mod t.n) ops)
+  in
+  let threshold =
+    match t.cfg.placement with
+    | Replicated -> (t.n / 2) + 1
+    | Primary_copy _ | Single_copy -> List.length participants
+  in
+  let c =
+    {
+      c_txn = txn;
+      c_ops = ops;
+      c_participants = participants;
+      c_threshold = threshold;
+      c_started = Engine.now t.engine;
+      c_is_read = is_read;
+      c_acks = Hashtbl.create 8;
+      c_quorum = [];
+      c_read_value = None;
+      c_votes = [];
+      c_pre_acks = [];
+      c_phase = C_exec;
+      c_timer = None;
+      c_on_done = on_done;
+    }
+  in
+  Hashtbl.replace t.coords txn c;
+  coord_arm t c;
+  List.iter
+    (fun site ->
+      let items = items_for_participant t c site in
+      if items <> [] then
+        t.send ~dst:site (Trad_msg.Exec { txn; coordinator = t.self; items }))
+    participants;
+  (* In single-copy mode a participant list can be a strict subset of sites;
+     threshold counts only participants that were actually sent work. *)
+  ()
+
+let submit t ~ops ~on_done =
+  if not t.up then on_done (Dvp.Site.Aborted Metrics.Crashed)
+  else begin_txn t ~ops ~is_read:false ~on_done
+
+let submit_read t ~item ~on_done =
+  if not t.up then on_done (Dvp.Site.Aborted Metrics.Crashed)
+  else begin_txn t ~ops:[ (item, Op.Incr 0) ] ~is_read:true ~on_done
+
+let current_values c =
+  (* Freshest value per item across the ack quorum (majority intersection
+     guarantees the latest committed version is present). *)
+  let best : (Ids.item, Trad_msg.read_result) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ reads ->
+      List.iter
+        (fun (r : Trad_msg.read_result) ->
+          match Hashtbl.find_opt best r.item with
+          | Some prev when prev.version >= r.version -> ()
+          | _ -> Hashtbl.replace best r.item r)
+        reads)
+    c.c_acks;
+  best
+
+let handle_exec_ack t ~src ~txn ~ok ~reads =
+  match Hashtbl.find_opt t.coords txn with
+  | Some c when c.c_phase = C_exec ->
+    if not ok then coord_decide t c false ~reason:Metrics.Deadlock
+    else begin
+      Hashtbl.replace c.c_acks src reads;
+      if Hashtbl.length c.c_acks >= c.c_threshold then begin
+        let best = current_values c in
+        let effective =
+          List.for_all
+            (fun (item, op) ->
+              match Hashtbl.find_opt best item with
+              | Some r -> Op.effective op ~fragment:r.value
+              | None -> false)
+            c.c_ops
+        in
+        if not effective then coord_decide t c false ~reason:Metrics.Ineffective
+        else begin
+          let writes : Trad_msg.write list =
+            List.map
+              (fun (item, op) ->
+                let r = Hashtbl.find best item in
+                match Op.apply op ~fragment:r.Trad_msg.value with
+                | Some value ->
+                  ({ item; value; version = r.Trad_msg.version + 1 } : Trad_msg.write)
+                | None -> assert false)
+              c.c_ops
+          in
+          (match (c.c_is_read, c.c_ops) with
+          | true, [ (item, _) ] ->
+            c.c_read_value <- Some (Hashtbl.find best item).Trad_msg.value
+          | _ -> ());
+          c.c_quorum <- Hashtbl.fold (fun site _ acc -> site :: acc) c.c_acks [];
+          c.c_phase <- C_vote;
+          coord_arm t c;
+          List.iter
+            (fun site ->
+              let site_writes =
+                match t.cfg.placement with
+                | Replicated | Primary_copy _ -> writes
+                | Single_copy ->
+                  List.filter (fun (w : Trad_msg.write) -> w.item mod t.n = site) writes
+              in
+              t.send ~dst:site (Trad_msg.Prepare { txn; writes = site_writes }))
+            c.c_quorum
+        end
+      end
+    end
+  | Some _ | None -> ()
+
+let handle_vote t ~src ~txn ~yes =
+  match Hashtbl.find_opt t.coords txn with
+  | Some c when c.c_phase = C_vote ->
+    if not yes then coord_decide t c false ~reason:Metrics.Blocked_failure
+    else begin
+      if not (List.mem src c.c_votes) then c.c_votes <- src :: c.c_votes;
+      if List.length c.c_votes >= List.length c.c_quorum then begin
+        match t.cfg.protocol with
+        | Two_phase -> coord_decide t c true ~reason:Metrics.Timeout
+        | Three_phase ->
+          c.c_phase <- C_precommit;
+          coord_arm t c;
+          List.iter (fun dst -> t.send ~dst (Trad_msg.Precommit { txn })) c.c_quorum
+      end
+    end
+  | Some _ | None -> ()
+
+let handle_precommit_ack t ~src ~txn =
+  match Hashtbl.find_opt t.coords txn with
+  | Some c when c.c_phase = C_precommit ->
+    if not (List.mem src c.c_pre_acks) then c.c_pre_acks <- src :: c.c_pre_acks;
+    if List.length c.c_pre_acks >= List.length c.c_quorum then
+      coord_decide t c true ~reason:Metrics.Timeout
+  | Some _ | None -> ()
+
+let handle_status_query t ~src ~txn =
+  let decision =
+    match Hashtbl.find_opt t.decisions txn with
+    | Some d -> Some d
+    | None ->
+      if Hashtbl.mem t.coords txn then None (* still running: keep waiting *)
+      else begin
+        (* Presumed abort: a recovered coordinator that finds no decision
+           record for an unfinished transaction aborts it. *)
+        Wal.append t.wal (L_decision { txn; commit = false });
+        Hashtbl.replace t.decisions txn false;
+        Some false
+      end
+  in
+  t.send ~dst:src (Trad_msg.Status_reply { txn; decision })
+
+let handle_status_reply t ~txn ~decision =
+  match decision with
+  | None -> ()
+  | Some commit -> (
+    match Hashtbl.find_opt t.parts txn with
+    | Some p -> part_decide t p commit
+    | None -> ())
+
+(* ------------------------------------------------------------ dispatch *)
+
+let handle_message t ~src msg =
+  if t.up then begin
+    match msg with
+    | Trad_msg.Exec { txn; coordinator; items } ->
+      Ids.Clock.witness t.clock txn;
+      handle_exec t ~src:coordinator ~txn ~items
+    | Trad_msg.Exec_ack { txn; ok; reads } -> handle_exec_ack t ~src ~txn ~ok ~reads
+    | Trad_msg.Prepare { txn; writes } -> handle_prepare t ~src ~txn ~writes
+    | Trad_msg.Vote { txn; yes } -> handle_vote t ~src ~txn ~yes
+    | Trad_msg.Precommit { txn } -> handle_precommit t ~src ~txn
+    | Trad_msg.Precommit_ack { txn } -> handle_precommit_ack t ~src ~txn
+    | Trad_msg.Decision { txn; commit } -> handle_decision t ~src ~txn ~commit
+    | Trad_msg.Decision_ack _ -> ()
+    | Trad_msg.Status_query { txn } -> handle_status_query t ~src ~txn
+    | Trad_msg.Status_reply { txn; decision } -> handle_status_reply t ~txn ~decision
+  end
+
+(* ------------------------------------------------------ crash, recovery *)
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    (* Live coordinated transactions die with their clients. *)
+    let cs = Hashtbl.fold (fun _ c acc -> c :: acc) t.coords [] in
+    List.iter
+      (fun c ->
+        c.c_timer <- cancel t c.c_timer;
+        Metrics.txn_aborted t.metrics ~reason:Metrics.Crashed
+          ~latency:(Engine.now t.engine -. c.c_started);
+        c.c_on_done (Dvp.Site.Aborted Metrics.Crashed))
+      cs;
+    Hashtbl.reset t.coords;
+    (* Participant volatile state: in-doubt episodes end here for blocked
+       accounting (the locks die with the site). *)
+    let ps = Hashtbl.fold (fun _ p acc -> p :: acc) t.parts [] in
+    List.iter
+      (fun p ->
+        part_blocked_over t p;
+        Metrics.lock_held t.metrics (Engine.now t.engine -. p.p_lock_time);
+        p.p_poll <- cancel t p.p_poll;
+        p.p_ttl <- cancel t p.p_ttl;
+        p.p_term <- cancel t p.p_term)
+      ps;
+    Hashtbl.reset t.parts;
+    Lock_mgr.clear t.locks;
+    Hashtbl.reset t.db;
+    Hashtbl.reset t.decisions;
+    Wal.crash t.wal
+  end
+
+let recover t =
+  if not t.up then begin
+    t.up <- true;
+    let started = Engine.now t.engine in
+    (* Replay: rebuild replica values, the coordinator decision table, and
+       the set of in-doubt prepared transactions. *)
+    let pending : (Ids.txn, Ids.site * Trad_msg.write list) Hashtbl.t = Hashtbl.create 8 in
+    let redo = ref 0 in
+    Wal.iter t.wal (fun r ->
+        match r with
+        | L_value { item; value; version } ->
+          let rep = replica t item in
+          rep.value <- value;
+          rep.version <- version
+        | L_prepared { txn; coordinator; writes } ->
+          Hashtbl.replace pending txn (coordinator, writes)
+        | L_decision { txn; commit } -> (
+          Hashtbl.replace t.decisions txn commit;
+          match Hashtbl.find_opt pending txn with
+          | Some (_, writes) ->
+            Hashtbl.remove pending txn;
+            if commit then begin
+              incr redo;
+              install_writes t writes
+            end
+          | None -> ()));
+    (* Re-enter in-doubt transactions: re-take their locks and resume the
+       status polling — the messages that make traditional recovery
+       dependent on other sites. *)
+    let msgs = ref 0 in
+    Hashtbl.iter
+      (fun txn (coordinator, writes) ->
+        let p =
+          {
+            p_txn = txn;
+            p_coord = coordinator;
+            p_items = List.map (fun (w : Trad_msg.write) -> w.item) writes;
+            p_lock_time = Engine.now t.engine;
+            p_writes = writes;
+            p_phase = P_prepared;
+            p_prepare_time = Engine.now t.engine;
+            p_poll = None;
+            p_ttl = None;
+            p_term = None;
+          }
+        in
+        Hashtbl.replace t.parts txn p;
+        List.iter
+          (fun item ->
+            Lock_mgr.acquire t.locks ~item ~txn ~timeout:1e9 (fun _granted -> ()))
+          p.p_items;
+        incr msgs;
+        t.send ~dst:coordinator (Trad_msg.Status_query { txn });
+        arm_poll t p;
+        arm_termination t p)
+      pending;
+    Metrics.recovery_event t.metrics ~messages:!msgs ~redo:!redo
+      ~duration:(Engine.now t.engine -. started)
+  end
+
+let decision_of t txn = Hashtbl.find_opt t.decisions txn
+
+let flush_blocked t =
+  Hashtbl.iter (fun _ p -> part_blocked_over t p) t.parts

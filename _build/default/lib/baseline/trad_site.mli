@@ -1,0 +1,96 @@
+(** One site of the traditional baseline: 2PC/3PC participant and
+    coordinator rolled together (every site can coordinate transactions
+    submitted to it and participate in others').
+
+    This is the system the paper argues *against*: items live whole at a
+    home site (or replicated everywhere under quorum), multi-site
+    transactions run an atomic-commit protocol, and participants that have
+    voted yes hold their locks until they learn the decision — the blocking
+    window that partitions can stretch without bound (Section 2.1).
+
+    The 3PC variant adds the pre-commit round and the classic termination
+    rule (uncertain ⇒ abort, pre-committed ⇒ commit) at participants that
+    lose contact with the coordinator; the harness counts the atomicity
+    violations this rule produces under partitions, which is Skeen's
+    impossibility made measurable. *)
+
+type protocol = Two_phase | Three_phase
+
+type placement =
+  | Single_copy  (** item [i] lives whole at site [i mod n] *)
+  | Primary_copy of Dvp.Ids.site  (** every item lives whole at one primary site *)
+  | Replicated  (** every site replicates every item; majority quorums *)
+
+type config = {
+  protocol : protocol;
+  placement : placement;
+  txn_timeout : float;  (** coordinator per-phase timeout (default 0.5) *)
+  lock_timeout : float;  (** participant lock-wait bound (default 0.25) *)
+  poll_interval : float;
+      (** in-doubt participants query the coordinator this often (0.2) *)
+  termination_timeout : float;
+      (** 3PC only: silence before applying the termination rule (1.0) *)
+}
+
+val default_config : config
+
+val home : config -> n:int -> item:Dvp.Ids.item -> Dvp.Ids.site
+
+type t
+
+val create :
+  Dvp_sim.Engine.t ->
+  self:Dvp.Ids.site ->
+  n:int ->
+  send:(dst:Dvp.Ids.site -> Trad_msg.t -> unit) ->
+  config:config ->
+  on_unilateral:(Dvp.Ids.txn -> bool -> unit) ->
+  unit ->
+  t
+(** [on_unilateral txn commit] fires when the 3PC termination rule makes this
+    site decide on its own; the system cross-checks it against the
+    coordinator's decision to count atomicity violations. *)
+
+val self : t -> Dvp.Ids.site
+
+val is_up : t -> bool
+
+val install_value : t -> item:Dvp.Ids.item -> int -> unit
+(** Give this site a (replica of a) whole item with the given value. *)
+
+val value_of : t -> item:Dvp.Ids.item -> int
+
+val version_of : t -> item:Dvp.Ids.item -> int
+
+val submit :
+  t ->
+  ops:(Dvp.Ids.item * Dvp.Op.t) list ->
+  on_done:(Dvp.Site.txn_result -> unit) ->
+  unit
+(** Coordinate a transaction from this site. *)
+
+val submit_read :
+  t -> item:Dvp.Ids.item -> on_done:(Dvp.Site.txn_result -> unit) -> unit
+
+val handle_message : t -> src:Dvp.Ids.site -> Trad_msg.t -> unit
+
+val crash : t -> unit
+
+val recover : t -> unit
+(** Traditional recovery is *not* independent: in-doubt transactions are
+    re-entered from the log and must query their coordinators; those
+    messages are counted in the metrics. *)
+
+val in_doubt : t -> int
+(** Participants currently holding locks awaiting a decision. *)
+
+val flush_blocked : t -> unit
+(** End-of-run accounting: record the still-running blocked episodes of
+    in-doubt participants. *)
+
+val decision_of : t -> Dvp.Ids.txn -> bool option
+(** Coordinator-side decision table lookup (for the consistency audit). *)
+
+val metrics : t -> Dvp.Metrics.t
+
+val log_forces : t -> int

@@ -1,0 +1,114 @@
+module Engine = Dvp_sim.Engine
+module Network = Dvp_net.Network
+
+type t = {
+  engine : Engine.t;
+  net : Trad_msg.t Network.t;
+  sites : Trad_site.t array;
+  cfg : Trad_site.config;
+  (* 3PC consistency audit: unilateral termination decisions to compare with
+     the coordinator's. *)
+  unilateral : (Dvp.Ids.txn * bool) Queue.t;
+  mutable inconsistent : int;
+}
+
+let create ?(seed = 42) ?(config = Trad_site.default_config) ?link ~n () =
+  let engine = Engine.create () in
+  let rng = Dvp_util.Rng.create seed in
+  let net = Network.create engine ~rng ~n ?default:link () in
+  let unilateral = Queue.create () in
+  let sites =
+    Array.init n (fun i ->
+        Trad_site.create engine ~self:i ~n
+          ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
+          ~config
+          ~on_unilateral:(fun txn commit -> Queue.add (txn, commit) unilateral)
+          ())
+  in
+  Array.iteri
+    (fun i site ->
+      Network.set_handler net i (fun ~src msg -> Trad_site.handle_message site ~src msg))
+    sites;
+  { engine; net; sites; cfg = config; unilateral; inconsistent = 0 }
+
+let engine t = t.engine
+
+let now t = Engine.now t.engine
+
+let run_until t horizon = Engine.run_until t.engine horizon
+
+let n_sites t = Array.length t.sites
+
+let site t i = t.sites.(i)
+
+let add_item t ~item ~total =
+  match t.cfg.Trad_site.placement with
+  | Trad_site.Single_copy ->
+    let h = item mod Array.length t.sites in
+    Trad_site.install_value t.sites.(h) ~item total
+  | Trad_site.Primary_copy s -> Trad_site.install_value t.sites.(s) ~item total
+  | Trad_site.Replicated ->
+    Array.iter (fun s -> Trad_site.install_value s ~item total) t.sites
+
+let submit t ~site ~ops ~on_done = Trad_site.submit t.sites.(site) ~ops ~on_done
+
+let submit_read t ~site ~item ~on_done = Trad_site.submit_read t.sites.(site) ~item ~on_done
+
+let partition t groups = Network.set_partition t.net groups
+
+let heal t = Network.heal_partition t.net
+
+let crash_site t i =
+  Network.set_site_up t.net i false;
+  Trad_site.crash t.sites.(i)
+
+let recover_site t i =
+  Network.set_site_up t.net i true;
+  Trad_site.recover t.sites.(i)
+
+let value_at t ~site ~item = Trad_site.value_of t.sites.(site) ~item
+
+let committed_value t ~item =
+  match t.cfg.Trad_site.placement with
+  | Trad_site.Single_copy -> value_at t ~site:(item mod Array.length t.sites) ~item
+  | Trad_site.Primary_copy s -> value_at t ~site:s ~item
+  | Trad_site.Replicated ->
+    (* Report the value at the highest version — what any majority read
+       would return. *)
+    let best_value = ref 0 and best_version = ref (-1) in
+    Array.iter
+      (fun s ->
+        let v = Trad_site.version_of s ~item in
+        if v > !best_version then begin
+          best_version := v;
+          best_value := Trad_site.value_of s ~item
+        end)
+      t.sites;
+    !best_value
+
+let in_doubt_total t = Array.fold_left (fun acc s -> acc + Trad_site.in_doubt s) 0 t.sites
+
+let flush_blocked t = Array.iter Trad_site.flush_blocked t.sites
+
+(* Compare every unilateral 3PC termination decision with the coordinator's
+   eventual decision; a mismatch is an atomicity violation. *)
+let inconsistencies t =
+  Queue.iter
+    (fun (txn, commit) ->
+      let coordinator = snd txn in
+      match Trad_site.decision_of t.sites.(coordinator) txn with
+      | Some d when d <> commit -> t.inconsistent <- t.inconsistent + 1
+      | Some _ | None -> ())
+    t.unilateral;
+  Queue.clear t.unilateral;
+  t.inconsistent
+
+let metrics t =
+  let m =
+    Array.fold_left
+      (fun acc s -> Dvp.Metrics.merge acc (Trad_site.metrics s))
+      (Dvp.Metrics.create ()) t.sites
+  in
+  Dvp.Metrics.add_messages m (Network.stats t.net).Network.sent;
+  Array.iter (fun s -> Dvp.Metrics.add_log_forces m (Trad_site.log_forces s)) t.sites;
+  m

@@ -1,0 +1,1 @@
+lib/core/backup.ml: Dvp_storage Filename List Log_event Printf Site String Sys System

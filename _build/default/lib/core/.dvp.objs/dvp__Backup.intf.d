@@ -1,0 +1,1 @@
+lib/core/backup.mli: Log_event Site System

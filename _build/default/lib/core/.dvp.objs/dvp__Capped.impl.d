@@ -1,0 +1,1 @@
+lib/core/capped.ml: Ids Op System

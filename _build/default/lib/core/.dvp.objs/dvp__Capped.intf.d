@@ -1,0 +1,1 @@
+lib/core/capped.mli: Ids Site System

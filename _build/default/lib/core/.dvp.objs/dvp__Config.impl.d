@@ -1,0 +1,1 @@
+lib/core/config.ml: Array Dvp_util Format List

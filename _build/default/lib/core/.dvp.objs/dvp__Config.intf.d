@@ -1,0 +1,1 @@
+lib/core/config.mli: Dvp_util Format Ids

@@ -1,0 +1,1 @@
+lib/core/history.ml: Hashtbl List Printf

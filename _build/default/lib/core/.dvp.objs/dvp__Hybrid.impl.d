@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Dvp_sim Hashtbl Ids List Site System

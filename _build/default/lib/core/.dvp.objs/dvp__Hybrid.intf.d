@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Ids Op Site System

@@ -1,0 +1,1 @@
+lib/core/lock_table.ml: Hashtbl Ids List Queue

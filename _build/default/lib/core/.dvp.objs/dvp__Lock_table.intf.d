@@ -1,0 +1,1 @@
+lib/core/lock_table.mli: Ids

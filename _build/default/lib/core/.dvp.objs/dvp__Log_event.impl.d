@@ -1,0 +1,1 @@
+lib/core/log_event.ml: Dvp_storage Format Ids List Printf String

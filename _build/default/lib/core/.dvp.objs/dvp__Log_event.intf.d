@@ -1,0 +1,1 @@
+lib/core/log_event.mli: Dvp_storage Format Ids

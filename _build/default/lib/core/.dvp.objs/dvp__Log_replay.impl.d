@@ -1,0 +1,1 @@
+lib/core/log_replay.ml: Array Dvp_storage Hashtbl Ids List Log_event

@@ -1,0 +1,1 @@
+lib/core/log_replay.mli: Dvp_storage Hashtbl Ids Log_event

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Dvp_util Float Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/core/proto.ml: Format Ids Printf

@@ -1,0 +1,1 @@
+lib/core/proto.mli: Format Ids

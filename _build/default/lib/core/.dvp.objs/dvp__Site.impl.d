@@ -1,0 +1,1 @@
+lib/core/site.ml: Array Config Dvp_sim Dvp_storage Dvp_util Format Hashtbl Ids List Lock_table Log_event Log_replay Metrics Op Proto Vm

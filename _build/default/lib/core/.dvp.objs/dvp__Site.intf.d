@@ -1,0 +1,1 @@
+lib/core/site.mli: Config Dvp_sim Dvp_storage Dvp_util Ids Log_event Metrics Op Proto Vm

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Config Dvp_net Dvp_sim Dvp_storage Dvp_util Hashtbl Ids List Metrics Op Proto Site Value

@@ -1,0 +1,1 @@
+lib/core/system.mli: Config Dvp_net Dvp_sim Ids Metrics Op Proto Site

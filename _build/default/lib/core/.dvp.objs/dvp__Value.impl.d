@@ -1,0 +1,1 @@
+lib/core/value.ml: Array Dvp_util Float List Op

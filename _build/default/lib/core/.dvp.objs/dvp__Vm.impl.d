@@ -1,0 +1,1 @@
+lib/core/vm.ml: Array Dvp_sim Dvp_storage Hashtbl Ids List Log_event Log_replay Metrics Proto

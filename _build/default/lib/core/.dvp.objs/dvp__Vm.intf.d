@@ -1,0 +1,1 @@
+lib/core/vm.mli: Dvp_sim Dvp_storage Ids Log_event Metrics Proto

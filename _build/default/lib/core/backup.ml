@@ -1,0 +1,68 @@
+module Wal = Dvp_storage.Wal
+
+let export_site site ~path =
+  let oc = open_out path in
+  let n = ref 0 in
+  (try
+     Wal.iter (Site.wal site) (fun record ->
+         output_string oc (Log_event.encode record);
+         output_char oc '\n';
+         incr n)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc;
+  !n
+
+let import_records ~path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> (
+      if String.trim line = "" then go acc
+      else
+        match Log_event.decode line with
+        | Some record -> go (record :: acc)
+        | None -> Error line)
+    | exception End_of_file -> Ok (List.rev acc)
+  in
+  let result = go [] in
+  close_in ic;
+  result
+
+let restore_site site ~path =
+  match import_records ~path with
+  | Error line -> Error (Printf.sprintf "malformed log line: %s" line)
+  | Ok records ->
+    (* Crash the site (dropping volatile state), swap in the backup as its
+       entire stable log, and let ordinary recovery rebuild everything. *)
+    Site.crash site;
+    let wal = Site.wal site in
+    Wal.truncate_before wal ~keep_from:(Wal.end_index wal);
+    List.iter (fun r -> Wal.append ~forced:false wal r) records;
+    Wal.force wal;
+    Site.recover site;
+    Ok (List.length records)
+
+let export_system sys ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let total = ref 0 in
+  for i = 0 to System.n_sites sys - 1 do
+    total := !total + export_site (System.site sys i) ~path:(Filename.concat dir (Printf.sprintf "site-%d.log" i))
+  done;
+  !total
+
+let restore_system sys ~dir =
+  let rec go i acc =
+    if i >= System.n_sites sys then Ok acc
+    else
+      match
+        restore_site (System.site sys i)
+          ~path:(Filename.concat dir (Printf.sprintf "site-%d.log" i))
+      with
+      | Ok n -> go (i + 1) (acc + n)
+      | Error e -> Error (Printf.sprintf "site %d: %s" i e)
+  in
+  let result = go 0 0 in
+  (match result with Ok _ -> System.recalibrate_expected sys | Error _ -> ());
+  result

@@ -1,0 +1,28 @@
+(** Offline backup and restore of site logs.
+
+    The stable log *is* a site's durable identity: everything recovery needs
+    is in it (Section 7), so exporting the log to a file is a complete
+    backup, and loading it into a fresh site followed by {!Site.recover} is
+    a complete restore — including outstanding virtual messages, which
+    resume retransmission on the restored site.
+
+    Files hold one {!Log_event.encode}d record per line; this module is what
+    makes the textual codec load-bearing rather than decorative. *)
+
+val export_site : Site.t -> path:string -> int
+(** Write the site's stable log to [path]; returns the record count. *)
+
+val import_records : path:string -> (Log_event.t list, string) result
+(** Parse a log file; [Error line] names the first malformed line. *)
+
+val restore_site : Site.t -> path:string -> (int, string) result
+(** Replace the site's state with the backup: the site is crashed, its log
+    is replaced by the file's records, and it recovers from them.  Returns
+    the number of records restored.  The target site should be a fresh (or
+    expendable) site of a system with the same size. *)
+
+val export_system : System.t -> dir:string -> int
+(** Export every site's log to [dir/site-<i>.log]; returns total records. *)
+
+val restore_system : System.t -> dir:string -> (int, string) result
+(** Restore every site of a (fresh) system from [dir]. *)

@@ -1,0 +1,31 @@
+type t = { sys : System.t; value_item : Ids.item; headroom_item : Ids.item; cap : int }
+
+let create sys ~value_item ~headroom_item ~cap ?initial () =
+  if cap < 0 then invalid_arg "Capped.create: negative cap";
+  let initial = match initial with Some i -> i | None -> cap / 2 in
+  if initial < 0 || initial > cap then invalid_arg "Capped.create: initial out of range";
+  System.add_item sys ~item:value_item ~total:initial ();
+  System.add_item sys ~item:headroom_item ~total:(cap - initial) ();
+  { sys; value_item; headroom_item; cap }
+
+let cap t = t.cap
+
+let decr t ~site ~amount ~on_done =
+  System.submit t.sys ~site
+    ~ops:[ (t.value_item, Op.Decr amount); (t.headroom_item, Op.Incr amount) ]
+    ~on_done
+
+let incr t ~site ~amount ~on_done =
+  System.submit t.sys ~site
+    ~ops:[ (t.value_item, Op.Incr amount); (t.headroom_item, Op.Decr amount) ]
+    ~on_done
+
+let read t ~site ~on_done = System.submit_read t.sys ~site ~item:t.value_item ~on_done
+
+let expected_value t = System.expected_total t.sys ~item:t.value_item
+
+let invariant t =
+  let total item = System.total_at_sites t.sys ~item + System.in_flight t.sys ~item in
+  total t.value_item + total t.headroom_item = t.cap
+  && System.conserved t.sys ~item:t.value_item
+  && System.conserved t.sys ~item:t.headroom_item

@@ -1,0 +1,57 @@
+(** Capped quantities — a second partitionable data type (Section 9's
+    "there is a need to find ways to extend the methods to handle more data
+    types").
+
+    A capped quantity is a value [v] with an upper bound: [0 ≤ v ≤ cap]
+    (warehouse stock with finite shelf space, a bank account with an
+    overdraft ceiling, a flight that cannot be overbooked by cancellations
+    re-adding seats).  "Increment by m if the result stays ≤ cap" is *not* a
+    partitionable operator over [v] alone — a site cannot check the bound
+    against its fragment.
+
+    The paper's machinery still covers it, by reduction: store the
+    *headroom* [h = cap − v] as a second partitioned item, and express each
+    operation as a two-item transaction of plain partitionable operators:
+
+    - [decr m] (consume): [Decr m] on value, [Incr m] on headroom;
+    - [incr m] (replenish): [Incr m] on value, [Decr m] on headroom.
+
+    Bounded decrement on the headroom item is exactly the cap check, and
+    conservation of both items gives the cap invariant
+    [v + h = cap] globally, at all times, under any failures.  No new
+    protocol machinery is needed — which is itself the point. *)
+
+type t
+
+val create :
+  System.t ->
+  value_item:Ids.item ->
+  headroom_item:Ids.item ->
+  cap:int ->
+  ?initial:int ->
+  unit ->
+  t
+(** Register the two underlying items on the system ([initial] defaults to
+    [cap/2]), both split evenly.  The item ids must be fresh. *)
+
+val cap : t -> int
+
+val decr :
+  t -> site:Ids.site -> amount:int -> on_done:(Site.txn_result -> unit) -> unit
+(** Consume [amount] (fails — by timeout — if the global value would go
+    negative). *)
+
+val incr :
+  t -> site:Ids.site -> amount:int -> on_done:(Site.txn_result -> unit) -> unit
+(** Replenish [amount] (fails if the global value would exceed the cap). *)
+
+val read :
+  t -> site:Ids.site -> on_done:(Site.txn_result -> unit) -> unit
+(** Full read of the current value (a drain of the value item). *)
+
+val expected_value : t -> int
+(** Aggregate value implied by committed operations. *)
+
+val invariant : t -> bool
+(** [v + h = cap] from the stable state (fragments + in-flight of both
+    items); meaningful between simulator events. *)

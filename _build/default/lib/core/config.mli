@@ -1,0 +1,85 @@
+(** Tunable protocol parameters and policies.
+
+    The paper leaves open "the best ways to distribute the data, to design
+    the transactions and to reduce the message traffic" (Section 9); these
+    policies are the knobs the ablation experiments (E6) sweep. *)
+
+(** Whom to ask, and for how much, when the local fragment is inadequate
+    (transaction step 2). *)
+type request_policy =
+  | Ask_all_full  (** ask every other site for the full shortfall *)
+  | Ask_all_split
+      (** ask every other site for an equal share (ceiling) of the
+          shortfall *)
+  | Ask_one_random  (** ask a single random site for the full shortfall *)
+  | Ask_k of int  (** ask [k] random sites, each for the full shortfall *)
+
+(** How much a site grants when honoring a [Need n] request for an item whose
+    local fragment is [f]. *)
+type grant_policy =
+  | Grant_requested  (** min(n, f) — ship exactly what was asked *)
+  | Grant_all  (** ship the whole fragment (aggressive rebalancing) *)
+  | Grant_double  (** min(2n, f) — over-ship to prefetch future demand *)
+  | Grant_half_keep
+      (** ship min(n, f/2) — never give away more than half; conservative *)
+
+(** Concurrency-control scheme (Section 6). *)
+type cc_mode =
+  | Conc1
+      (** timestamp gating: honor a request / take a lock only if
+          TS(txn) > TS(data value); conflicts abort *)
+  | Conc2
+      (** strict two-phase locking per site with totally-ordered broadcast
+          of requests; conflicts wait (bounded by the transaction timeout) *)
+
+(** Proactive redistribution (Section 9's "best ways to distribute the
+    data", as a demand-following daemon): a site that has recently been
+    asked for an item and holds a comfortable surplus ships part of it to
+    the recent askers ahead of their next shortfall. *)
+type proactive = {
+  every : float;  (** scan period (seconds) *)
+  min_surplus : int;  (** only share fragments at least this large *)
+  share_fraction : float;  (** portion of the fragment shipped per scan *)
+  asker_window : float;  (** how recent a request must be to count *)
+}
+
+val default_proactive : proactive
+
+type t = {
+  cc : cc_mode;
+  request_policy : request_policy;
+  grant_policy : grant_policy;
+  proactive : proactive option;  (** [None] = purely reactive (the paper's base scheme) *)
+  request_retries : int;
+      (** Section 5's variation: "the requests could be re-tried a few more
+          times" — how many times a waiting transaction re-sends requests
+          for its *remaining* shortfall, spread across the timeout window
+          (default 0: one shot, the paper's base pessimism) *)
+  txn_timeout : float;
+      (** transaction step 3's timeout: abort if the needed Vm have not
+          arrived (seconds; default 0.5) *)
+  vm_retransmit : float;
+      (** period of the Vm retransmission scan (seconds; default 0.15) *)
+  ack_delay : float;
+      (** how long to hold a standalone Vm acknowledgement hoping to
+          piggyback it on reverse traffic (seconds; default 0 = immediate) *)
+}
+
+val default : t
+(** Conc1, [Ask_all_split], [Grant_requested], 0.5 s timeout, 0.15 s
+    retransmit. *)
+
+val pp : Format.formatter -> t -> unit
+
+val grant_amount : grant_policy -> requested:int -> fragment:int -> int
+(** Amount actually shipped; always in [0, fragment]. *)
+
+val request_targets :
+  request_policy ->
+  rng:Dvp_util.Rng.t ->
+  self:Ids.site ->
+  n:int ->
+  shortfall:int ->
+  (Ids.site * int) list
+(** The (site, amount) request fan-out for a shortfall.  Empty when there are
+    no other sites to ask. *)

@@ -1,0 +1,97 @@
+type update = { delta : int; u_start : float; u_commit : float }
+
+type read = { value : int; r_start : float; r_commit : float }
+
+type t = { initial : int; mutable updates : update list; mutable reads : read list }
+
+let create ~initial = { initial; updates = []; reads = [] }
+
+let record_update t ~delta ~start_time ~commit_time =
+  t.updates <- { delta; u_start = start_time; u_commit = commit_time } :: t.updates
+
+let record_read t ~value ~start_time ~commit_time =
+  t.reads <- { value; r_start = start_time; r_commit = commit_time } :: t.reads
+
+let events t = List.length t.updates + List.length t.reads
+
+(* Subset-sum over a small list of signed deltas: can some subset sum to
+   [target]?  The sums are bounded by the workload sizes, so a set-of-sums
+   sweep is fine. *)
+let subset_sum deltas target =
+  let sums = Hashtbl.create 64 in
+  Hashtbl.replace sums 0 ();
+  List.iter
+    (fun d ->
+      let current = Hashtbl.fold (fun s () acc -> s :: acc) sums [] in
+      List.iter (fun s -> Hashtbl.replace sums (s + d) ()) current)
+    deltas;
+  Hashtbl.mem sums target
+
+let classify t read =
+  (* Partition the updates against the read's real-time interval. *)
+  let must, optional =
+    List.fold_left
+      (fun (must, optional) u ->
+        if u.u_commit < read.r_start then (u :: must, optional)
+        else if u.u_start > read.r_commit then (must, optional)
+        else (must, u :: optional))
+      ([], []) t.updates
+  in
+  (must, optional)
+
+let read_violation t read =
+  let must, optional = classify t read in
+  let base = t.initial + List.fold_left (fun acc u -> acc + u.delta) 0 must in
+  let target = read.value - base in
+  if subset_sum (List.map (fun u -> u.delta) optional) target then None
+  else
+    Some
+      (Printf.sprintf
+         "read of %d committed at %.4f cannot be explained: %d certain updates give %d, \
+          and no subset of the %d overlapping updates bridges the gap of %d"
+         read.value read.r_commit (List.length must) base (List.length optional) target)
+
+(* Reads that do not overlap must observe monotonically growing histories:
+   a later read's certain set contains the earlier one's, and its value must
+   be reachable from the earlier read's value using only updates not already
+   forced into the earlier read. *)
+let chain_violation t =
+  let reads = List.sort (fun a b -> compare a.r_commit b.r_commit) t.reads in
+  let rec pairs = function
+    | r1 :: (r2 :: _ as rest) when r1.r_commit < r2.r_start ->
+      let _, optional1 = classify t r1 in
+      let between =
+        List.filter (fun u -> u.u_commit >= r1.r_start && u.u_start <= r2.r_commit) t.updates
+      in
+      (* From r1's value, r2 must be reachable by adding a subset of the
+         updates that could serialize between them (optional for r1, plus
+         anything overlapping or after r1 up to r2). *)
+      let candidates =
+        (* Union of the two record lists without duplicating shared
+           elements (dedup by identity, never by delta value: two distinct
+           +5 updates are two separate candidates). *)
+        let extras = List.filter (fun u -> not (List.memq u optional1)) between in
+        List.map (fun u -> u.delta) (optional1 @ extras)
+      in
+      if subset_sum candidates (r2.value - r1.value) then pairs rest
+      else
+        Some
+          (Printf.sprintf
+             "reads %d -> %d (committed %.4f -> %.4f) are not connected by any subset of \
+              intervening updates"
+             r1.value r2.value r1.r_commit r2.r_commit)
+    | _ :: rest -> pairs rest
+    | [] -> None
+  in
+  pairs reads
+
+let explain t =
+  let rec first_violation = function
+    | [] -> None
+    | r :: rest -> ( match read_violation t r with Some e -> Some e | None -> first_violation rest)
+  in
+  match first_violation t.reads with
+  | Some e -> Some e
+  | None -> chain_violation t
+
+let check t = explain t = None

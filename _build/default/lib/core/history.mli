@@ -1,0 +1,43 @@
+(** Serializability checking over recorded histories (Section 6).
+
+    The paper's correctness criterion is serializability *subject to
+    redistribution*: a concurrent execution must be equivalent to some
+    serial execution of the committed transactions.  For partitionable
+    operators the updates commute, so the observable constraints all come
+    from full reads: each committed read of item [d] must have returned
+    [initial + Σ deltas] of exactly the updates serialized before it, and
+    the serial order must respect real time (an operation that committed
+    before another *started* must serialize first).
+
+    {!check} decides a sound approximation: for every read it requires
+
+    - every update that committed before the read started is included;
+    - every update that started after the read committed is excluded;
+    - some subset of the remaining (time-overlapping) updates makes the
+      arithmetic work (a subset-sum over their deltas);
+
+    and that the must-include sets grow monotonically along the real-time
+    order of reads.  Any history rejected by this check is certainly not
+    serializable; acceptance is sound for the workloads the test-suite
+    generates (reads that do not overlap each other). *)
+
+type t
+
+val create : initial:int -> t
+
+val record_update : t -> delta:int -> start_time:float -> commit_time:float -> unit
+(** A committed update transaction's signed effect on the aggregate. *)
+
+val record_read : t -> value:int -> start_time:float -> commit_time:float -> unit
+(** A committed full read and the value it returned. *)
+
+val events : t -> int
+(** Number of recorded committed events. *)
+
+val check : t -> bool
+(** Whether the recorded history passes the serializability conditions
+    above. *)
+
+val explain : t -> string option
+(** [None] if the history checks out; otherwise a description of the first
+    violated read. *)

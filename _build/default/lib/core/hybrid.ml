@@ -1,0 +1,105 @@
+type mode = Partitioned | Centralized
+
+type stats = {
+  mutable reads : int;
+  mutable updates : int;
+  mutable mode : mode;
+}
+
+type t = {
+  sys : System.t;
+  hi : float;
+  lo : float;
+  check_every : float;
+  per_item : (Ids.item, stats) Hashtbl.t;
+  mutable centralizations : int;
+  mutable repartitions : int;
+}
+
+let stats_for t item =
+  match Hashtbl.find_opt t.per_item item with
+  | Some s -> s
+  | None ->
+    let s = { reads = 0; updates = 0; mode = Partitioned } in
+    Hashtbl.replace t.per_item item s;
+    s
+
+let home t ~item = item mod System.n_sites t.sys
+
+let mode t ~item = (stats_for t item).mode
+
+(* Pull the whole value to the home site: a drain read executed *at* the
+   home, so the value ends up exactly there. *)
+let centralize t item =
+  let s = stats_for t item in
+  if s.mode = Partitioned then begin
+    s.mode <- Centralized;
+    t.centralizations <- t.centralizations + 1;
+    System.submit_read t.sys ~site:(home t ~item) ~item ~on_done:(fun _ -> ())
+  end
+
+(* Spread the home's fragment back out evenly (explicit Rds pushes). *)
+let repartition t item =
+  let s = stats_for t item in
+  if s.mode = Centralized then begin
+    s.mode <- Partitioned;
+    t.repartitions <- t.repartitions + 1;
+    let n = System.n_sites t.sys in
+    let h = home t ~item in
+    let site = System.site t.sys h in
+    let frag = Site.fragment site ~item in
+    let share = frag / n in
+    if share > 0 then
+      for dst = 0 to n - 1 do
+        if dst <> h then ignore (Site.push_value site ~dst ~item ~amount:share)
+      done
+  end
+
+let evaluate t =
+  Hashtbl.iter
+    (fun item s ->
+      let total = s.reads + s.updates in
+      if total >= 4 then begin
+        let read_share = float_of_int s.reads /. float_of_int total in
+        if read_share > t.hi then centralize t item
+        else if read_share < t.lo then repartition t item
+      end;
+      (* Sliding window: decay rather than reset, so short gaps in traffic
+         do not erase the signal. *)
+      s.reads <- s.reads / 2;
+      s.updates <- s.updates / 2)
+    t.per_item
+
+let create sys ?(hi = 0.10) ?(lo = 0.02) ?(window = 2.0) ?(check_every = 1.0) () =
+  ignore window;
+  let t =
+    {
+      sys;
+      hi;
+      lo;
+      check_every;
+      per_item = Hashtbl.create 8;
+      centralizations = 0;
+      repartitions = 0;
+    }
+  in
+  let rec tick () =
+    evaluate t;
+    ignore (Dvp_sim.Engine.schedule (System.engine sys) ~delay:t.check_every tick)
+  in
+  ignore (Dvp_sim.Engine.schedule (System.engine sys) ~delay:t.check_every tick);
+  t
+
+let submit t ~site ~ops ~on_done =
+  List.iter (fun (item, _) -> (stats_for t item).updates <- (stats_for t item).updates + 1) ops;
+  System.submit t.sys ~site ~ops ~on_done
+
+let submit_read t ~site ~item ~on_done =
+  let s = stats_for t item in
+  s.reads <- s.reads + 1;
+  let where = match s.mode with Centralized -> home t ~item | Partitioned -> site in
+  System.submit_read t.sys ~site:where ~item ~on_done
+
+let centralizations t = t.centralizations
+
+let repartitions t = t.repartitions

@@ -1,0 +1,61 @@
+(** Dynamic interchange between DvP and a primary-copy regime (Section 8).
+
+    "To make the best of both approaches, it may be preferable to design
+    systems that can respond to different situations by dynamically
+    interchanging between a DvP scheme and some traditional scheme."
+
+    This manager watches the per-item operation mix over a sliding window
+    and flips each item between two modes:
+
+    - {b Partitioned} (the DvP default): value spread across sites, updates
+      local, full reads expensive;
+    - {b Centralized}: all value gathered at the item's home site.  Full
+      reads are then served *at the home* — the drain trivially completes
+      with zero-value responses and the value never moves — while updates
+      from other sites pay one round trip for their shortfall, exactly like
+      a primary-copy system.
+
+    Switching uses only DvP primitives, so every safety property
+    (conservation, non-blocking, independent recovery) is untouched:
+    centralizing is a drain read at the home; re-partitioning is a set of
+    explicit redistribution pushes ({!Site.push_value}).
+
+    Route work through {!submit} and {!submit_read}; reads are redirected
+    to the home site while an item is centralized. *)
+
+type mode = Partitioned | Centralized
+
+type t
+
+val create :
+  System.t ->
+  ?hi:float ->
+  ?lo:float ->
+  ?window:float ->
+  ?check_every:float ->
+  unit ->
+  t
+(** Flip an item to Centralized when its read share over the last [window]
+    seconds exceeds [hi] (default 0.10), back to Partitioned when it drops
+    below [lo] (default 0.02).  The mix is re-evaluated every [check_every]
+    seconds (default 1.0).  Hysteresis ([lo] < [hi]) prevents flapping. *)
+
+val mode : t -> item:Ids.item -> mode
+
+val home : t -> item:Ids.item -> Ids.site
+(** The designated home site ([item mod n]). *)
+
+val submit :
+  t ->
+  site:Ids.site ->
+  ops:(Ids.item * Op.t) list ->
+  on_done:(Site.txn_result -> unit) ->
+  unit
+
+val submit_read :
+  t -> site:Ids.site -> item:Ids.item -> on_done:(Site.txn_result -> unit) -> unit
+
+val centralizations : t -> int
+(** How many mode flips to Centralized have happened (for reports). *)
+
+val repartitions : t -> int

@@ -1,0 +1,66 @@
+(** Stable log records (Sections 4.2, 5, 7).
+
+    The protocols force exactly these records:
+
+    - [Vm_create]: the paper's [[database-actions, message-sequence]] record.
+      Written *before* the real message is sent and before the database is
+      updated; its existence is what makes the virtual message exist.
+    - [Vm_accept]: the paper's [[database-actions]] record at the receiver;
+      its existence ends the Vm's lifespan.  It doubles as the stable
+      record of the per-peer acceptance high-water mark.
+    - [Txn_commit]: transaction step 5 — "the completion of this step commits
+      the transaction".
+    - [Txn_applied]: transaction step 6 — the changes have reached the
+      database (bounds the redo work, Section 7).
+    - [Ack_progress]: the sender has learned its Vm up to [upto] were
+      accepted and will never retransmit them.  Loss of this record is
+      harmless (retransmissions are idempotent), so it need not be forced.
+
+    Database actions record absolute fragment values, not deltas, which makes
+    log replay idempotent — the redo requirement of Section 7. *)
+
+type db_action = Set_fragment of { item : Ids.item; value : int }
+
+type t =
+  | Vm_create of {
+      dst : Ids.site;
+      seq : int;
+      item : Ids.item;
+      amount : int;
+      reply_to : Ids.txn option;
+      actions : db_action list;
+    }
+  | Vm_accept of {
+      peer : Ids.site;
+      seq : int;
+      item : Ids.item;
+      amount : int;
+      new_value : int;  (** absolute fragment value after the credit (idempotent replay) *)
+    }
+  | Txn_commit of { txn : Ids.txn; actions : db_action list }
+  | Txn_applied of { txn : Ids.txn }
+  | Ack_progress of { dst : Ids.site; upto : int }
+  | Checkpoint of {
+      fragments : (Ids.item * int) list;
+      accepted : (Ids.site * int) list;  (** per-peer acceptance watermark *)
+      next_seq : (Ids.site * int) list;  (** per-destination Vm counter *)
+      acked : (Ids.site * int) list;  (** per-destination cumulative ack *)
+      outbox : (Ids.site * int * Ids.item * int * Ids.txn option) list;
+          (** still-outstanding Vm: (dst, seq, item, amount, reply_to) *)
+      max_counter : int;
+    }
+      (** A full-state snapshot (Section 7's checkpointing): replay restarts
+          here, and everything before it can be truncated.  Outstanding Vm
+          are carried inside the snapshot so truncation never loses one. *)
+
+val pp : Format.formatter -> t -> unit
+
+val apply_action : Dvp_storage.Local_db.t -> db_action -> unit
+(** Idempotent application of one database action. *)
+
+val encode : t -> string
+(** Compact single-line textual encoding; {!decode} inverts it.  The
+    simulator keeps records typed, but the codec documents that every record
+    is serialisable and is round-trip tested. *)
+
+val decode : string -> t option

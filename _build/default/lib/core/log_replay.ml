@@ -1,0 +1,80 @@
+module Wal = Dvp_storage.Wal
+module Db = Dvp_storage.Local_db
+
+type vm_outstanding = { item : Ids.item; amount : int; reply_to : Ids.txn option }
+
+type vm_view = {
+  vm_next_seq : int array;
+  vm_acked : int array;
+  vm_accepted : int array;
+  vm_outbox : (Ids.site * int, vm_outstanding) Hashtbl.t;
+}
+
+let vm_view ~n wal =
+  let v =
+    {
+      vm_next_seq = Array.make n 0;
+      vm_acked = Array.make n (-1);
+      vm_accepted = Array.make n (-1);
+      vm_outbox = Hashtbl.create 32;
+    }
+  in
+  Wal.iter wal (fun record ->
+      match record with
+      | Log_event.Vm_create { dst; seq; item; amount; reply_to; _ } ->
+        if seq >= v.vm_next_seq.(dst) then v.vm_next_seq.(dst) <- seq + 1;
+        Hashtbl.replace v.vm_outbox (dst, seq) { item; amount; reply_to }
+      | Log_event.Ack_progress { dst; upto } ->
+        if upto > v.vm_acked.(dst) then v.vm_acked.(dst) <- upto
+      | Log_event.Vm_accept { peer; seq; _ } ->
+        if seq > v.vm_accepted.(peer) then v.vm_accepted.(peer) <- seq
+      | Log_event.Checkpoint { accepted; next_seq; acked; outbox; _ } ->
+        (* Snapshot: replace everything reconstructed so far. *)
+        Array.fill v.vm_next_seq 0 n 0;
+        Array.fill v.vm_acked 0 n (-1);
+        Array.fill v.vm_accepted 0 n (-1);
+        Hashtbl.reset v.vm_outbox;
+        List.iter (fun (dst, s) -> v.vm_next_seq.(dst) <- s) next_seq;
+        List.iter (fun (dst, s) -> v.vm_acked.(dst) <- s) acked;
+        List.iter (fun (peer, s) -> v.vm_accepted.(peer) <- s) accepted;
+        List.iter
+          (fun (dst, seq, item, amount, reply_to) ->
+            Hashtbl.replace v.vm_outbox (dst, seq) { item; amount; reply_to })
+          outbox
+      | Log_event.Txn_commit _ | Log_event.Txn_applied _ -> ());
+  (* Drop outbox entries already covered by a learned cumulative ack. *)
+  Hashtbl.iter
+    (fun (dst, seq) _ ->
+      if seq <= v.vm_acked.(dst) then Hashtbl.remove v.vm_outbox (dst, seq))
+    (Hashtbl.copy v.vm_outbox);
+  v
+
+type db_view = { db : Db.t; redo : int; max_counter : int }
+
+let db_view ?into wal =
+  let db = match into with Some db -> db | None -> Db.create () in
+  let committed = Hashtbl.create 16 and applied = Hashtbl.create 16 in
+  let max_counter = ref 0 in
+  Wal.iter wal (fun record ->
+      match record with
+      | Log_event.Vm_create { actions; _ } ->
+        List.iter (Log_event.apply_action db) actions
+      | Log_event.Vm_accept { item; new_value; _ } -> Db.set_value db ~item new_value
+      | Log_event.Txn_commit { txn; actions } ->
+        List.iter (Log_event.apply_action db) actions;
+        Hashtbl.replace committed txn ();
+        if fst txn > !max_counter then max_counter := fst txn
+      | Log_event.Txn_applied { txn } -> Hashtbl.replace applied txn ()
+      | Log_event.Checkpoint { fragments; max_counter = mc; _ } ->
+        Db.wipe db;
+        Hashtbl.reset committed;
+        Hashtbl.reset applied;
+        List.iter (fun (item, value) -> Db.set_value db ~item value) fragments;
+        if mc > !max_counter then max_counter := mc
+      | Log_event.Ack_progress _ -> ());
+  let redo =
+    Hashtbl.fold
+      (fun txn () acc -> if Hashtbl.mem applied txn then acc else acc + 1)
+      committed 0
+  in
+  { db; redo; max_counter = !max_counter }

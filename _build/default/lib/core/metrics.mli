@@ -1,0 +1,124 @@
+(** Experiment accounting, shared by the DvP system and the baselines.
+
+    Everything the evaluation reports — commits, aborts by reason, latency
+    percentiles, lock-hold times (the non-blocking claim is "max hold/blocked
+    time is bounded by the timeout"), message and log-force overheads,
+    recovery costs — flows through one of these records so the bench harness
+    can print uniform tables. *)
+
+type abort_reason =
+  | Lock_busy  (** a needed local lock was held (Conc1 pessimism) *)
+  | Cc_reject  (** timestamp gate TS(t) > TS(d) failed *)
+  | Timeout  (** the step-3 timeout fired before enough value arrived *)
+  | Vm_outstanding
+      (** a drain read found the site's own outbound Vm unacknowledged *)
+  | Crashed  (** the executing site failed mid-transaction *)
+  | Ineffective
+      (** baseline: the operator would drive the (whole) value negative — a
+          business-rule abort, not an availability failure *)
+  | Deadlock  (** baseline lock manager chose this txn as victim *)
+  | No_quorum  (** baseline quorum was unreachable *)
+  | Blocked_failure
+      (** baseline: coordinator/participant unreachable → aborted after its
+          blocking episode (2PC/3PC accounting) *)
+
+val abort_reason_label : abort_reason -> string
+
+val all_abort_reasons : abort_reason list
+
+type t
+
+val create : unit -> t
+
+(** {2 Recording} *)
+
+val txn_committed : t -> latency:float -> unit
+
+val txn_aborted : t -> reason:abort_reason -> latency:float -> unit
+
+val lock_held : t -> float -> unit
+(** Duration between a transaction's lock acquisition and release. *)
+
+val blocked_episode : t -> float -> unit
+(** Duration a baseline participant spent holding locks while unable to
+    learn a commit decision (the paper's "blocking" behaviour; always 0 for
+    DvP). *)
+
+val vm_created : t -> amount:int -> unit
+
+val vm_accepted : t -> amount:int -> unit
+
+val vm_retransmitted : t -> unit
+
+val vm_duplicate_discarded : t -> unit
+
+val request_honored : t -> unit
+
+val request_ignored : t -> unit
+
+val recovery_event : t -> messages:int -> redo:int -> duration:float -> unit
+
+val add_messages : t -> int -> unit
+(** Fold in transport-level message counts (from [Network.stats]). *)
+
+val add_log_forces : t -> int -> unit
+
+(** {2 Reading} *)
+
+val committed : t -> int
+
+val aborted : t -> int
+
+val aborted_by : t -> abort_reason -> int
+
+val submitted : t -> int
+
+val commit_ratio : t -> float
+(** committed / submitted; [nan] when nothing ran. *)
+
+val latency_p50 : t -> float
+
+val latency_p99 : t -> float
+
+val latency_mean : t -> float
+
+val latency_samples : t -> float array
+(** Sorted copy of the committed-transaction latencies (for histograms). *)
+
+val max_lock_hold : t -> float
+
+val max_blocked : t -> float
+
+val total_blocked_time : t -> float
+
+val vm_created_count : t -> int
+
+val vm_accepted_count : t -> int
+
+val vm_retransmissions : t -> int
+
+val vm_duplicates : t -> int
+
+val requests_honored : t -> int
+
+val requests_ignored : t -> int
+
+val recovery_count : t -> int
+
+val recovery_messages : t -> int
+
+val recovery_redos : t -> int
+
+val messages : t -> int
+
+val log_forces : t -> int
+
+val messages_per_commit : t -> float
+
+val forces_per_commit : t -> float
+
+val merge : t -> t -> t
+(** Combine per-site metrics into a system view. *)
+
+val summary_rows : t -> (string * string) list
+(** Key/value rows for report printing. *)

@@ -1,0 +1,23 @@
+type request_kind = Need of int | Drain
+
+type t =
+  | Request of { txn : Ids.txn; item : Ids.item; kind : request_kind }
+  | Vm_data of {
+      seq : int;
+      item : Ids.item;
+      amount : int;
+      ts_counter : int;
+      reply_to : Ids.txn option;
+      ack_upto : int;
+    }
+  | Vm_ack of { upto : int }
+
+let pp ppf = function
+  | Request { txn; item; kind } ->
+    let k = match kind with Need n -> Printf.sprintf "need %d" n | Drain -> "drain" in
+    Format.fprintf ppf "Request(txn=%a item=%d %s)" Ids.pp_txn txn item k
+  | Vm_data { seq; item; amount; _ } ->
+    Format.fprintf ppf "Vm_data(seq=%d item=%d amount=%d)" seq item amount
+  | Vm_ack { upto } -> Format.fprintf ppf "Vm_ack(upto=%d)" upto
+
+let describe = function Request _ -> "req" | Vm_data _ -> "vm" | Vm_ack _ -> "ack"

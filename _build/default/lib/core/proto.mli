@@ -1,0 +1,52 @@
+(** Wire protocol between DvP sites.
+
+    Three message kinds flow between sites (Sections 3–5):
+
+    - {!constructor:Request}: a transaction at the requesting site asks a
+      remote site for part (or, for reads, all) of its fragment of an item.
+      Requests need no unique identifiers and no logging — "their delivery is
+      not critical" (Section 8); a lost or ignored request simply leads to a
+      timeout abort at the requester.
+    - {!constructor:Vm_data}: a real message carrying a virtual message — a
+      value in transit.  Identified by [(origin site, destination, seq)];
+      sequence numbers are per directed pair, totally ordered (Section 4.2).
+      Retransmitted until acknowledged.
+    - {!constructor:Vm_ack}: cumulative acknowledgement — "all messages up to
+      and including [upto] have been received and processed safely". *)
+
+type request_kind =
+  | Need of int
+      (** The requester wants at least this much of the item's value.  The
+          granting site decides how much to ship ({!Policy.grant}). *)
+  | Drain
+      (** A read in the traditional sense: send the whole local fragment,
+          honored only if the granting site has no outstanding Vm on the
+          item (Section 5). *)
+
+type t =
+  | Request of {
+      txn : Ids.txn;  (** requesting transaction; also its timestamp *)
+      item : Ids.item;
+      kind : request_kind;
+    }
+  | Vm_data of {
+      seq : int;  (** per (src,dst) pair, starting at 0 *)
+      item : Ids.item;
+      amount : int;
+      ts_counter : int;  (** sender's clock, for the Lamport receive rule *)
+      reply_to : Ids.txn option;
+          (** when the Vm was created to honor a request, the requesting
+              transaction — lets a drain read match responses to sites *)
+      ack_upto : int;
+          (** piggybacked cumulative acknowledgement (Section 4.2: "Every
+              message ... should carry a piggybacked acknowledgement"): all
+              Vm from the recipient with seq ≤ [ack_upto] are accepted *)
+    }
+  | Vm_ack of { upto : int }
+      (** All Vm from the receiver of this ack's peer with seq ≤ [upto] are
+          accepted. *)
+
+val pp : Format.formatter -> t -> unit
+
+val describe : t -> string
+(** Short tag for traces: ["req"], ["vm"], ["ack"]. *)

@@ -1,0 +1,667 @@
+module Engine = Dvp_sim.Engine
+module Trace = Dvp_sim.Trace
+module Wal = Dvp_storage.Wal
+module Db = Dvp_storage.Local_db
+
+type txn_result = Committed of { read_value : int option } | Aborted of Metrics.abort_reason
+
+type txn_kind = General | Drain_read of Ids.item list
+
+type live_txn = {
+  id : Ids.txn;
+  kind : txn_kind;
+  ops : (Ids.item * Op.t) list;
+  started : float;
+  mutable lock_time : float option; (* when the local locks were acquired *)
+  mutable timer : Engine.timer option;
+  mutable awaiting : bool; (* in the redistribution (steps 2-3) phase *)
+  drain_heard : (Ids.item * Ids.site, unit) Hashtbl.t;
+  on_done : txn_result -> unit;
+  mutable finished : bool;
+}
+
+type t = {
+  engine : Engine.t;
+  self : Ids.site;
+  n : int;
+  send : dst:Ids.site -> Proto.t -> unit;
+  mutable broadcast : (Proto.t list -> unit) option;
+  cfg : Config.t;
+  rng : Dvp_util.Rng.t;
+  trace : Trace.t option;
+  wal : Log_event.t Wal.t;
+  db : Db.t;
+  locks : Lock_table.t;
+  clock : Ids.Clock.t;
+  metrics : Metrics.t;
+  mutable vm : Vm.t option;
+  live : (Ids.txn, live_txn) Hashtbl.t;
+  (* Transactions credited by a Vm acceptance during the current message
+     dispatch; their completion check runs after the Vm layer has logged the
+     acceptance, keeping the stable log in causal order. *)
+  mutable pending_progress : Ids.txn list;
+  (* item -> (asker site -> time of last request); feeds the proactive
+     redistribution daemon *)
+  askers : (Ids.item, (Ids.site, float) Hashtbl.t) Hashtbl.t;
+  mutable up : bool;
+}
+
+let vm_exn t = match t.vm with Some v -> v | None -> assert false
+
+let tracef t category fmt =
+  match t.trace with
+  | Some tr -> Trace.recordf tr ~time:(Engine.now t.engine) ~category fmt
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+(* ------------------------------------------------------------ accessors *)
+
+let self t = t.self
+
+let config t = t.cfg
+
+let is_up t = t.up
+
+let metrics t = t.metrics
+
+let wal t = t.wal
+
+let vm = vm_exn
+
+let clock t = t.clock
+
+let fragment t ~item = Db.value t.db ~item
+
+let items t = Db.items t.db
+
+let locked t ~item = Lock_table.is_locked t.locks ~item
+
+let timestamp_of t ~item = Db.timestamp t.db ~item
+
+let active_txns t = Hashtbl.length t.live
+
+let set_broadcast t b = t.broadcast <- Some b
+
+(* ------------------------------------------------------- Vm integration *)
+
+(* Section 5's acceptance rule.  Returns the new absolute fragment value when
+   the credit is applied now; [None] defers (the Vm will be retransmitted). *)
+let try_credit t ~peer ~item ~amount ~reply_to =
+  match Lock_table.holder t.locks ~item with
+  | None ->
+    (* An Rds transaction accepts the Vm. *)
+    Db.add t.db ~item amount;
+    Some (Db.value t.db ~item)
+  | Some owner -> (
+    match Hashtbl.find_opt t.live owner with
+    | Some txn when txn.awaiting ->
+      (* The locking transaction is waiting for values: it accepts the Vm
+         itself, "without requiring to acquire locks" (Section 5). *)
+      Db.add t.db ~item amount;
+      (match (txn.kind, reply_to) with
+      | Drain_read items, Some r when List.mem item items && Ids.ts_compare r txn.id = 0 ->
+        Hashtbl.replace txn.drain_heard (item, peer) ()
+      | _ -> ());
+      t.pending_progress <- owner :: t.pending_progress;
+      Some (Db.value t.db ~item)
+    | Some _ | None -> None)
+
+(* ----------------------------------------------------------- completion *)
+
+let release_and_account t txn =
+  (match txn.lock_time with
+  | Some since -> Metrics.lock_held t.metrics (Engine.now t.engine -. since)
+  | None -> ());
+  ignore (Lock_table.release_all t.locks ~txn:txn.id)
+
+let finish t txn result =
+  if not txn.finished then begin
+    txn.finished <- true;
+    (match txn.timer with
+    | Some h ->
+      ignore (Engine.cancel t.engine h);
+      txn.timer <- None
+    | None -> ());
+    Hashtbl.remove t.live txn.id;
+    release_and_account t txn;
+    let latency = Engine.now t.engine -. txn.started in
+    (match result with
+    | Committed _ ->
+      Metrics.txn_committed t.metrics ~latency;
+      tracef t "commit" "txn %a committed" Ids.pp_txn txn.id
+    | Aborted reason ->
+      Metrics.txn_aborted t.metrics ~reason ~latency;
+      tracef t "abort" "txn %a aborted: %s" Ids.pp_txn txn.id
+        (Metrics.abort_reason_label reason));
+    txn.on_done result
+  end
+
+(* Transaction steps 4-6: apply the partitionable operators, force the
+   commit record (the commit point), update the database, log the
+   application. *)
+let commit t txn =
+  let actions =
+    List.map
+      (fun (item, op) ->
+        match Op.apply op ~fragment:(Db.value t.db ~item) with
+        | Some value -> Log_event.Set_fragment { item; value }
+        | None ->
+          (* Completion only triggers once every operator is effective. *)
+          assert false)
+      txn.ops
+  in
+  Wal.append t.wal (Log_event.Txn_commit { txn = txn.id; actions });
+  List.iter (Log_event.apply_action t.db) actions;
+  Wal.append ~forced:false t.wal (Log_event.Txn_applied { txn = txn.id });
+  let read_value =
+    match txn.kind with
+    | Drain_read [ item ] -> Some (Db.value t.db ~item)
+    | Drain_read _ | General -> None
+  in
+  finish t txn (Committed { read_value })
+
+let ops_all_effective t txn =
+  List.for_all (fun (item, op) -> Op.effective op ~fragment:(Db.value t.db ~item)) txn.ops
+
+let check_progress t id =
+  match Hashtbl.find_opt t.live id with
+  | None -> ()
+  | Some txn ->
+    if txn.awaiting && not txn.finished then begin
+      match txn.kind with
+      | General -> if ops_all_effective t txn then commit t txn
+      | Drain_read items ->
+        if Hashtbl.length txn.drain_heard = (t.n - 1) * List.length items then commit t txn
+    end
+
+let run_pending_progress t =
+  let rec drain () =
+    match t.pending_progress with
+    | [] -> ()
+    | pending ->
+      t.pending_progress <- [];
+      List.iter (check_progress t) pending;
+      drain ()
+  in
+  drain ()
+
+(* -------------------------------------------------------------- timeout *)
+
+let timeout_abort t id () =
+  match Hashtbl.find_opt t.live id with
+  | Some txn when not txn.finished ->
+    txn.timer <- None;
+    finish t txn (Aborted Metrics.Timeout)
+  | Some _ | None -> ()
+
+let arm_timeout t txn =
+  txn.timer <- Some (Engine.schedule t.engine ~delay:t.cfg.txn_timeout (timeout_abort t txn.id))
+
+(* ------------------------------------------------------ request sending *)
+
+(* Step 2: fan requests out for every inadequate item.  Returns [false] when
+   no request could be sent (single-site system), in which case the caller
+   aborts at once rather than waiting for a pointless timeout. *)
+let send_requests t txn shortfalls =
+  if t.n <= 1 then false
+  else
+    match t.cfg.cc with
+    | Config.Conc2 ->
+      (* Conc2 broadcasts the whole request set atomically; every other site
+         sees it in the same total order.  The per-site ask follows the
+         request policy: equal shares by default, the full shortfall under
+         the aggressive policies. *)
+      let msgs =
+        List.map
+          (fun (item, shortfall) ->
+            let share =
+              match t.cfg.request_policy with
+              | Config.Ask_all_split -> (shortfall + t.n - 2) / (t.n - 1)
+              | Config.Ask_all_full | Config.Ask_one_random | Config.Ask_k _ -> shortfall
+            in
+            Proto.Request { txn = txn.id; item; kind = Proto.Need share })
+          shortfalls
+      in
+      (match t.broadcast with
+      | Some b -> b msgs
+      | None ->
+        (* No broadcast transport wired: degrade to direct fan-out. *)
+        List.iter
+          (fun msg ->
+            for dst = 0 to t.n - 1 do
+              if dst <> t.self then t.send ~dst msg
+            done)
+          msgs);
+      true
+    | Config.Conc1 ->
+      let sent = ref false in
+      List.iter
+        (fun (item, shortfall) ->
+          List.iter
+            (fun (dst, amount) ->
+              sent := true;
+              tracef t "request" "txn %a asks site %d for %d of item %d" Ids.pp_txn txn.id
+                dst amount item;
+              t.send ~dst (Proto.Request { txn = txn.id; item; kind = Proto.Need amount }))
+            (Config.request_targets t.cfg.request_policy ~rng:t.rng ~self:t.self ~n:t.n
+               ~shortfall))
+        shortfalls;
+      !sent
+
+let send_drain_requests t txn items =
+  if t.n <= 1 then true (* nothing to gather; trivially complete *)
+  else begin
+    let msgs =
+      List.map (fun item -> Proto.Request { txn = txn.id; item; kind = Proto.Drain }) items
+    in
+    (match (t.cfg.cc, t.broadcast) with
+    | Config.Conc2, Some b -> b msgs
+    | _ ->
+      List.iter
+        (fun msg ->
+          for dst = 0 to t.n - 1 do
+            if dst <> t.self then t.send ~dst msg
+          done)
+        msgs);
+    false
+  end
+
+(* -------------------------------------------------------- transactions *)
+
+let current_shortfalls t txn =
+  List.filter_map
+    (fun (item, op) ->
+      let s = Op.shortfall op ~fragment:(Db.value t.db ~item) in
+      if s > 0 then Some (item, s) else None)
+    txn.ops
+
+(* Section 5's variation: re-send requests for whatever is *still* missing,
+   [request_retries] times spread across the timeout window.  Lost requests
+   and stingy grants get further chances without extending the timeout. *)
+let arm_request_retries t txn =
+  let retries = t.cfg.request_retries in
+  if retries > 0 then begin
+    let gap = t.cfg.txn_timeout /. float_of_int (retries + 1) in
+    for k = 1 to retries do
+      ignore
+        (Engine.schedule t.engine ~delay:(gap *. float_of_int k) (fun () ->
+             if (not txn.finished) && txn.awaiting then begin
+               match current_shortfalls t txn with
+               | [] -> ()
+               | shortfalls -> ignore (send_requests t txn shortfalls)
+             end))
+    done
+  end
+
+(* Steps 2-7 once the local locks are held. *)
+let proceed_locked t txn =
+  txn.lock_time <- Some (Engine.now t.engine);
+  match txn.kind with
+  | General ->
+    let shortfalls = current_shortfalls t txn in
+    if shortfalls = [] then commit t txn
+    else begin
+      txn.awaiting <- true;
+      if not (send_requests t txn shortfalls) then finish t txn (Aborted Metrics.Timeout)
+      else arm_request_retries t txn
+    end
+  | Drain_read items ->
+    txn.awaiting <- true;
+    if send_drain_requests t txn items then commit t txn
+
+(* Step 1 under Conc1: atomic lock acquisition with the timestamp gate; any
+   delay aborts (the paper's pessimism). *)
+let start_conc1 t txn item_list =
+  if not (Lock_table.try_acquire_all t.locks ~items:item_list ~txn:txn.id) then
+    finish t txn (Aborted Metrics.Lock_busy)
+  else if
+    not (List.for_all (fun item -> Ids.ts_lt (Db.timestamp t.db ~item) txn.id) item_list)
+  then begin
+    ignore (Lock_table.release_all t.locks ~txn:txn.id);
+    finish t txn (Aborted Metrics.Cc_reject)
+  end
+  else begin
+    (* Locking and timestamp update are one atomic step (Section 6.1). *)
+    List.iter (fun item -> Db.set_timestamp t.db ~item txn.id) item_list;
+    proceed_locked t txn
+  end
+
+(* Step 1 under Conc2: strict 2PL — wait (bounded by the transaction's
+   timeout) instead of aborting. *)
+let rec start_conc2 t txn item_list =
+  if txn.finished then ()
+  else if Lock_table.try_acquire_all t.locks ~items:item_list ~txn:txn.id then begin
+    List.iter (fun item -> Db.set_timestamp t.db ~item txn.id) item_list;
+    proceed_locked t txn
+  end
+  else begin
+    let busy = List.find (fun item -> Lock_table.is_locked t.locks ~item) item_list in
+    Lock_table.enqueue_waiter t.locks ~item:busy (fun () ->
+        if t.up && not txn.finished then start_conc2 t txn item_list)
+  end
+
+let begin_txn t ~kind ~ops ~on_done =
+  (* The "standard unique time-stamping mechanism" of Section 6.1: local
+     clocks are loosely synchronised (here: derived from simulated time at
+     microsecond granularity), with Lamport witnessing on message receipt and
+     the site id in the low-order bits.  Without this an idle site's counter
+     would lag and all its requests would fail the Conc1 gate at busier
+     sites. *)
+  Ids.Clock.witness_counter t.clock (int_of_float (Engine.now t.engine *. 1_000_000.0));
+  let id = Ids.Clock.next t.clock in
+  let txn =
+    {
+      id;
+      kind;
+      ops;
+      started = Engine.now t.engine;
+      lock_time = None;
+      timer = None;
+      awaiting = false;
+      drain_heard = Hashtbl.create 4;
+      on_done;
+      finished = false;
+    }
+  in
+  Hashtbl.replace t.live id txn;
+  arm_timeout t txn;
+  txn
+
+let submit t ~ops ~on_done =
+  if not t.up then on_done (Aborted Metrics.Crashed)
+  else begin
+    let item_list = List.map fst ops in
+    let txn = begin_txn t ~kind:General ~ops ~on_done in
+    match t.cfg.cc with
+    | Config.Conc1 -> start_conc1 t txn item_list
+    | Config.Conc2 -> start_conc2 t txn item_list
+  end
+
+let submit_read_many t ~items ~on_done =
+  if not t.up then on_done (Error Metrics.Crashed)
+  else begin
+    let ops = List.map (fun item -> (item, Op.Incr 0)) items in
+    let wrapped = function
+      | Committed _ -> on_done (Ok (List.map (fun item -> (item, Db.value t.db ~item)) items))
+      | Aborted reason -> on_done (Error reason)
+    in
+    let txn = begin_txn t ~kind:(Drain_read items) ~ops ~on_done:wrapped in
+    (* A drain cannot represent the full value while the site's own outbound
+       Vm on any of the items are unacknowledged. *)
+    if List.exists (fun item -> Vm.has_outstanding (vm_exn t) ~item) items then
+      finish t txn (Aborted Metrics.Vm_outstanding)
+    else
+      match t.cfg.cc with
+      | Config.Conc1 -> start_conc1 t txn items
+      | Config.Conc2 -> start_conc2 t txn items
+  end
+
+let submit_read t ~item ~on_done =
+  (* The single-item read is the one-element case of the snapshot read,
+     reported through the ordinary transaction result. *)
+  submit_read_many t ~items:[ item ] ~on_done:(fun result ->
+      match result with
+      | Ok [ (_, v) ] -> on_done (Committed { read_value = Some v })
+      | Ok _ -> assert false
+      | Error reason -> on_done (Aborted reason))
+
+(* ------------------------------------------------------ request serving *)
+
+(* The remote side of step 2 (Section 5): an Rds transaction that locks the
+   value momentarily, creates a Vm, and updates the database. *)
+let honor_request t ~src ~txn_id ~item ~kind =
+  let frag = Db.value t.db ~item in
+  match kind with
+  | Proto.Drain ->
+    if Vm.has_outstanding (vm_exn t) ~item then Metrics.request_ignored t.metrics
+    else begin
+      Db.set_timestamp t.db ~item txn_id;
+      Vm.send_value (vm_exn t) ~dst:src ~item ~amount:frag ~reply_to:txn_id ~new_local:0 ();
+      Db.set_value t.db ~item 0;
+      Metrics.request_honored t.metrics;
+      tracef t "honor" "drain of item %d -> site %d (%d units)" item src frag
+    end
+  | Proto.Need requested ->
+    let amount = Config.grant_amount t.cfg.grant_policy ~requested ~fragment:frag in
+    if amount <= 0 then Metrics.request_ignored t.metrics
+    else begin
+      Db.set_timestamp t.db ~item txn_id;
+      Vm.send_value (vm_exn t) ~dst:src ~item ~amount ~reply_to:txn_id
+        ~new_local:(frag - amount) ();
+      Db.set_value t.db ~item (frag - amount);
+      Metrics.request_honored t.metrics;
+      tracef t "honor" "item %d: %d units -> site %d" item amount src
+    end
+
+let note_asker t ~src ~item =
+  let m =
+    match Hashtbl.find_opt t.askers item with
+    | Some m -> m
+    | None ->
+      let m = Hashtbl.create 4 in
+      Hashtbl.replace t.askers item m;
+      m
+  in
+  Hashtbl.replace m src (Engine.now t.engine)
+
+let rec handle_request t ~src ~txn_id ~item ~kind =
+  note_asker t ~src ~item;
+  match t.cfg.cc with
+  | Config.Conc1 ->
+    if Lock_table.is_locked t.locks ~item then Metrics.request_ignored t.metrics
+    else if not (Ids.ts_lt (Db.timestamp t.db ~item) txn_id) then begin
+      (* Timestamp gate: TS(t) > TS(d_j) required (Section 6.1). *)
+      Metrics.request_ignored t.metrics;
+      tracef t "refuse" "item %d: stale request from txn %a" item Ids.pp_txn txn_id
+    end
+    else honor_request t ~src ~txn_id ~item ~kind
+  | Config.Conc2 ->
+    if Lock_table.is_locked t.locks ~item then
+      (* Strict 2PL: wait for the lock, then re-evaluate. *)
+      Lock_table.enqueue_waiter t.locks ~item (fun () ->
+          if t.up then handle_request t ~src ~txn_id ~item ~kind)
+    else honor_request t ~src ~txn_id ~item ~kind
+
+(* ------------------------------------------------------------ messaging *)
+
+let handle_message t ~src msg =
+  if t.up then begin
+    match msg with
+    | Proto.Request { txn; item; kind } ->
+      Ids.Clock.witness t.clock txn;
+      handle_request t ~src ~txn_id:txn ~item ~kind
+    | Proto.Vm_data { seq; item; amount; ts_counter; reply_to; ack_upto } ->
+      Ids.Clock.witness_counter t.clock ts_counter;
+      Vm.handle_data (vm_exn t) ~src ~seq ~item ~amount ~reply_to ~ack_upto;
+      run_pending_progress t
+    | Proto.Vm_ack { upto } -> Vm.handle_ack (vm_exn t) ~src ~upto
+  end
+
+let handle_broadcast t ~src msgs =
+  if t.up && src <> t.self then
+    List.iter
+      (fun msg ->
+        match msg with
+        | Proto.Request { txn; item; kind } ->
+          Ids.Clock.witness t.clock txn;
+          handle_request t ~src ~txn_id:txn ~item ~kind
+        | Proto.Vm_data _ | Proto.Vm_ack _ -> ())
+      msgs
+
+(* -------------------------------------------------------- redistribution *)
+
+let push_value t ~dst ~item ~amount =
+  if
+    t.up && dst <> t.self && amount >= 0
+    && (not (Lock_table.is_locked t.locks ~item))
+    && Db.value t.db ~item >= amount
+  then begin
+    let frag = Db.value t.db ~item in
+    Vm.send_value (vm_exn t) ~dst ~item ~amount ~new_local:(frag - amount) ();
+    Db.set_value t.db ~item (frag - amount);
+    true
+  end
+  else false
+
+(* -------------------------------------------------- proactive sharing *)
+
+(* The demand-following redistribution daemon (Config.proactive): ship part
+   of a comfortable surplus to the sites that recently asked for the item,
+   ahead of their next shortfall.  Pure redistribution — Rds transactions in
+   the paper's terms — so it can never affect any item's value. *)
+let proactive_scan t (p : Config.proactive) =
+  let now = Engine.now t.engine in
+  Hashtbl.iter
+    (fun item m ->
+      if (not (Lock_table.is_locked t.locks ~item)) && Db.mem t.db ~item then begin
+        let frag = Db.value t.db ~item in
+        if frag >= p.Config.min_surplus then begin
+          let recent =
+            Hashtbl.fold
+              (fun site time acc ->
+                if now -. time <= p.Config.asker_window && site <> t.self then site :: acc
+                else acc)
+              m []
+            |> List.sort compare
+          in
+          match recent with
+          | [] -> ()
+          | _ ->
+            let to_share = int_of_float (float_of_int frag *. p.Config.share_fraction) in
+            let per = to_share / List.length recent in
+            if per > 0 then
+              List.iter
+                (fun dst ->
+                  if push_value t ~dst ~item ~amount:per then
+                    tracef t "proactive" "item %d: pushed %d to site %d" item per dst)
+                recent
+        end
+      end)
+    t.askers
+
+let start_proactive t p =
+  let rec tick () =
+    if t.up then proactive_scan t p;
+    ignore (Engine.schedule t.engine ~delay:p.Config.every tick)
+  in
+  ignore (Engine.schedule t.engine ~delay:p.Config.every tick)
+
+(* --------------------------------------------------------------- layout *)
+
+let install_fragment t ~item value =
+  Wal.append t.wal
+    (Log_event.Txn_commit
+       { txn = Ids.ts_zero; actions = [ Log_event.Set_fragment { item; value } ] });
+  Db.set_value t.db ~item value;
+  Wal.append ~forced:false t.wal (Log_event.Txn_applied { txn = Ids.ts_zero })
+
+(* ------------------------------------------------------ crash, recovery *)
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    let victims = Hashtbl.fold (fun _ txn acc -> txn :: acc) t.live [] in
+    List.iter
+      (fun txn ->
+        (match txn.timer with
+        | Some h -> ignore (Engine.cancel t.engine h)
+        | None -> ());
+        txn.timer <- None;
+        if not txn.finished then begin
+          txn.finished <- true;
+          Metrics.txn_aborted t.metrics ~reason:Metrics.Crashed
+            ~latency:(Engine.now t.engine -. txn.started);
+          txn.on_done (Aborted Metrics.Crashed)
+        end)
+      victims;
+    Hashtbl.reset t.live;
+    t.pending_progress <- [];
+    Lock_table.clear t.locks;
+    Db.wipe t.db;
+    Hashtbl.reset t.askers;
+    Vm.crash (vm_exn t);
+    Wal.crash t.wal;
+    tracef t "crash" "site %d down" t.self
+  end
+
+(* Independent recovery (Section 7): rebuild everything from the local
+   stable log alone. *)
+let recover t =
+  if not t.up then begin
+    let started = Engine.now t.engine in
+    Db.wipe t.db;
+    let view = Log_replay.db_view ~into:t.db t.wal in
+    Ids.Clock.reset_to t.clock view.Log_replay.max_counter;
+    Vm.recover (vm_exn t);
+    t.up <- true;
+    (* Independent recovery: zero messages to other sites (Section 7). *)
+    Metrics.recovery_event t.metrics ~messages:0 ~redo:view.Log_replay.redo
+      ~duration:(Engine.now t.engine -. started);
+    tracef t "recover" "site %d up (redo=%d)" t.self view.Log_replay.redo
+  end
+
+(* Section 7's checkpointing: force one snapshot record carrying the
+   database fragments and the full Vm state (including outstanding virtual
+   messages, so truncation can never lose one), then drop the log prefix. *)
+let checkpoint t =
+  if t.up then begin
+    let fragments = List.map (fun item -> (item, Db.value t.db ~item)) (Db.items t.db) in
+    let record =
+      Vm.snapshot (vm_exn t) ~fragments ~max_counter:(Ids.Clock.current_counter t.clock)
+    in
+    Wal.append t.wal record;
+    Wal.truncate_before t.wal ~keep_from:(Wal.end_index t.wal - 1)
+  end
+
+(* ------------------------------------------------- stable-state oracles *)
+
+let stable_fragment t ~item =
+  let view = Log_replay.db_view t.wal in
+  Db.value view.Log_replay.db ~item
+
+let stable_accepted_upto t ~peer =
+  (Log_replay.vm_view ~n:t.n t.wal).Log_replay.vm_accepted.(peer)
+
+let stable_outstanding_to t ~dst =
+  let view = Log_replay.vm_view ~n:t.n t.wal in
+  Hashtbl.fold
+    (fun (d, seq) o acc ->
+      if d = dst then (seq, o.Log_replay.item, o.Log_replay.amount) :: acc else acc)
+    view.Log_replay.vm_outbox []
+  |> List.sort compare
+
+(* --------------------------------------------------------------- create *)
+
+let create engine ~self ~n ~send ~config ~rng ?trace () =
+  let t =
+    {
+      engine;
+      self;
+      n;
+      send;
+      broadcast = None;
+      cfg = config;
+      rng;
+      trace;
+      wal = Wal.create ();
+      db = Db.create ();
+      locks = Lock_table.create ();
+      clock = Ids.Clock.create self;
+      metrics = Metrics.create ();
+      vm = None;
+      live = Hashtbl.create 16;
+      pending_progress = [];
+      askers = Hashtbl.create 8;
+      up = true;
+    }
+  in
+  let vm =
+    Vm.create engine ~n ~self ~wal:t.wal ~send
+      ~try_credit:(fun ~peer ~item ~amount ~reply_to -> try_credit t ~peer ~item ~amount ~reply_to)
+      ~ts_counter:(fun () -> Ids.Clock.current_counter t.clock)
+      ~metrics:t.metrics ~retransmit_every:config.Config.vm_retransmit
+      ~ack_delay:config.Config.ack_delay ()
+  in
+  t.vm <- Some vm;
+  Vm.start vm;
+  (match config.Config.proactive with Some p -> start_proactive t p | None -> ());
+  t

@@ -1,0 +1,144 @@
+(** A DvP site: the per-site transaction executor (Sections 3, 5, 6, 7).
+
+    Each site owns its quota fragments (a {!Dvp_storage.Local_db.t}), an
+    exclusive lock table, a stable log, a {!Vm} engine, and a Lamport clock.
+    Transactions execute entirely here:
+
+    + lock all local data values atomically;
+    + for each item whose local fragment is inadequate, send requests to
+      remote sites (per {!Config.request_policy}) and start a timeout;
+    + await replies as Vm — a timeout aborts the transaction;
+    + apply the partitionable operators;
+    + force the commit log record (the commit point — no rollback exists);
+    + update the local database and log that fact;
+    + release all locks.
+
+    Incoming requests from other sites are honored or ignored per Section 5
+    and the concurrency-control mode: under {!Config.Conc1} a request is
+    ignored if the value is locked or the timestamp gate fails; under
+    {!Config.Conc2} it waits in a FIFO queue for the lock.
+
+    The site never detects remote failures: a silent peer simply means
+    timeouts and aborts — the non-blocking property. *)
+
+type t
+
+(** Outcome delivered to the submitter. *)
+type txn_result =
+  | Committed of { read_value : int option }
+      (** [read_value] is the full item value for drain reads, [None]
+          otherwise *)
+  | Aborted of Metrics.abort_reason
+
+val create :
+  Dvp_sim.Engine.t ->
+  self:Ids.site ->
+  n:int ->
+  send:(dst:Ids.site -> Proto.t -> unit) ->
+  config:Config.t ->
+  rng:Dvp_util.Rng.t ->
+  ?trace:Dvp_sim.Trace.t ->
+  unit ->
+  t
+
+val set_broadcast : t -> (Proto.t list -> unit) -> unit
+(** Conc2 transport: how a transaction's request set leaves the site as one
+    totally-ordered broadcast.  Unused under Conc1. *)
+
+val self : t -> Ids.site
+
+val config : t -> Config.t
+
+val is_up : t -> bool
+
+(** {2 Data placement} *)
+
+val install_fragment : t -> item:Ids.item -> int -> unit
+(** Give this site an initial quota of an item.  Logged (as a [Txn_commit]
+    with the zero timestamp) so recovery can rebuild it. *)
+
+val fragment : t -> item:Ids.item -> int
+
+val items : t -> Ids.item list
+
+(** {2 Transactions} *)
+
+val submit :
+  t -> ops:(Ids.item * Op.t) list -> on_done:(txn_result -> unit) -> unit
+(** Run a general transaction at this site.  [on_done] fires exactly once —
+    possibly synchronously (write-only transactions and transactions whose
+    local fragments suffice commit without waiting). *)
+
+val submit_read : t -> item:Ids.item -> on_done:(txn_result -> unit) -> unit
+(** A read in the traditional sense: drain every other site's fragment here
+    (Section 5's read requests), succeed only when all of Π⁻¹(d) has been
+    gathered. *)
+
+val submit_read_many :
+  t ->
+  items:Ids.item list ->
+  on_done:(((Ids.item * int) list, Metrics.abort_reason) result -> unit) ->
+  unit
+(** Read several items in one transaction (all drained here, all locked for
+    the duration): an atomic multi-item snapshot. *)
+
+val active_txns : t -> int
+
+val push_value : t -> dst:Ids.site -> item:Ids.item -> amount:int -> bool
+(** Explicit redistribution (an Rds transaction): debit the local fragment
+    and ship [amount] to [dst] as a virtual message.  Returns [false]
+    without side effects if the item is locked, the fragment is smaller
+    than [amount], or the site is down.  Used by the proactive daemon and
+    the hybrid mode manager. *)
+
+(** {2 Message plumbing} *)
+
+val handle_message : t -> src:Ids.site -> Proto.t -> unit
+(** Network receive handler (wired by [System]). *)
+
+val handle_broadcast : t -> src:Ids.site -> Proto.t list -> unit
+(** Conc2 totally-ordered request delivery. *)
+
+(** {2 Failure and recovery (Section 7)} *)
+
+val crash : t -> unit
+(** Lose all volatile state.  In-progress transactions at this site abort
+    with [Crashed]; stable log survives. *)
+
+val recover : t -> unit
+(** Independent recovery: rebuild the database and Vm state from the local
+    stable log, release (forget) all locks, resume.  Sends no messages. *)
+
+val checkpoint : t -> unit
+(** Force a snapshot record (fragments + full Vm state, including
+    outstanding virtual messages) and truncate the log before it — Section
+    7's mechanism for bounding the redo work.  A no-op while crashed. *)
+
+(** {2 Introspection} *)
+
+val metrics : t -> Metrics.t
+
+val wal : t -> Log_event.t Dvp_storage.Wal.t
+
+val vm : t -> Vm.t
+
+val clock : t -> Ids.Clock.t
+
+val locked : t -> item:Ids.item -> bool
+
+val timestamp_of : t -> item:Ids.item -> Ids.ts
+
+(** {2 Stable-state oracles (for invariant checking and tests)}
+
+    These replay the stable log into scratch structures without touching the
+    live site, so the conservation invariant can be evaluated even while the
+    site is crashed. *)
+
+val stable_fragment : t -> item:Ids.item -> int
+
+val stable_accepted_upto : t -> peer:Ids.site -> int
+
+val stable_outstanding_to :
+  t -> dst:Ids.site -> (int * Ids.item * int) list
+(** (seq, item, amount) of Vm created, minus those known accepted via logged
+    ack progress; ascending seq. *)

@@ -1,0 +1,207 @@
+module Engine = Dvp_sim.Engine
+module Network = Dvp_net.Network
+module Broadcast = Dvp_net.Broadcast
+
+type t = {
+  engine : Engine.t;
+  net : Proto.t Network.t;
+  bcast : Proto.t list Broadcast.t option;
+  sites : Site.t array;
+  cfg : Config.t;
+  expected : (Ids.item, int) Hashtbl.t;
+  item_list : Ids.item list ref;
+}
+
+let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
+  if n <= 0 then invalid_arg "System.create: need at least one site";
+  let engine = Engine.create () in
+  let rng = Dvp_util.Rng.create seed in
+  let net_rng = Dvp_util.Rng.split rng in
+  let net = Network.create engine ~rng:net_rng ~n ?default:link () in
+  let sites =
+    Array.init n (fun i ->
+        let site_rng = Dvp_util.Rng.split rng in
+        Site.create engine ~self:i ~n
+          ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
+          ~config ~rng:site_rng ?trace ())
+  in
+  Array.iteri
+    (fun i site -> Network.set_handler net i (fun ~src msg -> Site.handle_message site ~src msg))
+    sites;
+  let bcast =
+    match config.Config.cc with
+    | Config.Conc2 ->
+      let b = Broadcast.create engine ~n () in
+      Array.iteri
+        (fun i site ->
+          Broadcast.set_handler b i (fun ~src ~seq:_ msgs ->
+              Site.handle_broadcast site ~src msgs);
+          Site.set_broadcast site (fun msgs -> ignore (Broadcast.broadcast b ~src:i msgs)))
+        sites;
+      Some b
+    | Config.Conc1 -> None
+  in
+  { engine; net; bcast; sites; cfg = config; expected = Hashtbl.create 8; item_list = ref [] }
+
+let engine t = t.engine
+
+let now t = Engine.now t.engine
+
+let run_until t horizon = Engine.run_until t.engine horizon
+
+let run_for t d = Engine.run_until t.engine (Engine.now t.engine +. d)
+
+let n_sites t = Array.length t.sites
+
+let site t i = t.sites.(i)
+
+let config t = t.cfg
+
+let network t = t.net
+
+let items t = List.rev !(t.item_list)
+
+let add_item t ~item ~total ?(split = `Even) () =
+  if Hashtbl.mem t.expected item then invalid_arg "System.add_item: item already exists";
+  if total < 0 then invalid_arg "System.add_item: negative total";
+  let n = Array.length t.sites in
+  let fragments =
+    match split with
+    | `Even -> Value.split_even total ~parts:n
+    | `Weights w ->
+      if List.length w <> n then invalid_arg "System.add_item: need one weight per site";
+      Value.split_weighted total ~weights:w
+    | `Explicit parts ->
+      if List.length parts <> n then
+        invalid_arg "System.add_item: need one fragment per site";
+      if Value.pi parts <> total then invalid_arg "System.add_item: fragments must sum to total";
+      if not (Value.valid_multiset parts) then
+        invalid_arg "System.add_item: negative fragment";
+      parts
+  in
+  List.iteri (fun i v -> Site.install_fragment t.sites.(i) ~item v) fragments;
+  Hashtbl.replace t.expected item total;
+  t.item_list := item :: !(t.item_list)
+
+(* Track committed deltas so the conservation check knows the current
+   expected aggregate. *)
+let wrap_delta t ops on_done result =
+  (match result with
+  | Site.Committed _ ->
+    List.iter
+      (fun (item, op) ->
+        match Hashtbl.find_opt t.expected item with
+        | Some total -> Hashtbl.replace t.expected item (total + Op.delta op)
+        | None -> ())
+      ops
+  | Site.Aborted _ -> ());
+  on_done result
+
+let submit t ~site ~ops ~on_done =
+  Site.submit t.sites.(site) ~ops ~on_done:(wrap_delta t ops on_done)
+
+let submit_read t ~site ~item ~on_done = Site.submit_read t.sites.(site) ~item ~on_done
+
+let submit_read_many t ~site ~items ~on_done =
+  Site.submit_read_many t.sites.(site) ~items ~on_done
+
+let submit_retrying t ~site ~ops ?(retries = 3) ?(backoff = 0.2) ~on_done () =
+  let rec attempt k =
+    submit t ~site ~ops ~on_done:(fun result ->
+        match result with
+        | Site.Committed _ -> on_done result
+        | Site.Aborted _ when k < retries ->
+          ignore
+            (Engine.schedule t.engine
+               ~delay:(backoff *. float_of_int (k + 1))
+               (fun () -> attempt (k + 1)))
+        | Site.Aborted _ -> on_done result)
+  in
+  attempt 0
+
+(* -------------------------------------------------------------- faults *)
+
+let partition t groups = Network.set_partition t.net groups
+
+let heal t = Network.heal_partition t.net
+
+let crash_site t i =
+  Network.set_site_up t.net i false;
+  Site.crash t.sites.(i)
+
+let recover_site t i =
+  Network.set_site_up t.net i true;
+  Site.recover t.sites.(i)
+
+let site_up t i = Site.is_up t.sites.(i)
+
+let set_all_links t params = Network.set_all_links t.net params
+
+(* --------------------------------------------------------- observation *)
+
+let fragments t ~item =
+  Array.map
+    (fun s -> if Site.is_up s then Site.fragment s ~item else Site.stable_fragment s ~item)
+    t.sites
+
+let total_at_sites t ~item = Array.fold_left ( + ) 0 (fragments t ~item)
+
+let in_flight t ~item =
+  let n = Array.length t.sites in
+  let total = ref 0 in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst then begin
+        (* A Vm is in flight iff its sender logged the creation and its
+           receiver has not logged the acceptance. *)
+        let accepted = Site.stable_accepted_upto t.sites.(dst) ~peer:src in
+        List.iter
+          (fun (seq, it, amount) -> if it = item && seq > accepted then total := !total + amount)
+          (Site.stable_outstanding_to t.sites.(src) ~dst)
+      end
+    done
+  done;
+  !total
+
+let expected_total t ~item =
+  match Hashtbl.find_opt t.expected item with
+  | Some v -> v
+  | None -> invalid_arg "System.expected_total: unknown item"
+
+let conserved t ~item = total_at_sites t ~item + in_flight t ~item = expected_total t ~item
+
+let conserved_all t = List.for_all (fun item -> conserved t ~item) (items t)
+
+let checkpoint_all t =
+  Array.iter (fun s -> if Site.is_up s then Site.checkpoint s) t.sites
+
+let start_periodic_checkpoints t ~every =
+  let rec tick () =
+    checkpoint_all t;
+    ignore (Engine.schedule t.engine ~delay:every tick)
+  in
+  ignore (Engine.schedule t.engine ~delay:every tick)
+
+let recalibrate_expected t =
+  List.iter
+    (fun item -> Hashtbl.replace t.expected item (total_at_sites t ~item + in_flight t ~item))
+    (items t)
+
+let stable_log_length t =
+  Array.fold_left (fun acc s -> acc + Dvp_storage.Wal.stable_length (Site.wal s)) 0 t.sites
+
+let metrics t =
+  let m =
+    Array.fold_left
+      (fun acc s -> Metrics.merge acc (Site.metrics s))
+      (Metrics.create ()) t.sites
+  in
+  let stats = Network.stats t.net in
+  Metrics.add_messages m stats.Network.sent;
+  (match t.bcast with
+  | Some b -> Metrics.add_messages m (Broadcast.messages_sent b)
+  | None -> ());
+  Array.iter
+    (fun s -> Metrics.add_log_forces m (Dvp_storage.Wal.forces (Site.wal s)))
+    t.sites;
+  m

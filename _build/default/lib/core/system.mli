@@ -1,0 +1,144 @@
+(** A whole DvP installation: [n] sites over a simulated network.
+
+    This is the top-level façade the examples and benchmarks use.  It wires
+    the sites' message plumbing (plus the ordered-broadcast transport when
+    the configuration selects Conc2), exposes fault injection (partitions,
+    site crashes, link loss), tracks the expected aggregate value of every
+    item as transactions commit, and can check the paper's conservation
+    invariant
+
+    {v N  =  Σᵢ Nᵢ + N_M v}
+
+    — the fragments at all sites (live, or replayed from stable logs for
+    crashed sites) plus the value inside unaccepted virtual messages always
+    equal the initial total adjusted by exactly the committed operator
+    deltas.  Nothing is ever lost or duplicated, whatever the failures. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Config.t ->
+  ?link:Dvp_net.Linkstate.params ->
+  ?trace:Dvp_sim.Trace.t ->
+  n:int ->
+  unit ->
+  t
+
+val engine : t -> Dvp_sim.Engine.t
+
+val now : t -> float
+
+val run_until : t -> float -> unit
+
+val run_for : t -> float -> unit
+
+val n_sites : t -> int
+
+val site : t -> Ids.site -> Site.t
+
+val config : t -> Config.t
+
+val network : t -> Proto.t Dvp_net.Network.t
+
+(** {2 Data placement} *)
+
+val add_item :
+  t ->
+  item:Ids.item ->
+  total:int ->
+  ?split:[ `Even | `Weights of float list | `Explicit of int list ] ->
+  unit ->
+  unit
+(** Install an item with aggregate value [total], partitioned across the
+    sites ([`Even] by default). *)
+
+val items : t -> Ids.item list
+
+(** {2 Transactions} *)
+
+val submit :
+  t ->
+  site:Ids.site ->
+  ops:(Ids.item * Op.t) list ->
+  on_done:(Site.txn_result -> unit) ->
+  unit
+
+val submit_read : t -> site:Ids.site -> item:Ids.item -> on_done:(Site.txn_result -> unit) -> unit
+
+val submit_read_many :
+  t ->
+  site:Ids.site ->
+  items:Ids.item list ->
+  on_done:(((Ids.item * int) list, Metrics.abort_reason) result -> unit) ->
+  unit
+(** Atomic multi-item snapshot read (see {!Site.submit_read_many}). *)
+
+val submit_retrying :
+  t ->
+  site:Ids.site ->
+  ops:(Ids.item * Op.t) list ->
+  ?retries:int ->
+  ?backoff:float ->
+  on_done:(Site.txn_result -> unit) ->
+  unit ->
+  unit
+(** Client-side retry loop — the "additional mechanism" Section 8 alludes to
+    for avoiding livelock: an aborted transaction is resubmitted (as a fresh
+    transaction with a fresh, higher timestamp) after [backoff * attempt]
+    seconds, up to [retries] times (default 3 retries, 0.2 s backoff).
+    [on_done] fires once, with the final outcome. *)
+
+(** {2 Fault injection} *)
+
+val partition : t -> Ids.site list list -> unit
+
+val heal : t -> unit
+
+val crash_site : t -> Ids.site -> unit
+
+val recover_site : t -> Ids.site -> unit
+
+val site_up : t -> Ids.site -> bool
+
+val set_all_links : t -> Dvp_net.Linkstate.params -> unit
+
+(** {2 Observation} *)
+
+val fragments : t -> item:Ids.item -> int array
+(** Per-site fragment values (stable replay for crashed sites). *)
+
+val total_at_sites : t -> item:Ids.item -> int
+
+val in_flight : t -> item:Ids.item -> int
+(** N_M: value inside virtual messages created but not yet accepted,
+    computed from stable logs (sender outboxes filtered by receiver
+    acceptance watermarks). *)
+
+val expected_total : t -> item:Ids.item -> int
+(** Initial total plus the deltas of all committed transactions. *)
+
+val conserved : t -> item:Ids.item -> bool
+(** The invariant above.  Meaningful between simulator events (e.g. after
+    {!run_until}). *)
+
+val conserved_all : t -> bool
+
+val checkpoint_all : t -> unit
+(** Checkpoint every live site (see {!Site.checkpoint}). *)
+
+val start_periodic_checkpoints : t -> every:float -> unit
+(** Checkpoint all live sites on a fixed period until the simulation ends. *)
+
+val recalibrate_expected : t -> unit
+(** Recompute every item's expected aggregate from the sites' stable state
+    (fragments + in-flight Vm).  Used after restoring a system from backups,
+    whose logs embody commits this system object never saw. *)
+
+val stable_log_length : t -> int
+(** Total stable log records across all sites (the redo-cost surface that
+    checkpointing bounds). *)
+
+val metrics : t -> Metrics.t
+(** Merged metrics of all sites, with network message counts and log-force
+    counts folded in. *)

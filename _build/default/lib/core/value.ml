@@ -1,0 +1,93 @@
+type fragment = int
+
+let pi = List.fold_left ( + ) 0
+
+let valid_fragment f = f >= 0
+
+let valid_multiset b = List.for_all valid_fragment b
+
+let split_even v ~parts =
+  if parts <= 0 then invalid_arg "Value.split_even: parts must be positive";
+  if v < 0 then invalid_arg "Value.split_even: value must be nonnegative";
+  let q = v / parts and r = v mod parts in
+  List.init parts (fun i -> if i < r then q + 1 else q)
+
+let split_weighted v ~weights =
+  if v < 0 then invalid_arg "Value.split_weighted: value must be nonnegative";
+  if weights = [] then invalid_arg "Value.split_weighted: no weights";
+  if List.exists (fun w -> w < 0.0) weights then
+    invalid_arg "Value.split_weighted: negative weight";
+  let total = List.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Value.split_weighted: weights sum to zero";
+  let floors = List.map (fun w -> int_of_float (float_of_int v *. w /. total)) weights in
+  let assigned = pi floors in
+  let residue = v - assigned in
+  (* Give the rounding residue to the largest weight (first such index). *)
+  let max_w = List.fold_left Float.max neg_infinity weights in
+  let max_idx =
+    let rec find i = function
+      | [] -> 0
+      | w :: _ when w = max_w -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 weights
+  in
+  List.mapi (fun i f -> if i = max_idx then f + residue else f) floors
+
+let split_random rng v ~parts =
+  if parts <= 0 then invalid_arg "Value.split_random: parts must be positive";
+  if v < 0 then invalid_arg "Value.split_random: value must be nonnegative";
+  (* Stars-and-bars: draw parts-1 cut points in [0, v] with replacement. *)
+  let cuts = Array.init (parts - 1) (fun _ -> Dvp_util.Rng.int rng (v + 1)) in
+  Array.sort compare cuts;
+  let prev = ref 0 and out = ref [] in
+  Array.iter
+    (fun c ->
+      out := (c - !prev) :: !out;
+      prev := c)
+    cuts;
+  List.rev ((v - !prev) :: !out)
+
+(* --------------------------------------------------------------- laws *)
+
+(* Regroup [b] at ascending cut points (indices into the list), replace each
+   group by Π(group), and check the overall Π is unchanged — the paper's
+   "partitionable" property of the mapping. *)
+let law_partitionable b cut_points =
+  let n = List.length b in
+  let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < n) cut_points) in
+  let arr = Array.of_list b in
+  let groups =
+    let bounds = (0 :: cuts) @ [ n ] in
+    let rec pairs = function
+      | a :: (c :: _ as rest) -> (a, c) :: pairs rest
+      | _ -> []
+    in
+    List.map
+      (fun (lo, hi) -> Array.to_list (Array.sub arr lo (hi - lo)))
+      (pairs bounds)
+  in
+  let b' = List.map pi groups in
+  pi b' = pi b
+
+let law_split_preserves_pi v ~parts = v < 0 || parts <= 0 || pi (split_even v ~parts) = v
+
+let law_operator_commutes op b =
+  match b with
+  | [] -> true
+  | x :: rest ->
+    (match Op.apply op ~fragment:x with
+    | None -> true (* ineffective applications are no-ops; nothing to check *)
+    | Some x' ->
+      (* Π(g(x), rest) = g(Π(x, rest)) for an effective application. *)
+      pi (x' :: rest) = pi (x :: rest) + Op.delta op)
+
+let law_operators_commute_pairwise g h d =
+  let apply2 first second v =
+    match Op.apply first ~fragment:v with
+    | None -> None
+    | Some v' -> Op.apply second ~fragment:v'
+  in
+  match (apply2 g h d, apply2 h g d) with
+  | Some a, Some b -> a = b
+  | _ -> true (* only claimed when both orders are effective *)

@@ -1,0 +1,57 @@
+(** The data-value partitioning algebra (Section 4.1).
+
+    A data item [d] from domain Γ is represented as a multiset
+    [b ∈ Γ⁺] of fragments with a surjective aggregation map [Π : Γ⁺ → Γ].
+    Every domain the paper considers — seats on a flight, units in an
+    inventory, money in an account — is a non-negative integer quantity with
+    Π = summation, so fragments here are [int]s ≥ 0 and {!pi} is [sum].
+
+    The functions in this module are the algebra plus the *laws* the paper
+    states for it; the laws are exported as boolean checkers so the
+    property-test suite can exercise them directly:
+
+    - partitionable property: regrouping a multiset and replacing each group
+      by its Π-image preserves Π ({!law_partitionable});
+    - partitionable operators commute with Π on any fragment
+      ({!law_operator_commutes}, via {!Op});
+    - concurrent partitionable operators on disjoint fragments commute with
+      each other ([g (h d) = h (g d)], {!law_operators_commute_pairwise}). *)
+
+type fragment = int
+(** A fragment is a non-negative quantity. *)
+
+val pi : fragment list -> int
+(** The aggregation map Π: summation. *)
+
+val valid_fragment : fragment -> bool
+(** Non-negativity. *)
+
+val valid_multiset : fragment list -> bool
+
+val split_even : int -> parts:int -> fragment list
+(** [split_even v ~parts] partitions [v] into [parts] fragments differing by
+    at most one, preserving Π.  @raise Invalid_argument if [parts <= 0] or
+    [v < 0]. *)
+
+val split_weighted : int -> weights:float list -> fragment list
+(** Split proportionally to [weights] (non-negative, not all zero); rounding
+    residue goes to the largest weight.  Π is preserved exactly. *)
+
+val split_random : Dvp_util.Rng.t -> int -> parts:int -> fragment list
+(** A uniformly random composition of [v] into [parts] non-negative
+    fragments; preserves Π.  Used by property tests and workload setup. *)
+
+(** {2 Law checkers (for qcheck)} *)
+
+val law_partitionable : fragment list -> int list -> bool
+(** [law_partitionable b cut_points] regroups [b] at the given boundaries,
+    maps each group through Π and checks Π is preserved. *)
+
+val law_split_preserves_pi : int -> parts:int -> bool
+
+val law_operator_commutes : Op.t -> fragment list -> bool
+(** Applying an operator to one fragment changes Π by exactly the operator's
+    effect on the aggregate — when the application is effective. *)
+
+val law_operators_commute_pairwise : Op.t -> Op.t -> int -> bool
+(** [g (h d)] = [h (g d)] whenever both orders are effective. *)

@@ -1,0 +1,258 @@
+module Engine = Dvp_sim.Engine
+module Wal = Dvp_storage.Wal
+
+type outstanding = Log_replay.vm_outstanding = {
+  item : Ids.item;
+  amount : int;
+  reply_to : Ids.txn option;
+}
+
+(* Outbox entries track their last transmission so the periodic scan only
+   resends messages that have actually gone unacknowledged for a full
+   period (not ones that happen to be seconds-old acks away). *)
+type outbox_entry = { payload : outstanding; mutable last_sent : float }
+
+type t = {
+  engine : Engine.t;
+  n : int;
+  self : Ids.site;
+  wal : Log_event.t Wal.t;
+  send : dst:Ids.site -> Proto.t -> unit;
+  try_credit :
+    peer:Ids.site -> item:Ids.item -> amount:int -> reply_to:Ids.txn option -> int option;
+  ts_counter : unit -> int;
+  metrics : Metrics.t;
+  retransmit_every : float;
+  ack_delay : float;
+      (* 0 = acknowledge immediately with a standalone message; > 0 = hold
+         the ack hoping to piggyback it on reverse data *)
+  (* Volatile sender state (rebuilt from the log on recovery). *)
+  mutable next_seq : int array; (* per destination *)
+  mutable acked_upto : int array; (* per destination, cumulative *)
+  outbox : (int * int, outbox_entry) Hashtbl.t; (* (dst, seq) -> payload *)
+  (* Volatile receiver state (rebuilt from the log on recovery). *)
+  mutable accepted : int array; (* per peer, highest in-order accepted seq *)
+  mutable timer : Engine.timer option;
+  mutable running : bool;
+  (* Per-peer pending standalone-ack timers (delayed-ack mode). *)
+  mutable ack_timers : Engine.timer option array;
+}
+
+let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics
+    ?(retransmit_every = 0.15) ?(ack_delay = 0.0) () =
+  {
+    engine;
+    n;
+    self;
+    wal;
+    send;
+    try_credit;
+    ts_counter;
+    metrics;
+    retransmit_every;
+    ack_delay;
+    next_seq = Array.make n 0;
+    acked_upto = Array.make n (-1);
+    outbox = Hashtbl.create 32;
+    accepted = Array.make n (-1);
+    timer = None;
+    running = false;
+    ack_timers = Array.make n None;
+  }
+
+let outstanding_to t dst =
+  let out = ref [] in
+  Hashtbl.iter
+    (fun (d, seq) e ->
+      if d = dst then out := (seq, e.payload.item, e.payload.amount) :: !out)
+    t.outbox;
+  List.sort compare !out
+
+let outstanding_full t dst =
+  let out = ref [] in
+  Hashtbl.iter (fun (d, seq) e -> if d = dst then out := (seq, e) :: !out) t.outbox;
+  List.sort compare !out
+
+let outstanding_amount t ~item =
+  Hashtbl.fold
+    (fun _ e acc -> if e.payload.item = item then acc + e.payload.amount else acc)
+    t.outbox 0
+
+let has_outstanding t ~item =
+  Hashtbl.fold (fun _ e acc -> acc || e.payload.item = item) t.outbox false
+
+let next_seq t ~dst = t.next_seq.(dst)
+
+let accepted_upto t ~peer = t.accepted.(peer)
+
+let cancel_ack_timer t peer =
+  match t.ack_timers.(peer) with
+  | Some h ->
+    ignore (Engine.cancel t.engine h);
+    t.ack_timers.(peer) <- None
+  | None -> ()
+
+let transmit t ~dst ~seq ~item ~amount ~reply_to =
+  (* Every real message carries the piggybacked cumulative ack, which also
+     satisfies any ack we were holding back for this peer. *)
+  cancel_ack_timer t dst;
+  t.send ~dst
+    (Proto.Vm_data
+       { seq; item; amount; ts_counter = t.ts_counter (); reply_to; ack_upto = t.accepted.(dst) })
+
+(* Retransmission scan: every outstanding Vm is sent again, lowest sequence
+   numbers first so the receiver's in-order rule makes progress. *)
+let rec on_retransmit t =
+  t.timer <- None;
+  if t.running then begin
+    let now = Engine.now t.engine in
+    for dst = 0 to t.n - 1 do
+      List.iter
+        (fun (seq, e) ->
+          (* Only resend what has gone a full period without an ack. *)
+          if now -. e.last_sent >= t.retransmit_every *. 0.9 then begin
+            Metrics.vm_retransmitted t.metrics;
+            e.last_sent <- now;
+            transmit t ~dst ~seq ~item:e.payload.item ~amount:e.payload.amount
+              ~reply_to:e.payload.reply_to
+          end)
+        (outstanding_full t dst)
+    done;
+    arm t
+  end
+
+and arm t =
+  if t.running && t.timer = None then
+    t.timer <- Some (Engine.schedule t.engine ~delay:t.retransmit_every (fun () -> on_retransmit t))
+
+let start t =
+  t.running <- true;
+  arm t
+
+let stop t =
+  t.running <- false;
+  match t.timer with
+  | Some h ->
+    ignore (Engine.cancel t.engine h);
+    t.timer <- None
+  | None -> ()
+
+let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
+  if dst = t.self then invalid_arg "Vm.send_value: destination is self";
+  if amount < 0 then invalid_arg "Vm.send_value: negative amount";
+  let seq = t.next_seq.(dst) in
+  t.next_seq.(dst) <- seq + 1;
+  (* The Vm is born here: [database-actions, message-sequence] forced to the
+     stable log before the real message leaves. *)
+  Wal.append t.wal
+    (Log_event.Vm_create
+       {
+         dst;
+         seq;
+         item;
+         amount;
+         reply_to;
+         actions = [ Log_event.Set_fragment { item; value = new_local } ];
+       });
+  Hashtbl.replace t.outbox (dst, seq)
+    { payload = { item; amount; reply_to }; last_sent = Engine.now t.engine };
+  Metrics.vm_created t.metrics ~amount;
+  transmit t ~dst ~seq ~item ~amount ~reply_to;
+  arm t
+
+let handle_ack t ~src ~upto =
+  if upto > t.acked_upto.(src) then begin
+    for seq = t.acked_upto.(src) + 1 to upto do
+      Hashtbl.remove t.outbox (src, seq)
+    done;
+    t.acked_upto.(src) <- upto;
+    (* Not forced: losing this record only causes harmless retransmission
+       (the receiver discards duplicates and re-acks). *)
+    Wal.append ~forced:false t.wal (Log_event.Ack_progress { dst = src; upto })
+  end
+
+(* Acknowledge [src] — immediately, or after a grace period during which a
+   reverse data message may carry the ack for free. *)
+let schedule_ack t src =
+  if t.ack_delay <= 0.0 then t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src) })
+  else if t.ack_timers.(src) = None then
+    t.ack_timers.(src) <-
+      Some
+        (Engine.schedule t.engine ~delay:t.ack_delay (fun () ->
+             t.ack_timers.(src) <- None;
+             t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src) })))
+
+let handle_data t ~src ~seq ~item ~amount ~reply_to ~ack_upto =
+  (* Process the piggybacked acknowledgement first. *)
+  handle_ack t ~src ~upto:ack_upto;
+  let expected = t.accepted.(src) + 1 in
+  if seq < expected then begin
+    (* Duplicate of an already-accepted Vm: discard, re-ack so the sender can
+       advance if our earlier ack was lost. *)
+    Metrics.vm_duplicate_discarded t.metrics;
+    schedule_ack t src
+  end
+  else if seq > expected then
+    (* Out of order: ignore; retransmission will present the gap first.  The
+       paper: "The messages will never be accepted if they are out-of-order". *)
+    ()
+  else
+    match t.try_credit ~peer:src ~item ~amount ~reply_to with
+    | None ->
+      (* Item locked by a transaction that is not waiting for values: "the
+         message can be ignored; it will eventually be sent again anyway". *)
+      ()
+    | Some new_value ->
+      (* The Vm dies here: [database-actions] forced at the receiver. *)
+      Wal.append t.wal (Log_event.Vm_accept { peer = src; seq; item; amount; new_value });
+      t.accepted.(src) <- seq;
+      Metrics.vm_accepted t.metrics ~amount;
+      schedule_ack t src
+
+let crash t =
+  stop t;
+  for peer = 0 to t.n - 1 do
+    cancel_ack_timer t peer
+  done;
+  t.next_seq <- Array.make t.n 0;
+  t.acked_upto <- Array.make t.n (-1);
+  t.accepted <- Array.make t.n (-1);
+  Hashtbl.reset t.outbox
+
+let recover t =
+  (* Rebuild exactly the protocol state from the stable log (including any
+     checkpoint snapshot): per-destination sequence counters, the outbox of
+     still-outstanding Vm, cumulative acks, and acceptance watermarks. *)
+  let view = Log_replay.vm_view ~n:t.n t.wal in
+  t.next_seq <- view.Log_replay.vm_next_seq;
+  t.acked_upto <- view.Log_replay.vm_acked;
+  t.accepted <- view.Log_replay.vm_accepted;
+  Hashtbl.reset t.outbox;
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace t.outbox k { payload = v; last_sent = neg_infinity })
+    view.Log_replay.vm_outbox;
+  start t
+
+(* A state snapshot for checkpointing (Section 7): everything [recover]
+   would need, as one log record. *)
+let snapshot t ~fragments ~max_counter =
+  let pairs arr skip =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) arr)
+    |> List.filter (fun (_, v) -> v <> skip)
+  in
+  let outbox =
+    Hashtbl.fold
+      (fun (dst, seq) e acc ->
+        (dst, seq, e.payload.item, e.payload.amount, e.payload.reply_to) :: acc)
+      t.outbox []
+    |> List.sort compare
+  in
+  Log_event.Checkpoint
+    {
+      fragments;
+      accepted = pairs t.accepted (-1);
+      next_seq = pairs t.next_seq 0;
+      acked = pairs t.acked_upto (-1);
+      outbox;
+      max_counter;
+    }

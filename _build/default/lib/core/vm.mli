@@ -1,0 +1,117 @@
+(** The virtual-message engine (Section 4.2).
+
+    One instance lives in every site.  A virtual message is a value in
+    transit between two fragments of the same data item:
+
+    - it is *born* when the sender forces a [Vm_create] record (carrying the
+      database action that debits the local fragment, and the message to be
+      sent) to its stable log — before any real message leaves the site;
+    - it *lives* through any number of real-message transmissions: the engine
+      retransmits every unacknowledged Vm on a fixed period, and the
+      receiver discards duplicates and out-of-order arrivals (go-back-N
+      style: per-pair sequence numbers, cumulative acks);
+    - it *dies* when the receiver forces a [Vm_accept] record, credits its
+      local fragment, and acknowledges.
+
+    Crashes on either side cannot destroy a Vm: the sender rebuilds its
+    outbox and the receiver its acceptance watermark from their stable logs
+    ({!recover}).  The conserved quantity N = Σᵢ Nᵢ + N_M of Section 3 is
+    checkable from the accessors here.
+
+    The engine knows nothing about transactions.  The [try_credit] callback
+    lets the owning site apply the paper's acceptance rule: credit now (item
+    unlocked, or locked by a transaction that incorporates the credit
+    itself), or refuse for the moment (locked otherwise) — a refused Vm is
+    simply delivered again by a later retransmission. *)
+
+type t
+
+val create :
+  Dvp_sim.Engine.t ->
+  n:int ->
+  self:Ids.site ->
+  wal:Log_event.t Dvp_storage.Wal.t ->
+  send:(dst:Ids.site -> Proto.t -> unit) ->
+  try_credit:
+    (peer:Ids.site -> item:Ids.item -> amount:int -> reply_to:Ids.txn option -> int option) ->
+  ts_counter:(unit -> int) ->
+  metrics:Metrics.t ->
+  ?retransmit_every:float ->
+  ?ack_delay:float ->
+  unit ->
+  t
+(** [try_credit] must either apply the credit to the local database and
+    return [Some new_fragment_value], or return [None] to defer acceptance.
+    [ts_counter] supplies the Lamport counter piggybacked on data messages.
+    [ack_delay] > 0 holds standalone acknowledgements for that long, hoping
+    a reverse data message will piggyback them (Section 4.2); 0 (default)
+    acknowledges immediately. *)
+
+val start : t -> unit
+(** Arm the periodic retransmission scan. *)
+
+val stop : t -> unit
+
+(** {2 Sender side} *)
+
+val send_value :
+  t ->
+  dst:Ids.site ->
+  item:Ids.item ->
+  amount:int ->
+  ?reply_to:Ids.txn ->
+  new_local:int ->
+  unit ->
+  unit
+(** Create a Vm carrying [amount] of [item] to [dst]: force the [Vm_create]
+    record (with the debit to [new_local] as its database action), then
+    transmit the first real message.  The caller updates the local database
+    to [new_local] after this returns — log first, database second, exactly
+    the order of Section 3.  [amount] may be 0 (a drain response from an
+    empty fragment still informs the reader). *)
+
+val handle_ack : t -> src:Ids.site -> upto:int -> unit
+
+val outstanding_to : t -> Ids.site -> (int * Ids.item * int) list
+(** Unacknowledged (seq, item, amount) for one destination, ascending seq. *)
+
+val outstanding_amount : t -> item:Ids.item -> int
+(** Total unacknowledged value of an item leaving this site (sender view —
+    an accepted-but-unacked Vm still counts, conservatively). *)
+
+val has_outstanding : t -> item:Ids.item -> bool
+(** The drain-honoring test of Section 5. *)
+
+val next_seq : t -> dst:Ids.site -> int
+
+(** {2 Receiver side} *)
+
+val handle_data :
+  t ->
+  src:Ids.site ->
+  seq:int ->
+  item:Ids.item ->
+  amount:int ->
+  reply_to:Ids.txn option ->
+  ack_upto:int ->
+  unit
+(** [ack_upto] is the piggybacked cumulative acknowledgement carried on the
+    data message. *)
+
+val accepted_upto : t -> peer:Ids.site -> int
+(** Highest sequence number accepted from [peer]; -1 initially. *)
+
+(** {2 Failure handling} *)
+
+val crash : t -> unit
+(** Wipe all volatile state and halt retransmission. *)
+
+val recover : t -> unit
+(** Rebuild sender outbox, sequence counters, and acceptance watermarks from
+    the stable log, then restart retransmission. *)
+
+val snapshot :
+  t -> fragments:(Ids.item * int) list -> max_counter:int -> Log_event.t
+(** A [Checkpoint] record capturing the live Vm state plus the given
+    database fragments — what {!Site.checkpoint} forces before truncating
+    the log. *)

@@ -1,0 +1,1 @@
+lib/net/broadcast.ml: Array Dvp_sim

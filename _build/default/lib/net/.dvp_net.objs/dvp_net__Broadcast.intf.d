@@ -1,0 +1,1 @@
+lib/net/broadcast.mli: Dvp_sim

@@ -1,0 +1,1 @@
+lib/net/linkstate.ml: Dvp_util Float

@@ -1,0 +1,1 @@
+lib/net/linkstate.mli: Dvp_util

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Dvp_sim Dvp_util Linkstate List

@@ -1,0 +1,1 @@
+lib/net/network.mli: Dvp_sim Dvp_util Linkstate

@@ -1,0 +1,1 @@
+lib/net/window.ml: Dvp_sim Hashtbl Queue

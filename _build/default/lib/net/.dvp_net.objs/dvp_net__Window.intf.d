@@ -1,0 +1,1 @@
+lib/net/window.mli: Dvp_sim

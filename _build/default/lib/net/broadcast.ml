@@ -1,0 +1,30 @@
+type 'p t = {
+  engine : Dvp_sim.Engine.t;
+  n : int;
+  delay : float;
+  handlers : (src:int -> seq:int -> 'p -> unit) option array;
+  mutable next_seq : int;
+  mutable sent : int;
+}
+
+let create engine ~n ?(delay = 0.005) () =
+  { engine; n; delay; handlers = Array.make n None; next_seq = 0; sent = 0 }
+
+let set_handler t i h =
+  if i < 0 || i >= t.n then invalid_arg "Broadcast.set_handler: site out of range";
+  t.handlers.(i) <- Some h
+
+let broadcast t ~src payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  for dst = 0 to t.n - 1 do
+    t.sent <- t.sent + 1;
+    ignore
+      (Dvp_sim.Engine.schedule t.engine ~delay:t.delay (fun () ->
+           match t.handlers.(dst) with
+           | Some h -> h ~src ~seq payload
+           | None -> ()))
+  done;
+  seq
+
+let messages_sent t = t.sent

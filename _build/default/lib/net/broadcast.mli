@@ -1,0 +1,27 @@
+(** Totally-ordered reliable broadcast.
+
+    Section 6.2 (Conc2) assumes a network with message-order synchronicity and
+    failure-free broadcast: if two sites each broadcast a set of messages,
+    every receiver sees the two broadcasts in the same relative order.  This
+    module realises that abstraction directly — a global sequencer stamps
+    every broadcast, and deliveries are scheduled so each site observes
+    broadcasts in stamp order.
+
+    This is deliberately an idealised primitive: Conc2's correctness argument
+    is conditional on these system characteristics, and the experiments use
+    this module only for Conc2 runs. *)
+
+type 'p t
+
+val create : Dvp_sim.Engine.t -> n:int -> ?delay:float -> unit -> 'p t
+(** [delay] is the uniform delivery latency (default 5 ms).  Uniform latency
+    plus deterministic FIFO ties in the engine yields total order. *)
+
+val set_handler : 'p t -> int -> (src:int -> seq:int -> 'p -> unit) -> unit
+
+val broadcast : 'p t -> src:int -> 'p -> int
+(** Deliver the payload to every site (including the sender) in global stamp
+    order; returns the stamp. *)
+
+val messages_sent : 'p t -> int
+(** Total point deliveries scheduled (n per broadcast). *)

@@ -1,0 +1,33 @@
+type params = {
+  delay_mean : float;
+  delay_jitter : float;
+  loss_prob : float;
+  dup_prob : float;
+}
+
+let default =
+  { delay_mean = 0.005; delay_jitter = 0.002; loss_prob = 0.0; dup_prob = 0.0 }
+
+let lossy p = { default with loss_prob = p }
+
+type t = { mutable p : params; mutable up : bool }
+
+let create p = { p; up = true }
+
+let params t = t.p
+
+let set_params t p = t.p <- p
+
+let is_up t = t.up
+
+let set_up t v = t.up <- v
+
+let sample_delay t rng =
+  let jitter =
+    if t.p.delay_jitter <= 0.0 then 0.0 else Dvp_util.Rng.float rng t.p.delay_jitter
+  in
+  Float.max 1e-6 (t.p.delay_mean +. jitter)
+
+let drops t rng = (not t.up) || Dvp_util.Rng.bernoulli rng t.p.loss_prob
+
+let duplicates t rng = t.p.dup_prob > 0.0 && Dvp_util.Rng.bernoulli rng t.p.dup_prob

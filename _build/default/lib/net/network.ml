@@ -1,0 +1,120 @@
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+type 'p t = {
+  engine : Dvp_sim.Engine.t;
+  rng : Dvp_util.Rng.t;
+  n : int;
+  links : Linkstate.t array array; (* links.(src).(dst) *)
+  handlers : (src:int -> 'p -> unit) option array;
+  up : bool array;
+  group_of : int array; (* partition group id per site *)
+  stats : stats;
+}
+
+let create engine ~rng ~n ?(default = Linkstate.default) () =
+  {
+    engine;
+    rng;
+    n;
+    links = Array.init n (fun _ -> Array.init n (fun _ -> Linkstate.create default));
+    handlers = Array.make n None;
+    up = Array.make n true;
+    group_of = Array.make n 0;
+    stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0 };
+  }
+
+let size t = t.n
+
+let engine t = t.engine
+
+let check_site t i =
+  if i < 0 || i >= t.n then invalid_arg "Network: site index out of range"
+
+let set_handler t i h =
+  check_site t i;
+  t.handlers.(i) <- Some h
+
+let link t ~src ~dst =
+  check_site t src;
+  check_site t dst;
+  t.links.(src).(dst)
+
+let set_all_links t params =
+  Array.iter (fun row -> Array.iter (fun l -> Linkstate.set_params l params) row) t.links
+
+let site_up t i =
+  check_site t i;
+  t.up.(i)
+
+let set_site_up t i v =
+  check_site t i;
+  t.up.(i) <- v
+
+let set_partition t groups =
+  (* Unmentioned sites each get a singleton group. *)
+  Array.iteri (fun i _ -> t.group_of.(i) <- -(i + 1)) t.group_of;
+  List.iteri
+    (fun gid members ->
+      List.iter
+        (fun m ->
+          check_site t m;
+          t.group_of.(m) <- gid)
+        members)
+    groups
+
+let heal_partition t = Array.fill t.group_of 0 t.n 0
+
+let partitioned t ~src ~dst =
+  check_site t src;
+  check_site t dst;
+  t.group_of.(src) <> t.group_of.(dst)
+
+let deliver t ~src ~dst payload =
+  (* Delivery-time checks: destination must be up and still reachable. *)
+  if t.up.(dst) && not (partitioned t ~src ~dst) then begin
+    match t.handlers.(dst) with
+    | Some h ->
+      t.stats.delivered <- t.stats.delivered + 1;
+      h ~src payload
+    | None -> t.stats.dropped <- t.stats.dropped + 1
+  end
+  else t.stats.dropped <- t.stats.dropped + 1
+
+let send t ~src ~dst payload =
+  check_site t src;
+  check_site t dst;
+  if src = dst then begin
+    (* Local hand-off: immediate, reliable, not counted as network traffic. *)
+    match t.handlers.(dst) with Some h -> h ~src payload | None -> ()
+  end
+  else begin
+    t.stats.sent <- t.stats.sent + 1;
+    let l = t.links.(src).(dst) in
+    if (not t.up.(src)) || partitioned t ~src ~dst || Linkstate.drops l t.rng then
+      t.stats.dropped <- t.stats.dropped + 1
+    else begin
+      let schedule_copy () =
+        let delay = Linkstate.sample_delay l t.rng in
+        ignore
+          (Dvp_sim.Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst payload))
+      in
+      schedule_copy ();
+      if Linkstate.duplicates l t.rng then begin
+        t.stats.duplicated <- t.stats.duplicated + 1;
+        schedule_copy ()
+      end
+    end
+  end
+
+let stats t = t.stats
+
+let reset_stats t =
+  t.stats.sent <- 0;
+  t.stats.delivered <- 0;
+  t.stats.dropped <- 0;
+  t.stats.duplicated <- 0

@@ -1,0 +1,63 @@
+(** The message fabric connecting the simulated sites.
+
+    A network owns one {!Linkstate.t} per directed site pair, a partition
+    state (sites are grouped; messages between groups are dropped), and
+    per-site up/down flags (messages to or from a crashed site are lost, which
+    is exactly the failure model of the paper: links "may lose, delay,
+    duplicate messages or just fail").
+
+    Payloads are polymorphic; each protocol stack instantiates its own
+    network.  Delivery happens through per-site handlers registered with
+    {!set_handler}; handlers run as simulator events. *)
+
+type 'p t
+
+type stats = {
+  mutable sent : int;  (** transmissions attempted *)
+  mutable delivered : int;  (** handler invocations *)
+  mutable dropped : int;  (** lost to link loss, partitions, or down sites *)
+  mutable duplicated : int;
+}
+
+val create :
+  Dvp_sim.Engine.t -> rng:Dvp_util.Rng.t -> n:int -> ?default:Linkstate.params -> unit -> 'p t
+(** [create engine ~rng ~n ()] builds a fully-connected [n]-site network. *)
+
+val size : 'p t -> int
+
+val engine : 'p t -> Dvp_sim.Engine.t
+
+val set_handler : 'p t -> int -> (src:int -> 'p -> unit) -> unit
+(** Install site [i]'s receive handler.  Must be set before traffic flows to
+    [i]. *)
+
+val send : 'p t -> src:int -> dst:int -> 'p -> unit
+(** Transmit one real message.  Self-sends ([src = dst]) are delivered
+    immediately with no loss (local computation, not a network hop) and do not
+    count in {!stats}. *)
+
+val link : 'p t -> src:int -> dst:int -> Linkstate.t
+(** The directed link object, for parameter/failure control. *)
+
+val set_all_links : 'p t -> Linkstate.params -> unit
+
+val site_up : 'p t -> int -> bool
+
+val set_site_up : 'p t -> int -> bool -> unit
+(** Downing a site makes it drop all traffic in both directions.  In-flight
+    messages destined to it are discarded at delivery time. *)
+
+val set_partition : 'p t -> int list list -> unit
+(** [set_partition t groups] installs a partition: messages flow only within
+    a group.  Sites not mentioned form an implicit extra group each (fully
+    isolated).  In-flight cross-group messages are discarded at delivery
+    time. *)
+
+val heal_partition : 'p t -> unit
+
+val partitioned : 'p t -> src:int -> dst:int -> bool
+(** Whether the current partition separates the two sites. *)
+
+val stats : 'p t -> stats
+
+val reset_stats : 'p t -> unit

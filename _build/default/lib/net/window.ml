@@ -1,0 +1,122 @@
+type 'p frame =
+  | Data of { seq : int; ack : int; payload : 'p }
+  | Ack of { ack : int }
+
+type 'p endpoint = {
+  engine : Dvp_sim.Engine.t;
+  send : 'p frame -> unit;
+  deliver : 'p -> unit;
+  window : int;
+  rto : float;
+  (* Sender side. *)
+  mutable base : int; (* oldest unacked sequence number *)
+  mutable next_seq : int;
+  unacked_buf : (int, 'p) Hashtbl.t; (* seq -> payload, for retransmission *)
+  pending : 'p Queue.t; (* submitted beyond the window *)
+  mutable timer : Dvp_sim.Engine.timer option;
+  mutable sent_count : int;
+  (* Receiver side. *)
+  mutable expected : int; (* next in-order seq we will accept *)
+}
+
+let create engine ~send ~deliver ?(window = 8) ?(rto = 0.05) () =
+  if window <= 0 then invalid_arg "Window.create: window must be positive";
+  {
+    engine;
+    send;
+    deliver;
+    window;
+    rto;
+    base = 0;
+    next_seq = 0;
+    unacked_buf = Hashtbl.create 16;
+    pending = Queue.create ();
+    timer = None;
+    sent_count = 0;
+    expected = 0;
+  }
+
+let unacked t = t.next_seq - t.base
+
+let backlog t = Queue.length t.pending
+
+let idle t = unacked t = 0 && backlog t = 0
+
+let frames_sent t = t.sent_count
+
+(* Cumulative ack carried on every outgoing frame: highest in-order seq
+   delivered so far. *)
+let current_ack t = t.expected - 1
+
+let stop_timer t =
+  match t.timer with
+  | Some h ->
+    ignore (Dvp_sim.Engine.cancel t.engine h);
+    t.timer <- None
+  | None -> ()
+
+let rec arm_timer t =
+  stop_timer t;
+  if unacked t > 0 then
+    t.timer <- Some (Dvp_sim.Engine.schedule t.engine ~delay:t.rto (fun () -> on_timeout t))
+
+(* Go-back-N: on timeout retransmit every unacked frame, then re-arm. *)
+and on_timeout t =
+  t.timer <- None;
+  for seq = t.base to t.next_seq - 1 do
+    match Hashtbl.find_opt t.unacked_buf seq with
+    | Some payload ->
+      t.sent_count <- t.sent_count + 1;
+      t.send (Data { seq; ack = current_ack t; payload })
+    | None -> ()
+  done;
+  arm_timer t
+
+let transmit t payload =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Hashtbl.replace t.unacked_buf seq payload;
+  t.sent_count <- t.sent_count + 1;
+  t.send (Data { seq; ack = current_ack t; payload });
+  if t.timer = None then arm_timer t
+
+let submit t payload =
+  if unacked t < t.window then transmit t payload else Queue.add payload t.pending
+
+let drain_pending t =
+  while unacked t < t.window && not (Queue.is_empty t.pending) do
+    transmit t (Queue.pop t.pending)
+  done
+
+let process_ack t ack =
+  if ack >= t.base then begin
+    for seq = t.base to ack do
+      Hashtbl.remove t.unacked_buf seq
+    done;
+    t.base <- ack + 1;
+    (* Fresh progress: restart (or clear) the retransmission clock. *)
+    arm_timer t;
+    drain_pending t
+  end
+
+let handle_frame t frame =
+  match frame with
+  | Ack { ack } -> process_ack t ack
+  | Data { seq; ack; payload } ->
+    process_ack t ack;
+    if seq = t.expected then begin
+      t.expected <- t.expected + 1;
+      t.deliver payload;
+      (* Acknowledge promptly; with no reverse data this is a bare ack.  (A
+         real stack would delay it hoping to piggyback; correctness is the
+         same and the simulator counts frames either way.) *)
+      t.send (Ack { ack = current_ack t })
+    end
+    else if seq < t.expected then
+      (* Duplicate of something already delivered: discard, but re-ack so the
+         peer can advance if our previous ack was lost. *)
+      t.send (Ack { ack = current_ack t })
+    else
+      (* Out-of-order beyond the gap: go-back-N receivers drop it; the ack
+         tells the sender where we are. *)
+      t.send (Ack { ack = current_ack t })

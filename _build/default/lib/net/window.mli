@@ -1,0 +1,55 @@
+(** Go-back-N sliding-window reliable channel.
+
+    This is the "common scheme used in computer network applications
+    [Tanenbaum 1981]" that Section 4.2 of the paper presumes underneath
+    virtual messages: unique in-order sequence numbers, piggybacked cumulative
+    acknowledgements, retransmission on timeout, and duplicate discard.
+
+    An {!endpoint} is one half of a bidirectional channel.  It is
+    transport-agnostic: you give it a [send] function for raw frames and call
+    {!handle_frame} with whatever arrives (possibly lost, duplicated or
+    reordered upstream); it calls [deliver] with application payloads exactly
+    once each, in submission order.
+
+    Note the endpoint state is volatile — a crashed site loses it.  The Vm
+    layer in [lib/core] adds the stable-log persistence that turns this into
+    the paper's never-lost virtual message. *)
+
+type 'p frame =
+  | Data of { seq : int; ack : int; payload : 'p }
+      (** [ack] piggybacks the cumulative acknowledgement: all frames up to
+          and including [ack] from the peer have been delivered. *)
+  | Ack of { ack : int }
+
+type 'p endpoint
+
+val create :
+  Dvp_sim.Engine.t ->
+  send:('p frame -> unit) ->
+  deliver:('p -> unit) ->
+  ?window:int ->
+  ?rto:float ->
+  unit ->
+  'p endpoint
+(** [window] is the maximum number of unacknowledged frames in flight
+    (default 8); [rto] the retransmission timeout (default 50 ms). *)
+
+val submit : 'p endpoint -> 'p -> unit
+(** Queue a payload for reliable in-order delivery to the peer.  Sends
+    immediately if the window has room. *)
+
+val handle_frame : 'p endpoint -> 'p frame -> unit
+(** Feed a frame received from the transport. *)
+
+val unacked : 'p endpoint -> int
+(** Frames sent but not yet cumulatively acknowledged. *)
+
+val backlog : 'p endpoint -> int
+(** Payloads submitted but not yet transmitted (window full). *)
+
+val idle : 'p endpoint -> bool
+(** No unacked frames and no backlog. *)
+
+val frames_sent : 'p endpoint -> int
+(** Total frame transmissions including retransmissions (for overhead
+    accounting). *)

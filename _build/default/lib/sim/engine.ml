@@ -1,0 +1,53 @@
+type timer = Dvp_util.Heap.handle
+
+type t = {
+  queue : (unit -> unit) Dvp_util.Heap.t;
+  mutable clock : float;
+  mutable stopping : bool;
+}
+
+exception Stopped
+
+let create () = { queue = Dvp_util.Heap.create (); clock = 0.0; stopping = false }
+
+let now t = t.clock
+
+let schedule_at t ~at f =
+  let at = if at < t.clock then t.clock else at in
+  Dvp_util.Heap.add t.queue ~priority:at f
+
+let schedule t ~delay f =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~at:(t.clock +. delay) f
+
+let cancel t timer = Dvp_util.Heap.cancel t.queue timer
+
+let pending t = Dvp_util.Heap.length t.queue
+
+let step t =
+  match Dvp_util.Heap.pop t.queue with
+  | None -> false
+  | Some (at, f) ->
+    t.clock <- at;
+    f ();
+    true
+
+let run_until t horizon =
+  let rec loop () =
+    if t.stopping then t.stopping <- false
+    else
+      match Dvp_util.Heap.peek t.queue with
+      | Some (at, _) when at <= horizon ->
+        ignore (step t);
+        loop ()
+      | Some _ | None -> t.clock <- Float.max t.clock horizon
+  in
+  loop ()
+
+let run t =
+  let rec loop () =
+    if t.stopping then t.stopping <- false else if step t then loop ()
+  in
+  loop ()
+
+let stop t = t.stopping <- true

@@ -1,0 +1,57 @@
+type entry = { time : float; category : string; message : string }
+
+type t = {
+  capacity : int;
+  buf : entry option array;
+  mutable next : int; (* next write slot *)
+  mutable count : int;
+  mutable on : bool;
+}
+
+let create ?(capacity = 65536) () =
+  { capacity; buf = Array.make capacity None; next = 0; count = 0; on = true }
+
+let enabled t = t.on
+
+let set_enabled t v = t.on <- v
+
+let record t ~time ~category message =
+  if t.on then begin
+    t.buf.(t.next) <- Some { time; category; message };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.count < t.capacity then t.count <- t.count + 1
+  end
+
+let recordf t ~time ~category fmt =
+  Format.kasprintf
+    (fun s -> if t.on then record t ~time ~category s)
+    fmt
+
+let entries t =
+  let start = if t.count < t.capacity then 0 else t.next in
+  let out = ref [] in
+  for i = t.count - 1 downto 0 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let find t ~category = List.filter (fun e -> e.category = category) (entries t)
+
+let count t ~category = List.length (find t ~category)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%10.4f] %-12s %s" e.time e.category e.message
+
+let dump t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e -> Buffer.add_string buf (Format.asprintf "%a\n" pp_entry e))
+    (entries t);
+  Buffer.contents buf

@@ -1,0 +1,38 @@
+(** Structured event trace.
+
+    Sites and protocol layers append human-readable trace entries tagged with
+    simulated time and a category; tests assert on the trace, and examples
+    print it to narrate a run.  The buffer is bounded to keep long experiment
+    runs cheap: once full, the oldest entries are dropped. *)
+
+type t
+
+type entry = { time : float; category : string; message : string }
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] defaults to 65536 entries. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Disabled traces drop entries without formatting cost. *)
+
+val record : t -> time:float -> category:string -> string -> unit
+
+val recordf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format is only evaluated when the trace is
+    enabled. *)
+
+val entries : t -> entry list
+(** Oldest first. *)
+
+val find : t -> category:string -> entry list
+
+val count : t -> category:string -> int
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : t -> string

@@ -1,0 +1,1 @@
+lib/storage/local_db.mli:

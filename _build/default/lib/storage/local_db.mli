@@ -1,0 +1,50 @@
+(** Per-site volatile database of data-value fragments.
+
+    Each site stores, for every data item it participates in, a fragment
+    record: the locally-held portion of the item's value and the timestamp of
+    the last transaction that locked it (Section 6.1).  The store itself is
+    volatile — on a crash it is wiped and rebuilt by replaying the stable log
+    (Section 7) — which the recovery tests rely on.
+
+    Values are non-negative integers: every domain the paper considers
+    (seats, inventory units, money) is an integer quantity, and Π is
+    summation.  See [Dvp.Value] for the algebra and its laws. *)
+
+type ts = int * int
+(** Timestamp [(counter, site)] with lexicographic order; unique across sites
+    (Section 7's "site identifier in the low order bits"). *)
+
+val ts_zero : ts
+
+val ts_compare : ts -> ts -> int
+
+type t
+
+val create : unit -> t
+
+val ensure : t -> item:int -> unit
+(** Make sure a fragment row exists (initial value 0, timestamp zero). *)
+
+val mem : t -> item:int -> bool
+
+val value : t -> item:int -> int
+(** Current fragment value; 0 if the row does not exist. *)
+
+val set_value : t -> item:int -> int -> unit
+(** @raise Invalid_argument on negative values: fragments are quantities. *)
+
+val add : t -> item:int -> int -> unit
+(** [add t ~item delta] adjusts the fragment; the result must stay ≥ 0. *)
+
+val timestamp : t -> item:int -> ts
+
+val set_timestamp : t -> item:int -> ts -> unit
+
+val items : t -> int list
+(** All item ids with rows, ascending. *)
+
+val total : t -> int
+(** Sum of all fragment values at this site. *)
+
+val wipe : t -> unit
+(** Crash: drop everything.  Recovery replays the log into a fresh store. *)

@@ -1,0 +1,28 @@
+type region = { mutable write_count : int; mutable resets : (unit -> unit) list }
+
+let region () = { write_count = 0; resets = [] }
+
+type 'a cell = { reg : region; mutable v : 'a }
+
+let cell reg v = { reg; v }
+
+let get c = c.v
+
+let set c v =
+  c.reg.write_count <- c.reg.write_count + 1;
+  c.v <- v
+
+let writes reg = reg.write_count
+
+type 'a volatile = { init : unit -> 'a; mutable cur : 'a }
+
+let volatile reg init =
+  let t = { init; cur = init () } in
+  reg.resets <- (fun () -> t.cur <- t.init ()) :: reg.resets;
+  t
+
+let vget t = t.cur
+
+let vset t v = t.cur <- v
+
+let crash_volatile reg = List.iter (fun f -> f ()) reg.resets

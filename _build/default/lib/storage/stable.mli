@@ -1,0 +1,39 @@
+(** Individual stable-storage cells.
+
+    Besides the WAL, sites keep a handful of small stable variables (for
+    example the per-peer acknowledgement high-water marks of the Vm engine can
+    be checkpointed here).  A [Stable.cell] survives {!crash_volatile} calls
+    on the owning {!region}; paired volatile shadows do not.
+
+    This module is a thin abstraction, but making the stable/volatile split
+    explicit in types keeps crash-handling code honest: a site's crash
+    handler resets exactly the volatile region and nothing else. *)
+
+type region
+
+val region : unit -> region
+
+type 'a cell
+
+val cell : region -> 'a -> 'a cell
+(** A stable cell with an initial value. *)
+
+val get : 'a cell -> 'a
+
+val set : 'a cell -> 'a -> unit
+(** Synchronous stable write (counted). *)
+
+val writes : region -> int
+(** Number of stable writes in this region (metric). *)
+
+type 'a volatile
+
+val volatile : region -> (unit -> 'a) -> 'a volatile
+(** A volatile variable with a reinitialisation thunk, re-run on crash. *)
+
+val vget : 'a volatile -> 'a
+
+val vset : 'a volatile -> 'a -> unit
+
+val crash_volatile : region -> unit
+(** Reset every volatile variable in the region to its initial value. *)

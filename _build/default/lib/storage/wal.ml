@@ -1,0 +1,70 @@
+type 'r t = {
+  mutable stable : 'r list; (* newest first *)
+  mutable stable_len : int;
+  mutable buffer : 'r list; (* newest first *)
+  mutable buffer_len : int;
+  mutable force_count : int;
+  mutable append_count : int;
+  mutable base_index : int; (* index of the oldest retained stable record *)
+}
+
+let create () =
+  {
+    stable = [];
+    stable_len = 0;
+    buffer = [];
+    buffer_len = 0;
+    force_count = 0;
+    append_count = 0;
+    base_index = 0;
+  }
+
+let force t =
+  if t.buffer_len > 0 then begin
+    (* Both lists are newest-first, so the flushed log is buffer @ stable. *)
+    t.stable <- t.buffer @ t.stable;
+    t.stable_len <- t.stable_len + t.buffer_len;
+    t.buffer <- [];
+    t.buffer_len <- 0
+  end;
+  t.force_count <- t.force_count + 1
+
+let append ?(forced = true) t r =
+  t.buffer <- r :: t.buffer;
+  t.buffer_len <- t.buffer_len + 1;
+  t.append_count <- t.append_count + 1;
+  if forced then force t
+
+let crash t =
+  t.buffer <- [];
+  t.buffer_len <- 0
+
+let records t = List.rev t.stable
+
+let buffered t = t.buffer_len
+
+let stable_length t = t.stable_len
+
+let forces t = t.force_count
+
+let appended t = t.append_count
+
+let iter t f = List.iter f (records t)
+
+let fold t ~init ~f = List.fold_left f init (records t)
+
+let end_index t = t.base_index + t.stable_len
+
+let truncate_before t ~keep_from =
+  let drop = keep_from - t.base_index in
+  if drop > 0 then begin
+    let keep = max 0 (t.stable_len - drop) in
+    (* stable is newest-first; keep the newest [keep] records. *)
+    let rec take n l acc =
+      if n = 0 then List.rev acc
+      else match l with [] -> List.rev acc | x :: rest -> take (n - 1) rest (x :: acc)
+    in
+    t.stable <- take keep t.stable [];
+    t.stable_len <- keep;
+    t.base_index <- keep_from
+  end

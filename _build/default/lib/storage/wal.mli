@@ -1,0 +1,57 @@
+(** Simulated write-ahead log on stable storage.
+
+    The paper's protocols hinge on the distinction between what survives a
+    site crash (the stable log) and what does not (the in-memory database,
+    lock table, and timers).  This module models exactly that boundary:
+
+    - {!append} places a record in a volatile buffer;
+    - {!force} pushes the buffer to stable storage (counted, because forced
+      writes are the expensive operation a real system pays for);
+    - {!crash} discards the volatile buffer — stable records survive;
+    - {!records} scans the stable prefix, which is what recovery replays.
+
+    [append ~forced:true] (the default) models the paper's "write one log
+    record to stable storage" steps.  Tests inject crashes between append and
+    force to check that the protocols only depend on forced records. *)
+
+type 'r t
+
+val create : unit -> 'r t
+
+val append : ?forced:bool -> 'r t -> 'r -> unit
+(** Append a record.  With [forced = true] (default) the record and any
+    earlier buffered records hit stable storage atomically. *)
+
+val force : 'r t -> unit
+(** Flush the volatile buffer to stable storage. *)
+
+val crash : 'r t -> unit
+(** Lose the volatile buffer (site crash). *)
+
+val records : 'r t -> 'r list
+(** Stable records, oldest first.  Buffered-but-unforced records are not
+    included. *)
+
+val buffered : 'r t -> int
+(** Records appended but not yet forced. *)
+
+val stable_length : 'r t -> int
+
+val forces : 'r t -> int
+(** Number of force operations performed (metric: log-force cost). *)
+
+val appended : 'r t -> int
+(** Total records ever appended (including any later lost to crashes). *)
+
+val iter : 'r t -> ('r -> unit) -> unit
+(** Iterate stable records oldest-first. *)
+
+val fold : 'r t -> init:'a -> f:('a -> 'r -> 'a) -> 'a
+
+val end_index : 'r t -> int
+(** Absolute index one past the newest stable record (monotone across
+    truncations). *)
+
+val truncate_before : 'r t -> keep_from:int -> unit
+(** Checkpointing support: drop stable records with index < [keep_from].
+    Subsequent {!records} still yields oldest-first with original order. *)

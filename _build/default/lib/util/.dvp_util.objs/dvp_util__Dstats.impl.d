@@ -1,0 +1,1 @@
+lib/util/dstats.ml: Array Buffer Float Printf String

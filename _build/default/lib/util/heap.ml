@@ -1,0 +1,108 @@
+type handle = int
+
+type 'a entry = { prio : float; seq : int; value : 'a; id : handle }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  (* data.(0 .. size-1) is a valid binary heap. *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable next_id : int;
+  (* handle -> current index in [data]; absent once popped or cancelled. *)
+  positions : (handle, int) Hashtbl.t;
+}
+
+let create () =
+  { data = [||]; size = 0; next_seq = 0; next_id = 0; positions = Hashtbl.create 64 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let set t i e =
+  t.data.(i) <- e;
+  Hashtbl.replace t.positions e.id i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      let a = t.data.(i) and b = t.data.(parent) in
+      set t i b;
+      set t parent a;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let a = t.data.(i) and b = t.data.(!smallest) in
+    set t i b;
+    set t !smallest a;
+    sift_down t !smallest
+  end
+
+(* Grow the backing array, using [fill] (the entry about to be inserted) for
+   the fresh slots so no dummy value is ever needed. *)
+let grow t fill =
+  let cap = Array.length t.data in
+  let new_cap = if cap = 0 then 16 else 2 * cap in
+  let fresh = Array.make new_cap fill in
+  Array.blit t.data 0 fresh 0 t.size;
+  t.data <- fresh
+
+let add t ~priority value =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let e = { prio = priority; seq = t.next_seq; value; id } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.data then grow t e;
+  set t t.size e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  id
+
+let remove_at t i =
+  let removed = t.data.(i) in
+  Hashtbl.remove t.positions removed.id;
+  t.size <- t.size - 1;
+  if i <> t.size then begin
+    set t i t.data.(t.size);
+    (* The moved element may need to travel either direction. *)
+    sift_up t i;
+    sift_down t i
+  end;
+  removed
+
+let pop t =
+  if t.size = 0 then None
+  else
+    let e = remove_at t 0 in
+    Some (e.prio, e.value)
+
+let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
+
+let cancel t h =
+  match Hashtbl.find_opt t.positions h with
+  | None -> false
+  | Some i ->
+    ignore (remove_at t i);
+    true
+
+let mem t h = Hashtbl.mem t.positions h
+
+let clear t =
+  t.size <- 0;
+  Hashtbl.reset t.positions
+
+let to_list t =
+  let entries = Array.sub t.data 0 t.size in
+  let l = Array.to_list entries in
+  let sorted = List.sort (fun a b -> if less a b then -1 else 1) l in
+  List.map (fun e -> (e.prio, e.value)) sorted

@@ -1,0 +1,115 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: mix the incremented state. *)
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: 62 random bits (fits OCaml's native
+     63-bit int) reduced mod n.  Bias is negligible (< 2^-40) for every bound
+     used in the simulator. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 random bits into [0,1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (v /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let poisson t lambda =
+  if lambda <= 0.0 then 0
+  else if lambda < 30.0 then begin
+    let limit = exp (-.lambda) in
+    let rec loop k prod =
+      let prod = prod *. float t 1.0 in
+      if prod <= limit then k else loop (k + 1) prod
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation with continuity correction; adequate for
+       workload arrival counts. *)
+    let u1 = float t 1.0 and u2 = float t 1.0 in
+    let u1 = if u1 <= 0.0 then 1e-300 else u1 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    let v = lambda +. (sqrt lambda *. z) +. 0.5 in
+    if v < 0.0 then 0 else int_of_float v
+  end
+
+(* Zipf CDF tables are memoised: experiments repeatedly draw from the same
+   (n, s) distribution. *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 16
+
+let zipf_table n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some c -> c
+  | None ->
+    let c = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for k = 1 to n do
+      total := !total +. (1.0 /. Float.pow (float_of_int k) s);
+      c.(k - 1) <- !total
+    done;
+    for k = 0 to n - 1 do
+      c.(k) <- c.(k) /. !total
+    done;
+    Hashtbl.replace zipf_tables (n, s) c;
+    c
+
+let zipf t n s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if s < 0.0 then invalid_arg "Rng.zipf: exponent must be nonnegative";
+  if s = 0.0 then 1 + int t n
+  else begin
+    let table = zipf_table n s in
+    let u = float t 1.0 in
+    (* Binary search for the first index with cdf >= u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if table.(mid) >= u then search lo mid else search (mid + 1) hi
+    in
+    1 + search 0 (n - 1)
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | l -> List.nth l (int t (List.length l))

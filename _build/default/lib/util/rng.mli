@@ -1,0 +1,56 @@
+(** Deterministic pseudo-random number generation for the simulator.
+
+    All randomness in the repository flows through this module so that every
+    experiment is reproducible from a single integer seed.  The generator is
+    SplitMix64 (Steele, Lea & Flood 2014): tiny state, excellent statistical
+    quality for simulation purposes, and cheap {!split}ting into independent
+    streams — one stream per site / per link keeps fault schedules independent
+    of workload draws. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy sharing the current state (diverges after next draw). *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] draws uniformly from [0, n-1].  [n] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] draws uniformly from the inclusive range [lo, hi]. *)
+
+val float : t -> float -> float
+(** [float t x] draws uniformly from [0, x). *)
+
+val bool : t -> bool
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean (not rate). *)
+
+val poisson : t -> float -> int
+(** [poisson t lambda] draws a Poisson-distributed count (Knuth's method for
+    small lambda, normal approximation above 30). *)
+
+val zipf : t -> int -> float -> int
+(** [zipf t n s] draws from a Zipf distribution over [1..n] with exponent
+    [s >= 0] ([s = 0] is uniform).  Uses an inverted-CDF table cached per
+    [(n, s)] pair. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list.  @raise Invalid_argument on []. *)

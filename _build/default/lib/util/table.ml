@@ -1,0 +1,77 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        match row with
+        | Sep -> acc
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) acc cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let hline () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_cells aligns cells =
+    List.iteri
+      (fun i c ->
+        let w = List.nth widths i in
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a w c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  hline ();
+  emit_cells (List.map (fun _ -> Left) t.headers) t.headers;
+  hline ();
+  List.iter
+    (fun row -> match row with Sep -> hline () | Cells cells -> emit_cells t.aligns cells)
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fint = string_of_int
+
+let ffloat ?(dec = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" dec x
+
+let fpct ?(dec = 1) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f%%" dec (100.0 *. x)

@@ -1,0 +1,33 @@
+(** ASCII table rendering for the benchmark harness.
+
+    All experiment output in [bench/main.exe] goes through this module so the
+    tables look uniform and can be diffed between runs. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create columns] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator row. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string], with a trailing newline. *)
+
+(** Cell formatting helpers. *)
+
+val fint : int -> string
+
+val ffloat : ?dec:int -> float -> string
+(** Fixed-decimal float ([dec] defaults to 2); [nan] renders as ["-"]. *)
+
+val fpct : ?dec:int -> float -> string
+(** Fraction rendered as a percentage, e.g. [fpct 0.25 = "25.0%"]. *)

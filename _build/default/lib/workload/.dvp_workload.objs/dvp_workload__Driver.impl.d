@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Dvp Dvp_baseline Dvp_net Dvp_sim

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Dvp Dvp_baseline Dvp_net Dvp_sim

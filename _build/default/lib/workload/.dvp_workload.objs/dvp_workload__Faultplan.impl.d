@@ -1,0 +1,1 @@
+lib/workload/faultplan.ml: Driver Dvp Dvp_net Dvp_sim List

@@ -1,0 +1,1 @@
+lib/workload/faultplan.mli: Driver Dvp Dvp_net

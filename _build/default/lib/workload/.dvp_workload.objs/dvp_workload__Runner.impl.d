@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Array Driver Dvp Dvp_sim Dvp_util Faultplan Float Format List Spec

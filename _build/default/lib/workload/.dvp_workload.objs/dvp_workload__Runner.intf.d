@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Driver Dvp Faultplan Format Spec

@@ -1,0 +1,1 @@
+lib/workload/setup.ml: Driver Dvp Dvp_baseline List Spec

@@ -1,0 +1,1 @@
+lib/workload/setup.mli: Driver Dvp Dvp_baseline Dvp_net Spec

@@ -1,0 +1,1 @@
+lib/workload/spec.mli: Dvp

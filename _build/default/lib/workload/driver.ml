@@ -1,0 +1,65 @@
+type t = {
+  name : string;
+  engine : Dvp_sim.Engine.t;
+  n_sites : int;
+  submit :
+    site:Dvp.Ids.site ->
+    ops:(Dvp.Ids.item * Dvp.Op.t) list ->
+    on_done:(Dvp.Site.txn_result -> unit) ->
+    unit;
+  submit_read :
+    site:Dvp.Ids.site -> item:Dvp.Ids.item -> on_done:(Dvp.Site.txn_result -> unit) -> unit;
+  partition : Dvp.Ids.site list list -> unit;
+  heal : unit -> unit;
+  crash : Dvp.Ids.site -> unit;
+  recover : Dvp.Ids.site -> unit;
+  set_links : Dvp_net.Linkstate.params -> unit;
+  finalize : unit -> unit;
+  metrics : unit -> Dvp.Metrics.t;
+}
+
+let of_dvp ?(name = "dvp") sys =
+  {
+    name;
+    engine = Dvp.System.engine sys;
+    n_sites = Dvp.System.n_sites sys;
+    submit = (fun ~site ~ops ~on_done -> Dvp.System.submit sys ~site ~ops ~on_done);
+    submit_read = (fun ~site ~item ~on_done -> Dvp.System.submit_read sys ~site ~item ~on_done);
+    partition = (fun groups -> Dvp.System.partition sys groups);
+    heal = (fun () -> Dvp.System.heal sys);
+    crash = (fun s -> Dvp.System.crash_site sys s);
+    recover = (fun s -> Dvp.System.recover_site sys s);
+    set_links = (fun p -> Dvp.System.set_all_links sys p);
+    finalize = (fun () -> ());
+    metrics = (fun () -> Dvp.System.metrics sys);
+  }
+
+let of_trad ?(name = "trad") sys =
+  let module T = Dvp_baseline.Trad_system in
+  {
+    name;
+    engine = T.engine sys;
+    n_sites = T.n_sites sys;
+    submit = (fun ~site ~ops ~on_done -> T.submit sys ~site ~ops ~on_done);
+    submit_read = (fun ~site ~item ~on_done -> T.submit_read sys ~site ~item ~on_done);
+    partition = (fun groups -> T.partition sys groups);
+    heal = (fun () -> T.heal sys);
+    crash = (fun s -> T.crash_site sys s);
+    recover = (fun s -> T.recover_site sys s);
+    set_links =
+      (fun _ ->
+        (* Baseline network parameters are fixed at creation; experiments
+           that sweep link quality construct fresh systems instead. *)
+        ());
+    finalize = (fun () -> T.flush_blocked sys);
+    metrics = (fun () -> T.metrics sys);
+  }
+
+let of_hybrid ?(name = "hybrid") sys hybrid =
+  let base = of_dvp ~name sys in
+  {
+    base with
+    submit = (fun ~site ~ops ~on_done -> Dvp.Hybrid.submit hybrid ~site ~ops ~on_done);
+    submit_read =
+      (fun ~site ~item ~on_done -> Dvp.Hybrid.submit_read hybrid ~site ~item ~on_done);
+  }

@@ -1,0 +1,35 @@
+(** A uniform handle over "a transactional system under test".
+
+    Both the DvP system and the traditional baselines implement the same
+    operations (submit / read / fault injection / metrics), so the workload
+    generator, fault planner and runner are written once against this record
+    and every experiment drives all systems identically. *)
+
+type t = {
+  name : string;
+  engine : Dvp_sim.Engine.t;
+  n_sites : int;
+  submit :
+    site:Dvp.Ids.site ->
+    ops:(Dvp.Ids.item * Dvp.Op.t) list ->
+    on_done:(Dvp.Site.txn_result -> unit) ->
+    unit;
+  submit_read :
+    site:Dvp.Ids.site -> item:Dvp.Ids.item -> on_done:(Dvp.Site.txn_result -> unit) -> unit;
+  partition : Dvp.Ids.site list list -> unit;
+  heal : unit -> unit;
+  crash : Dvp.Ids.site -> unit;
+  recover : Dvp.Ids.site -> unit;
+  set_links : Dvp_net.Linkstate.params -> unit;
+  finalize : unit -> unit;
+      (** end-of-run accounting hook (e.g. close still-blocked episodes) *)
+  metrics : unit -> Dvp.Metrics.t;
+}
+
+val of_dvp : ?name:string -> Dvp.System.t -> t
+
+val of_trad : ?name:string -> Dvp_baseline.Trad_system.t -> t
+
+val of_hybrid : ?name:string -> Dvp.System.t -> Dvp.Hybrid.t -> t
+(** Routes submissions through the hybrid mode manager; fault injection and
+    metrics go to the underlying system. *)

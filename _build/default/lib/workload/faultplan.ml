@@ -1,0 +1,51 @@
+type action =
+  | Partition of Dvp.Ids.site list list
+  | Heal
+  | Crash of Dvp.Ids.site
+  | Recover of Dvp.Ids.site
+  | Set_links of Dvp_net.Linkstate.params
+
+type event = { at : float; action : action }
+
+type t = event list
+
+let empty = []
+
+let at time action = { at = time; action }
+
+let partition_window ~start ~len groups =
+  [ at start (Partition groups); at (start +. len) Heal ]
+
+let repeated_partitions ~period ~len ~until groups =
+  let rec go start acc =
+    if start >= until then List.rev acc
+    else
+      go (start +. period)
+        (at (start +. len) Heal :: at start (Partition groups) :: acc)
+  in
+  go period []
+
+let crash_cycle ~site ~first ~downtime =
+  [ at first (Crash site); at (first +. downtime) (Recover site) ]
+
+let lossy_window ~start ~len ~loss =
+  [
+    at start (Set_links (Dvp_net.Linkstate.lossy loss));
+    at (start +. len) (Set_links Dvp_net.Linkstate.default);
+  ]
+
+let merge a b = List.sort (fun x y -> compare x.at y.at) (a @ b)
+
+let apply (d : Driver.t) = function
+  | Partition groups -> d.Driver.partition groups
+  | Heal -> d.Driver.heal ()
+  | Crash s -> d.Driver.crash s
+  | Recover s -> d.Driver.recover s
+  | Set_links p -> d.Driver.set_links p
+
+let schedule d plan =
+  List.iter
+    (fun { at = time; action } ->
+      ignore
+        (Dvp_sim.Engine.schedule_at d.Driver.engine ~at:time (fun () -> apply d action)))
+    plan

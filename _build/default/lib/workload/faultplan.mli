@@ -1,0 +1,39 @@
+(** Declarative fault schedules.
+
+    A plan is a list of timed actions applied to a {!Driver.t}; experiments
+    build plans with the combinators below and hand them to {!Runner.run}. *)
+
+type action =
+  | Partition of Dvp.Ids.site list list
+  | Heal
+  | Crash of Dvp.Ids.site
+  | Recover of Dvp.Ids.site
+  | Set_links of Dvp_net.Linkstate.params
+
+type event = { at : float; action : action }
+
+type t = event list
+
+val empty : t
+
+val at : float -> action -> event
+
+val partition_window : start:float -> len:float -> Dvp.Ids.site list list -> t
+(** One partition episode: split at [start], heal at [start +. len]. *)
+
+val repeated_partitions :
+  period:float -> len:float -> until:float -> Dvp.Ids.site list list -> t
+(** A partition of length [len] at the start of every [period], up to
+    [until] — "flapping" connectivity. *)
+
+val crash_cycle : site:Dvp.Ids.site -> first:float -> downtime:float -> t
+(** Crash the site at [first], recover it [downtime] later. *)
+
+val lossy_window : start:float -> len:float -> loss:float -> t
+(** Degrade every link to the given loss probability for a window, then
+    restore defaults. *)
+
+val merge : t -> t -> t
+
+val schedule : Driver.t -> t -> unit
+(** Install every event on the driver's engine. *)

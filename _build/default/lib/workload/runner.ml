@@ -1,0 +1,196 @@
+module Rng = Dvp_util.Rng
+module Engine = Dvp_sim.Engine
+
+type outcome = {
+  label : string;
+  metrics : Dvp.Metrics.t;
+  duration : float;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  throughput : float;
+  availability : float;
+  per_site_committed : int array;
+  per_site_submitted : int array;
+  timeline : (float * float) list;
+}
+
+(* One generated transaction: where it starts and what it does. *)
+let generate_txn rng (spec : Spec.t) =
+  let site = Rng.int rng spec.Spec.n_sites in
+  let items = Array.of_list (List.map fst spec.Spec.items) in
+  let pick_item () = items.(Rng.zipf rng (Array.length items) spec.Spec.zipf_s - 1) in
+  let u = Rng.float rng 1.0 in
+  if u < spec.Spec.read_fraction then `Read (site, pick_item ())
+  else begin
+    let amount = Rng.int_in rng spec.Spec.op_min spec.Spec.op_max in
+    let u2 = Rng.float rng 1.0 in
+    if u2 < spec.Spec.transfer_fraction && Array.length items > 1 then begin
+      (* Move value between two distinct items (flight change, account
+         transfer): decrement one, increment the other. *)
+      let a = pick_item () in
+      let rec other () =
+        let b = pick_item () in
+        if b = a then other () else b
+      in
+      let b = other () in
+      `Txn (site, [ (a, Dvp.Op.Decr amount); (b, Dvp.Op.Incr amount) ])
+    end
+    else if u2 < spec.Spec.transfer_fraction +. spec.Spec.incr_fraction then
+      `Txn (site, [ (pick_item (), Dvp.Op.Incr amount) ])
+    else `Txn (site, [ (pick_item (), Dvp.Op.Decr amount) ])
+  end
+
+let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bucket = 1.0)
+    ?(drain = 5.0) () =
+  let rng = Rng.create spec.Spec.seed in
+  let submitted = ref 0 and committed = ref 0 and aborted = ref 0 in
+  let per_site_committed = Array.make d.Driver.n_sites 0 in
+  let per_site_submitted = Array.make d.Driver.n_sites 0 in
+  let buckets = max 1 (int_of_float (ceil (spec.Spec.duration /. timeline_bucket))) in
+  let bucket_committed = Array.make buckets 0 and bucket_submitted = Array.make buckets 0 in
+  let engine = d.Driver.engine in
+  let record_result ~site ~bucket result =
+    match result with
+    | Dvp.Site.Committed _ ->
+      incr committed;
+      per_site_committed.(site) <- per_site_committed.(site) + 1;
+      if bucket >= 0 && bucket < buckets then
+        bucket_committed.(bucket) <- bucket_committed.(bucket) + 1
+    | Dvp.Site.Aborted _ -> incr aborted
+  in
+  let submit_one () =
+    match generate_txn rng spec with
+    | `Read (site, item) ->
+      incr submitted;
+      per_site_submitted.(site) <- per_site_submitted.(site) + 1;
+      let bucket = int_of_float (Engine.now engine /. timeline_bucket) in
+      if bucket >= 0 && bucket < buckets then
+        bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
+      d.Driver.submit_read ~site ~item ~on_done:(record_result ~site ~bucket)
+    | `Txn (site, ops) ->
+      incr submitted;
+      per_site_submitted.(site) <- per_site_submitted.(site) + 1;
+      let bucket = int_of_float (Engine.now engine /. timeline_bucket) in
+      if bucket >= 0 && bucket < buckets then
+        bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
+      d.Driver.submit ~site ~ops ~on_done:(record_result ~site ~bucket)
+  in
+  (* Open-loop Poisson arrivals. *)
+  let rec arrival_loop () =
+    if Engine.now engine < spec.Spec.duration then begin
+      submit_one ();
+      let gap = Rng.exponential rng (1.0 /. spec.Spec.arrival_rate) in
+      ignore (Engine.schedule engine ~delay:gap arrival_loop)
+    end
+  in
+  ignore
+    (Engine.schedule_at engine
+       ~at:(Rng.exponential rng (1.0 /. spec.Spec.arrival_rate))
+       arrival_loop);
+  Faultplan.schedule d faults;
+  Engine.run_until engine (spec.Spec.duration +. drain);
+  d.Driver.finalize ();
+  let timeline =
+    List.init buckets (fun i ->
+        let t_end = float_of_int (i + 1) *. timeline_bucket in
+        let s = bucket_submitted.(i) in
+        let ratio = if s = 0 then nan else float_of_int bucket_committed.(i) /. float_of_int s in
+        (t_end, ratio))
+  in
+  {
+    label = d.Driver.name;
+    metrics = d.Driver.metrics ();
+    duration = spec.Spec.duration;
+    submitted = !submitted;
+    committed = !committed;
+    aborted = !aborted;
+    throughput = float_of_int !committed /. spec.Spec.duration;
+    availability =
+      (if !submitted = 0 then nan else float_of_int !committed /. float_of_int !submitted);
+    per_site_committed;
+    per_site_submitted;
+    timeline;
+  }
+
+let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
+    ?(faults = Faultplan.empty) ?(timeline_bucket = 1.0) ?(drain = 5.0) () =
+  (* A zero think time would never advance simulated time when commits are
+     synchronous (local DvP commits are): clamp to a small positive gap. *)
+  let think = Float.max think 1e-4 in
+  let rng = Rng.create spec.Spec.seed in
+  let submitted = ref 0 and committed = ref 0 and aborted = ref 0 in
+  let per_site_committed = Array.make d.Driver.n_sites 0 in
+  let per_site_submitted = Array.make d.Driver.n_sites 0 in
+  let buckets = max 1 (int_of_float (ceil (spec.Spec.duration /. timeline_bucket))) in
+  let bucket_committed = Array.make buckets 0 and bucket_submitted = Array.make buckets 0 in
+  let engine = d.Driver.engine in
+  let rec client_loop () =
+    if Engine.now engine < spec.Spec.duration then begin
+      let bucket = int_of_float (Engine.now engine /. timeline_bucket) in
+      let record result =
+        (match result with
+        | Dvp.Site.Committed _ ->
+          incr committed;
+          if bucket >= 0 && bucket < buckets then
+            bucket_committed.(bucket) <- bucket_committed.(bucket) + 1
+        | Dvp.Site.Aborted _ -> incr aborted);
+        ignore (Engine.schedule engine ~delay:think client_loop)
+      in
+      match generate_txn rng spec with
+      | `Read (site, item) ->
+        incr submitted;
+        per_site_submitted.(site) <- per_site_submitted.(site) + 1;
+        if bucket >= 0 && bucket < buckets then
+          bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
+        d.Driver.submit_read ~site ~item ~on_done:(fun r ->
+            (match r with
+            | Dvp.Site.Committed _ -> per_site_committed.(site) <- per_site_committed.(site) + 1
+            | Dvp.Site.Aborted _ -> ());
+            record r)
+      | `Txn (site, ops) ->
+        incr submitted;
+        per_site_submitted.(site) <- per_site_submitted.(site) + 1;
+        if bucket >= 0 && bucket < buckets then
+          bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
+        d.Driver.submit ~site ~ops ~on_done:(fun r ->
+            (match r with
+            | Dvp.Site.Committed _ -> per_site_committed.(site) <- per_site_committed.(site) + 1
+            | Dvp.Site.Aborted _ -> ());
+            record r)
+    end
+  in
+  for _ = 1 to clients do
+    ignore (Engine.schedule engine ~delay:(Rng.float rng 0.01) client_loop)
+  done;
+  Faultplan.schedule d faults;
+  Engine.run_until engine (spec.Spec.duration +. drain);
+  d.Driver.finalize ();
+  let timeline =
+    List.init buckets (fun i ->
+        let t_end = float_of_int (i + 1) *. timeline_bucket in
+        let s = bucket_submitted.(i) in
+        let ratio = if s = 0 then nan else float_of_int bucket_committed.(i) /. float_of_int s in
+        (t_end, ratio))
+  in
+  {
+    label = d.Driver.name;
+    metrics = d.Driver.metrics ();
+    duration = spec.Spec.duration;
+    submitted = !submitted;
+    committed = !committed;
+    aborted = !aborted;
+    throughput = float_of_int !committed /. spec.Spec.duration;
+    availability =
+      (if !submitted = 0 then nan else float_of_int !committed /. float_of_int !submitted);
+    per_site_committed;
+    per_site_submitted;
+    timeline;
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%s: %d submitted, %d committed (%.1f%%), %.1f txn/s, p50=%.1f ms p99=%.1f ms"
+    o.label o.submitted o.committed (100.0 *. o.availability) o.throughput
+    (1000.0 *. Dvp.Metrics.latency_p50 o.metrics)
+    (1000.0 *. Dvp.Metrics.latency_p99 o.metrics)

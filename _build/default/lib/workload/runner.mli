@@ -1,0 +1,49 @@
+(** Drive a system-under-test with a workload spec and a fault plan; collect
+    the outcome the experiment tables report. *)
+
+type outcome = {
+  label : string;
+  metrics : Dvp.Metrics.t;
+  duration : float;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  throughput : float;  (** commits per second of load *)
+  availability : float;  (** committed / submitted *)
+  per_site_committed : int array;
+  per_site_submitted : int array;
+  timeline : (float * float) list;
+      (** (bucket end time, commit ratio within the bucket) — the
+          availability-over-time series of experiments E1/E3 *)
+}
+
+val run :
+  Driver.t ->
+  Spec.t ->
+  ?faults:Faultplan.t ->
+  ?timeline_bucket:float ->
+  ?drain:float ->
+  unit ->
+  outcome
+(** Generate Poisson arrivals per the spec on the driver's engine, install
+    the fault plan, run until [spec.duration +. drain] (default drain 5 s,
+    letting in-flight work settle), then finalize and summarise. *)
+
+val run_closed :
+  Driver.t ->
+  Spec.t ->
+  clients:int ->
+  ?think:float ->
+  ?faults:Faultplan.t ->
+  ?timeline_bucket:float ->
+  ?drain:float ->
+  unit ->
+  outcome
+(** Closed-loop variant: [clients] concurrent clients, each submitting its
+    next transaction [think] seconds (default 1 ms, clamped to ≥ 0.1 ms so
+    simulated time always advances) after the previous one completes.
+    [spec.arrival_rate] is ignored; [spec.duration] still bounds the load
+    phase.  Use for saturation studies where open-loop arrivals would queue
+    unboundedly. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

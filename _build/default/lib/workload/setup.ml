@@ -1,0 +1,15 @@
+let dvp_system ?config ?link (spec : Spec.t) =
+  let sys = Dvp.System.create ?config ?link ~seed:spec.Spec.seed ~n:spec.Spec.n_sites () in
+  List.iter (fun (item, total) -> Dvp.System.add_item sys ~item ~total ()) spec.Spec.items;
+  sys
+
+let dvp ?config ?link ?(name = "dvp") spec = Driver.of_dvp ~name (dvp_system ?config ?link spec)
+
+let trad ?config ?link ?(name = "trad") (spec : Spec.t) =
+  let sys =
+    Dvp_baseline.Trad_system.create ?config ?link ~seed:spec.Spec.seed ~n:spec.Spec.n_sites ()
+  in
+  List.iter
+    (fun (item, total) -> Dvp_baseline.Trad_system.add_item sys ~item ~total)
+    spec.Spec.items;
+  Driver.of_trad ~name sys

@@ -1,0 +1,18 @@
+(** Construct ready-to-run systems from a workload spec. *)
+
+val dvp :
+  ?config:Dvp.Config.t -> ?link:Dvp_net.Linkstate.params -> ?name:string -> Spec.t -> Driver.t
+(** A DvP installation with the spec's items split evenly across sites. *)
+
+val dvp_system :
+  ?config:Dvp.Config.t -> ?link:Dvp_net.Linkstate.params -> Spec.t -> Dvp.System.t
+(** The underlying system, when the caller needs invariant checks too. *)
+
+val trad :
+  ?config:Dvp_baseline.Trad_site.config ->
+  ?link:Dvp_net.Linkstate.params ->
+  ?name:string ->
+  Spec.t ->
+  Driver.t
+(** A traditional installation (2PC single-copy by default; pass a config for
+    3PC or quorum replication). *)

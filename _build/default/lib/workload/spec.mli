@@ -1,0 +1,44 @@
+(** Workload descriptions.
+
+    A spec captures the paper's three motivating application domains as
+    parameterised synthetic workloads: how many sites, which items with what
+    aggregate totals, the arrival process, the operation mix and sizes, and
+    the access skew. *)
+
+type t = {
+  label : string;
+  n_sites : int;
+  items : (Dvp.Ids.item * int) list;  (** (item, initial aggregate value) *)
+  arrival_rate : float;  (** transactions per second, whole system *)
+  duration : float;  (** seconds of open-loop load *)
+  read_fraction : float;  (** drain reads (DvP) / quorum reads (baselines) *)
+  incr_fraction : float;
+      (** of the non-read transactions, how many add value back
+          (cancellations, restocks, deposits) *)
+  transfer_fraction : float;
+      (** of the non-read transactions, how many touch two items *)
+  op_min : int;
+  op_max : int;  (** operation sizes drawn uniformly from [op_min, op_max] *)
+  zipf_s : float;  (** item-choice skew; 0 = uniform *)
+  seed : int;
+}
+
+val default : t
+
+val airline : ?sites:int -> ?rate:float -> ?duration:float -> unit -> t
+(** Seat reservations on a handful of flights: decrement-heavy with ~15%
+    cancellations, occasional flight changes (transfers), rare full reads. *)
+
+val banking : ?sites:int -> ?rate:float -> ?duration:float -> unit -> t
+(** Account debits/credits over many accounts: balanced mix, frequent
+    transfers, no global reads in steady state. *)
+
+val inventory : ?sites:int -> ?rate:float -> ?duration:float -> unit -> t
+(** One hot aggregate item plus a cold tail (Zipf 1.2): the Section 8
+    hot-spot scenario. *)
+
+val scale_rate : t -> float -> t
+
+val with_seed : t -> int -> t
+
+val total_expected_txns : t -> float

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Dvp Dvp_baseline Dvp_net Dvp_sim Dvp_util Escrow Format Hashtbl List Lock_mgr Option QCheck QCheck_alcotest Trad_site Trad_system

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array Broadcast Dvp_net Dvp_sim Dvp_util Linkstate List Network QCheck QCheck_alcotest Window

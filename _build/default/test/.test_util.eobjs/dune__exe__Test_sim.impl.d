@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Dvp_sim Engine List QCheck QCheck_alcotest String Trace

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Dvp_storage List Local_db QCheck QCheck_alcotest Stable Wal

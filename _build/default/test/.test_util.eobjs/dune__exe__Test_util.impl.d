@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Dstats Dvp_util Float Gen Heap List Printf QCheck QCheck_alcotest Rng String Table

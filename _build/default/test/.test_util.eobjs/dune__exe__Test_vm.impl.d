@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Dvp Dvp_sim Dvp_storage List Log_event Metrics Proto QCheck QCheck_alcotest Queue Vm

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Driver Dvp Dvp_workload Faultplan List Runner Setup Spec

@@ -1,0 +1,606 @@
+(* Tests for dvp_baseline: the strict-2PL lock manager, 2PC/3PC single-copy
+   and quorum-replicated systems, and the central escrow server. *)
+
+module Engine = Dvp_sim.Engine
+open Dvp_baseline
+
+let result_testable =
+  let pp ppf = function
+    | Dvp.Site.Committed { read_value = None } -> Format.pp_print_string ppf "Committed"
+    | Dvp.Site.Committed { read_value = Some v } ->
+      Format.fprintf ppf "Committed(read=%d)" v
+    | Dvp.Site.Aborted r ->
+      Format.fprintf ppf "Aborted(%s)" (Dvp.Metrics.abort_reason_label r)
+  in
+  Alcotest.testable pp ( = )
+
+let committed = Dvp.Site.Committed { read_value = None }
+
+(* ------------------------------------------------------------- Lock_mgr *)
+
+let test_lockmgr_grant_immediate () =
+  let e = Engine.create () in
+  let lm = Lock_mgr.create e in
+  let got = ref false in
+  Lock_mgr.acquire lm ~item:1 ~txn:(1, 0) ~timeout:1.0 (fun ok -> got := ok);
+  Alcotest.(check bool) "granted now" true !got
+
+let test_lockmgr_queue_and_promote () =
+  let e = Engine.create () in
+  let lm = Lock_mgr.create e in
+  let order = ref [] in
+  Lock_mgr.acquire lm ~item:1 ~txn:(1, 0) ~timeout:1.0 (fun _ -> order := 1 :: !order);
+  Lock_mgr.acquire lm ~item:1 ~txn:(2, 0) ~timeout:1.0 (fun ok ->
+      if ok then order := 2 :: !order);
+  Lock_mgr.acquire lm ~item:1 ~txn:(3, 0) ~timeout:1.0 (fun ok ->
+      if ok then order := 3 :: !order);
+  Alcotest.(check int) "two waiting" 2 (Lock_mgr.waiting lm);
+  Lock_mgr.release_all lm ~txn:(1, 0);
+  Alcotest.(check (list int)) "fifo grant" [ 1; 2 ] (List.rev !order);
+  Lock_mgr.release_all lm ~txn:(2, 0);
+  Alcotest.(check (list int)) "third granted" [ 1; 2; 3 ] (List.rev !order)
+
+let test_lockmgr_timeout_refuses () =
+  let e = Engine.create () in
+  let lm = Lock_mgr.create e in
+  Lock_mgr.acquire lm ~item:1 ~txn:(1, 0) ~timeout:1.0 (fun _ -> ());
+  let refused = ref false in
+  Lock_mgr.acquire lm ~item:1 ~txn:(2, 0) ~timeout:0.1 (fun ok -> refused := not ok);
+  Engine.run_until e 1.0;
+  Alcotest.(check bool) "timed out" true !refused;
+  (* The withdrawn waiter must not be granted later. *)
+  Lock_mgr.release_all lm ~txn:(1, 0);
+  Alcotest.(check bool) "still refused" true !refused
+
+let test_lockmgr_reentrant () =
+  let e = Engine.create () in
+  let lm = Lock_mgr.create e in
+  let count = ref 0 in
+  Lock_mgr.acquire lm ~item:1 ~txn:(1, 0) ~timeout:1.0 (fun ok -> if ok then incr count);
+  Lock_mgr.acquire lm ~item:1 ~txn:(1, 0) ~timeout:1.0 (fun ok -> if ok then incr count);
+  Alcotest.(check int) "both granted" 2 !count
+
+let test_lockmgr_clear_refuses_waiters () =
+  let e = Engine.create () in
+  let lm = Lock_mgr.create e in
+  Lock_mgr.acquire lm ~item:1 ~txn:(1, 0) ~timeout:1.0 (fun _ -> ());
+  let got = ref None in
+  Lock_mgr.acquire lm ~item:1 ~txn:(2, 0) ~timeout:5.0 (fun ok -> got := Some ok);
+  Lock_mgr.clear lm;
+  Alcotest.(check (option bool)) "waiter refused" (Some false) !got
+
+(* Property: whatever the interleaving of acquires (with random timeouts)
+   and releases, at most one transaction ever believes it holds an item. *)
+let prop_lockmgr_mutual_exclusion =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map2 (fun txn item -> `Acquire (txn mod 8, item mod 3)) (int_bound 7) (int_bound 2));
+          (3, map (fun txn -> `Release (txn mod 8)) (int_bound 7));
+          (2, return `Tick);
+        ])
+  in
+  QCheck.Test.make ~name:"lock manager mutual exclusion" ~count:150
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 60) op_gen))
+    (fun ops ->
+      let e = Engine.create () in
+      let lm = Lock_mgr.create e in
+      let holding : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+      (* (item) -> holder count; granted callbacks bump, releases clear *)
+      let ok = ref true in
+      let held_by_txn : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Acquire (t, item) ->
+            let txn = (t, 0) in
+            Lock_mgr.acquire lm ~item ~txn ~timeout:0.3 (fun granted ->
+                if granted then begin
+                  let cur = Option.value ~default:0 (Hashtbl.find_opt holding (item, 0)) in
+                  (* reentrant grants to the same txn are fine; distinct
+                     holders are not *)
+                  let mine =
+                    Option.value ~default:[] (Hashtbl.find_opt held_by_txn t)
+                  in
+                  if not (List.mem item mine) then begin
+                    if cur > 0 then ok := false;
+                    Hashtbl.replace holding (item, 0) (cur + 1);
+                    Hashtbl.replace held_by_txn t (item :: mine)
+                  end
+                end)
+          | `Release t ->
+            let txn = (t, 0) in
+            let mine = Option.value ~default:[] (Hashtbl.find_opt held_by_txn t) in
+            List.iter
+              (fun item ->
+                let cur = Option.value ~default:0 (Hashtbl.find_opt holding (item, 0)) in
+                Hashtbl.replace holding (item, 0) (max 0 (cur - 1)))
+              (List.sort_uniq compare mine);
+            Hashtbl.remove held_by_txn t;
+            Lock_mgr.release_all lm ~txn
+          | `Tick -> Engine.run_until e (Engine.now e +. 0.1))
+        ops;
+      !ok)
+
+(* ------------------------------------------------------- 2PC single-copy *)
+
+let mk_trad ?(seed = 3) ?(config = Trad_site.default_config) ?link ?(n = 4)
+    ?(items = [ (0, 100) ]) () =
+  let sys = Trad_system.create ~seed ~config ?link ~n () in
+  List.iter (fun (item, total) -> Trad_system.add_item sys ~item ~total) items;
+  sys
+
+let test_2pc_local_home_commit () =
+  let sys = mk_trad () in
+  (* item 0 homes at site 0; submit at site 0. *)
+  let r = ref None in
+  Trad_system.submit sys ~site:0 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "value updated" 90 (Trad_system.committed_value sys ~item:0)
+
+let test_2pc_remote_commit () =
+  let sys = mk_trad () in
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "home updated" 90 (Trad_system.committed_value sys ~item:0);
+  Alcotest.(check bool) "messages flowed" true
+    (Dvp.Metrics.messages (Trad_system.metrics sys) > 0)
+
+let test_2pc_ineffective_aborts () =
+  let sys = mk_trad () in
+  let r = ref None in
+  Trad_system.submit sys ~site:1 ~ops:[ (0, Dvp.Op.Decr 500) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "business abort"
+    (Some (Dvp.Site.Aborted Dvp.Metrics.Ineffective))
+    !r;
+  Alcotest.(check int) "value untouched" 100 (Trad_system.committed_value sys ~item:0)
+
+let test_2pc_multi_item_two_homes () =
+  let sys = mk_trad ~items:[ (0, 50); (1, 50) ] () in
+  let r = ref None in
+  (* items 0 and 1 home at sites 0 and 1: two-participant 2PC. *)
+  Trad_system.submit sys ~site:2
+    ~ops:[ (0, Dvp.Op.Decr 5); (1, Dvp.Op.Incr 5) ]
+    ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "item0" 45 (Trad_system.committed_value sys ~item:0);
+  Alcotest.(check int) "item1" 55 (Trad_system.committed_value sys ~item:1)
+
+let test_2pc_read () =
+  let sys = mk_trad () in
+  let r = ref None in
+  Trad_system.submit_read sys ~site:3 ~item:0 ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "reads 100"
+    (Some (Dvp.Site.Committed { read_value = Some 100 }))
+    !r
+
+let test_2pc_partition_aborts_remote () =
+  let sys = mk_trad () in
+  Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ];
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 3.0;
+  (match !r with
+  | Some (Dvp.Site.Aborted _) -> ()
+  | other ->
+    Alcotest.failf "expected abort, got %s"
+      (match other with None -> "pending" | Some _ -> "commit"));
+  Alcotest.(check int) "home untouched" 100 (Trad_system.committed_value sys ~item:0)
+
+let test_2pc_partition_mid_protocol_blocks_participant () =
+  (* Partition precisely between prepare and decision: the participant is in
+     doubt and blocked until the partition heals — the paper's Section 2
+     scenario made measurable. *)
+  let sys = mk_trad ~seed:7 () in
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  (* With ~5-7 ms links: Exec ~t+6ms, ack ~12, prepare ~18, vote ~24,
+     decision ~30.  Cut the network while the vote is in flight. *)
+  ignore
+    (Engine.schedule (Trad_system.engine sys) ~delay:0.020 (fun () ->
+         Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ]));
+  Trad_system.run_until sys 4.0;
+  Alcotest.(check int) "participant in doubt" 1 (Trad_system.in_doubt_total sys);
+  (* Heal: the status polling resolves the transaction. *)
+  Trad_system.heal sys;
+  Trad_system.run_until sys 8.0;
+  Alcotest.(check int) "resolved after heal" 0 (Trad_system.in_doubt_total sys);
+  let m = Trad_system.metrics sys in
+  Alcotest.(check bool) "blocked episode near partition length" true
+    (Dvp.Metrics.max_blocked m > 3.0)
+
+let test_2pc_participant_crash_recovery_queries () =
+  (* A participant that crashes while in doubt must contact the coordinator
+     on recovery — traditional recovery is not independent. *)
+  let sys = mk_trad ~seed:8 () in
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  (* Crash home site 0 while it is prepared (~between 18 and 30 ms). *)
+  ignore
+    (Engine.schedule (Trad_system.engine sys) ~delay:0.022 (fun () ->
+         Trad_system.crash_site sys 0));
+  Trad_system.run_until sys 2.0;
+  Trad_system.recover_site sys 0;
+  Trad_system.run_until sys 5.0;
+  let m = Trad_system.metrics sys in
+  Alcotest.(check bool) "recovery sent messages" true (Dvp.Metrics.recovery_messages m > 0);
+  Alcotest.(check int) "no one left in doubt" 0 (Trad_system.in_doubt_total sys)
+
+let test_2pc_crossing_transactions_resolve () =
+  (* Two transactions lock their items in opposite orders across two home
+     sites — the classic distributed deadlock.  The lock-wait timeout breaks
+     it: at least one commits, none hangs. *)
+  let sys = mk_trad ~items:[ (0, 100); (1, 100) ] ~seed:15 () in
+  let r1 = ref None and r2 = ref None in
+  (* items 0 and 1 home at sites 0 and 1. *)
+  Trad_system.submit sys ~site:0
+    ~ops:[ (0, Dvp.Op.Decr 1); (1, Dvp.Op.Decr 1) ]
+    ~on_done:(fun x -> r1 := Some x);
+  Trad_system.submit sys ~site:1
+    ~ops:[ (1, Dvp.Op.Decr 1); (0, Dvp.Op.Decr 1) ]
+    ~on_done:(fun x -> r2 := Some x);
+  Trad_system.run_until sys 10.0;
+  let resolved = function Some _ -> true | None -> false in
+  (* The lock-wait timeout breaks the cycle: both transactions resolve (in
+     the perfectly symmetric race, both become deadlock victims). *)
+  Alcotest.(check bool) "both resolved, neither hangs" true (resolved !r1 && resolved !r2);
+  Alcotest.(check int) "no locks stranded" 0 (Trad_system.in_doubt_total sys);
+  (* The locks really were freed: a retry sails through. *)
+  let r3 = ref None in
+  Trad_system.submit sys ~site:0
+    ~ops:[ (0, Dvp.Op.Decr 1); (1, Dvp.Op.Decr 1) ]
+    ~on_done:(fun x -> r3 := Some x);
+  Trad_system.run_until sys 14.0;
+  Alcotest.(check (option result_testable)) "retry commits" (Some committed) !r3
+
+(* ----------------------------------------------------------------- 3PC *)
+
+let three_pc_config = { Trad_site.default_config with Trad_site.protocol = Trad_site.Three_phase }
+
+let test_3pc_commit () =
+  let sys = mk_trad ~config:three_pc_config () in
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "value" 90 (Trad_system.committed_value sys ~item:0)
+
+let test_3pc_termination_unblocks () =
+  (* Under the same mid-protocol partition that leaves 2PC blocked, 3PC's
+     termination rule releases the participant... *)
+  let sys = mk_trad ~seed:7 ~config:three_pc_config () in
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  ignore
+    (Engine.schedule (Trad_system.engine sys) ~delay:0.020 (fun () ->
+         Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ]));
+  Trad_system.run_until sys 6.0;
+  Alcotest.(check int) "not blocked" 0 (Trad_system.in_doubt_total sys);
+  let m = Trad_system.metrics sys in
+  Alcotest.(check bool) "blocked time bounded by termination timeout" true
+    (Dvp.Metrics.max_blocked m <= three_pc_config.Trad_site.termination_timeout +. 0.3)
+
+let test_3pc_partition_can_violate_atomicity () =
+  (* ...but across many runs the unilateral decisions contradict the
+     coordinator sometimes — Skeen's impossibility observed. *)
+  let violations = ref 0 in
+  for seed = 0 to 30 do
+    let sys = mk_trad ~seed ~config:three_pc_config () in
+    Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun _ -> ());
+    (* Cut the network at a random point inside the protocol window. *)
+    let cut = 0.012 +. (0.004 *. float_of_int (seed mod 8)) in
+    ignore
+      (Engine.schedule (Trad_system.engine sys) ~delay:cut (fun () ->
+           Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ]));
+    Trad_system.run_until sys 6.0;
+    violations := !violations + Trad_system.inconsistencies sys
+  done;
+  Alcotest.(check bool) "at least one atomicity violation observed" true (!violations > 0)
+
+(* --------------------------------------------------------------- quorum *)
+
+let quorum_config = { Trad_site.default_config with Trad_site.placement = Trad_site.Replicated }
+
+let test_quorum_commit_updates_majority () =
+  let sys = mk_trad ~config:quorum_config () in
+  let r = ref None in
+  Trad_system.submit sys ~site:1 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "majority-visible value" 90 (Trad_system.committed_value sys ~item:0);
+  let fresh =
+    List.length
+      (List.filter
+         (fun i -> Trad_system.value_at sys ~site:i ~item:0 = 90)
+         [ 0; 1; 2; 3 ])
+  in
+  Alcotest.(check bool) "majority updated" true (fresh >= 3)
+
+let test_quorum_sequential_updates_see_latest () =
+  let sys = mk_trad ~config:quorum_config ~seed:9 () in
+  let ok = ref 0 in
+  let submit_one () =
+    Trad_system.submit sys ~site:(!ok mod 4)
+      ~ops:[ (0, Dvp.Op.Decr 10) ]
+      ~on_done:(fun x -> match x with Dvp.Site.Committed _ -> incr ok | _ -> ())
+  in
+  for i = 0 to 4 do
+    ignore
+      (Engine.schedule (Trad_system.engine sys)
+         ~delay:(0.3 *. float_of_int i)
+         submit_one)
+  done;
+  Trad_system.run_until sys 5.0;
+  Alcotest.(check int) "all five commit" 5 !ok;
+  Alcotest.(check int) "value reflects all" 50 (Trad_system.committed_value sys ~item:0)
+
+let test_quorum_minority_unavailable_majority_works () =
+  let sys = mk_trad ~config:quorum_config ~seed:10 () in
+  Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ];
+  let minority = ref None and majority = ref None in
+  Trad_system.submit sys ~site:0 ~ops:[ (0, Dvp.Op.Decr 5) ]
+    ~on_done:(fun x -> minority := Some x);
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 5) ]
+    ~on_done:(fun x -> majority := Some x);
+  Trad_system.run_until sys 3.0;
+  Alcotest.(check (option result_testable)) "minority no quorum"
+    (Some (Dvp.Site.Aborted Dvp.Metrics.No_quorum))
+    !minority;
+  Alcotest.(check (option result_testable)) "majority commits" (Some committed) !majority
+
+let test_quorum_survives_minority_crash () =
+  (* With one of four replicas crashed, majorities still form. *)
+  let sys = mk_trad ~config:quorum_config ~seed:12 () in
+  Trad_system.crash_site sys 3;
+  let r = ref None in
+  Trad_system.submit sys ~site:1 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 3.0;
+  Alcotest.(check (option result_testable)) "still commits" (Some committed) !r;
+  Alcotest.(check int) "value" 90 (Trad_system.committed_value sys ~item:0)
+
+let test_3pc_coordinator_crash_is_safe () =
+  (* Crash-only (no partition): whatever the termination rule decides must
+     agree with the coordinator's log — 3PC's actual guarantee. *)
+  let violations = ref 0 in
+  let resolved = ref 0 in
+  for seed = 0 to 15 do
+    let sys = mk_trad ~seed ~config:three_pc_config () in
+    Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun _ -> ());
+    let cut = 0.012 +. (0.004 *. float_of_int (seed mod 8)) in
+    ignore
+      (Engine.schedule (Trad_system.engine sys) ~delay:cut (fun () ->
+           Trad_system.crash_site sys 2));
+    ignore
+      (Engine.schedule_at (Trad_system.engine sys) ~at:4.0 (fun () ->
+           Trad_system.recover_site sys 2));
+    Trad_system.run_until sys 8.0;
+    violations := !violations + Trad_system.inconsistencies sys;
+    if Trad_system.in_doubt_total sys = 0 then incr resolved
+  done;
+  Alcotest.(check int) "no violations under crash-only failures" 0 !violations;
+  Alcotest.(check int) "everything resolved" 16 !resolved
+
+let test_quorum_with_3pc_commits () =
+  (* The two config axes compose: replicated placement under the three-phase
+     protocol. *)
+  let config =
+    {
+      Trad_site.default_config with
+      Trad_site.placement = Trad_site.Replicated;
+      Trad_site.protocol = Trad_site.Three_phase;
+    }
+  in
+  let sys = mk_trad ~config ~seed:14 () in
+  let r = ref None in
+  Trad_system.submit sys ~site:1 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 3.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "value" 90 (Trad_system.committed_value sys ~item:0)
+
+(* --------------------------------------------------------- primary copy *)
+
+let primary_config =
+  { Trad_site.default_config with Trad_site.placement = Trad_site.Primary_copy 0 }
+
+let test_primary_copy_routes_to_primary () =
+  let sys = mk_trad ~config:primary_config ~items:[ (0, 100); (5, 100) ] () in
+  let r = ref None in
+  (* Item 5 would home at site 1 under single-copy; under primary-copy it
+     lives at site 0. *)
+  Trad_system.submit sys ~site:3 ~ops:[ (5, Dvp.Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 2.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "primary holds the value" 90
+    (Trad_system.value_at sys ~site:0 ~item:5);
+  Alcotest.(check int) "site 1 has nothing" 0 (Trad_system.value_at sys ~site:1 ~item:5)
+
+let test_primary_copy_dies_with_primary () =
+  let sys = mk_trad ~config:primary_config ~seed:13 () in
+  Trad_system.crash_site sys 0;
+  let r = ref None in
+  Trad_system.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 1) ] ~on_done:(fun x -> r := Some x);
+  Trad_system.run_until sys 3.0;
+  Alcotest.(check (option result_testable)) "whole system unavailable"
+    (Some (Dvp.Site.Aborted Dvp.Metrics.Timeout))
+    !r
+
+(* --------------------------------------------------------------- escrow *)
+
+(* A tiny star network: clients at sites 1..n-1, the server at site 0. *)
+let mk_escrow ?(seed = 5) ?(mode = Escrow.Escrow_locking) ?(n = 4) ~total () =
+  let engine = Engine.create () in
+  let rng = Dvp_util.Rng.create seed in
+  let net = Dvp_net.Network.create engine ~rng ~n () in
+  let metrics = Dvp.Metrics.create () in
+  let server =
+    Escrow.server engine ~mode ~send:(fun ~dst msg -> Dvp_net.Network.send net ~src:0 ~dst msg) ()
+  in
+  Escrow.install server ~item:0 total;
+  Dvp_net.Network.set_handler net 0 (fun ~src msg -> Escrow.handle_server server ~src msg);
+  let clients =
+    Array.init n (fun i ->
+        if i = 0 then None
+        else
+          Some
+            (Escrow.client engine ~self:i
+               ~send:(fun msg -> Dvp_net.Network.send net ~src:i ~dst:0 msg)
+               ~metrics ()))
+  in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Some client -> Dvp_net.Network.set_handler net i (fun ~src:_ msg -> Escrow.handle_client client msg)
+      | None -> ())
+    clients;
+  (engine, net, server, clients, metrics)
+
+let client_exn clients i = match clients.(i) with Some c -> c | None -> assert false
+
+let test_escrow_grant_and_commit () =
+  let engine, _, server, clients, _ = mk_escrow ~total:100 () in
+  let r = ref None in
+  Escrow.request (client_exn clients 1) ~item:0 ~op:(Dvp.Op.Decr 10)
+    ~on_done:(fun x -> r := Some x);
+  Engine.run_until engine 1.0;
+  Alcotest.(check (option result_testable)) "commits" (Some committed) !r;
+  Alcotest.(check int) "value" 90 (Escrow.server_value server ~item:0);
+  Alcotest.(check int) "no residual escrow" 0 (Escrow.escrowed server ~item:0)
+
+let test_escrow_denies_oversubscription () =
+  let engine, _, server, clients, _ = mk_escrow ~total:15 () in
+  let results = ref [] in
+  for i = 1 to 3 do
+    Escrow.request (client_exn clients i) ~item:0 ~op:(Dvp.Op.Decr 10)
+      ~on_done:(fun x -> results := x :: !results)
+  done;
+  Engine.run_until engine 2.0;
+  let commits =
+    List.length (List.filter (function Dvp.Site.Committed _ -> true | _ -> false) !results)
+  in
+  Alcotest.(check int) "exactly one fits" 1 commits;
+  Alcotest.(check int) "value" 5 (Escrow.server_value server ~item:0);
+  ignore server
+
+let test_escrow_concurrent_when_feasible () =
+  let engine, _, server, clients, _ = mk_escrow ~total:100 () in
+  let commits = ref 0 in
+  for i = 1 to 3 do
+    Escrow.request (client_exn clients i) ~item:0 ~op:(Dvp.Op.Decr 10)
+      ~on_done:(fun x -> match x with Dvp.Site.Committed _ -> incr commits | _ -> ())
+  done;
+  Engine.run_until engine 2.0;
+  Alcotest.(check int) "all three commit" 3 !commits;
+  Alcotest.(check int) "value" 70 (Escrow.server_value server ~item:0)
+
+let test_escrow_server_down_times_out () =
+  let engine, _, server, clients, _ = mk_escrow ~total:100 () in
+  Escrow.set_server_up server false;
+  let r = ref None in
+  Escrow.request (client_exn clients 1) ~item:0 ~op:(Dvp.Op.Decr 10)
+    ~on_done:(fun x -> r := Some x);
+  Engine.run_until engine 2.0;
+  Alcotest.(check (option result_testable)) "times out"
+    (Some (Dvp.Site.Aborted Dvp.Metrics.Timeout))
+    !r
+
+let test_escrow_exclusive_serialises () =
+  let engine, _, server, clients, _ =
+    mk_escrow ~mode:Escrow.Exclusive_locking ~total:100 ()
+  in
+  let commits = ref 0 in
+  for i = 1 to 3 do
+    Escrow.request (client_exn clients i) ~item:0 ~op:(Dvp.Op.Decr 10)
+      ~on_done:(fun x -> match x with Dvp.Site.Committed _ -> incr commits | _ -> ())
+  done;
+  Engine.run_until engine 3.0;
+  Alcotest.(check int) "all commit eventually" 3 !commits;
+  Alcotest.(check int) "value" 70 (Escrow.server_value server ~item:0)
+
+let test_escrow_ttl_returns_abandoned () =
+  (* A granted reservation whose finalise never arrives is returned by the
+     server-side TTL. *)
+  let engine, net, server, clients, _ = mk_escrow ~total:20 () in
+  (* Cut the client->server link right after the reserve is sent so the
+     finalise is lost. *)
+  Escrow.request (client_exn clients 1) ~item:0 ~op:(Dvp.Op.Decr 10) ~on_done:(fun _ -> ());
+  ignore
+    (Engine.schedule engine ~delay:0.004 (fun () ->
+         Dvp_net.Linkstate.set_up (Dvp_net.Network.link net ~src:1 ~dst:0) false));
+  Engine.run_until engine 1.0;
+  Alcotest.(check int) "escrow held" 10 (Escrow.escrowed server ~item:0);
+  Engine.run_until engine 4.0;
+  Alcotest.(check int) "escrow returned by ttl" 0 (Escrow.escrowed server ~item:0);
+  Alcotest.(check int) "value untouched" 20 (Escrow.server_value server ~item:0)
+
+let () =
+  Alcotest.run "dvp_baseline"
+    [
+      ( "lock_mgr",
+        [
+          Alcotest.test_case "grant immediate" `Quick test_lockmgr_grant_immediate;
+          Alcotest.test_case "queue and promote" `Quick test_lockmgr_queue_and_promote;
+          Alcotest.test_case "timeout refuses" `Quick test_lockmgr_timeout_refuses;
+          Alcotest.test_case "reentrant" `Quick test_lockmgr_reentrant;
+          Alcotest.test_case "clear refuses waiters" `Quick test_lockmgr_clear_refuses_waiters;
+          QCheck_alcotest.to_alcotest prop_lockmgr_mutual_exclusion;
+        ] );
+      ( "two_pc",
+        [
+          Alcotest.test_case "local home commit" `Quick test_2pc_local_home_commit;
+          Alcotest.test_case "remote commit" `Quick test_2pc_remote_commit;
+          Alcotest.test_case "ineffective aborts" `Quick test_2pc_ineffective_aborts;
+          Alcotest.test_case "multi-item two homes" `Quick test_2pc_multi_item_two_homes;
+          Alcotest.test_case "read" `Quick test_2pc_read;
+          Alcotest.test_case "partition aborts remote" `Quick test_2pc_partition_aborts_remote;
+          Alcotest.test_case "partition mid-protocol blocks" `Quick
+            test_2pc_partition_mid_protocol_blocks_participant;
+          Alcotest.test_case "participant crash recovery queries" `Quick
+            test_2pc_participant_crash_recovery_queries;
+          Alcotest.test_case "crossing transactions resolve" `Quick
+            test_2pc_crossing_transactions_resolve;
+        ] );
+      ( "three_pc",
+        [
+          Alcotest.test_case "commit" `Quick test_3pc_commit;
+          Alcotest.test_case "termination unblocks" `Quick test_3pc_termination_unblocks;
+          Alcotest.test_case "partition can violate atomicity" `Quick
+            test_3pc_partition_can_violate_atomicity;
+        ] );
+      ( "quorum",
+        [
+          Alcotest.test_case "commit updates majority" `Quick test_quorum_commit_updates_majority;
+          Alcotest.test_case "sequential updates see latest" `Quick
+            test_quorum_sequential_updates_see_latest;
+          Alcotest.test_case "minority unavailable" `Quick
+            test_quorum_minority_unavailable_majority_works;
+          Alcotest.test_case "survives minority crash" `Quick
+            test_quorum_survives_minority_crash;
+          Alcotest.test_case "composes with 3pc" `Quick test_quorum_with_3pc_commits;
+        ] );
+      ( "primary_copy",
+        [
+          Alcotest.test_case "routes to primary" `Quick test_primary_copy_routes_to_primary;
+          Alcotest.test_case "dies with primary" `Quick test_primary_copy_dies_with_primary;
+        ] );
+      ( "three_pc_safety",
+        [
+          Alcotest.test_case "coordinator crash is safe" `Quick
+            test_3pc_coordinator_crash_is_safe;
+        ] );
+      ( "escrow",
+        [
+          Alcotest.test_case "grant and commit" `Quick test_escrow_grant_and_commit;
+          Alcotest.test_case "denies oversubscription" `Quick test_escrow_denies_oversubscription;
+          Alcotest.test_case "concurrent when feasible" `Quick test_escrow_concurrent_when_feasible;
+          Alcotest.test_case "server down times out" `Quick test_escrow_server_down_times_out;
+          Alcotest.test_case "exclusive serialises" `Quick test_escrow_exclusive_serialises;
+          Alcotest.test_case "ttl returns abandoned" `Quick test_escrow_ttl_returns_abandoned;
+        ] );
+    ]

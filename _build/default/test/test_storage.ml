@@ -1,0 +1,253 @@
+(* Tests for dvp_storage: WAL crash semantics, stable cells, local DB. *)
+
+open Dvp_storage
+
+(* ------------------------------------------------------------------ Wal *)
+
+let test_wal_append_force () =
+  let w = Wal.create () in
+  Wal.append w "a";
+  Wal.append w "b";
+  Alcotest.(check (list string)) "stable order" [ "a"; "b" ] (Wal.records w);
+  Alcotest.(check int) "forces counted" 2 (Wal.forces w)
+
+let test_wal_unforced_lost_on_crash () =
+  let w = Wal.create () in
+  Wal.append w "durable";
+  Wal.append ~forced:false w "volatile";
+  Alcotest.(check int) "buffered" 1 (Wal.buffered w);
+  Wal.crash w;
+  Alcotest.(check (list string)) "only forced survives" [ "durable" ] (Wal.records w);
+  Alcotest.(check int) "buffer gone" 0 (Wal.buffered w)
+
+let test_wal_force_flushes_batch () =
+  let w = Wal.create () in
+  Wal.append ~forced:false w 1;
+  Wal.append ~forced:false w 2;
+  Wal.append ~forced:false w 3;
+  Alcotest.(check (list int)) "nothing stable yet" [] (Wal.records w);
+  Wal.force w;
+  Alcotest.(check (list int)) "batch in order" [ 1; 2; 3 ] (Wal.records w)
+
+let test_wal_forced_append_flushes_earlier () =
+  (* A forced append makes everything buffered before it durable too (the
+     log is sequential). *)
+  let w = Wal.create () in
+  Wal.append ~forced:false w "early";
+  Wal.append w "forced";
+  Wal.crash w;
+  Alcotest.(check (list string)) "both stable" [ "early"; "forced" ] (Wal.records w)
+
+let test_wal_records_survive_crash () =
+  let w = Wal.create () in
+  for i = 1 to 100 do
+    Wal.append w i
+  done;
+  Wal.crash w;
+  Alcotest.(check int) "all stable" 100 (Wal.stable_length w);
+  Alcotest.(check (list int)) "order kept" (List.init 100 (fun i -> i + 1)) (Wal.records w)
+
+let test_wal_iter_fold () =
+  let w = Wal.create () in
+  List.iter (Wal.append w) [ 1; 2; 3; 4 ];
+  let sum = Wal.fold w ~init:0 ~f:( + ) in
+  Alcotest.(check int) "fold sum" 10 sum;
+  let count = ref 0 in
+  Wal.iter w (fun _ -> incr count);
+  Alcotest.(check int) "iter count" 4 !count
+
+let test_wal_appended_counter () =
+  let w = Wal.create () in
+  Wal.append w "a";
+  Wal.append ~forced:false w "b";
+  Wal.crash w;
+  Alcotest.(check int) "appended counts lost ones" 2 (Wal.appended w)
+
+let test_wal_truncate () =
+  let w = Wal.create () in
+  for i = 0 to 9 do
+    Wal.append w i
+  done;
+  Wal.truncate_before w ~keep_from:6;
+  Alcotest.(check (list int)) "suffix kept in order" [ 6; 7; 8; 9 ] (Wal.records w);
+  (* Truncating to an already-dropped point is a no-op. *)
+  Wal.truncate_before w ~keep_from:3;
+  Alcotest.(check int) "idempotent-ish" 4 (Wal.stable_length w)
+
+let test_wal_truncate_then_append () =
+  let w = Wal.create () in
+  for i = 0 to 4 do
+    Wal.append w i
+  done;
+  Wal.truncate_before w ~keep_from:3;
+  Wal.append w 99;
+  Alcotest.(check (list int)) "append after truncate" [ 3; 4; 99 ] (Wal.records w)
+
+(* Property: for a random interleaving of appends (forced/unforced), forces
+   and crashes, the stable log is always a prefix-closed subsequence of the
+   appended sequence, and equals it if every append was forced. *)
+let prop_wal_stability =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map (fun b -> `Append b) bool);
+          (1, return `Force);
+          (1, return `Crash);
+        ])
+  in
+  QCheck.Test.make ~name:"wal stable log is a faithful prefix under crashes" ~count:300
+    (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 60) op_gen))
+    (fun ops ->
+      let w = Wal.create () in
+      let produced = ref [] in
+      (* reference: track which appends must be stable *)
+      let stable_ref = ref [] and buffer_ref = ref [] in
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Append forced ->
+            incr n;
+            let v = !n in
+            produced := v :: !produced;
+            Wal.append ~forced w v;
+            buffer_ref := v :: !buffer_ref;
+            if forced then begin
+              stable_ref := !buffer_ref @ !stable_ref;
+              buffer_ref := []
+            end
+          | `Force ->
+            Wal.force w;
+            stable_ref := !buffer_ref @ !stable_ref;
+            buffer_ref := []
+          | `Crash ->
+            Wal.crash w;
+            buffer_ref := [])
+        ops;
+      Wal.records w = List.rev !stable_ref)
+
+(* --------------------------------------------------------------- Stable *)
+
+let test_stable_cell_survives () =
+  let reg = Stable.region () in
+  let c = Stable.cell reg 10 in
+  Stable.set c 42;
+  Stable.crash_volatile reg;
+  Alcotest.(check int) "stable survives" 42 (Stable.get c)
+
+let test_volatile_resets () =
+  let reg = Stable.region () in
+  let v = Stable.volatile reg (fun () -> 0) in
+  Stable.vset v 99;
+  Alcotest.(check int) "set works" 99 (Stable.vget v);
+  Stable.crash_volatile reg;
+  Alcotest.(check int) "reset on crash" 0 (Stable.vget v)
+
+let test_stable_write_count () =
+  let reg = Stable.region () in
+  let c = Stable.cell reg 0 in
+  Stable.set c 1;
+  Stable.set c 2;
+  Alcotest.(check int) "writes counted" 2 (Stable.writes reg)
+
+let test_multiple_volatiles () =
+  let reg = Stable.region () in
+  let a = Stable.volatile reg (fun () -> "init-a") in
+  let b = Stable.volatile reg (fun () -> "init-b") in
+  Stable.vset a "x";
+  Stable.vset b "y";
+  Stable.crash_volatile reg;
+  Alcotest.(check string) "a reset" "init-a" (Stable.vget a);
+  Alcotest.(check string) "b reset" "init-b" (Stable.vget b)
+
+(* ------------------------------------------------------------- Local_db *)
+
+let test_db_defaults () =
+  let db = Local_db.create () in
+  Alcotest.(check int) "missing value is 0" 0 (Local_db.value db ~item:7);
+  Alcotest.(check bool) "not mem" false (Local_db.mem db ~item:7);
+  Local_db.ensure db ~item:7;
+  Alcotest.(check bool) "mem after ensure" true (Local_db.mem db ~item:7)
+
+let test_db_set_add () =
+  let db = Local_db.create () in
+  Local_db.set_value db ~item:1 25;
+  Local_db.add db ~item:1 (-10);
+  Alcotest.(check int) "after ops" 15 (Local_db.value db ~item:1);
+  Local_db.add db ~item:1 5;
+  Alcotest.(check int) "incr" 20 (Local_db.value db ~item:1)
+
+let test_db_nonnegative () =
+  let db = Local_db.create () in
+  Alcotest.check_raises "negative set"
+    (Invalid_argument "Local_db.set_value: fragments are nonnegative") (fun () ->
+      Local_db.set_value db ~item:1 (-1));
+  Local_db.set_value db ~item:1 3;
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Local_db.add: fragment would go negative") (fun () ->
+      Local_db.add db ~item:1 (-4))
+
+let test_db_timestamps () =
+  let db = Local_db.create () in
+  Alcotest.(check bool) "default ts zero" true
+    (Local_db.ts_compare (Local_db.timestamp db ~item:2) Local_db.ts_zero = 0);
+  Local_db.set_timestamp db ~item:2 (5, 1);
+  Alcotest.(check bool) "updated" true
+    (Local_db.ts_compare (Local_db.timestamp db ~item:2) (5, 1) = 0)
+
+let test_ts_ordering () =
+  Alcotest.(check bool) "counter dominates" true (Local_db.ts_compare (1, 9) (2, 0) < 0);
+  Alcotest.(check bool) "site breaks ties" true (Local_db.ts_compare (1, 0) (1, 1) < 0);
+  Alcotest.(check bool) "equal" true (Local_db.ts_compare (3, 2) (3, 2) = 0)
+
+let test_db_items_total () =
+  let db = Local_db.create () in
+  Local_db.set_value db ~item:3 10;
+  Local_db.set_value db ~item:1 5;
+  Local_db.set_value db ~item:2 0;
+  Alcotest.(check (list int)) "items sorted" [ 1; 2; 3 ] (Local_db.items db);
+  Alcotest.(check int) "total" 15 (Local_db.total db)
+
+let test_db_wipe () =
+  let db = Local_db.create () in
+  Local_db.set_value db ~item:1 5;
+  Local_db.wipe db;
+  Alcotest.(check (list int)) "empty" [] (Local_db.items db);
+  Alcotest.(check int) "no value" 0 (Local_db.value db ~item:1)
+
+let () =
+  Alcotest.run "dvp_storage"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "append+force" `Quick test_wal_append_force;
+          Alcotest.test_case "unforced lost on crash" `Quick test_wal_unforced_lost_on_crash;
+          Alcotest.test_case "force flushes batch" `Quick test_wal_force_flushes_batch;
+          Alcotest.test_case "forced append flushes earlier" `Quick
+            test_wal_forced_append_flushes_earlier;
+          Alcotest.test_case "records survive crash" `Quick test_wal_records_survive_crash;
+          Alcotest.test_case "iter/fold" `Quick test_wal_iter_fold;
+          Alcotest.test_case "appended counter" `Quick test_wal_appended_counter;
+          Alcotest.test_case "truncate" `Quick test_wal_truncate;
+          Alcotest.test_case "truncate then append" `Quick test_wal_truncate_then_append;
+          QCheck_alcotest.to_alcotest prop_wal_stability;
+        ] );
+      ( "stable",
+        [
+          Alcotest.test_case "cell survives crash" `Quick test_stable_cell_survives;
+          Alcotest.test_case "volatile resets" `Quick test_volatile_resets;
+          Alcotest.test_case "write count" `Quick test_stable_write_count;
+          Alcotest.test_case "multiple volatiles" `Quick test_multiple_volatiles;
+        ] );
+      ( "local_db",
+        [
+          Alcotest.test_case "defaults" `Quick test_db_defaults;
+          Alcotest.test_case "set/add" `Quick test_db_set_add;
+          Alcotest.test_case "nonnegative" `Quick test_db_nonnegative;
+          Alcotest.test_case "timestamps" `Quick test_db_timestamps;
+          Alcotest.test_case "ts ordering" `Quick test_ts_ordering;
+          Alcotest.test_case "items/total" `Quick test_db_items_total;
+          Alcotest.test_case "wipe" `Quick test_db_wipe;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for dvp_workload: spec presets, fault plans, and the runner driving
+   both the DvP system and the traditional baselines. *)
+
+open Dvp_workload
+
+let test_spec_presets () =
+  let a = Spec.airline () and b = Spec.banking () and i = Spec.inventory () in
+  Alcotest.(check string) "airline label" "airline" a.Spec.label;
+  Alcotest.(check bool) "banking many items" true (List.length b.Spec.items >= 16);
+  Alcotest.(check bool) "inventory hot item biggest" true
+    (snd (List.hd i.Spec.items) > snd (List.nth i.Spec.items 1));
+  Alcotest.(check bool) "fractions sane" true
+    (List.for_all
+       (fun s ->
+         s.Spec.read_fraction >= 0.0
+         && s.Spec.read_fraction +. s.Spec.incr_fraction +. s.Spec.transfer_fraction <= 1.0)
+       [ a; b; i ])
+
+let test_spec_scaling () =
+  let s = Spec.default in
+  let s2 = Spec.scale_rate s 2.0 in
+  Alcotest.(check (float 1e-9)) "rate doubled" (2.0 *. s.Spec.arrival_rate)
+    s2.Spec.arrival_rate;
+  let s3 = Spec.with_seed s 99 in
+  Alcotest.(check int) "seed set" 99 s3.Spec.seed
+
+let test_faultplan_combinators () =
+  let p = Faultplan.partition_window ~start:5.0 ~len:3.0 [ [ 0 ]; [ 1 ] ] in
+  Alcotest.(check int) "two events" 2 (List.length p);
+  let r = Faultplan.repeated_partitions ~period:10.0 ~len:2.0 ~until:35.0 [ [ 0 ]; [ 1 ] ] in
+  Alcotest.(check int) "three windows" 6 (List.length r);
+  let c = Faultplan.crash_cycle ~site:2 ~first:1.0 ~downtime:4.0 in
+  Alcotest.(check int) "crash+recover" 2 (List.length c);
+  let merged = Faultplan.merge p c in
+  let times = List.map (fun e -> e.Faultplan.at) merged in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 1.0; 5.0; 5.0; 8.0 ]
+    (List.filteri (fun i _ -> i < 4) times)
+
+let test_faultplan_lossy_window () =
+  (* The lossy window degrades every link for its duration, then restores
+     defaults — observable as extra Vm retransmissions during the window. *)
+  let spec =
+    Spec.with_seed
+      {
+        Spec.default with
+        Spec.duration = 10.0;
+        Spec.items = [ (0, 4000) ];
+        Spec.op_min = 8;
+        Spec.op_max = 16;
+        Spec.incr_fraction = 0.1;
+      }
+      47
+  in
+  let sys =
+    let config =
+      { Dvp.Config.default with Dvp.Config.request_policy = Dvp.Config.Ask_all_full }
+    in
+    let s = Dvp.System.create ~config ~seed:47 ~n:4 () in
+    Dvp.System.add_item s ~item:0 ~total:4000 ~split:(`Explicit [ 3940; 20; 20; 20 ]) ();
+    s
+  in
+  let d = Driver.of_dvp sys in
+  let faults = Faultplan.lossy_window ~start:3.0 ~len:4.0 ~loss:0.5 in
+  let o = Runner.run d spec ~faults () in
+  let m = o.Runner.metrics in
+  Alcotest.(check bool) "loss forced retransmissions" true
+    (Dvp.Metrics.vm_retransmissions m > 0);
+  Alcotest.(check bool) "still conserved" true (Dvp.System.conserved sys ~item:0);
+  Alcotest.(check bool) "recovers after window" true (o.Runner.availability > 0.5)
+
+let test_runner_dvp_healthy () =
+  let spec = Spec.with_seed { Spec.default with Spec.duration = 10.0 } 7 in
+  let d = Setup.dvp spec in
+  let o = Runner.run d spec () in
+  Alcotest.(check bool) "many submitted" true (o.Runner.submitted > 300);
+  Alcotest.(check bool) "high availability" true (o.Runner.availability > 0.95);
+  Alcotest.(check int) "books balance" o.Runner.submitted
+    (o.Runner.committed + o.Runner.aborted);
+  Alcotest.(check int) "timeline buckets" 10 (List.length o.Runner.timeline)
+
+let test_runner_determinism () =
+  let spec = Spec.with_seed { Spec.default with Spec.duration = 5.0 } 13 in
+  let run () =
+    let o = Runner.run (Setup.dvp spec) spec () in
+    (o.Runner.submitted, o.Runner.committed, o.Runner.aborted)
+  in
+  Alcotest.(check (triple int int int)) "same seed, same run" (run ()) (run ())
+
+let test_runner_seed_changes_run () =
+  let spec = { Spec.default with Spec.duration = 5.0 } in
+  let run seed =
+    let s = Spec.with_seed spec seed in
+    let o = Runner.run (Setup.dvp s) s () in
+    o.Runner.submitted
+  in
+  Alcotest.(check bool) "different seeds differ" true (run 1 <> run 2)
+
+let test_runner_trad_healthy () =
+  let spec = Spec.with_seed { Spec.default with Spec.duration = 10.0 } 7 in
+  let d = Setup.trad spec in
+  let o = Runner.run d spec () in
+  Alcotest.(check bool) "trad works when healthy" true (o.Runner.availability > 0.9)
+
+let test_runner_partition_contrast () =
+  (* The core comparative claim in miniature: during a partition window, DvP
+     availability stays high while the 2PC baseline loses the transactions
+     that need the other side. *)
+  let spec =
+    Spec.with_seed
+      { Spec.default with Spec.duration = 12.0; Spec.arrival_rate = 60.0 }
+      21
+  in
+  let groups = [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let faults = Faultplan.partition_window ~start:2.0 ~len:8.0 groups in
+  let dvp_o = Runner.run (Setup.dvp spec) spec ~faults () in
+  let trad_o = Runner.run (Setup.trad spec) spec ~faults () in
+  Alcotest.(check bool) "dvp stays available" true (dvp_o.Runner.availability > 0.85);
+  Alcotest.(check bool) "dvp beats trad under partition" true
+    (dvp_o.Runner.availability > trad_o.Runner.availability +. 0.1)
+
+let test_runner_crash_survival () =
+  let spec = Spec.with_seed { Spec.default with Spec.duration = 10.0 } 23 in
+  let faults = Faultplan.crash_cycle ~site:1 ~first:3.0 ~downtime:3.0 in
+  let sys = Setup.dvp_system spec in
+  let d = Driver.of_dvp sys in
+  let o = Runner.run d spec ~faults () in
+  Alcotest.(check bool) "survives crash" true (o.Runner.availability > 0.6);
+  Alcotest.(check bool) "conserved after chaos" true (Dvp.System.conserved_all sys)
+
+let test_timeline_shows_partition_dip_for_trad () =
+  let spec =
+    Spec.with_seed
+      {
+        Spec.default with
+        Spec.duration = 15.0;
+        Spec.arrival_rate = 80.0;
+        (* Spread over eight items so the 2PC home-site locks are not the
+           bottleneck when the network is healthy. *)
+        Spec.items = List.init 8 (fun i -> (i, 500));
+      }
+      31
+  in
+  let faults = Faultplan.partition_window ~start:5.0 ~len:5.0 [ [ 0 ]; [ 1; 2; 3 ] ] in
+  let o = Runner.run (Setup.trad spec) spec ~faults () in
+  let ratio_at t =
+    match List.find_opt (fun (te, _) -> te > t && te <= t +. 1.0) o.Runner.timeline with
+    | Some (_, r) -> r
+    | None -> nan
+  in
+  let healthy = ratio_at 2.0 and during = ratio_at 7.0 in
+  Alcotest.(check bool) "healthy bucket strong" true (healthy > 0.9);
+  Alcotest.(check bool) "partition bucket degraded" true (during < healthy)
+
+let test_closed_loop_basic () =
+  let spec = Spec.with_seed { Spec.default with Spec.duration = 8.0 } 41 in
+  let d = Setup.dvp spec in
+  let o = Runner.run_closed d spec ~clients:8 ~think:0.01 () in
+  Alcotest.(check bool) "work was done" true (o.Runner.committed > 100);
+  Alcotest.(check int) "books balance" o.Runner.submitted
+    (o.Runner.committed + o.Runner.aborted);
+  Alcotest.(check bool) "high availability" true (o.Runner.availability > 0.9)
+
+let test_closed_loop_client_scaling () =
+  (* More clients, more throughput — until something saturates. *)
+  let spec = Spec.with_seed { Spec.default with Spec.duration = 5.0 } 43 in
+  let tput clients =
+    let o = Runner.run_closed (Setup.dvp spec) spec ~clients ~think:0.005 () in
+    o.Runner.throughput
+  in
+  Alcotest.(check bool) "scales with clients" true (tput 16 > 2.0 *. tput 2)
+
+let test_generator_mix () =
+  (* Sanity of generated mixes via a run on a spec with all transfer ops. *)
+  let spec =
+    {
+      Spec.default with
+      Spec.transfer_fraction = 1.0;
+      Spec.items = [ (0, 1000); (1, 1000) ];
+      Spec.duration = 5.0;
+    }
+  in
+  let sys = Setup.dvp_system spec in
+  let d = Driver.of_dvp sys in
+  let o = Runner.run d spec () in
+  Alcotest.(check bool) "transfers commit" true (o.Runner.availability > 0.8);
+  (* Pure transfers preserve the combined aggregate. *)
+  let total =
+    Dvp.System.total_at_sites sys ~item:0 + Dvp.System.total_at_sites sys ~item:1
+  in
+  Alcotest.(check int) "combined total preserved" 2000 total
+
+let () =
+  Alcotest.run "dvp_workload"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "presets" `Quick test_spec_presets;
+          Alcotest.test_case "scaling" `Quick test_spec_scaling;
+        ] );
+      ( "faultplan",
+        [
+          Alcotest.test_case "combinators" `Quick test_faultplan_combinators;
+          Alcotest.test_case "lossy window" `Quick test_faultplan_lossy_window;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "dvp healthy" `Quick test_runner_dvp_healthy;
+          Alcotest.test_case "determinism" `Quick test_runner_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_runner_seed_changes_run;
+          Alcotest.test_case "trad healthy" `Quick test_runner_trad_healthy;
+          Alcotest.test_case "partition contrast" `Quick test_runner_partition_contrast;
+          Alcotest.test_case "crash survival" `Quick test_runner_crash_survival;
+          Alcotest.test_case "timeline partition dip" `Quick
+            test_timeline_shows_partition_dip_for_trad;
+          Alcotest.test_case "generator mix" `Quick test_generator_mix;
+          Alcotest.test_case "closed loop basic" `Quick test_closed_loop_basic;
+          Alcotest.test_case "closed loop scaling" `Quick test_closed_loop_client_scaling;
+        ] );
+    ]
