@@ -15,6 +15,7 @@ module Setup = Dvp_workload.Setup
 module Runner = Dvp_workload.Runner
 module Faultplan = Dvp_workload.Faultplan
 module Trad_site = Dvp_baseline.Trad_site
+module Json = Dvp_util.Json
 
 let quorum_config =
   { Trad_site.default_config with Trad_site.placement = Trad_site.Replicated }
@@ -36,6 +37,14 @@ let skewed_dvp_system ?(config = Dvp.Config.default) ?link ~seed ~n ~items ~home
   sys
 
 let section title =
+  (* The id is the leading token ("E1", "E2", ...) — it names the
+     BENCH_<id>.json file when --json collection is on. *)
+  let id =
+    match String.index_opt title ' ' with
+    | Some i -> String.sub title 0 i
+    | None -> title
+  in
+  Report.begin_section ~id ~title;
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* ----------------------------------------------------------------- E1 *)
@@ -90,6 +99,13 @@ let e1 () =
           (fun seed ->
             let spec = Spec.with_seed spec seed in
             let o = Runner.run (mk_driver spec) spec ~faults () in
+            Report.record o
+              ~extra:
+                [
+                  ("partition_fraction", Json.Float frac);
+                  ("system", Json.String name);
+                  ("seed", Json.Int seed);
+                ];
             Dvp_util.Dstats.add avail o.Runner.availability;
             Dvp_util.Dstats.add tput o.Runner.throughput;
             Dvp_util.Dstats.add p99 (1000.0 *. Metrics.latency_p99 o.Runner.metrics);
@@ -181,8 +197,8 @@ let e2 () =
     let sys = Dvp.System.create ~seed ~n:4 () in
     Dvp.System.add_item sys ~item:0 ~total:100 ();
     (* Force the remote path: drain site 2's own quota first. *)
-    Dvp.System.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 25) ] ~on_done:(fun _ -> ());
-    Dvp.System.submit sys ~site:2 ~ops:[ (0, Dvp.Op.Decr 10) ] ~on_done:(fun _ -> ());
+    Dvp.System.exec sys (Dvp.Txn.write ~site:2 [ (0, Dvp.Op.Decr 25) ]) ~on_done:(fun _ -> ());
+    Dvp.System.exec sys (Dvp.Txn.write ~site:2 [ (0, Dvp.Op.Decr 10) ]) ~on_done:(fun _ -> ());
     ignore
       (Engine.schedule (Dvp.System.engine sys) ~delay:0.002 (fun () ->
            Dvp.System.partition sys [ [ 0 ]; [ 1; 2; 3 ] ]));
@@ -244,6 +260,7 @@ let e3 () =
   in
   let run name driver =
     let o = Runner.run driver spec ~faults () in
+    Report.record o ~extra:[ ("system", Json.String name) ];
     Table.add_row t
       [
         name;
@@ -287,8 +304,8 @@ let e4 () =
         ignore
           (Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
                if Dvp.System.site_up sys (Rng.int rng 4) then
-                 Dvp.System.submit sys ~site:(Rng.int rng 4)
-                   ~ops:[ (0, Dvp.Op.Decr 1) ]
+                 Dvp.System.exec sys
+                   (Dvp.Txn.write ~site:(Rng.int rng 4) [ (0, Dvp.Op.Decr 1) ])
                    ~on_done:(fun _ -> ())))
       done;
       ignore
@@ -298,12 +315,12 @@ let e4 () =
         (Engine.schedule_at (Dvp.System.engine sys) ~at:6.5 (fun () ->
              Dvp.System.recover_site sys 0;
              let t0 = Dvp.System.now sys in
-             Dvp.System.submit sys ~site:0
-               ~ops:[ (0, Dvp.Op.Decr 1) ]
+             Dvp.System.exec sys
+               (Dvp.Txn.write ~site:0 [ (0, Dvp.Op.Decr 1) ])
                ~on_done:(fun r ->
                  match r with
-                 | Dvp.Site.Committed _ -> ttfc := !ttfc +. (Dvp.System.now sys -. t0)
-                 | Dvp.Site.Aborted _ -> ())));
+                 | Dvp.Txn.Committed _ -> ttfc := !ttfc +. (Dvp.System.now sys -. t0)
+                 | Dvp.Txn.Aborted _ -> ())));
       Dvp.System.run_until sys 10.0;
       let m = Dvp.System.metrics sys in
       msgs := !msgs + Metrics.recovery_messages m;
@@ -423,14 +440,14 @@ let e5 () =
       if Engine.now engine < duration then begin
         let site = Rng.int rng n_sites in
         let t0 = Engine.now engine in
-        Dvp.System.submit sys ~site
-          ~ops:[ (0, Dvp.Op.Decr 1) ]
+        Dvp.System.exec sys
+          (Dvp.Txn.write ~site [ (0, Dvp.Op.Decr 1) ])
           ~on_done:(fun r ->
             match r with
-            | Dvp.Site.Committed _ ->
+            | Dvp.Txn.Committed _ ->
               incr committed;
               Dvp_util.Dstats.Sample.add lat (Engine.now engine -. t0)
-            | Dvp.Site.Aborted _ -> ());
+            | Dvp.Txn.Aborted _ -> ());
         ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. rate)) arrivals)
       end
     in
@@ -516,6 +533,12 @@ let e6 () =
           in
           let driver = Dvp_workload.Driver.of_dvp sys in
           let o = Runner.run driver spec () in
+          Report.record o
+            ~extra:
+              [
+                ("request_policy", Json.String rp_name);
+                ("grant_policy", Json.String gp_name);
+              ];
           Table.add_row t
             [
               rp_name;
@@ -563,6 +586,8 @@ let e7 () =
       let spec = { spec_base with Spec.read_fraction = rf } in
       let run name driver =
         let o = Runner.run driver spec () in
+        Report.record o
+          ~extra:[ ("read_fraction", Json.Float rf); ("system", Json.String name) ];
         Table.add_row t
           [
             Printf.sprintf "%.0f%%" (100.0 *. rf);
@@ -627,6 +652,7 @@ let e8 () =
             ~home:(fun item -> item mod n) ~keep:20 ()
         in
         let o = Runner.run (Dvp_workload.Driver.of_dvp ~name sys) spec () in
+        Report.record o ~extra:[ ("cc", Json.String name) ];
         Table.add_row t
           [
             Table.fint n_items;
@@ -696,6 +722,8 @@ let e9 () =
     let driver = Dvp_workload.Driver.of_dvp sys in
     let faults = Faultplan.crash_cycle ~site:2 ~first:5.0 ~downtime:3.0 in
     let o = Runner.run driver spec ~faults ~drain:20.0 () in
+    Report.record o
+      ~extra:[ ("loss_prob", Json.Float loss); ("ack", Json.String label) ];
     let m = o.Runner.metrics in
     let vm = Metrics.vm_created_count m in
     Table.add_row t
@@ -752,6 +780,7 @@ let e10 () =
       in
       let run name driver =
         let o = Runner.run driver spec () in
+        Report.record o ~extra:[ ("n_sites", Json.Int n); ("system", Json.String name) ];
         Table.add_row t
           [
             Table.fint n;
@@ -798,7 +827,9 @@ let e11 () =
         let rec arrivals () =
           if Engine.now (Dvp.System.engine sys) < duration then begin
             let site = Rng.int rng 4 in
-            Dvp.System.submit sys ~site ~ops:[ (0, Dvp.Op.Decr 1) ] ~on_done:(fun _ -> ());
+            Dvp.System.exec sys
+              (Dvp.Txn.write ~site [ (0, Dvp.Op.Decr 1) ])
+              ~on_done:(fun _ -> ());
             ignore
               (Engine.schedule (Dvp.System.engine sys)
                  ~delay:(Rng.exponential rng 0.01) arrivals)
@@ -875,6 +906,7 @@ let e12 () =
         ~home:(fun _ -> 0) ~keep:20 ()
     in
     let o = Runner.run (Dvp_workload.Driver.of_dvp ~name:label sys) spec () in
+    Report.record o ~extra:[ ("policy", Json.String label) ];
     Table.add_row t
       [
         label;
@@ -945,12 +977,11 @@ let e13 () =
           (Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
                let site = Rng.int rng n in
                let m = 5 + Rng.int rng 11 in
-               Dvp.System.submit_retrying sys ~site
-                 ~ops:[ (0, Dvp.Op.Decr m) ]
-                 ~retries ~backoff:0.2
+               Dvp.System.exec sys
+                 (Dvp.Txn.with_retry ~retries ~backoff:0.2
+                    (Dvp.Txn.write ~site [ (0, Dvp.Op.Decr m) ]))
                  ~on_done:(fun r ->
-                   match r with Dvp.Site.Committed _ -> incr done_ok | _ -> ())
-                 ()))
+                   match r with Dvp.Txn.Committed _ -> incr done_ok | _ -> ())))
       done;
       Dvp.System.run_until sys 30.0;
       let m = Dvp.System.metrics sys in
@@ -1003,6 +1034,7 @@ let e14 () =
       in
       let run_pure () =
         let o = Runner.run (Setup.dvp ~config spec) spec () in
+        Report.record o ~extra:[ ("read_fraction", Json.Float rf) ];
         Table.add_row t
           [
             Printf.sprintf "%.0f%%" (100.0 *. rf);
@@ -1016,6 +1048,7 @@ let e14 () =
         let sys = Setup.dvp_system ~config spec in
         let hybrid = Dvp.Hybrid.create sys () in
         let o = Runner.run (Dvp_workload.Driver.of_hybrid ~name:"hybrid" sys hybrid) spec () in
+        Report.record o ~extra:[ ("read_fraction", Json.Float rf) ];
         Table.add_row t
           [
             Printf.sprintf "%.0f%%" (100.0 *. rf);
@@ -1064,6 +1097,7 @@ let e15 () =
   in
   let cell clients driver =
     let o = Runner.run_closed driver spec ~clients ~think:0.005 () in
+    Report.record o ~extra:[ ("clients", Json.Int clients) ];
     Printf.sprintf "%.0f (%.1f)" o.Runner.throughput
       (1000.0 *. Metrics.latency_p99 o.Runner.metrics)
   in
@@ -1125,10 +1159,10 @@ let e16 () =
           let rec arrivals () =
             if Engine.now (Dvp.System.engine sys) < 15.0 then begin
               incr submitted;
-              Dvp.System.submit sys ~site:1
-                ~ops:[ (0, Dvp.Op.Decr (5 + Rng.int rng 11)) ]
+              Dvp.System.exec sys
+                (Dvp.Txn.write ~site:1 [ (0, Dvp.Op.Decr (5 + Rng.int rng 11)) ])
                 ~on_done:(fun r ->
-                  match r with Dvp.Site.Committed _ -> incr committed | _ -> ());
+                  match r with Dvp.Txn.Committed _ -> incr committed | _ -> ());
               ignore
                 (Engine.schedule (Dvp.System.engine sys)
                    ~delay:(0.6 +. Rng.float rng 0.2) arrivals)

@@ -2,16 +2,31 @@
 
      dune exec bench/main.exe            # run every experiment + micro-benches
      dune exec bench/main.exe -- E3 E5   # run selected experiments
+     dune exec bench/main.exe -- E1 --json        # also write BENCH_E1.json
+     dune exec bench/main.exe -- E1 --out results # JSON files into results/
      dune exec bench/main.exe -- micro   # micro-benchmarks only
      dune exec bench/main.exe -- list    # list experiment ids
 
    The experiments (E1-E10) regenerate the evaluation described in
-   DESIGN.md; EXPERIMENTS.md records the expected vs measured shapes. *)
+   DESIGN.md; EXPERIMENTS.md records the expected vs measured shapes.  With
+   [--json], every Runner outcome is also collected and written as one
+   BENCH_<id>.json file per experiment (see bench/report.mli). *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse_flags acc = function
+    | [] -> List.rev acc
+    | "--json" :: rest ->
+      if not (Report.is_enabled ()) then Report.enable ();
+      parse_flags acc rest
+    | "--out" :: dir :: rest ->
+      Report.enable ~dir ();
+      parse_flags acc rest
+    | a :: rest -> parse_flags (a :: acc) rest
+  in
+  let args = parse_flags [] args in
   let ids = List.map fst Experiments.all in
-  match args with
+  (match args with
   | [ "list" ] ->
     List.iter print_endline ids;
     print_endline "micro"
@@ -31,4 +46,5 @@ let () =
             Printf.eprintf "unknown experiment %S (try: %s, micro)\n" pick
               (String.concat ", " ids);
             exit 1)
-      picks
+      picks);
+  Report.flush ()

@@ -20,7 +20,7 @@ let m2_local_commit =
   Dvp.System.add_item sys ~item:0 ~total:1000 ();
   Test.make ~name:"m2-local-txn-commit"
     (Staged.stage (fun () ->
-         Dvp.System.submit sys ~site:0 ~ops:[ (0, Dvp.Op.Incr 1) ] ~on_done:(fun _ -> ())))
+         Dvp.System.exec sys (Dvp.Txn.write ~site:0 [ (0, Dvp.Op.Incr 1) ]) ~on_done:(fun _ -> ())))
 
 let m3_heap =
   let h = Dvp_util.Heap.create () in

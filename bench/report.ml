@@ -1,0 +1,71 @@
+(* Machine-readable experiment output.
+
+   The experiment functions print human tables; when the harness is invoked
+   with [--json] they additionally stream every Runner outcome through this
+   collector, which groups them per experiment and writes one
+   BENCH_<id>.json file per experiment at exit.  Each file holds
+
+     { "experiment": "E1", "title": "...", "runs": [ <outcome>, ... ] }
+
+   where each run is [Runner.outcome_to_json] plus any sweep parameters the
+   experiment attached via [~extra]. *)
+
+module Json = Dvp_util.Json
+
+type exp = { id : string; title : string; mutable runs : Json.t list }
+
+let enabled = ref false
+
+let out_dir = ref "."
+
+let experiments : exp list ref = ref []
+
+let current : exp option ref = ref None
+
+let enable ?(dir = ".") () =
+  enabled := true;
+  out_dir := dir
+
+let is_enabled () = !enabled
+
+let begin_section ~id ~title =
+  if !enabled then begin
+    let e = { id; title; runs = [] } in
+    experiments := e :: !experiments;
+    current := Some e
+  end
+
+let record ?(extra = []) (o : Dvp_workload.Runner.outcome) =
+  if !enabled then
+    match !current with
+    | None -> ()
+    | Some e ->
+      let run =
+        match Dvp_workload.Runner.outcome_to_json o with
+        | Json.Obj fields -> Json.Obj (extra @ fields)
+        | j -> j
+      in
+      e.runs <- run :: e.runs
+
+let flush () =
+  if !enabled then begin
+    List.iter
+      (fun e ->
+        let path = Filename.concat !out_dir (Printf.sprintf "BENCH_%s.json" e.id) in
+        let json =
+          Json.Obj
+            [
+              ("experiment", Json.String e.id);
+              ("title", Json.String e.title);
+              ("runs", Json.List (List.rev e.runs));
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Json.to_string_pretty json);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path)
+      (List.rev !experiments);
+    experiments := [];
+    current := None
+  end

@@ -1,0 +1,19 @@
+(** Collects {!Dvp_workload.Runner.outcome}s per experiment and writes one
+    [BENCH_<id>.json] file per experiment.  Inactive (all calls no-ops)
+    until {!enable} is called, so plain table runs pay nothing. *)
+
+val enable : ?dir:string -> unit -> unit
+(** Turn collection on; files go to [dir] (default the working directory). *)
+
+val is_enabled : unit -> bool
+
+val begin_section : id:string -> title:string -> unit
+(** Start a new experiment group.  Subsequent {!record}s attach to it. *)
+
+val record : ?extra:(string * Dvp_util.Json.t) list -> Dvp_workload.Runner.outcome -> unit
+(** Append one run to the current experiment; [extra] fields (sweep
+    parameters such as partition fraction or offered load) are prepended to
+    the outcome's JSON object. *)
+
+val flush : unit -> unit
+(** Write every collected experiment out and reset the collector. *)

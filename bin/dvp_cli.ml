@@ -2,18 +2,24 @@
 
      dvp-cli run --system dvp --workload airline --sites 8 --rate 100 \
                  --duration 20 --partition 5:10 --seed 7
+     dvp-cli run --trace-out t.json --trace-format chrome   # perfetto trace
+     dvp-cli run --json                                     # outcome as JSON
      dvp-cli demo
      dvp-cli info
 
    The `run` command builds the requested system, drives it with the chosen
    workload preset (optionally under a partition window and/or a crash
-   cycle), and prints the outcome summary and metric table. *)
+   cycle), and prints the outcome summary and metric table — or, with
+   [--json], the whole outcome as one JSON object.  With [--trace-out] a
+   DvP run records every typed trace event and writes them out as JSONL or
+   as a Chrome trace_event file loadable in ui.perfetto.dev. *)
 
 open Cmdliner
 module Spec = Dvp_workload.Spec
 module Setup = Dvp_workload.Setup
 module Runner = Dvp_workload.Runner
 module Faultplan = Dvp_workload.Faultplan
+module Trace = Dvp_sim.Trace
 
 type system_kind = Dvp_sys | Two_pc | Three_pc | Quorum
 
@@ -32,11 +38,29 @@ let system_conv =
   Arg.conv (parse, print)
 
 let workload_conv =
-  let parse = function
-    | "airline" | "banking" | "inventory" | "default" -> Ok ()
-    | s -> Error (`Msg (Printf.sprintf "unknown workload %S" s))
+  let parse s =
+    match Spec.preset_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown workload %S (%s)" s
+             (String.concat "|" (List.map fst Spec.presets))))
   in
-  Arg.conv ((fun s -> Result.map (fun () -> s) (parse s)), Format.pp_print_string)
+  Arg.conv ((fun s -> parse s), fun ppf p -> Format.pp_print_string ppf (Spec.preset_label p))
+
+type trace_format = Jsonl | Chrome
+
+let trace_format_conv =
+  let parse = function
+    | "jsonl" -> Ok Jsonl
+    | "chrome" -> Ok Chrome
+    | s -> Error (`Msg (Printf.sprintf "unknown trace format %S (jsonl|chrome)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (match f with Jsonl -> "jsonl" | Chrome -> "chrome")
+  in
+  Arg.conv (parse, print)
 
 let window_conv =
   (* "start:len" in seconds *)
@@ -51,21 +75,7 @@ let window_conv =
   Arg.conv (parse, fun ppf (a, b) -> Format.fprintf ppf "%g:%g" a b)
 
 let build_spec workload sites rate duration seed =
-  let base =
-    match workload with
-    | "airline" -> Spec.airline ~sites ~rate ~duration ()
-    | "banking" -> Spec.banking ~sites ~rate ~duration ()
-    | "inventory" -> Spec.inventory ~sites ~rate ~duration ()
-    | _ ->
-      {
-        Spec.default with
-        Spec.n_sites = sites;
-        Spec.arrival_rate = rate;
-        Spec.duration = duration;
-        Spec.items = List.init sites (fun i -> (i, 4000));
-      }
-  in
-  Spec.with_seed base seed
+  Spec.with_seed (Spec.of_preset ~sites ~rate ~duration workload) seed
 
 let build_driver kind spec =
   match kind with
@@ -103,7 +113,8 @@ let print_latency_histogram m =
     print_string (Dvp_util.Dstats.Histogram.render h ~width:40)
   end
 
-let run_cmd system workload sites rate duration seed partition crash export_dir =
+let run_cmd system workload sites rate duration seed partition crash export_dir trace_out
+    trace_format json =
   let spec = build_spec workload sites rate duration seed in
   let driver = build_driver system spec in
   let faults =
@@ -119,11 +130,20 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
     in
     Faultplan.merge p c
   in
+  (* Only the DvP stack is instrumented with typed trace events. *)
+  let trace =
+    match (trace_out, system) with
+    | Some _, Dvp_sys -> Some (Trace.create ~capacity:262_144 ())
+    | Some _, _ ->
+      prerr_endline "(--trace-out only applies to --system dvp; skipped)";
+      None
+    | None, _ -> None
+  in
   (* For DvP we keep the system handle so the run can be exported. *)
   let dvp_sys =
     match system with
     | Dvp_sys ->
-      let sys = Setup.dvp_system spec in
+      let sys = Setup.dvp_system ?trace spec in
       Some sys
     | _ -> None
   in
@@ -131,41 +151,62 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
     match dvp_sys with Some sys -> Dvp_workload.Driver.of_dvp ~name:"dvp" sys | None -> driver
   in
   let o = Runner.run driver spec ~faults () in
-  Format.printf "%a@." Runner.pp_outcome o;
-  let m = o.Runner.metrics in
-  print_newline ();
-  List.iter
-    (fun (k, v) -> Printf.printf "  %-20s %s\n" k v)
-    (Dvp.Metrics.summary_rows m);
-  List.iter
-    (fun reason ->
-      let n = Dvp.Metrics.aborted_by m reason in
-      if n > 0 then
-        Printf.printf "  aborts/%-13s %d\n" (Dvp.Metrics.abort_reason_label reason) n)
-    Dvp.Metrics.all_abort_reasons;
-  print_newline ();
-  print_latency_histogram m;
+  if json then print_endline (Dvp_util.Json.to_string_pretty (Runner.outcome_to_json o))
+  else begin
+    Format.printf "%a@." Runner.pp_outcome o;
+    let m = o.Runner.metrics in
+    print_newline ();
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-20s %s\n" k v)
+      (Dvp.Metrics.summary_rows m);
+    List.iter
+      (fun reason ->
+        let n = Dvp.Metrics.aborted_by m reason in
+        if n > 0 then
+          Printf.printf "  aborts/%-13s %d\n" (Dvp.Metrics.abort_reason_label reason) n)
+      Dvp.Metrics.all_abort_reasons;
+    print_newline ();
+    print_latency_histogram m
+  end;
+  (match (trace, trace_out) with
+  | Some tr, Some file ->
+    let data = match trace_format with Jsonl -> Trace.to_jsonl tr | Chrome -> Trace.to_chrome tr in
+    let oc = open_out file in
+    output_string oc data;
+    close_out oc;
+    if not json then begin
+      Printf.printf "wrote %d trace events to %s (%s)\n" (List.length (Trace.events tr)) file
+        (match trace_format with Jsonl -> "jsonl" | Chrome -> "chrome trace_event");
+      if Trace.drop_count tr > 0 then
+        Printf.printf "  (ring buffer overflowed: %d oldest events dropped)\n"
+          (Trace.drop_count tr)
+    end
+  | _ -> ());
   (match (dvp_sys, export_dir) with
   | Some sys, Some dir ->
     let n = Dvp.Backup.export_system sys ~dir in
-    Printf.printf "exported %d stable log records to %s\n" n dir;
-    Printf.printf "conservation check: %b\n" (Dvp.System.conserved_all sys)
+    if not json then begin
+      Printf.printf "exported %d stable log records to %s\n" n dir;
+      Printf.printf "conservation check: %b\n" (Dvp.System.conserved_all sys)
+    end
   | _, Some _ ->
     print_endline "(--export only applies to --system dvp; skipped)"
   | _, None -> ());
-  print_newline ();
-  print_endline "availability timeline:";
-  List.iter
-    (fun (t_end, ratio) ->
-      if not (Float.is_nan ratio) then
-        Printf.printf "  t<%5.1f %s %3.0f%%\n" t_end
-          (String.make (int_of_float (ratio *. 40.0)) '#')
-          (100.0 *. ratio))
-    o.Runner.timeline
+  if not json then begin
+    print_newline ();
+    print_endline "availability timeline:";
+    List.iter
+      (fun (t_end, ratio) ->
+        if not (Float.is_nan ratio) then
+          Printf.printf "  t<%5.1f %s %3.0f%%\n" t_end
+            (String.make (int_of_float (ratio *. 40.0)) '#')
+            (100.0 *. ratio))
+      o.Runner.timeline
+  end
 
 let demo_cmd () =
   print_endline "Running the airline workload on DvP with a partition window...";
-  run_cmd Dvp_sys "airline" 6 80.0 15.0 7 (Some (5.0, 5.0)) None None
+  run_cmd Dvp_sys Spec.Airline 6 80.0 15.0 7 (Some (5.0, 5.0)) None None None Jsonl false
 
 let restore_cmd workload sites dir =
   (* Rebuild an installation from exported logs: the spec supplies the same
@@ -206,7 +247,7 @@ let system_arg =
   Arg.(value & opt system_conv Dvp_sys & info [ "system"; "s" ] ~doc:"System under test.")
 
 let workload_arg =
-  Arg.(value & opt workload_conv "default" & info [ "workload"; "w" ] ~doc:"Workload preset.")
+  Arg.(value & opt workload_conv Spec.Default & info [ "workload"; "w" ] ~doc:"Workload preset.")
 
 let sites_arg = Arg.(value & opt int 6 & info [ "sites"; "n" ] ~doc:"Number of sites.")
 
@@ -234,10 +275,28 @@ let export_arg =
     & opt (some string) None
     & info [ "export" ] ~doc:"Export the run's stable logs to this directory (dvp only).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE" ~doc:"Write the run's trace events to FILE (dvp only).")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt trace_format_conv Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:"Trace file format: jsonl (one event per line) or chrome (trace_event JSON \
+              for ui.perfetto.dev).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Print the outcome as one JSON object.")
+
 let run_term =
   Term.(
     const run_cmd $ system_arg $ workload_arg $ sites_arg $ rate_arg $ duration_arg
-    $ seed_arg $ partition_arg $ crash_arg $ export_arg)
+    $ seed_arg $ partition_arg $ crash_arg $ export_arg $ trace_out_arg $ trace_format_arg
+    $ json_arg)
 
 let dir_arg =
   Arg.(

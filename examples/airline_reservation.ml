@@ -22,14 +22,14 @@ let print_state sys =
 
 let reserve sys ~site ~seats =
   Printf.printf "-> customer at %s requests %d seat(s)\n" site_name.(site) seats;
-  Dvp.System.submit sys ~site
-    ~ops:[ (flight_a, Dvp.Op.Decr seats) ]
+  Dvp.System.exec sys
+    (Dvp.Txn.write ~site [ (flight_a, Dvp.Op.Decr seats) ])
     ~on_done:(fun r ->
       match r with
-      | Dvp.Site.Committed _ ->
+      | Dvp.Txn.Committed _ ->
         Printf.printf "   %s: reservation of %d seat(s) CONFIRMED (t=%.3fs)\n"
           site_name.(site) seats (Dvp.System.now sys)
-      | Dvp.Site.Aborted reason ->
+      | Dvp.Txn.Aborted reason ->
         Printf.printf "   %s: reservation of %d seat(s) DECLINED (%s)\n" site_name.(site)
           seats
           (Dvp.Metrics.abort_reason_label reason));
@@ -68,19 +68,19 @@ let () =
     honors;
 
   print_endline "\n-- a cancellation at Z returns two seats --";
-  Dvp.System.submit sys ~site:3
-    ~ops:[ (flight_a, Dvp.Op.Incr 2) ]
+  Dvp.System.exec sys
+    (Dvp.Txn.write ~site:3 [ (flight_a, Dvp.Op.Incr 2) ])
     ~on_done:(fun _ -> print_endline "   Z: cancellation recorded");
   Dvp.System.run_for sys 0.5;
   print_state sys;
 
   print_endline "\n-- finally, the airline audits the flight (a full read at W) --";
-  Dvp.System.submit_read sys ~site:0 ~item:flight_a ~on_done:(fun r ->
+  Dvp.System.exec sys (Dvp.Txn.read ~site:0 flight_a) ~on_done:(fun r ->
       match r with
-      | Dvp.Site.Committed { read_value = Some n } ->
+      | Dvp.Txn.Committed { reads = [ (_, n) ] } ->
         Printf.printf "   audit result: N = %d seats remain\n" n
-      | Dvp.Site.Committed { read_value = None } -> ()
-      | Dvp.Site.Aborted reason ->
+      | Dvp.Txn.Committed _ -> ()
+      | Dvp.Txn.Aborted reason ->
         Printf.printf "   audit failed: %s\n" (Dvp.Metrics.abort_reason_label reason));
   Dvp.System.run_for sys 3.0;
   print_state sys;

@@ -44,10 +44,10 @@ let () =
                | 2 -> [ (checking, Dvp.Op.Decr cents); (savings, Dvp.Op.Incr cents) ]
                | _ -> [ (savings, Dvp.Op.Decr cents); (checking, Dvp.Op.Incr cents) ]
              in
-             Dvp.System.submit sys ~site ~ops ~on_done:(fun r ->
+             Dvp.System.exec sys (Dvp.Txn.write ~site ops) ~on_done:(fun r ->
                  match r with
-                 | Dvp.Site.Committed _ -> incr committed
-                 | Dvp.Site.Aborted _ -> incr aborted)
+                 | Dvp.Txn.Committed _ -> incr committed
+                 | Dvp.Txn.Aborted _ -> incr aborted)
            end))
   done;
   (* Branch 3 crashes at t=4 and recovers at t=7 — independently, no

@@ -79,14 +79,14 @@ let run_dvp () =
     if Engine.now engine < duration then begin
       let site = Rng.int rng n_sites in
       let t0 = Engine.now engine in
-      Dvp.System.submit sys ~site
-        ~ops:[ (0, Dvp.Op.Decr 1) ]
+      Dvp.System.exec sys
+        (Dvp.Txn.write ~site [ (0, Dvp.Op.Decr 1) ])
         ~on_done:(fun r ->
           match r with
-          | Dvp.Site.Committed _ ->
+          | Dvp.Txn.Committed _ ->
             incr committed;
             Dvp_util.Dstats.Sample.add lat (Engine.now engine -. t0)
-          | Dvp.Site.Aborted _ -> ());
+          | Dvp.Txn.Aborted _ -> ());
       ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. demand_rate)) arrivals)
     end
   in

@@ -20,12 +20,12 @@ let () =
 
   (* 3. A local transaction: site 0 reserves 10 units.  Its fragment (25)
         suffices, so this commits synchronously with zero messages. *)
-  Dvp.System.submit sys ~site:0
-    ~ops:[ (0, Dvp.Op.Decr 10) ]
+  Dvp.System.exec sys
+    (Dvp.Txn.write ~site:0 [ (0, Dvp.Op.Decr 10) ])
     ~on_done:(fun r ->
       match r with
-      | Dvp.Site.Committed _ -> print_endline "local reserve(10) at site 0: committed"
-      | Dvp.Site.Aborted reason ->
+      | Dvp.Txn.Committed _ -> print_endline "local reserve(10) at site 0: committed"
+      | Dvp.Txn.Aborted reason ->
         Printf.printf "local reserve(10) aborted: %s\n"
           (Dvp.Metrics.abort_reason_label reason));
 
@@ -33,14 +33,14 @@ let () =
         25.  It asks its peers; their responses travel as virtual messages
         (logged, retransmitted, never lost), and the transaction commits
         once enough value has arrived. *)
-  Dvp.System.submit sys ~site:1
-    ~ops:[ (0, Dvp.Op.Decr 40) ]
+  Dvp.System.exec sys
+    (Dvp.Txn.write ~site:1 [ (0, Dvp.Op.Decr 40) ])
     ~on_done:(fun r ->
       match r with
-      | Dvp.Site.Committed _ ->
+      | Dvp.Txn.Committed _ ->
         Printf.printf "remote-assisted reserve(40) at site 1: committed at t=%.3fs\n"
           (Dvp.System.now sys)
-      | Dvp.Site.Aborted reason ->
+      | Dvp.Txn.Aborted reason ->
         Printf.printf "reserve(40) aborted: %s\n" (Dvp.Metrics.abort_reason_label reason));
   Dvp.System.run_for sys 2.0;
 
@@ -57,25 +57,25 @@ let () =
         fragments; only transactions that need remote value abort — after a
         bounded timeout, never blocking. *)
   Dvp.System.partition sys [ [ 0; 1 ]; [ 2; 3 ] ];
-  Dvp.System.submit sys ~site:2
-    ~ops:[ (0, Dvp.Op.Decr 5) ]
+  Dvp.System.exec sys
+    (Dvp.Txn.write ~site:2 [ (0, Dvp.Op.Decr 5) ])
     ~on_done:(fun r ->
       match r with
-      | Dvp.Site.Committed _ ->
+      | Dvp.Txn.Committed _ ->
         print_endline "during partition: site 2 committed from its local fragment"
-      | Dvp.Site.Aborted _ -> print_endline "during partition: site 2 aborted (unexpected)");
+      | Dvp.Txn.Aborted _ -> print_endline "during partition: site 2 aborted (unexpected)");
   Dvp.System.run_for sys 2.0;
   Dvp.System.heal sys;
   Dvp.System.run_for sys 2.0;
 
   (* 7. A read in the traditional sense drains every fragment to the reader
         — correct, but the one expensive operation in this scheme. *)
-  Dvp.System.submit_read sys ~site:3 ~item:0 ~on_done:(fun r ->
+  Dvp.System.exec sys (Dvp.Txn.read ~site:3 0) ~on_done:(fun r ->
       match r with
-      | Dvp.Site.Committed { read_value = Some v } ->
+      | Dvp.Txn.Committed { reads = [ (_, v) ] } ->
         Printf.printf "full read at site 3: N = %d\n" v
-      | Dvp.Site.Committed { read_value = None } -> ()
-      | Dvp.Site.Aborted reason ->
+      | Dvp.Txn.Committed _ -> ()
+      | Dvp.Txn.Aborted reason ->
         Printf.printf "read aborted: %s\n" (Dvp.Metrics.abort_reason_label reason));
   Dvp.System.run_for sys 3.0;
 

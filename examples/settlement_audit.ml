@@ -32,15 +32,15 @@ let () =
                [ (gross, Dvp.Op.Decr amt); (reserve, Dvp.Op.Incr amt) ]
              else [ (reserve, Dvp.Op.Decr amt); (gross, Dvp.Op.Incr amt) ]
            in
-           Dvp.System.submit sys ~site ~ops ~on_done:(fun r ->
-               match r with Dvp.Site.Committed _ -> incr trades | _ -> ())))
+           Dvp.System.exec sys (Dvp.Txn.write ~site ops) ~on_done:(fun r ->
+               match r with Dvp.Txn.Committed _ -> incr trades | _ -> ())))
   done;
   Dvp.System.run_until sys 10.0;
   Printf.printf "%d trades settled during the day\n" !trades;
 
   (* Close of business: one atomic snapshot of both positions. *)
-  Dvp.System.submit_read_many sys ~site:0 ~items:[ gross; reserve ] ~on_done:(fun r ->
-      match r with
+  Dvp.System.exec sys (Dvp.Txn.snapshot ~site:0 [ gross; reserve ]) ~on_done:(fun r ->
+      match Dvp.Txn.to_reads r with
       | Ok values ->
         let v item = List.assoc item values in
         Printf.printf "close-of-day snapshot: gross=%d reserve=%d (sum %d)\n" (v gross)

@@ -11,16 +11,17 @@ let create sys ~value_item ~headroom_item ~cap ?initial () =
 let cap t = t.cap
 
 let decr t ~site ~amount ~on_done =
-  System.submit t.sys ~site
-    ~ops:[ (t.value_item, Op.Decr amount); (t.headroom_item, Op.Incr amount) ]
-    ~on_done
+  System.exec t.sys
+    (Txn.write ~site [ (t.value_item, Op.Decr amount); (t.headroom_item, Op.Incr amount) ])
+    ~on_done:(fun o -> on_done (Txn.to_result o))
 
 let incr t ~site ~amount ~on_done =
-  System.submit t.sys ~site
-    ~ops:[ (t.value_item, Op.Incr amount); (t.headroom_item, Op.Decr amount) ]
-    ~on_done
+  System.exec t.sys
+    (Txn.write ~site [ (t.value_item, Op.Incr amount); (t.headroom_item, Op.Decr amount) ])
+    ~on_done:(fun o -> on_done (Txn.to_result o))
 
-let read t ~site ~on_done = System.submit_read t.sys ~site ~item:t.value_item ~on_done
+let read t ~site ~on_done =
+  System.exec t.sys (Txn.read ~site t.value_item) ~on_done:(fun o -> on_done (Txn.to_result o))
 
 let expected_value t = System.expected_total t.sys ~item:t.value_item
 

@@ -35,7 +35,7 @@ let centralize t item =
   if s.mode = Partitioned then begin
     s.mode <- Centralized;
     t.centralizations <- t.centralizations + 1;
-    System.submit_read t.sys ~site:(home t ~item) ~item ~on_done:(fun _ -> ())
+    System.exec t.sys (Txn.read ~site:(home t ~item) item) ~on_done:(fun _ -> ())
   end
 
 (* Spread the home's fragment back out evenly (explicit Rds pushes). *)
@@ -92,13 +92,13 @@ let create sys ?(hi = 0.10) ?(lo = 0.02) ?(window = 2.0) ?(check_every = 1.0) ()
 
 let submit t ~site ~ops ~on_done =
   List.iter (fun (item, _) -> (stats_for t item).updates <- (stats_for t item).updates + 1) ops;
-  System.submit t.sys ~site ~ops ~on_done
+  System.exec t.sys (Txn.write ~site ops) ~on_done:(fun o -> on_done (Txn.to_result o))
 
 let submit_read t ~site ~item ~on_done =
   let s = stats_for t item in
   s.reads <- s.reads + 1;
   let where = match s.mode with Centralized -> home t ~item | Partitioned -> site in
-  System.submit_read t.sys ~site:where ~item ~on_done
+  System.exec t.sys (Txn.read ~site:where item) ~on_done:(fun o -> on_done (Txn.to_result o))
 
 let centralizations t = t.centralizations
 

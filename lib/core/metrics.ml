@@ -147,7 +147,11 @@ let commit_ratio t =
 
 let latency_p50 t = Dstats.Sample.percentile t.latencies 50.0
 
+let latency_p90 t = Dstats.Sample.percentile t.latencies 90.0
+
 let latency_p99 t = Dstats.Sample.percentile t.latencies 99.0
+
+let latency_max t = Dstats.Sample.max_value t.latencies
 
 let latency_mean t = Dstats.Sample.mean t.latencies
 
@@ -220,6 +224,55 @@ let merge a b =
   t.messages <- a.messages + b.messages;
   t.log_forces <- a.log_forces + b.log_forces;
   t
+
+let to_json t =
+  let module Json = Dvp_util.Json in
+  (* Percentiles over zero samples are [nan]; JSON has no nan, so absent
+     statistics serialize as null. *)
+  let num f = if Float.is_finite f then Json.Float f else Json.Null in
+  Json.Obj
+    [
+      ("committed", Json.Int t.committed);
+      ("aborted", Json.Int t.aborted);
+      ("submitted", Json.Int (submitted t));
+      ("commit_ratio", num (commit_ratio t));
+      ( "aborts",
+        Json.Obj
+          (List.filter_map
+             (fun r ->
+               let n = aborted_by t r in
+               if n = 0 then None else Some (abort_reason_label r, Json.Int n))
+             all_abort_reasons) );
+      ( "latency",
+        Json.Obj
+          [
+            ("p50", num (latency_p50 t));
+            ("p90", num (latency_p90 t));
+            ("p99", num (latency_p99 t));
+            ("max", num (latency_max t));
+            ("mean", num (latency_mean t));
+          ] );
+      ("max_lock_hold", num t.max_lock_hold);
+      ("max_blocked", num t.max_blocked);
+      ("total_blocked", num t.total_blocked);
+      ("blocked_episodes", Json.Int t.blocked_episodes);
+      ("vm_created", Json.Int t.vm_created);
+      ("vm_created_amount", Json.Int t.vm_created_amount);
+      ("vm_accepted", Json.Int t.vm_accepted);
+      ("vm_accepted_amount", Json.Int t.vm_accepted_amount);
+      ("vm_retransmissions", Json.Int t.vm_retrans);
+      ("vm_duplicates", Json.Int t.vm_dups);
+      ("requests_honored", Json.Int t.req_honored);
+      ("requests_ignored", Json.Int t.req_ignored);
+      ("recoveries", Json.Int t.recoveries);
+      ("recovery_messages", Json.Int t.recovery_msgs);
+      ("recovery_redo", Json.Int t.recovery_redo);
+      ("recovery_time", num t.recovery_time);
+      ("messages", Json.Int t.messages);
+      ("log_forces", Json.Int t.log_forces);
+      ("messages_per_commit", num (messages_per_commit t));
+      ("forces_per_commit", num (forces_per_commit t));
+    ]
 
 let summary_rows t =
   let f = Printf.sprintf "%.4f" in

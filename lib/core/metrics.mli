@@ -78,7 +78,11 @@ val commit_ratio : t -> float
 
 val latency_p50 : t -> float
 
+val latency_p90 : t -> float
+
 val latency_p99 : t -> float
+
+val latency_max : t -> float
 
 val latency_mean : t -> float
 
@@ -122,3 +126,11 @@ val merge : t -> t -> t
 
 val summary_rows : t -> (string * string) list
 (** Key/value rows for report printing. *)
+
+val to_json : t -> Dvp_util.Json.t
+(** Every counter and statistic as one JSON object: totals, the abort
+    breakdown by reason (zero-count reasons omitted), the latency
+    percentiles (p50/p90/p99/max/mean — [null] until a commit happens),
+    lock/blocking extrema, Vm traffic, request-handling counts, recovery
+    costs, message and log-force totals, and the per-commit overhead
+    ratios. *)

@@ -53,6 +53,11 @@ let tracef t category fmt =
   | Some tr -> Trace.recordf tr ~time:(Engine.now t.engine) ~category fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
+let emit t ev =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~time:(Engine.now t.engine) ev
+  | None -> ()
+
 (* ------------------------------------------------------------ accessors *)
 
 let self t = t.self
@@ -109,7 +114,9 @@ let try_credit t ~peer ~item ~amount ~reply_to =
 
 let release_and_account t txn =
   (match txn.lock_time with
-  | Some since -> Metrics.lock_held t.metrics (Engine.now t.engine -. since)
+  | Some since ->
+    Metrics.lock_held t.metrics (Engine.now t.engine -. since);
+    emit t (Trace.Lock_release { site = t.self; txn = txn.id })
   | None -> ());
   ignore (Lock_table.release_all t.locks ~txn:txn.id)
 
@@ -127,11 +134,12 @@ let finish t txn result =
     (match result with
     | Committed _ ->
       Metrics.txn_committed t.metrics ~latency;
-      tracef t "commit" "txn %a committed" Ids.pp_txn txn.id
+      emit t (Trace.Txn_commit { site = t.self; txn = txn.id })
     | Aborted reason ->
       Metrics.txn_aborted t.metrics ~reason ~latency;
-      tracef t "abort" "txn %a aborted: %s" Ids.pp_txn txn.id
-        (Metrics.abort_reason_label reason));
+      emit t
+        (Trace.Txn_abort
+           { site = t.self; txn = txn.id; reason = Metrics.abort_reason_label reason }));
     txn.on_done result
   end
 
@@ -218,6 +226,9 @@ let send_requests t txn shortfalls =
               | Config.Ask_all_split -> (shortfall + t.n - 2) / (t.n - 1)
               | Config.Ask_all_full | Config.Ask_one_random | Config.Ask_k _ -> shortfall
             in
+            (* dst = -1: the request goes to every other site at once. *)
+            emit t
+              (Trace.Request_sent { site = t.self; dst = -1; txn = txn.id; item; amount = share });
             Proto.Request { txn = txn.id; item; kind = Proto.Need share })
           shortfalls
       in
@@ -239,8 +250,7 @@ let send_requests t txn shortfalls =
           List.iter
             (fun (dst, amount) ->
               sent := true;
-              tracef t "request" "txn %a asks site %d for %d of item %d" Ids.pp_txn txn.id
-                dst amount item;
+              emit t (Trace.Request_sent { site = t.self; dst; txn = txn.id; item; amount });
               t.send ~dst (Proto.Request { txn = txn.id; item; kind = Proto.Need amount }))
             (Config.request_targets t.cfg.request_policy ~rng:t.rng ~self:t.self ~n:t.n
                ~shortfall))
@@ -295,6 +305,7 @@ let arm_request_retries t txn =
 (* Steps 2-7 once the local locks are held. *)
 let proceed_locked t txn =
   txn.lock_time <- Some (Engine.now t.engine);
+  emit t (Trace.Lock_acquire { site = t.self; txn = txn.id; items = List.map fst txn.ops });
   match txn.kind with
   | General ->
     let shortfalls = current_shortfalls t txn in
@@ -363,6 +374,7 @@ let begin_txn t ~kind ~ops ~on_done =
     }
   in
   Hashtbl.replace t.live id txn;
+  emit t (Trace.Txn_begin { site = t.self; txn = id; n_ops = List.length ops });
   arm_timeout t txn;
   txn
 
@@ -418,7 +430,7 @@ let honor_request t ~src ~txn_id ~item ~kind =
       Vm.send_value (vm_exn t) ~dst:src ~item ~amount:frag ~reply_to:txn_id ~new_local:0 ();
       Db.set_value t.db ~item 0;
       Metrics.request_honored t.metrics;
-      tracef t "honor" "drain of item %d -> site %d (%d units)" item src frag
+      emit t (Trace.Request_honored { site = t.self; src; txn = txn_id; item; amount = frag })
     end
   | Proto.Need requested ->
     let amount = Config.grant_amount t.cfg.grant_policy ~requested ~fragment:frag in
@@ -429,7 +441,7 @@ let honor_request t ~src ~txn_id ~item ~kind =
         ~new_local:(frag - amount) ();
       Db.set_value t.db ~item (frag - amount);
       Metrics.request_honored t.metrics;
-      tracef t "honor" "item %d: %d units -> site %d" item amount src
+      emit t (Trace.Request_honored { site = t.self; src; txn = txn_id; item; amount })
     end
 
 let note_asker t ~src ~item =
@@ -451,7 +463,15 @@ let rec handle_request t ~src ~txn_id ~item ~kind =
     else if not (Ids.ts_lt (Db.timestamp t.db ~item) txn_id) then begin
       (* Timestamp gate: TS(t) > TS(d_j) required (Section 6.1). *)
       Metrics.request_ignored t.metrics;
-      tracef t "refuse" "item %d: stale request from txn %a" item Ids.pp_txn txn_id
+      emit t
+        (Trace.Request_ignored
+           {
+             site = t.self;
+             src;
+             txn = txn_id;
+             item;
+             reason = Format.asprintf "stale request from txn %a" Ids.pp_txn txn_id;
+           })
     end
     else honor_request t ~src ~txn_id ~item ~kind
   | Config.Conc2 ->
@@ -580,7 +600,7 @@ let crash t =
     Hashtbl.reset t.askers;
     Vm.crash (vm_exn t);
     Wal.crash t.wal;
-    tracef t "crash" "site %d down" t.self
+    emit t (Trace.Crash { site = t.self })
   end
 
 (* Independent recovery (Section 7): rebuild everything from the local
@@ -596,7 +616,7 @@ let recover t =
     (* Independent recovery: zero messages to other sites (Section 7). *)
     Metrics.recovery_event t.metrics ~messages:0 ~redo:view.Log_replay.redo
       ~duration:(Engine.now t.engine -. started);
-    tracef t "recover" "site %d up (redo=%d)" t.self view.Log_replay.redo
+    emit t (Trace.Recover { site = t.self; redo = view.Log_replay.redo })
   end
 
 (* Section 7's checkpointing: force one snapshot record carrying the
@@ -609,7 +629,8 @@ let checkpoint t =
       Vm.snapshot (vm_exn t) ~fragments ~max_counter:(Ids.Clock.current_counter t.clock)
     in
     Wal.append t.wal record;
-    Wal.truncate_before t.wal ~keep_from:(Wal.end_index t.wal - 1)
+    Wal.truncate_before t.wal ~keep_from:(Wal.end_index t.wal - 1);
+    emit t (Trace.Checkpoint { site = t.self; log_length = Wal.stable_length t.wal })
   end
 
 (* ------------------------------------------------- stable-state oracles *)
@@ -658,7 +679,7 @@ let create engine ~self ~n ~send ~config ~rng ?trace () =
     Vm.create engine ~n ~self ~wal:t.wal ~send
       ~try_credit:(fun ~peer ~item ~amount ~reply_to -> try_credit t ~peer ~item ~amount ~reply_to)
       ~ts_counter:(fun () -> Ids.Clock.current_counter t.clock)
-      ~metrics:t.metrics ~retransmit_every:config.Config.vm_retransmit
+      ~metrics:t.metrics ?trace ~retransmit_every:config.Config.vm_retransmit
       ~ack_delay:config.Config.ack_delay ()
   in
   t.vm <- Some vm;

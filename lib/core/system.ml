@@ -17,7 +17,7 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   let engine = Engine.create () in
   let rng = Dvp_util.Rng.create seed in
   let net_rng = Dvp_util.Rng.split rng in
-  let net = Network.create engine ~rng:net_rng ~n ?default:link () in
+  let net = Network.create engine ~rng:net_rng ~n ?default:link ?trace () in
   let sites =
     Array.init n (fun i ->
         let site_rng = Dvp_util.Rng.split rng in
@@ -97,27 +97,64 @@ let wrap_delta t ops on_done result =
   | Site.Aborted _ -> ());
   on_done result
 
-let submit t ~site ~ops ~on_done =
-  Site.submit t.sites.(site) ~ops ~on_done:(wrap_delta t ops on_done)
+(* One attempt of a request, whatever its kind, reported as a Txn.outcome. *)
+let exec_once t (req : Txn.t) on_result =
+  match req.Txn.kind with
+  | Txn.Update ->
+    Site.submit t.sites.(req.Txn.site) ~ops:req.Txn.ops
+      ~on_done:
+        (wrap_delta t req.Txn.ops (fun r ->
+             on_result
+               (match r with
+               | Site.Committed _ -> Txn.Committed { reads = [] }
+               | Site.Aborted reason -> Txn.Aborted reason)))
+  | Txn.Read item ->
+    Site.submit_read t.sites.(req.Txn.site) ~item ~on_done:(fun r ->
+        on_result
+          (match r with
+          | Site.Committed { read_value = Some v } -> Txn.Committed { reads = [ (item, v) ] }
+          | Site.Committed { read_value = None } -> Txn.Committed { reads = [] }
+          | Site.Aborted reason -> Txn.Aborted reason))
+  | Txn.Snapshot items ->
+    Site.submit_read_many t.sites.(req.Txn.site) ~items ~on_done:(fun r ->
+        on_result
+          (match r with
+          | Ok reads -> Txn.Committed { reads }
+          | Error reason -> Txn.Aborted reason))
 
-let submit_read t ~site ~item ~on_done = Site.submit_read t.sites.(site) ~item ~on_done
+let exec t (req : Txn.t) ~on_done =
+  match req.Txn.retry with
+  | None -> exec_once t req on_done
+  | Some { Txn.retries; backoff } ->
+    (* Each retry is a fresh transaction with a fresh, higher timestamp. *)
+    let rec attempt k =
+      exec_once t req (fun result ->
+          match result with
+          | Txn.Committed _ -> on_done result
+          | Txn.Aborted _ when k < retries ->
+            ignore
+              (Engine.schedule t.engine
+                 ~delay:(backoff *. float_of_int (k + 1))
+                 (fun () -> attempt (k + 1)))
+          | Txn.Aborted _ -> on_done result)
+    in
+    attempt 0
+
+(* Legacy four-way submission surface: one-line wrappers over [exec]. *)
+
+let submit t ~site ~ops ~on_done =
+  exec t (Txn.write ~site ops) ~on_done:(fun o -> on_done (Txn.to_result o))
+
+let submit_read t ~site ~item ~on_done =
+  exec t (Txn.read ~site item) ~on_done:(fun o -> on_done (Txn.to_result o))
 
 let submit_read_many t ~site ~items ~on_done =
-  Site.submit_read_many t.sites.(site) ~items ~on_done
+  exec t (Txn.snapshot ~site items) ~on_done:(fun o -> on_done (Txn.to_reads o))
 
 let submit_retrying t ~site ~ops ?(retries = 3) ?(backoff = 0.2) ~on_done () =
-  let rec attempt k =
-    submit t ~site ~ops ~on_done:(fun result ->
-        match result with
-        | Site.Committed _ -> on_done result
-        | Site.Aborted _ when k < retries ->
-          ignore
-            (Engine.schedule t.engine
-               ~delay:(backoff *. float_of_int (k + 1))
-               (fun () -> attempt (k + 1)))
-        | Site.Aborted _ -> on_done result)
-  in
-  attempt 0
+  exec t
+    (Txn.with_retry ~retries ~backoff (Txn.write ~site ops))
+    ~on_done:(fun o -> on_done (Txn.to_result o))
 
 (* -------------------------------------------------------------- faults *)
 
@@ -205,3 +242,60 @@ let metrics t =
     (fun s -> Metrics.add_log_forces m (Dvp_storage.Wal.forces (Site.wal s)))
     t.sites;
   m
+
+(* --------------------------------------------------------------- probes *)
+
+module Json = Dvp_util.Json
+
+type probe_sample = {
+  fragments : (Ids.item * int array) list;
+  in_flight : (Ids.item * int) list;
+  active_txns : int;
+  log_length : int;
+}
+
+let probe_sample t =
+  let its = items t in
+  {
+    fragments = List.map (fun item -> (item, fragments t ~item)) its;
+    in_flight = List.map (fun item -> (item, in_flight t ~item)) its;
+    active_txns =
+      Array.fold_left
+        (fun acc s -> if Site.is_up s then acc + Site.active_txns s else acc)
+        0 t.sites;
+    log_length = stable_log_length t;
+  }
+
+let start_probe t ~every =
+  Dvp_sim.Probe.start t.engine ~period:every ~sample:(fun _ -> probe_sample t)
+
+let probe_sample_to_json s =
+  Json.Obj
+    [
+      ( "fragments",
+        Json.Obj
+          (List.map
+             (fun (item, frags) ->
+               ( string_of_int item,
+                 Json.List (Array.to_list (Array.map (fun v -> Json.Int v) frags)) ))
+             s.fragments) );
+      ( "in_flight",
+        Json.Obj
+          (List.map (fun (item, v) -> (string_of_int item, Json.Int v)) s.in_flight) );
+      ("active_txns", Json.Int s.active_txns);
+      ("log_length", Json.Int s.log_length);
+    ]
+
+let probe_series_to_json p =
+  Json.Obj
+    [
+      ("period", Json.Float (Dvp_sim.Probe.period p));
+      ( "samples",
+        Json.List
+          (List.map
+             (fun (time, s) ->
+               match probe_sample_to_json s with
+               | Json.Obj fields -> Json.Obj (("time", Json.Float time) :: fields)
+               | j -> j)
+             (Dvp_sim.Probe.series p)) );
+    ]

@@ -57,14 +57,24 @@ val items : t -> Ids.item list
 
 (** {2 Transactions} *)
 
+val exec : t -> Txn.t -> on_done:(Txn.outcome -> unit) -> unit
+(** Execute one request — update, single-item read, or multi-item snapshot,
+    with or without a retry policy (see {!Txn}).  [on_done] fires exactly
+    once with the final outcome; when the request carries a retry policy,
+    intermediate aborts are resubmitted as fresh transactions (fresh, higher
+    timestamps) after [backoff * attempt] seconds, Section 8's
+    livelock-avoidance mechanism. *)
+
 val submit :
   t ->
   site:Ids.site ->
   ops:(Ids.item * Op.t) list ->
   on_done:(Site.txn_result -> unit) ->
   unit
+[@@deprecated "Use System.exec with Txn.write."]
 
 val submit_read : t -> site:Ids.site -> item:Ids.item -> on_done:(Site.txn_result -> unit) -> unit
+[@@deprecated "Use System.exec with Txn.read."]
 
 val submit_read_many :
   t ->
@@ -72,6 +82,7 @@ val submit_read_many :
   items:Ids.item list ->
   on_done:(((Ids.item * int) list, Metrics.abort_reason) result -> unit) ->
   unit
+[@@deprecated "Use System.exec with Txn.snapshot."]
 (** Atomic multi-item snapshot read (see {!Site.submit_read_many}). *)
 
 val submit_retrying :
@@ -83,11 +94,10 @@ val submit_retrying :
   on_done:(Site.txn_result -> unit) ->
   unit ->
   unit
-(** Client-side retry loop — the "additional mechanism" Section 8 alludes to
-    for avoiding livelock: an aborted transaction is resubmitted (as a fresh
-    transaction with a fresh, higher timestamp) after [backoff * attempt]
-    seconds, up to [retries] times (default 3 retries, 0.2 s backoff).
-    [on_done] fires once, with the final outcome. *)
+[@@deprecated "Use System.exec with Txn.with_retry (Txn.write ...)."]
+(** Client-side retry loop — kept as a one-line wrapper over {!exec} with
+    {!Txn.with_retry} (default 3 retries, 0.2 s backoff).  [on_done] fires
+    once, with the final outcome. *)
 
 (** {2 Fault injection} *)
 
@@ -142,3 +152,29 @@ val stable_log_length : t -> int
 val metrics : t -> Metrics.t
 (** Merged metrics of all sites, with network message counts and log-force
     counts folded in. *)
+
+(** {2 Probes}
+
+    Periodic sampling of the live installation into a time series (see
+    {!Dvp_sim.Probe}): every item's fragment vector, the value in flight as
+    unaccepted Vm (N_M), the active transaction count, and the total stable
+    log length.  The series charts the paper's conservation terms over a
+    whole run. *)
+
+type probe_sample = {
+  fragments : (Ids.item * int array) list;  (** per-site fragment vector *)
+  in_flight : (Ids.item * int) list;  (** N_M per item *)
+  active_txns : int;  (** live transactions across all up sites *)
+  log_length : int;  (** total stable log records (redo-cost surface) *)
+}
+
+val probe_sample : t -> probe_sample
+(** One sample, now. *)
+
+val start_probe : t -> every:float -> probe_sample Dvp_sim.Probe.t
+(** Sample on a fixed simulated-time period until [Probe.stop]. *)
+
+val probe_sample_to_json : probe_sample -> Dvp_util.Json.t
+
+val probe_series_to_json : probe_sample Dvp_sim.Probe.t -> Dvp_util.Json.t
+(** [{ "period": p, "samples": [ { "time": t, ... }, ... ] }]. *)

@@ -1,4 +1,5 @@
 module Engine = Dvp_sim.Engine
+module Trace = Dvp_sim.Trace
 module Wal = Dvp_storage.Wal
 
 type outstanding = Log_replay.vm_outstanding = {
@@ -22,6 +23,7 @@ type t = {
     peer:Ids.site -> item:Ids.item -> amount:int -> reply_to:Ids.txn option -> int option;
   ts_counter : unit -> int;
   metrics : Metrics.t;
+  trace : Trace.t option;
   retransmit_every : float;
   ack_delay : float;
       (* 0 = acknowledge immediately with a standalone message; > 0 = hold
@@ -38,7 +40,7 @@ type t = {
   mutable ack_timers : Engine.timer option array;
 }
 
-let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics
+let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
     ?(retransmit_every = 0.15) ?(ack_delay = 0.0) () =
   {
     engine;
@@ -49,6 +51,7 @@ let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics
     try_credit;
     ts_counter;
     metrics;
+    trace;
     retransmit_every;
     ack_delay;
     next_seq = Array.make n 0;
@@ -59,6 +62,11 @@ let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics
     running = false;
     ack_timers = Array.make n None;
   }
+
+let emit t ev =
+  match t.trace with
+  | Some tr -> Trace.emit tr ~time:(Engine.now t.engine) ev
+  | None -> ()
 
 let outstanding_to t dst =
   let out = ref [] in
@@ -112,6 +120,9 @@ let rec on_retransmit t =
           (* Only resend what has gone a full period without an ack. *)
           if now -. e.last_sent >= t.retransmit_every *. 0.9 then begin
             Metrics.vm_retransmitted t.metrics;
+            emit t
+              (Trace.Vm_retransmit
+                 { site = t.self; dst; seq; item = e.payload.item; amount = e.payload.amount });
             e.last_sent <- now;
             transmit t ~dst ~seq ~item:e.payload.item ~amount:e.payload.amount
               ~reply_to:e.payload.reply_to
@@ -157,6 +168,7 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
   Hashtbl.replace t.outbox (dst, seq)
     { payload = { item; amount; reply_to }; last_sent = Engine.now t.engine };
   Metrics.vm_created t.metrics ~amount;
+  emit t (Trace.Vm_created { site = t.self; dst; seq; item; amount });
   transmit t ~dst ~seq ~item ~amount ~reply_to;
   arm t
 
@@ -190,6 +202,7 @@ let handle_data t ~src ~seq ~item ~amount ~reply_to ~ack_upto =
     (* Duplicate of an already-accepted Vm: discard, re-ack so the sender can
        advance if our earlier ack was lost. *)
     Metrics.vm_duplicate_discarded t.metrics;
+    emit t (Trace.Vm_dup { site = t.self; src; seq });
     schedule_ack t src
   end
   else if seq > expected then
@@ -207,6 +220,7 @@ let handle_data t ~src ~seq ~item ~amount ~reply_to ~ack_upto =
       Wal.append t.wal (Log_event.Vm_accept { peer = src; seq; item; amount; new_value });
       t.accepted.(src) <- seq;
       Metrics.vm_accepted t.metrics ~amount;
+      emit t (Trace.Vm_accepted { site = t.self; src; seq; item; amount });
       schedule_ack t src
 
 let crash t =

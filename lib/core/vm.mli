@@ -36,6 +36,7 @@ val create :
     (peer:Ids.site -> item:Ids.item -> amount:int -> reply_to:Ids.txn option -> int option) ->
   ts_counter:(unit -> int) ->
   metrics:Metrics.t ->
+  ?trace:Dvp_sim.Trace.t ->
   ?retransmit_every:float ->
   ?ack_delay:float ->
   unit ->

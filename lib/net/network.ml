@@ -14,9 +14,10 @@ type 'p t = {
   up : bool array;
   group_of : int array; (* partition group id per site *)
   stats : stats;
+  trace : Dvp_sim.Trace.t option;
 }
 
-let create engine ~rng ~n ?(default = Linkstate.default) () =
+let create engine ~rng ~n ?(default = Linkstate.default) ?trace () =
   {
     engine;
     rng;
@@ -26,7 +27,13 @@ let create engine ~rng ~n ?(default = Linkstate.default) () =
     up = Array.make n true;
     group_of = Array.make n 0;
     stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0 };
+    trace;
   }
+
+let emit t ev =
+  match t.trace with
+  | Some tr -> Dvp_sim.Trace.emit tr ~time:(Dvp_sim.Engine.now t.engine) ev
+  | None -> ()
 
 let size t = t.n
 
@@ -81,9 +88,14 @@ let deliver t ~src ~dst payload =
     | Some h ->
       t.stats.delivered <- t.stats.delivered + 1;
       h ~src payload
-    | None -> t.stats.dropped <- t.stats.dropped + 1
+    | None ->
+      t.stats.dropped <- t.stats.dropped + 1;
+      emit t (Dvp_sim.Trace.Net_drop { src; dst })
   end
-  else t.stats.dropped <- t.stats.dropped + 1
+  else begin
+    t.stats.dropped <- t.stats.dropped + 1;
+    emit t (Dvp_sim.Trace.Net_drop { src; dst })
+  end
 
 let send t ~src ~dst payload =
   check_site t src;
@@ -94,9 +106,12 @@ let send t ~src ~dst payload =
   end
   else begin
     t.stats.sent <- t.stats.sent + 1;
+    emit t (Dvp_sim.Trace.Net_send { src; dst });
     let l = t.links.(src).(dst) in
-    if (not t.up.(src)) || partitioned t ~src ~dst || Linkstate.drops l t.rng then
-      t.stats.dropped <- t.stats.dropped + 1
+    if (not t.up.(src)) || partitioned t ~src ~dst || Linkstate.drops l t.rng then begin
+      t.stats.dropped <- t.stats.dropped + 1;
+      emit t (Dvp_sim.Trace.Net_drop { src; dst })
+    end
     else begin
       let schedule_copy () =
         let delay = Linkstate.sample_delay l t.rng in

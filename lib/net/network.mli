@@ -20,8 +20,16 @@ type stats = {
 }
 
 val create :
-  Dvp_sim.Engine.t -> rng:Dvp_util.Rng.t -> n:int -> ?default:Linkstate.params -> unit -> 'p t
-(** [create engine ~rng ~n ()] builds a fully-connected [n]-site network. *)
+  Dvp_sim.Engine.t ->
+  rng:Dvp_util.Rng.t ->
+  n:int ->
+  ?default:Linkstate.params ->
+  ?trace:Dvp_sim.Trace.t ->
+  unit ->
+  'p t
+(** [create engine ~rng ~n ()] builds a fully-connected [n]-site network.
+    With [trace], every real transmission emits a {!Dvp_sim.Trace.Net_send}
+    event and every loss (link drop, partition, down site) a [Net_drop]. *)
 
 val size : 'p t -> int
 

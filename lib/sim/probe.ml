@@ -1,0 +1,30 @@
+type 'a t = {
+  engine : Engine.t;
+  period : float;
+  sample : float -> 'a;
+  mutable series : (float * 'a) list; (* newest first *)
+  mutable n : int;
+  mutable running : bool;
+}
+
+let rec tick t () =
+  if t.running then begin
+    let now = Engine.now t.engine in
+    t.series <- (now, t.sample now) :: t.series;
+    t.n <- t.n + 1;
+    ignore (Engine.schedule t.engine ~delay:t.period (tick t))
+  end
+
+let start engine ~period ~sample =
+  if period <= 0.0 then invalid_arg "Probe.start: period must be positive";
+  let t = { engine; period; sample; series = []; n = 0; running = true } in
+  ignore (Engine.schedule engine ~delay:period (tick t));
+  t
+
+let stop t = t.running <- false
+
+let period t = t.period
+
+let series t = List.rev t.series
+
+let length t = t.n

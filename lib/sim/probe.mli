@@ -1,0 +1,27 @@
+(** Periodic state sampling.
+
+    A probe runs a sampling function on a fixed simulated-time period and
+    accumulates the resulting time series.  The sample type is polymorphic:
+    the core library wires a probe that captures per-item fragment vectors,
+    in-flight Vm value, active transaction counts and log lengths
+    ([Dvp.System.start_probe]); tests use simple counters.
+
+    Sampling happens as ordinary engine events, so a probe observes the
+    system between events — exactly when the paper's invariants are
+    meaningful. *)
+
+type 'a t
+
+val start : Engine.t -> period:float -> sample:(float -> 'a) -> 'a t
+(** Begin sampling: the first sample fires one [period] from now, then every
+    [period] until {!stop}.  The sampler receives the current simulated
+    time. *)
+
+val stop : 'a t -> unit
+
+val period : 'a t -> float
+
+val series : 'a t -> (float * 'a) list
+(** All (time, sample) pairs so far, oldest first. *)
+
+val length : 'a t -> int

@@ -1,23 +1,85 @@
 (** Structured event trace.
 
-    Sites and protocol layers append human-readable trace entries tagged with
-    simulated time and a category; tests assert on the trace, and examples
-    print it to narrate a run.  The buffer is bounded to keep long experiment
-    runs cheap: once full, the oldest entries are dropped. *)
+    Sites and protocol layers append {e typed} events tagged with simulated
+    time; tests assert on the trace, examples print it to narrate a run, and
+    the exporters turn it into machine-readable artifacts (JSONL and Chrome
+    [trace_event] files that {{:https://ui.perfetto.dev}Perfetto} opens
+    directly).
+
+    The buffer is bounded to keep long experiment runs cheap: once full, the
+    oldest entries are dropped and {!drop_count} says how many, so a consumer
+    can tell a clipped trace from a complete one.
+
+    The legacy string API ({!record}, {!entries}, {!find}, …) is kept as a
+    thin compatibility shim over the typed events: every typed event renders
+    to the same [(time, category, message)] triples the old API produced. *)
 
 type t
 
+type ts = int * int
+(** Transaction identifier [(counter, site)] — mirrors [Dvp.Ids.ts] without
+    depending on the core library. *)
+
+(** One protocol-level occurrence.  Constructors carry the site/txn/item/seq
+    fields the exporters and invariant checks need; [Note] carries anything
+    recorded through the legacy string API. *)
+type event =
+  | Txn_begin of { site : int; txn : ts; n_ops : int }
+  | Txn_commit of { site : int; txn : ts }
+  | Txn_abort of { site : int; txn : ts; reason : string }
+  | Vm_created of { site : int; dst : int; seq : int; item : int; amount : int }
+  | Vm_accepted of { site : int; src : int; seq : int; item : int; amount : int }
+  | Vm_retransmit of { site : int; dst : int; seq : int; item : int; amount : int }
+  | Vm_dup of { site : int; src : int; seq : int }
+  | Lock_acquire of { site : int; txn : ts; items : int list }
+  | Lock_release of { site : int; txn : ts }
+  | Request_sent of { site : int; dst : int; txn : ts; item : int; amount : int }
+  | Request_honored of { site : int; src : int; txn : ts; item : int; amount : int }
+  | Request_ignored of { site : int; src : int; txn : ts; item : int; reason : string }
+  | Crash of { site : int }
+  | Recover of { site : int; redo : int }
+  | Checkpoint of { site : int; log_length : int }
+  | Net_send of { src : int; dst : int }
+  | Net_drop of { src : int; dst : int }
+  | Note of { category : string; message : string }
+
 type entry = { time : float; category : string; message : string }
+(** Legacy view of an event (see {!category_of_event} and
+    {!message_of_event}). *)
 
 val create : ?capacity:int -> unit -> t
-(** [capacity] defaults to 65536 entries. *)
+(** [capacity] defaults to 65536 events. *)
 
 val enabled : t -> bool
 
 val set_enabled : t -> bool -> unit
-(** Disabled traces drop entries without formatting cost. *)
+(** Disabled traces drop events without formatting cost. *)
+
+(** {2 Typed API} *)
+
+val emit : t -> time:float -> event -> unit
+
+val events : t -> (float * event) list
+(** Oldest first (of the retained window). *)
+
+val find_events : t -> f:(event -> bool) -> (float * event) list
+
+val drop_count : t -> int
+(** Number of events evicted because the buffer was full.  Non-zero means
+    {!events}/{!entries} show only the newest [capacity] events — consumers
+    must not read a clipped trace as complete. *)
+
+val category_of_event : event -> string
+(** The legacy category each typed event files under ("commit", "abort",
+    "request", "honor", "refuse", "vm", "lock", "crash", "recover",
+    "checkpoint", "net", "begin" — or the [Note]'s own category). *)
+
+val message_of_event : event -> string
+
+(** {2 Legacy string API (compatibility shim)} *)
 
 val record : t -> time:float -> category:string -> string -> unit
+(** Records a [Note] event. *)
 
 val recordf :
   t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
@@ -25,14 +87,40 @@ val recordf :
     enabled. *)
 
 val entries : t -> entry list
-(** Oldest first. *)
+(** Oldest first; typed events appear as their rendered [(category, message)]
+    pair. *)
 
 val find : t -> category:string -> entry list
 
 val count : t -> category:string -> int
 
 val clear : t -> unit
+(** Drops all events and resets {!drop_count}. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 
 val dump : t -> string
+
+(** {2 Export} *)
+
+val event_to_json : time:float -> event -> Dvp_util.Json.t
+(** One flat object: ["time"], ["type"], and the event's own fields
+    (transaction ids as [[counter, site]] pairs). *)
+
+val event_of_json : Dvp_util.Json.t -> (float * event) option
+(** Inverse of {!event_to_json}; [None] when the object is not a trace
+    event. *)
+
+val to_jsonl : t -> string
+(** One {!event_to_json} object per line, oldest first. *)
+
+val of_jsonl : string -> (float * event) list
+(** Parse a {!to_jsonl} dump back; malformed lines are skipped. *)
+
+val to_chrome : t -> string
+(** Chrome [trace_event] JSON (the [{"traceEvents": [...]}] envelope): one
+    "process" per site, transactions as matched [B]/[E] duration slices, Vm
+    transfers as [s]/[f] flow events, crashes/recoveries/checkpoints and
+    drops as instant events.  Times are exported in microseconds, as the
+    format requires.  Open the file at [ui.perfetto.dev] or
+    [chrome://tracing]. *)

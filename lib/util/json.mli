@@ -1,0 +1,41 @@
+(** Minimal JSON values: emission for the observability exporters and a small
+    parser so tests (and the check script) can validate what we emit without
+    an external dependency.
+
+    Numbers are split into [Int] and [Float] so counters round-trip exactly;
+    non-finite floats serialise as [null] (strict JSON has no NaN). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by humans. *)
+
+val parse : string -> (t, string) result
+(** Strict-enough JSON parser: objects, arrays, strings (with escapes),
+    numbers, booleans, null.  Numbers without [.], [e] or [E] parse as
+    [Int]. *)
+
+(** {2 Accessors} — total functions for picking results apart in tests. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else or a missing key. *)
+
+val to_list : t -> t list
+(** Elements of a [List]; [[]] on anything else. *)
+
+val to_float : t -> float option
+(** Numeric value of [Int] or [Float]. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option

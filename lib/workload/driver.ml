@@ -23,8 +23,14 @@ let of_dvp ?(name = "dvp") sys =
     name;
     engine = Dvp.System.engine sys;
     n_sites = Dvp.System.n_sites sys;
-    submit = (fun ~site ~ops ~on_done -> Dvp.System.submit sys ~site ~ops ~on_done);
-    submit_read = (fun ~site ~item ~on_done -> Dvp.System.submit_read sys ~site ~item ~on_done);
+    submit =
+      (fun ~site ~ops ~on_done ->
+        Dvp.System.exec sys (Dvp.Txn.write ~site ops) ~on_done:(fun o ->
+            on_done (Dvp.Txn.to_result o)));
+    submit_read =
+      (fun ~site ~item ~on_done ->
+        Dvp.System.exec sys (Dvp.Txn.read ~site item) ~on_done:(fun o ->
+            on_done (Dvp.Txn.to_result o)));
     partition = (fun groups -> Dvp.System.partition sys groups);
     heal = (fun () -> Dvp.System.heal sys);
     crash = (fun s -> Dvp.System.crash_site sys s);

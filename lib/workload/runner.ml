@@ -188,6 +188,30 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
     timeline;
   }
 
+let outcome_to_json o =
+  let module Json = Dvp_util.Json in
+  let num f = if Float.is_finite f then Json.Float f else Json.Null in
+  let ints a = Json.List (Array.to_list (Array.map (fun v -> Json.Int v) a)) in
+  Json.Obj
+    [
+      ("label", Json.String o.label);
+      ("duration", num o.duration);
+      ("submitted", Json.Int o.submitted);
+      ("committed", Json.Int o.committed);
+      ("aborted", Json.Int o.aborted);
+      ("throughput", num o.throughput);
+      ("availability", num o.availability);
+      ("per_site_committed", ints o.per_site_committed);
+      ("per_site_submitted", ints o.per_site_submitted);
+      ( "timeline",
+        Json.List
+          (List.map
+             (fun (t, ratio) ->
+               Json.Obj [ ("t", num t); ("commit_ratio", num ratio) ])
+             o.timeline) );
+      ("metrics", Dvp.Metrics.to_json o.metrics);
+    ]
+
 let pp_outcome ppf o =
   Format.fprintf ppf
     "%s: %d submitted, %d committed (%.1f%%), %.1f txn/s, p50=%.1f ms p99=%.1f ms"

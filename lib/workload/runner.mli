@@ -47,3 +47,11 @@ val run_closed :
     unboundedly. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_to_json : outcome -> Dvp_util.Json.t
+(** The whole outcome as one JSON object: the scalar totals, per-site
+    arrays, the availability timeline as [{t, commit_ratio}] pairs, and the
+    full {!Dvp.Metrics.to_json} under ["metrics"] (so throughput,
+    availability, latency percentiles, and the per-commit message/force
+    overheads all appear machine-readably).  Non-finite floats serialize as
+    [null]. *)

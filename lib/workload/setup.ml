@@ -1,9 +1,12 @@
-let dvp_system ?config ?link (spec : Spec.t) =
-  let sys = Dvp.System.create ?config ?link ~seed:spec.Spec.seed ~n:spec.Spec.n_sites () in
+let dvp_system ?config ?link ?trace (spec : Spec.t) =
+  let sys =
+    Dvp.System.create ?config ?link ?trace ~seed:spec.Spec.seed ~n:spec.Spec.n_sites ()
+  in
   List.iter (fun (item, total) -> Dvp.System.add_item sys ~item ~total ()) spec.Spec.items;
   sys
 
-let dvp ?config ?link ?(name = "dvp") spec = Driver.of_dvp ~name (dvp_system ?config ?link spec)
+let dvp ?config ?link ?trace ?(name = "dvp") spec =
+  Driver.of_dvp ~name (dvp_system ?config ?link ?trace spec)
 
 let trad ?config ?link ?(name = "trad") (spec : Spec.t) =
   let sys =

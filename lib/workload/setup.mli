@@ -1,11 +1,22 @@
 (** Construct ready-to-run systems from a workload spec. *)
 
 val dvp :
-  ?config:Dvp.Config.t -> ?link:Dvp_net.Linkstate.params -> ?name:string -> Spec.t -> Driver.t
-(** A DvP installation with the spec's items split evenly across sites. *)
+  ?config:Dvp.Config.t ->
+  ?link:Dvp_net.Linkstate.params ->
+  ?trace:Dvp_sim.Trace.t ->
+  ?name:string ->
+  Spec.t ->
+  Driver.t
+(** A DvP installation with the spec's items split evenly across sites.
+    With [trace], every site, the Vm engines, and the network emit typed
+    events into it (see {!Dvp_sim.Trace}). *)
 
 val dvp_system :
-  ?config:Dvp.Config.t -> ?link:Dvp_net.Linkstate.params -> Spec.t -> Dvp.System.t
+  ?config:Dvp.Config.t ->
+  ?link:Dvp_net.Linkstate.params ->
+  ?trace:Dvp_sim.Trace.t ->
+  Spec.t ->
+  Dvp.System.t
 (** The underlying system, when the caller needs invariant checks too. *)
 
 val trad :

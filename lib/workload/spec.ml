@@ -80,6 +80,35 @@ let inventory ?(sites = 8) ?(rate = 150.0) ?(duration = 20.0) () =
     seed = 3;
   }
 
+type preset = Default | Airline | Banking | Inventory
+
+let presets =
+  [ ("default", Default); ("airline", Airline); ("banking", Banking); ("inventory", Inventory) ]
+
+let preset_label = function
+  | Default -> "default"
+  | Airline -> "airline"
+  | Banking -> "banking"
+  | Inventory -> "inventory"
+
+let preset_of_string s = List.assoc_opt (String.lowercase_ascii s) presets
+
+let of_preset ?sites ?rate ?duration preset =
+  match preset with
+  | Airline -> airline ?sites ?rate ?duration ()
+  | Banking -> banking ?sites ?rate ?duration ()
+  | Inventory -> inventory ?sites ?rate ?duration ()
+  | Default ->
+    let sites = Option.value ~default:default.n_sites sites in
+    {
+      default with
+      n_sites = sites;
+      (* One well-provisioned item per site, the shape ad-hoc runs expect. *)
+      items = List.init sites (fun i -> (i, 4000));
+      arrival_rate = Option.value ~default:default.arrival_rate rate;
+      duration = Option.value ~default:default.duration duration;
+    }
+
 let scale_rate t f = { t with arrival_rate = t.arrival_rate *. f }
 
 let with_seed t seed = { t with seed }

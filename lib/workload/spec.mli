@@ -37,6 +37,26 @@ val inventory : ?sites:int -> ?rate:float -> ?duration:float -> unit -> t
 (** One hot aggregate item plus a cold tail (Zipf 1.2): the Section 8
     hot-spot scenario. *)
 
+(** {2 Presets}
+
+    The named workloads as a closed variant, so callers (the CLI in
+    particular) dispatch on a type instead of matching strings. *)
+
+type preset = Default | Airline | Banking | Inventory
+
+val presets : (string * preset) list
+(** Every preset with its canonical name. *)
+
+val preset_label : preset -> string
+
+val preset_of_string : string -> preset option
+(** Case-insensitive lookup in {!presets}. *)
+
+val of_preset : ?sites:int -> ?rate:float -> ?duration:float -> preset -> t
+(** Build the preset's spec.  [Airline]/[Banking]/[Inventory] delegate to
+    the constructors above; [Default] is {!default} scaled to [sites] with
+    one 4000-unit item per site. *)
+
 val scale_rate : t -> float -> t
 
 val with_seed : t -> int -> t

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Repo health check: build, tests, formatting (when ocamlformat is
+# available), and a smoke run of the machine-readable bench output.
+#
+#   scripts/check.sh
+#
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @runtest =="
+dune build @runtest
+
+# @fmt needs the ocamlformat binary, which not every environment carries.
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== dune build @fmt =="
+  dune build @fmt
+else
+  echo "== skipping @fmt (ocamlformat not installed) =="
+fi
+
+echo "== bench E1 --json smoke run =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bench/main.exe -- E1 --out "$tmpdir" >/dev/null
+test -s "$tmpdir/BENCH_E1.json" || {
+  echo "BENCH_E1.json was not written" >&2
+  exit 1
+}
+
+# Validate the JSON and the fields the acceptance criteria name, with
+# whatever JSON tool the environment has.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tmpdir/BENCH_E1.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["experiment"] == "E1"
+assert doc["runs"], "no runs recorded"
+run = doc["runs"][0]
+for key in ("throughput", "availability"):
+    assert key in run, f"missing {key}"
+m = run["metrics"]
+for key in ("messages_per_commit", "forces_per_commit"):
+    assert key in m, f"missing metrics.{key}"
+for key in ("p50", "p99"):
+    assert key in m["latency"], f"missing latency.{key}"
+print(f"BENCH_E1.json ok: {len(doc['runs'])} runs")
+EOF
+elif command -v jq >/dev/null 2>&1; then
+  jq -e '.experiment == "E1" and (.runs | length) > 0
+         and (.runs[0] | has("throughput") and has("availability"))
+         and (.runs[0].metrics | has("messages_per_commit") and has("forces_per_commit"))
+         and (.runs[0].metrics.latency | has("p50") and has("p99"))' \
+    "$tmpdir/BENCH_E1.json" >/dev/null
+  echo "BENCH_E1.json ok (jq)"
+else
+  echo "(no python3/jq; checked only that BENCH_E1.json is non-empty)"
+fi
+
+echo "== all checks passed =="

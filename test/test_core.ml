@@ -2,6 +2,11 @@
    lock table, clocks, the Vm engine, and whole-system behaviour including
    the Section 3 walkthrough, partitions, crashes, and recovery. *)
 
+(* These tests deliberately keep exercising the legacy four-way submission
+   surface (submit / submit_read / submit_read_many / submit_retrying) so
+   the deprecated wrappers over System.exec stay covered. *)
+[@@@alert "-deprecated"]
+
 module Rng = Dvp_util.Rng
 open Dvp
 

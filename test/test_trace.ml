@@ -1,0 +1,271 @@
+(* Tests for the observability layer: typed trace events and their JSONL /
+   Chrome exporters, probe sampling, and the JSON metric/outcome export. *)
+
+module Json = Dvp_util.Json
+module Engine = Dvp_sim.Engine
+module Trace = Dvp_sim.Trace
+module Probe = Dvp_sim.Probe
+module Spec = Dvp_workload.Spec
+module Setup = Dvp_workload.Setup
+module Runner = Dvp_workload.Runner
+
+(* One of every event constructor, so the round-trip test covers the whole
+   variant. *)
+let every_event =
+  [
+    (0.1, Trace.Txn_begin { site = 0; txn = (3, 0); n_ops = 2 });
+    (0.2, Trace.Lock_acquire { site = 0; txn = (3, 0); items = [ 0; 7 ] });
+    (0.3, Trace.Request_sent { site = 0; dst = 1; txn = (3, 0); item = 7; amount = 12 });
+    (0.4, Trace.Request_honored { site = 1; src = 0; txn = (3, 0); item = 7; amount = 12 });
+    (0.5, Trace.Request_ignored { site = 1; src = 0; txn = (3, 0); item = 7; reason = "stale" });
+    (0.6, Trace.Vm_created { site = 1; dst = 0; seq = 4; item = 7; amount = 12 });
+    (0.7, Trace.Vm_retransmit { site = 1; dst = 0; seq = 4; item = 7; amount = 12 });
+    (0.8, Trace.Vm_accepted { site = 0; src = 1; seq = 4; item = 7; amount = 12 });
+    (0.9, Trace.Vm_dup { site = 0; src = 1; seq = 4 });
+    (1.0, Trace.Lock_release { site = 0; txn = (3, 0) });
+    (1.1, Trace.Txn_commit { site = 0; txn = (3, 0) });
+    (1.2, Trace.Txn_abort { site = 1; txn = (5, 1); reason = "timeout" });
+    (1.3, Trace.Crash { site = 2 });
+    (1.4, Trace.Net_send { src = 0; dst = 1 });
+    (1.5, Trace.Net_drop { src = 0; dst = 2 });
+    (1.6, Trace.Recover { site = 2; redo = 9 });
+    (1.7, Trace.Checkpoint { site = 2; log_length = 42 });
+    (1.8, Trace.Note { category = "proactive"; message = "push 3 units" });
+  ]
+
+let test_jsonl_roundtrip () =
+  let tr = Trace.create () in
+  List.iter (fun (time, ev) -> Trace.emit tr ~time ev) every_event;
+  let back = Trace.of_jsonl (Trace.to_jsonl tr) in
+  Alcotest.(check int) "same count" (List.length every_event) (List.length back);
+  List.iter2
+    (fun (t1, e1) (t2, e2) ->
+      Alcotest.(check (float 1e-9)) "time survives" t1 t2;
+      Alcotest.(check bool) "event survives" true (e1 = e2))
+    every_event back
+
+let test_jsonl_skips_garbage () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1.0 (Trace.Crash { site = 0 });
+  let dump = "not json\n" ^ Trace.to_jsonl tr ^ "{\"type\":\"martian\"}\n" in
+  Alcotest.(check int) "only the real event parses" 1 (List.length (Trace.of_jsonl dump))
+
+let test_drop_count () =
+  let tr = Trace.create ~capacity:8 () in
+  for i = 1 to 20 do
+    Trace.emit tr ~time:(float_of_int i) (Trace.Crash { site = i })
+  done;
+  Alcotest.(check int) "window is capacity" 8 (List.length (Trace.events tr));
+  Alcotest.(check int) "drops counted" 12 (Trace.drop_count tr);
+  (match Trace.events tr with
+  | (t, _) :: _ -> Alcotest.(check (float 1e-9)) "oldest retained is 13" 13.0 t
+  | [] -> Alcotest.fail "empty window");
+  Trace.clear tr;
+  Alcotest.(check int) "clear resets drops" 0 (Trace.drop_count tr)
+
+(* Drive a real partitioned run and validate the Chrome export: the file
+   must parse, use the envelope shape, and every duration slice must open
+   and close in a balanced way per (pid, tid) lane. *)
+let traced_run () =
+  let trace = Trace.create () in
+  let spec =
+    {
+      Spec.default with
+      Spec.label = "trace-test";
+      Spec.n_sites = 4;
+      Spec.items = [ (0, 400) ];
+      Spec.arrival_rate = 60.0;
+      Spec.duration = 4.0;
+      Spec.read_fraction = 0.02;
+      Spec.seed = 77;
+    }
+  in
+  let sys = Setup.dvp_system ~trace spec in
+  let driver = Dvp_workload.Driver.of_dvp sys in
+  let faults =
+    Dvp_workload.Faultplan.merge
+      (Dvp_workload.Faultplan.partition_window ~start:1.0 ~len:1.0 [ [ 0; 1 ]; [ 2; 3 ] ])
+      (Dvp_workload.Faultplan.crash_cycle ~site:3 ~first:2.5 ~downtime:0.5)
+  in
+  let o = Runner.run driver spec ~faults () in
+  (trace, o)
+
+let test_chrome_export () =
+  let trace, _ = traced_run () in
+  match Json.parse (Trace.to_chrome trace) with
+  | Error e -> Alcotest.fail ("chrome export is not valid JSON: " ^ e)
+  | Ok json ->
+    let events = Json.to_list (Option.value ~default:Json.Null (Json.member "traceEvents" json)) in
+    Alcotest.(check bool) "has events" true (List.length events > 0);
+    (* Balanced B/E per lane. *)
+    let depth = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        let str k = Option.bind (Json.member k ev) Json.to_str in
+        let num k = Option.bind (Json.member k ev) Json.to_int in
+        let lane = (num "pid", num "tid") in
+        match str "ph" with
+        | Some "B" ->
+          Hashtbl.replace depth lane (1 + Option.value ~default:0 (Hashtbl.find_opt depth lane))
+        | Some "E" ->
+          let d = Option.value ~default:0 (Hashtbl.find_opt depth lane) in
+          Alcotest.(check bool) "E closes an open B" true (d > 0);
+          Hashtbl.replace depth lane (d - 1)
+        | _ -> ())
+      events;
+    Hashtbl.iter
+      (fun _ d -> Alcotest.(check int) "every B closed" 0 d)
+      depth;
+    (* The run crossed a crash window: the instant events must show it. *)
+    let phases =
+      List.filter_map
+        (fun ev ->
+          match Option.bind (Json.member "ph" ev) Json.to_str with
+          | Some "i" -> Option.bind (Json.member "name" ev) Json.to_str
+          | _ -> None)
+        events
+    in
+    Alcotest.(check bool) "crash instant present" true (List.mem "crash" phases)
+
+let test_compat_categories () =
+  let trace, _ = traced_run () in
+  Alcotest.(check bool) "commits seen" true (Trace.count trace ~category:"commit" > 0);
+  Alcotest.(check bool) "crash seen" true (Trace.count trace ~category:"crash" > 0);
+  Alcotest.(check bool) "recover seen" true (Trace.count trace ~category:"recover" > 0);
+  (* Typed and legacy views agree on cardinality. *)
+  Alcotest.(check int) "entries = events"
+    (List.length (Trace.events trace))
+    (List.length (Trace.entries trace))
+
+let test_probe_cadence () =
+  let e = Engine.create () in
+  let ticks = ref 0 in
+  let p =
+    Probe.start e ~period:0.5 ~sample:(fun now ->
+        incr ticks;
+        now)
+  in
+  Engine.run_until e 5.25;
+  Alcotest.(check int) "ten samples in 5.25s at 0.5s period" 10 !ticks;
+  Alcotest.(check int) "series matches" 10 (Probe.length p);
+  List.iteri
+    (fun i (t, v) ->
+      Alcotest.(check (float 1e-9)) "sampled on the period" (0.5 *. float_of_int (i + 1)) t;
+      Alcotest.(check (float 1e-9)) "sample saw the same clock" t v)
+    (Probe.series p);
+  Probe.stop p;
+  Engine.run_until e 20.0;
+  Alcotest.(check int) "stop ends sampling" 10 (Probe.length p)
+
+let test_system_probe_conservation () =
+  let spec =
+    {
+      Spec.default with
+      Spec.label = "probe-test";
+      Spec.n_sites = 4;
+      Spec.items = [ (0, 1000) ];
+      Spec.arrival_rate = 50.0;
+      Spec.duration = 3.0;
+      Spec.seed = 5;
+    }
+  in
+  let sys = Setup.dvp_system spec in
+  let probe = Dvp.System.start_probe sys ~every:0.25 in
+  let driver = Dvp_workload.Driver.of_dvp sys in
+  ignore (Runner.run driver spec ());
+  Alcotest.(check bool) "sampled" true (Dvp_sim.Probe.length probe > 0);
+  (* Between events N = Σᵢ Nᵢ + N_M; the probe samples between events, and
+     only commits move the expected total, so each sample must conserve
+     whatever the expected total was — we check the weaker, time-invariant
+     form: fragments + in-flight stays non-negative and the series
+     serializes. *)
+  List.iter
+    (fun (_, s) ->
+      List.iter
+        (fun (item, frags) ->
+          let nm = List.assoc item s.Dvp.System.in_flight in
+          Alcotest.(check bool) "no negative aggregate" true
+            (Array.fold_left ( + ) 0 frags + nm >= 0))
+        s.Dvp.System.fragments)
+    (Dvp_sim.Probe.series probe);
+  match Json.parse (Json.to_string (Dvp.System.probe_series_to_json probe)) with
+  | Error e -> Alcotest.fail ("probe series JSON invalid: " ^ e)
+  | Ok json ->
+    let samples =
+      Json.to_list (Option.value ~default:Json.Null (Json.member "samples" json))
+    in
+    Alcotest.(check int) "all samples exported" (Dvp_sim.Probe.length probe)
+      (List.length samples)
+
+let test_metrics_json_agrees_with_summary () =
+  let spec =
+    {
+      Spec.default with
+      Spec.label = "metrics-json";
+      Spec.n_sites = 4;
+      Spec.items = [ (0, 600) ];
+      Spec.arrival_rate = 80.0;
+      Spec.duration = 4.0;
+      Spec.seed = 9;
+    }
+  in
+  let o = Runner.run (Setup.dvp spec) spec () in
+  let m = o.Runner.metrics in
+  let json = Dvp.Metrics.to_json m in
+  let rows = Dvp.Metrics.summary_rows m in
+  let int_field k = Option.bind (Json.member k json) Json.to_int in
+  (* Integer counters must agree exactly with the printed summary. *)
+  List.iter
+    (fun (row_key, json_key) ->
+      let row = int_of_string (List.assoc row_key rows) in
+      Alcotest.(check (option int)) row_key (Some row) (int_field json_key))
+    [
+      ("committed", "committed");
+      ("aborted", "aborted");
+      ("vm-created", "vm_created");
+      ("vm-retransmissions", "vm_retransmissions");
+      ("messages", "messages");
+      ("log-forces", "log_forces");
+    ];
+  (* Latency percentiles must agree with the accessors. *)
+  let lat = Option.value ~default:Json.Null (Json.member "latency" json) in
+  List.iter
+    (fun (k, v) ->
+      match Option.bind (Json.member k lat) Json.to_float with
+      | Some f -> Alcotest.(check (float 1e-9)) ("latency " ^ k) v f
+      | None -> Alcotest.fail ("latency." ^ k ^ " missing"))
+    [
+      ("p50", Dvp.Metrics.latency_p50 m);
+      ("p90", Dvp.Metrics.latency_p90 m);
+      ("p99", Dvp.Metrics.latency_p99 m);
+      ("max", Dvp.Metrics.latency_max m);
+    ];
+  (* And the whole outcome object must itself parse back. *)
+  match Json.parse (Json.to_string (Runner.outcome_to_json o)) with
+  | Error e -> Alcotest.fail ("outcome JSON invalid: " ^ e)
+  | Ok back ->
+    Alcotest.(check (option int)) "outcome.committed" (Some o.Runner.committed)
+      (Option.bind (Json.member "committed" back) Json.to_int)
+
+let () =
+  Alcotest.run "dvp_trace"
+    [
+      ( "export",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "jsonl skips garbage" `Quick test_jsonl_skips_garbage;
+          Alcotest.test_case "drop count" `Quick test_drop_count;
+          Alcotest.test_case "chrome well-formed" `Quick test_chrome_export;
+          Alcotest.test_case "compat categories" `Quick test_compat_categories;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "cadence" `Quick test_probe_cadence;
+          Alcotest.test_case "system conservation" `Quick test_system_probe_conservation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "json agrees with summary" `Quick
+            test_metrics_json_agrees_with_summary;
+        ] );
+    ]
