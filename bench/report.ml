@@ -47,6 +47,10 @@ let record ?(extra = []) (o : Dvp_workload.Runner.outcome) =
       in
       e.runs <- run :: e.runs
 
+let record_json j =
+  if !enabled then
+    match !current with None -> () | Some e -> e.runs <- j :: e.runs
+
 let flush () =
   if !enabled then begin
     List.iter

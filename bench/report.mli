@@ -15,5 +15,10 @@ val record : ?extra:(string * Dvp_util.Json.t) list -> Dvp_workload.Runner.outco
     parameters such as partition fraction or offered load) are prepended to
     the outcome's JSON object. *)
 
+val record_json : Dvp_util.Json.t -> unit
+(** Append an arbitrary JSON object as one run — for experiments whose
+    natural unit is not a {!Dvp_workload.Runner.outcome} (the chaos
+    experiment records a whole fuzzing report). *)
+
 val flush : unit -> unit
 (** Write every collected experiment out and reset the collector. *)

@@ -202,7 +202,14 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
             (String.make (int_of_float (ratio *. 40.0)) '#')
             (100.0 *. ratio))
       o.Runner.timeline
-  end
+  end;
+  (* The end-of-run conservation check is load-bearing: a run that lost or
+     duplicated value must fail the shell, not just print a summary. *)
+  match dvp_sys with
+  | Some sys when not (Dvp.System.conserved_all sys) ->
+    prerr_endline "ERROR: conservation violated at end of run (N <> sum fragments + in-flight)";
+    exit 1
+  | _ -> ()
 
 let demo_cmd () =
   print_endline "Running the airline workload on DvP with a partition window...";
@@ -228,6 +235,20 @@ let restore_cmd workload sites dir =
           (String.concat "; " (Array.to_list (Array.map string_of_int frags))))
       (Dvp.System.items sys);
     Printf.printf "conservation: %b\n" (Dvp.System.conserved_all sys)
+
+let chaos_cmd seeds first_seed profile_name json =
+  match Dvp_chaos.Profile.of_string profile_name with
+  | None ->
+    Printf.eprintf "unknown chaos profile %S (%s)\n" profile_name
+      (String.concat "|" Dvp_chaos.Profile.names);
+    exit 2
+  | Some profile ->
+    let report = Dvp_chaos.Harness.run ~first_seed ~seeds ~profile () in
+    if json then
+      print_endline
+        (Dvp_util.Json.to_string_pretty (Dvp_chaos.Harness.report_to_json report))
+    else Format.printf "%a@." Dvp_chaos.Harness.pp_report report;
+    if report.Dvp_chaos.Harness.failures <> [] then exit 1
 
 let info_cmd () =
   print_endline
@@ -306,12 +327,34 @@ let dir_arg =
 
 let restore_term = Term.(const restore_cmd $ workload_arg $ sites_arg $ dir_arg)
 
+let seeds_arg =
+  Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of consecutive seeds to fuzz.")
+
+let first_seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed of the range.")
+
+let profile_arg =
+  Arg.(
+    value
+    & opt string "bounded"
+    & info [ "profile" ] ~doc:"Chaos profile: bounded, default, or heavy.")
+
+let chaos_term =
+  Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ profile_arg $ json_arg)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a system") run_term;
     Cmd.v
       (Cmd.info "restore" ~doc:"Rebuild an installation from exported stable logs")
       restore_term;
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Fuzz the DvP protocol with seeded fault schedules and check every invariant \
+            after each recovery; nonzero exit and a shrunk reproducing schedule on any \
+            violation")
+      chaos_term;
     Cmd.v (Cmd.info "demo" ~doc:"A canned partition demo") Term.(const demo_cmd $ const ());
     Cmd.v (Cmd.info "info" ~doc:"Describe the systems and workloads") Term.(const info_cmd $ const ());
   ]

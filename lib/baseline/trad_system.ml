@@ -109,6 +109,10 @@ let metrics t =
       (fun acc s -> Dvp.Metrics.merge acc (Trad_site.metrics s))
       (Dvp.Metrics.create ()) t.sites
   in
-  Dvp.Metrics.add_messages m (Network.stats t.net).Network.sent;
+  let stats = Network.stats t.net in
+  Dvp.Metrics.add_messages m stats.Network.sent;
+  Dvp.Metrics.add_drops m ~loss:stats.Network.dropped_loss
+    ~partition:stats.Network.dropped_partition ~down:stats.Network.dropped_down
+    ~inflight:stats.Network.dropped_inflight;
   Array.iter (fun s -> Dvp.Metrics.add_log_forces m (Trad_site.log_forces s)) t.sites;
   m

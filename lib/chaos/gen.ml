@@ -1,0 +1,53 @@
+module Rng = Dvp_util.Rng
+module Faultplan = Dvp_workload.Faultplan
+module Wal = Dvp_storage.Wal
+
+(* The schedule stream must be independent of the workload stream (both are
+   derived from the same user-facing seed): mix the seed before creating the
+   generator so the two SplitMix64 sequences never coincide. *)
+let rng_of_seed seed = Rng.create (seed lxor 0x5bd1e995)
+
+let checkpoint_jitter rng ~rate ~n_sites ~until =
+  if rate <= 0.0 then []
+  else begin
+    let rec go time acc =
+      let time = time +. Rng.exponential rng (1.0 /. rate) in
+      if time >= until then List.rev acc
+      else go time (Faultplan.at time (Faultplan.Checkpoint (Rng.int rng n_sites)) :: acc)
+    in
+    go 0.0 []
+  end
+
+(* Pair crashes with storage faults: with probability [prob] a crash is
+   preceded (same instant, same site — merge is stable) by an armed WAL
+   fault, so the crash tears or corrupts the flush of the unforced buffer. *)
+let with_storage_faults rng ~prob plan =
+  List.concat_map
+    (fun e ->
+      match e.Faultplan.action with
+      | Faultplan.Crash s when Rng.bernoulli rng prob ->
+        let fault =
+          if Rng.bool rng then Wal.Torn { persist = 1 + Rng.int rng 3 }
+          else Wal.Corrupt_tail
+        in
+        [ Faultplan.at e.Faultplan.at (Faultplan.Storage_fault (s, fault)); e ]
+      | _ -> [ e ])
+    plan
+
+let schedule ~seed ~(profile : Profile.t) =
+  let rng = rng_of_seed seed in
+  let base =
+    Faultplan.random ~rng ~n_sites:profile.Profile.n_sites
+      ~until:profile.Profile.duration ~crash_rate:profile.Profile.crash_rate
+      ~mean_downtime:profile.Profile.mean_downtime
+      ~partition_rate:profile.Profile.partition_rate
+      ~mean_partition_len:profile.Profile.mean_partition_len
+      ~loss_rate:profile.Profile.loss_rate ~mean_loss_len:profile.Profile.mean_loss_len
+      ~max_loss:profile.Profile.max_loss ()
+  in
+  let ckpts =
+    checkpoint_jitter rng ~rate:profile.Profile.checkpoint_rate
+      ~n_sites:profile.Profile.n_sites ~until:profile.Profile.duration
+  in
+  with_storage_faults rng ~prob:profile.Profile.storage_fault_prob
+    (Faultplan.merge base ckpts)

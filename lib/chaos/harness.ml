@@ -1,0 +1,184 @@
+module System = Dvp.System
+module Site = Dvp.Site
+module Metrics = Dvp.Metrics
+module Wal = Dvp_storage.Wal
+module Engine = Dvp_sim.Engine
+module Faultplan = Dvp_workload.Faultplan
+module Runner = Dvp_workload.Runner
+module Driver = Dvp_workload.Driver
+module Setup = Dvp_workload.Setup
+module Json = Dvp_util.Json
+
+type seed_result = {
+  seed : int;
+  schedule : Faultplan.t;
+  violations : (float * Oracle.violation) list;
+  committed : int;
+  submitted : int;
+  recoveries : int;
+  wal_repairs : int;
+  repaired_records : int;
+}
+
+let failed r = r.violations <> []
+
+(* One run is a pure function of (profile, seed, schedule): the workload
+   stream derives from the seed, the fault stream from the schedule, and the
+   engine is deterministic — which is what makes shrinking and seed-replay
+   sound.  The oracle fires just after every scheduled recovery (the moment a
+   replay bug would first be visible) and once more after the drain. *)
+let run_seed ~(profile : Profile.t) ~seed ?schedule () =
+  let spec = Profile.spec profile ~seed in
+  let sys = Setup.dvp_system spec in
+  let driver = Driver.of_dvp sys in
+  let plan =
+    match schedule with Some p -> p | None -> Gen.schedule ~seed ~profile
+  in
+  let violations = ref [] in
+  let check_at time =
+    List.iter
+      (fun viol -> violations := (time, viol) :: !violations)
+      (Oracle.check_system sys)
+  in
+  List.iter
+    (fun e ->
+      match e.Faultplan.action with
+      | Faultplan.Recover _ ->
+        (* Slightly after the recovery event itself, so the oracle sees the
+           repaired, replayed state. *)
+        let at = e.Faultplan.at +. 1e-3 in
+        ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at))
+      | _ -> ())
+    plan;
+  let o = Runner.run driver spec ~faults:plan ~drain:profile.Profile.drain () in
+  let final = Oracle.check_system sys @ Oracle.check_outcome o in
+  List.iter (fun viol -> violations := (System.now sys, viol) :: !violations) final;
+  let sum_sites f =
+    let acc = ref 0 in
+    for i = 0 to System.n_sites sys - 1 do
+      acc := !acc + f (Site.wal (System.site sys i))
+    done;
+    !acc
+  in
+  {
+    seed;
+    schedule = plan;
+    violations = List.rev !violations;
+    committed = o.Runner.committed;
+    submitted = o.Runner.submitted;
+    recoveries = Metrics.recovery_count o.Runner.metrics;
+    wal_repairs = sum_sites Wal.repairs;
+    repaired_records = sum_sites Wal.repaired_records;
+  }
+
+type failure = {
+  result : seed_result;
+  shrunk : Faultplan.t;  (** 1-minimal schedule still reproducing it *)
+}
+
+type report = {
+  profile : Profile.t;
+  first_seed : int;
+  seeds : int;
+  failures : failure list;
+  total_committed : int;
+  total_submitted : int;
+  total_recoveries : int;
+  total_wal_repairs : int;
+  total_repaired_records : int;
+}
+
+let shrink_failure ~profile (r : seed_result) =
+  let fails plan =
+    failed (run_seed ~profile ~seed:r.seed ~schedule:plan ())
+  in
+  { result = r; shrunk = Shrink.minimize ~fails r.schedule }
+
+let run ?(first_seed = 1) ~seeds ~profile () =
+  let failures = ref [] in
+  let committed = ref 0 and submitted = ref 0 in
+  let recoveries = ref 0 and repairs = ref 0 and repaired = ref 0 in
+  for seed = first_seed to first_seed + seeds - 1 do
+    let r = run_seed ~profile ~seed () in
+    committed := !committed + r.committed;
+    submitted := !submitted + r.submitted;
+    recoveries := !recoveries + r.recoveries;
+    repairs := !repairs + r.wal_repairs;
+    repaired := !repaired + r.repaired_records;
+    if failed r then failures := shrink_failure ~profile r :: !failures
+  done;
+  {
+    profile;
+    first_seed;
+    seeds;
+    failures = List.rev !failures;
+    total_committed = !committed;
+    total_submitted = !submitted;
+    total_recoveries = !recoveries;
+    total_wal_repairs = !repairs;
+    total_repaired_records = !repaired;
+  }
+
+let failure_to_json { result; shrunk } =
+  Json.Obj
+    [
+      ("seed", Json.Int result.seed);
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (at, viol) ->
+               match Oracle.violation_to_json viol with
+               | Json.Obj fields -> Json.Obj (("at", Json.Float at) :: fields)
+               | other -> other)
+             result.violations) );
+      ("schedule_events", Json.Int (List.length result.schedule));
+      ("shrunk_schedule", Faultplan.to_json shrunk);
+    ]
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("profile", Profile.to_json r.profile);
+      ("first_seed", Json.Int r.first_seed);
+      ("seeds", Json.Int r.seeds);
+      ("violations", Json.Int (List.length r.failures));
+      ("failures", Json.List (List.map failure_to_json r.failures));
+      ("committed", Json.Int r.total_committed);
+      ("submitted", Json.Int r.total_submitted);
+      ("recoveries", Json.Int r.total_recoveries);
+      ("wal_repairs", Json.Int r.total_wal_repairs);
+      ("repaired_records", Json.Int r.total_repaired_records);
+    ]
+
+let pp_failure ~profile_label ppf { result; shrunk } =
+  Format.fprintf ppf "@[<v>seed %d: %d violation(s)@," result.seed
+    (List.length result.violations);
+  List.iter
+    (fun (at, viol) ->
+      Format.fprintf ppf "  [t=%.3f] %a@," at Oracle.pp_violation viol)
+    result.violations;
+  Format.fprintf ppf "  reproduce: chaos --profile %s --seed %d --seeds 1@,"
+    profile_label result.seed;
+  Format.fprintf ppf "  minimal schedule (%d of %d events):@,    @[<v>%a@]@]"
+    (List.length shrunk)
+    (List.length result.schedule)
+    Faultplan.pp shrunk
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>chaos %s: %d seed(s) starting at %d@,\
+     commits: %d/%d  recoveries: %d  wal repairs: %d (%d record(s) truncated)@,"
+    r.profile.Profile.label r.seeds r.first_seed r.total_committed
+    r.total_submitted r.total_recoveries r.total_wal_repairs
+    r.total_repaired_records;
+  (match r.failures with
+  | [] -> Format.fprintf ppf "invariants: OK — no violations@]"
+  | fs ->
+    Format.fprintf ppf "invariants: %d seed(s) FAILED@," (List.length fs);
+    List.iter
+      (fun f ->
+        Format.fprintf ppf "%a@,"
+          (pp_failure ~profile_label:r.profile.Profile.label)
+          f)
+      fs;
+    Format.fprintf ppf "@]")

@@ -1,0 +1,124 @@
+module System = Dvp.System
+module Site = Dvp.Site
+module Wal = Dvp_storage.Wal
+module Log_event = Dvp.Log_event
+module Metrics = Dvp.Metrics
+module Runner = Dvp_workload.Runner
+module Json = Dvp_util.Json
+
+type violation = { check : string; detail : string }
+
+let v check fmt = Printf.ksprintf (fun detail -> { check; detail }) fmt
+
+(* N = Σᵢ Nᵢ + N_M, per item, against the committed-delta-adjusted total.
+   Crashed sites contribute their stable-replay fragments, so the check is
+   meaningful at any event boundary, including mid-outage. *)
+let conservation sys =
+  List.filter_map
+    (fun item ->
+      let at_sites = System.total_at_sites sys ~item in
+      let in_flight = System.in_flight sys ~item in
+      let expected = System.expected_total sys ~item in
+      if at_sites + in_flight <> expected then
+        Some
+          (v "conservation" "item %d: sites=%d + in-flight=%d = %d, expected %d" item
+             at_sites in_flight (at_sites + in_flight) expected)
+      else None)
+    (System.items sys)
+
+(* The escrow property: no fragment ever goes negative (bounded decrements
+   must abort rather than overdraw), and no virtual message carries negative
+   value. *)
+let non_negativity sys =
+  List.concat_map
+    (fun item ->
+      let frags = System.fragments sys ~item in
+      let neg = ref [] in
+      Array.iteri
+        (fun site value ->
+          if value < 0 then
+            neg := v "non-negative-fragment" "item %d at site %d: %d" item site value :: !neg)
+        frags;
+      let in_flight = System.in_flight sys ~item in
+      if in_flight < 0 then
+        neg := v "non-negative-in-flight" "item %d: in-flight %d" item in_flight :: !neg;
+      List.rev !neg)
+    (System.items sys)
+
+(* Exactly-once, in-order Vm acceptance, checked from the stable logs alone:
+   scanning a site's log oldest-first, each [Vm_accept] from a peer must carry
+   exactly the next sequence number past that peer's watermark (a repeat would
+   mean a double credit, a skip a lost one).  Checkpoint records reset the
+   watermarks to their snapshot. *)
+let vm_exactly_once sys =
+  let n = System.n_sites sys in
+  let bad = ref [] in
+  for site = 0 to n - 1 do
+    let wal = Site.wal (System.site sys site) in
+    let wm = Array.make n (-1) in
+    Wal.iter wal (fun record ->
+        match record with
+        | Log_event.Vm_accept { peer; seq; _ } ->
+          if seq <> wm.(peer) + 1 then
+            bad :=
+              v "vm-exactly-once" "site %d accepted seq %d from peer %d with watermark %d"
+                site seq peer wm.(peer)
+              :: !bad
+          else wm.(peer) <- seq
+        | Log_event.Checkpoint { accepted; _ } ->
+          Array.fill wm 0 n (-1);
+          List.iter (fun (peer, s) -> wm.(peer) <- s) accepted
+        | Log_event.Vm_create _ | Log_event.Txn_commit _ | Log_event.Txn_applied _
+        | Log_event.Ack_progress _ -> ())
+  done;
+  List.rev !bad
+
+(* A corrupt stable tail surviving past recovery would mean recovery replayed
+   or appended around garbage. *)
+let wal_integrity sys =
+  let n = System.n_sites sys in
+  let bad = ref [] in
+  for site = 0 to n - 1 do
+    let s = System.site sys site in
+    if Site.is_up s then begin
+      let tail = Wal.corrupt_tail (Site.wal s) in
+      if tail > 0 then
+        bad := v "wal-integrity" "site %d is up with %d corrupt stable records" site tail :: !bad
+    end
+  done;
+  List.rev !bad
+
+let check_system sys =
+  conservation sys @ non_negativity sys @ vm_exactly_once sys @ wal_integrity sys
+
+(* Counter cross-checks on a finished run.  The runner's own tallies and the
+   merged site metrics describe the same transactions from two sides. *)
+let check_outcome (o : Runner.outcome) =
+  let sum = Array.fold_left ( + ) 0 in
+  let bad = ref [] in
+  let check name cond detail = if not cond then bad := { check = name; detail } :: !bad in
+  check "metrics-sanity"
+    (o.Runner.committed <= o.Runner.submitted)
+    (Printf.sprintf "committed %d > submitted %d" o.Runner.committed o.Runner.submitted);
+  check "metrics-sanity"
+    (o.Runner.committed + o.Runner.aborted <= o.Runner.submitted)
+    (Printf.sprintf "committed %d + aborted %d > submitted %d" o.Runner.committed
+       o.Runner.aborted o.Runner.submitted);
+  check "metrics-sanity"
+    (sum o.Runner.per_site_committed = o.Runner.committed)
+    (Printf.sprintf "per-site committed sums to %d, total %d"
+       (sum o.Runner.per_site_committed) o.Runner.committed);
+  check "metrics-sanity"
+    (sum o.Runner.per_site_submitted = o.Runner.submitted)
+    (Printf.sprintf "per-site submitted sums to %d, total %d"
+       (sum o.Runner.per_site_submitted) o.Runner.submitted);
+  check "metrics-sanity"
+    (Metrics.committed o.Runner.metrics = o.Runner.committed)
+    (Printf.sprintf "site metrics count %d commits, runner saw %d"
+       (Metrics.committed o.Runner.metrics) o.Runner.committed);
+  List.rev !bad
+
+let violation_to_json { check; detail } =
+  Json.Obj [ ("check", Json.String check); ("detail", Json.String detail) ]
+
+let pp_violation ppf { check; detail } = Format.fprintf ppf "%s: %s" check detail

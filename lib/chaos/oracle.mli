@@ -1,0 +1,32 @@
+(** The invariant oracle.
+
+    Every check reads only what the protocol itself guarantees durable —
+    live state for up sites, stable-log replay for crashed ones — so the
+    oracle can run at any event boundary, including in the middle of an
+    outage, and after every injected recovery:
+
+    - {b conservation}: per item, fragments at all sites plus value in
+      unaccepted virtual messages equals the committed-delta-adjusted total
+      (the paper's N = Σᵢ Nᵢ + N_M);
+    - {b escrow non-negativity}: no fragment and no in-flight total is ever
+      negative;
+    - {b Vm exactly-once}: scanning each site's stable log, acceptances from
+      every peer carry strictly consecutive sequence numbers (with
+      [Checkpoint] records resetting the watermarks to their snapshot);
+    - {b WAL integrity}: no live site retains a corrupt stable tail after
+      recovery;
+    - {b metrics sanity} ({!check_outcome}): committed ≤ submitted,
+      committed + aborted ≤ submitted, per-site tallies sum to the totals,
+      and the sites' merged metrics agree with the runner's counts. *)
+
+type violation = { check : string; detail : string }
+
+val check_system : Dvp.System.t -> violation list
+(** All state invariants, meaningful between simulator events. *)
+
+val check_outcome : Dvp_workload.Runner.outcome -> violation list
+(** Counter cross-checks on a finished run. *)
+
+val violation_to_json : violation -> Dvp_util.Json.t
+
+val pp_violation : Format.formatter -> violation -> unit

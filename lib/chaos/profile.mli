@@ -1,0 +1,50 @@
+(** Declarative chaos profiles.
+
+    A profile fixes the shape of a chaos run — system size, workload
+    pressure, and the intensity of every fault class — so that a run is a
+    pure function of [(profile, seed)].  {!Gen.schedule} turns a profile into
+    a concrete {!Dvp_workload.Faultplan.t}; {!Harness.run_seed} drives one
+    seed end to end. *)
+
+type t = {
+  label : string;
+  n_sites : int;
+  duration : float;  (** seconds of offered load *)
+  drain : float;
+      (** settle time after load stops; must exceed the transaction timeout
+          so every submission resolves before the end-of-run oracle *)
+  arrival_rate : float;  (** transactions per second (open loop) *)
+  n_items : int;
+  item_total : int;  (** initial aggregate value per item *)
+  crash_rate : float;  (** site crashes per second (Poisson) *)
+  mean_downtime : float;
+  storage_fault_prob : float;
+      (** probability a crash is preceded by an armed WAL fault (torn flush
+          or corrupt tail, split evenly) *)
+  partition_rate : float;  (** partition episodes per second *)
+  mean_partition_len : float;
+  loss_rate : float;  (** link-loss windows per second *)
+  mean_loss_len : float;
+  max_loss : float;  (** loss probability drawn uniformly from [0, max_loss) *)
+  checkpoint_rate : float;  (** checkpoints per second, random victim site *)
+}
+
+val bounded : t
+(** Small and fast — the tier-1 torture test and CI smoke profile. *)
+
+val default : t
+
+val heavy : t
+
+val all : t list
+
+val names : string list
+
+val of_string : string -> t option
+(** Look a preset up by label (case-insensitive). *)
+
+val spec : t -> seed:int -> Dvp_workload.Spec.t
+(** The workload spec a chaos run drives: uniform arrivals over the
+    profile's items with a mixed increment/decrement/transfer op profile. *)
+
+val to_json : t -> Dvp_util.Json.t

@@ -1,0 +1,19 @@
+module Faultplan = Dvp_workload.Faultplan
+
+(* Greedy drop-one-event minimization: repeatedly try removing each event and
+   keep any removal under which the failure still reproduces, until no single
+   removal does.  O(n²) re-runs in the worst case, but failing schedules are
+   short and each re-run is a bounded simulation. *)
+let minimize ~fails (plan : Faultplan.t) =
+  let drop i l = List.filteri (fun j _ -> j <> i) l in
+  let rec pass plan i =
+    if i >= List.length plan then plan
+    else
+      let candidate = drop i plan in
+      if fails candidate then pass candidate i else pass plan (i + 1)
+  in
+  let rec fix plan =
+    let shrunk = pass plan 0 in
+    if List.length shrunk < List.length plan then fix shrunk else shrunk
+  in
+  if fails plan then fix plan else plan

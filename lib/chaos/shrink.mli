@@ -1,0 +1,14 @@
+(** Fault-schedule minimization.
+
+    [minimize ~fails plan] greedily drops one event at a time, keeping any
+    removal under which [fails] still holds, iterated to a fixpoint: the
+    result is 1-minimal (removing any single remaining event makes the
+    failure vanish).  If [fails plan] is already false the plan is returned
+    unchanged — the caller's predicate must be deterministic, which holds
+    for chaos runs because a run is a pure function of [(profile, seed,
+    schedule)]. *)
+
+val minimize :
+  fails:(Dvp_workload.Faultplan.t -> bool) ->
+  Dvp_workload.Faultplan.t ->
+  Dvp_workload.Faultplan.t

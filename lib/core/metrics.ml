@@ -59,6 +59,10 @@ type t = {
   mutable recovery_time : float;
   mutable messages : int;
   mutable log_forces : int;
+  mutable drops_loss : int;
+  mutable drops_partition : int;
+  mutable drops_down : int;
+  mutable drops_inflight : int;
 }
 
 let create () =
@@ -86,6 +90,10 @@ let create () =
     recovery_time = 0.0;
     messages = 0;
     log_forces = 0;
+    drops_loss = 0;
+    drops_partition = 0;
+    drops_down = 0;
+    drops_inflight = 0;
   }
 
 let txn_committed t ~latency =
@@ -132,6 +140,22 @@ let recovery_event t ~messages ~redo ~duration =
 let add_messages t n = t.messages <- t.messages + n
 
 let add_log_forces t n = t.log_forces <- t.log_forces + n
+
+let add_drops t ~loss ~partition ~down ~inflight =
+  t.drops_loss <- t.drops_loss + loss;
+  t.drops_partition <- t.drops_partition + partition;
+  t.drops_down <- t.drops_down + down;
+  t.drops_inflight <- t.drops_inflight + inflight
+
+let drops_loss t = t.drops_loss
+
+let drops_partition t = t.drops_partition
+
+let drops_down t = t.drops_down
+
+let drops_inflight t = t.drops_inflight
+
+let drops_total t = t.drops_loss + t.drops_partition + t.drops_down + t.drops_inflight
 
 let committed t = t.committed
 
@@ -223,6 +247,10 @@ let merge a b =
   t.recovery_time <- a.recovery_time +. b.recovery_time;
   t.messages <- a.messages + b.messages;
   t.log_forces <- a.log_forces + b.log_forces;
+  t.drops_loss <- a.drops_loss + b.drops_loss;
+  t.drops_partition <- a.drops_partition + b.drops_partition;
+  t.drops_down <- a.drops_down + b.drops_down;
+  t.drops_inflight <- a.drops_inflight + b.drops_inflight;
   t
 
 let to_json t =
@@ -270,6 +298,15 @@ let to_json t =
       ("recovery_time", num t.recovery_time);
       ("messages", Json.Int t.messages);
       ("log_forces", Json.Int t.log_forces);
+      ( "drops",
+        Json.Obj
+          [
+            ("loss", Json.Int t.drops_loss);
+            ("partition", Json.Int t.drops_partition);
+            ("down", Json.Int t.drops_down);
+            ("inflight", Json.Int t.drops_inflight);
+            ("total", Json.Int (drops_total t));
+          ] );
       ("messages_per_commit", num (messages_per_commit t));
       ("forces_per_commit", num (forces_per_commit t));
     ]

@@ -63,6 +63,11 @@ val add_messages : t -> int -> unit
 
 val add_log_forces : t -> int -> unit
 
+val add_drops : t -> loss:int -> partition:int -> down:int -> inflight:int -> unit
+(** Fold in the transport's message-loss counts, split by cause (from
+    [Network.stats]): per-link loss, send-time partition refusals, down
+    senders, and in-flight discards at delivery time. *)
+
 (** {2 Reading} *)
 
 val committed : t -> int
@@ -117,6 +122,16 @@ val messages : t -> int
 
 val log_forces : t -> int
 
+val drops_loss : t -> int
+
+val drops_partition : t -> int
+
+val drops_down : t -> int
+
+val drops_inflight : t -> int
+
+val drops_total : t -> int
+
 val messages_per_commit : t -> float
 
 val forces_per_commit : t -> float
@@ -132,5 +147,5 @@ val to_json : t -> Dvp_util.Json.t
     breakdown by reason (zero-count reasons omitted), the latency
     percentiles (p50/p90/p99/max/mean — [null] until a commit happens),
     lock/blocking extrema, Vm traffic, request-handling counts, recovery
-    costs, message and log-force totals, and the per-commit overhead
-    ratios. *)
+    costs, message and log-force totals, the message-drop breakdown by cause
+    (the ["drops"] object), and the per-commit overhead ratios. *)

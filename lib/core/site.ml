@@ -576,6 +576,14 @@ let install_fragment t ~item value =
 
 (* ------------------------------------------------------ crash, recovery *)
 
+let wal_fault_kind = function
+  | Wal.Torn _ -> "torn"
+  | Wal.Corrupt_tail -> "corrupt-tail"
+
+let inject_wal_fault t fault =
+  Wal.inject_fault t.wal fault;
+  emit t (Trace.Storage_fault { site = t.self; kind = wal_fault_kind fault })
+
 let crash t =
   if t.up then begin
     t.up <- false;
@@ -608,6 +616,12 @@ let crash t =
 let recover t =
   if not t.up then begin
     let started = Engine.now t.engine in
+    (* A torn or corrupted flush leaves bad records at the stable tail; drop
+       them before replaying (and before anything new is appended, or the new
+       records would sit invisibly beyond the bad tail).  Torn records were
+       never forced, so no externalized effect depended on them. *)
+    let dropped = Wal.repair t.wal in
+    if dropped > 0 then emit t (Trace.Wal_repair { site = t.self; dropped });
     Db.wipe t.db;
     let view = Log_replay.db_view ~into:t.db t.wal in
     Ids.Clock.reset_to t.clock view.Log_replay.max_counter;

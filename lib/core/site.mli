@@ -114,6 +114,12 @@ val checkpoint : t -> unit
     outstanding virtual messages) and truncate the log before it — Section
     7's mechanism for bounding the redo work.  A no-op while crashed. *)
 
+val inject_wal_fault : t -> Dvp_storage.Wal.fault -> unit
+(** Arm a storage fault on this site's log: the next {!crash} tears or
+    corrupts the unforced buffer's flush (see {!Dvp_storage.Wal.fault}).
+    Emits a [Storage_fault] trace event; the matching [Wal_repair] event
+    appears when {!recover} truncates the resulting bad tail. *)
+
 (** {2 Introspection} *)
 
 val metrics : t -> Metrics.t

@@ -174,6 +174,10 @@ let site_up t i = Site.is_up t.sites.(i)
 
 let set_all_links t params = Network.set_all_links t.net params
 
+let inject_wal_fault t i fault = Site.inject_wal_fault t.sites.(i) fault
+
+let checkpoint_site t i = Site.checkpoint t.sites.(i)
+
 (* --------------------------------------------------------- observation *)
 
 let fragments t ~item =
@@ -235,6 +239,9 @@ let metrics t =
   in
   let stats = Network.stats t.net in
   Metrics.add_messages m stats.Network.sent;
+  Metrics.add_drops m ~loss:stats.Network.dropped_loss
+    ~partition:stats.Network.dropped_partition ~down:stats.Network.dropped_down
+    ~inflight:stats.Network.dropped_inflight;
   (match t.bcast with
   | Some b -> Metrics.add_messages m (Broadcast.messages_sent b)
   | None -> ());

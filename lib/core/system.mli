@@ -113,6 +113,13 @@ val site_up : t -> Ids.site -> bool
 
 val set_all_links : t -> Dvp_net.Linkstate.params -> unit
 
+val inject_wal_fault : t -> Ids.site -> Dvp_storage.Wal.fault -> unit
+(** Arm a storage fault on a site's log, applied at its next crash (see
+    {!Site.inject_wal_fault}). *)
+
+val checkpoint_site : t -> Ids.site -> unit
+(** Checkpoint one site (no-op while it is crashed). *)
+
 (** {2 Observation} *)
 
 val fragments : t -> item:Ids.item -> int array

@@ -1,9 +1,14 @@
 type stats = {
   mutable sent : int;
   mutable delivered : int;
-  mutable dropped : int;
+  mutable dropped_loss : int;
+  mutable dropped_partition : int;
+  mutable dropped_down : int;
+  mutable dropped_inflight : int;
   mutable duplicated : int;
 }
+
+let dropped s = s.dropped_loss + s.dropped_partition + s.dropped_down + s.dropped_inflight
 
 type 'p t = {
   engine : Dvp_sim.Engine.t;
@@ -26,7 +31,16 @@ let create engine ~rng ~n ?(default = Linkstate.default) ?trace () =
     handlers = Array.make n None;
     up = Array.make n true;
     group_of = Array.make n 0;
-    stats = { sent = 0; delivered = 0; dropped = 0; duplicated = 0 };
+    stats =
+      {
+        sent = 0;
+        delivered = 0;
+        dropped_loss = 0;
+        dropped_partition = 0;
+        dropped_down = 0;
+        dropped_inflight = 0;
+        duplicated = 0;
+      };
     trace;
   }
 
@@ -82,18 +96,20 @@ let partitioned t ~src ~dst =
   t.group_of.(src) <> t.group_of.(dst)
 
 let deliver t ~src ~dst payload =
-  (* Delivery-time checks: destination must be up and still reachable. *)
+  (* Delivery-time checks: destination must be up and still reachable.  Every
+     loss here is an in-flight discard — the message left the sender before
+     the world changed underneath it. *)
   if t.up.(dst) && not (partitioned t ~src ~dst) then begin
     match t.handlers.(dst) with
     | Some h ->
       t.stats.delivered <- t.stats.delivered + 1;
       h ~src payload
     | None ->
-      t.stats.dropped <- t.stats.dropped + 1;
+      t.stats.dropped_inflight <- t.stats.dropped_inflight + 1;
       emit t (Dvp_sim.Trace.Net_drop { src; dst })
   end
   else begin
-    t.stats.dropped <- t.stats.dropped + 1;
+    t.stats.dropped_inflight <- t.stats.dropped_inflight + 1;
     emit t (Dvp_sim.Trace.Net_drop { src; dst })
   end
 
@@ -108,11 +124,22 @@ let send t ~src ~dst payload =
     t.stats.sent <- t.stats.sent + 1;
     emit t (Dvp_sim.Trace.Net_send { src; dst });
     let l = t.links.(src).(dst) in
-    if (not t.up.(src)) || partitioned t ~src ~dst || Linkstate.drops l t.rng then begin
-      t.stats.dropped <- t.stats.dropped + 1;
+    (* Classify the send-time loss by its cause; the checks short-circuit in
+       the same order as before so the RNG draw sequence is unchanged. *)
+    let cause =
+      if not t.up.(src) then Some `Down
+      else if partitioned t ~src ~dst then Some `Partition
+      else if Linkstate.drops l t.rng then Some `Loss
+      else None
+    in
+    match cause with
+    | Some c ->
+      (match c with
+      | `Down -> t.stats.dropped_down <- t.stats.dropped_down + 1
+      | `Partition -> t.stats.dropped_partition <- t.stats.dropped_partition + 1
+      | `Loss -> t.stats.dropped_loss <- t.stats.dropped_loss + 1);
       emit t (Dvp_sim.Trace.Net_drop { src; dst })
-    end
-    else begin
+    | None -> begin
       let schedule_copy () =
         let delay = Linkstate.sample_delay l t.rng in
         ignore
@@ -131,5 +158,8 @@ let stats t = t.stats
 let reset_stats t =
   t.stats.sent <- 0;
   t.stats.delivered <- 0;
-  t.stats.dropped <- 0;
+  t.stats.dropped_loss <- 0;
+  t.stats.dropped_partition <- 0;
+  t.stats.dropped_down <- 0;
+  t.stats.dropped_inflight <- 0;
   t.stats.duplicated <- 0

@@ -15,9 +15,17 @@ type 'p t
 type stats = {
   mutable sent : int;  (** transmissions attempted *)
   mutable delivered : int;  (** handler invocations *)
-  mutable dropped : int;  (** lost to link loss, partitions, or down sites *)
+  mutable dropped_loss : int;  (** lost to per-link loss probability *)
+  mutable dropped_partition : int;  (** refused at send time by a partition *)
+  mutable dropped_down : int;  (** sender was down at send time *)
+  mutable dropped_inflight : int;
+      (** discarded at delivery time: destination down, partitioned away, or
+          handler-less by the time the message arrived *)
   mutable duplicated : int;
 }
+
+val dropped : stats -> int
+(** Total losses across all four cause buckets. *)
 
 val create :
   Dvp_sim.Engine.t ->

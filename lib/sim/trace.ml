@@ -18,6 +18,8 @@ type event =
   | Crash of { site : int }
   | Recover of { site : int; redo : int }
   | Checkpoint of { site : int; log_length : int }
+  | Storage_fault of { site : int; kind : string }
+  | Wal_repair of { site : int; dropped : int }
   | Net_send of { src : int; dst : int }
   | Net_drop of { src : int; dst : int }
   | Note of { category : string; message : string }
@@ -82,6 +84,7 @@ let category_of_event = function
   | Crash _ -> "crash"
   | Recover _ -> "recover"
   | Checkpoint _ -> "checkpoint"
+  | Storage_fault _ | Wal_repair _ -> "storage"
   | Net_send _ | Net_drop _ -> "net"
   | Note { category; _ } -> category
 
@@ -113,6 +116,10 @@ let message_of_event = function
   | Recover { site; redo } -> Printf.sprintf "site %d up (redo=%d)" site redo
   | Checkpoint { site; log_length } ->
     Printf.sprintf "site %d checkpointed (log=%d)" site log_length
+  | Storage_fault { site; kind } -> Printf.sprintf "site %d storage fault armed: %s" site kind
+  | Wal_repair { site; dropped } ->
+    Printf.sprintf "site %d truncated %d corrupt log record%s" site dropped
+      (if dropped = 1 then "" else "s")
   | Net_send { src; dst } -> Printf.sprintf "message %d -> %d" src dst
   | Net_drop { src; dst } -> Printf.sprintf "message %d -> %d dropped" src dst
   | Note { message; _ } -> message
@@ -223,6 +230,10 @@ let event_to_json ~time ev =
   | Recover { site; redo } -> base "recover" [ ("site", Json.Int site); ("redo", Json.Int redo) ]
   | Checkpoint { site; log_length } ->
     base "checkpoint" [ ("site", Json.Int site); ("log_length", Json.Int log_length) ]
+  | Storage_fault { site; kind } ->
+    base "storage_fault" [ ("site", Json.Int site); ("kind", Json.String kind) ]
+  | Wal_repair { site; dropped } ->
+    base "wal_repair" [ ("site", Json.Int site); ("dropped", Json.Int dropped) ]
   | Net_send { src; dst } -> base "net_send" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Net_drop { src; dst } -> base "net_drop" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Note { category; message } ->
@@ -328,6 +339,14 @@ let event_of_json j =
       let* site = int "site" in
       let* log_length = int "log_length" in
       Some (Checkpoint { site; log_length })
+    | "storage_fault" ->
+      let* site = int "site" in
+      let* kind = str "kind" in
+      Some (Storage_fault { site; kind })
+    | "wal_repair" ->
+      let* site = int "site" in
+      let* dropped = int "dropped" in
+      Some (Wal_repair { site; dropped })
     | "net_send" ->
       let* src = int "src" in
       let* dst = int "dst" in
@@ -409,7 +428,9 @@ let to_chrome t =
       | Request_ignored { site; _ }
       | Crash { site }
       | Recover { site; _ }
-      | Checkpoint { site; _ } -> note_site site
+      | Checkpoint { site; _ }
+      | Storage_fault { site; _ }
+      | Wal_repair { site; _ } -> note_site site
       | Net_send { src; dst } | Net_drop { src; dst } ->
         note_site src;
         note_site dst
@@ -511,6 +532,14 @@ let to_chrome t =
         push
           (chrome_common ~name:"checkpoint" ~cat:"storage" ~ph:"i" ~time ~pid:site ~tid:0
              [ ("s", Json.String "t"); ("args", Json.Obj [ ("log_length", Json.Int log_length) ]) ])
+      | Storage_fault { site; kind } ->
+        push
+          (chrome_common ~name:"storage fault" ~cat:"storage" ~ph:"i" ~time ~pid:site ~tid:0
+             [ ("s", Json.String "t"); ("args", Json.Obj [ ("kind", Json.String kind) ]) ])
+      | Wal_repair { site; dropped } ->
+        push
+          (chrome_common ~name:"wal repair" ~cat:"storage" ~ph:"i" ~time ~pid:site ~tid:0
+             [ ("s", Json.String "t"); ("args", Json.Obj [ ("dropped", Json.Int dropped) ]) ])
       | Net_drop { src; dst } ->
         push
           (chrome_common ~name:"drop" ~cat:"net" ~ph:"i" ~time ~pid:src ~tid:0

@@ -39,6 +39,10 @@ type event =
   | Crash of { site : int }
   | Recover of { site : int; redo : int }
   | Checkpoint of { site : int; log_length : int }
+  | Storage_fault of { site : int; kind : string }
+      (** a WAL fault was armed at the site ("torn" / "corrupt-tail") *)
+  | Wal_repair of { site : int; dropped : int }
+      (** recovery truncated [dropped] corrupt records off the stable tail *)
   | Net_send of { src : int; dst : int }
   | Net_drop of { src : int; dst : int }
   | Note of { category : string; message : string }
@@ -72,7 +76,8 @@ val drop_count : t -> int
 val category_of_event : event -> string
 (** The legacy category each typed event files under ("commit", "abort",
     "request", "honor", "refuse", "vm", "lock", "crash", "recover",
-    "checkpoint", "net", "begin" — or the [Note]'s own category). *)
+    "checkpoint", "storage", "net", "begin" — or the [Note]'s own
+    category). *)
 
 val message_of_event : event -> string
 

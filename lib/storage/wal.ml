@@ -1,12 +1,28 @@
+(* Each stable record carries a checksum computed at append time.  A healthy
+   log has every checksum valid; the fault injector (see {!fault}) can leave a
+   corrupt record at the stable tail, which readers detect and stop at. *)
+type 'r entry = { payload : 'r; sum : int }
+
+type fault = Torn of { persist : int } | Corrupt_tail
+
 type 'r t = {
-  mutable stable : 'r list; (* newest first *)
+  mutable stable : 'r entry list; (* newest first *)
   mutable stable_len : int;
-  mutable buffer : 'r list; (* newest first *)
+  mutable buffer : 'r entry list; (* newest first *)
   mutable buffer_len : int;
   mutable force_count : int;
   mutable append_count : int;
   mutable base_index : int; (* index of the oldest retained stable record *)
+  mutable pending_fault : fault option;
+  mutable repair_count : int;
+  mutable repaired_count : int;
 }
+
+let checksum payload = Hashtbl.hash payload
+
+let entry payload = { payload; sum = checksum payload }
+
+let valid e = e.sum = checksum e.payload
 
 let create () =
   {
@@ -17,6 +33,9 @@ let create () =
     force_count = 0;
     append_count = 0;
     base_index = 0;
+    pending_fault = None;
+    repair_count = 0;
+    repaired_count = 0;
   }
 
 let force t =
@@ -30,20 +49,76 @@ let force t =
   t.force_count <- t.force_count + 1
 
 let append ?(forced = true) t r =
-  t.buffer <- r :: t.buffer;
+  t.buffer <- entry r :: t.buffer;
   t.buffer_len <- t.buffer_len + 1;
   t.append_count <- t.append_count + 1;
   if forced then force t
 
+let inject_fault t f = t.pending_fault <- Some f
+
+let pending_fault t = t.pending_fault
+
+(* Persist the oldest [persist] buffered records, flipping the checksum of the
+   newest persisted one — the picture a torn background flush leaves behind.
+   Only the unforced buffer is at risk: records already forced were durable
+   before the crash, which is exactly the guarantee the protocols pay for. *)
+let apply_fault t f =
+  let persist =
+    match f with
+    | Torn { persist } -> min (max persist 0) t.buffer_len
+    | Corrupt_tail -> t.buffer_len
+  in
+  if persist > 0 then begin
+    (* buffer is newest-first: the oldest [persist] records are its tail. *)
+    let surviving = List.filteri (fun i _ -> i >= t.buffer_len - persist) t.buffer in
+    let corrupted =
+      match surviving with
+      | newest :: rest -> { newest with sum = lnot newest.sum } :: rest
+      | [] -> []
+    in
+    t.stable <- corrupted @ t.stable;
+    t.stable_len <- t.stable_len + persist
+  end
+
 let crash t =
+  (match t.pending_fault with Some f -> apply_fault t f | None -> ());
+  t.pending_fault <- None;
   t.buffer <- [];
   t.buffer_len <- 0
 
-let records t = List.rev t.stable
+(* The valid prefix: oldest-first up to (excluding) the first bad checksum.
+   Recovery and the stable-state oracles only ever see this view, so a torn
+   tail can never be replayed as if it were committed state. *)
+let valid_entries t =
+  let rec take acc = function
+    | e :: rest when valid e -> take (e :: acc) rest
+    | _ -> List.rev acc
+  in
+  take [] (List.rev t.stable)
+
+let records t = List.map (fun e -> e.payload) (valid_entries t)
 
 let buffered t = t.buffer_len
 
 let stable_length t = t.stable_len
+
+let corrupt_tail t = t.stable_len - List.length (valid_entries t)
+
+let repair t =
+  let bad = corrupt_tail t in
+  if bad > 0 then begin
+    (* stable is newest-first: the corrupt tail is its head. *)
+    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+    t.stable <- drop bad t.stable;
+    t.stable_len <- t.stable_len - bad;
+    t.repair_count <- t.repair_count + 1;
+    t.repaired_count <- t.repaired_count + bad
+  end;
+  bad
+
+let repairs t = t.repair_count
+
+let repaired_records t = t.repaired_count
 
 let forces t = t.force_count
 

@@ -12,7 +12,18 @@
 
     [append ~forced:true] (the default) models the paper's "write one log
     record to stable storage" steps.  Tests inject crashes between append and
-    force to check that the protocols only depend on forced records. *)
+    force to check that the protocols only depend on forced records.
+
+    {2 Storage faults}
+
+    Every stable record carries a checksum.  A {!fault} armed with
+    {!inject_fault} fires at the next {!crash} and models a flush interrupted
+    mid-write: a prefix of the {e unforced} buffer reaches stable storage with
+    the last written record corrupt.  Records that were already forced are
+    never at risk — that durability is the contract the protocols buy with
+    each force.  Readers ({!records}, {!iter}, {!fold}) stop at the first bad
+    checksum, so replay never sees garbage; {!repair} truncates the corrupt
+    tail physically so the log can grow again after recovery. *)
 
 type 'r t
 
@@ -26,16 +37,50 @@ val force : 'r t -> unit
 (** Flush the volatile buffer to stable storage. *)
 
 val crash : 'r t -> unit
-(** Lose the volatile buffer (site crash). *)
+(** Lose the volatile buffer (site crash).  If a {!fault} is armed it is
+    applied first (and disarmed): part of the buffer may reach stable storage
+    with a corrupt trailing record. *)
+
+(** A storage failure mode applied at the next {!crash}:
+
+    - [Torn { persist }]: the interrupted flush persisted only the oldest
+      [persist] buffered records, the last of them corrupt (clamped to the
+      buffer length; no-op on an empty buffer);
+    - [Corrupt_tail]: the whole buffer reached stable storage but the final
+      record is corrupt. *)
+type fault = Torn of { persist : int } | Corrupt_tail
+
+val inject_fault : 'r t -> fault -> unit
+(** Arm [fault] for the next {!crash}.  A later injection replaces an armed
+    one; recovery does not clear it (only {!crash} consumes it). *)
+
+val pending_fault : 'r t -> fault option
+
+val corrupt_tail : 'r t -> int
+(** Number of trailing stable records with bad checksums (0 on a healthy
+    log). *)
+
+val repair : 'r t -> int
+(** Drop the corrupt tail from stable storage, returning how many records
+    were discarded.  Recovery must call this before appending anything new,
+    or fresh records would land beyond the bad tail and be invisible to
+    {!records}. *)
+
+val repairs : 'r t -> int
+(** Number of {!repair} calls that actually dropped records. *)
+
+val repaired_records : 'r t -> int
+(** Total corrupt records dropped by {!repair} over this log's lifetime. *)
 
 val records : 'r t -> 'r list
-(** Stable records, oldest first.  Buffered-but-unforced records are not
-    included. *)
+(** Stable records, oldest first, up to the first corrupt record.
+    Buffered-but-unforced records are not included. *)
 
 val buffered : 'r t -> int
 (** Records appended but not yet forced. *)
 
 val stable_length : 'r t -> int
+(** Physical stable length, corrupt tail included. *)
 
 val forces : 'r t -> int
 (** Number of force operations performed (metric: log-force cost). *)
@@ -44,7 +89,7 @@ val appended : 'r t -> int
 (** Total records ever appended (including any later lost to crashes). *)
 
 val iter : 'r t -> ('r -> unit) -> unit
-(** Iterate stable records oldest-first. *)
+(** Iterate stable records oldest-first (valid prefix only). *)
 
 val fold : 'r t -> init:'a -> f:('a -> 'r -> 'a) -> 'a
 

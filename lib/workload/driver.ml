@@ -14,6 +14,8 @@ type t = {
   crash : Dvp.Ids.site -> unit;
   recover : Dvp.Ids.site -> unit;
   set_links : Dvp_net.Linkstate.params -> unit;
+  checkpoint : Dvp.Ids.site -> unit;
+  inject_storage_fault : Dvp.Ids.site -> Dvp_storage.Wal.fault -> unit;
   finalize : unit -> unit;
   metrics : unit -> Dvp.Metrics.t;
 }
@@ -36,6 +38,8 @@ let of_dvp ?(name = "dvp") sys =
     crash = (fun s -> Dvp.System.crash_site sys s);
     recover = (fun s -> Dvp.System.recover_site sys s);
     set_links = (fun p -> Dvp.System.set_all_links sys p);
+    checkpoint = (fun s -> Dvp.System.checkpoint_site sys s);
+    inject_storage_fault = (fun s f -> Dvp.System.inject_wal_fault sys s f);
     finalize = (fun () -> ());
     metrics = (fun () -> Dvp.System.metrics sys);
   }
@@ -56,6 +60,12 @@ let of_trad ?(name = "trad") sys =
       (fun _ ->
         (* Baseline network parameters are fixed at creation; experiments
            that sweep link quality construct fresh systems instead. *)
+        ());
+    checkpoint = (fun _ -> ());
+    inject_storage_fault =
+      (fun _ _ ->
+        (* The baselines model neither checkpointing nor torn writes; chaos
+           schedules degrade gracefully to their network/site faults. *)
         ());
     finalize = (fun () -> T.flush_blocked sys);
     metrics = (fun () -> T.metrics sys);

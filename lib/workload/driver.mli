@@ -21,6 +21,11 @@ type t = {
   crash : Dvp.Ids.site -> unit;
   recover : Dvp.Ids.site -> unit;
   set_links : Dvp_net.Linkstate.params -> unit;
+  checkpoint : Dvp.Ids.site -> unit;
+      (** checkpoint one site (no-op for baselines and while crashed) *)
+  inject_storage_fault : Dvp.Ids.site -> Dvp_storage.Wal.fault -> unit;
+      (** arm a WAL fault applied at the site's next crash (no-op for
+          baselines, which do not model torn writes) *)
   finalize : unit -> unit;
       (** end-of-run accounting hook (e.g. close still-blocked episodes) *)
   metrics : unit -> Dvp.Metrics.t;

@@ -1,9 +1,13 @@
+module Rng = Dvp_util.Rng
+
 type action =
   | Partition of Dvp.Ids.site list list
   | Heal
   | Crash of Dvp.Ids.site
   | Recover of Dvp.Ids.site
   | Set_links of Dvp_net.Linkstate.params
+  | Checkpoint of Dvp.Ids.site
+  | Storage_fault of Dvp.Ids.site * Dvp_storage.Wal.fault
 
 type event = { at : float; action : action }
 
@@ -34,7 +38,79 @@ let lossy_window ~start ~len ~loss =
     at (start +. len) (Set_links Dvp_net.Linkstate.default);
   ]
 
-let merge a b = List.sort (fun x y -> compare x.at y.at) (a @ b)
+(* Stable sort: events at equal times keep their relative order, so a
+   generator can place a [Storage_fault] immediately before its [Crash] at
+   the same instant and rely on that ordering surviving any merge. *)
+let merge a b = List.stable_sort (fun x y -> compare x.at y.at) (a @ b)
+
+(* ------------------------------------------------------ random schedules *)
+
+(* Crash/recover cycles as a Poisson process over [start, until): sites are
+   picked uniformly, a site already down is left alone (no double crash), and
+   downtimes are exponential.  Shared by [random] and [crash_storm]. *)
+let poisson_crashes ~rng ~n_sites ~start ~until ~rate ~mean_downtime =
+  let up_after = Array.make n_sites neg_infinity in
+  let rec go time acc =
+    let time = time +. Rng.exponential rng (1.0 /. rate) in
+    if time >= until then List.rev acc
+    else begin
+      let site = Rng.int rng n_sites in
+      if time < up_after.(site) then go time acc
+      else begin
+        let downtime = Float.max 0.05 (Rng.exponential rng mean_downtime) in
+        up_after.(site) <- time +. downtime;
+        go time (at (time +. downtime) (Recover site) :: at time (Crash site) :: acc)
+      end
+    end
+  in
+  if rate <= 0.0 then [] else merge (go start []) []
+
+let crash_storm ~rng ~n_sites ?(mean_downtime = 0.5) ~start ~len ~rate () =
+  poisson_crashes ~rng ~n_sites ~start ~until:(start +. len) ~rate ~mean_downtime
+
+let random_groups rng n_sites =
+  (* A random binary split with both halves non-empty. *)
+  let rec draw () =
+    let mask = Array.init n_sites (fun _ -> Rng.bool rng) in
+    let a = ref [] and b = ref [] in
+    Array.iteri (fun i g -> if g then a := i :: !a else b := i :: !b) mask;
+    match (!a, !b) with
+    | [], _ | _, [] -> draw ()
+    | a, b -> [ List.rev a; List.rev b ]
+  in
+  if n_sites < 2 then [ List.init n_sites Fun.id ] else draw ()
+
+let random ~rng ~n_sites ~until ?(start = 0.0) ?(crash_rate = 0.0)
+    ?(mean_downtime = 0.5) ?(partition_rate = 0.0) ?(mean_partition_len = 1.0)
+    ?(loss_rate = 0.0) ?(mean_loss_len = 1.0) ?(max_loss = 0.5) () =
+  let windows rate mean_len mk =
+    if rate <= 0.0 then []
+    else begin
+      let rec go time acc =
+        let time = time +. Rng.exponential rng (1.0 /. rate) in
+        if time >= until then acc
+        else begin
+          let len = Float.max 0.05 (Rng.exponential rng mean_len) in
+          go time (List.rev_append (mk ~start:time ~len) acc)
+        end
+      in
+      List.rev (go start [])
+    end
+  in
+  let crashes =
+    poisson_crashes ~rng ~n_sites ~start ~until ~rate:crash_rate ~mean_downtime
+  in
+  let partitions =
+    windows partition_rate mean_partition_len (fun ~start ~len ->
+        [ at start (Partition (random_groups rng n_sites)); at (start +. len) Heal ])
+  in
+  let losses =
+    windows loss_rate mean_loss_len (fun ~start ~len ->
+        lossy_window ~start ~len ~loss:(Rng.float rng max_loss))
+  in
+  merge crashes (merge partitions losses)
+
+(* ------------------------------------------------------------ application *)
 
 let apply (d : Driver.t) = function
   | Partition groups -> d.Driver.partition groups
@@ -42,6 +118,8 @@ let apply (d : Driver.t) = function
   | Crash s -> d.Driver.crash s
   | Recover s -> d.Driver.recover s
   | Set_links p -> d.Driver.set_links p
+  | Checkpoint s -> d.Driver.checkpoint s
+  | Storage_fault (s, f) -> d.Driver.inject_storage_fault s f
 
 let schedule d plan =
   List.iter
@@ -49,3 +127,43 @@ let schedule d plan =
       ignore
         (Dvp_sim.Engine.schedule_at d.Driver.engine ~at:time (fun () -> apply d action)))
     plan
+
+(* -------------------------------------------------------------- printing *)
+
+let action_label = function
+  | Partition groups ->
+    Printf.sprintf "partition %s"
+      (String.concat " | "
+         (List.map
+            (fun g -> "[" ^ String.concat " " (List.map string_of_int g) ^ "]")
+            groups))
+  | Heal -> "heal"
+  | Crash s -> Printf.sprintf "crash site %d" s
+  | Recover s -> Printf.sprintf "recover site %d" s
+  | Set_links p ->
+    Printf.sprintf "set-links loss=%.2f dup=%.2f" p.Dvp_net.Linkstate.loss_prob
+      p.Dvp_net.Linkstate.dup_prob
+  | Checkpoint s -> Printf.sprintf "checkpoint site %d" s
+  | Storage_fault (s, Dvp_storage.Wal.Torn { persist }) ->
+    Printf.sprintf "storage-fault site %d: torn flush (persist %d)" s persist
+  | Storage_fault (s, Dvp_storage.Wal.Corrupt_tail) ->
+    Printf.sprintf "storage-fault site %d: corrupt tail" s
+
+let pp_event ppf e = Format.fprintf ppf "[%8.4f] %s" e.at (action_label e.action)
+
+let pp ppf plan =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      pp_event ppf e)
+    plan;
+  Format.pp_close_box ppf ()
+
+let to_json plan =
+  let module Json = Dvp_util.Json in
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj [ ("at", Json.Float e.at); ("action", Json.String (action_label e.action)) ])
+       plan)

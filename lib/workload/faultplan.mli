@@ -1,7 +1,10 @@
 (** Declarative fault schedules.
 
     A plan is a list of timed actions applied to a {!Driver.t}; experiments
-    build plans with the combinators below and hand them to {!Runner.run}. *)
+    build plans with the combinators below and hand them to {!Runner.run}.
+    Beyond the curated combinators, {!random} draws a whole schedule from a
+    seeded {!Dvp_util.Rng.t} so experiments (and the chaos harness) can mix
+    hand-written and randomized faults via {!merge}. *)
 
 type action =
   | Partition of Dvp.Ids.site list list
@@ -9,6 +12,10 @@ type action =
   | Crash of Dvp.Ids.site
   | Recover of Dvp.Ids.site
   | Set_links of Dvp_net.Linkstate.params
+  | Checkpoint of Dvp.Ids.site
+      (** force a snapshot record and truncate the site's log *)
+  | Storage_fault of Dvp.Ids.site * Dvp_storage.Wal.fault
+      (** arm a WAL fault, applied at the site's next crash *)
 
 type event = { at : float; action : action }
 
@@ -33,7 +40,59 @@ val lossy_window : start:float -> len:float -> loss:float -> t
 (** Degrade every link to the given loss probability for a window, then
     restore defaults. *)
 
+val crash_storm :
+  rng:Dvp_util.Rng.t ->
+  n_sites:int ->
+  ?mean_downtime:float ->
+  start:float ->
+  len:float ->
+  rate:float ->
+  unit ->
+  t
+(** A burst of crash/recover cycles: a Poisson process at [rate] crashes per
+    second over [start, start +. len), uniformly random victims (a site
+    already down is skipped), exponential downtimes with the given mean
+    (default 0.5 s, floored at 0.05 s). *)
+
+val random :
+  rng:Dvp_util.Rng.t ->
+  n_sites:int ->
+  until:float ->
+  ?start:float ->
+  ?crash_rate:float ->
+  ?mean_downtime:float ->
+  ?partition_rate:float ->
+  ?mean_partition_len:float ->
+  ?loss_rate:float ->
+  ?mean_loss_len:float ->
+  ?max_loss:float ->
+  unit ->
+  t
+(** Draw a whole random fault schedule over [start, until): crash/recover
+    cycles (as {!crash_storm}), random binary partitions with exponential
+    lengths, and link-loss windows with loss drawn uniformly from
+    [0, max_loss).  All rates default to 0 (contribute nothing), so callers
+    enable exactly the fault classes they want.  Deterministic in the [rng]
+    state; the result is already time-sorted and {!merge}s cleanly with
+    curated plans. *)
+
 val merge : t -> t -> t
+(** Time-sorted union.  The sort is stable: events at equal times keep their
+    relative order, so a [Storage_fault] placed before its [Crash] at the
+    same instant stays before it. *)
 
 val schedule : Driver.t -> t -> unit
 (** Install every event on the driver's engine. *)
+
+(** {2 Printing} *)
+
+val action_label : action -> string
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One event per line — the format chaos-violation reports print shrunk
+    schedules in. *)
+
+val to_json : t -> Dvp_util.Json.t
+(** [[{"at": t, "action": "<label>"}, ...]]. *)

@@ -20,6 +20,15 @@ else
   echo "== skipping @fmt (ocamlformat not installed) =="
 fi
 
+# Chaos smoke: seeded fault-schedule fuzzing with the invariant oracle.
+# 25 seeds keeps CI fast; nightly runs can widen the sweep with e.g.
+#   CHAOS_SEEDS=500 scripts/check.sh
+# A nonzero exit here means an invariant violation — the output names the
+# reproducing seed and the shrunk fault schedule.
+CHAOS_SEEDS="${CHAOS_SEEDS:-25}"
+echo "== dvp-cli chaos --seeds $CHAOS_SEEDS =="
+dune exec bin/dvp_cli.exe -- chaos --seeds "$CHAOS_SEEDS"
+
 echo "== bench E1 --json smoke run =="
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

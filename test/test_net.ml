@@ -68,7 +68,9 @@ let test_network_down_site_drops () =
   Network.send net ~src:0 ~dst:1 "lost";
   Engine.run e;
   Alcotest.(check int) "nothing delivered" 0 !got;
-  Alcotest.(check int) "dropped" 1 (Network.stats net).dropped
+  Alcotest.(check int) "dropped" 1 (Network.dropped (Network.stats net));
+  (* The message left site 0 fine; it died in flight at the down receiver. *)
+  Alcotest.(check int) "in-flight bucket" 1 (Network.stats net).dropped_inflight
 
 let test_network_down_sender_drops () =
   let e, net = mk () in

@@ -127,6 +127,102 @@ let prop_wal_stability =
         ops;
       Wal.records w = List.rev !stable_ref)
 
+(* A torn flush: the crash persists only a prefix of the buffer, and the
+   newest surviving record has a bad checksum.  Valid-prefix reads hide the
+   bad tail; repair truncates it physically. *)
+let test_wal_torn_write () =
+  let w = Wal.create () in
+  Wal.append w "forced";
+  List.iter (fun r -> Wal.append ~forced:false w r) [ "b1"; "b2"; "b3" ];
+  Wal.inject_fault w (Wal.Torn { persist = 2 });
+  Wal.crash w;
+  (* b1 and b2 reached stable storage, b2 torn mid-record; b3 was lost. *)
+  Alcotest.(check int) "physical length" 3 (Wal.stable_length w);
+  Alcotest.(check int) "one corrupt record" 1 (Wal.corrupt_tail w);
+  Alcotest.(check (list string)) "reads stop before the tear" [ "forced"; "b1" ] (Wal.records w);
+  let dropped = Wal.repair w in
+  Alcotest.(check int) "repair drops the tear" 1 dropped;
+  Alcotest.(check int) "tail clean" 0 (Wal.corrupt_tail w);
+  Alcotest.(check int) "repair counted" 1 (Wal.repairs w);
+  Alcotest.(check int) "records truncated counted" 1 (Wal.repaired_records w);
+  (* The log grows normally after repair. *)
+  Wal.append w "after";
+  Alcotest.(check (list string)) "append after repair" [ "forced"; "b1"; "after" ] (Wal.records w)
+
+let test_wal_corrupt_tail () =
+  let w = Wal.create () in
+  Wal.append w "keep";
+  List.iter (fun r -> Wal.append ~forced:false w r) [ "x"; "y" ];
+  Wal.inject_fault w Wal.Corrupt_tail;
+  Wal.crash w;
+  (* Whole buffer persisted, newest record corrupted. *)
+  Alcotest.(check int) "physical length" 3 (Wal.stable_length w);
+  Alcotest.(check int) "one corrupt record" 1 (Wal.corrupt_tail w);
+  Alcotest.(check (list string)) "valid prefix" [ "keep"; "x" ] (Wal.records w);
+  Alcotest.(check int) "repair" 1 (Wal.repair w);
+  Alcotest.(check (list string)) "unchanged after repair" [ "keep"; "x" ] (Wal.records w)
+
+let test_wal_fault_without_buffer () =
+  (* A fault armed while the buffer is empty has nothing to tear: forced
+     records are never touched. *)
+  let w = Wal.create () in
+  Wal.append w "a";
+  Wal.append w "b";
+  Wal.inject_fault w Wal.Corrupt_tail;
+  Wal.crash w;
+  Alcotest.(check (list string)) "forced records untouched" [ "a"; "b" ] (Wal.records w);
+  Alcotest.(check int) "nothing to repair" 0 (Wal.repair w)
+
+let test_wal_fault_consumed_by_crash () =
+  let w = Wal.create () in
+  Wal.inject_fault w Wal.Corrupt_tail;
+  Alcotest.(check bool) "armed" true (Wal.pending_fault w <> None);
+  Wal.crash w;
+  Alcotest.(check bool) "disarmed after crash" true (Wal.pending_fault w = None);
+  (* The next crash is clean. *)
+  Wal.append ~forced:false w "z";
+  Wal.crash w;
+  Alcotest.(check int) "no corruption" 0 (Wal.corrupt_tail w)
+
+(* end_index names the next record's global position; truncation (the
+   checkpoint mechanism) must never move it backwards, so positions stay
+   stable names across checkpoints. *)
+let test_wal_end_index_monotone () =
+  let w = Wal.create () in
+  let last = ref (Wal.end_index w) in
+  let check_monotone () =
+    let e = Wal.end_index w in
+    Alcotest.(check bool) "end_index never decreases" true (e >= !last);
+    last := e
+  in
+  for round = 0 to 4 do
+    for i = 0 to 9 do
+      Wal.append w ((round * 10) + i);
+      check_monotone ()
+    done;
+    (* a checkpoint: truncate everything but the last two records *)
+    Wal.truncate_before w ~keep_from:(Wal.end_index w - 2);
+    check_monotone ();
+    Alcotest.(check int) "two records kept" 2 (Wal.stable_length w)
+  done;
+  Alcotest.(check int) "fifty appends" 50 (Wal.end_index w)
+
+let test_wal_repair_preserves_end_index_base () =
+  (* Repair shortens the log, so end_index steps back by the records
+     dropped — but a subsequent append reuses exactly those positions, and
+     truncate_before still works against the new indices. *)
+  let w = Wal.create () in
+  for i = 0 to 4 do
+    Wal.append w i
+  done;
+  List.iter (fun r -> Wal.append ~forced:false w r) [ 5; 6 ];
+  Wal.inject_fault w (Wal.Torn { persist = 2 });
+  Wal.crash w;
+  ignore (Wal.repair w);
+  Alcotest.(check int) "end_index back to valid prefix" 6 (Wal.end_index w);
+  Wal.append w 99;
+  Alcotest.(check (list int)) "position reused" [ 0; 1; 2; 3; 4; 5; 99 ] (Wal.records w)
+
 (* --------------------------------------------------------------- Stable *)
 
 let test_stable_cell_survives () =
@@ -150,6 +246,34 @@ let test_stable_write_count () =
   Stable.set c 1;
   Stable.set c 2;
   Alcotest.(check int) "writes counted" 2 (Stable.writes reg)
+
+let test_crash_reruns_thunks_once () =
+  (* Every registered re-init thunk runs exactly once per crash — recovery
+     that re-initialised twice (or skipped a structure) would leak state
+     between incarnations. *)
+  let reg = Stable.region () in
+  let runs_a = ref 0 and runs_b = ref 0 in
+  let a =
+    Stable.volatile reg (fun () ->
+        incr runs_a;
+        0)
+  in
+  let b =
+    Stable.volatile reg (fun () ->
+        incr runs_b;
+        "fresh")
+  in
+  (* registration itself evaluates the thunk once for the initial value *)
+  let init_a = !runs_a and init_b = !runs_b in
+  for crash = 1 to 3 do
+    Stable.vset a crash;
+    Stable.vset b "dirty";
+    Stable.crash_volatile reg;
+    Alcotest.(check int) "a thunk once per crash" (init_a + crash) !runs_a;
+    Alcotest.(check int) "b thunk once per crash" (init_b + crash) !runs_b;
+    Alcotest.(check int) "a reset" 0 (Stable.vget a);
+    Alcotest.(check string) "b reset" "fresh" (Stable.vget b)
+  done
 
 let test_multiple_volatiles () =
   let reg = Stable.region () in
@@ -231,6 +355,14 @@ let () =
           Alcotest.test_case "appended counter" `Quick test_wal_appended_counter;
           Alcotest.test_case "truncate" `Quick test_wal_truncate;
           Alcotest.test_case "truncate then append" `Quick test_wal_truncate_then_append;
+          Alcotest.test_case "torn write" `Quick test_wal_torn_write;
+          Alcotest.test_case "corrupt tail" `Quick test_wal_corrupt_tail;
+          Alcotest.test_case "fault without buffer" `Quick test_wal_fault_without_buffer;
+          Alcotest.test_case "fault consumed by crash" `Quick test_wal_fault_consumed_by_crash;
+          Alcotest.test_case "end_index monotone across checkpoints" `Quick
+            test_wal_end_index_monotone;
+          Alcotest.test_case "repair rewinds end_index to valid prefix" `Quick
+            test_wal_repair_preserves_end_index_base;
           QCheck_alcotest.to_alcotest prop_wal_stability;
         ] );
       ( "stable",
@@ -238,6 +370,8 @@ let () =
           Alcotest.test_case "cell survives crash" `Quick test_stable_cell_survives;
           Alcotest.test_case "volatile resets" `Quick test_volatile_resets;
           Alcotest.test_case "write count" `Quick test_stable_write_count;
+          Alcotest.test_case "crash reruns thunks exactly once" `Quick
+            test_crash_reruns_thunks_once;
           Alcotest.test_case "multiple volatiles" `Quick test_multiple_volatiles;
         ] );
       ( "local_db",

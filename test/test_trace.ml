@@ -30,7 +30,9 @@ let every_event =
     (1.5, Trace.Net_drop { src = 0; dst = 2 });
     (1.6, Trace.Recover { site = 2; redo = 9 });
     (1.7, Trace.Checkpoint { site = 2; log_length = 42 });
-    (1.8, Trace.Note { category = "proactive"; message = "push 3 units" });
+    (1.8, Trace.Storage_fault { site = 2; kind = "torn" });
+    (1.9, Trace.Wal_repair { site = 2; dropped = 1 });
+    (2.0, Trace.Note { category = "proactive"; message = "push 3 units" });
   ]
 
 let test_jsonl_roundtrip () =
