@@ -4,6 +4,7 @@
                  --duration 20 --partition 5:10 --seed 7
      dvp-cli run --trace-out t.json --trace-format chrome   # perfetto trace
      dvp-cli run --json                                     # outcome as JSON
+     dvp-cli analyze trace.jsonl                            # span statistics
      dvp-cli demo
      dvp-cli info
 
@@ -12,7 +13,12 @@
    cycle), and prints the outcome summary and metric table — or, with
    [--json], the whole outcome as one JSON object.  With [--trace-out] a
    DvP run records every typed trace event and writes them out as JSONL or
-   as a Chrome trace_event file loadable in ui.perfetto.dev. *)
+   as a Chrome trace_event file loadable in ui.perfetto.dev.
+
+   The `analyze` command folds a JSONL trace dump (from run --trace-out, a
+   crashdump directory, or examples/trace_tour) into transaction spans and
+   Vm lifecycles and prints the latency breakdowns, the Vm lifecycle table,
+   and a per-site activity timeline. *)
 
 open Cmdliner
 module Spec = Dvp_workload.Spec
@@ -20,6 +26,9 @@ module Setup = Dvp_workload.Setup
 module Runner = Dvp_workload.Runner
 module Faultplan = Dvp_workload.Faultplan
 module Trace = Dvp_sim.Trace
+module Spans = Dvp_obs.Spans
+module Telemetry = Dvp_obs.Telemetry
+module Flight = Dvp_obs.Flight
 
 type system_kind = Dvp_sys | Two_pc | Three_pc | Quorum
 
@@ -150,7 +159,20 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
   let driver =
     match dvp_sys with Some sys -> Dvp_workload.Driver.of_dvp ~name:"dvp" sys | None -> driver
   in
-  let o = Runner.run driver spec ~faults () in
+  (* DvP runs carry telemetry; traced runs also carry a flight recorder, so
+     a conservation failure leaves a crashdump next to its error message. *)
+  let telemetry = Option.map Telemetry.of_system dvp_sys in
+  let flight =
+    match (trace, dvp_sys) with
+    | Some tr, Some _ ->
+      let fl = Flight.create tr in
+      (match telemetry with
+      | Some tel -> Flight.set_telemetry fl (fun () -> Telemetry.to_json tel)
+      | None -> ());
+      Some fl
+    | _ -> None
+  in
+  let o = Runner.run driver spec ~faults ?telemetry ?flight () in
   if json then print_endline (Dvp_util.Json.to_string_pretty (Runner.outcome_to_json o))
   else begin
     Format.printf "%a@." Runner.pp_outcome o;
@@ -201,13 +223,22 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
           Printf.printf "  t<%5.1f %s %3.0f%%\n" t_end
             (String.make (int_of_float (ratio *. 40.0)) '#')
             (100.0 *. ratio))
-      o.Runner.timeline
+      o.Runner.timeline;
+    match telemetry with
+    | Some tel when Telemetry.attached tel ->
+      print_newline ();
+      print_string (Telemetry.render tel)
+    | _ -> ()
   end;
   (* The end-of-run conservation check is load-bearing: a run that lost or
-     duplicated value must fail the shell, not just print a summary. *)
-  match dvp_sys with
-  | Some sys when not (Dvp.System.conserved_all sys) ->
+     duplicated value must fail the shell, not just print a summary.  The
+     runner has already dumped the flight recorder when one was wired. *)
+  match o.Runner.conserved with
+  | Some false ->
     prerr_endline "ERROR: conservation violated at end of run (N <> sum fragments + in-flight)";
+    (match o.Runner.crashdump with
+    | Some path -> Printf.eprintf "crashdump written to %s\n" path
+    | None -> ());
     exit 1
   | _ -> ()
 
@@ -236,19 +267,58 @@ let restore_cmd workload sites dir =
       (Dvp.System.items sys);
     Printf.printf "conservation: %b\n" (Dvp.System.conserved_all sys)
 
-let chaos_cmd seeds first_seed profile_name json =
+let chaos_cmd seeds first_seed profile_name crashdumps json =
   match Dvp_chaos.Profile.of_string profile_name with
   | None ->
     Printf.eprintf "unknown chaos profile %S (%s)\n" profile_name
       (String.concat "|" Dvp_chaos.Profile.names);
     exit 2
   | Some profile ->
-    let report = Dvp_chaos.Harness.run ~first_seed ~seeds ~profile () in
+    let report = Dvp_chaos.Harness.run ~first_seed ~seeds ~profile ?crashdumps () in
     if json then
       print_endline
         (Dvp_util.Json.to_string_pretty (Dvp_chaos.Harness.report_to_json report))
     else Format.printf "%a@." Dvp_chaos.Harness.pp_report report;
     if report.Dvp_chaos.Harness.failures <> [] then exit 1
+
+let analyze_cmd file json =
+  if not (Sys.file_exists file) then begin
+    Printf.eprintf "analyze: no such file: %s\n" file;
+    exit 2
+  end;
+  let contents =
+    let ic = open_in_bin file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let events = Trace.of_jsonl contents in
+  if events = [] then begin
+    Printf.eprintf "analyze: no trace events found in %s\n" file;
+    exit 1
+  end;
+  let dropped =
+    match Trace.meta_of_jsonl contents with
+    | Some m -> m.Trace.dropped
+    | None -> 0
+  in
+  let spans = Spans.of_events ~dropped events in
+  let tl = Spans.timeline events in
+  if json then begin
+    let j =
+      match Spans.to_json spans with
+      | Dvp_util.Json.Obj fields ->
+        Dvp_util.Json.Obj (fields @ [ ("timeline", Spans.timeline_to_json tl) ])
+      | other -> other
+    in
+    print_endline (Dvp_util.Json.to_string_pretty j)
+  end
+  else begin
+    Format.printf "%a@.@." Spans.pp_summary spans;
+    print_string (Spans.render_vm_table spans);
+    print_newline ();
+    print_string (Spans.render_timeline tl)
+  end
 
 let info_cmd () =
   print_endline
@@ -260,7 +330,8 @@ let info_cmd () =
     \  3pc     same, three-phase commit with the termination rule\n\
     \  quorum  full replication with majority quorums over 2PC\n\n\
      Workloads: airline, banking, inventory, default.\n\
-     See bench/main.exe for the full experiment suite (E1-E16)."
+     Analyze a trace dump with `dvp-cli analyze trace.jsonl`.\n\
+     See bench/main.exe for the full experiment suite (E1-E17)."
 
 (* ------------------------------------------------------------ cmdliner *)
 
@@ -339,8 +410,26 @@ let profile_arg =
     & opt string "bounded"
     & info [ "profile" ] ~doc:"Chaos profile: bounded, default, or heavy.")
 
+let crashdumps_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "crashdumps" ] ~docv:"DIR"
+        ~doc:
+          "Record a trace + telemetry per seed and write a crashdump directory under DIR \
+           for every failing seed (trace.jsonl, telemetry.json, verdict.json).")
+
 let chaos_term =
-  Term.(const chaos_cmd $ seeds_arg $ first_seed_arg $ profile_arg $ json_arg)
+  Term.(
+    const chaos_cmd $ seeds_arg $ first_seed_arg $ profile_arg $ crashdumps_arg $ json_arg)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace dump to analyze.")
+
+let analyze_term = Term.(const analyze_cmd $ trace_file_arg $ json_arg)
 
 let cmds =
   [
@@ -355,6 +444,13 @@ let cmds =
             after each recovery; nonzero exit and a shrunk reproducing schedule on any \
             violation")
       chaos_term;
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:
+           "Reconstruct transaction spans and Vm lifecycles from a JSONL trace dump and \
+            print latency breakdowns, the Vm lifecycle table, and a per-site activity \
+            timeline")
+      analyze_term;
     Cmd.v (Cmd.info "demo" ~doc:"A canned partition demo") Term.(const demo_cmd $ const ());
     Cmd.v (Cmd.info "info" ~doc:"Describe the systems and workloads") Term.(const info_cmd $ const ());
   ]

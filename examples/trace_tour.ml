@@ -4,14 +4,17 @@
 
    We attach a typed trace and a periodic probe to a 4-site system, run a
    short partitioned workload through System.exec, then narrate the run
-   from the recorded events and write both export formats next to the
-   working directory:
+   from the recorded events and write both export formats into the
+   (gitignored) artifacts/ directory:
 
-     trace_tour.jsonl        one JSON object per event, oldest first
-     trace_tour_chrome.json  Chrome trace_event file — open it at
-                             https://ui.perfetto.dev to see one track per
-                             site, transactions as slices, and virtual
-                             messages as flow arrows between sites. *)
+     artifacts/trace_tour.jsonl        a meta header line, then one JSON
+                                       object per event, oldest first —
+                                       feed it to `dvp-cli analyze`
+     artifacts/trace_tour_chrome.json  Chrome trace_event file — open it at
+                                       https://ui.perfetto.dev to see one
+                                       track per site, transactions as
+                                       slices, and virtual messages as flow
+                                       arrows between sites. *)
 
 module Trace = Dvp_sim.Trace
 
@@ -93,13 +96,17 @@ let () =
     (Dvp_sim.Probe.series probe);
   Printf.printf "conserved at the end: %b\n" (Dvp.System.conserved_all sys);
 
-  (* Both export formats. *)
+  (* Both export formats, into the gitignored artifacts/ directory. *)
+  let dir = "artifacts" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let write file data =
-    let oc = open_out file in
+    let path = Filename.concat dir file in
+    let oc = open_out path in
     output_string oc data;
     close_out oc;
-    Printf.printf "wrote %s\n" file
+    Printf.printf "wrote %s\n" path
   in
   write "trace_tour.jsonl" (Trace.to_jsonl trace);
   write "trace_tour_chrome.json" (Trace.to_chrome trace);
-  print_endline "open trace_tour_chrome.json at https://ui.perfetto.dev"
+  print_endline "analyze it:  dune exec bin/dvp_cli.exe -- analyze artifacts/trace_tour.jsonl";
+  print_endline "or open artifacts/trace_tour_chrome.json at https://ui.perfetto.dev"

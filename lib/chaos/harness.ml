@@ -18,6 +18,7 @@ type seed_result = {
   recoveries : int;
   wal_repairs : int;
   repaired_records : int;
+  crashdump : string option;
 }
 
 let failed r = r.violations <> []
@@ -27,18 +28,25 @@ let failed r = r.violations <> []
    engine is deterministic — which is what makes shrinking and seed-replay
    sound.  The oracle fires just after every scheduled recovery (the moment a
    replay bug would first be visible) and once more after the drain. *)
-let run_seed ~(profile : Profile.t) ~seed ?schedule () =
+let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps () =
   let spec = Profile.spec profile ~seed in
-  let sys = Setup.dvp_system spec in
+  (* With crashdumps enabled the run carries a trace ring and a telemetry
+     registry, so a failing seed leaves behind the event window and counters
+     that led up to the violation. *)
+  let trace =
+    match crashdumps with Some _ -> Some (Dvp_sim.Trace.create ()) | None -> None
+  in
+  let sys = Setup.dvp_system ?trace spec in
   let driver = Driver.of_dvp sys in
   let plan =
     match schedule with Some p -> p | None -> Gen.schedule ~seed ~profile
   in
+  let extra () = match extra_checks with Some f -> f sys | None -> [] in
   let violations = ref [] in
   let check_at time =
     List.iter
       (fun viol -> violations := (time, viol) :: !violations)
-      (Oracle.check_system sys)
+      (Oracle.check_system sys @ extra ())
   in
   List.iter
     (fun e ->
@@ -50,8 +58,20 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule () =
         ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at))
       | _ -> ())
     plan;
-  let o = Runner.run driver spec ~faults:plan ~drain:profile.Profile.drain () in
-  let final = Oracle.check_system sys @ Oracle.check_outcome o in
+  let telemetry, flight =
+    match (crashdumps, trace) with
+    | Some dir, Some tr ->
+      let tel = Dvp_obs.Telemetry.of_system sys in
+      let fl = Dvp_obs.Flight.create ~dir tr in
+      Dvp_obs.Flight.set_telemetry fl (fun () -> Dvp_obs.Telemetry.to_json tel);
+      (Some tel, Some fl)
+    | _ -> (None, None)
+  in
+  let o =
+    Runner.run driver spec ~faults:plan ~drain:profile.Profile.drain ?telemetry
+      ?flight ()
+  in
+  let final = Oracle.check_system sys @ Oracle.check_outcome o @ extra () in
   List.iter (fun viol -> violations := (System.now sys, viol) :: !violations) final;
   let sum_sites f =
     let acc = ref 0 in
@@ -60,15 +80,40 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule () =
     done;
     !acc
   in
+  let ordered_violations = List.rev !violations in
+  let crashdump =
+    (* The runner may already have dumped for an end-of-run conservation
+       failure; otherwise any oracle violation triggers one here. *)
+    match o.Runner.crashdump with
+    | Some _ as d -> d
+    | None -> (
+      match (flight, ordered_violations) with
+      | Some fl, _ :: _ ->
+        let verdict =
+          Json.List
+            (List.map
+               (fun (at, viol) ->
+                 match Oracle.violation_to_json viol with
+                 | Json.Obj fields -> Json.Obj (("at", Json.Float at) :: fields)
+                 | other -> other)
+               ordered_violations)
+        in
+        Some
+          (Dvp_obs.Flight.dump fl
+             ~label:(Printf.sprintf "chaos-seed%d" seed)
+             ~verdict)
+      | _ -> None)
+  in
   {
     seed;
     schedule = plan;
-    violations = List.rev !violations;
+    violations = ordered_violations;
     committed = o.Runner.committed;
     submitted = o.Runner.submitted;
     recoveries = Metrics.recovery_count o.Runner.metrics;
     wal_repairs = sum_sites Wal.repairs;
     repaired_records = sum_sites Wal.repaired_records;
+    crashdump;
   }
 
 type failure = {
@@ -88,24 +133,26 @@ type report = {
   total_repaired_records : int;
 }
 
-let shrink_failure ~profile (r : seed_result) =
+let shrink_failure ~profile ?extra_checks (r : seed_result) =
+  (* Shrink re-runs never write crashdumps — only the original failing run
+     leaves an artifact. *)
   let fails plan =
-    failed (run_seed ~profile ~seed:r.seed ~schedule:plan ())
+    failed (run_seed ~profile ~seed:r.seed ~schedule:plan ?extra_checks ())
   in
   { result = r; shrunk = Shrink.minimize ~fails r.schedule }
 
-let run ?(first_seed = 1) ~seeds ~profile () =
+let run ?(first_seed = 1) ~seeds ~profile ?extra_checks ?crashdumps () =
   let failures = ref [] in
   let committed = ref 0 and submitted = ref 0 in
   let recoveries = ref 0 and repairs = ref 0 and repaired = ref 0 in
   for seed = first_seed to first_seed + seeds - 1 do
-    let r = run_seed ~profile ~seed () in
+    let r = run_seed ~profile ~seed ?extra_checks ?crashdumps () in
     committed := !committed + r.committed;
     submitted := !submitted + r.submitted;
     recoveries := !recoveries + r.recoveries;
     repairs := !repairs + r.wal_repairs;
     repaired := !repaired + r.repaired_records;
-    if failed r then failures := shrink_failure ~profile r :: !failures
+    if failed r then failures := shrink_failure ~profile ?extra_checks r :: !failures
   done;
   {
     profile;
@@ -133,6 +180,8 @@ let failure_to_json { result; shrunk } =
              result.violations) );
       ("schedule_events", Json.Int (List.length result.schedule));
       ("shrunk_schedule", Faultplan.to_json shrunk);
+      ( "crashdump",
+        match result.crashdump with Some p -> Json.String p | None -> Json.Null );
     ]
 
 let report_to_json r =
@@ -159,6 +208,9 @@ let pp_failure ~profile_label ppf { result; shrunk } =
     result.violations;
   Format.fprintf ppf "  reproduce: chaos --profile %s --seed %d --seeds 1@,"
     profile_label result.seed;
+  (match result.crashdump with
+  | Some path -> Format.fprintf ppf "  crashdump: %s@," path
+  | None -> ());
   Format.fprintf ppf "  minimal schedule (%d of %d events):@,    @[<v>%a@]@]"
     (List.length shrunk)
     (List.length result.schedule)

@@ -16,14 +16,30 @@ type seed_result = {
   recoveries : int;  (** site recoveries performed *)
   wal_repairs : int;  (** recoveries that had to truncate a corrupt tail *)
   repaired_records : int;  (** log records truncated across those repairs *)
+  crashdump : string option;
+      (** where the flight recorder dumped this seed's trace window and
+          telemetry, when the run failed and crashdumps were enabled *)
 }
 
 val failed : seed_result -> bool
 
 val run_seed :
-  profile:Profile.t -> seed:int -> ?schedule:Dvp_workload.Faultplan.t -> unit -> seed_result
+  profile:Profile.t ->
+  seed:int ->
+  ?schedule:Dvp_workload.Faultplan.t ->
+  ?extra_checks:(Dvp.System.t -> Oracle.violation list) ->
+  ?crashdumps:string ->
+  unit ->
+  seed_result
 (** Run one seed.  [schedule] overrides the generated plan (used by the
-    shrinker and by tests); omit it to get [Gen.schedule ~seed ~profile]. *)
+    shrinker and by tests); omit it to get [Gen.schedule ~seed ~profile].
+
+    [extra_checks] runs alongside {!Oracle.check_system} at every oracle
+    point — tests use it to inject a known-failing check and assert on the
+    crashdump machinery.  [crashdumps] names a directory; when given, the
+    run carries a trace ring and telemetry registry, and a failing seed
+    dumps both through {!Dvp_obs.Flight} (the path lands in
+    [seed_result.crashdump] and in the failure report). *)
 
 type failure = {
   result : seed_result;
@@ -42,9 +58,19 @@ type report = {
   total_repaired_records : int;
 }
 
-val run : ?first_seed:int -> seeds:int -> profile:Profile.t -> unit -> report
+val run :
+  ?first_seed:int ->
+  seeds:int ->
+  profile:Profile.t ->
+  ?extra_checks:(Dvp.System.t -> Oracle.violation list) ->
+  ?crashdumps:string ->
+  unit ->
+  report
 (** Run seeds [first_seed .. first_seed + seeds - 1] (default first seed 1),
-    shrinking every failing schedule with {!Shrink.minimize}. *)
+    shrinking every failing schedule with {!Shrink.minimize}.  Shrink
+    re-runs inherit [extra_checks] (so injected failures still reproduce)
+    but never write crashdumps — only the original failing run leaves an
+    artifact. *)
 
 val report_to_json : report -> Dvp_util.Json.t
 

@@ -63,6 +63,7 @@ type t = {
   mutable drops_partition : int;
   mutable drops_down : int;
   mutable drops_inflight : int;
+  mutable trace_dropped : int;
 }
 
 let create () =
@@ -94,6 +95,7 @@ let create () =
     drops_partition = 0;
     drops_down = 0;
     drops_inflight = 0;
+    trace_dropped = 0;
   }
 
 let txn_committed t ~latency =
@@ -146,6 +148,10 @@ let add_drops t ~loss ~partition ~down ~inflight =
   t.drops_partition <- t.drops_partition + partition;
   t.drops_down <- t.drops_down + down;
   t.drops_inflight <- t.drops_inflight + inflight
+
+let set_trace_dropped t n = t.trace_dropped <- n
+
+let trace_dropped t = t.trace_dropped
 
 let drops_loss t = t.drops_loss
 
@@ -251,6 +257,9 @@ let merge a b =
   t.drops_partition <- a.drops_partition + b.drops_partition;
   t.drops_down <- a.drops_down + b.drops_down;
   t.drops_inflight <- a.drops_inflight + b.drops_inflight;
+  (* Sites sharing one trace would double-count its evictions; max keeps the
+     invariant "evictions of the busiest trace seen". *)
+  t.trace_dropped <- max a.trace_dropped b.trace_dropped;
   t
 
 let to_json t =
@@ -309,6 +318,7 @@ let to_json t =
           ] );
       ("messages_per_commit", num (messages_per_commit t));
       ("forces_per_commit", num (forces_per_commit t));
+      ("trace_dropped", Json.Int t.trace_dropped);
     ]
 
 let summary_rows t =

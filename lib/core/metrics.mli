@@ -68,6 +68,12 @@ val add_drops : t -> loss:int -> partition:int -> down:int -> inflight:int -> un
     [Network.stats]): per-link loss, send-time partition refusals, down
     senders, and in-flight discards at delivery time. *)
 
+val set_trace_dropped : t -> int -> unit
+(** Record how many trace-ring events were evicted ([Trace.drop_count]) so
+    offline consumers of the JSON can tell analyses over a clipped trace
+    from complete ones.  [System.metrics] sets this automatically when the
+    system carries a trace. *)
+
 (** {2 Reading} *)
 
 val committed : t -> int
@@ -131,6 +137,8 @@ val drops_down : t -> int
 val drops_inflight : t -> int
 
 val drops_total : t -> int
+
+val trace_dropped : t -> int
 
 val messages_per_commit : t -> float
 

@@ -10,6 +10,7 @@ type t = {
   cfg : Config.t;
   expected : (Ids.item, int) Hashtbl.t;
   item_list : Ids.item list ref;
+  trace : Dvp_sim.Trace.t option;
 }
 
 let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
@@ -41,7 +42,16 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
       Some b
     | Config.Conc1 -> None
   in
-  { engine; net; bcast; sites; cfg = config; expected = Hashtbl.create 8; item_list = ref [] }
+  {
+    engine;
+    net;
+    bcast;
+    sites;
+    cfg = config;
+    expected = Hashtbl.create 8;
+    item_list = ref [];
+    trace;
+  }
 
 let engine t = t.engine
 
@@ -58,6 +68,8 @@ let site t i = t.sites.(i)
 let config t = t.cfg
 
 let network t = t.net
+
+let trace t = t.trace
 
 let items t = List.rev !(t.item_list)
 
@@ -248,6 +260,9 @@ let metrics t =
   Array.iter
     (fun s -> Metrics.add_log_forces m (Dvp_storage.Wal.forces (Site.wal s)))
     t.sites;
+  (match t.trace with
+  | Some tr -> Metrics.set_trace_dropped m (Dvp_sim.Trace.drop_count tr)
+  | None -> ());
   m
 
 (* --------------------------------------------------------------- probes *)

@@ -41,6 +41,11 @@ val config : t -> Config.t
 
 val network : t -> Proto.t Dvp_net.Network.t
 
+val trace : t -> Dvp_sim.Trace.t option
+(** The trace handed to {!create}, if any — so downstream tooling (flight
+    recorders, span analyzers) can reach the same event stream the sites
+    emit into. *)
+
 (** {2 Data placement} *)
 
 val add_item :

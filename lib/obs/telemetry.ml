@@ -1,0 +1,212 @@
+module Probe = Dvp_sim.Probe
+module Json = Dvp_util.Json
+module Table = Dvp_util.Table
+
+type kind = Counter | Gauge
+
+type instrument = { name : string; kind : kind; read : unit -> float }
+
+type t = {
+  mutable instruments : instrument list;  (* newest first until attach *)
+  mutable attached : instrument array;
+  mutable baseline : float array;
+  mutable probe : float array Probe.t option;
+}
+
+let create () =
+  { instruments = []; attached = [||]; baseline = [||]; probe = None }
+
+let register t kind name read =
+  if t.probe <> None then invalid_arg "Telemetry: cannot register after attach";
+  t.instruments <- { name; kind; read } :: t.instruments
+
+let counter t name read = register t Counter name read
+
+let gauge t name read = register t Gauge name read
+
+let attach t engine ~period =
+  if t.probe <> None then invalid_arg "Telemetry.attach: already attached";
+  let ins = Array.of_list (List.rev t.instruments) in
+  t.attached <- ins;
+  (* Counters may already be non-zero at attach time; windows are deltas
+     against this baseline, not against zero. *)
+  t.baseline <- Array.map (fun i -> i.read ()) ins;
+  t.probe <-
+    Some
+      (Probe.start engine ~period ~sample:(fun _ ->
+           Array.map (fun i -> i.read ()) ins))
+
+let attached t = t.probe <> None
+
+let stop t =
+  match t.probe with
+  | None -> ()
+  | Some p ->
+    (* One last sample so the final partial window is not lost. *)
+    Probe.sample_now p;
+    Probe.stop p
+
+(* ------------------------------------------------------------- windows *)
+
+type series = {
+  s_name : string;
+  s_kind : kind;
+  points : (float * float) list;
+      (* counters: per-window increments; gauges: sampled values *)
+}
+
+let series t =
+  match t.probe with
+  | None -> []
+  | Some p ->
+    let raw = Probe.series p in
+    Array.to_list
+      (Array.mapi
+         (fun idx ins ->
+           let points =
+             match ins.kind with
+             | Gauge -> List.map (fun (time, row) -> (time, row.(idx))) raw
+             | Counter ->
+               let prev = ref t.baseline.(idx) in
+               List.map
+                 (fun (time, row) ->
+                   let d = row.(idx) -. !prev in
+                   prev := row.(idx);
+                   (time, d))
+                 raw
+           in
+           { s_name = ins.name; s_kind = ins.kind; points })
+         t.attached)
+
+let period t = match t.probe with None -> nan | Some p -> Probe.period p
+
+(* ---------------------------------------------------------------- JSON *)
+
+let num f = if Float.is_finite f then Json.Float f else Json.Null
+
+let to_json t =
+  Json.Obj
+    [
+      ("period", num (period t));
+      ( "series",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("name", Json.String s.s_name);
+                   ( "kind",
+                     Json.String
+                       (match s.s_kind with Counter -> "counter" | Gauge -> "gauge") );
+                   ( "points",
+                     Json.List
+                       (List.map
+                          (fun (time, v) ->
+                            Json.List [ num time; num v ])
+                          s.points) );
+                 ])
+             (series t)) );
+    ]
+
+let snapshot t =
+  (* Instantaneous readings, independent of the probe — usable even before
+     attach (reads the registration list directly). *)
+  let ins =
+    if t.attached <> [||] then Array.to_list t.attached
+    else List.rev t.instruments
+  in
+  Json.Obj (List.map (fun i -> (i.name, num (i.read ()))) ins)
+
+(* -------------------------------------------------------------- render *)
+
+let spark_chars = " .:-=+*#@"
+
+let sparkline values =
+  let hi = List.fold_left (fun acc v -> Float.max acc v) 0.0 values in
+  let n = String.length spark_chars in
+  String.concat ""
+    (List.map
+       (fun v ->
+         let c =
+           if not (Float.is_finite v) || v <= 0.0 || hi <= 0.0 then spark_chars.[0]
+           else begin
+             let scaled = 1 + int_of_float (v /. hi *. float_of_int (n - 2)) in
+             spark_chars.[min (n - 1) scaled]
+           end
+         in
+         String.make 1 c)
+       values)
+
+let render t =
+  let tab =
+    Table.create ~title:"telemetry"
+      [
+        ("series", Table.Left);
+        ("kind", Table.Left);
+        ("last", Table.Right);
+        ("total", Table.Right);
+        ("peak", Table.Right);
+        ("trend", Table.Left);
+      ]
+  in
+  List.iter
+    (fun s ->
+      let values = List.map snd s.points in
+      let last = match List.rev values with v :: _ -> v | [] -> nan in
+      let total = List.fold_left ( +. ) 0.0 values in
+      let peak = List.fold_left Float.max neg_infinity values in
+      Table.add_row tab
+        [
+          s.s_name;
+          (match s.s_kind with Counter -> "counter" | Gauge -> "gauge");
+          Table.ffloat ~dec:1 last;
+          (match s.s_kind with
+          | Counter -> Table.ffloat ~dec:0 total
+          | Gauge -> "-");
+          (if values = [] then "-" else Table.ffloat ~dec:1 peak);
+          sparkline values;
+        ])
+    (series t);
+  Table.render tab
+
+(* -------------------------------------------------- standard registry *)
+
+let of_system ?(aborts_by_reason = true) sys =
+  let t = create () in
+  let n = Dvp.System.n_sites sys in
+  for i = 0 to n - 1 do
+    let site = Dvp.System.site sys i in
+    counter t
+      (Printf.sprintf "site%d.commits" i)
+      (fun () -> float_of_int (Dvp.Metrics.committed (Dvp.Site.metrics site)));
+    counter t
+      (Printf.sprintf "site%d.aborts" i)
+      (fun () -> float_of_int (Dvp.Metrics.aborted (Dvp.Site.metrics site)))
+  done;
+  if aborts_by_reason then
+    List.iter
+      (fun reason ->
+        counter t
+          ("abort." ^ Dvp.Metrics.abort_reason_label reason)
+          (fun () ->
+            let total = ref 0 in
+            for i = 0 to n - 1 do
+              total :=
+                !total
+                + Dvp.Metrics.aborted_by (Dvp.Site.metrics (Dvp.System.site sys i)) reason
+            done;
+            float_of_int !total))
+      Dvp.Metrics.all_abort_reasons;
+  gauge t "vm.in_flight_value" (fun () ->
+      List.fold_left
+        (fun acc item -> acc +. float_of_int (Dvp.System.in_flight sys ~item))
+        0.0 (Dvp.System.items sys));
+  gauge t "wal.length" (fun () -> float_of_int (Dvp.System.stable_log_length sys));
+  counter t "vm.retransmits" (fun () ->
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        total :=
+          !total + Dvp.Metrics.vm_retransmissions (Dvp.Site.metrics (Dvp.System.site sys i))
+      done;
+      float_of_int !total);
+  t

@@ -1,0 +1,63 @@
+(** Named-instrument telemetry sampled into windowed time-series.
+
+    A registry holds {e counters} (monotonic cumulative sources, exported as
+    per-window increments — i.e. rates) and {e gauges} (instantaneous
+    values, exported as sampled).  {!attach} starts a {!Dvp_sim.Probe} that
+    reads every instrument on a fixed simulated-time period; {!stop} takes a
+    final out-of-cadence sample (via [Probe.sample_now]) so the last partial
+    window is preserved, then halts the probe.
+
+    {!of_system} wires the standard instruments for a DvP installation:
+    per-site commit/abort counters, global abort counters by reason, the
+    total in-flight Vm value (the paper's N_M), the stable WAL length, and
+    the Vm retransmit counter. *)
+
+type t
+
+type kind = Counter | Gauge
+
+val create : unit -> t
+
+val counter : t -> string -> (unit -> float) -> unit
+(** Register a monotonic cumulative source.  Raises [Invalid_argument] after
+    {!attach}. *)
+
+val gauge : t -> string -> (unit -> float) -> unit
+
+val attach : t -> Dvp_sim.Engine.t -> period:float -> unit
+(** Start periodic sampling.  Counter baselines are read here, so windows
+    report increments since attach, not since zero. *)
+
+val attached : t -> bool
+
+val stop : t -> unit
+(** Final sample + halt.  No-op when never attached. *)
+
+type series = {
+  s_name : string;
+  s_kind : kind;
+  points : (float * float) list;
+      (** counters: per-window increments; gauges: sampled values *)
+}
+
+val series : t -> series list
+(** One series per instrument, registration order; empty before {!attach}. *)
+
+val period : t -> float
+(** Sampling period; [nan] before {!attach}. *)
+
+val to_json : t -> Dvp_util.Json.t
+(** [{"period", "series": [{"name", "kind", "points": [[t, v], ...]}]}]. *)
+
+val snapshot : t -> Dvp_util.Json.t
+(** Instantaneous reading of every instrument (one flat object), usable even
+    before {!attach} — this is what the flight recorder embeds in a
+    crashdump. *)
+
+val render : t -> string
+(** ASCII table: one row per series with last/total/peak values and a
+    sparkline of its windows. *)
+
+val of_system : ?aborts_by_reason:bool -> Dvp.System.t -> t
+(** The standard DvP registry described above ([aborts_by_reason] defaults
+    to true).  Call {!attach} with the system's engine to start sampling. *)

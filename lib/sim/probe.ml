@@ -21,6 +21,11 @@ let start engine ~period ~sample =
   ignore (Engine.schedule engine ~delay:period (tick t));
   t
 
+let sample_now t =
+  let now = Engine.now t.engine in
+  t.series <- (now, t.sample now) :: t.series;
+  t.n <- t.n + 1
+
 let stop t = t.running <- false
 
 let period t = t.period

@@ -17,6 +17,11 @@ val start : Engine.t -> period:float -> sample:(float -> 'a) -> 'a t
     [period] until {!stop}.  The sampler receives the current simulated
     time. *)
 
+val sample_now : 'a t -> unit
+(** Take one sample immediately, at the current simulated time, outside the
+    periodic cadence.  Used at end of run so the last partial window is not
+    silently lost: call it just before {!stop}. *)
+
 val stop : 'a t -> unit
 
 val period : 'a t -> float

@@ -363,13 +363,41 @@ let event_of_json j =
   in
   Option.map (fun ev -> (time, ev)) ev
 
+type meta = { events : int; dropped : int; capacity : int }
+
+let meta_to_json m =
+  Json.Obj
+    [
+      ("type", Json.String "meta");
+      ("events", Json.Int m.events);
+      ("dropped", Json.Int m.dropped);
+      ("capacity", Json.Int m.capacity);
+    ]
+
+let meta_of_json j =
+  match Option.bind (Json.member "type" j) Json.to_str with
+  | Some "meta" ->
+    let int k = Option.bind (Json.member k j) Json.to_int in
+    (match (int "events", int "dropped", int "capacity") with
+    | Some events, Some dropped, Some capacity -> Some { events; dropped; capacity }
+    | _ -> None)
+  | _ -> None
+
 let to_jsonl t =
   let buf = Buffer.create 4096 in
+  (* A header line first, so offline consumers can tell a clipped trace from
+     a complete one without the live [drop_count] accessor.  [of_jsonl] skips
+     it (no "time" field), so old dumps and new ones parse alike. *)
+  let evs = events t in
+  Buffer.add_string buf
+    (Json.to_string
+       (meta_to_json { events = List.length evs; dropped = t.dropped; capacity = t.capacity }));
+  Buffer.add_char buf '\n';
   List.iter
     (fun (time, ev) ->
       Buffer.add_string buf (Json.to_string (event_to_json ~time ev));
       Buffer.add_char buf '\n')
-    (events t);
+    evs;
   Buffer.contents buf
 
 let of_jsonl s =
@@ -380,6 +408,15 @@ let of_jsonl s =
            match Json.parse line with
            | Ok j -> event_of_json j
            | Error _ -> None)
+
+let meta_of_jsonl s =
+  let rec first_line = function
+    | [] -> None
+    | line :: rest ->
+      if String.trim line = "" then first_line rest
+      else (match Json.parse line with Ok j -> meta_of_json j | Error _ -> None)
+  in
+  first_line (String.split_on_char '\n' s)
 
 (* ------------------------------------------------------- Chrome export *)
 

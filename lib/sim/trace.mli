@@ -116,11 +116,22 @@ val event_of_json : Dvp_util.Json.t -> (float * event) option
 (** Inverse of {!event_to_json}; [None] when the object is not a trace
     event. *)
 
+type meta = { events : int; dropped : int; capacity : int }
+(** The header line of a JSONL dump: how many events follow, how many were
+    evicted before export ({!drop_count} at export time), and the ring
+    capacity.  [dropped > 0] marks a clipped trace. *)
+
 val to_jsonl : t -> string
-(** One {!event_to_json} object per line, oldest first. *)
+(** A [{"type":"meta",...}] header line, then one {!event_to_json} object per
+    line, oldest first. *)
 
 val of_jsonl : string -> (float * event) list
-(** Parse a {!to_jsonl} dump back; malformed lines are skipped. *)
+(** Parse a {!to_jsonl} dump back; the meta header and malformed lines are
+    skipped. *)
+
+val meta_of_jsonl : string -> meta option
+(** The header of a {!to_jsonl} dump; [None] for dumps written before the
+    header existed (treat those as of unknown completeness). *)
 
 val to_chrome : t -> string
 (** Chrome [trace_event] JSON (the [{"traceEvents": [...]}] envelope): one

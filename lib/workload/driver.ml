@@ -18,6 +18,10 @@ type t = {
   inject_storage_fault : Dvp.Ids.site -> Dvp_storage.Wal.fault -> unit;
   finalize : unit -> unit;
   metrics : unit -> Dvp.Metrics.t;
+  conserved : unit -> bool option;
+      (* end-of-run value-conservation verdict; None when the system has no
+         such invariant (baselines) *)
+  trace : unit -> Dvp_sim.Trace.t option;
 }
 
 let of_dvp ?(name = "dvp") sys =
@@ -42,6 +46,8 @@ let of_dvp ?(name = "dvp") sys =
     inject_storage_fault = (fun s f -> Dvp.System.inject_wal_fault sys s f);
     finalize = (fun () -> ());
     metrics = (fun () -> Dvp.System.metrics sys);
+    conserved = (fun () -> Some (Dvp.System.conserved_all sys));
+    trace = (fun () -> Dvp.System.trace sys);
   }
 
 let of_trad ?(name = "trad") sys =
@@ -69,6 +75,8 @@ let of_trad ?(name = "trad") sys =
         ());
     finalize = (fun () -> T.flush_blocked sys);
     metrics = (fun () -> T.metrics sys);
+    conserved = (fun () -> None);
+    trace = (fun () -> None);
   }
 
 let of_hybrid ?(name = "hybrid") sys hybrid =

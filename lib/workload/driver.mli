@@ -29,6 +29,12 @@ type t = {
   finalize : unit -> unit;
       (** end-of-run accounting hook (e.g. close still-blocked episodes) *)
   metrics : unit -> Dvp.Metrics.t;
+  conserved : unit -> bool option;
+      (** the value-conservation invariant N = Σᵢ Nᵢ + N_M, evaluated now;
+          [None] for systems that have no such invariant (the baselines) *)
+  trace : unit -> Dvp_sim.Trace.t option;
+      (** the structured trace the system writes into, if it was created
+          with one — the flight recorder wraps this same ring *)
 }
 
 val of_dvp : ?name:string -> Dvp.System.t -> t

@@ -13,7 +13,45 @@ type outcome = {
   per_site_committed : int array;
   per_site_submitted : int array;
   timeline : (float * float) list;
+  conserved : bool option;
+  crashdump : string option;
 }
+
+(* Attach the telemetry registry to the run's engine unless the caller
+   already did; default cadence is the timeline bucket so both views line
+   up. *)
+let start_observers (d : Driver.t) ?telemetry ~timeline_bucket () =
+  match telemetry with
+  | Some tel when not (Dvp_obs.Telemetry.attached tel) ->
+    Dvp_obs.Telemetry.attach tel d.Driver.engine ~period:timeline_bucket
+  | _ -> ()
+
+(* End-of-run epilogue shared by the open- and closed-loop runners: stop the
+   probes (with one final sample), evaluate the conservation invariant, and
+   — when it fails and a flight recorder is wired — dump a crashdump whose
+   path the outcome (and hence every report) carries. *)
+let finish_observers (d : Driver.t) ?telemetry ?flight () =
+  (match telemetry with Some tel -> Dvp_obs.Telemetry.stop tel | None -> ());
+  let conserved = d.Driver.conserved () in
+  let crashdump =
+    match (conserved, flight) with
+    | Some false, Some fl ->
+      let module Json = Dvp_util.Json in
+      let verdict =
+        Json.Obj
+          [
+            ("check", Json.String "conservation");
+            ( "detail",
+              Json.String
+                (Printf.sprintf
+                   "%s: end-of-run conservation check failed (N <> sum_i N_i + N_M)"
+                   d.Driver.name) );
+          ]
+      in
+      Some (Dvp_obs.Flight.dump fl ~label:(d.Driver.name ^ "-conservation") ~verdict)
+    | _ -> None
+  in
+  (conserved, crashdump)
 
 (* One generated transaction: where it starts and what it does. *)
 let generate_txn rng (spec : Spec.t) =
@@ -42,7 +80,7 @@ let generate_txn rng (spec : Spec.t) =
   end
 
 let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bucket = 1.0)
-    ?(drain = 5.0) () =
+    ?(drain = 5.0) ?telemetry ?flight () =
   let rng = Rng.create spec.Spec.seed in
   let submitted = ref 0 and committed = ref 0 and aborted = ref 0 in
   let per_site_committed = Array.make d.Driver.n_sites 0 in
@@ -89,8 +127,10 @@ let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bu
        ~at:(Rng.exponential rng (1.0 /. spec.Spec.arrival_rate))
        arrival_loop);
   Faultplan.schedule d faults;
+  start_observers d ?telemetry ~timeline_bucket ();
   Engine.run_until engine (spec.Spec.duration +. drain);
   d.Driver.finalize ();
+  let conserved, crashdump = finish_observers d ?telemetry ?flight () in
   let timeline =
     List.init buckets (fun i ->
         let t_end = float_of_int (i + 1) *. timeline_bucket in
@@ -111,10 +151,13 @@ let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bu
     per_site_committed;
     per_site_submitted;
     timeline;
+    conserved;
+    crashdump;
   }
 
 let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
-    ?(faults = Faultplan.empty) ?(timeline_bucket = 1.0) ?(drain = 5.0) () =
+    ?(faults = Faultplan.empty) ?(timeline_bucket = 1.0) ?(drain = 5.0) ?telemetry ?flight
+    () =
   (* A zero think time would never advance simulated time when commits are
      synchronous (local DvP commits are): clamp to a small positive gap. *)
   let think = Float.max think 1e-4 in
@@ -164,8 +207,10 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
     ignore (Engine.schedule engine ~delay:(Rng.float rng 0.01) client_loop)
   done;
   Faultplan.schedule d faults;
+  start_observers d ?telemetry ~timeline_bucket ();
   Engine.run_until engine (spec.Spec.duration +. drain);
   d.Driver.finalize ();
+  let conserved, crashdump = finish_observers d ?telemetry ?flight () in
   let timeline =
     List.init buckets (fun i ->
         let t_end = float_of_int (i + 1) *. timeline_bucket in
@@ -186,6 +231,8 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
     per_site_committed;
     per_site_submitted;
     timeline;
+    conserved;
+    crashdump;
   }
 
 let outcome_to_json o =
@@ -203,6 +250,10 @@ let outcome_to_json o =
       ("availability", num o.availability);
       ("per_site_committed", ints o.per_site_committed);
       ("per_site_submitted", ints o.per_site_submitted);
+      ( "conserved",
+        match o.conserved with Some b -> Json.Bool b | None -> Json.Null );
+      ( "crashdump",
+        match o.crashdump with Some p -> Json.String p | None -> Json.Null );
       ( "timeline",
         Json.List
           (List.map
@@ -217,4 +268,9 @@ let pp_outcome ppf o =
     "%s: %d submitted, %d committed (%.1f%%), %.1f txn/s, p50=%.1f ms p99=%.1f ms"
     o.label o.submitted o.committed (100.0 *. o.availability) o.throughput
     (1000.0 *. Dvp.Metrics.latency_p50 o.metrics)
-    (1000.0 *. Dvp.Metrics.latency_p99 o.metrics)
+    (1000.0 *. Dvp.Metrics.latency_p99 o.metrics);
+  match (o.conserved, o.crashdump) with
+  | Some false, Some path ->
+    Format.fprintf ppf "@,CONSERVATION VIOLATED — crashdump written to %s" path
+  | Some false, None -> Format.fprintf ppf "@,CONSERVATION VIOLATED"
+  | _ -> ()

@@ -15,6 +15,12 @@ type outcome = {
   timeline : (float * float) list;
       (** (bucket end time, commit ratio within the bucket) — the
           availability-over-time series of experiments E1/E3 *)
+  conserved : bool option;
+      (** end-of-run conservation verdict; [None] for systems without the
+          invariant (baselines) *)
+  crashdump : string option;
+      (** set when conservation failed and a flight recorder was wired: the
+          crashdump directory holding the trace window that led up to it *)
 }
 
 val run :
@@ -23,11 +29,20 @@ val run :
   ?faults:Faultplan.t ->
   ?timeline_bucket:float ->
   ?drain:float ->
+  ?telemetry:Dvp_obs.Telemetry.t ->
+  ?flight:Dvp_obs.Flight.t ->
   unit ->
   outcome
 (** Generate Poisson arrivals per the spec on the driver's engine, install
     the fault plan, run until [spec.duration +. drain] (default drain 5 s,
-    letting in-flight work settle), then finalize and summarise. *)
+    letting in-flight work settle), then finalize and summarise.
+
+    When [telemetry] is given it is attached to the engine (period =
+    [timeline_bucket]) unless the caller attached it already, and at end of
+    run it is stopped {e after one final out-of-cadence sample}, so the last
+    partial window appears in the series.  When [flight] is given and the
+    driver's end-of-run conservation check fails, a crashdump is written and
+    its path lands in [outcome.crashdump] (and in {!pp_outcome}'s output). *)
 
 val run_closed :
   Driver.t ->
@@ -37,6 +52,8 @@ val run_closed :
   ?faults:Faultplan.t ->
   ?timeline_bucket:float ->
   ?drain:float ->
+  ?telemetry:Dvp_obs.Telemetry.t ->
+  ?flight:Dvp_obs.Flight.t ->
   unit ->
   outcome
 (** Closed-loop variant: [clients] concurrent clients, each submitting its
@@ -50,8 +67,9 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val outcome_to_json : outcome -> Dvp_util.Json.t
 (** The whole outcome as one JSON object: the scalar totals, per-site
-    arrays, the availability timeline as [{t, commit_ratio}] pairs, and the
-    full {!Dvp.Metrics.to_json} under ["metrics"] (so throughput,
+    arrays, the availability timeline as [{t, commit_ratio}] pairs, the
+    conservation verdict and crashdump path (both [null] when absent), and
+    the full {!Dvp.Metrics.to_json} under ["metrics"] (so throughput,
     availability, latency percentiles, and the per-commit message/force
     overheads all appear machine-readably).  Non-finite floats serialize as
     [null]. *)

@@ -29,6 +29,32 @@ CHAOS_SEEDS="${CHAOS_SEEDS:-25}"
 echo "== dvp-cli chaos --seeds $CHAOS_SEEDS =="
 dune exec bin/dvp_cli.exe -- chaos --seeds "$CHAOS_SEEDS"
 
+# Analyze smoke: the trace tour writes a JSONL trace into artifacts/, and
+# the analyzer must reconstruct non-empty spans from it.
+echo "== dvp-cli analyze smoke run =="
+dune exec examples/trace_tour.exe >/dev/null
+dune exec bin/dvp_cli.exe -- analyze artifacts/trace_tour.jsonl >/dev/null
+analyze_out=$(mktemp)
+dune exec bin/dvp_cli.exe -- analyze artifacts/trace_tour.jsonl --json >"$analyze_out"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$analyze_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["events"] > 0, "analyzer saw no events"
+assert doc["txn_spans"], "no transaction spans reconstructed"
+assert doc["vm_lifecycles"], "no vm lifecycles reconstructed"
+print(f"analyze ok: {len(doc['txn_spans'])} spans, {len(doc['vm_lifecycles'])} vm lifecycles")
+EOF
+else
+  grep -q '"txn_spans"' "$analyze_out" || {
+    echo "analyze --json output lacks txn_spans" >&2
+    exit 1
+  }
+  echo "analyze ok (grep)"
+fi
+rm -f "$analyze_out"
+
 echo "== bench E1 --json smoke run =="
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT

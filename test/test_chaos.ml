@@ -210,6 +210,7 @@ let test_failure_report_shape () =
       recoveries = 1;
       wal_repairs = 1;
       repaired_records = 1;
+      crashdump = None;
     }
   in
   let report =
