@@ -14,6 +14,7 @@
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let quick = ref false in
   let rec parse_flags acc = function
     | [] -> List.rev acc
     | "--json" :: rest ->
@@ -22,9 +23,13 @@ let () =
     | "--out" :: dir :: rest ->
       Report.enable ~dir ();
       parse_flags acc rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse_flags acc rest
     | a :: rest -> parse_flags (a :: acc) rest
   in
   let args = parse_flags [] args in
+  let quick = !quick in
   let ids = List.map fst Experiments.all in
   (match args with
   | [ "list" ] ->
@@ -34,11 +39,11 @@ let () =
     print_endline "DvP and Virtual Messages: full experiment suite";
     print_endline "(Soparkar & Silberschatz, PODS 1990 - constructed evaluation)";
     List.iter (fun (_, f) -> f ()) Experiments.all;
-    Micro.run ()
+    Micro.run ~quick ()
   | picks ->
     List.iter
       (fun pick ->
-        if pick = "micro" then Micro.run ()
+        if pick = "micro" then Micro.run ~quick ()
         else
           match List.assoc_opt (String.uppercase_ascii pick) Experiments.all with
           | Some f -> f ()

@@ -59,14 +59,133 @@ let m6_checkpoint =
   let site = Dvp.System.site sys 0 in
   Test.make ~name:"m6-site-checkpoint" (Staged.stage (fun () -> Dvp.Site.checkpoint site))
 
-let tests = [ m1_wal_append; m2_local_commit; m3_heap; m4_locks; m5_value_algebra; m6_checkpoint ]
+(* A WAL holding [depth] stable records — the shape recovery and the chaos
+   oracle read over and over. *)
+let deep_wal depth =
+  let wal = Dvp_storage.Wal.create () in
+  for i = 0 to depth - 1 do
+    Dvp_storage.Wal.append ~forced:(i mod 64 = 0) wal
+      (Dvp.Log_event.Txn_commit
+         { txn = (i, 0); actions = [ Dvp.Log_event.Set_fragment { item = i mod 8; value = i } ] })
+  done;
+  Dvp_storage.Wal.force wal;
+  wal
 
-let run () =
+let m7_wal_corrupt_tail =
+  (* The chaos oracle calls this after every recovery; it must not rescan
+     (and re-checksum) the whole log. *)
+  let wal = deep_wal 10_000 in
+  Test.make ~name:"m7-wal-corrupt-tail-10k"
+    (Staged.stage (fun () -> ignore (Dvp_storage.Wal.corrupt_tail wal)))
+
+let m7_wal_replay =
+  (* A full oldest-first scan at depth — what recovery replay pays. *)
+  let wal = deep_wal 10_000 in
+  Test.make ~name:"m7-wal-replay-10k"
+    (Staged.stage (fun () ->
+         let n = ref 0 in
+         Dvp_storage.Wal.iter wal (fun _ -> incr n);
+         ignore !n))
+
+(* A Vm engine with [outstanding] unacknowledged messages to an unreachable
+   destination: the retransmission scan's worst case. *)
+let vm_with_outstanding ~outstanding =
+  let engine = Dvp_sim.Engine.create () in
+  let wal = Dvp_storage.Wal.create () in
+  let metrics = Dvp.Metrics.create () in
+  let vm =
+    Dvp.Vm.create engine ~n:2 ~self:0 ~wal
+      ~send:(fun ~dst:_ _ -> ())
+      ~try_credit:(fun ~peer:_ ~item:_ ~amount:_ ~reply_to:_ -> None)
+      ~ts_counter:(fun () -> 0)
+      ~metrics ()
+  in
+  Dvp.Vm.start vm;
+  for i = 0 to outstanding - 1 do
+    Dvp.Vm.send_value vm ~dst:1 ~item:(i mod 16) ~amount:1 ~new_local:0 ()
+  done;
+  (engine, vm)
+
+let m8_retransmit_scan =
+  (* One retransmission-timer firing with 10k outstanding Vm.  The engine
+     advances one period per benchmark iteration, so each run measures one
+     scan (plus whatever it decides to send). *)
+  let engine, _vm = vm_with_outstanding ~outstanding:10_000 in
+  Test.make ~name:"m8-vm-retransmit-scan-10k"
+    (Staged.stage (fun () ->
+         Dvp_sim.Engine.run_until engine (Dvp_sim.Engine.now engine +. 0.15)))
+
+let m8_outstanding_read =
+  let _engine, vm = vm_with_outstanding ~outstanding:10_000 in
+  Test.make ~name:"m8-vm-outstanding-read-10k"
+    (Staged.stage (fun () -> ignore (Dvp.Vm.outstanding_to vm 1)))
+
+(* A receiving Vm that accepts every credit — for measuring the delivery
+   path: 16 fragments as one Vm_batch vs 16 separate Vm_data messages. *)
+let receiving_vm () =
+  let engine = Dvp_sim.Engine.create () in
+  let wal = Dvp_storage.Wal.create () in
+  let metrics = Dvp.Metrics.create () in
+  let frag = ref 0 in
+  let vm =
+    Dvp.Vm.create engine ~n:2 ~self:0 ~wal
+      ~send:(fun ~dst:_ _ -> ())
+      ~try_credit:(fun ~peer:_ ~item:_ ~amount ~reply_to:_ ->
+        frag := !frag + amount;
+        Some !frag)
+      ~ts_counter:(fun () -> 0)
+      ~metrics ()
+  in
+  vm
+
+let m9_batch_delivery =
+  let vm = receiving_vm () in
+  let next = ref 0 in
+  Test.make ~name:"m9-vm-batch-deliver-16"
+    (Staged.stage (fun () ->
+         let base = !next in
+         next := base + 16;
+         let frags =
+           List.init 16 (fun i ->
+               { Dvp.Proto.seq = base + i; item = i mod 4; amount = 1; reply_to = None })
+         in
+         Dvp.Vm.handle_batch vm ~src:1 ~frags ~ack_upto:(-1)))
+
+let m9_single_delivery =
+  let vm = receiving_vm () in
+  let next = ref 0 in
+  Test.make ~name:"m9-vm-single-deliver-16"
+    (Staged.stage (fun () ->
+         let base = !next in
+         next := base + 16;
+         for i = 0 to 15 do
+           Dvp.Vm.handle_data vm ~src:1 ~seq:(base + i) ~item:(i mod 4) ~amount:1 ~reply_to:None
+             ~ack_upto:(-1)
+         done))
+
+let tests =
+  [
+    m1_wal_append;
+    m2_local_commit;
+    m3_heap;
+    m4_locks;
+    m5_value_algebra;
+    m6_checkpoint;
+    m7_wal_corrupt_tail;
+    m7_wal_replay;
+    m8_retransmit_scan;
+    m8_outstanding_read;
+    m9_batch_delivery;
+    m9_single_delivery;
+  ]
+
+let run ?(quick = false) () =
   print_endline "\nMicro-benchmarks (Bechamel, monotonic clock)";
   print_endline "============================================";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let quota = if quick then Time.second 0.05 else Time.second 0.25 in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota ~kde:None () in
   let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s/%s" tests in
   let raw = Benchmark.all cfg instances grouped in
   let results = List.map (fun instance -> Analyze.all ols instance raw) instances in

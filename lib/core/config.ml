@@ -23,6 +23,9 @@ type t = {
   txn_timeout : float;
   vm_retransmit : float;
   ack_delay : float;
+  vm_batch : bool;
+  vm_backoff_mult : float;
+  vm_backoff_max : float;
 }
 
 let default =
@@ -35,6 +38,9 @@ let default =
     txn_timeout = 0.5;
     vm_retransmit = 0.15;
     ack_delay = 0.0;
+    vm_batch = true;
+    vm_backoff_mult = 2.0;
+    vm_backoff_max = 0.6;
   }
 
 let pp_request ppf = function

@@ -63,6 +63,18 @@ type t = {
   ack_delay : float;
       (** how long to hold a standalone Vm acknowledgement hoping to
           piggyback it on reverse traffic (seconds; default 0 = immediate) *)
+  vm_batch : bool;
+      (** coalesce all due fragments to a destination into a single
+          {!Proto.constructor:Vm_batch} real message (Section 4.2: "a single
+          real message may carry several virtual messages"; default true) *)
+  vm_backoff_mult : float;
+      (** per-destination retransmission backoff multiplier: each fruitless
+          retransmission to a destination multiplies its timeout by this,
+          acknowledgement progress resets it (default 2.0; 1.0 disables
+          backoff) *)
+  vm_backoff_max : float;
+      (** cap on the backed-off per-destination retransmission timeout
+          (seconds; default 0.6) *)
 }
 
 val default : t

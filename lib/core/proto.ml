@@ -1,5 +1,7 @@
 type request_kind = Need of int | Drain
 
+type vm_frag = { seq : int; item : Ids.item; amount : int; reply_to : Ids.txn option }
+
 type t =
   | Request of { txn : Ids.txn; item : Ids.item; kind : request_kind }
   | Vm_data of {
@@ -10,6 +12,7 @@ type t =
       reply_to : Ids.txn option;
       ack_upto : int;
     }
+  | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int }
   | Vm_ack of { upto : int }
 
 let pp ppf = function
@@ -18,6 +21,13 @@ let pp ppf = function
     Format.fprintf ppf "Request(txn=%a item=%d %s)" Ids.pp_txn txn item k
   | Vm_data { seq; item; amount; _ } ->
     Format.fprintf ppf "Vm_data(seq=%d item=%d amount=%d)" seq item amount
+  | Vm_batch { frags; ack_upto; _ } ->
+    let seqs = List.map (fun f -> string_of_int f.seq) frags in
+    Format.fprintf ppf "Vm_batch(seqs=[%s] ack_upto=%d)" (String.concat ";" seqs) ack_upto
   | Vm_ack { upto } -> Format.fprintf ppf "Vm_ack(upto=%d)" upto
 
-let describe = function Request _ -> "req" | Vm_data _ -> "vm" | Vm_ack _ -> "ack"
+let describe = function
+  | Request _ -> "req"
+  | Vm_data _ -> "vm"
+  | Vm_batch _ -> "vmb"
+  | Vm_ack _ -> "ack"

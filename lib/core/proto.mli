@@ -23,6 +23,16 @@ type request_kind =
           honored only if the granting site has no outstanding Vm on the
           item (Section 5). *)
 
+type vm_frag = {
+  seq : int;  (** per (src,dst) pair, starting at 0 *)
+  item : Ids.item;
+  amount : int;
+  reply_to : Ids.txn option;
+}
+(** One virtual message inside a {!constructor:Vm_batch}.  Identification and
+    ordering rules are exactly those of {!constructor:Vm_data}; the batch
+    only shares the transport envelope (clock, piggybacked ack). *)
+
 type t =
   | Request of {
       txn : Ids.txn;  (** requesting transaction; also its timestamp *)
@@ -42,6 +52,13 @@ type t =
               message ... should carry a piggybacked acknowledgement"): all
               Vm from the recipient with seq ≤ [ack_upto] are accepted *)
     }
+  | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int }
+      (** Several Vm coalesced into one real message (Section 4.2: "a single
+          real message may carry several virtual messages").  Fragments are
+          in ascending [seq] order; the receiver applies the in-order /
+          duplicate rules to each fragment independently, so a batch is
+          semantically the fragments delivered back to back — it only costs
+          one real message. *)
   | Vm_ack of { upto : int }
       (** All Vm from the receiver of this ack's peer with seq ≤ [upto] are
           accepted. *)
@@ -49,4 +66,4 @@ type t =
 val pp : Format.formatter -> t -> unit
 
 val describe : t -> string
-(** Short tag for traces: ["req"], ["vm"], ["ack"]. *)
+(** Short tag for traces: ["req"], ["vm"], ["vmb"], ["ack"]. *)

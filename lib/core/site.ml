@@ -493,6 +493,10 @@ let handle_message t ~src msg =
       Ids.Clock.witness_counter t.clock ts_counter;
       Vm.handle_data (vm_exn t) ~src ~seq ~item ~amount ~reply_to ~ack_upto;
       run_pending_progress t
+    | Proto.Vm_batch { frags; ts_counter; ack_upto } ->
+      Ids.Clock.witness_counter t.clock ts_counter;
+      Vm.handle_batch (vm_exn t) ~src ~frags ~ack_upto;
+      run_pending_progress t
     | Proto.Vm_ack { upto } -> Vm.handle_ack (vm_exn t) ~src ~upto
   end
 
@@ -504,7 +508,7 @@ let handle_broadcast t ~src msgs =
         | Proto.Request { txn; item; kind } ->
           Ids.Clock.witness t.clock txn;
           handle_request t ~src ~txn_id:txn ~item ~kind
-        | Proto.Vm_data _ | Proto.Vm_ack _ -> ())
+        | Proto.Vm_data _ | Proto.Vm_batch _ | Proto.Vm_ack _ -> ())
       msgs
 
 (* -------------------------------------------------------- redistribution *)
@@ -694,7 +698,9 @@ let create engine ~self ~n ~send ~config ~rng ?trace () =
       ~try_credit:(fun ~peer ~item ~amount ~reply_to -> try_credit t ~peer ~item ~amount ~reply_to)
       ~ts_counter:(fun () -> Ids.Clock.current_counter t.clock)
       ~metrics:t.metrics ?trace ~retransmit_every:config.Config.vm_retransmit
-      ~ack_delay:config.Config.ack_delay ()
+      ~ack_delay:config.Config.ack_delay ~batch:config.Config.vm_batch
+      ~backoff_mult:config.Config.vm_backoff_mult ~backoff_max:config.Config.vm_backoff_max
+      ~rng:(Dvp_util.Rng.split t.rng) ()
   in
   t.vm <- Some vm;
   Vm.start vm;

@@ -13,6 +13,20 @@ type outstanding = Log_replay.vm_outstanding = {
    period (not ones that happen to be seconds-old acks away). *)
 type outbox_entry = { payload : outstanding; mutable last_sent : float }
 
+(* Per-destination sender state.  Cumulative acks only ever remove a prefix
+   of the outstanding set, and sequence numbers are handed out monotonically,
+   so a FIFO queue keyed by seq stays sorted by construction: push at the
+   tail on send, pop from the head on ack — never sort on read. *)
+type dst_state = {
+  q : (int * outbox_entry) Queue.t; (* ascending seq *)
+  mutable rto : float; (* current (possibly backed-off) retransmission timeout *)
+  mutable next_retry : float; (* engine time before which this dst is not rescanned *)
+}
+
+(* Per-item tally of unacknowledged value leaving this site, so the Section 5
+   drain test ([has_outstanding]) is O(1) instead of a full outbox scan. *)
+type item_tally = { mutable count : int; mutable amount_sum : int }
+
 type t = {
   engine : Engine.t;
   n : int;
@@ -28,10 +42,15 @@ type t = {
   ack_delay : float;
       (* 0 = acknowledge immediately with a standalone message; > 0 = hold
          the ack hoping to piggyback it on reverse data *)
+  batch : bool; (* coalesce due fragments per destination into one Vm_batch *)
+  backoff_mult : float; (* 1.0 disables backoff *)
+  backoff_max : float;
+  rng : Dvp_util.Rng.t option; (* jitter for backed-off retry times *)
   (* Volatile sender state (rebuilt from the log on recovery). *)
   mutable next_seq : int array; (* per destination *)
   mutable acked_upto : int array; (* per destination, cumulative *)
-  outbox : (int * int, outbox_entry) Hashtbl.t; (* (dst, seq) -> payload *)
+  dsts : dst_state array;
+  items_out : (Ids.item, item_tally) Hashtbl.t;
   (* Volatile receiver state (rebuilt from the log on recovery). *)
   mutable accepted : int array; (* per peer, highest in-order accepted seq *)
   mutable timer : Engine.timer option;
@@ -41,7 +60,11 @@ type t = {
 }
 
 let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
-    ?(retransmit_every = 0.15) ?(ack_delay = 0.0) () =
+    ?(retransmit_every = 0.15) ?(ack_delay = 0.0) ?(batch = true) ?(backoff_mult = 2.0)
+    ?backoff_max ?rng () =
+  let backoff_max =
+    match backoff_max with Some m -> m | None -> 4.0 *. retransmit_every
+  in
   {
     engine;
     n;
@@ -54,9 +77,15 @@ let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
     trace;
     retransmit_every;
     ack_delay;
+    batch;
+    backoff_mult;
+    backoff_max;
+    rng;
     next_seq = Array.make n 0;
     acked_upto = Array.make n (-1);
-    outbox = Hashtbl.create 32;
+    dsts =
+      Array.init n (fun _ -> { q = Queue.create (); rto = retransmit_every; next_retry = 0.0 });
+    items_out = Hashtbl.create 16;
     accepted = Array.make n (-1);
     timer = None;
     running = false;
@@ -68,26 +97,31 @@ let emit t ev =
   | Some tr -> Trace.emit tr ~time:(Engine.now t.engine) ev
   | None -> ()
 
-let outstanding_to t dst =
-  let out = ref [] in
-  Hashtbl.iter
-    (fun (d, seq) e ->
-      if d = dst then out := (seq, e.payload.item, e.payload.amount) :: !out)
-    t.outbox;
-  List.sort compare !out
+let tally_add t ~item ~amount =
+  match Hashtbl.find_opt t.items_out item with
+  | Some tl ->
+    tl.count <- tl.count + 1;
+    tl.amount_sum <- tl.amount_sum + amount
+  | None -> Hashtbl.replace t.items_out item { count = 1; amount_sum = amount }
 
-let outstanding_full t dst =
-  let out = ref [] in
-  Hashtbl.iter (fun (d, seq) e -> if d = dst then out := (seq, e) :: !out) t.outbox;
-  List.sort compare !out
+let tally_remove t ~item ~amount =
+  match Hashtbl.find_opt t.items_out item with
+  | Some tl ->
+    tl.count <- tl.count - 1;
+    tl.amount_sum <- tl.amount_sum - amount;
+    if tl.count <= 0 then Hashtbl.remove t.items_out item
+  | None -> ()
+
+let outstanding_to t dst =
+  Queue.fold
+    (fun acc (seq, e) -> (seq, e.payload.item, e.payload.amount) :: acc)
+    [] t.dsts.(dst).q
+  |> List.rev
 
 let outstanding_amount t ~item =
-  Hashtbl.fold
-    (fun _ e acc -> if e.payload.item = item then acc + e.payload.amount else acc)
-    t.outbox 0
+  match Hashtbl.find_opt t.items_out item with Some tl -> tl.amount_sum | None -> 0
 
-let has_outstanding t ~item =
-  Hashtbl.fold (fun _ e acc -> acc || e.payload.item = item) t.outbox false
+let has_outstanding t ~item = Hashtbl.mem t.items_out item
 
 let next_seq t ~dst = t.next_seq.(dst)
 
@@ -108,26 +142,79 @@ let transmit t ~dst ~seq ~item ~amount ~reply_to =
     (Proto.Vm_data
        { seq; item; amount; ts_counter = t.ts_counter (); reply_to; ack_upto = t.accepted.(dst) })
 
-(* Retransmission scan: every outstanding Vm is sent again, lowest sequence
-   numbers first so the receiver's in-order rule makes progress. *)
+(* Ship the due fragments for one destination: one Vm_batch real message when
+   batching is on and there are several, plain Vm_data otherwise.  Either way
+   the envelope carries the piggybacked cumulative ack. *)
+let send_due t ~dst frags =
+  match frags with
+  | [] -> ()
+  | [ (seq, (e : outbox_entry)) ] ->
+    transmit t ~dst ~seq ~item:e.payload.item ~amount:e.payload.amount
+      ~reply_to:e.payload.reply_to
+  | _ :: _ when t.batch ->
+    cancel_ack_timer t dst;
+    let frags =
+      List.map
+        (fun (seq, (e : outbox_entry)) ->
+          { Proto.seq; item = e.payload.item; amount = e.payload.amount;
+            reply_to = e.payload.reply_to })
+        frags
+    in
+    t.send ~dst
+      (Proto.Vm_batch { frags; ts_counter = t.ts_counter (); ack_upto = t.accepted.(dst) })
+  | _ ->
+    List.iter
+      (fun (seq, (e : outbox_entry)) ->
+        transmit t ~dst ~seq ~item:e.payload.item ~amount:e.payload.amount
+          ~reply_to:e.payload.reply_to)
+      frags
+
+(* After a fruitless rescan of [dst], widen its retry interval (capped);
+   acknowledgement progress narrows it back to the base period.  Jitter keeps
+   a fleet of senders from re-synchronising their storms after a partition. *)
+let backoff t dst ~now =
+  let st = t.dsts.(dst) in
+  st.rto <- Float.min (st.rto *. t.backoff_mult) (Float.max t.backoff_max t.retransmit_every);
+  let jittered =
+    match t.rng with
+    | Some rng -> st.rto *. (0.9 +. Dvp_util.Rng.float rng 0.2)
+    | None -> st.rto
+  in
+  st.next_retry <- now +. jittered
+
+let reset_backoff t dst =
+  let st = t.dsts.(dst) in
+  st.rto <- t.retransmit_every;
+  st.next_retry <- 0.0
+
+(* Retransmission scan: every outstanding Vm to a due destination is sent
+   again, lowest sequence numbers first so the receiver's in-order rule makes
+   progress.  Destinations that keep not answering are rescanned on their
+   (backed-off) schedule, not every period. *)
 let rec on_retransmit t =
   t.timer <- None;
   if t.running then begin
     let now = Engine.now t.engine in
     for dst = 0 to t.n - 1 do
-      List.iter
-        (fun (seq, e) ->
-          (* Only resend what has gone a full period without an ack. *)
-          if now -. e.last_sent >= t.retransmit_every *. 0.9 then begin
-            Metrics.vm_retransmitted t.metrics;
-            emit t
-              (Trace.Vm_retransmit
-                 { site = t.self; dst; seq; item = e.payload.item; amount = e.payload.amount });
-            e.last_sent <- now;
-            transmit t ~dst ~seq ~item:e.payload.item ~amount:e.payload.amount
-              ~reply_to:e.payload.reply_to
-          end)
-        (outstanding_full t dst)
+      let st = t.dsts.(dst) in
+      if (not (Queue.is_empty st.q)) && now >= st.next_retry then begin
+        let due = ref [] in
+        Queue.iter
+          (fun (seq, e) ->
+            (* Only resend what has gone a full period without an ack. *)
+            if now -. e.last_sent >= t.retransmit_every *. 0.9 then begin
+              Metrics.vm_retransmitted t.metrics;
+              emit t
+                (Trace.Vm_retransmit
+                   { site = t.self; dst; seq; item = e.payload.item; amount = e.payload.amount });
+              e.last_sent <- now;
+              due := (seq, e) :: !due
+            end)
+          st.q;
+        let due = List.rev !due in
+        send_due t ~dst due;
+        if due <> [] then backoff t dst ~now
+      end
     done;
     arm t
   end
@@ -165,8 +252,9 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
          reply_to;
          actions = [ Log_event.Set_fragment { item; value = new_local } ];
        });
-  Hashtbl.replace t.outbox (dst, seq)
-    { payload = { item; amount; reply_to }; last_sent = Engine.now t.engine };
+  Queue.push (seq, { payload = { item; amount; reply_to }; last_sent = Engine.now t.engine })
+    t.dsts.(dst).q;
+  tally_add t ~item ~amount;
   Metrics.vm_created t.metrics ~amount;
   emit t (Trace.Vm_created { site = t.self; dst; seq; item; amount });
   transmit t ~dst ~seq ~item ~amount ~reply_to;
@@ -174,10 +262,20 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
 
 let handle_ack t ~src ~upto =
   if upto > t.acked_upto.(src) then begin
-    for seq = t.acked_upto.(src) + 1 to upto do
-      Hashtbl.remove t.outbox (src, seq)
+    (* Acks are cumulative, so the acknowledged messages are exactly a prefix
+       of the (sorted) queue. *)
+    let q = t.dsts.(src).q in
+    let continue = ref true in
+    while !continue do
+      match Queue.peek_opt q with
+      | Some (seq, e) when seq <= upto ->
+        ignore (Queue.pop q);
+        tally_remove t ~item:e.payload.item ~amount:e.payload.amount
+      | Some _ | None -> continue := false
     done;
     t.acked_upto.(src) <- upto;
+    (* Progress: the peer is reachable again — retry at the base period. *)
+    reset_backoff t src;
     (* Not forced: losing this record only causes harmless retransmission
        (the receiver discards duplicates and re-acks). *)
     Wal.append ~forced:false t.wal (Log_event.Ack_progress { dst = src; upto })
@@ -194,34 +292,55 @@ let schedule_ack t src =
              t.ack_timers.(src) <- None;
              t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src) })))
 
-let handle_data t ~src ~seq ~item ~amount ~reply_to ~ack_upto =
-  (* Process the piggybacked acknowledgement first. *)
-  handle_ack t ~src ~upto:ack_upto;
+(* The in-order / duplicate / deferred-credit acceptance rules for one
+   fragment.  Returns whether the fragment warrants (re-)acknowledging —
+   callers coalesce that into one ack per real message received. *)
+let handle_fragment t ~src ~seq ~item ~amount ~reply_to =
   let expected = t.accepted.(src) + 1 in
   if seq < expected then begin
     (* Duplicate of an already-accepted Vm: discard, re-ack so the sender can
        advance if our earlier ack was lost. *)
     Metrics.vm_duplicate_discarded t.metrics;
     emit t (Trace.Vm_dup { site = t.self; src; seq });
-    schedule_ack t src
+    true
   end
   else if seq > expected then
     (* Out of order: ignore; retransmission will present the gap first.  The
        paper: "The messages will never be accepted if they are out-of-order". *)
-    ()
+    false
   else
     match t.try_credit ~peer:src ~item ~amount ~reply_to with
     | None ->
       (* Item locked by a transaction that is not waiting for values: "the
          message can be ignored; it will eventually be sent again anyway". *)
-      ()
+      false
     | Some new_value ->
       (* The Vm dies here: [database-actions] forced at the receiver. *)
       Wal.append t.wal (Log_event.Vm_accept { peer = src; seq; item; amount; new_value });
       t.accepted.(src) <- seq;
       Metrics.vm_accepted t.metrics ~amount;
       emit t (Trace.Vm_accepted { site = t.self; src; seq; item; amount });
-      schedule_ack t src
+      true
+
+let handle_data t ~src ~seq ~item ~amount ~reply_to ~ack_upto =
+  (* Process the piggybacked acknowledgement first. *)
+  handle_ack t ~src ~upto:ack_upto;
+  if handle_fragment t ~src ~seq ~item ~amount ~reply_to then schedule_ack t src
+
+let handle_batch t ~src ~frags ~ack_upto =
+  (* One envelope, one piggybacked ack, the per-fragment rules applied in
+     order (fragments arrive ascending by seq, so an in-order prefix is
+     accepted even if a later fragment must wait) — and at most one
+     acknowledgement back for the whole batch. *)
+  handle_ack t ~src ~upto:ack_upto;
+  let wants_ack =
+    List.fold_left
+      (fun acc { Proto.seq; item; amount; reply_to } ->
+        let r = handle_fragment t ~src ~seq ~item ~amount ~reply_to in
+        acc || r)
+      false frags
+  in
+  if wants_ack then schedule_ack t src
 
 let crash t =
   stop t;
@@ -231,7 +350,13 @@ let crash t =
   t.next_seq <- Array.make t.n 0;
   t.acked_upto <- Array.make t.n (-1);
   t.accepted <- Array.make t.n (-1);
-  Hashtbl.reset t.outbox
+  Array.iter
+    (fun st ->
+      Queue.clear st.q;
+      st.rto <- t.retransmit_every;
+      st.next_retry <- 0.0)
+    t.dsts;
+  Hashtbl.reset t.items_out
 
 let recover t =
   (* Rebuild exactly the protocol state from the stable log (including any
@@ -241,10 +366,24 @@ let recover t =
   t.next_seq <- view.Log_replay.vm_next_seq;
   t.acked_upto <- view.Log_replay.vm_acked;
   t.accepted <- view.Log_replay.vm_accepted;
-  Hashtbl.reset t.outbox;
-  Hashtbl.iter
-    (fun k v -> Hashtbl.replace t.outbox k { payload = v; last_sent = neg_infinity })
-    view.Log_replay.vm_outbox;
+  Array.iter
+    (fun st ->
+      Queue.clear st.q;
+      st.rto <- t.retransmit_every;
+      st.next_retry <- 0.0)
+    t.dsts;
+  Hashtbl.reset t.items_out;
+  (* The replay view is unordered; sort once here so the queues are ascending
+     by seq again — the only sort left in the Vm engine. *)
+  let entries =
+    Hashtbl.fold (fun (dst, seq) v acc -> (dst, seq, v) :: acc) view.Log_replay.vm_outbox []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (dst, seq, (v : outstanding)) ->
+      Queue.push (seq, { payload = v; last_sent = neg_infinity }) t.dsts.(dst).q;
+      tally_add t ~item:v.item ~amount:v.amount)
+    entries;
   start t
 
 (* A state snapshot for checkpointing (Section 7): everything [recover]
@@ -255,11 +394,16 @@ let snapshot t ~fragments ~max_counter =
     |> List.filter (fun (_, v) -> v <> skip)
   in
   let outbox =
-    Hashtbl.fold
-      (fun (dst, seq) e acc ->
-        (dst, seq, e.payload.item, e.payload.amount, e.payload.reply_to) :: acc)
-      t.outbox []
-    |> List.sort compare
+    (* Destinations ascending, each queue already ascending by seq — the
+       result is (dst, seq)-sorted without sorting. *)
+    let acc = ref [] in
+    for dst = 0 to t.n - 1 do
+      Queue.iter
+        (fun (seq, (e : outbox_entry)) ->
+          acc := (dst, seq, e.payload.item, e.payload.amount, e.payload.reply_to) :: !acc)
+        t.dsts.(dst).q
+    done;
+    List.rev !acc
   in
   Log_event.Checkpoint
     {

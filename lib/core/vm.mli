@@ -39,6 +39,10 @@ val create :
   ?trace:Dvp_sim.Trace.t ->
   ?retransmit_every:float ->
   ?ack_delay:float ->
+  ?batch:bool ->
+  ?backoff_mult:float ->
+  ?backoff_max:float ->
+  ?rng:Dvp_util.Rng.t ->
   unit ->
   t
 (** [try_credit] must either apply the credit to the local database and
@@ -46,7 +50,15 @@ val create :
     [ts_counter] supplies the Lamport counter piggybacked on data messages.
     [ack_delay] > 0 holds standalone acknowledgements for that long, hoping
     a reverse data message will piggyback them (Section 4.2); 0 (default)
-    acknowledges immediately. *)
+    acknowledges immediately.
+
+    [batch] (default true) coalesces all due fragments to a destination into
+    one {!Proto.constructor:Vm_batch} real message per retransmission scan.
+    [backoff_mult] (default 2.0) multiplies a destination's retransmission
+    timeout after each fruitless rescan, up to [backoff_max] (default
+    4 × [retransmit_every]); acknowledgement progress resets it.  [rng], when
+    given, jitters the backed-off retry times by ±10% so senders do not
+    re-synchronise their retransmissions after a partition heals. *)
 
 val start : t -> unit
 (** Arm the periodic retransmission scan. *)
@@ -98,6 +110,12 @@ val handle_data :
   unit
 (** [ack_upto] is the piggybacked cumulative acknowledgement carried on the
     data message. *)
+
+val handle_batch : t -> src:Ids.site -> frags:Proto.vm_frag list -> ack_upto:int -> unit
+(** Decode one {!Proto.constructor:Vm_batch}: process the piggybacked ack
+    once, apply the in-order / duplicate acceptance rules to each fragment
+    in order, and send at most one acknowledgement back for the whole
+    batch. *)
 
 val accepted_upto : t -> peer:Ids.site -> int
 (** Highest sequence number accepted from [peer]; -1 initially. *)

@@ -62,7 +62,26 @@ let events t =
   done;
   !out
 
-let find_events t ~f = List.filter (fun (_, ev) -> f ev) (events t)
+(* Oldest-first walk over the ring without materialising a list — the
+   counting/searching paths below go through this so they allocate nothing
+   per event. *)
+let iter_events t f =
+  let start = if t.count < t.capacity then 0 else t.next in
+  for i = 0 to t.count - 1 do
+    match t.buf.((start + i) mod t.capacity) with
+    | Some (time, ev) -> f ~time ev
+    | None -> ()
+  done
+
+let count_events t ~f =
+  let n = ref 0 in
+  iter_events t (fun ~time:_ ev -> if f ev then incr n);
+  !n
+
+let find_events t ~f =
+  let out = ref [] in
+  iter_events t (fun ~time ev -> if f ev then out := (time, ev) :: !out);
+  List.rev !out
 
 let clear t =
   Array.fill t.buf 0 t.capacity None;
@@ -134,9 +153,12 @@ let recordf t ~time ~category fmt =
 
 let entries t = List.map entry_of (events t)
 
-let find t ~category = List.filter (fun e -> e.category = category) (entries t)
+(* Match on the typed category first; only matching events are rendered to
+   strings.  [count] renders nothing at all. *)
+let find t ~category =
+  find_events t ~f:(fun ev -> category_of_event ev = category) |> List.map entry_of
 
-let count t ~category = List.length (find t ~category)
+let count t ~category = count_events t ~f:(fun ev -> category_of_event ev = category)
 
 let pp_entry ppf e = Format.fprintf ppf "[%10.4f] %-12s %s" e.time e.category e.message
 

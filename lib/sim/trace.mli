@@ -66,7 +66,15 @@ val emit : t -> time:float -> event -> unit
 val events : t -> (float * event) list
 (** Oldest first (of the retained window). *)
 
+val iter_events : t -> (time:float -> event -> unit) -> unit
+(** Walk the retained window oldest-first without materialising a list —
+    the allocation-free way to scan a large trace. *)
+
 val find_events : t -> f:(event -> bool) -> (float * event) list
+
+val count_events : t -> f:(event -> bool) -> int
+(** Number of retained events satisfying [f]; no lists built, nothing
+    rendered.  [count] is this with a category predicate. *)
 
 val drop_count : t -> int
 (** Number of events evicted because the buffer was full.  Non-zero means
@@ -96,8 +104,11 @@ val entries : t -> entry list
     pair. *)
 
 val find : t -> category:string -> entry list
+(** Only the matching events are rendered to strings. *)
 
 val count : t -> category:string -> int
+(** Typed counting ({!count_events} over {!category_of_event}) — no string
+    rendering at all. *)
 
 val clear : t -> unit
 (** Drops all events and resets {!drop_count}. *)

@@ -1,21 +1,50 @@
 (* Each stable record carries a checksum computed at append time.  A healthy
    log has every checksum valid; the fault injector (see {!fault}) can leave a
-   corrupt record at the stable tail, which readers detect and stop at. *)
+   corrupt record at the stable tail, which readers detect and stop at.
+
+   Storage layout: both the stable log and the unforced buffer are growable
+   arrays, oldest-first, so append and force are O(1) amortised and the read
+   paths are cache-friendly index loops instead of list walks.  The length of
+   the valid prefix is cached ([valid_len]) and only invalidated by the fault
+   injector — ordinary reads never re-checksum the log, which is what makes
+   the recovery/oracle hot paths O(1) per call instead of O(log length). *)
+
 type 'r entry = { payload : 'r; sum : int }
 
 type fault = Torn of { persist : int } | Corrupt_tail
 
+(* A minimal growable array ("dynarray"): OCaml 5.1 has none in the stdlib.
+   Slots at index >= len hold stale entries from earlier growth; they are
+   never read. *)
+type 'r vec = { mutable arr : 'r entry array; mutable len : int }
+
+let vec_create () = { arr = [||]; len = 0 }
+
+let vec_push v e =
+  let cap = Array.length v.arr in
+  if v.len = cap then begin
+    let grown = Array.make (if cap = 0 then 16 else 2 * cap) e in
+    Array.blit v.arr 0 grown 0 v.len;
+    v.arr <- grown
+  end;
+  v.arr.(v.len) <- e;
+  v.len <- v.len + 1
+
 type 'r t = {
-  mutable stable : 'r entry list; (* newest first *)
-  mutable stable_len : int;
-  mutable buffer : 'r entry list; (* newest first *)
-  mutable buffer_len : int;
+  stable : 'r vec; (* oldest first *)
+  buffer : 'r vec; (* oldest first *)
   mutable force_count : int;
   mutable append_count : int;
-  mutable base_index : int; (* index of the oldest retained stable record *)
+  mutable base_index : int; (* absolute index of the oldest retained stable record *)
   mutable pending_fault : fault option;
   mutable repair_count : int;
   mutable repaired_count : int;
+  (* Cached length of the valid stable prefix.  Maintained incrementally by
+     append/force/truncate; only a fault application marks it dirty, so the
+     first read after a faulty crash rescans once and every read before the
+     next fault is O(1). *)
+  mutable valid_len : int;
+  mutable valid_dirty : bool;
 }
 
 let checksum payload = Hashtbl.hash payload
@@ -26,31 +55,48 @@ let valid e = e.sum = checksum e.payload
 
 let create () =
   {
-    stable = [];
-    stable_len = 0;
-    buffer = [];
-    buffer_len = 0;
+    stable = vec_create ();
+    buffer = vec_create ();
     force_count = 0;
     append_count = 0;
     base_index = 0;
     pending_fault = None;
     repair_count = 0;
     repaired_count = 0;
+    valid_len = 0;
+    valid_dirty = false;
   }
 
+(* Length of the valid prefix, recomputing from the cache point if a fault
+   invalidated it.  Faults only ever touch records at or beyond the old
+   valid prefix, so the rescan starts there, not at zero. *)
+let valid_length t =
+  if t.valid_dirty then begin
+    let n = t.stable.len in
+    let i = ref (min t.valid_len n) in
+    while !i < n && valid t.stable.arr.(!i) do
+      incr i
+    done;
+    t.valid_len <- !i;
+    t.valid_dirty <- false
+  end;
+  t.valid_len
+
 let force t =
-  if t.buffer_len > 0 then begin
-    (* Both lists are newest-first, so the flushed log is buffer @ stable. *)
-    t.stable <- t.buffer @ t.stable;
-    t.stable_len <- t.stable_len + t.buffer_len;
-    t.buffer <- [];
-    t.buffer_len <- 0
+  if t.buffer.len > 0 then begin
+    let clean_before = (not t.valid_dirty) && t.valid_len = t.stable.len in
+    for i = 0 to t.buffer.len - 1 do
+      vec_push t.stable t.buffer.arr.(i)
+    done;
+    (* Freshly forced records are valid by construction: the prefix cache
+       extends unless a corrupt tail already hides them. *)
+    if clean_before then t.valid_len <- t.stable.len;
+    t.buffer.len <- 0
   end;
   t.force_count <- t.force_count + 1
 
 let append ?(forced = true) t r =
-  t.buffer <- entry r :: t.buffer;
-  t.buffer_len <- t.buffer_len + 1;
+  vec_push t.buffer (entry r);
   t.append_count <- t.append_count + 1;
   if forced then force t
 
@@ -65,52 +111,37 @@ let pending_fault t = t.pending_fault
 let apply_fault t f =
   let persist =
     match f with
-    | Torn { persist } -> min (max persist 0) t.buffer_len
-    | Corrupt_tail -> t.buffer_len
+    | Torn { persist } -> min (max persist 0) t.buffer.len
+    | Corrupt_tail -> t.buffer.len
   in
   if persist > 0 then begin
-    (* buffer is newest-first: the oldest [persist] records are its tail. *)
-    let surviving = List.filteri (fun i _ -> i >= t.buffer_len - persist) t.buffer in
-    let corrupted =
-      match surviving with
-      | newest :: rest -> { newest with sum = lnot newest.sum } :: rest
-      | [] -> []
-    in
-    t.stable <- corrupted @ t.stable;
-    t.stable_len <- t.stable_len + persist
+    for i = 0 to persist - 1 do
+      let e = t.buffer.arr.(i) in
+      vec_push t.stable (if i = persist - 1 then { e with sum = lnot e.sum } else e)
+    done;
+    t.valid_dirty <- true
   end
 
 let crash t =
   (match t.pending_fault with Some f -> apply_fault t f | None -> ());
   t.pending_fault <- None;
-  t.buffer <- [];
-  t.buffer_len <- 0
+  t.buffer.len <- 0
 
 (* The valid prefix: oldest-first up to (excluding) the first bad checksum.
    Recovery and the stable-state oracles only ever see this view, so a torn
    tail can never be replayed as if it were committed state. *)
-let valid_entries t =
-  let rec take acc = function
-    | e :: rest when valid e -> take (e :: acc) rest
-    | _ -> List.rev acc
-  in
-  take [] (List.rev t.stable)
+let records t = List.init (valid_length t) (fun i -> t.stable.arr.(i).payload)
 
-let records t = List.map (fun e -> e.payload) (valid_entries t)
+let buffered t = t.buffer.len
 
-let buffered t = t.buffer_len
+let stable_length t = t.stable.len
 
-let stable_length t = t.stable_len
-
-let corrupt_tail t = t.stable_len - List.length (valid_entries t)
+let corrupt_tail t = t.stable.len - valid_length t
 
 let repair t =
   let bad = corrupt_tail t in
   if bad > 0 then begin
-    (* stable is newest-first: the corrupt tail is its head. *)
-    let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
-    t.stable <- drop bad t.stable;
-    t.stable_len <- t.stable_len - bad;
+    t.stable.len <- valid_length t;
     t.repair_count <- t.repair_count + 1;
     t.repaired_count <- t.repaired_count + bad
   end;
@@ -124,22 +155,44 @@ let forces t = t.force_count
 
 let appended t = t.append_count
 
-let iter t f = List.iter f (records t)
+let iter t f =
+  let n = valid_length t in
+  for i = 0 to n - 1 do
+    f t.stable.arr.(i).payload
+  done
 
-let fold t ~init ~f = List.fold_left f init (records t)
+let fold t ~init ~f =
+  let n = valid_length t in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    acc := f !acc t.stable.arr.(i).payload
+  done;
+  !acc
 
-let end_index t = t.base_index + t.stable_len
+let end_index t = t.base_index + t.stable.len
+
+let iter_from t ~from f =
+  let n = valid_length t in
+  let start = max 0 (from - t.base_index) in
+  for i = start to n - 1 do
+    f t.stable.arr.(i).payload
+  done
 
 let truncate_before t ~keep_from =
   let drop = keep_from - t.base_index in
   if drop > 0 then begin
-    let keep = max 0 (t.stable_len - drop) in
-    (* stable is newest-first; keep the newest [keep] records. *)
-    let rec take n l acc =
-      if n = 0 then List.rev acc
-      else match l with [] -> List.rev acc | x :: rest -> take (n - 1) rest (x :: acc)
-    in
-    t.stable <- take keep t.stable [];
-    t.stable_len <- keep;
-    t.base_index <- keep_from
+    let keep = max 0 (t.stable.len - drop) in
+    if keep > 0 then Array.blit t.stable.arr drop t.stable.arr 0 keep;
+    t.stable.len <- keep;
+    t.base_index <- keep_from;
+    (* Dropping a prefix shifts the cached valid-prefix point down with it.
+       If the drop reached past the first-invalid boundary, the boundary
+       record itself is gone — records beyond it (invisible until now, e.g.
+       forced after an unrepaired fault) may be valid, so the cache must be
+       rebuilt from the new front. *)
+    if drop > t.valid_len then begin
+      t.valid_len <- 0;
+      t.valid_dirty <- true
+    end
+    else t.valid_len <- t.valid_len - drop
   end

@@ -93,6 +93,12 @@ val iter : 'r t -> ('r -> unit) -> unit
 
 val fold : 'r t -> init:'a -> f:('a -> 'r -> 'a) -> 'a
 
+val iter_from : 'r t -> from:int -> ('r -> unit) -> unit
+(** Iterate stable records oldest-first starting at absolute index [from]
+    (valid prefix only).  Indices below {!val-records}' current base are
+    skipped; incremental replay after a checkpoint uses this to avoid
+    rescanning the whole log. *)
+
 val end_index : 'r t -> int
 (** Absolute index one past the newest stable record (monotone across
     truncations). *)

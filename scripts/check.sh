@@ -94,4 +94,11 @@ else
   echo "(no python3/jq; checked only that BENCH_E1.json is non-empty)"
 fi
 
+# Perf smoke: the micro benches in quick mode (shakes out bitrot in the
+# bench harness itself), then the regression gate comparing a fresh E18 run
+# against the committed baselines.  Tolerances via PERF_TOL / PERF_SLACK.
+echo "== perf smoke: micro --quick =="
+dune exec bench/main.exe -- micro --quick >/dev/null
+scripts/perf_gate.sh
+
 echo "== all checks passed =="

@@ -1,0 +1,112 @@
+#!/bin/sh
+# Bench regression gate: re-run the transport experiment (E18) and compare
+# against the committed baselines in bench/baselines/.
+#
+#   scripts/perf_gate.sh
+#
+# The simulator is deterministic in the seed, so throughput and message
+# counts are stable quantities — wall-clock noise does not enter them.  The
+# tolerance band (PERF_TOL, default 0.35) absorbs legitimate behavioural
+# drift from protocol changes; a real regression (say, batching silently
+# disabled) overshoots it by multiples.
+#
+# Checks, per (sites, scenario, system) run keyed against the baseline:
+#   - throughput >= baseline * (1 - PERF_TOL)
+#   - messages   <= baseline * (1 + PERF_TOL) + PERF_SLACK
+# and, on the current run alone, the tentpole claim of the batched
+# transport: under every lossy scenario dvp-batched sends no more real
+# messages than dvp-unbatched, and at least one scenario shows a >= 2x
+# reduction.
+#
+# To refresh the baselines after an intentional change:
+#   dune exec bench/main.exe -- E18 --out bench/baselines
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PERF_TOL="${PERF_TOL:-0.35}"
+PERF_SLACK="${PERF_SLACK:-50}"
+baseline="bench/baselines/BENCH_E18.json"
+
+if [ ! -s "$baseline" ]; then
+  echo "perf gate: no baseline at $baseline" >&2
+  exit 1
+fi
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "perf gate: skipped (python3 not installed)"
+  exit 0
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+echo "== perf gate: bench E18 vs $baseline (tol ${PERF_TOL}) =="
+dune exec bench/main.exe -- E18 --out "$tmpdir" >/dev/null
+
+python3 - "$baseline" "$tmpdir/BENCH_E18.json" "$PERF_TOL" "$PERF_SLACK" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+slack = float(sys.argv[4])
+
+def key(run):
+    return (run["sites"], run["scenario"], run["system"])
+
+base = {key(r): r for r in base_doc["runs"]}
+cur = {key(r): r for r in cur_doc["runs"]}
+
+failures = []
+
+missing = set(base) - set(cur)
+if missing:
+    failures.append(f"runs missing from current output: {sorted(missing)}")
+
+for k, b in base.items():
+    c = cur.get(k)
+    if c is None:
+        continue
+    name = "/".join(str(p) for p in k)
+    b_tput, c_tput = b["throughput"], c["throughput"]
+    if c_tput < b_tput * (1.0 - tol):
+        failures.append(
+            f"{name}: throughput {c_tput:.1f} < baseline {b_tput:.1f} - {tol:.0%}")
+    b_msgs = b["metrics"]["messages"]
+    c_msgs = c["metrics"]["messages"]
+    if c_msgs > b_msgs * (1.0 + tol) + slack:
+        failures.append(
+            f"{name}: messages {c_msgs} > baseline {b_msgs} + {tol:.0%}")
+
+# The tentpole claim, on the current run alone: batching never costs
+# messages under faults, and somewhere it pays off by >= 2x.
+best_ratio = 0.0
+for (sites, scenario, system), c in cur.items():
+    if system != "dvp-batched" or scenario == "clean":
+        continue
+    u = cur.get((sites, scenario, "dvp-unbatched"))
+    if u is None:
+        continue
+    batched = c["metrics"]["messages"]
+    unbatched = u["metrics"]["messages"]
+    if batched > unbatched * 1.05 + slack:
+        failures.append(
+            f"{sites}/{scenario}: batched sends more messages than unbatched "
+            f"({batched} vs {unbatched})")
+    if batched > 0:
+        best_ratio = max(best_ratio, unbatched / batched)
+if best_ratio < 2.0:
+    failures.append(
+        f"no faulty scenario shows >= 2x message reduction from batching "
+        f"(best {best_ratio:.2f}x)")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+print(f"perf gate ok: {len(base)} runs within {tol:.0%} of baseline, "
+      f"best batching reduction {best_ratio:.1f}x")
+EOF

@@ -223,6 +223,229 @@ let test_wal_repair_preserves_end_index_base () =
   Wal.append w 99;
   Alcotest.(check (list int)) "position reused" [ 0; 1; 2; 3; 4; 5; 99 ] (Wal.records w)
 
+let test_wal_iter_from () =
+  let w = Wal.create () in
+  for i = 0 to 9 do
+    Wal.append w i
+  done;
+  let collect ~from =
+    let acc = ref [] in
+    Wal.iter_from w ~from (fun r -> acc := r :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int)) "from 0 is the whole log" (List.init 10 Fun.id) (collect ~from:0);
+  Alcotest.(check (list int)) "mid-log suffix" [ 7; 8; 9 ] (collect ~from:7);
+  Alcotest.(check (list int)) "past the end is empty" [] (collect ~from:10);
+  (* After a checkpoint the base moves; indices below it are skipped. *)
+  Wal.truncate_before w ~keep_from:6;
+  Alcotest.(check (list int)) "below base clamps to base" [ 6; 7; 8; 9 ] (collect ~from:2);
+  Alcotest.(check (list int)) "absolute index still names same record" [ 8; 9 ] (collect ~from:8);
+  (* iter_from stops at the corrupt tail like every other reader. *)
+  List.iter (fun r -> Wal.append ~forced:false w r) [ 10; 11 ];
+  Wal.inject_fault w Wal.Corrupt_tail;
+  Wal.crash w;
+  Alcotest.(check (list int)) "valid prefix only" [ 9; 10 ] (collect ~from:9)
+
+(* ----------------------------------------------- Wal equivalence (model) *)
+
+(* The pre-optimisation WAL, verbatim semantics: two newest-first lists with
+   linear scans everywhere.  It is deliberately naive — the point is that the
+   indexed implementation in [Dvp_storage.Wal] must be observably identical
+   to it over arbitrary scripts of appends, forces, crashes, faults, repairs
+   and truncations. *)
+module Model = struct
+  type 'r entry = { payload : 'r; sum : int }
+
+  type 'r t = {
+    mutable stable : 'r entry list; (* newest first *)
+    mutable stable_len : int;
+    mutable buffer : 'r entry list; (* newest first *)
+    mutable buffer_len : int;
+    mutable base_index : int;
+    mutable pending_fault : Wal.fault option;
+    mutable repaired_count : int;
+    mutable repair_count : int;
+  }
+
+  let checksum payload = Hashtbl.hash payload
+
+  let valid e = e.sum = checksum e.payload
+
+  let create () =
+    {
+      stable = [];
+      stable_len = 0;
+      buffer = [];
+      buffer_len = 0;
+      base_index = 0;
+      pending_fault = None;
+      repaired_count = 0;
+      repair_count = 0;
+    }
+
+  let force t =
+    if t.buffer_len > 0 then begin
+      t.stable <- t.buffer @ t.stable;
+      t.stable_len <- t.stable_len + t.buffer_len;
+      t.buffer <- [];
+      t.buffer_len <- 0
+    end
+
+  let append ?(forced = true) t r =
+    t.buffer <- { payload = r; sum = checksum r } :: t.buffer;
+    t.buffer_len <- t.buffer_len + 1;
+    if forced then force t
+
+  let inject_fault t f = t.pending_fault <- Some f
+
+  let apply_fault t f =
+    let persist =
+      match f with
+      | Wal.Torn { persist } -> min (max persist 0) t.buffer_len
+      | Wal.Corrupt_tail -> t.buffer_len
+    in
+    if persist > 0 then begin
+      let surviving = List.filteri (fun i _ -> i >= t.buffer_len - persist) t.buffer in
+      let corrupted =
+        match surviving with
+        | newest :: rest -> { newest with sum = lnot newest.sum } :: rest
+        | [] -> []
+      in
+      t.stable <- corrupted @ t.stable;
+      t.stable_len <- t.stable_len + persist
+    end
+
+  let crash t =
+    (match t.pending_fault with Some f -> apply_fault t f | None -> ());
+    t.pending_fault <- None;
+    t.buffer <- [];
+    t.buffer_len <- 0
+
+  let valid_entries t =
+    let rec take acc = function
+      | e :: rest when valid e -> take (e :: acc) rest
+      | _ -> List.rev acc
+    in
+    take [] (List.rev t.stable)
+
+  let records t = List.map (fun e -> e.payload) (valid_entries t)
+
+  let corrupt_tail t = t.stable_len - List.length (valid_entries t)
+
+  let repair t =
+    let bad = corrupt_tail t in
+    if bad > 0 then begin
+      let rec drop n l = if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+      t.stable <- drop bad t.stable;
+      t.stable_len <- t.stable_len - bad;
+      t.repair_count <- t.repair_count + 1;
+      t.repaired_count <- t.repaired_count + bad
+    end;
+    bad
+
+  let end_index t = t.base_index + t.stable_len
+
+  let truncate_before t ~keep_from =
+    let drop = keep_from - t.base_index in
+    if drop > 0 then begin
+      let keep = max 0 (t.stable_len - drop) in
+      let rec take n l acc =
+        if n = 0 then List.rev acc
+        else match l with [] -> List.rev acc | x :: rest -> take (n - 1) rest (x :: acc)
+      in
+      t.stable <- take keep t.stable [];
+      t.stable_len <- keep;
+      t.base_index <- keep_from
+    end
+end
+
+(* Equivalence property: run the same random script against the indexed WAL
+   and the list model, and after every step compare every observable the rest
+   of the system reads.  This is the safety net for the growable-array
+   rewrite: any divergence in fault semantics, valid-prefix reads, repair
+   accounting or index arithmetic shows up as a shrunk counterexample
+   script. *)
+let prop_wal_equivalence =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map (fun b -> `Append b) bool);
+          (2, return `Force);
+          (2, return `Crash);
+          (1, map (fun k -> `Inject_torn k) (int_range 0 6));
+          (1, return `Inject_corrupt);
+          (2, return `Repair);
+          (1, map (fun k -> `Truncate k) (int_range 0 50));
+        ])
+  in
+  let pp_op = function
+    | `Append b -> Printf.sprintf "Append(forced=%b)" b
+    | `Force -> "Force"
+    | `Crash -> "Crash"
+    | `Inject_torn k -> Printf.sprintf "Inject_torn(%d)" k
+    | `Inject_corrupt -> "Inject_corrupt"
+    | `Repair -> "Repair"
+    | `Truncate k -> Printf.sprintf "Truncate(keep_from=%d)" k
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+      QCheck.Gen.(list_size (int_range 0 80) op_gen)
+  in
+  QCheck.Test.make ~name:"indexed wal is observably equal to the list model" ~count:500 arb
+    (fun ops ->
+      let w = Wal.create () in
+      let m = Model.create () in
+      let n = ref 0 in
+      List.for_all
+        (fun op ->
+          let repairs_agree =
+            match op with
+            | `Append forced ->
+              incr n;
+              Wal.append ~forced w !n;
+              Model.append ~forced m !n;
+              true
+            | `Force ->
+              Wal.force w;
+              Model.force m;
+              true
+            | `Crash ->
+              Wal.crash w;
+              Model.crash m;
+              true
+            | `Inject_torn k ->
+              Wal.inject_fault w (Wal.Torn { persist = k });
+              Model.inject_fault m (Wal.Torn { persist = k });
+              true
+            | `Inject_corrupt ->
+              Wal.inject_fault w Wal.Corrupt_tail;
+              Model.inject_fault m Wal.Corrupt_tail;
+              true
+            | `Repair -> Wal.repair w = Model.repair m
+            | `Truncate keep_from ->
+              Wal.truncate_before w ~keep_from;
+              Model.truncate_before m ~keep_from;
+              true
+          in
+          let from_records =
+            let acc = ref [] in
+            Wal.iter_from w ~from:(Wal.end_index w - Wal.stable_length w) (fun r ->
+                acc := r :: !acc);
+            List.rev !acc
+          in
+          repairs_agree
+          && Wal.records w = Model.records m
+          && from_records = Model.records m
+          && Wal.corrupt_tail w = Model.corrupt_tail m
+          && Wal.stable_length w = m.Model.stable_len
+          && Wal.buffered w = m.Model.buffer_len
+          && Wal.end_index w = Model.end_index m
+          && Wal.repairs w = m.Model.repair_count
+          && Wal.repaired_records w = m.Model.repaired_count)
+        ops)
+
 (* --------------------------------------------------------------- Stable *)
 
 let test_stable_cell_survives () =
@@ -363,7 +586,9 @@ let () =
             test_wal_end_index_monotone;
           Alcotest.test_case "repair rewinds end_index to valid prefix" `Quick
             test_wal_repair_preserves_end_index_base;
+          Alcotest.test_case "iter_from" `Quick test_wal_iter_from;
           QCheck_alcotest.to_alcotest prop_wal_stability;
+          QCheck_alcotest.to_alcotest prop_wal_equivalence;
         ] );
       ( "stable",
         [

@@ -52,6 +52,7 @@ let deliver h ~src msg =
   match msg with
   | Proto.Vm_data { seq; item; amount; reply_to; ack_upto; _ } ->
     Vm.handle_data h.vms.(dst) ~src ~seq ~item ~amount ~reply_to ~ack_upto
+  | Proto.Vm_batch { frags; ack_upto; _ } -> Vm.handle_batch h.vms.(dst) ~src ~frags ~ack_upto
   | Proto.Vm_ack { upto } -> Vm.handle_ack h.vms.(dst) ~src ~upto
   | Proto.Request _ -> ()
 
@@ -279,6 +280,111 @@ let test_checkpoint_codec () =
   Alcotest.(check bool) "roundtrips" true
     (Log_event.decode (Log_event.encode record) = Some record)
 
+(* ------------------------------------------------- batching and backoff *)
+
+let test_batch_roundtrip () =
+  let h = mk_harness () in
+  for i = 0 to 2 do
+    Vm.send_value h.vms.(0) ~dst:1 ~item:i ~amount:(i + 1) ~new_local:0 ()
+  done;
+  (* Lose the three initial singles; the retransmission scan finds three due
+     fragments for one destination and coalesces them. *)
+  drop_all h ~src:0;
+  Engine.run_until h.engine 0.2;
+  Alcotest.(check int) "one real message for three fragments" 1 (Queue.length h.queues.(0));
+  (match Queue.peek h.queues.(0) with
+  | _, Proto.Vm_batch { frags; _ } ->
+    Alcotest.(check (list int)) "fragments in seq order" [ 0; 1; 2 ]
+      (List.map (fun f -> f.Proto.seq) frags)
+  | _ -> Alcotest.fail "expected a Vm_batch");
+  pump_all h;
+  for i = 0 to 2 do
+    Alcotest.(check int) "credited" (i + 1) h.frags.(1).(i);
+    Alcotest.(check bool) "settled" false (Vm.has_outstanding h.vms.(0) ~item:i)
+  done;
+  Alcotest.(check int) "watermark covers the batch" 2 (Vm.accepted_upto h.vms.(1) ~peer:0)
+
+let test_batch_duplicate_and_reorder () =
+  (* Hand-crafted batches against the receiving side: the in-order /
+     duplicate rules apply per fragment, exactly as for singles. *)
+  let h = mk_harness () in
+  let frag seq item amount = { Proto.seq; item; amount; reply_to = None } in
+  Vm.handle_batch h.vms.(1) ~src:0 ~frags:[ frag 0 0 1; frag 1 1 2 ] ~ack_upto:(-1);
+  Alcotest.(check int) "both credited" 1 h.frags.(1).(0);
+  Alcotest.(check int) "watermark" 1 (Vm.accepted_upto h.vms.(1) ~peer:0);
+  (* Replay of the whole batch: every fragment is a duplicate. *)
+  Vm.handle_batch h.vms.(1) ~src:0 ~frags:[ frag 0 0 1; frag 1 1 2 ] ~ack_upto:(-1);
+  Alcotest.(check int) "no double credit" 1 h.frags.(1).(0);
+  Alcotest.(check int) "duplicates counted per fragment" 2
+    (Metrics.vm_duplicates h.metrics.(1));
+  (* Overlapping batch: one duplicate, one fresh. *)
+  Vm.handle_batch h.vms.(1) ~src:0 ~frags:[ frag 1 1 2; frag 2 0 4 ] ~ack_upto:(-1);
+  Alcotest.(check int) "fresh fragment credited" 5 h.frags.(1).(0);
+  Alcotest.(check int) "watermark advanced" 2 (Vm.accepted_upto h.vms.(1) ~peer:0);
+  (* Reordered within a batch: the future fragment (seq 4) is ignored, the
+     in-order one (seq 3) lands; a later retransmission completes the gap. *)
+  Vm.handle_batch h.vms.(1) ~src:0 ~frags:[ frag 4 1 8; frag 3 0 16 ] ~ack_upto:(-1);
+  Alcotest.(check int) "in-order fragment credited" 21 h.frags.(1).(0);
+  Alcotest.(check int) "future fragment not credited" 2 h.frags.(1).(1);
+  Alcotest.(check int) "watermark stops at the gap" 3 (Vm.accepted_upto h.vms.(1) ~peer:0);
+  Vm.handle_batch h.vms.(1) ~src:0 ~frags:[ frag 4 1 8 ] ~ack_upto:(-1);
+  Alcotest.(check int) "gap filled on retransmission" 10 h.frags.(1).(1);
+  Alcotest.(check int) "watermark complete" 4 (Vm.accepted_upto h.vms.(1) ~peer:0)
+
+let test_batch_partition_heals () =
+  let h = mk_harness () in
+  for i = 0 to 4 do
+    Vm.send_value h.vms.(0) ~dst:1 ~item:(i mod 4) ~amount:10 ~new_local:0 ()
+  done;
+  (* A 2-second partition: every real message in either direction is lost. *)
+  for _ = 1 to 10 do
+    Engine.run_until h.engine (Engine.now h.engine +. 0.2);
+    drop_all h ~src:0;
+    drop_all h ~src:1
+  done;
+  (* Heal and let the (backed-off) retransmissions settle everything. *)
+  for _ = 1 to 30 do
+    Engine.run_until h.engine (Engine.now h.engine +. 0.2);
+    pump_all h
+  done;
+  let total = Array.fold_left ( + ) 0 h.frags.(1) in
+  Alcotest.(check int) "every fragment arrives exactly once" 50 total;
+  for i = 0 to 3 do
+    Alcotest.(check bool) "nothing outstanding" false (Vm.has_outstanding h.vms.(0) ~item:i)
+  done
+
+(* A lone sender whose transport is a black hole — a sustained partition.
+   [mult] controls the backoff multiplier (1.0 = fixed retry period). *)
+let blackholed_retransmissions ~mult ~outstanding ~seconds =
+  let engine = Engine.create () in
+  let wal = Wal.create () in
+  let metrics = Metrics.create () in
+  let vm =
+    Vm.create engine ~n:2 ~self:0 ~wal
+      ~send:(fun ~dst:_ _ -> ())
+      ~try_credit:(fun ~peer:_ ~item:_ ~amount:_ ~reply_to:_ -> None)
+      ~ts_counter:(fun () -> 0)
+      ~backoff_mult:mult ~metrics ()
+  in
+  Vm.start vm;
+  for i = 0 to outstanding - 1 do
+    Vm.send_value vm ~dst:1 ~item:i ~amount:1 ~new_local:0 ()
+  done;
+  Engine.run_until engine (float_of_int seconds);
+  Metrics.vm_retransmissions metrics
+
+(* Property: under a sustained partition, exponential backoff keeps the
+   retransmission count well below the fixed-period sender's — and bounded by
+   the cap (0.6 s by default): at most ~2 scans per second, each resending
+   every outstanding fragment. *)
+let prop_backoff_bounds_retransmissions =
+  QCheck.Test.make ~name:"backoff bounds retransmissions under sustained partition" ~count:20
+    QCheck.(pair (int_range 1 8) (int_range 5 15))
+    (fun (outstanding, seconds) ->
+      let fixed = blackholed_retransmissions ~mult:1.0 ~outstanding ~seconds in
+      let backed = blackholed_retransmissions ~mult:2.0 ~outstanding ~seconds in
+      backed * 2 <= fixed && backed <= outstanding * (2 + (seconds * 2)))
+
 (* Property: under a random schedule of sends, deliveries, message drops,
    and crashes on both sides, no value is ever lost or duplicated:
    credited + still-outstanding = total sent.  (Forced-ack bookkeeping may
@@ -360,6 +466,14 @@ let () =
         [
           Alcotest.test_case "snapshot roundtrip" `Quick test_snapshot_roundtrip;
           Alcotest.test_case "checkpoint codec" `Quick test_checkpoint_codec;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "batch roundtrip" `Quick test_batch_roundtrip;
+          Alcotest.test_case "batch duplicate and reorder" `Quick
+            test_batch_duplicate_and_reorder;
+          Alcotest.test_case "batch partition heals" `Quick test_batch_partition_heals;
+          QCheck_alcotest.to_alcotest prop_backoff_bounds_retransmissions;
         ] );
       ("chaos", [ QCheck_alcotest.to_alcotest prop_vm_conserves_value ]);
     ]
