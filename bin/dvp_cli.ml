@@ -267,6 +267,82 @@ let restore_cmd workload sites dir =
       (Dvp.System.items sys);
     Printf.printf "conservation: %b\n" (Dvp.System.conserved_all sys)
 
+let print_fragments sys =
+  List.iter
+    (fun item ->
+      let frags = Dvp.System.fragments sys ~item in
+      Printf.printf "  item %-3d total %-8d fragments [%s]\n" item
+        (Dvp.System.total_at_sites sys ~item)
+        (String.concat "; " (Array.to_list (Array.map string_of_int frags))))
+    (Dvp.System.items sys)
+
+let evacuate_cmd workload sites rate duration seed kill_at victim force json =
+  (* Operator drill for degraded-mode recovery: run a workload with the
+     failure detector armed, permanently kill one site partway through, let
+     the survivors condemn it, then evacuate its fragments and verify
+     conservation end to end. *)
+  let victim = match victim with Some v -> v | None -> sites - 1 in
+  if victim < 0 || victim >= sites then begin
+    Printf.eprintf "evacuate: victim %d out of range for %d sites\n" victim sites;
+    exit 2
+  end;
+  let spec = build_spec workload sites rate duration seed in
+  let config =
+    { Dvp.Config.default with Dvp.Config.health = Some Dvp_health.Health.default_config }
+  in
+  let sys = Setup.dvp_system ~config spec in
+  let driver = Dvp_workload.Driver.of_dvp ~name:"dvp" sys in
+  let faults = [ Faultplan.at kill_at (Faultplan.Kill_forever victim) ] in
+  let o = Runner.run driver spec ~faults () in
+  let verdicts =
+    List.filter_map
+      (fun p ->
+        if p = victim || not (Dvp.System.site_up sys p) then None
+        else
+          Some
+            (Printf.sprintf "site %d: %s" p
+               (Dvp_health.Health.state_to_string
+                  (Dvp.System.health_state sys ~observer:p ~peer:victim))))
+      (List.init sites Fun.id)
+  in
+  if not json then begin
+    Format.printf "%a@." Runner.pp_outcome o;
+    Printf.printf "\nsite %d killed at t=%g; survivor verdicts: %s\n" victim kill_at
+      (String.concat ", " verdicts);
+    print_endline "fragments before evacuation:";
+    print_fragments sys
+  end;
+  match Dvp.System.evacuate ~force sys ~site:victim () with
+  | Error e ->
+    Printf.eprintf "evacuate: %s\n" e;
+    exit 1
+  | Ok r ->
+    let conserved = Dvp.System.conserved_all sys in
+    if json then
+      print_endline
+        (Dvp_util.Json.to_string_pretty
+           (Dvp_util.Json.Obj
+              [
+                ("site", Dvp_util.Json.Int r.Dvp.System.evac_site);
+                ("value_moved", Dvp_util.Json.Int r.Dvp.System.value_moved);
+                ("vms_delivered", Dvp_util.Json.Int r.Dvp.System.vms_delivered);
+                ("stranded", Dvp_util.Json.Int r.Dvp.System.stranded);
+                ("conserved", Dvp_util.Json.Bool conserved);
+              ]))
+    else begin
+      Printf.printf
+        "\nevacuated site %d: %d units re-homed, %d vm(s) delivered, %d stranded\n"
+        r.Dvp.System.evac_site r.Dvp.System.value_moved r.Dvp.System.vms_delivered
+        r.Dvp.System.stranded;
+      print_endline "fragments after evacuation:";
+      print_fragments sys;
+      Printf.printf "conservation: %b\n" conserved
+    end;
+    if not conserved then begin
+      prerr_endline "ERROR: conservation violated after evacuation";
+      exit 1
+    end
+
 let chaos_cmd seeds first_seed profile_name crashdumps json =
   match Dvp_chaos.Profile.of_string profile_name with
   | None ->
@@ -398,6 +474,29 @@ let dir_arg =
 
 let restore_term = Term.(const restore_cmd $ workload_arg $ sites_arg $ dir_arg)
 
+let kill_at_arg =
+  Arg.(
+    value
+    & opt float 3.0
+    & info [ "kill-at" ] ~doc:"Simulated time at which the victim dies forever.")
+
+let victim_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "victim" ] ~doc:"Site to kill and evacuate (default: the last site).")
+
+let force_arg =
+  Arg.(
+    value & flag
+    & info [ "force" ]
+        ~doc:"Evacuate even if no surviving site has condemned the victim yet.")
+
+let evacuate_term =
+  Term.(
+    const evacuate_cmd $ workload_arg $ sites_arg $ rate_arg $ duration_arg $ seed_arg
+    $ kill_at_arg $ victim_arg $ force_arg $ json_arg)
+
 let seeds_arg =
   Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of consecutive seeds to fuzz.")
 
@@ -437,6 +536,13 @@ let cmds =
     Cmd.v
       (Cmd.info "restore" ~doc:"Rebuild an installation from exported stable logs")
       restore_term;
+    Cmd.v
+      (Cmd.info "evacuate"
+         ~doc:
+           "Degraded-mode drill: kill one site permanently mid-run, let the failure \
+            detector condemn it, then evacuate its fragments onto the survivors and \
+            verify value conservation")
+      evacuate_term;
     Cmd.v
       (Cmd.info "chaos"
          ~doc:

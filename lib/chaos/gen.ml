@@ -34,6 +34,26 @@ let with_storage_faults rng ~prob plan =
       | _ -> [ e ])
     plan
 
+(* One permanent kill somewhere in the middle third of the run.  The
+   victim's own later events are dropped: a [Recover] would be a no-op on the
+   DvP system (dead-forever sites refuse recovery) but would silently
+   resurrect a baseline, and crashes of an already-dead site are noise. *)
+let with_kill rng ~n_sites ~duration plan =
+  let victim = Rng.int rng n_sites in
+  let kill_at = duration *. (0.3 +. (0.3 *. Rng.float rng 1.0)) in
+  let keep e =
+    e.Faultplan.at < kill_at
+    ||
+    match e.Faultplan.action with
+    | Faultplan.Crash s | Faultplan.Recover s | Faultplan.Checkpoint s
+    | Faultplan.Storage_fault (s, _) ->
+      s <> victim
+    | _ -> true
+  in
+  Faultplan.merge
+    [ Faultplan.at kill_at (Faultplan.Kill_forever victim) ]
+    (List.filter keep plan)
+
 let schedule ~seed ~(profile : Profile.t) =
   let rng = rng_of_seed seed in
   let base =
@@ -49,5 +69,13 @@ let schedule ~seed ~(profile : Profile.t) =
     checkpoint_jitter rng ~rate:profile.Profile.checkpoint_rate
       ~n_sites:profile.Profile.n_sites ~until:profile.Profile.duration
   in
-  with_storage_faults rng ~prob:profile.Profile.storage_fault_prob
-    (Faultplan.merge base ckpts)
+  let plan =
+    with_storage_faults rng ~prob:profile.Profile.storage_fault_prob
+      (Faultplan.merge base ckpts)
+  in
+  (* Killing draws from the rng only when enabled, so existing profiles keep
+     their historical schedule streams seed-for-seed. *)
+  if profile.Profile.kill_forever then
+    with_kill rng ~n_sites:profile.Profile.n_sites ~duration:profile.Profile.duration
+      plan
+  else plan

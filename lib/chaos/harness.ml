@@ -36,7 +36,17 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps ()
   let trace =
     match crashdumps with Some _ -> Some (Dvp_sim.Trace.create ()) | None -> None
   in
-  let sys = Setup.dvp_system ?trace spec in
+  let config =
+    if profile.Profile.detector then
+      Some
+        {
+          Dvp.Config.default with
+          Dvp.Config.health = Some Dvp_health.Health.default_config;
+          Dvp.Config.auto_evacuate = true;
+        }
+    else None
+  in
+  let sys = Setup.dvp_system ?config ?trace spec in
   let driver = Driver.of_dvp sys in
   let plan =
     match schedule with Some p -> p | None -> Gen.schedule ~seed ~profile
@@ -51,11 +61,22 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps ()
   List.iter
     (fun e ->
       match e.Faultplan.action with
-      | Faultplan.Recover _ ->
-        (* Slightly after the recovery event itself, so the oracle sees the
-           repaired, replayed state. *)
+      | Faultplan.Recover _ | Faultplan.Kill_forever _ ->
+        (* Slightly after the event itself: recoveries so the oracle sees the
+           repaired, replayed state; permanent kills so it sees the
+           stable-replay accounting for the dead site.  After a kill, check
+           again past the detector's condemnation horizon, when
+           auto-evacuation has re-homed the fragments. *)
         let at = e.Faultplan.at +. 1e-3 in
-        ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at))
+        ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at));
+        (match e.Faultplan.action with
+        | Faultplan.Kill_forever _ when profile.Profile.detector ->
+          let at =
+            e.Faultplan.at +. Dvp_health.Health.default_config.Dvp_health.Health.condemn_after
+            +. 1.0
+          in
+          ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at))
+        | _ -> ())
       | _ -> ())
     plan;
   let telemetry, flight =
@@ -71,7 +92,10 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps ()
     Runner.run driver spec ~faults:plan ~drain:profile.Profile.drain ?telemetry
       ?flight ()
   in
-  let final = Oracle.check_system sys @ Oracle.check_outcome o @ extra () in
+  let final =
+    Oracle.check_system sys @ Oracle.check_outcome o @ Oracle.check_liveness sys o
+    @ extra ()
+  in
   List.iter (fun viol -> violations := (System.now sys, viol) :: !violations) final;
   let sum_sites f =
     let acc = ref 0 in

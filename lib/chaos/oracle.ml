@@ -118,6 +118,23 @@ let check_outcome (o : Runner.outcome) =
        (Metrics.committed o.Runner.metrics) o.Runner.committed);
   List.rev !bad
 
+(* Degraded-mode liveness: a majority of healthy sites with plenty of
+   offered load must commit *something*.  A permanently dead minority site
+   stalling the whole system (e.g. every Ask splitting across a peer that can
+   never answer, with no detector to route around it) shows up here. *)
+let check_liveness sys (o : Runner.outcome) =
+  let n = System.n_sites sys in
+  let up = ref 0 in
+  for i = 0 to n - 1 do
+    if System.site_up sys i then incr up
+  done;
+  if (2 * !up > n) && o.Runner.submitted >= 50 && o.Runner.committed = 0 then
+    [
+      v "liveness" "%d/%d sites up, %d transactions submitted, none committed" !up n
+        o.Runner.submitted;
+    ]
+  else []
+
 let violation_to_json { check; detail } =
   Json.Obj [ ("check", Json.String check); ("detail", Json.String detail) ]
 

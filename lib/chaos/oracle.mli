@@ -27,6 +27,11 @@ val check_system : Dvp.System.t -> violation list
 val check_outcome : Dvp_workload.Runner.outcome -> violation list
 (** Counter cross-checks on a finished run. *)
 
+val check_liveness : Dvp.System.t -> Dvp_workload.Runner.outcome -> violation list
+(** Degraded-mode liveness on a finished run: with a strict majority of
+    sites up and at least 50 submissions, zero commits is a violation — a
+    permanently dead minority must not stall the survivors. *)
+
 val violation_to_json : violation -> Dvp_util.Json.t
 
 val pp_violation : Format.formatter -> violation -> unit

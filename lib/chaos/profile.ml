@@ -17,6 +17,8 @@ type t = {
   mean_loss_len : float;
   max_loss : float;
   checkpoint_rate : float;
+  detector : bool;
+  kill_forever : bool;
 }
 
 (* Small and quick: the tier-1 torture test and the check.sh smoke stage run
@@ -40,6 +42,8 @@ let bounded =
     mean_loss_len = 0.8;
     max_loss = 0.3;
     checkpoint_rate = 0.4;
+    detector = false;
+    kill_forever = false;
   }
 
 let default =
@@ -60,6 +64,8 @@ let default =
     mean_loss_len = 1.0;
     max_loss = 0.4;
     checkpoint_rate = 0.6;
+    detector = false;
+    kill_forever = false;
   }
 
 let heavy =
@@ -80,9 +86,37 @@ let heavy =
     mean_loss_len = 1.5;
     max_loss = 0.5;
     checkpoint_rate = 1.0;
+    detector = false;
+    kill_forever = false;
   }
 
-let all = [ bounded; default; heavy ]
+(* Degraded-mode torture: every run arms the failure detector with
+   auto-evacuation and permanently kills one site partway through, on top of
+   moderate crash/partition noise.  The oracle must see conservation hold
+   through detection, breaker parking, and the evacuation itself. *)
+let killer =
+  {
+    label = "killer";
+    n_sites = 6;
+    duration = 10.0;
+    drain = 3.0;
+    arrival_rate = 50.0;
+    n_items = 2;
+    item_total = 3000;
+    crash_rate = 0.4;
+    mean_downtime = 0.6;
+    storage_fault_prob = 0.4;
+    partition_rate = 0.2;
+    mean_partition_len = 0.8;
+    loss_rate = 0.2;
+    mean_loss_len = 0.8;
+    max_loss = 0.3;
+    checkpoint_rate = 0.4;
+    detector = true;
+    kill_forever = true;
+  }
+
+let all = [ bounded; default; heavy; killer ]
 
 let of_string s =
   List.find_opt (fun p -> p.label = String.lowercase_ascii s) all
@@ -121,4 +155,6 @@ let to_json t =
       ("mean_loss_len", Json.Float t.mean_loss_len);
       ("max_loss", Json.Float t.max_loss);
       ("checkpoint_rate", Json.Float t.checkpoint_rate);
+      ("detector", Json.Bool t.detector);
+      ("kill_forever", Json.Bool t.kill_forever);
     ]

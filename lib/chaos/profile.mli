@@ -27,6 +27,12 @@ type t = {
   mean_loss_len : float;
   max_loss : float;  (** loss probability drawn uniformly from [0, max_loss) *)
   checkpoint_rate : float;  (** checkpoints per second, random victim site *)
+  detector : bool;
+      (** arm the heartbeat failure detector (with auto-evacuation) on the
+          system under test *)
+  kill_forever : bool;
+      (** permanently kill one random site partway through the run — the
+          degraded-mode scenario the detector and evacuation must survive *)
 }
 
 val bounded : t
@@ -35,6 +41,10 @@ val bounded : t
 val default : t
 
 val heavy : t
+
+val killer : t
+(** Degraded-mode torture: detector + auto-evacuation on, one site killed
+    forever mid-run, plus moderate background chaos. *)
 
 val all : t list
 

@@ -30,19 +30,27 @@ let import_records ~path =
   close_in ic;
   result
 
-let restore_site site ~path =
+let read_records ~path =
   match import_records ~path with
+  | Ok records -> Ok records
   | Error line -> Error (Printf.sprintf "malformed log line: %s" line)
-  | Ok records ->
-    (* Crash the site (dropping volatile state), swap in the backup as its
-       entire stable log, and let ordinary recovery rebuild everything. *)
-    Site.crash site;
-    let wal = Site.wal site in
-    Wal.truncate_before wal ~keep_from:(Wal.end_index wal);
-    List.iter (fun r -> Wal.append ~forced:false wal r) records;
-    Wal.force wal;
-    Site.recover site;
-    Ok (List.length records)
+  | exception Sys_error e -> Error e
+
+let apply_records site records =
+  (* Crash the site (dropping volatile state), swap in the backup as its
+     entire stable log, and let ordinary recovery rebuild everything. *)
+  Site.crash site;
+  let wal = Site.wal site in
+  Wal.truncate_before wal ~keep_from:(Wal.end_index wal);
+  List.iter (fun r -> Wal.append ~forced:false wal r) records;
+  Wal.force wal;
+  Site.recover site;
+  List.length records
+
+let restore_site site ~path =
+  match read_records ~path with
+  | Error e -> Error e
+  | Ok records -> Ok (apply_records site records)
 
 let export_system sys ~dir =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -53,16 +61,24 @@ let export_system sys ~dir =
   !total
 
 let restore_system sys ~dir =
-  let rec go i acc =
-    if i >= System.n_sites sys then Ok acc
+  (* Two phases, so a bad backup cannot leave the system half-restored:
+     first parse every site file (any missing file or malformed line fails
+     the whole restore before a single site is touched), then apply. *)
+  let rec validate i acc =
+    if i >= System.n_sites sys then Ok (List.rev acc)
     else
       match
-        restore_site (System.site sys i)
-          ~path:(Filename.concat dir (Printf.sprintf "site-%d.log" i))
+        read_records ~path:(Filename.concat dir (Printf.sprintf "site-%d.log" i))
       with
-      | Ok n -> go (i + 1) (acc + n)
+      | Ok records -> validate (i + 1) (records :: acc)
       | Error e -> Error (Printf.sprintf "site %d: %s" i e)
   in
-  let result = go 0 0 in
-  (match result with Ok _ -> System.recalibrate_expected sys | Error _ -> ());
-  result
+  match validate 0 [] with
+  | Error _ as e -> e
+  | Ok all ->
+    let total = ref 0 in
+    List.iteri
+      (fun i records -> total := !total + apply_records (System.site sys i) records)
+      all;
+    System.recalibrate_expected sys;
+    Ok !total

@@ -25,4 +25,7 @@ val export_system : System.t -> dir:string -> int
 (** Export every site's log to [dir/site-<i>.log]; returns total records. *)
 
 val restore_system : System.t -> dir:string -> (int, string) result
-(** Restore every site of a (fresh) system from [dir]. *)
+(** Restore every site of a (fresh) system from [dir].  Atomic with respect
+    to validation: every [site-<i>.log] is parsed up front, and a missing
+    file or malformed line fails the whole restore with [Error] before any
+    site has been touched. *)

@@ -26,6 +26,9 @@ type t = {
   vm_batch : bool;
   vm_backoff_mult : float;
   vm_backoff_max : float;
+  health : Dvp_health.Health.config option;
+  auto_evacuate : bool;
+  vm_outbox_warn : int;
 }
 
 let default =
@@ -41,6 +44,9 @@ let default =
     vm_batch = true;
     vm_backoff_mult = 2.0;
     vm_backoff_max = 0.6;
+    health = None;
+    auto_evacuate = false;
+    vm_outbox_warn = 512;
   }
 
 let pp_request ppf = function
@@ -73,8 +79,8 @@ let grant_amount policy ~requested ~fragment =
 let other_sites ~self ~n =
   List.filter (fun s -> s <> self) (List.init n (fun i -> i))
 
-let request_targets policy ~rng ~self ~n ~shortfall =
-  let others = other_sites ~self ~n in
+let request_targets_among policy ~rng ~self ~candidates ~shortfall =
+  let others = List.filter (fun s -> s <> self) candidates in
   match others with
   | [] -> []
   | _ -> (
@@ -90,3 +96,6 @@ let request_targets policy ~rng ~self ~n ~shortfall =
       Dvp_util.Rng.shuffle rng arr;
       let k = max 1 (min k (Array.length arr)) in
       Array.to_list (Array.sub arr 0 k) |> List.map (fun s -> (s, shortfall)))
+
+let request_targets policy ~rng ~self ~n ~shortfall =
+  request_targets_among policy ~rng ~self ~candidates:(other_sites ~self ~n) ~shortfall

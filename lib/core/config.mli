@@ -75,6 +75,20 @@ type t = {
   vm_backoff_max : float;
       (** cap on the backed-off per-destination retransmission timeout
           (seconds; default 0.6) *)
+  health : Dvp_health.Health.config option;
+      (** [Some cfg] arms a per-site failure detector (Up / Suspected /
+          Condemned, see {!Dvp_health.Health}); Suspected destinations get
+          their Vm outbox parked and are skipped by [Ask] strategies.
+          [None] (the default) keeps the paper's fault model: every site is
+          assumed to eventually recover. *)
+  auto_evacuate : bool;
+      (** evacuate a site's fragments onto survivors automatically the
+          moment its peers condemn it (default false: evacuation is an
+          operator action via [System.evacuate]) *)
+  vm_outbox_warn : int;
+      (** high-water mark on a site's total outstanding/parked Vm outbox
+          depth; crossing it emits a one-shot
+          {!Dvp_sim.Trace.constructor:Outbox_high} warning (default 512) *)
 }
 
 val default : t
@@ -95,3 +109,16 @@ val request_targets :
   (Ids.site * int) list
 (** The (site, amount) request fan-out for a shortfall.  Empty when there are
     no other sites to ask. *)
+
+val request_targets_among :
+  request_policy ->
+  rng:Dvp_util.Rng.t ->
+  self:Ids.site ->
+  candidates:Ids.site list ->
+  shortfall:int ->
+  (Ids.site * int) list
+(** {!request_targets} restricted to an explicit candidate list — the
+    degraded-mode path, where the failure detector has excluded suspected
+    and condemned peers.  [Ask_all_split] divides the shortfall across the
+    {e remaining} candidates, spreading a dead site's share over healthy
+    ones.  [self] is filtered out of [candidates]. *)

@@ -14,6 +14,8 @@ type t =
     }
   | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int }
   | Vm_ack of { upto : int }
+  | Probe
+  | Probe_reply
 
 let pp ppf = function
   | Request { txn; item; kind } ->
@@ -25,9 +27,13 @@ let pp ppf = function
     let seqs = List.map (fun f -> string_of_int f.seq) frags in
     Format.fprintf ppf "Vm_batch(seqs=[%s] ack_upto=%d)" (String.concat ";" seqs) ack_upto
   | Vm_ack { upto } -> Format.fprintf ppf "Vm_ack(upto=%d)" upto
+  | Probe -> Format.pp_print_string ppf "Probe"
+  | Probe_reply -> Format.pp_print_string ppf "Probe_reply"
 
 let describe = function
   | Request _ -> "req"
   | Vm_data _ -> "vm"
   | Vm_batch _ -> "vmb"
   | Vm_ack _ -> "ack"
+  | Probe -> "probe"
+  | Probe_reply -> "pong"

@@ -62,8 +62,14 @@ type t =
   | Vm_ack of { upto : int }
       (** All Vm from the receiver of this ack's peer with seq ≤ [upto] are
           accepted. *)
+  | Probe
+      (** Failure-detector liveness probe for an idle link.  Like requests,
+          probes need no identifiers, no logging and no retransmission —
+          losing one merely delays detection by a scan period. *)
+  | Probe_reply  (** Answer to a {!constructor:Probe}; its delivery alone is the evidence. *)
 
 val pp : Format.formatter -> t -> unit
 
 val describe : t -> string
-(** Short tag for traces: ["req"], ["vm"], ["vmb"], ["ack"]. *)
+(** Short tag for traces: ["req"], ["vm"], ["vmb"], ["ack"], ["probe"],
+    ["pong"]. *)

@@ -16,6 +16,10 @@ type live_txn = {
   mutable timer : Engine.timer option;
   mutable awaiting : bool; (* in the redistribution (steps 2-3) phase *)
   drain_heard : (Ids.item * Ids.site, unit) Hashtbl.t;
+  mutable drain_expect : int;
+      (* peers expected to answer each drain, snapshot at request time — a
+         peer condemned mid-drain still counts (the txn times out), but one
+         condemned *before* is excluded so drains complete without it *)
   on_done : txn_result -> unit;
   mutable finished : bool;
 }
@@ -44,6 +48,9 @@ type t = {
      redistribution daemon *)
   askers : (Ids.item, (Ids.site, float) Hashtbl.t) Hashtbl.t;
   mutable up : bool;
+  (* The failure detector's verdict on each peer, wired by the system layer;
+     [None] = no detector, everyone presumed Up (the paper's fault model). *)
+  mutable health : (Ids.site -> Dvp_health.Health.state) option;
 }
 
 let vm_exn t = match t.vm with Some v -> v | None -> assert false
@@ -85,6 +92,30 @@ let timestamp_of t ~item = Db.timestamp t.db ~item
 let active_txns t = Hashtbl.length t.live
 
 let set_broadcast t b = t.broadcast <- Some b
+
+let set_health_view t f = t.health <- Some f
+
+let peer_state t peer =
+  match t.health with None -> Dvp_health.Health.Up | Some f -> f peer
+
+(* Whom to ask for value: only peers the detector calls Up.  Suspected peers
+   are skipped too — that is the point of suspicion: stop waiting out the
+   transaction timeout on a silent site and spread the shortfall across the
+   peers that answer. *)
+let ask_candidates t =
+  List.filter
+    (fun p -> p <> t.self && peer_state t p = Dvp_health.Health.Up)
+    (List.init t.n (fun i -> i))
+
+(* Whom a drain must hear from: everyone not Condemned.  A Suspected peer may
+   well be alive and holding value — excluding it would silently misread the
+   total — so the drain still waits on it (and times out if it really is
+   gone).  A Condemned peer's fragments are evacuation property; its stable
+   value is (or will be) zero, so reads complete without it. *)
+let drain_peers t =
+  List.filter
+    (fun p -> p <> t.self && peer_state t p <> Dvp_health.Health.Condemned)
+    (List.init t.n (fun i -> i))
 
 (* ------------------------------------------------------- Vm integration *)
 
@@ -178,7 +209,8 @@ let check_progress t id =
       match txn.kind with
       | General -> if ops_all_effective t txn then commit t txn
       | Drain_read items ->
-        if Hashtbl.length txn.drain_heard = (t.n - 1) * List.length items then commit t txn
+        if Hashtbl.length txn.drain_heard >= txn.drain_expect * List.length items then
+          commit t txn
     end
 
 let run_pending_progress t =
@@ -219,11 +251,16 @@ let send_requests t txn shortfalls =
          request policy: equal shares by default, the full shortfall under
          the aggressive policies. *)
       let msgs =
+        (* The broadcast still reaches every site; the detector only informs
+           the per-site ask — dividing the shortfall by the *healthy* peer
+           count keeps the asked total >= the shortfall when some peers are
+           out. *)
+        let healthy = max 1 (List.length (ask_candidates t)) in
         List.map
           (fun (item, shortfall) ->
             let share =
               match t.cfg.request_policy with
-              | Config.Ask_all_split -> (shortfall + t.n - 2) / (t.n - 1)
+              | Config.Ask_all_split -> (shortfall + healthy - 1) / healthy
               | Config.Ask_all_full | Config.Ask_one_random | Config.Ask_k _ -> shortfall
             in
             (* dst = -1: the request goes to every other site at once. *)
@@ -252,13 +289,15 @@ let send_requests t txn shortfalls =
               sent := true;
               emit t (Trace.Request_sent { site = t.self; dst; txn = txn.id; item; amount });
               t.send ~dst (Proto.Request { txn = txn.id; item; kind = Proto.Need amount }))
-            (Config.request_targets t.cfg.request_policy ~rng:t.rng ~self:t.self ~n:t.n
-               ~shortfall))
+            (Config.request_targets_among t.cfg.request_policy ~rng:t.rng ~self:t.self
+               ~candidates:(ask_candidates t) ~shortfall))
         shortfalls;
       !sent
 
 let send_drain_requests t txn items =
-  if t.n <= 1 then true (* nothing to gather; trivially complete *)
+  let peers = drain_peers t in
+  txn.drain_expect <- List.length peers;
+  if peers = [] then true (* nothing to gather; trivially complete *)
   else begin
     let msgs =
       List.map (fun item -> Proto.Request { txn = txn.id; item; kind = Proto.Drain }) items
@@ -266,12 +305,7 @@ let send_drain_requests t txn items =
     (match (t.cfg.cc, t.broadcast) with
     | Config.Conc2, Some b -> b msgs
     | _ ->
-      List.iter
-        (fun msg ->
-          for dst = 0 to t.n - 1 do
-            if dst <> t.self then t.send ~dst msg
-          done)
-        msgs);
+      List.iter (fun msg -> List.iter (fun dst -> t.send ~dst msg) peers) msgs);
     false
   end
 
@@ -369,6 +403,7 @@ let begin_txn t ~kind ~ops ~on_done =
       timer = None;
       awaiting = false;
       drain_heard = Hashtbl.create 4;
+      drain_expect = t.n - 1;
       on_done;
       finished = false;
     }
@@ -498,6 +533,12 @@ let handle_message t ~src msg =
       Vm.handle_batch (vm_exn t) ~src ~frags ~ack_upto;
       run_pending_progress t
     | Proto.Vm_ack { upto } -> Vm.handle_ack (vm_exn t) ~src ~upto
+    | Proto.Probe ->
+      (* The reply's delivery is the liveness evidence; nothing to log. *)
+      t.send ~dst:src Proto.Probe_reply
+    | Proto.Probe_reply ->
+      (* The network delivery observer already fed the detector. *)
+      ()
   end
 
 let handle_broadcast t ~src msgs =
@@ -508,7 +549,8 @@ let handle_broadcast t ~src msgs =
         | Proto.Request { txn; item; kind } ->
           Ids.Clock.witness t.clock txn;
           handle_request t ~src ~txn_id:txn ~item ~kind
-        | Proto.Vm_data _ | Proto.Vm_batch _ | Proto.Vm_ack _ -> ())
+        | Proto.Vm_data _ | Proto.Vm_batch _ | Proto.Vm_ack _ | Proto.Probe
+        | Proto.Probe_reply -> ())
       msgs
 
 (* -------------------------------------------------------- redistribution *)
@@ -691,6 +733,7 @@ let create engine ~self ~n ~send ~config ~rng ?trace () =
       pending_progress = [];
       askers = Hashtbl.create 8;
       up = true;
+      health = None;
     }
   in
   let vm =
@@ -700,7 +743,7 @@ let create engine ~self ~n ~send ~config ~rng ?trace () =
       ~metrics:t.metrics ?trace ~retransmit_every:config.Config.vm_retransmit
       ~ack_delay:config.Config.ack_delay ~batch:config.Config.vm_batch
       ~backoff_mult:config.Config.vm_backoff_mult ~backoff_max:config.Config.vm_backoff_max
-      ~rng:(Dvp_util.Rng.split t.rng) ()
+      ~rng:(Dvp_util.Rng.split t.rng) ~outbox_warn:config.Config.vm_outbox_warn ()
   in
   t.vm <- Some vm;
   Vm.start vm;

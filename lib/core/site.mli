@@ -45,6 +45,14 @@ val set_broadcast : t -> (Proto.t list -> unit) -> unit
 (** Conc2 transport: how a transaction's request set leaves the site as one
     totally-ordered broadcast.  Unused under Conc1. *)
 
+val set_health_view : t -> (Ids.site -> Dvp_health.Health.state) -> unit
+(** Wire the failure detector's verdict into request routing (degraded-mode
+    operation): [Ask] strategies only target peers judged [Up], spreading a
+    dead site's share of a shortfall across healthy ones, and drain reads
+    stop waiting for [Condemned] peers (whose fragments are evacuation
+    property).  Without this, every peer is presumed [Up] — the paper's
+    original fault model. *)
+
 val self : t -> Ids.site
 
 val config : t -> Config.t

@@ -1,6 +1,14 @@
 module Engine = Dvp_sim.Engine
 module Network = Dvp_net.Network
 module Broadcast = Dvp_net.Broadcast
+module Health = Dvp_health.Health
+
+type evacuation_report = {
+  evac_site : Ids.site;
+  value_moved : int;
+  vms_delivered : int;
+  stranded : int;
+}
 
 type t = {
   engine : Engine.t;
@@ -11,7 +19,227 @@ type t = {
   expected : (Ids.item, int) Hashtbl.t;
   item_list : Ids.item list ref;
   trace : Dvp_sim.Trace.t option;
+  mutable detectors : Health.t array; (* empty = no failure detector *)
+  dead_forever : bool array; (* [kill_forever] victims: recovery refused *)
+  evacuated : bool array;
 }
+
+let emit t ev =
+  match t.trace with
+  | Some tr -> Dvp_sim.Trace.emit tr ~time:(Engine.now t.engine) ev
+  | None -> ()
+
+(* -------------------------------------------- degraded-mode operation *)
+
+(* [d] is condemned when at least one live peer's detector says so — the
+   evacuation precondition (besides the site actually being down). *)
+let condemned_by t d =
+  t.detectors <> [||]
+  && Array.exists
+       (fun p -> p <> d && Site.is_up t.sites.(p) && Health.state t.detectors.(p) d = Health.Condemned)
+       (Array.init (Array.length t.sites) (fun i -> i))
+
+(* Fragment evacuation (operator action, or [auto_evacuate]).  Every step
+   below moves value exclusively through the ordinary Vm lifecycle —
+   [push_value] creations and [handle_message] deliveries — so the conserved
+   quantity N is untouched at every intermediate point; the oracle can run
+   mid-evacuation and still hold.
+
+   The dead site's protocol state is resurrected from its stable log, but
+   its network flag stays down: any real message its stack emits is dropped
+   at send time, and all transfer happens through direct loss-free delivery
+   calls below, entirely within one simulator event. *)
+let rec evacuate ?(force = false) t ~site:d () =
+  let n = Array.length t.sites in
+  let dead = t.sites.(d) in
+  if Site.is_up dead then Error "site is up; evacuation is for long-dead sites"
+  else if (not force) && not (condemned_by t d) then
+    Error "site is not condemned by any live peer (pass ~force:true to override)"
+  else begin
+    let live p = p <> d && Site.is_up t.sites.(p) in
+    let survivors = List.filter live (List.init n (fun i -> i)) in
+    let vms_delivered = ref 0 in
+    (* Phase 1: independent recovery from the stable log alone. *)
+    Site.recover dead;
+    let dvm = Site.vm dead in
+    (* Phase 2: flush inbound value.  The resurrected site has no live
+       transactions, so every in-order delivery is accepted on the spot; the
+       relayed watermark then empties the survivor's (typically parked)
+       outbox towards [d]. *)
+    List.iter
+      (fun p ->
+        let sp = t.sites.(p) in
+        let pvm = Site.vm sp in
+        List.iter
+          (fun (seq, item, amount) ->
+            let before = Vm.accepted_upto dvm ~peer:p in
+            Site.handle_message dead ~src:p
+              (Proto.Vm_data
+                 {
+                   seq;
+                   item;
+                   amount;
+                   ts_counter = Ids.Clock.current_counter (Site.clock sp);
+                   reply_to = None;
+                   ack_upto = Vm.accepted_upto pvm ~peer:d;
+                 });
+            if Vm.accepted_upto dvm ~peer:p > before then incr vms_delivered)
+          (Vm.outstanding_to pvm d);
+        Site.handle_message sp ~src:d (Proto.Vm_ack { upto = Vm.accepted_upto dvm ~peer:p }))
+      survivors;
+    (* Phase 3: re-home the fragments — plain Rds redistribution, split
+       evenly across the survivors, logged as ordinary Vm creations at [d]. *)
+    let value_moved = ref 0 in
+    (match survivors with
+    | [] -> ()
+    | _ ->
+      List.iter
+        (fun item ->
+          let frag = Site.fragment dead ~item in
+          if frag > 0 then
+            List.iter2
+              (fun p amount ->
+                if amount > 0 && Site.push_value dead ~dst:p ~item ~amount then
+                  value_moved := !value_moved + amount)
+              survivors
+              (Value.split_even frag ~parts:(List.length survivors)))
+        (Site.items dead));
+    (* Phase 4: deliver the dead site's whole outbox — stranded old Vm plus
+       the evacuation Vm just created — into each survivor in sequence
+       order, then relay the survivor's watermark back.  At an event
+       boundary any lock held at a survivor belongs to a transaction that is
+       awaiting value, and such transactions accept Vm themselves, so
+       deliveries into live survivors always stick. *)
+    List.iter
+      (fun p ->
+        let sp = t.sites.(p) in
+        let pvm = Site.vm sp in
+        List.iter
+          (fun (seq, item, amount) ->
+            let before = Vm.accepted_upto pvm ~peer:d in
+            Site.handle_message sp ~src:d
+              (Proto.Vm_data
+                 {
+                   seq;
+                   item;
+                   amount;
+                   ts_counter = Ids.Clock.current_counter (Site.clock dead);
+                   reply_to = None;
+                   ack_upto = Vm.accepted_upto dvm ~peer:p;
+                 });
+            if Vm.accepted_upto pvm ~peer:d > before then incr vms_delivered)
+          (Vm.outstanding_to dvm p);
+        Site.handle_message dead ~src:p (Proto.Vm_ack { upto = Vm.accepted_upto pvm ~peer:d }))
+      survivors;
+    (* Vm towards peers that are themselves down right now stay stranded in
+       the stable log; the sweep below re-delivers them if those peers come
+       back. *)
+    let stranded = ref 0 in
+    for p = 0 to n - 1 do
+      if p <> d then stranded := !stranded + List.length (Vm.outstanding_to dvm p)
+    done;
+    (* Persist the unforced ack-progress records before crashing [d] again —
+       losing them is harmless for conservation but would leave
+       already-accepted Vm listed in the stable outbox. *)
+    Dvp_storage.Wal.force (Site.wal dead);
+    Site.crash dead;
+    t.evacuated.(d) <- true;
+    emit t
+      (Dvp_sim.Trace.Evacuation
+         { site = d; value_moved = !value_moved; vms_delivered = !vms_delivered;
+           stranded = !stranded });
+    if !stranded > 0 then start_sweep t d;
+    Ok
+      {
+        evac_site = d;
+        value_moved = !value_moved;
+        vms_delivered = !vms_delivered;
+        stranded = !stranded;
+      }
+  end
+
+(* Periodic safety net for Vm stranded by an evacuation whose receiver was
+   down at the time: re-deliver from the dead site's stable log whenever the
+   receiver is back, until nothing is left. *)
+and start_sweep t d =
+  let n = Array.length t.sites in
+  let dead = t.sites.(d) in
+  let rec sweep () =
+    let remaining = ref 0 in
+    for p = 0 to n - 1 do
+      if p <> d then begin
+        let sp = t.sites.(p) in
+        let acked =
+          if Site.is_up sp then Vm.accepted_upto (Site.vm sp) ~peer:d
+          else Site.stable_accepted_upto sp ~peer:d
+        in
+        let pending =
+          List.filter (fun (seq, _, _) -> seq > acked) (Site.stable_outstanding_to dead ~dst:p)
+        in
+        if pending <> [] then
+          if Site.is_up sp then begin
+            List.iter
+              (fun (seq, item, amount) ->
+                Site.handle_message sp ~src:d
+                  (Proto.Vm_data
+                     {
+                       seq;
+                       item;
+                       amount;
+                       ts_counter = Ids.Clock.current_counter (Site.clock dead);
+                       reply_to = None;
+                       ack_upto = Site.stable_accepted_upto dead ~peer:p;
+                     }))
+              pending;
+            let acked' = Vm.accepted_upto (Site.vm sp) ~peer:d in
+            remaining :=
+              !remaining + List.length (List.filter (fun (seq, _, _) -> seq > acked') pending)
+          end
+          else remaining := !remaining + List.length pending
+      end
+    done;
+    if !remaining > 0 then ignore (Engine.schedule t.engine ~delay:0.5 sweep)
+  in
+  ignore (Engine.schedule t.engine ~delay:0.5 sweep)
+
+and maybe_auto_evacuate t d =
+  if t.cfg.Config.auto_evacuate && (not t.evacuated.(d)) && not (Site.is_up t.sites.(d)) then
+    (* Defer one engine step: the condemnation fires inside a detector scan
+       or a message delivery, and evacuation must run at an event boundary. *)
+    ignore
+      (Engine.schedule t.engine ~delay:0.0 (fun () ->
+           if (not t.evacuated.(d)) && not (Site.is_up t.sites.(d)) then
+             ignore (evacuate t ~site:d ())))
+
+(* A detector verdict changed at site [i]: trace it and drive the circuit
+   breaker (parked outbox) on the request/Vm path. *)
+and handle_transition t i ~peer st =
+  emit t (Dvp_sim.Trace.Health { site = i; peer; state = Health.state_to_string st });
+  let vm = Site.vm t.sites.(i) in
+  (match st with
+  | Health.Up -> Vm.unpark vm ~dst:peer
+  | Health.Suspected -> Vm.park vm ~dst:peer
+  | Health.Condemned ->
+    Vm.park vm ~dst:peer;
+    maybe_auto_evacuate t peer)
+
+and arm_detectors t hcfg =
+  let n = Array.length t.sites in
+  let dets =
+    Array.init n (fun i ->
+        Health.create hcfg ~engine:t.engine ~self:i ~n
+          ~send_probe:(fun dst ->
+            if Site.is_up t.sites.(i) then Network.send t.net ~src:i ~dst Proto.Probe)
+          ~on_transition:(fun ~peer st -> handle_transition t i ~peer st))
+  in
+  t.detectors <- dets;
+  (* Piggyback tap: every successful delivery is liveness evidence about its
+     sender — heartbeats ride the existing Vm/request traffic for free. *)
+  Network.set_observer t.net (fun ~src ~dst -> Health.note_alive dets.(dst) ~peer:src);
+  Array.iteri
+    (fun i site -> Site.set_health_view site (fun peer -> Health.state dets.(i) peer))
+    t.sites;
+  Array.iter Health.start dets
 
 let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   if n <= 0 then invalid_arg "System.create: need at least one site";
@@ -42,16 +270,25 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
       Some b
     | Config.Conc1 -> None
   in
-  {
-    engine;
-    net;
-    bcast;
-    sites;
-    cfg = config;
-    expected = Hashtbl.create 8;
-    item_list = ref [];
-    trace;
-  }
+  let t =
+    {
+      engine;
+      net;
+      bcast;
+      sites;
+      cfg = config;
+      expected = Hashtbl.create 8;
+      item_list = ref [];
+      trace;
+      detectors = [||];
+      dead_forever = Array.make n false;
+      evacuated = Array.make n false;
+    }
+  in
+  (match config.Config.health with
+  | None -> ()
+  | Some hcfg -> arm_detectors t hcfg);
+  t
 
 let engine t = t.engine
 
@@ -176,11 +413,43 @@ let heal t = Network.heal_partition t.net
 
 let crash_site t i =
   Network.set_site_up t.net i false;
-  Site.crash t.sites.(i)
+  Site.crash t.sites.(i);
+  (* The crashed site's own detector must not condemn the whole world while
+     it cannot hear anyone. *)
+  if t.detectors <> [||] then Health.pause t.detectors.(i)
 
 let recover_site t i =
-  Network.set_site_up t.net i true;
-  Site.recover t.sites.(i)
+  if not t.dead_forever.(i) then begin
+    Network.set_site_up t.net i true;
+    Site.recover t.sites.(i);
+    t.evacuated.(i) <- false;
+    if t.detectors <> [||] then begin
+      (* Resume this site's own view with fresh deadlines, and re-open its
+         breakers toward peers it still distrusts (resume revives Suspected
+         verdicts, Condemned ones stay until reinstated below won't apply). *)
+      Health.resume t.detectors.(i);
+      let vm = Site.vm t.sites.(i) in
+      Array.iteri
+        (fun peer st -> if st <> Health.Up then Vm.park vm ~dst:peer)
+        (Health.states t.detectors.(i));
+      (* Tell the survivors: a returning site is alive again.  Reinstating a
+         Condemned or Suspected verdict fires the Up transition, which
+         unparks the peer's outbox toward [i] and marks the backlog due —
+         retransmission resumes within one window. *)
+      Array.iteri
+        (fun p det ->
+          if p <> i && Site.is_up t.sites.(p) then
+            match Health.state det i with
+            | Health.Up -> ()
+            | Health.Suspected -> Health.note_alive det ~peer:i
+            | Health.Condemned -> Health.reinstate det ~peer:i)
+        t.detectors
+    end
+  end
+
+let kill_forever t i =
+  t.dead_forever.(i) <- true;
+  crash_site t i
 
 let site_up t i = Site.is_up t.sites.(i)
 
@@ -189,6 +458,15 @@ let set_all_links t params = Network.set_all_links t.net params
 let inject_wal_fault t i fault = Site.inject_wal_fault t.sites.(i) fault
 
 let checkpoint_site t i = Site.checkpoint t.sites.(i)
+
+let detector t i = if t.detectors = [||] then None else Some t.detectors.(i)
+
+let health_state t ~observer ~peer =
+  if t.detectors = [||] then Health.Up else Health.state t.detectors.(observer) peer
+
+let evacuated t i = t.evacuated.(i)
+
+let dead_forever t i = t.dead_forever.(i)
 
 (* --------------------------------------------------------- observation *)
 

@@ -125,6 +125,51 @@ val inject_wal_fault : t -> Ids.site -> Dvp_storage.Wal.fault -> unit
 val checkpoint_site : t -> Ids.site -> unit
 (** Checkpoint one site (no-op while it is crashed). *)
 
+val kill_forever : t -> Ids.site -> unit
+(** Crash a site permanently: like {!crash_site}, but {!recover_site} becomes
+    a no-op for it.  The failure model behind degraded-mode operation — the
+    site will never come back, and its fragments are recoverable only through
+    {!evacuate}. *)
+
+(** {2 Degraded-mode operation (failure detection and evacuation)}
+
+    Armed by setting {!Config.t.health}: each site runs a heartbeat failure
+    detector (piggybacked on delivered traffic, plus idle-time probes) that
+    classifies every peer as [Up], [Suspected], or [Condemned].  Suspected
+    peers get their Vm outbox parked (the circuit breaker — no
+    retransmissions, bounded send work) and are skipped by [Ask] request
+    strategies; Condemned peers additionally become eligible for fragment
+    evacuation. *)
+
+val detector : t -> Ids.site -> Dvp_health.Health.t option
+(** Site [i]'s failure detector, or [None] when health checking is off. *)
+
+val health_state : t -> observer:Ids.site -> peer:Ids.site -> Dvp_health.Health.state
+(** [observer]'s current verdict about [peer] ([Up] when detection is off). *)
+
+type evacuation_report = {
+  evac_site : Ids.site;  (** the site whose fragments were re-homed *)
+  value_moved : int;  (** total value re-homed through evacuation Vm *)
+  vms_delivered : int;  (** Vm accepted during the evacuation, both ways *)
+  stranded : int;  (** Vm left for the background sweep (receiver down) *)
+}
+
+val evacuate :
+  ?force:bool -> t -> site:Ids.site -> unit -> (evacuation_report, string) result
+(** Re-home a long-dead site's fragments and in-flight Vm onto the
+    survivors, using only its stable log and the ordinary Vm primitives —
+    so the conservation invariant holds at every intermediate step.
+    Refuses ([Error _]) if the site is up, or if no live peer has condemned
+    it (override with [~force:true] — the operator's prerogative).  Vm
+    addressed to peers that are down during the evacuation are re-delivered
+    by a background sweep once those peers return. *)
+
+val evacuated : t -> Ids.site -> bool
+(** Whether the site's fragments have been evacuated (reset if it ever
+    recovers). *)
+
+val dead_forever : t -> Ids.site -> bool
+
 (** {2 Observation} *)
 
 val fragments : t -> item:Ids.item -> int array

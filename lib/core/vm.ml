@@ -21,6 +21,10 @@ type dst_state = {
   q : (int * outbox_entry) Queue.t; (* ascending seq *)
   mutable rto : float; (* current (possibly backed-off) retransmission timeout *)
   mutable next_retry : float; (* engine time before which this dst is not rescanned *)
+  mutable parked : bool;
+      (* circuit breaker: a suspected destination gets no (re)transmissions;
+         entries keep queueing (bounded by the high-water warning) until the
+         destination is unparked or the queue is drained by evacuation *)
 }
 
 (* Per-item tally of unacknowledged value leaving this site, so the Section 5
@@ -46,6 +50,8 @@ type t = {
   backoff_mult : float; (* 1.0 disables backoff *)
   backoff_max : float;
   rng : Dvp_util.Rng.t option; (* jitter for backed-off retry times *)
+  outbox_warn : int; (* high-water mark on total outbox depth; <= 0 disables *)
+  mutable warned : bool; (* one-shot latch for the Outbox_high warning *)
   (* Volatile sender state (rebuilt from the log on recovery). *)
   mutable next_seq : int array; (* per destination *)
   mutable acked_upto : int array; (* per destination, cumulative *)
@@ -61,7 +67,7 @@ type t = {
 
 let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
     ?(retransmit_every = 0.15) ?(ack_delay = 0.0) ?(batch = true) ?(backoff_mult = 2.0)
-    ?backoff_max ?rng () =
+    ?backoff_max ?rng ?(outbox_warn = 0) () =
   let backoff_max =
     match backoff_max with Some m -> m | None -> 4.0 *. retransmit_every
   in
@@ -81,10 +87,13 @@ let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
     backoff_mult;
     backoff_max;
     rng;
+    outbox_warn;
+    warned = false;
     next_seq = Array.make n 0;
     acked_upto = Array.make n (-1);
     dsts =
-      Array.init n (fun _ -> { q = Queue.create (); rto = retransmit_every; next_retry = 0.0 });
+      Array.init n (fun _ ->
+          { q = Queue.create (); rto = retransmit_every; next_retry = 0.0; parked = false });
     items_out = Hashtbl.create 16;
     accepted = Array.make n (-1);
     timer = None;
@@ -117,6 +126,22 @@ let outstanding_to t dst =
     (fun acc (seq, e) -> (seq, e.payload.item, e.payload.amount) :: acc)
     [] t.dsts.(dst).q
   |> List.rev
+
+let outbox_depth t =
+  Array.fold_left (fun acc st -> acc + Queue.length st.q) 0 t.dsts
+
+(* One-shot high-water warning: fires once when the total outbox crosses the
+   mark (typically because a parked destination keeps accumulating), re-arms
+   only after the depth has fallen back to half of it. *)
+let check_depth t =
+  if t.outbox_warn > 0 then begin
+    let depth = outbox_depth t in
+    if depth > t.outbox_warn && not t.warned then begin
+      t.warned <- true;
+      emit t (Trace.Outbox_high { site = t.self; depth; limit = t.outbox_warn })
+    end
+    else if t.warned && depth <= t.outbox_warn / 2 then t.warned <- false
+  end
 
 let outstanding_amount t ~item =
   match Hashtbl.find_opt t.items_out item with Some tl -> tl.amount_sum | None -> 0
@@ -187,6 +212,22 @@ let reset_backoff t dst =
   st.rto <- t.retransmit_every;
   st.next_retry <- 0.0
 
+let park t ~dst = t.dsts.(dst).parked <- true
+
+let is_parked t ~dst = t.dsts.(dst).parked
+
+(* Re-opening the breaker: reset the backoff to the base period and mark
+   every queued entry stale, so the very next retransmission scan (at most
+   one period away) resends the whole backlog in order. *)
+let unpark t ~dst =
+  let st = t.dsts.(dst) in
+  if st.parked then begin
+    st.parked <- false;
+    reset_backoff t dst;
+    Queue.iter (fun (_, (e : outbox_entry)) -> e.last_sent <- neg_infinity) st.q;
+    check_depth t
+  end
+
 (* Retransmission scan: every outstanding Vm to a due destination is sent
    again, lowest sequence numbers first so the receiver's in-order rule makes
    progress.  Destinations that keep not answering are rescanned on their
@@ -197,7 +238,7 @@ let rec on_retransmit t =
     let now = Engine.now t.engine in
     for dst = 0 to t.n - 1 do
       let st = t.dsts.(dst) in
-      if (not (Queue.is_empty st.q)) && now >= st.next_retry then begin
+      if (not st.parked) && (not (Queue.is_empty st.q)) && now >= st.next_retry then begin
         let due = ref [] in
         Queue.iter
           (fun (seq, e) ->
@@ -252,12 +293,16 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
          reply_to;
          actions = [ Log_event.Set_fragment { item; value = new_local } ];
        });
-  Queue.push (seq, { payload = { item; amount; reply_to }; last_sent = Engine.now t.engine })
-    t.dsts.(dst).q;
+  let st = t.dsts.(dst) in
+  (* A parked destination still gets the Vm queued (it must survive for
+     evacuation or unparking), just no real message. *)
+  let last_sent = if st.parked then neg_infinity else Engine.now t.engine in
+  Queue.push (seq, { payload = { item; amount; reply_to }; last_sent }) st.q;
   tally_add t ~item ~amount;
   Metrics.vm_created t.metrics ~amount;
   emit t (Trace.Vm_created { site = t.self; dst; seq; item; amount });
-  transmit t ~dst ~seq ~item ~amount ~reply_to;
+  check_depth t;
+  if not st.parked then transmit t ~dst ~seq ~item ~amount ~reply_to;
   arm t
 
 let handle_ack t ~src ~upto =
@@ -274,6 +319,7 @@ let handle_ack t ~src ~upto =
       | Some _ | None -> continue := false
     done;
     t.acked_upto.(src) <- upto;
+    check_depth t;
     (* Progress: the peer is reachable again — retry at the base period. *)
     reset_backoff t src;
     (* Not forced: losing this record only causes harmless retransmission
@@ -354,9 +400,11 @@ let crash t =
     (fun st ->
       Queue.clear st.q;
       st.rto <- t.retransmit_every;
-      st.next_retry <- 0.0)
+      st.next_retry <- 0.0;
+      st.parked <- false)
     t.dsts;
-  Hashtbl.reset t.items_out
+  Hashtbl.reset t.items_out;
+  t.warned <- false
 
 let recover t =
   (* Rebuild exactly the protocol state from the stable log (including any
@@ -370,9 +418,11 @@ let recover t =
     (fun st ->
       Queue.clear st.q;
       st.rto <- t.retransmit_every;
-      st.next_retry <- 0.0)
+      st.next_retry <- 0.0;
+      st.parked <- false)
     t.dsts;
   Hashtbl.reset t.items_out;
+  t.warned <- false;
   (* The replay view is unordered; sort once here so the queues are ascending
      by seq again — the only sort left in the Vm engine. *)
   let entries =

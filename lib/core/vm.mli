@@ -43,6 +43,7 @@ val create :
   ?backoff_mult:float ->
   ?backoff_max:float ->
   ?rng:Dvp_util.Rng.t ->
+  ?outbox_warn:int ->
   unit ->
   t
 (** [try_credit] must either apply the credit to the local database and
@@ -58,7 +59,12 @@ val create :
     timeout after each fruitless rescan, up to [backoff_max] (default
     4 × [retransmit_every]); acknowledgement progress resets it.  [rng], when
     given, jitters the backed-off retry times by ±10% so senders do not
-    re-synchronise their retransmissions after a partition heals. *)
+    re-synchronise their retransmissions after a partition heals.
+
+    [outbox_warn] > 0 arms a one-shot {!Dvp_sim.Trace.constructor:Outbox_high}
+    warning when the total outbox depth (across all destinations, parked
+    included) crosses it; the warning re-arms once the depth falls back to
+    half the mark.  0 (default) disables the check. *)
 
 val start : t -> unit
 (** Arm the periodic retransmission scan. *)
@@ -87,6 +93,22 @@ val handle_ack : t -> src:Ids.site -> upto:int -> unit
 
 val outstanding_to : t -> Ids.site -> (int * Ids.item * int) list
 (** Unacknowledged (seq, item, amount) for one destination, ascending seq. *)
+
+val outbox_depth : t -> int
+(** Total unacknowledged Vm across all destinations, parked included — the
+    quantity the [outbox_warn] high-water mark watches. *)
+
+val park : t -> dst:Ids.site -> unit
+(** Open the circuit breaker towards [dst]: stop transmitting and
+    retransmitting to it.  Vm keep being created and queued (they must
+    survive for unparking or evacuation); only the real messages stop. *)
+
+val unpark : t -> dst:Ids.site -> unit
+(** Close the breaker: reset [dst]'s backoff to the base period and mark its
+    whole backlog due, so the next retransmission scan (at most one period
+    away) resends it in order.  No-op if not parked. *)
+
+val is_parked : t -> dst:Ids.site -> bool
 
 val outstanding_amount : t -> item:Ids.item -> int
 (** Total unacknowledged value of an item leaving this site (sender view —

@@ -1,0 +1,175 @@
+module Engine = Dvp_sim.Engine
+
+type state = Up | Suspected | Condemned
+
+let state_to_string = function
+  | Up -> "up"
+  | Suspected -> "suspected"
+  | Condemned -> "condemned"
+
+let state_of_string = function
+  | "up" -> Some Up
+  | "suspected" -> Some Suspected
+  | "condemned" -> Some Condemned
+  | _ -> None
+
+type config = {
+  probe_every : float;
+  probe_idle : float;
+  suspect_after : float;
+  condemn_after : float;
+  flap_penalty : float;
+  flap_max_scale : float;
+  flap_window : float;
+}
+
+let default_config =
+  {
+    probe_every = 0.1;
+    probe_idle = 0.25;
+    suspect_after = 0.5;
+    condemn_after = 4.0;
+    flap_penalty = 2.0;
+    flap_max_scale = 8.0;
+    flap_window = 5.0;
+  }
+
+type t = {
+  cfg : config;
+  engine : Engine.t;
+  self : int;
+  n : int;
+  state : state array;
+  last_heard : float array;
+  last_probe : float array;
+  scale : float array;  (* suspicion-timeout multiplier, flap hysteresis *)
+  last_flap : float array;
+  mutable paused : bool;
+  mutable started : bool;
+  send_probe : int -> unit;
+  on_transition : peer:int -> state -> unit;
+}
+
+let create ?(send_probe = fun _ -> ()) ?(on_transition = fun ~peer:_ _ -> ())
+    cfg ~engine ~self ~n =
+  let now = Engine.now engine in
+  {
+    cfg;
+    engine;
+    self;
+    n;
+    state = Array.make n Up;
+    last_heard = Array.make n now;
+    last_probe = Array.make n neg_infinity;
+    scale = Array.make n 1.0;
+    last_flap = Array.make n neg_infinity;
+    paused = false;
+    started = false;
+    send_probe;
+    on_transition;
+  }
+
+let set_state t peer st =
+  if t.state.(peer) <> st then begin
+    t.state.(peer) <- st;
+    t.on_transition ~peer st
+  end
+
+let note_alive t ~peer =
+  if peer <> t.self && peer >= 0 && peer < t.n then begin
+    let now = Engine.now t.engine in
+    t.last_heard.(peer) <- now;
+    match t.state.(peer) with
+    | Up -> ()
+    | Condemned -> () (* sticky: only [reinstate] undoes a membership decision *)
+    | Suspected ->
+      (* A revival is a flap: make the next suspicion harder to trigger. *)
+      t.scale.(peer) <-
+        Float.min t.cfg.flap_max_scale (t.scale.(peer) *. t.cfg.flap_penalty);
+      t.last_flap.(peer) <- now;
+      set_state t peer Up
+  end
+
+let scan t =
+  if not t.paused then begin
+    let now = Engine.now t.engine in
+    for peer = 0 to t.n - 1 do
+      if peer <> t.self then begin
+        (* Hysteresis decay: no flap for a while -> back to the base timeout. *)
+        if
+          t.scale.(peer) > 1.0
+          && now -. t.last_flap.(peer) > t.cfg.flap_window
+        then t.scale.(peer) <- 1.0;
+        let silence = now -. t.last_heard.(peer) in
+        (match t.state.(peer) with
+        | Condemned -> ()
+        | Up | Suspected ->
+          if silence >= t.cfg.condemn_after then set_state t peer Condemned
+          else if
+            t.state.(peer) = Up
+            && silence >= t.cfg.suspect_after *. t.scale.(peer)
+          then set_state t peer Suspected);
+        (* Idle-link probing, rate-limited to one per scan period. *)
+        if
+          t.state.(peer) <> Condemned
+          && silence >= t.cfg.probe_idle
+          && now -. t.last_probe.(peer) >= t.cfg.probe_every
+        then begin
+          t.last_probe.(peer) <- now;
+          t.send_probe peer
+        end
+      end
+    done
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    let rec tick () =
+      scan t;
+      ignore (Engine.schedule t.engine ~delay:t.cfg.probe_every tick)
+    in
+    ignore (Engine.schedule t.engine ~delay:t.cfg.probe_every tick)
+  end
+
+let state t peer = if peer = t.self then Up else t.state.(peer)
+let states t = Array.mapi (fun i st -> if i = t.self then Up else st) t.state
+
+let suspected t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if i <> t.self && t.state.(i) = Suspected then acc := i :: !acc
+  done;
+  !acc
+
+let condemned t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if i <> t.self && t.state.(i) = Condemned then acc := i :: !acc
+  done;
+  !acc
+
+let condemn t ~peer =
+  if peer <> t.self && t.state.(peer) <> Condemned then
+    set_state t peer Condemned
+
+let reinstate t ~peer =
+  if peer <> t.self && t.state.(peer) = Condemned then begin
+    t.last_heard.(peer) <- Engine.now t.engine;
+    t.scale.(peer) <- 1.0;
+    set_state t peer Up
+  end
+
+let pause t = t.paused <- true
+
+let resume t =
+  if t.paused then begin
+    t.paused <- false;
+    let now = Engine.now t.engine in
+    for peer = 0 to t.n - 1 do
+      if peer <> t.self && t.state.(peer) <> Condemned then begin
+        t.last_heard.(peer) <- now;
+        if t.state.(peer) = Suspected then set_state t peer Up
+      end
+    done
+  end

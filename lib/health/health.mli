@@ -1,0 +1,100 @@
+(** Per-site failure detector.
+
+    Each site owns one detector watching its [n - 1] peers.  Liveness
+    evidence is {e piggybacked}: every successfully delivered message from a
+    peer counts as a heartbeat ({!note_alive}), so under normal traffic the
+    detector costs nothing.  Only when a link has been idle longer than
+    [probe_idle] does the detector emit explicit probe messages through the
+    [send_probe] callback.
+
+    A peer moves through three states:
+
+    {ul
+    {- [Up] — heard from recently.}
+    {- [Suspected] — silent for more than [suspect_after] (scaled by the
+       flap hysteresis, below).  Callers park outbound traffic and skip the
+       peer when asking for value; the state is {e reversible} — any
+       delivery flips the peer back to [Up].}
+    {- [Condemned] — silent for more than [condemn_after].  This is a
+       membership decision: the state is {e sticky} and only an explicit
+       {!reinstate} (an operator action) undoes it.  Condemned peers are
+       candidates for fragment evacuation.}}
+
+    Flap resistance: every [Suspected -> Up] revival multiplies the peer's
+    suspicion timeout by [flap_penalty] (capped at [flap_max_scale]), so a
+    flapping link has to stay quiet progressively longer before being
+    re-suspected.  The scale decays back to 1 after [flap_window] seconds
+    without a flap.
+
+    The detector is driven by the simulation {!Dvp_sim.Engine}: {!start}
+    schedules a recurring scan every [probe_every] seconds.  While
+    {!pause}d (its owner site is down) scans are no-ops; {!resume} refreshes
+    every non-condemned peer's deadline so a recovering site does not
+    condemn the world for its own silence. *)
+
+type state = Up | Suspected | Condemned
+
+val state_to_string : state -> string
+(** ["up"] / ["suspected"] / ["condemned"]. *)
+
+val state_of_string : string -> state option
+
+type config = {
+  probe_every : float;  (** scan (and probe rate-limit) period, seconds *)
+  probe_idle : float;  (** probe a peer silent for longer than this *)
+  suspect_after : float;  (** base silence threshold for [Suspected] *)
+  condemn_after : float;  (** silence threshold for [Condemned] *)
+  flap_penalty : float;  (** timeout scale multiplier per flap, > 1 *)
+  flap_max_scale : float;  (** cap on the accumulated scale *)
+  flap_window : float;  (** scale decays back to 1 after this long *)
+}
+
+val default_config : config
+(** probe_every 0.1, probe_idle 0.25, suspect_after 0.5, condemn_after 4.0,
+    flap_penalty 2.0, flap_max_scale 8.0, flap_window 5.0. *)
+
+type t
+
+val create :
+  ?send_probe:(int -> unit) ->
+  ?on_transition:(peer:int -> state -> unit) ->
+  config ->
+  engine:Dvp_sim.Engine.t ->
+  self:int ->
+  n:int ->
+  t
+(** A detector for site [self] in an [n]-site system.  [send_probe peer] is
+    called to solicit a liveness reply from an idle peer; [on_transition]
+    fires on every state change (including forced {!condemn} and
+    {!reinstate}). *)
+
+val start : t -> unit
+(** Schedule the recurring scan.  Idempotent. *)
+
+val note_alive : t -> peer:int -> unit
+(** Evidence that [peer] is alive {e now} (a message from it was delivered).
+    Revives a [Suspected] peer; ignored for a [Condemned] one. *)
+
+val state : t -> int -> state
+(** Current verdict on a peer ([Up] for [self]). *)
+
+val states : t -> state array
+(** Snapshot of all verdicts, indexed by site. *)
+
+val suspected : t -> int list
+val condemned : t -> int list
+
+val condemn : t -> peer:int -> unit
+(** Force a peer straight to [Condemned] (oracle-instant detection in
+    experiments; also useful in tests).  No-op if already condemned. *)
+
+val reinstate : t -> peer:int -> unit
+(** Operator override: forget a [Condemned] verdict, returning the peer to
+    [Up] with a fresh deadline. *)
+
+val pause : t -> unit
+(** Owner site went down: stop judging peers. *)
+
+val resume : t -> unit
+(** Owner site came back: refresh every non-condemned peer's deadline and
+    resume scanning. *)

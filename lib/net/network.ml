@@ -20,6 +20,7 @@ type 'p t = {
   group_of : int array; (* partition group id per site *)
   stats : stats;
   trace : Dvp_sim.Trace.t option;
+  mutable observer : (src:int -> dst:int -> unit) option;
 }
 
 let create engine ~rng ~n ?(default = Linkstate.default) ?trace () =
@@ -42,6 +43,7 @@ let create engine ~rng ~n ?(default = Linkstate.default) ?trace () =
         duplicated = 0;
       };
     trace;
+    observer = None;
   }
 
 let emit t ev =
@@ -59,6 +61,8 @@ let check_site t i =
 let set_handler t i h =
   check_site t i;
   t.handlers.(i) <- Some h
+
+let set_observer t obs = t.observer <- Some obs
 
 let link t ~src ~dst =
   check_site t src;
@@ -103,6 +107,7 @@ let deliver t ~src ~dst payload =
     match t.handlers.(dst) with
     | Some h ->
       t.stats.delivered <- t.stats.delivered + 1;
+      (match t.observer with Some obs -> obs ~src ~dst | None -> ());
       h ~src payload
     | None ->
       t.stats.dropped_inflight <- t.stats.dropped_inflight + 1;

@@ -47,6 +47,13 @@ val set_handler : 'p t -> int -> (src:int -> 'p -> unit) -> unit
 (** Install site [i]'s receive handler.  Must be set before traffic flows to
     [i]. *)
 
+val set_observer : 'p t -> (src:int -> dst:int -> unit) -> unit
+(** Install a delivery observer, called just before the destination handler
+    on every successful cross-site delivery.  This is the failure detector's
+    piggyback tap: each delivery is free evidence that [src] was alive when
+    it sent.  Self-sends and drops are not observed.  At most one observer;
+    a second call replaces the first. *)
+
 val send : 'p t -> src:int -> dst:int -> 'p -> unit
 (** Transmit one real message.  Self-sends ([src = dst]) are delivered
     immediately with no loss (local computation, not a network hop) and do not

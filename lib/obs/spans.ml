@@ -192,7 +192,8 @@ let of_events ?(dropped = 0) events =
         let v = vm_acc (src, site, seq) in
         v.v_dups <- v.v_dups + 1
       | Trace.Crash _ | Trace.Recover _ | Trace.Checkpoint _ | Trace.Storage_fault _
-      | Trace.Wal_repair _ | Trace.Net_send _ | Trace.Net_drop _ | Trace.Note _ -> ())
+      | Trace.Wal_repair _ | Trace.Net_send _ | Trace.Net_drop _ | Trace.Health _
+      | Trace.Evacuation _ | Trace.Outbox_high _ | Trace.Note _ -> ())
     events;
   let txn_list =
     Hashtbl.fold
@@ -317,7 +318,10 @@ let site_of_event = function
   | Trace.Recover { site; _ }
   | Trace.Checkpoint { site; _ }
   | Trace.Storage_fault { site; _ }
-  | Trace.Wal_repair { site; _ } -> Some site
+  | Trace.Wal_repair { site; _ }
+  | Trace.Health { site; _ }
+  | Trace.Evacuation { site; _ }
+  | Trace.Outbox_high { site; _ } -> Some site
   | Trace.Net_send { src; _ } | Trace.Net_drop { src; _ } -> Some src
   | Trace.Note _ -> None
 

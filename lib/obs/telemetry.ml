@@ -209,4 +209,31 @@ let of_system ?(aborts_by_reason = true) sys =
           !total + Dvp.Metrics.vm_retransmissions (Dvp.Site.metrics (Dvp.System.site sys i))
       done;
       float_of_int !total);
+  gauge t "vm.outbox_depth" (fun () ->
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        total := !total + Dvp.Vm.outbox_depth (Dvp.Site.vm (Dvp.System.site sys i))
+      done;
+      float_of_int !total);
+  (* Health-state gauges only exist when the system runs a failure detector:
+     how many (observer, peer) verdicts currently sit in each degraded
+     state.  0/0 in a healthy run; nonzero spans show detection latency and
+     condemnation on the time axis. *)
+  (match Dvp.System.detector sys 0 with
+  | None -> ()
+  | Some _ ->
+    let count st =
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        match Dvp.System.detector sys i with
+        | None -> ()
+        | Some det ->
+          Array.iteri
+            (fun peer s -> if peer <> i && s = st then incr total)
+            (Dvp_health.Health.states det)
+      done;
+      float_of_int !total
+    in
+    gauge t "health.suspected" (fun () -> count Dvp_health.Health.Suspected);
+    gauge t "health.condemned" (fun () -> count Dvp_health.Health.Condemned));
   t

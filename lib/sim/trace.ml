@@ -22,6 +22,9 @@ type event =
   | Wal_repair of { site : int; dropped : int }
   | Net_send of { src : int; dst : int }
   | Net_drop of { src : int; dst : int }
+  | Health of { site : int; peer : int; state : string }
+  | Evacuation of { site : int; value_moved : int; vms_delivered : int; stranded : int }
+  | Outbox_high of { site : int; depth : int; limit : int }
   | Note of { category : string; message : string }
 
 type entry = { time : float; category : string; message : string }
@@ -105,6 +108,9 @@ let category_of_event = function
   | Checkpoint _ -> "checkpoint"
   | Storage_fault _ | Wal_repair _ -> "storage"
   | Net_send _ | Net_drop _ -> "net"
+  | Health _ -> "health"
+  | Evacuation _ -> "evac"
+  | Outbox_high _ -> "outbox"
   | Note { category; _ } -> category
 
 let pp_txn_id ppf (c, s) = Format.fprintf ppf "%d.%d" c s
@@ -141,6 +147,13 @@ let message_of_event = function
       (if dropped = 1 then "" else "s")
   | Net_send { src; dst } -> Printf.sprintf "message %d -> %d" src dst
   | Net_drop { src; dst } -> Printf.sprintf "message %d -> %d dropped" src dst
+  | Health { site; peer; state } ->
+    Printf.sprintf "site %d judges site %d %s" site peer state
+  | Evacuation { site; value_moved; vms_delivered; stranded } ->
+    Printf.sprintf "site %d evacuated: %d units re-homed, %d vms delivered, %d stranded"
+      site value_moved vms_delivered stranded
+  | Outbox_high { site; depth; limit } ->
+    Printf.sprintf "site %d outbox depth %d past high-water %d" site depth limit
   | Note { message; _ } -> message
 
 let entry_of (time, ev) =
@@ -258,6 +271,20 @@ let event_to_json ~time ev =
     base "wal_repair" [ ("site", Json.Int site); ("dropped", Json.Int dropped) ]
   | Net_send { src; dst } -> base "net_send" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
   | Net_drop { src; dst } -> base "net_drop" [ ("src", Json.Int src); ("dst", Json.Int dst) ]
+  | Health { site; peer; state } ->
+    base "health"
+      [ ("site", Json.Int site); ("peer", Json.Int peer); ("state", Json.String state) ]
+  | Evacuation { site; value_moved; vms_delivered; stranded } ->
+    base "evacuation"
+      [
+        ("site", Json.Int site);
+        ("value_moved", Json.Int value_moved);
+        ("vms_delivered", Json.Int vms_delivered);
+        ("stranded", Json.Int stranded);
+      ]
+  | Outbox_high { site; depth; limit } ->
+    base "outbox_high"
+      [ ("site", Json.Int site); ("depth", Json.Int depth); ("limit", Json.Int limit) ]
   | Note { category; message } ->
     base "note" [ ("category", Json.String category); ("message", Json.String message) ]
 
@@ -377,6 +404,22 @@ let event_of_json j =
       let* src = int "src" in
       let* dst = int "dst" in
       Some (Net_drop { src; dst })
+    | "health" ->
+      let* site = int "site" in
+      let* peer = int "peer" in
+      let* state = str "state" in
+      Some (Health { site; peer; state })
+    | "evacuation" ->
+      let* site = int "site" in
+      let* value_moved = int "value_moved" in
+      let* vms_delivered = int "vms_delivered" in
+      let* stranded = int "stranded" in
+      Some (Evacuation { site; value_moved; vms_delivered; stranded })
+    | "outbox_high" ->
+      let* site = int "site" in
+      let* depth = int "depth" in
+      let* limit = int "limit" in
+      Some (Outbox_high { site; depth; limit })
     | "note" ->
       let* category = str "category" in
       let* message = str "message" in
@@ -489,7 +532,10 @@ let to_chrome t =
       | Recover { site; _ }
       | Checkpoint { site; _ }
       | Storage_fault { site; _ }
-      | Wal_repair { site; _ } -> note_site site
+      | Wal_repair { site; _ }
+      | Health { site; _ }
+      | Evacuation { site; _ }
+      | Outbox_high { site; _ } -> note_site site
       | Net_send { src; dst } | Net_drop { src; dst } ->
         note_site src;
         note_site dst
@@ -603,8 +649,27 @@ let to_chrome t =
         push
           (chrome_common ~name:"drop" ~cat:"net" ~ph:"i" ~time ~pid:src ~tid:0
              [ ("s", Json.String "t"); ("args", Json.Obj [ ("dst", Json.Int dst) ]) ])
+      | Health { site; peer; state } ->
+        push
+          (chrome_common
+             ~name:(Printf.sprintf "site %d %s" peer state)
+             ~cat:"health" ~ph:"i" ~time ~pid:site ~tid:0
+             [ ("s", Json.String "t") ])
+      | Evacuation { site; value_moved; vms_delivered; stranded } ->
+        push
+          (chrome_common ~name:"evacuation" ~cat:"health" ~ph:"i" ~time ~pid:site ~tid:0
+             [
+               ("s", Json.String "p");
+               ( "args",
+                 Json.Obj
+                   [
+                     ("value_moved", Json.Int value_moved);
+                     ("vms_delivered", Json.Int vms_delivered);
+                     ("stranded", Json.Int stranded);
+                   ] );
+             ])
       | Vm_retransmit _ | Vm_dup _ | Lock_acquire _ | Lock_release _ | Request_sent _
-      | Request_honored _ | Request_ignored _ | Net_send _ | Note _ ->
+      | Request_honored _ | Request_ignored _ | Net_send _ | Outbox_high _ | Note _ ->
         (* Kept out of the Chrome view: high-volume noise there, but all
            present in the JSONL export. *)
         ())

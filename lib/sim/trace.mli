@@ -45,6 +45,13 @@ type event =
       (** recovery truncated [dropped] corrupt records off the stable tail *)
   | Net_send of { src : int; dst : int }
   | Net_drop of { src : int; dst : int }
+  | Health of { site : int; peer : int; state : string }
+      (** the failure detector at [site] changed its verdict on [peer]
+          ("up" / "suspected" / "condemned") *)
+  | Evacuation of { site : int; value_moved : int; vms_delivered : int; stranded : int }
+      (** a condemned [site]'s fragments were re-homed onto survivors *)
+  | Outbox_high of { site : int; depth : int; limit : int }
+      (** the site's parked/outstanding Vm outbox crossed its high-water mark *)
   | Note of { category : string; message : string }
 
 type entry = { time : float; category : string; message : string }

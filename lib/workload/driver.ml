@@ -13,6 +13,7 @@ type t = {
   heal : unit -> unit;
   crash : Dvp.Ids.site -> unit;
   recover : Dvp.Ids.site -> unit;
+  kill_forever : Dvp.Ids.site -> unit;
   set_links : Dvp_net.Linkstate.params -> unit;
   checkpoint : Dvp.Ids.site -> unit;
   inject_storage_fault : Dvp.Ids.site -> Dvp_storage.Wal.fault -> unit;
@@ -41,6 +42,7 @@ let of_dvp ?(name = "dvp") sys =
     heal = (fun () -> Dvp.System.heal sys);
     crash = (fun s -> Dvp.System.crash_site sys s);
     recover = (fun s -> Dvp.System.recover_site sys s);
+    kill_forever = (fun s -> Dvp.System.kill_forever sys s);
     set_links = (fun p -> Dvp.System.set_all_links sys p);
     checkpoint = (fun s -> Dvp.System.checkpoint_site sys s);
     inject_storage_fault = (fun s f -> Dvp.System.inject_wal_fault sys s f);
@@ -62,6 +64,9 @@ let of_trad ?(name = "trad") sys =
     heal = (fun () -> T.heal sys);
     crash = (fun s -> T.crash_site sys s);
     recover = (fun s -> T.recover_site sys s);
+    (* The baselines have no permanent-death notion: a killed site is simply
+       crashed and never recovered (the plan generator filters its Recovers). *)
+    kill_forever = (fun s -> T.crash_site sys s);
     set_links =
       (fun _ ->
         (* Baseline network parameters are fixed at creation; experiments

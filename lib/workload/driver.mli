@@ -20,6 +20,9 @@ type t = {
   heal : unit -> unit;
   crash : Dvp.Ids.site -> unit;
   recover : Dvp.Ids.site -> unit;
+  kill_forever : Dvp.Ids.site -> unit;
+      (** permanent crash: the site never recovers for the rest of the run
+          (baselines degrade this to a plain crash) *)
   set_links : Dvp_net.Linkstate.params -> unit;
   checkpoint : Dvp.Ids.site -> unit;
       (** checkpoint one site (no-op for baselines and while crashed) *)

@@ -5,6 +5,7 @@ type action =
   | Heal
   | Crash of Dvp.Ids.site
   | Recover of Dvp.Ids.site
+  | Kill_forever of Dvp.Ids.site
   | Set_links of Dvp_net.Linkstate.params
   | Checkpoint of Dvp.Ids.site
   | Storage_fault of Dvp.Ids.site * Dvp_storage.Wal.fault
@@ -117,6 +118,7 @@ let apply (d : Driver.t) = function
   | Heal -> d.Driver.heal ()
   | Crash s -> d.Driver.crash s
   | Recover s -> d.Driver.recover s
+  | Kill_forever s -> d.Driver.kill_forever s
   | Set_links p -> d.Driver.set_links p
   | Checkpoint s -> d.Driver.checkpoint s
   | Storage_fault (s, f) -> d.Driver.inject_storage_fault s f
@@ -140,6 +142,7 @@ let action_label = function
   | Heal -> "heal"
   | Crash s -> Printf.sprintf "crash site %d" s
   | Recover s -> Printf.sprintf "recover site %d" s
+  | Kill_forever s -> Printf.sprintf "kill site %d forever" s
   | Set_links p ->
     Printf.sprintf "set-links loss=%.2f dup=%.2f" p.Dvp_net.Linkstate.loss_prob
       p.Dvp_net.Linkstate.dup_prob

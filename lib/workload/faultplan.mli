@@ -11,6 +11,8 @@ type action =
   | Heal
   | Crash of Dvp.Ids.site
   | Recover of Dvp.Ids.site
+  | Kill_forever of Dvp.Ids.site
+      (** permanent crash: the site stays dead for the rest of the run *)
   | Set_links of Dvp_net.Linkstate.params
   | Checkpoint of Dvp.Ids.site
       (** force a snapshot record and truncate the site's log *)

@@ -13,6 +13,9 @@ type outcome = {
   per_site_committed : int array;
   per_site_submitted : int array;
   timeline : (float * float) list;
+  timeline_bucket : float;
+  bucket_committed : int array;
+  bucket_submitted : int array;
   conserved : bool option;
   crashdump : string option;
 }
@@ -151,6 +154,9 @@ let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bu
     per_site_committed;
     per_site_submitted;
     timeline;
+    timeline_bucket;
+    bucket_committed;
+    bucket_submitted;
     conserved;
     crashdump;
   }
@@ -231,6 +237,9 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
     per_site_committed;
     per_site_submitted;
     timeline;
+    timeline_bucket;
+    bucket_committed;
+    bucket_submitted;
     conserved;
     crashdump;
   }
@@ -250,6 +259,9 @@ let outcome_to_json o =
       ("availability", num o.availability);
       ("per_site_committed", ints o.per_site_committed);
       ("per_site_submitted", ints o.per_site_submitted);
+      ("timeline_bucket", num o.timeline_bucket);
+      ("bucket_committed", ints o.bucket_committed);
+      ("bucket_submitted", ints o.bucket_submitted);
       ( "conserved",
         match o.conserved with Some b -> Json.Bool b | None -> Json.Null );
       ( "crashdump",

@@ -15,6 +15,12 @@ type outcome = {
   timeline : (float * float) list;
       (** (bucket end time, commit ratio within the bucket) — the
           availability-over-time series of experiments E1/E3 *)
+  timeline_bucket : float;
+  bucket_committed : int array;
+  bucket_submitted : int array;
+      (** raw per-bucket counts behind [timeline], for experiments that
+          compare throughput over a sub-window (e.g. E19's post-detection
+          recovery) *)
   conserved : bool option;
       (** end-of-run conservation verdict; [None] for systems without the
           invariant (baselines) *)

@@ -29,6 +29,13 @@ CHAOS_SEEDS="${CHAOS_SEEDS:-25}"
 echo "== dvp-cli chaos --seeds $CHAOS_SEEDS =="
 dune exec bin/dvp_cli.exe -- chaos --seeds "$CHAOS_SEEDS"
 
+# Degraded-mode chaos: every seed permanently kills one site with the
+# failure detector and auto-evacuation armed; the oracle must see
+# conservation hold through detection, breaker parking, and evacuation.
+KILLER_SEEDS="${KILLER_SEEDS:-15}"
+echo "== dvp-cli chaos --profile killer --seeds $KILLER_SEEDS =="
+dune exec bin/dvp_cli.exe -- chaos --profile killer --seeds "$KILLER_SEEDS"
+
 # Analyze smoke: the trace tour writes a JSONL trace into artifacts/, and
 # the analyzer must reconstruct non-empty spans from it.
 echo "== dvp-cli analyze smoke run =="

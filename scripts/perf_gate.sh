@@ -110,3 +110,64 @@ if failures:
 print(f"perf gate ok: {len(base)} runs within {tol:.0%} of baseline, "
       f"best batching reduction {best_ratio:.1f}x")
 EOF
+
+baseline19="bench/baselines/BENCH_E19.json"
+
+if [ ! -s "$baseline19" ]; then
+  echo "perf gate: no baseline at $baseline19" >&2
+  exit 1
+fi
+
+echo "== perf gate: bench E19 vs $baseline19 (tol ${PERF_TOL}) =="
+dune exec bench/main.exe -- E19 --out "$tmpdir" >/dev/null
+
+python3 - "$baseline19" "$tmpdir/BENCH_E19.json" "$PERF_TOL" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+base = {r["scenario"]: r for r in base_doc["runs"]}
+cur = {r["scenario"]: r for r in cur_doc["runs"]}
+
+failures = []
+
+missing = set(base) - set(cur)
+if missing:
+    failures.append(f"runs missing from current output: {sorted(missing)}")
+
+for k, b in base.items():
+    c = cur.get(k)
+    if c is None:
+        continue
+    for field in ("throughput", "late_throughput"):
+        if c[field] < b[field] * (1.0 - tol):
+            failures.append(
+                f"{k}: {field} {c[field]:.1f} < baseline {b[field]:.1f} - {tol:.0%}")
+
+# The degraded-mode claim, on the current run alone: once the detector
+# condemns the dead site, the survivors recover to within 10% of their
+# pro-rata share of the no-fault rate, and detection never does worse than
+# no detection.
+on = cur.get("kill, detector on")
+off = cur.get("kill, detector off")
+if on is not None:
+    if on["late_vs_share"] < 0.90:
+        failures.append(
+            f"detector-on late throughput is {on['late_vs_share']:.0%} of the "
+            f"survivors' pro-rata no-fault share (need >= 90%)")
+    if off is not None and on["late_throughput"] < off["late_throughput"] * 0.97:
+        failures.append(
+            f"detector-on late throughput {on['late_throughput']:.1f} below "
+            f"detector-off {off['late_throughput']:.1f}")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+print(f"perf gate ok: {len(base)} E19 runs within {tol:.0%} of baseline, "
+      f"detector-on at {cur['kill, detector on']['late_vs_share']:.0%} of pro-rata share")
+EOF

@@ -1172,6 +1172,41 @@ let test_backup_rejects_garbage () =
   | Ok _ -> Alcotest.fail "garbage accepted");
   Sys.remove path
 
+let test_restore_system_atomic_on_corrupt_file () =
+  (* restore_system validates every site log before mutating anything: one
+     corrupt file must fail the whole restore and leave every site — not
+     just the corrupt one — exactly as it was. *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "dvp-backup-atomic-test" in
+  let sys = mk_system ~seed:99 ~items:[ (0, 100) ] () in
+  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet;
+  System.run_until sys 2.0;
+  ignore (Backup.export_system sys ~dir);
+  (* Corrupt the LAST site's file, so a non-atomic restore would already
+     have clobbered sites 0..2 by the time it notices. *)
+  let bad = Filename.concat dir "site-3.log" in
+  let oc = open_out_gen [ Open_append ] 0o644 bad in
+  output_string oc "garbage record\n";
+  close_out oc;
+  let sys2 = mk_system ~seed:100 ~items:[ (0, 100) ] () in
+  System.submit sys2 ~site:2 ~ops:[ (0, Op.Incr 5) ] ~on_done:quiet;
+  System.run_until sys2 1.0;
+  let before = System.fragments sys2 ~item:0 in
+  let log_before = System.stable_log_length sys2 in
+  (match Backup.restore_system sys2 ~dir with
+  | Error e ->
+    Alcotest.(check bool) "error names the corrupt site" true
+      (String.length e >= 6 && String.sub e 0 6 = "site 3")
+  | Ok _ -> Alcotest.fail "corrupt backup accepted");
+  Alcotest.(check (array int)) "no site mutated" before (System.fragments sys2 ~item:0);
+  Alcotest.(check int) "no log touched" log_before (System.stable_log_length sys2);
+  Alcotest.(check bool) "target still conserved" true (System.conserved_all sys2);
+  (* A missing file aborts the same way. *)
+  Sys.remove bad;
+  (match Backup.restore_system sys2 ~dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restore with a missing site log accepted");
+  Alcotest.(check (array int)) "still untouched" before (System.fragments sys2 ~item:0)
+
 (* Conc2 stress: heavy contention on a healthy network — everything waits,
    nothing deadlocks, value is conserved. *)
 let test_conc2_contention_stress () =
@@ -1620,6 +1655,8 @@ let () =
           Alcotest.test_case "backup restores outstanding vm" `Quick
             test_backup_restores_outstanding_vm;
           Alcotest.test_case "backup rejects garbage" `Quick test_backup_rejects_garbage;
+          Alcotest.test_case "restore atomic on corrupt file" `Quick
+            test_restore_system_atomic_on_corrupt_file;
           Alcotest.test_case "conc2 contention stress" `Quick test_conc2_contention_stress;
           Alcotest.test_case "determinism under faults" `Quick
             test_system_determinism_under_faults;

@@ -62,6 +62,17 @@ let event_gen =
       map2 (fun s d -> Trace.Wal_repair { site = s; dropped = d }) site (int_bound 5);
       map2 (fun s d -> Trace.Net_send { src = s; dst = d }) site site;
       map2 (fun s d -> Trace.Net_drop { src = s; dst = d }) site site;
+      map3
+        (fun s p st -> Trace.Health { site = s; peer = p; state = st })
+        site site
+        (oneofl [ "up"; "suspected"; "condemned" ]);
+      map3
+        (fun s v (d, r) -> Trace.Evacuation { site = s; value_moved = v; vms_delivered = d; stranded = r })
+        site amount
+        (pair (int_bound 40) (int_bound 8));
+      map3
+        (fun s d l -> Trace.Outbox_high { site = s; depth = d; limit = l })
+        site (int_bound 500) (int_bound 200);
       map2 (fun c m -> Trace.Note { category = c; message = m }) str str;
     ]
 
@@ -384,6 +395,31 @@ let test_runner_telemetry_and_conserved () =
   | Some Json.Null -> ()
   | _ -> Alcotest.fail "crashdump should be null"
 
+(* The degraded-mode gauges: of_system must expose the total Vm outbox depth
+   and, when a detector is armed, the survivors' Suspected/Condemned verdict
+   counts. *)
+let test_of_system_outbox_and_health_gauges () =
+  let config =
+    { Dvp.Config.default with Dvp.Config.health = Some Dvp_health.Health.default_config }
+  in
+  let sys = Dvp.System.create ~seed:5 ~config ~n:3 () in
+  Dvp.System.add_item sys ~item:0 ~total:90 ();
+  let tel = Telemetry.of_system sys in
+  Telemetry.attach tel (Dvp.System.engine sys) ~period:0.5;
+  Dvp.System.crash_site sys 2;
+  Dvp.System.run_until sys 2.0;
+  Telemetry.stop tel;
+  let series = Telemetry.series tel in
+  let names = List.map (fun s -> s.Telemetry.s_name) series in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (List.mem n names))
+    [ "vm.outbox_depth"; "health.suspected"; "health.condemned" ];
+  (* Site 2 has been silent past the suspicion deadline: both survivors'
+     verdicts must show up in the gauge by the final sample. *)
+  let suspected = List.find (fun s -> s.Telemetry.s_name = "health.suspected") series in
+  let peak = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 suspected.Telemetry.points in
+  Alcotest.(check bool) "suspicion observed" true (peak >= 2.0)
+
 let () =
   Alcotest.run "dvp_obs"
     [
@@ -404,7 +440,11 @@ let () =
           Alcotest.test_case "clipped trace flagged" `Quick test_span_clipped_trace;
         ] );
       ( "telemetry",
-        [ Alcotest.test_case "windowed series" `Quick test_telemetry_windows ] );
+        [
+          Alcotest.test_case "windowed series" `Quick test_telemetry_windows;
+          Alcotest.test_case "outbox + health gauges" `Quick
+            test_of_system_outbox_and_health_gauges;
+        ] );
       ( "flight",
         [ Alcotest.test_case "dump and reload" `Quick test_flight_dump_reload ] );
       ( "harness",
