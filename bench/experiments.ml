@@ -6,16 +6,16 @@
    records the expected shape and the measured outcome.  All runs are
    deterministic in the seed. *)
 
-module Table = Dvp_util.Table
-module Rng = Dvp_util.Rng
-module Engine = Dvp_sim.Engine
+module Table = Dvp.Util.Table
+module Rng = Dvp.Util.Rng
+module Engine = Dvp.Engine
 module Metrics = Dvp.Metrics
-module Spec = Dvp_workload.Spec
-module Setup = Dvp_workload.Setup
-module Runner = Dvp_workload.Runner
-module Faultplan = Dvp_workload.Faultplan
-module Trad_site = Dvp_baseline.Trad_site
-module Json = Dvp_util.Json
+module Spec = Dvp.Spec
+module Setup = Dvp.Setup
+module Runner = Dvp.Runner
+module Faultplan = Dvp.Faultplan
+module Trad_site = Dvp.Baseline.Trad_site
+module Json = Dvp.Util.Json
 
 let quorum_config =
   { Trad_site.default_config with Trad_site.placement = Trad_site.Replicated }
@@ -92,9 +92,9 @@ let e1 () =
       in
       let run name mk_driver =
         (* Replicate over seeds; report mean availability with its spread. *)
-        let avail = Dvp_util.Dstats.create () in
-        let tput = Dvp_util.Dstats.create () in
-        let p99 = Dvp_util.Dstats.create () in
+        let avail = Dvp.Util.Dstats.create () in
+        let tput = Dvp.Util.Dstats.create () in
+        let p99 = Dvp.Util.Dstats.create () in
         let blocked = ref 0.0 in
         List.iter
           (fun seed ->
@@ -107,9 +107,9 @@ let e1 () =
                   ("system", Json.String name);
                   ("seed", Json.Int seed);
                 ];
-            Dvp_util.Dstats.add avail o.Runner.availability;
-            Dvp_util.Dstats.add tput o.Runner.throughput;
-            Dvp_util.Dstats.add p99 (1000.0 *. Metrics.latency_p99 o.Runner.metrics);
+            Dvp.Util.Dstats.add avail o.Runner.availability;
+            Dvp.Util.Dstats.add tput o.Runner.throughput;
+            Dvp.Util.Dstats.add p99 (1000.0 *. Metrics.latency_p99 o.Runner.metrics);
             blocked := Float.max !blocked (Metrics.max_blocked o.Runner.metrics))
           seeds;
         Table.add_row t
@@ -117,10 +117,10 @@ let e1 () =
             Printf.sprintf "%.0f%%" (100.0 *. frac);
             name;
             Printf.sprintf "%.1f%% ± %.1f"
-              (100.0 *. Dvp_util.Dstats.mean avail)
-              (100.0 *. Dvp_util.Dstats.stddev avail);
-            Table.ffloat ~dec:1 (Dvp_util.Dstats.mean tput);
-            Table.ffloat ~dec:1 (Dvp_util.Dstats.mean p99);
+              (100.0 *. Dvp.Util.Dstats.mean avail)
+              (100.0 *. Dvp.Util.Dstats.stddev avail);
+            Table.ffloat ~dec:1 (Dvp.Util.Dstats.mean tput);
+            Table.ffloat ~dec:1 (Dvp.Util.Dstats.mean p99);
             Table.ffloat ~dec:2 !blocked;
           ]
       in
@@ -172,9 +172,9 @@ let e2 () =
       ]
   in
   let trad_case config ~seed ~plen =
-    let sys = Dvp_baseline.Trad_system.create ~seed ~config ~n:4 () in
-    Dvp_baseline.Trad_system.add_item sys ~item:0 ~total:100;
-    Dvp_baseline.Trad_system.submit sys ~site:2
+    let sys = Dvp.Baseline.Trad_system.create ~seed ~config ~n:4 () in
+    Dvp.Baseline.Trad_system.add_item sys ~item:0 ~total:100;
+    Dvp.Baseline.Trad_system.submit sys ~site:2
       ~ops:[ (0, Dvp.Op.Decr 10) ]
       ~on_done:(fun _ -> ());
     (* Vary the cut point across the protocol window (exec ~6 ms .. decision
@@ -182,17 +182,17 @@ let e2 () =
        decision-undelivered window where 3PC termination goes wrong. *)
     let cut = 0.012 +. (0.004 *. float_of_int (seed mod 8)) in
     ignore
-      (Engine.schedule (Dvp_baseline.Trad_system.engine sys) ~delay:cut (fun () ->
-           Dvp_baseline.Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ]));
+      (Engine.schedule (Dvp.Baseline.Trad_system.engine sys) ~delay:cut (fun () ->
+           Dvp.Baseline.Trad_system.partition sys [ [ 0 ]; [ 1; 2; 3 ] ]));
     ignore
-      (Engine.schedule (Dvp_baseline.Trad_system.engine sys) ~delay:(cut +. plen)
-         (fun () -> Dvp_baseline.Trad_system.heal sys));
-    Dvp_baseline.Trad_system.run_until sys (plen +. 10.0);
-    Dvp_baseline.Trad_system.flush_blocked sys;
-    let m = Dvp_baseline.Trad_system.metrics sys in
+      (Engine.schedule (Dvp.Baseline.Trad_system.engine sys) ~delay:(cut +. plen)
+         (fun () -> Dvp.Baseline.Trad_system.heal sys));
+    Dvp.Baseline.Trad_system.run_until sys (plen +. 10.0);
+    Dvp.Baseline.Trad_system.flush_blocked sys;
+    let m = Dvp.Baseline.Trad_system.metrics sys in
     ( Metrics.max_blocked m,
       Metrics.max_lock_hold m,
-      Dvp_baseline.Trad_system.inconsistencies sys )
+      Dvp.Baseline.Trad_system.inconsistencies sys )
   in
   let dvp_case ~seed ~plen =
     let sys = Dvp.System.create ~seed ~n:4 () in
@@ -332,29 +332,29 @@ let e4 () =
   let bench_trad () =
     let msgs = ref 0 and redo = ref 0 and ttfc = ref 0.0 in
     for seed = 0 to 19 do
-      let sys = Dvp_baseline.Trad_system.create ~seed ~n:4 () in
-      Dvp_baseline.Trad_system.add_item sys ~item:0 ~total:400;
+      let sys = Dvp.Baseline.Trad_system.create ~seed ~n:4 () in
+      Dvp.Baseline.Trad_system.add_item sys ~item:0 ~total:400;
       (* A remote transaction is mid-protocol when its home site crashes, so
          the site recovers with an in-doubt transaction in its log. *)
-      Dvp_baseline.Trad_system.submit sys ~site:2
+      Dvp.Baseline.Trad_system.submit sys ~site:2
         ~ops:[ (0, Dvp.Op.Decr 1) ]
         ~on_done:(fun _ -> ());
       ignore
-        (Engine.schedule (Dvp_baseline.Trad_system.engine sys) ~delay:0.022 (fun () ->
-             Dvp_baseline.Trad_system.crash_site sys 0));
+        (Engine.schedule (Dvp.Baseline.Trad_system.engine sys) ~delay:0.022 (fun () ->
+             Dvp.Baseline.Trad_system.crash_site sys 0));
       ignore
-        (Engine.schedule_at (Dvp_baseline.Trad_system.engine sys) ~at:3.0 (fun () ->
-             Dvp_baseline.Trad_system.recover_site sys 0;
-             let t0 = Dvp_baseline.Trad_system.now sys in
-             Dvp_baseline.Trad_system.submit sys ~site:0
+        (Engine.schedule_at (Dvp.Baseline.Trad_system.engine sys) ~at:3.0 (fun () ->
+             Dvp.Baseline.Trad_system.recover_site sys 0;
+             let t0 = Dvp.Baseline.Trad_system.now sys in
+             Dvp.Baseline.Trad_system.submit sys ~site:0
                ~ops:[ (0, Dvp.Op.Decr 1) ]
                ~on_done:(fun r ->
                  match r with
                  | Dvp.Site.Committed _ ->
-                   ttfc := !ttfc +. (Dvp_baseline.Trad_system.now sys -. t0)
+                   ttfc := !ttfc +. (Dvp.Baseline.Trad_system.now sys -. t0)
                  | Dvp.Site.Aborted _ -> ())));
-      Dvp_baseline.Trad_system.run_until sys 8.0;
-      let m = Dvp_baseline.Trad_system.metrics sys in
+      Dvp.Baseline.Trad_system.run_until sys 8.0;
+      let m = Dvp.Baseline.Trad_system.metrics sys in
       msgs := !msgs + Metrics.recovery_messages m;
       redo := !redo + Metrics.recovery_redos m
     done;
@@ -388,38 +388,38 @@ let e5 () =
   let run_central mode rate =
     let engine = Engine.create () in
     let rng = Rng.create 3 in
-    let net = Dvp_net.Network.create engine ~rng:(Rng.split rng) ~n:n_sites () in
+    let net = Dvp.Net.Network.create (Dvp.Substrate_des.of_engine engine) ~rng:(Rng.split rng) ~n:n_sites () in
     let metrics = Metrics.create () in
     let server =
-      Dvp_baseline.Escrow.server engine ~mode
-        ~send:(fun ~dst msg -> Dvp_net.Network.send net ~src:0 ~dst msg)
+      Dvp.Baseline.Escrow.server engine ~mode
+        ~send:(fun ~dst msg -> Dvp.Net.Network.send net ~src:0 ~dst msg)
         ()
     in
-    Dvp_baseline.Escrow.install server ~item:0 stock;
-    Dvp_net.Network.set_handler net 0 (fun ~src msg ->
-        Dvp_baseline.Escrow.handle_server server ~src msg);
+    Dvp.Baseline.Escrow.install server ~item:0 stock;
+    Dvp.Net.Network.set_handler net 0 (fun ~src msg ->
+        Dvp.Baseline.Escrow.handle_server server ~src msg);
     let clients =
       Array.init n_sites (fun i ->
           if i = 0 then None
           else
             Some
-              (Dvp_baseline.Escrow.client engine ~self:i
-                 ~send:(fun msg -> Dvp_net.Network.send net ~src:i ~dst:0 msg)
+              (Dvp.Baseline.Escrow.client engine ~self:i
+                 ~send:(fun msg -> Dvp.Net.Network.send net ~src:i ~dst:0 msg)
                  ~metrics ()))
     in
     Array.iteri
       (fun i c ->
         match c with
         | Some client ->
-          Dvp_net.Network.set_handler net i (fun ~src:_ msg ->
-              Dvp_baseline.Escrow.handle_client client msg)
+          Dvp.Net.Network.set_handler net i (fun ~src:_ msg ->
+              Dvp.Baseline.Escrow.handle_client client msg)
         | None -> ())
       clients;
     let rec arrivals () =
       if Engine.now engine < duration then begin
         (match clients.(1 + Rng.int rng (n_sites - 1)) with
         | Some client ->
-          Dvp_baseline.Escrow.request client ~item:0 ~op:(Dvp.Op.Decr 1)
+          Dvp.Baseline.Escrow.request client ~item:0 ~op:(Dvp.Op.Decr 1)
             ~on_done:(fun _ -> ())
         | None -> ());
         ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. rate)) arrivals)
@@ -436,7 +436,7 @@ let e5 () =
     let engine = Dvp.System.engine sys in
     let rng = Rng.create 3 in
     let committed = ref 0 in
-    let lat = Dvp_util.Dstats.Sample.create () in
+    let lat = Dvp.Util.Dstats.Sample.create () in
     let rec arrivals () =
       if Engine.now engine < duration then begin
         let site = Rng.int rng n_sites in
@@ -447,7 +447,7 @@ let e5 () =
             match r with
             | Dvp.Txn.Committed _ ->
               incr committed;
-              Dvp_util.Dstats.Sample.add lat (Engine.now engine -. t0)
+              Dvp.Util.Dstats.Sample.add lat (Engine.now engine -. t0)
             | Dvp.Txn.Aborted _ -> ());
         ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. rate)) arrivals)
       end
@@ -455,13 +455,13 @@ let e5 () =
     ignore (Engine.schedule engine ~delay:0.001 arrivals);
     Engine.run_until engine (duration +. 3.0);
     ( float_of_int !committed /. duration,
-      1000.0 *. Dvp_util.Dstats.Sample.percentile lat 99.0 )
+      1000.0 *. Dvp.Util.Dstats.Sample.percentile lat 99.0 )
   in
   let cell (tput, p99) = Printf.sprintf "%.0f (%.1f)" tput p99 in
   List.iter
     (fun rate ->
-      let lock = run_central Dvp_baseline.Escrow.Exclusive_locking rate in
-      let escrow = run_central Dvp_baseline.Escrow.Escrow_locking rate in
+      let lock = run_central Dvp.Baseline.Escrow.Exclusive_locking rate in
+      let escrow = run_central Dvp.Baseline.Escrow.Escrow_locking rate in
       let dvp = run_dvp rate in
       Table.add_row t
         [ Table.ffloat ~dec:0 rate; cell lock; cell escrow; cell dvp ])
@@ -532,7 +532,7 @@ let e6 () =
             skewed_dvp_system ~config ~seed:spec.Spec.seed ~n ~items:[ (0, 6000) ]
               ~home:(fun _ -> 0) ~keep:20 ()
           in
-          let driver = Dvp_workload.Driver.of_dvp sys in
+          let driver = Dvp.Driver.of_dvp sys in
           let o = Runner.run driver spec () in
           Report.record o
             ~extra:
@@ -652,7 +652,7 @@ let e8 () =
           skewed_dvp_system ~config ~seed:spec.Spec.seed ~n ~items:spec.Spec.items
             ~home:(fun item -> item mod n) ~keep:20 ()
         in
-        let o = Runner.run (Dvp_workload.Driver.of_dvp ~name sys) spec () in
+        let o = Runner.run (Dvp.Driver.of_dvp ~name sys) spec () in
         Report.record o ~extra:[ ("cc", Json.String name) ];
         Table.add_row t
           [
@@ -692,7 +692,7 @@ let e9 () =
       ]
   in
   let run loss ~ack_delay ~label =
-    let link = { Dvp_net.Linkstate.default with loss_prob = loss; dup_prob = 0.1 } in
+    let link = { Dvp.Net.Linkstate.default with loss_prob = loss; dup_prob = 0.1 } in
     let spec =
       {
         Spec.default with
@@ -713,14 +713,14 @@ let e9 () =
       {
         Dvp.Config.default with
         Dvp.Config.request_policy = Dvp.Config.Ask_all_full;
-        ack_delay;
+        transport = Dvp.Config.Transport.v ~ack_delay ();
       }
     in
     let sys =
       skewed_dvp_system ~config ~link ~seed:spec.Spec.seed ~n:6 ~items:spec.Spec.items
         ~home:(fun item -> item) ~keep:20 ()
     in
-    let driver = Dvp_workload.Driver.of_dvp sys in
+    let driver = Dvp.Driver.of_dvp sys in
     let faults = Faultplan.crash_cycle ~site:2 ~first:5.0 ~downtime:3.0 in
     let o = Runner.run driver spec ~faults ~drain:20.0 () in
     Report.record o
@@ -839,7 +839,7 @@ let e11 () =
         ignore (Engine.schedule (Dvp.System.engine sys) ~delay:0.001 arrivals);
         Dvp.System.run_until sys duration;
         let site0_records =
-          Dvp_storage.Wal.stable_length (Dvp.Site.wal (Dvp.System.site sys 0))
+          Dvp.Storage.Wal.stable_length (Dvp.Site.wal (Dvp.System.site sys 0))
         in
         Dvp.System.crash_site sys 0;
         Dvp.System.run_until sys (duration +. 1.0);
@@ -906,7 +906,7 @@ let e12 () =
       skewed_dvp_system ~config ~seed:spec.Spec.seed ~n ~items:[ (0, 60_000) ]
         ~home:(fun _ -> 0) ~keep:20 ()
     in
-    let o = Runner.run (Dvp_workload.Driver.of_dvp ~name:label sys) spec () in
+    let o = Runner.run (Dvp.Driver.of_dvp ~name:label sys) spec () in
     Report.record o ~extra:[ ("policy", Json.String label) ];
     Table.add_row t
       [
@@ -1048,7 +1048,7 @@ let e14 () =
       let run_hybrid () =
         let sys = Setup.dvp_system ~config spec in
         let hybrid = Dvp.Hybrid.create sys () in
-        let o = Runner.run (Dvp_workload.Driver.of_hybrid ~name:"hybrid" sys hybrid) spec () in
+        let o = Runner.run (Dvp.Driver.of_hybrid ~name:"hybrid" sys hybrid) spec () in
         Report.record o ~extra:[ ("read_fraction", Json.Float rf) ];
         Table.add_row t
           [
@@ -1145,7 +1145,7 @@ let e16 () =
     (fun loss ->
       List.iter
         (fun retries ->
-          let link = Dvp_net.Linkstate.lossy loss in
+          let link = Dvp.Net.Linkstate.lossy loss in
           let config =
             { Dvp.Config.default with
               Dvp.Config.request_policy = Dvp.Config.Ask_one_random;
@@ -1223,10 +1223,10 @@ let e17 () =
         ("unfinished", Table.Right);
       ]
   in
-  let sample = Dvp_util.Dstats.Sample.percentile in
+  let sample = Dvp.Util.Dstats.Sample.percentile in
   List.iter
     (fun (label, link) ->
-      let trace = Dvp_sim.Trace.create ~capacity:262_144 () in
+      let trace = Dvp.Trace.create ~capacity:262_144 () in
       (* Concentrated quotas force value gathering: most of each item's
          quota sits at its home site, so transactions elsewhere must pull
          virtual messages — otherwise there would be no Vm spans to
@@ -1237,35 +1237,35 @@ let e17 () =
           ~home:(fun i -> i mod spec.Spec.n_sites)
           ~keep:15 ()
       in
-      let driver = Dvp_workload.Driver.of_dvp ~name:("dvp-" ^ label) sys in
+      let driver = Dvp.Driver.of_dvp ~name:("dvp-" ^ label) sys in
       let o = Runner.run driver spec () in
-      let spans = Dvp_obs.Spans.of_trace trace in
-      let lock = Dvp_obs.Spans.lock_wait_stats spans in
-      let req = Dvp_obs.Spans.request_wait_stats spans in
-      let deliver = Dvp_obs.Spans.delivery_stats spans in
-      let retrans = Dvp_obs.Spans.retransmit_stats spans in
+      let spans = Dvp.Obs.Spans.of_trace trace in
+      let lock = Dvp.Obs.Spans.lock_wait_stats spans in
+      let req = Dvp.Obs.Spans.request_wait_stats spans in
+      let deliver = Dvp.Obs.Spans.delivery_stats spans in
+      let retrans = Dvp.Obs.Spans.retransmit_stats spans in
       let ms v = if Float.is_finite v then Printf.sprintf "%.2f" (1000.0 *. v) else "-" in
       Report.record o
         ~extra:
           [
             ("links", Json.String label);
-            ("spans", Dvp_obs.Spans.to_json ~lifecycles:false spans);
+            ("spans", Dvp.Obs.Spans.to_json ~lifecycles:false spans);
           ];
       Table.add_row t
         [
           label;
-          Table.fint (List.length spans.Dvp_obs.Spans.txns);
-          ms (Dvp_util.Dstats.Sample.mean lock);
-          ms (Dvp_util.Dstats.Sample.mean req);
+          Table.fint (List.length spans.Dvp.Obs.Spans.txns);
+          ms (Dvp.Util.Dstats.Sample.mean lock);
+          ms (Dvp.Util.Dstats.Sample.mean req);
           ms (sample deliver 90.0);
-          Table.ffloat ~dec:2 (Dvp_util.Dstats.Sample.mean retrans);
-          Table.fint (Dvp_obs.Spans.vm_in_flight spans);
-          Table.fint (Dvp_obs.Spans.unfinished_count spans);
+          Table.ffloat ~dec:2 (Dvp.Util.Dstats.Sample.mean retrans);
+          Table.fint (Dvp.Obs.Spans.vm_in_flight spans);
+          Table.fint (Dvp.Obs.Spans.unfinished_count spans);
         ])
     [
       ("clean", None);
-      ("slow", Some { Dvp_net.Linkstate.default with Dvp_net.Linkstate.delay_mean = 0.02 });
-      ("lossy", Some (Dvp_net.Linkstate.lossy 0.10));
+      ("slow", Some { Dvp.Net.Linkstate.default with Dvp.Net.Linkstate.delay_mean = 0.02 });
+      ("lossy", Some (Dvp.Net.Linkstate.lossy 0.10));
     ];
   Table.print t;
   print_endline
@@ -1318,7 +1318,9 @@ let e18 () =
   let unbatched =
     (* The pre-batching transport: one real message per outstanding fragment
        per scan, fixed retransmission period. *)
-    { batched with Dvp.Config.vm_batch = false; Dvp.Config.vm_backoff_mult = 1.0 }
+    { batched with
+      Dvp.Config.transport = Dvp.Config.Transport.v ~vm_batch:false ~vm_backoff_mult:1.0 ()
+    }
   in
   List.iter
     (fun n ->
@@ -1335,7 +1337,7 @@ let e18 () =
               Spec.seed = 181;
             }
           in
-          let link = if loss > 0.0 then Some (Dvp_net.Linkstate.lossy loss) else None in
+          let link = if loss > 0.0 then Some (Dvp.Net.Linkstate.lossy loss) else None in
           let faults =
             if partitioned then
               (* Flapping connectivity: grants slip through the 0.5 s open
@@ -1376,7 +1378,7 @@ let e18 () =
                 ~home:(fun i -> i mod n)
                 ~keep:5 ()
             in
-            record name (Runner.run (Dvp_workload.Driver.of_dvp ~name sys) spec ~faults ())
+            record name (Runner.run (Dvp.Driver.of_dvp ~name sys) spec ~faults ())
           in
           run_dvp "dvp-batched" batched;
           run_dvp "dvp-unbatched" unbatched;
@@ -1460,7 +1462,7 @@ let e19 () =
   let detector_config =
     {
       base_config with
-      Dvp.Config.health = Some Dvp_health.Health.default_config;
+      Dvp.Config.health = Some Dvp.Health.default_config;
       Dvp.Config.auto_evacuate = true;
     }
   in
@@ -1496,10 +1498,10 @@ let e19 () =
              for p = 0 to n - 1 do
                if p <> victim then
                  match Dvp.System.detector sys p with
-                 | Some det -> Dvp_health.Health.condemn det ~peer:victim
+                 | Some det -> Dvp.Health.condemn det ~peer:victim
                  | None -> ()
              done));
-    let o = Runner.run (Dvp_workload.Driver.of_dvp ~name:scenario sys) spec ~faults () in
+    let o = Runner.run (Dvp.Driver.of_dvp ~name:scenario sys) spec ~faults () in
     let late = late_throughput o in
     if not kill then healthy_late := late;
     let vs = late /. !healthy_late in
@@ -1573,34 +1575,96 @@ let chaos () =
   in
   List.iter
     (fun (profile, seeds) ->
-      let r = Dvp_chaos.Harness.run ~seeds ~profile () in
-      Report.record_json (Dvp_chaos.Harness.report_to_json r);
+      let r = Dvp.Chaos.Harness.run ~seeds ~profile () in
+      Report.record_json (Dvp.Chaos.Harness.report_to_json r);
       Table.add_row t
         [
-          profile.Dvp_chaos.Profile.label;
+          profile.Dvp.Chaos.Profile.label;
           Table.fint seeds;
-          Table.fint (List.length r.Dvp_chaos.Harness.failures);
+          Table.fint (List.length r.Dvp.Chaos.Harness.failures);
           Table.fpct
-            (float_of_int r.Dvp_chaos.Harness.total_committed
-            /. float_of_int (max 1 r.Dvp_chaos.Harness.total_submitted));
-          Table.fint r.Dvp_chaos.Harness.total_recoveries;
-          Table.fint r.Dvp_chaos.Harness.total_wal_repairs;
-          Table.fint r.Dvp_chaos.Harness.total_repaired_records;
+            (float_of_int r.Dvp.Chaos.Harness.total_committed
+            /. float_of_int (max 1 r.Dvp.Chaos.Harness.total_submitted));
+          Table.fint r.Dvp.Chaos.Harness.total_recoveries;
+          Table.fint r.Dvp.Chaos.Harness.total_wal_repairs;
+          Table.fint r.Dvp.Chaos.Harness.total_repaired_records;
         ];
       List.iter
-        (fun (f : Dvp_chaos.Harness.failure) ->
+        (fun (f : Dvp.Chaos.Harness.failure) ->
           Printf.printf "  FAILED seed %d (%d violation(s)); reproduce with\n"
-            f.Dvp_chaos.Harness.result.Dvp_chaos.Harness.seed
-            (List.length f.Dvp_chaos.Harness.result.Dvp_chaos.Harness.violations);
+            f.Dvp.Chaos.Harness.result.Dvp.Chaos.Harness.seed
+            (List.length f.Dvp.Chaos.Harness.result.Dvp.Chaos.Harness.violations);
           Printf.printf "    dvp-cli chaos --profile %s --seed %d --seeds 1\n"
-            profile.Dvp_chaos.Profile.label
-            f.Dvp_chaos.Harness.result.Dvp_chaos.Harness.seed)
-        r.Dvp_chaos.Harness.failures)
-    [ (Dvp_chaos.Profile.bounded, 40); (Dvp_chaos.Profile.default, 15) ];
+            profile.Dvp.Chaos.Profile.label
+            f.Dvp.Chaos.Harness.result.Dvp.Chaos.Harness.seed)
+        r.Dvp.Chaos.Harness.failures)
+    [ (Dvp.Chaos.Profile.bounded, 40); (Dvp.Chaos.Profile.default, 15) ];
+  Table.print t
+
+
+(* ----------------------------------------------------------- E20-wall *)
+
+(* The multicore runtime's tentpole claim: the same Site code, run one
+   domain per site on the wall clock, scales with real cores.  Escrow
+   increments commit locally and synchronously, so the closed loop has zero
+   cross-site traffic — any shortfall from linear is runtime overhead, not
+   protocol cost.  On hosts with fewer cores than domains the extra domains
+   time-slice; the perf gate only enforces the speedup contract when enough
+   cores exist. *)
+let e20_wall () =
+  section "E20_wall  Wall-clock scaling of the domains runtime";
+  let cores = Domain.recommended_domain_count () in
+  let duration = 1.0 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "escrow-increment closed loop, %.1f s wall each (%d core(s))"
+           duration cores)
+      [
+        ("domains", Table.Right);
+        ("committed/s", Table.Right);
+        ("speedup vs 1", Table.Right);
+        ("conserved", Table.Right);
+      ]
+  in
+  let base = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let c = Dvp.Cluster.create ~seed:42 ~n:domains ~items:[ (0, 1_000_000) ] () in
+      let committed = Dvp.Cluster.run_load c ~duration ~item:0 () in
+      let quiesced = Dvp.Cluster.quiesce c in
+      let conserved = quiesced && Dvp.Cluster.conserved_all c in
+      Dvp.Cluster.stop c;
+      let rate = float_of_int committed /. duration in
+      if domains = 1 then base := rate;
+      let speedup = if !base > 0.0 then rate /. !base else 1.0 in
+      Report.record_json
+        (Json.Obj
+           [
+             ("domains", Json.Int domains);
+             ("cores", Json.Int cores);
+             ("duration", Json.Float duration);
+             ("committed", Json.Int committed);
+             ("throughput", Json.Float rate);
+             ("speedup_vs_1", Json.Float speedup);
+             ("conserved", Json.Bool conserved);
+           ]);
+      Table.add_row t
+        [
+          Table.fint domains;
+          Printf.sprintf "%.0f" rate;
+          Printf.sprintf "%.2fx" speedup;
+          (if conserved then "yes" else "NO");
+        ])
+    [ 1; 2; 4; 8 ];
+  (* The gate's contract, recorded next to the data: with >= 4 real cores,
+     4 domains must beat 1 domain by this factor. *)
+  Report.record_json
+    (Json.Obj [ ("contract", Json.Obj [ ("min_speedup_4v1", Json.Float 1.5) ]) ]);
   Table.print t
 
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
             ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
             ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
             ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-            ("CHAOS", chaos) ]
+            ("E20-WALL", e20_wall); ("CHAOS", chaos) ]

@@ -6,12 +6,12 @@ open Bechamel
 open Toolkit
 
 let m1_wal_append =
-  let wal = Dvp_storage.Wal.create () in
+  let wal = Dvp.Storage.Wal.create () in
   let record =
     Dvp.Log_event.Txn_commit
       { txn = (1, 0); actions = [ Dvp.Log_event.Set_fragment { item = 0; value = 42 } ] }
   in
-  Test.make ~name:"m1-wal-append-force" (Staged.stage (fun () -> Dvp_storage.Wal.append wal record))
+  Test.make ~name:"m1-wal-append-force" (Staged.stage (fun () -> Dvp.Storage.Wal.append wal record))
 
 let m2_local_commit =
   (* The paper's fast path: a write-only transaction at one site — lock,
@@ -23,16 +23,16 @@ let m2_local_commit =
          Dvp.System.exec sys (Dvp.Txn.write ~site:0 [ (0, Dvp.Op.Incr 1) ]) ~on_done:(fun _ -> ())))
 
 let m3_heap =
-  let h = Dvp_util.Heap.create () in
+  let h = Dvp.Util.Heap.create () in
   for i = 1 to 1024 do
-    ignore (Dvp_util.Heap.add h ~priority:(float_of_int i) i)
+    ignore (Dvp.Util.Heap.add h ~priority:(float_of_int i) i)
   done;
   let next = ref 1025.0 in
   Test.make ~name:"m3-heap-push-pop"
     (Staged.stage (fun () ->
-         ignore (Dvp_util.Heap.add h ~priority:!next 0);
+         ignore (Dvp.Util.Heap.add h ~priority:!next 0);
          next := !next +. 1.0;
-         ignore (Dvp_util.Heap.pop h)))
+         ignore (Dvp.Util.Heap.pop h)))
 
 let m4_locks =
   let lt = Dvp.Lock_table.create () in
@@ -62,13 +62,13 @@ let m6_checkpoint =
 (* A WAL holding [depth] stable records — the shape recovery and the chaos
    oracle read over and over. *)
 let deep_wal depth =
-  let wal = Dvp_storage.Wal.create () in
+  let wal = Dvp.Storage.Wal.create () in
   for i = 0 to depth - 1 do
-    Dvp_storage.Wal.append ~forced:(i mod 64 = 0) wal
+    Dvp.Storage.Wal.append ~forced:(i mod 64 = 0) wal
       (Dvp.Log_event.Txn_commit
          { txn = (i, 0); actions = [ Dvp.Log_event.Set_fragment { item = i mod 8; value = i } ] })
   done;
-  Dvp_storage.Wal.force wal;
+  Dvp.Storage.Wal.force wal;
   wal
 
 let m7_wal_corrupt_tail =
@@ -76,7 +76,7 @@ let m7_wal_corrupt_tail =
      (and re-checksum) the whole log. *)
   let wal = deep_wal 10_000 in
   Test.make ~name:"m7-wal-corrupt-tail-10k"
-    (Staged.stage (fun () -> ignore (Dvp_storage.Wal.corrupt_tail wal)))
+    (Staged.stage (fun () -> ignore (Dvp.Storage.Wal.corrupt_tail wal)))
 
 let m7_wal_replay =
   (* A full oldest-first scan at depth — what recovery replay pays. *)
@@ -84,17 +84,17 @@ let m7_wal_replay =
   Test.make ~name:"m7-wal-replay-10k"
     (Staged.stage (fun () ->
          let n = ref 0 in
-         Dvp_storage.Wal.iter wal (fun _ -> incr n);
+         Dvp.Storage.Wal.iter wal (fun _ -> incr n);
          ignore !n))
 
 (* A Vm engine with [outstanding] unacknowledged messages to an unreachable
    destination: the retransmission scan's worst case. *)
 let vm_with_outstanding ~outstanding =
-  let engine = Dvp_sim.Engine.create () in
-  let wal = Dvp_storage.Wal.create () in
+  let engine = Dvp.Engine.create () in
+  let wal = Dvp.Storage.Wal.create () in
   let metrics = Dvp.Metrics.create () in
   let vm =
-    Dvp.Vm.create engine ~n:2 ~self:0 ~wal
+    Dvp.Vm.create (Dvp.Substrate_des.of_engine engine) ~n:2 ~self:0 ~wal
       ~send:(fun ~dst:_ _ -> ())
       ~try_credit:(fun ~peer:_ ~item:_ ~amount:_ ~reply_to:_ -> None)
       ~ts_counter:(fun () -> 0)
@@ -113,7 +113,7 @@ let m8_retransmit_scan =
   let engine, _vm = vm_with_outstanding ~outstanding:10_000 in
   Test.make ~name:"m8-vm-retransmit-scan-10k"
     (Staged.stage (fun () ->
-         Dvp_sim.Engine.run_until engine (Dvp_sim.Engine.now engine +. 0.15)))
+         Dvp.Engine.run_until engine (Dvp.Engine.now engine +. 0.15)))
 
 let m8_outstanding_read =
   let _engine, vm = vm_with_outstanding ~outstanding:10_000 in
@@ -123,12 +123,12 @@ let m8_outstanding_read =
 (* A receiving Vm that accepts every credit — for measuring the delivery
    path: 16 fragments as one Vm_batch vs 16 separate Vm_data messages. *)
 let receiving_vm () =
-  let engine = Dvp_sim.Engine.create () in
-  let wal = Dvp_storage.Wal.create () in
+  let engine = Dvp.Engine.create () in
+  let wal = Dvp.Storage.Wal.create () in
   let metrics = Dvp.Metrics.create () in
   let frag = ref 0 in
   let vm =
-    Dvp.Vm.create engine ~n:2 ~self:0 ~wal
+    Dvp.Vm.create (Dvp.Substrate_des.of_engine engine) ~n:2 ~self:0 ~wal
       ~send:(fun ~dst:_ _ -> ())
       ~try_credit:(fun ~peer:_ ~item:_ ~amount ~reply_to:_ ->
         frag := !frag + amount;

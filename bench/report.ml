@@ -10,7 +10,7 @@
    where each run is [Runner.outcome_to_json] plus any sweep parameters the
    experiment attached via [~extra]. *)
 
-module Json = Dvp_util.Json
+module Json = Dvp.Util.Json
 
 type exp = { id : string; title : string; mutable runs : Json.t list }
 
@@ -35,13 +35,13 @@ let begin_section ~id ~title =
     current := Some e
   end
 
-let record ?(extra = []) (o : Dvp_workload.Runner.outcome) =
+let record ?(extra = []) (o : Dvp.Runner.outcome) =
   if !enabled then
     match !current with
     | None -> ()
     | Some e ->
       let run =
-        match Dvp_workload.Runner.outcome_to_json o with
+        match Dvp.Runner.outcome_to_json o with
         | Json.Obj fields -> Json.Obj (extra @ fields)
         | j -> j
       in

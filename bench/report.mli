@@ -1,4 +1,4 @@
-(** Collects {!Dvp_workload.Runner.outcome}s per experiment and writes one
+(** Collects {!Dvp.Runner.outcome}s per experiment and writes one
     [BENCH_<id>.json] file per experiment.  Inactive (all calls no-ops)
     until {!enable} is called, so plain table runs pay nothing. *)
 
@@ -10,14 +10,14 @@ val is_enabled : unit -> bool
 val begin_section : id:string -> title:string -> unit
 (** Start a new experiment group.  Subsequent {!record}s attach to it. *)
 
-val record : ?extra:(string * Dvp_util.Json.t) list -> Dvp_workload.Runner.outcome -> unit
+val record : ?extra:(string * Dvp.Util.Json.t) list -> Dvp.Runner.outcome -> unit
 (** Append one run to the current experiment; [extra] fields (sweep
     parameters such as partition fraction or offered load) are prepended to
     the outcome's JSON object. *)
 
-val record_json : Dvp_util.Json.t -> unit
+val record_json : Dvp.Util.Json.t -> unit
 (** Append an arbitrary JSON object as one run — for experiments whose
-    natural unit is not a {!Dvp_workload.Runner.outcome} (the chaos
+    natural unit is not a {!Dvp.Runner.outcome} (the chaos
     experiment records a whole fuzzing report). *)
 
 val flush : unit -> unit

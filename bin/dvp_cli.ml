@@ -21,14 +21,14 @@
    and a per-site activity timeline. *)
 
 open Cmdliner
-module Spec = Dvp_workload.Spec
-module Setup = Dvp_workload.Setup
-module Runner = Dvp_workload.Runner
-module Faultplan = Dvp_workload.Faultplan
-module Trace = Dvp_sim.Trace
-module Spans = Dvp_obs.Spans
-module Telemetry = Dvp_obs.Telemetry
-module Flight = Dvp_obs.Flight
+module Spec = Dvp.Spec
+module Setup = Dvp.Setup
+module Runner = Dvp.Runner
+module Faultplan = Dvp.Faultplan
+module Trace = Dvp.Trace
+module Spans = Dvp.Obs.Spans
+module Telemetry = Dvp.Obs.Telemetry
+module Flight = Dvp.Obs.Flight
 
 type system_kind = Dvp_sys | Two_pc | Three_pc | Quorum
 
@@ -94,16 +94,16 @@ let build_driver kind spec =
     Setup.trad ~name:"3pc"
       ~config:
         {
-          Dvp_baseline.Trad_site.default_config with
-          Dvp_baseline.Trad_site.protocol = Dvp_baseline.Trad_site.Three_phase;
+          Dvp.Baseline.Trad_site.default_config with
+          Dvp.Baseline.Trad_site.protocol = Dvp.Baseline.Trad_site.Three_phase;
         }
       spec
   | Quorum ->
     Setup.trad ~name:"quorum"
       ~config:
         {
-          Dvp_baseline.Trad_site.default_config with
-          Dvp_baseline.Trad_site.placement = Dvp_baseline.Trad_site.Replicated;
+          Dvp.Baseline.Trad_site.default_config with
+          Dvp.Baseline.Trad_site.placement = Dvp.Baseline.Trad_site.Replicated;
         }
       spec
 
@@ -116,10 +116,10 @@ let print_latency_histogram m =
   let samples = Dvp.Metrics.latency_samples m in
   if Array.length samples > 1 then begin
     let hi = Float.max 0.001 (Dvp.Metrics.latency_p99 m *. 1.1) in
-    let h = Dvp_util.Dstats.Histogram.create ~lo:0.0 ~hi ~buckets:12 in
-    Array.iter (Dvp_util.Dstats.Histogram.add h) samples;
+    let h = Dvp.Util.Dstats.Histogram.create ~lo:0.0 ~hi ~buckets:12 in
+    Array.iter (Dvp.Util.Dstats.Histogram.add h) samples;
     print_endline "commit latency histogram (seconds):";
-    print_string (Dvp_util.Dstats.Histogram.render h ~width:40)
+    print_string (Dvp.Util.Dstats.Histogram.render h ~width:40)
   end
 
 let run_cmd system workload sites rate duration seed partition crash export_dir trace_out
@@ -157,7 +157,7 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
     | _ -> None
   in
   let driver =
-    match dvp_sys with Some sys -> Dvp_workload.Driver.of_dvp ~name:"dvp" sys | None -> driver
+    match dvp_sys with Some sys -> Dvp.Driver.of_dvp ~name:"dvp" sys | None -> driver
   in
   (* DvP runs carry telemetry; traced runs also carry a flight recorder, so
      a conservation failure leaves a crashdump next to its error message. *)
@@ -173,7 +173,7 @@ let run_cmd system workload sites rate duration seed partition crash export_dir 
     | _ -> None
   in
   let o = Runner.run driver spec ~faults ?telemetry ?flight () in
-  if json then print_endline (Dvp_util.Json.to_string_pretty (Runner.outcome_to_json o))
+  if json then print_endline (Dvp.Util.Json.to_string_pretty (Runner.outcome_to_json o))
   else begin
     Format.printf "%a@." Runner.pp_outcome o;
     let m = o.Runner.metrics in
@@ -288,10 +288,10 @@ let evacuate_cmd workload sites rate duration seed kill_at victim force json =
   end;
   let spec = build_spec workload sites rate duration seed in
   let config =
-    { Dvp.Config.default with Dvp.Config.health = Some Dvp_health.Health.default_config }
+    { Dvp.Config.default with Dvp.Config.health = Some Dvp.Health.default_config }
   in
   let sys = Setup.dvp_system ~config spec in
-  let driver = Dvp_workload.Driver.of_dvp ~name:"dvp" sys in
+  let driver = Dvp.Driver.of_dvp ~name:"dvp" sys in
   let faults = [ Faultplan.at kill_at (Faultplan.Kill_forever victim) ] in
   let o = Runner.run driver spec ~faults () in
   let verdicts =
@@ -301,7 +301,7 @@ let evacuate_cmd workload sites rate duration seed kill_at victim force json =
         else
           Some
             (Printf.sprintf "site %d: %s" p
-               (Dvp_health.Health.state_to_string
+               (Dvp.Health.state_to_string
                   (Dvp.System.health_state sys ~observer:p ~peer:victim))))
       (List.init sites Fun.id)
   in
@@ -320,14 +320,14 @@ let evacuate_cmd workload sites rate duration seed kill_at victim force json =
     let conserved = Dvp.System.conserved_all sys in
     if json then
       print_endline
-        (Dvp_util.Json.to_string_pretty
-           (Dvp_util.Json.Obj
+        (Dvp.Util.Json.to_string_pretty
+           (Dvp.Util.Json.Obj
               [
-                ("site", Dvp_util.Json.Int r.Dvp.System.evac_site);
-                ("value_moved", Dvp_util.Json.Int r.Dvp.System.value_moved);
-                ("vms_delivered", Dvp_util.Json.Int r.Dvp.System.vms_delivered);
-                ("stranded", Dvp_util.Json.Int r.Dvp.System.stranded);
-                ("conserved", Dvp_util.Json.Bool conserved);
+                ("site", Dvp.Util.Json.Int r.Dvp.System.evac_site);
+                ("value_moved", Dvp.Util.Json.Int r.Dvp.System.value_moved);
+                ("vms_delivered", Dvp.Util.Json.Int r.Dvp.System.vms_delivered);
+                ("stranded", Dvp.Util.Json.Int r.Dvp.System.stranded);
+                ("conserved", Dvp.Util.Json.Bool conserved);
               ]))
     else begin
       Printf.printf
@@ -344,18 +344,18 @@ let evacuate_cmd workload sites rate duration seed kill_at victim force json =
     end
 
 let chaos_cmd seeds first_seed profile_name crashdumps json =
-  match Dvp_chaos.Profile.of_string profile_name with
+  match Dvp.Chaos.Profile.of_string profile_name with
   | None ->
     Printf.eprintf "unknown chaos profile %S (%s)\n" profile_name
-      (String.concat "|" Dvp_chaos.Profile.names);
+      (String.concat "|" Dvp.Chaos.Profile.names);
     exit 2
   | Some profile ->
-    let report = Dvp_chaos.Harness.run ~first_seed ~seeds ~profile ?crashdumps () in
+    let report = Dvp.Chaos.Harness.run ~first_seed ~seeds ~profile ?crashdumps () in
     if json then
       print_endline
-        (Dvp_util.Json.to_string_pretty (Dvp_chaos.Harness.report_to_json report))
-    else Format.printf "%a@." Dvp_chaos.Harness.pp_report report;
-    if report.Dvp_chaos.Harness.failures <> [] then exit 1
+        (Dvp.Util.Json.to_string_pretty (Dvp.Chaos.Harness.report_to_json report))
+    else Format.printf "%a@." Dvp.Chaos.Harness.pp_report report;
+    if report.Dvp.Chaos.Harness.failures <> [] then exit 1
 
 let analyze_cmd file json =
   if not (Sys.file_exists file) then begin
@@ -383,11 +383,11 @@ let analyze_cmd file json =
   if json then begin
     let j =
       match Spans.to_json spans with
-      | Dvp_util.Json.Obj fields ->
-        Dvp_util.Json.Obj (fields @ [ ("timeline", Spans.timeline_to_json tl) ])
+      | Dvp.Util.Json.Obj fields ->
+        Dvp.Util.Json.Obj (fields @ [ ("timeline", Spans.timeline_to_json tl) ])
       | other -> other
     in
-    print_endline (Dvp_util.Json.to_string_pretty j)
+    print_endline (Dvp.Util.Json.to_string_pretty j)
   end
   else begin
     Format.printf "%a@.@." Spans.pp_summary spans;
@@ -408,6 +408,122 @@ let info_cmd () =
      Workloads: airline, banking, inventory, default.\n\
      Analyze a trace dump with `dvp-cli analyze trace.jsonl`.\n\
      See bench/main.exe for the full experiment suite (E1-E17)."
+
+(* ------------------------------------------------- multicore runtime *)
+
+(* One item per slot, equal totals: the shape both wall-clock commands
+   install.  Cross-site behaviour comes from the protocol, not the layout. *)
+let cluster_items ~items ~total = List.init items (fun i -> (i, total))
+
+let print_cluster_state c =
+  List.iter
+    (fun item ->
+      let frags = Dvp.Cluster.fragments c ~item in
+      Printf.printf "  item %-3d total %-8d fragments [%s]\n" item
+        (Array.fold_left ( + ) 0 frags)
+        (String.concat "; " (Array.to_list (Array.map string_of_int frags))))
+    (Dvp.Cluster.items c)
+
+let bench_cmd wall domains duration transport json =
+  if not wall then begin
+    Printf.eprintf
+      "dvp-cli bench: only the wall-clock mode lives here (pass --wall).\n\
+       The DES experiment suite is `dune exec bench/main.exe` (E1-E20).\n";
+    exit 2
+  end;
+  let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
+  let c = Dvp.Cluster.create ~seed:42 ~config ~n:domains ~items:[ (0, 1_000_000) ] () in
+  let committed = Dvp.Cluster.run_load c ~duration ~item:0 () in
+  let quiesced = Dvp.Cluster.quiesce c in
+  let conserved = quiesced && Dvp.Cluster.conserved_all c in
+  Dvp.Cluster.stop c;
+  let rate = float_of_int committed /. duration in
+  if json then
+    print_endline
+      (Dvp.Util.Json.to_string
+         (Dvp.Util.Json.Obj
+            [
+              ("domains", Dvp.Util.Json.Int domains);
+              ("cores", Dvp.Util.Json.Int (Domain.recommended_domain_count ()));
+              ("duration", Dvp.Util.Json.Float duration);
+              ("committed", Dvp.Util.Json.Int committed);
+              ("throughput", Dvp.Util.Json.Float rate);
+              ("conserved", Dvp.Util.Json.Bool conserved);
+            ]))
+  else
+    Printf.printf "%d domain(s): %d committed in %.2f s wall — %.0f txns/s, conserved: %b\n"
+      domains committed duration rate conserved;
+  if not conserved then exit 1
+
+let serve_cmd domains items total transport =
+  let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
+  let c =
+    Dvp.Cluster.create ~seed:42 ~config ~n:domains ~items:(cluster_items ~items ~total) ()
+  in
+  Printf.printf
+    "serving %d site domain(s), %d item(s) of %d each; commands:\n\
+    \  incr <site> <item> <amount>      local escrow increment\n\
+    \  decr <site> <item> <amount>      decrement (pulls value, retries)\n\
+    \  push <src> <dst> <item> <amount> explicit redistribution\n\
+    \  load <seconds> <item>            closed-loop increments on every site\n\
+    \  report                           fragments and conservation at quiesce\n\
+    \  quit\n"
+    domains items total;
+  let outcome_line = function
+    | Dvp.Txn.Committed { reads = [] } -> "committed"
+    | Dvp.Txn.Committed { reads } ->
+      "committed: "
+      ^ String.concat ", "
+          (List.map (fun (i, v) -> Printf.sprintf "item %d = %d" i v) reads)
+    | Dvp.Txn.Aborted reason ->
+      Printf.sprintf "aborted (%s)" (Dvp.Metrics.abort_reason_label reason)
+  in
+  let stop () =
+    Dvp.Cluster.stop c;
+    print_endline "bye"
+  in
+  let rec loop () =
+    print_string "dvp> ";
+    match input_line stdin with
+    | exception End_of_file -> stop ()
+    | line ->
+      (try
+         match String.split_on_char ' ' (String.trim line) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | [ "quit" ] | [ "exit" ] -> raise Exit
+      | [ "report" ] ->
+        if not (Dvp.Cluster.quiesce c) then print_endline "  (did not quiesce in time)";
+        print_cluster_state c;
+        Printf.printf "  conservation: %b\n" (Dvp.Cluster.conserved_all c)
+      | [ "incr"; s; i; a ] ->
+        print_endline
+          (outcome_line
+             (Dvp.Cluster.exec c
+                (Dvp.Txn.write ~site:(int_of_string s)
+                   [ (int_of_string i, Dvp.Op.Incr (int_of_string a)) ])))
+      | [ "decr"; s; i; a ] ->
+        print_endline
+          (outcome_line
+             (Dvp.Cluster.exec c
+                (Dvp.Txn.with_retry
+                   (Dvp.Txn.write ~site:(int_of_string s)
+                      [ (int_of_string i, Dvp.Op.Decr (int_of_string a)) ]))))
+      | [ "push"; s; d; i; a ] ->
+        let ok =
+          Dvp.Cluster.push_value c ~src:(int_of_string s) ~dst:(int_of_string d)
+            ~item:(int_of_string i) ~amount:(int_of_string a)
+        in
+        print_endline (if ok then "pushed" else "refused (insufficient fragment)")
+      | [ "load"; secs; i ] ->
+        let n =
+          Dvp.Cluster.run_load c ~duration:(float_of_string secs) ~item:(int_of_string i) ()
+        in
+        Printf.printf "committed %d increments\n" n
+         | _ -> print_endline "unknown command (incr/decr/push/load/report/quit)"
+       with Failure _ | Invalid_argument _ -> print_endline "bad argument");
+      loop ()
+  in
+  (try loop () with Exit -> stop ())
 
 (* ------------------------------------------------------------ cmdliner *)
 
@@ -530,6 +646,70 @@ let trace_file_arg =
 
 let analyze_term = Term.(const analyze_cmd $ trace_file_arg $ json_arg)
 
+(* Flat transport flags, folded into the grouped record the substrates read
+   (Config.Transport.of_flat validates the combination). *)
+let transport_term =
+  let d = Dvp.Config.Transport.default in
+  let vm_retransmit =
+    Arg.(
+      value
+      & opt float d.Dvp.Config.Transport.vm_retransmit
+      & info [ "vm-retransmit" ] ~doc:"Vm retransmission period (seconds).")
+  in
+  let ack_delay =
+    Arg.(
+      value
+      & opt float d.Dvp.Config.Transport.ack_delay
+      & info [ "ack-delay" ] ~doc:"Acknowledgement piggyback window (seconds).")
+  in
+  let no_vm_batch =
+    Arg.(value & flag & info [ "no-vm-batch" ] ~doc:"One real message per Vm (no batching).")
+  in
+  let probe_every =
+    Arg.(
+      value
+      & opt float d.Dvp.Config.Transport.probe_every
+      & info [ "probe-every" ] ~doc:"Failure-detector scan period (seconds).")
+  in
+  let probe_idle =
+    Arg.(
+      value
+      & opt float d.Dvp.Config.Transport.probe_idle
+      & info [ "probe-idle" ] ~doc:"Silence before probing an idle peer (seconds).")
+  in
+  let build vm_retransmit ack_delay no_vm_batch probe_every probe_idle =
+    Dvp.Config.Transport.of_flat ~vm_retransmit ~ack_delay ~vm_batch:(not no_vm_batch)
+      ~vm_backoff_mult:d.Dvp.Config.Transport.vm_backoff_mult
+      ~vm_backoff_max:(Float.max d.Dvp.Config.Transport.vm_backoff_max (4.0 *. vm_retransmit))
+      ~probe_every ~probe_idle
+  in
+  Term.(const build $ vm_retransmit $ ack_delay $ no_vm_batch $ probe_every $ probe_idle)
+
+let domains_arg =
+  Arg.(value & opt int 4 & info [ "domains" ] ~doc:"Site domains to spawn (one per site).")
+
+let wall_arg =
+  Arg.(
+    value & flag
+    & info [ "wall" ]
+        ~doc:"Run on the multicore wall-clock runtime (required; the DES suite lives in \
+              bench/main.exe).")
+
+let wall_duration_arg =
+  Arg.(value & opt float 2.0 & info [ "duration"; "d" ] ~doc:"Seconds of wall-clock load.")
+
+let items_count_arg =
+  Arg.(value & opt int 1 & info [ "items" ] ~doc:"Number of escrow items to install.")
+
+let total_arg =
+  Arg.(value & opt int 1000 & info [ "total" ] ~doc:"Initial aggregate value per item.")
+
+let bench_term =
+  Term.(const bench_cmd $ wall_arg $ domains_arg $ wall_duration_arg $ transport_term $ json_arg)
+
+let serve_term =
+  Term.(const serve_cmd $ domains_arg $ items_count_arg $ total_arg $ transport_term)
+
 let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run a workload against a system") run_term;
@@ -557,6 +737,18 @@ let cmds =
             print latency breakdowns, the Vm lifecycle table, and a per-site activity \
             timeline")
       analyze_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Run a live multicore installation (one OCaml domain per site, wall-clock \
+            timers) and drive it from an interactive prompt")
+      serve_term;
+    Cmd.v
+      (Cmd.info "bench"
+         ~doc:
+           "Wall-clock throughput of the multicore runtime: a closed loop of escrow \
+            increments on every site domain (--wall required)")
+      bench_term;
     Cmd.v (Cmd.info "demo" ~doc:"A canned partition demo") Term.(const demo_cmd $ const ());
     Cmd.v (Cmd.info "info" ~doc:"Describe the systems and workloads") Term.(const info_cmd $ const ());
   ]

@@ -37,7 +37,7 @@ let reserve sys ~site ~seats =
 
 let () =
   print_endline "== Airline reservations (the paper's Section 3 example) ==";
-  let trace = Dvp_sim.Trace.create () in
+  let trace = Dvp.Trace.create () in
   let sys = Dvp.System.create ~seed:5 ~trace ~n:4 () in
   Dvp.System.add_item sys ~item:flight_a ~total:100 ();
   print_endline "flight A opens with N = 100 seats, 25 per site:";
@@ -62,9 +62,9 @@ let () =
   print_state sys;
 
   (* Show the virtual-message traffic from the trace. *)
-  let honors = Dvp_sim.Trace.find trace ~category:"honor" in
+  let honors = Dvp.Trace.find trace ~category:"honor" in
   List.iter
-    (fun e -> Printf.printf "   [t=%.3f] %s\n" e.Dvp_sim.Trace.time e.Dvp_sim.Trace.message)
+    (fun e -> Printf.printf "   [t=%.3f] %s\n" e.Dvp.Trace.time e.Dvp.Trace.message)
     honors;
 
   print_endline "\n-- a cancellation at Z returns two seats --";

@@ -15,7 +15,7 @@ let savings = 1
 
 let () =
   print_endline "== Banking under fire ==";
-  let link = { Dvp_net.Linkstate.default with loss_prob = 0.15; dup_prob = 0.05 } in
+  let link = { Dvp.Net.Linkstate.default with loss_prob = 0.15; dup_prob = 0.05 } in
   let sys = Dvp.System.create ~seed:17 ~link ~n:6 () in
   Dvp.System.add_item sys ~item:checking ~total:600_000 ();
   (* Savings concentrated at two sites — an uneven split is fine. *)
@@ -26,19 +26,19 @@ let () =
     (Dvp.System.total_at_sites sys ~item:checking)
     (Dvp.System.total_at_sites sys ~item:savings);
 
-  let rng = Dvp_util.Rng.create 99 in
+  let rng = Dvp.Util.Rng.create 99 in
   let committed = ref 0 and aborted = ref 0 in
   let engine = Dvp.System.engine sys in
   (* 600 transactions over 12 seconds: deposits, withdrawals, transfers. *)
   for _ = 1 to 600 do
-    let at = Dvp_util.Rng.float rng 12.0 in
+    let at = Dvp.Util.Rng.float rng 12.0 in
     ignore
-      (Dvp_sim.Engine.schedule_at engine ~at (fun () ->
-           let site = Dvp_util.Rng.int rng 6 in
+      (Dvp.Engine.schedule_at engine ~at (fun () ->
+           let site = Dvp.Util.Rng.int rng 6 in
            if Dvp.System.site_up sys site then begin
-             let cents = 100 * (1 + Dvp_util.Rng.int rng 500) in
+             let cents = 100 * (1 + Dvp.Util.Rng.int rng 500) in
              let ops =
-               match Dvp_util.Rng.int rng 4 with
+               match Dvp.Util.Rng.int rng 4 with
                | 0 -> [ (checking, Dvp.Op.Incr cents) ] (* deposit *)
                | 1 -> [ (checking, Dvp.Op.Decr cents) ] (* withdrawal *)
                | 2 -> [ (checking, Dvp.Op.Decr cents); (savings, Dvp.Op.Incr cents) ]
@@ -53,11 +53,11 @@ let () =
   (* Branch 3 crashes at t=4 and recovers at t=7 — independently, no
      coordination with the other branches. *)
   ignore
-    (Dvp_sim.Engine.schedule_at engine ~at:4.0 (fun () ->
+    (Dvp.Engine.schedule_at engine ~at:4.0 (fun () ->
          print_endline "[t=4.0] branch 3 crashes";
          Dvp.System.crash_site sys 3));
   ignore
-    (Dvp_sim.Engine.schedule_at engine ~at:7.0 (fun () ->
+    (Dvp.Engine.schedule_at engine ~at:7.0 (fun () ->
          print_endline "[t=7.0] branch 3 recovers from its log (no messages needed)";
          Dvp.System.recover_site sys 3));
 

@@ -16,16 +16,16 @@ let () =
   Printf.printf "opening stock %d / cap %d\n" (Dvp.Capped.expected_value stock)
     (Dvp.Capped.cap stock);
 
-  let rng = Dvp_util.Rng.create 5 in
+  let rng = Dvp.Util.Rng.create 5 in
   let sold = ref 0 and restocked = ref 0 and rejected = ref 0 in
   (* Two days of trade: sales and restocks at every depot. *)
   for _ = 1 to 400 do
-    let at = Dvp_util.Rng.float rng 10.0 in
+    let at = Dvp.Util.Rng.float rng 10.0 in
     ignore
-      (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
-           let site = Dvp_util.Rng.int rng 6 in
-           let qty = 1 + Dvp_util.Rng.int rng 20 in
-           if Dvp_util.Rng.bernoulli rng 0.55 then
+      (Dvp.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
+           let site = Dvp.Util.Rng.int rng 6 in
+           let qty = 1 + Dvp.Util.Rng.int rng 20 in
+           if Dvp.Util.Rng.bernoulli rng 0.55 then
              Dvp.Capped.decr stock ~site ~amount:qty ~on_done:(fun r ->
                  match r with
                  | Dvp.Site.Committed _ -> sold := !sold + qty
@@ -38,7 +38,7 @@ let () =
   done;
   (* A large delivery that would overflow the warehouse must be refused. *)
   ignore
-    (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys) ~at:11.0 (fun () ->
+    (Dvp.Engine.schedule_at (Dvp.System.engine sys) ~at:11.0 (fun () ->
          let room = Dvp.Capped.cap stock - Dvp.Capped.expected_value stock in
          let qty = room + 200 in
          Printf.printf "[t=11] oversized delivery of %d units (room for %d)...\n" qty room;

@@ -12,7 +12,7 @@ let () =
   let sys = Dvp.System.create ~seed:41 ~n:6 () in
   Dvp.System.add_item sys ~item:0 ~total:60_000 ();
   let hybrid = Dvp.Hybrid.create sys ~hi:0.10 ~lo:0.02 ~check_every:0.5 () in
-  let rng = Dvp_util.Rng.create 17 in
+  let rng = Dvp.Util.Rng.create 17 in
   let committed = ref 0 and aborted = ref 0 in
   let record = function
     | Dvp.Site.Committed _ -> incr committed
@@ -24,20 +24,20 @@ let () =
   for i = 1 to 800 do
     let at = 20.0 *. float_of_int i /. 800.0 in
     ignore
-      (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
-           let site = Dvp_util.Rng.int rng 6 in
-           if Dvp_util.Rng.bernoulli rng (read_share at) then
+      (Dvp.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
+           let site = Dvp.Util.Rng.int rng 6 in
+           if Dvp.Util.Rng.bernoulli rng (read_share at) then
              Dvp.Hybrid.submit_read hybrid ~site ~item:0 ~on_done:record
            else begin
-             let m = 1 + Dvp_util.Rng.int rng 4 in
-             let op = if Dvp_util.Rng.bool rng then Dvp.Op.Decr m else Dvp.Op.Incr m in
+             let m = 1 + Dvp.Util.Rng.int rng 4 in
+             let op = if Dvp.Util.Rng.bool rng then Dvp.Op.Decr m else Dvp.Op.Incr m in
              Dvp.Hybrid.submit hybrid ~site ~ops:[ (0, op) ] ~on_done:record
            end))
   done;
   (* Narrate the mode each second. *)
   for s = 1 to 20 do
     ignore
-      (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys)
+      (Dvp.Engine.schedule_at (Dvp.System.engine sys)
          ~at:(float_of_int s)
          (fun () ->
            let m =

@@ -10,8 +10,8 @@
    - central escrow (O'Neil 1986): concurrent escrows at one server;
    - DvP: the count is value-partitioned, orders run at the local site.  *)
 
-module Rng = Dvp_util.Rng
-module Engine = Dvp_sim.Engine
+module Rng = Dvp.Util.Rng
+module Engine = Dvp.Engine
 
 let n_sites = 8
 
@@ -24,31 +24,31 @@ let stock = 1_000_000 (* plentiful: we measure contention, not exhaustion *)
 let run_central mode label =
   let engine = Engine.create () in
   let rng = Rng.create 3 in
-  let net = Dvp_net.Network.create engine ~rng:(Rng.split rng) ~n:n_sites () in
+  let net = Dvp.Net.Network.create (Dvp.Substrate_des.of_engine engine) ~rng:(Rng.split rng) ~n:n_sites () in
   let metrics = Dvp.Metrics.create () in
   let server =
-    Dvp_baseline.Escrow.server engine ~mode
-      ~send:(fun ~dst msg -> Dvp_net.Network.send net ~src:0 ~dst msg)
+    Dvp.Baseline.Escrow.server engine ~mode
+      ~send:(fun ~dst msg -> Dvp.Net.Network.send net ~src:0 ~dst msg)
       ()
   in
-  Dvp_baseline.Escrow.install server ~item:0 stock;
-  Dvp_net.Network.set_handler net 0 (fun ~src msg ->
-      Dvp_baseline.Escrow.handle_server server ~src msg);
+  Dvp.Baseline.Escrow.install server ~item:0 stock;
+  Dvp.Net.Network.set_handler net 0 (fun ~src msg ->
+      Dvp.Baseline.Escrow.handle_server server ~src msg);
   let clients =
     Array.init n_sites (fun i ->
         if i = 0 then None
         else
           Some
-            (Dvp_baseline.Escrow.client engine ~self:i
-               ~send:(fun msg -> Dvp_net.Network.send net ~src:i ~dst:0 msg)
+            (Dvp.Baseline.Escrow.client engine ~self:i
+               ~send:(fun msg -> Dvp.Net.Network.send net ~src:i ~dst:0 msg)
                ~metrics ()))
   in
   Array.iteri
     (fun i c ->
       match c with
       | Some client ->
-        Dvp_net.Network.set_handler net i (fun ~src:_ msg ->
-            Dvp_baseline.Escrow.handle_client client msg)
+        Dvp.Net.Network.set_handler net i (fun ~src:_ msg ->
+            Dvp.Baseline.Escrow.handle_client client msg)
       | None -> ())
     clients;
   let rec arrivals () =
@@ -56,7 +56,7 @@ let run_central mode label =
       let i = 1 + Rng.int rng (n_sites - 1) in
       (match clients.(i) with
       | Some client ->
-        Dvp_baseline.Escrow.request client ~item:0 ~op:(Dvp.Op.Decr 1) ~on_done:(fun _ -> ())
+        Dvp.Baseline.Escrow.request client ~item:0 ~op:(Dvp.Op.Decr 1) ~on_done:(fun _ -> ())
       | None -> ());
       ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. demand_rate)) arrivals)
     end
@@ -74,7 +74,7 @@ let run_dvp () =
   let engine = Dvp.System.engine sys in
   let rng = Rng.create 3 in
   let committed = ref 0 in
-  let lat = Dvp_util.Dstats.Sample.create () in
+  let lat = Dvp.Util.Dstats.Sample.create () in
   let rec arrivals () =
     if Engine.now engine < duration then begin
       let site = Rng.int rng n_sites in
@@ -85,7 +85,7 @@ let run_dvp () =
           match r with
           | Dvp.Txn.Committed _ ->
             incr committed;
-            Dvp_util.Dstats.Sample.add lat (Engine.now engine -. t0)
+            Dvp.Util.Dstats.Sample.add lat (Engine.now engine -. t0)
           | Dvp.Txn.Aborted _ -> ());
       ignore (Engine.schedule engine ~delay:(Rng.exponential rng (1.0 /. demand_rate)) arrivals)
     end
@@ -95,13 +95,13 @@ let run_dvp () =
   Printf.printf "%-18s %6d committed  %7.1f orders/s  p99 latency %5.1f ms\n"
     "dvp (partitioned)" !committed
     (float_of_int !committed /. duration)
-    (1000.0 *. Dvp_util.Dstats.Sample.percentile lat 99.0)
+    (1000.0 *. Dvp.Util.Dstats.Sample.percentile lat 99.0)
 
 let () =
   Printf.printf "== Hot-spot aggregate: %d sites, %.0f orders/s for %.0fs ==\n" n_sites
     demand_rate duration;
-  run_central Dvp_baseline.Escrow.Exclusive_locking "central 2PL";
-  run_central Dvp_baseline.Escrow.Escrow_locking "central escrow";
+  run_central Dvp.Baseline.Escrow.Exclusive_locking "central 2PL";
+  run_central Dvp.Baseline.Escrow.Escrow_locking "central escrow";
   run_dvp ();
   print_endline
     "\nDvP runs the hot aggregate at memory speed at every site: no round\n\

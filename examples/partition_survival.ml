@@ -7,7 +7,7 @@
    per-second availability timeline shows who keeps serving during the
    partition (t in [4, 12)) and what happens after it heals. *)
 
-open Dvp_workload
+open Dvp
 
 let spec =
   {
@@ -54,8 +54,8 @@ let () =
   show (Runner.run (Setup.trad ~name:"2PC single-copy" spec) spec ~faults ());
 
   let quorum_config =
-    { Dvp_baseline.Trad_site.default_config with
-      Dvp_baseline.Trad_site.placement = Dvp_baseline.Trad_site.Replicated
+    { Dvp.Baseline.Trad_site.default_config with
+      Dvp.Baseline.Trad_site.placement = Dvp.Baseline.Trad_site.Replicated
     }
   in
   show

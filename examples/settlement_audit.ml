@@ -19,16 +19,16 @@ let () =
   Dvp.System.add_item sys ~item:reserve ~total:200_000 ();
 
   (* A trading day: moves between gross and reserve at every site. *)
-  let rng = Dvp_util.Rng.create 7 in
+  let rng = Dvp.Util.Rng.create 7 in
   let trades = ref 0 in
   for _ = 1 to 300 do
-    let at = Dvp_util.Rng.float rng 8.0 in
+    let at = Dvp.Util.Rng.float rng 8.0 in
     ignore
-      (Dvp_sim.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
-           let site = Dvp_util.Rng.int rng 5 in
-           let amt = 100 * (1 + Dvp_util.Rng.int rng 50) in
+      (Dvp.Engine.schedule_at (Dvp.System.engine sys) ~at (fun () ->
+           let site = Dvp.Util.Rng.int rng 5 in
+           let amt = 100 * (1 + Dvp.Util.Rng.int rng 50) in
            let ops =
-             if Dvp_util.Rng.bool rng then
+             if Dvp.Util.Rng.bool rng then
                [ (gross, Dvp.Op.Decr amt); (reserve, Dvp.Op.Incr amt) ]
              else [ (reserve, Dvp.Op.Decr amt); (gross, Dvp.Op.Incr amt) ]
            in

@@ -16,7 +16,7 @@
                                        slices, and virtual messages as flow
                                        arrows between sites. *)
 
-module Trace = Dvp_sim.Trace
+module Trace = Dvp.Trace
 
 let () =
   print_endline "== trace tour ==";
@@ -34,7 +34,7 @@ let () =
   let engine = Dvp.System.engine sys in
   for k = 0 to 19 do
     ignore
-      (Dvp_sim.Engine.schedule_at engine
+      (Dvp.Engine.schedule_at engine
          ~at:(0.1 +. (0.2 *. float_of_int k))
          (fun () ->
            (* Sites 0 and 1 carry the demand, so they outrun their own
@@ -44,11 +44,11 @@ let () =
              ~on_done:(fun _ -> ())))
   done;
   ignore
-    (Dvp_sim.Engine.schedule_at engine ~at:1.5 (fun () ->
+    (Dvp.Engine.schedule_at engine ~at:1.5 (fun () ->
          Dvp.System.partition sys [ [ 0; 1 ]; [ 2; 3 ] ]));
-  ignore (Dvp_sim.Engine.schedule_at engine ~at:2.5 (fun () -> Dvp.System.heal sys));
-  ignore (Dvp_sim.Engine.schedule_at engine ~at:3.0 (fun () -> Dvp.System.crash_site sys 3));
-  ignore (Dvp_sim.Engine.schedule_at engine ~at:3.6 (fun () -> Dvp.System.recover_site sys 3));
+  ignore (Dvp.Engine.schedule_at engine ~at:2.5 (fun () -> Dvp.System.heal sys));
+  ignore (Dvp.Engine.schedule_at engine ~at:3.0 (fun () -> Dvp.System.crash_site sys 3));
+  ignore (Dvp.Engine.schedule_at engine ~at:3.6 (fun () -> Dvp.System.recover_site sys 3));
   Dvp.System.run_until sys 6.0;
 
   (* Narrate the run from the typed events. *)
@@ -93,7 +93,7 @@ let () =
       Printf.printf "  t=%4.1f  [%s] | %3d | %d\n" t
         (String.concat "; " (Array.to_list (Array.map string_of_int frags)))
         nm s.Dvp.System.log_length)
-    (Dvp_sim.Probe.series probe);
+    (Dvp.Probe.series probe);
   Printf.printf "conserved at the end: %b\n" (Dvp.System.conserved_all sys);
 
   (* Both export formats, into the gitignored artifacts/ directory. *)

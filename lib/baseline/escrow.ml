@@ -1,7 +1,7 @@
 module Engine = Dvp_sim.Engine
-module Ids = Dvp.Ids
-module Op = Dvp.Op
-module Metrics = Dvp.Metrics
+module Ids = Dvp_core.Ids
+module Op = Dvp_core.Op
+module Metrics = Dvp_core.Metrics
 
 type msg =
   | Reserve of { txn : Ids.txn; item : Ids.item; op : Op.t }
@@ -162,7 +162,7 @@ let set_server_up s up =
 type pending = {
   c_op : Op.t;
   c_started : float;
-  c_on_done : Dvp.Site.txn_result -> unit;
+  c_on_done : Dvp_core.Site.txn_result -> unit;
   mutable c_timer : Engine.timer option;
 }
 
@@ -195,8 +195,8 @@ let finish_client c txn result =
     | None -> ());
     let latency = Engine.now c.c_engine -. p.c_started in
     (match result with
-    | Dvp.Site.Committed _ -> Metrics.txn_committed c.c_metrics ~latency
-    | Dvp.Site.Aborted reason -> Metrics.txn_aborted c.c_metrics ~reason ~latency);
+    | Dvp_core.Site.Committed _ -> Metrics.txn_committed c.c_metrics ~latency
+    | Dvp_core.Site.Aborted reason -> Metrics.txn_aborted c.c_metrics ~reason ~latency);
     p.c_on_done result
 
 let request c ~item ~op ~on_done =
@@ -211,7 +211,7 @@ let request c ~item ~op ~on_done =
     Some
       (Engine.schedule c.c_engine ~delay:c.c_timeout (fun () ->
            (* Give up; if the server granted, its TTL returns the escrow. *)
-           finish_client c txn (Dvp.Site.Aborted Metrics.Timeout)));
+           finish_client c txn (Dvp_core.Site.Aborted Metrics.Timeout)));
   c.c_send (Reserve { txn; item; op })
 
 let handle_client c msg =
@@ -219,7 +219,7 @@ let handle_client c msg =
   | Reply { txn; granted } ->
     if granted then begin
       c.c_send (Finalise { txn; commit = true });
-      finish_client c txn (Dvp.Site.Committed { read_value = None })
+      finish_client c txn (Dvp_core.Site.Committed { read_value = None })
     end
-    else finish_client c txn (Dvp.Site.Aborted Metrics.Ineffective)
+    else finish_client c txn (Dvp_core.Site.Aborted Metrics.Ineffective)
   | Reserve _ | Finalise _ -> ()

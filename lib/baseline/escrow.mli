@@ -22,9 +22,9 @@
     escrows whose finalise never arrives. *)
 
 type msg =
-  | Reserve of { txn : Dvp.Ids.txn; item : Dvp.Ids.item; op : Dvp.Op.t }
-  | Reply of { txn : Dvp.Ids.txn; granted : bool }
-  | Finalise of { txn : Dvp.Ids.txn; commit : bool }
+  | Reserve of { txn : Dvp_core.Ids.txn; item : Dvp_core.Ids.item; op : Dvp_core.Op.t }
+  | Reply of { txn : Dvp_core.Ids.txn; granted : bool }
+  | Finalise of { txn : Dvp_core.Ids.txn; commit : bool }
 
 type mode =
   | Escrow_locking  (** O'Neil escrow accounting *)
@@ -35,20 +35,20 @@ type server
 val server :
   Dvp_sim.Engine.t ->
   mode:mode ->
-  send:(dst:Dvp.Ids.site -> msg -> unit) ->
+  send:(dst:Dvp_core.Ids.site -> msg -> unit) ->
   ?escrow_ttl:float ->
   unit ->
   server
 (** [escrow_ttl] (default 2 s) bounds how long an unfinalised reservation
     can hold resources (client crash safety). *)
 
-val install : server -> item:Dvp.Ids.item -> int -> unit
+val install : server -> item:Dvp_core.Ids.item -> int -> unit
 
-val server_value : server -> item:Dvp.Ids.item -> int
+val server_value : server -> item:Dvp_core.Ids.item -> int
 
-val escrowed : server -> item:Dvp.Ids.item -> int
+val escrowed : server -> item:Dvp_core.Ids.item -> int
 
-val handle_server : server -> src:Dvp.Ids.site -> msg -> unit
+val handle_server : server -> src:Dvp_core.Ids.site -> msg -> unit
 
 val server_up : server -> bool
 
@@ -60,14 +60,14 @@ type client
 
 val client :
   Dvp_sim.Engine.t ->
-  self:Dvp.Ids.site ->
+  self:Dvp_core.Ids.site ->
   send:(msg -> unit) ->
   ?timeout:float ->
-  metrics:Dvp.Metrics.t ->
+  metrics:Dvp_core.Metrics.t ->
   unit ->
   client
 
 val request :
-  client -> item:Dvp.Ids.item -> op:Dvp.Op.t -> on_done:(Dvp.Site.txn_result -> unit) -> unit
+  client -> item:Dvp_core.Ids.item -> op:Dvp_core.Op.t -> on_done:(Dvp_core.Site.txn_result -> unit) -> unit
 
 val handle_client : client -> msg -> unit

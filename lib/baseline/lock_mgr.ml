@@ -1,7 +1,7 @@
 module Engine = Dvp_sim.Engine
 
 type waiter = {
-  txn : Dvp.Ids.txn;
+  txn : Dvp_core.Ids.txn;
   k : bool -> unit;
   mutable timer : Engine.timer option;
   mutable cancelled : bool;
@@ -9,10 +9,10 @@ type waiter = {
 
 type t = {
   engine : Engine.t;
-  holders : (Dvp.Ids.item, Dvp.Ids.txn) Hashtbl.t;
-  queues : (Dvp.Ids.item, waiter Queue.t) Hashtbl.t;
+  holders : (Dvp_core.Ids.item, Dvp_core.Ids.txn) Hashtbl.t;
+  queues : (Dvp_core.Ids.item, waiter Queue.t) Hashtbl.t;
   (* items held by each transaction, for release_all *)
-  held_by : (Dvp.Ids.txn, Dvp.Ids.item list) Hashtbl.t;
+  held_by : (Dvp_core.Ids.txn, Dvp_core.Ids.item list) Hashtbl.t;
   mutable waiting : int;
 }
 
@@ -40,7 +40,7 @@ let acquire t ~item ~txn ~timeout k =
   | None ->
     grant t ~item ~txn;
     k true
-  | Some owner when Dvp.Ids.ts_compare owner txn = 0 -> k true
+  | Some owner when Dvp_core.Ids.ts_compare owner txn = 0 -> k true
   | Some _ ->
     let w = { txn; k; timer = None; cancelled = false } in
     let q =
@@ -92,7 +92,7 @@ let release_all t ~txn =
     List.iter
       (fun item ->
         match Hashtbl.find_opt t.holders item with
-        | Some owner when Dvp.Ids.ts_compare owner txn = 0 ->
+        | Some owner when Dvp_core.Ids.ts_compare owner txn = 0 ->
           Hashtbl.remove t.holders item;
           promote t item
         | Some _ | None -> ())

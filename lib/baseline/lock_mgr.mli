@@ -1,6 +1,6 @@
 (** Strict two-phase-locking lock manager for the traditional baselines.
 
-    Unlike the DvP core's {!Dvp.Lock_table} (whose Conc1 discipline aborts on
+    Unlike the DvP core's {!Dvp_core.Lock_table} (whose Conc1 discipline aborts on
     conflict), a traditional lock manager queues conflicting requests.
     Deadlocks — possible once transactions wait while holding locks across
     sites — are resolved by a per-request timeout: a request that cannot be
@@ -15,8 +15,8 @@ val create : Dvp_sim.Engine.t -> t
 
 val acquire :
   t ->
-  item:Dvp.Ids.item ->
-  txn:Dvp.Ids.txn ->
+  item:Dvp_core.Ids.item ->
+  txn:Dvp_core.Ids.txn ->
   timeout:float ->
   (bool -> unit) ->
   unit
@@ -25,9 +25,9 @@ val acquire :
     (the request is then withdrawn).  Reentrant acquisition is granted
     immediately. *)
 
-val holder : t -> item:Dvp.Ids.item -> Dvp.Ids.txn option
+val holder : t -> item:Dvp_core.Ids.item -> Dvp_core.Ids.txn option
 
-val release_all : t -> txn:Dvp.Ids.txn -> unit
+val release_all : t -> txn:Dvp_core.Ids.txn -> unit
 (** Release the transaction's locks and grant queued requests in FIFO
     order. *)
 

@@ -1,18 +1,18 @@
-type write = { item : Dvp.Ids.item; value : int; version : int }
+type write = { item : Dvp_core.Ids.item; value : int; version : int }
 
-type read_result = { item : Dvp.Ids.item; value : int; version : int }
+type read_result = { item : Dvp_core.Ids.item; value : int; version : int }
 
 type t =
-  | Exec of { txn : Dvp.Ids.txn; coordinator : Dvp.Ids.site; items : Dvp.Ids.item list }
-  | Exec_ack of { txn : Dvp.Ids.txn; ok : bool; reads : read_result list }
-  | Prepare of { txn : Dvp.Ids.txn; writes : write list }
-  | Vote of { txn : Dvp.Ids.txn; yes : bool }
-  | Precommit of { txn : Dvp.Ids.txn }
-  | Precommit_ack of { txn : Dvp.Ids.txn }
-  | Decision of { txn : Dvp.Ids.txn; commit : bool }
-  | Decision_ack of { txn : Dvp.Ids.txn }
-  | Status_query of { txn : Dvp.Ids.txn }
-  | Status_reply of { txn : Dvp.Ids.txn; decision : bool option }
+  | Exec of { txn : Dvp_core.Ids.txn; coordinator : Dvp_core.Ids.site; items : Dvp_core.Ids.item list }
+  | Exec_ack of { txn : Dvp_core.Ids.txn; ok : bool; reads : read_result list }
+  | Prepare of { txn : Dvp_core.Ids.txn; writes : write list }
+  | Vote of { txn : Dvp_core.Ids.txn; yes : bool }
+  | Precommit of { txn : Dvp_core.Ids.txn }
+  | Precommit_ack of { txn : Dvp_core.Ids.txn }
+  | Decision of { txn : Dvp_core.Ids.txn; commit : bool }
+  | Decision_ack of { txn : Dvp_core.Ids.txn }
+  | Status_query of { txn : Dvp_core.Ids.txn }
+  | Status_reply of { txn : Dvp_core.Ids.txn; decision : bool option }
 
 let pp ppf m =
   let txn_of = function
@@ -43,4 +43,4 @@ let pp ppf m =
       | Some false -> "Status_reply(abort)"
       | None -> "Status_reply(?)")
   in
-  Format.fprintf ppf "%s[%a]" (tag m) Dvp.Ids.pp_txn (txn_of m)
+  Format.fprintf ppf "%s[%a]" (tag m) Dvp_core.Ids.pp_txn (txn_of m)

@@ -17,25 +17,25 @@
     the decision table answering them is rebuilt from the coordinator's
     stable log after a crash. *)
 
-type write = { item : Dvp.Ids.item; value : int; version : int }
+type write = { item : Dvp_core.Ids.item; value : int; version : int }
 
-type read_result = { item : Dvp.Ids.item; value : int; version : int }
+type read_result = { item : Dvp_core.Ids.item; value : int; version : int }
 
 type t =
   | Exec of {
-      txn : Dvp.Ids.txn;
-      coordinator : Dvp.Ids.site;
-      items : Dvp.Ids.item list;  (** items to lock and read at the participant *)
+      txn : Dvp_core.Ids.txn;
+      coordinator : Dvp_core.Ids.site;
+      items : Dvp_core.Ids.item list;  (** items to lock and read at the participant *)
     }
-  | Exec_ack of { txn : Dvp.Ids.txn; ok : bool; reads : read_result list }
-  | Prepare of { txn : Dvp.Ids.txn; writes : write list }
-  | Vote of { txn : Dvp.Ids.txn; yes : bool }
-  | Precommit of { txn : Dvp.Ids.txn }
-  | Precommit_ack of { txn : Dvp.Ids.txn }
-  | Decision of { txn : Dvp.Ids.txn; commit : bool }
-  | Decision_ack of { txn : Dvp.Ids.txn }
-  | Status_query of { txn : Dvp.Ids.txn }
-  | Status_reply of { txn : Dvp.Ids.txn; decision : bool option }
+  | Exec_ack of { txn : Dvp_core.Ids.txn; ok : bool; reads : read_result list }
+  | Prepare of { txn : Dvp_core.Ids.txn; writes : write list }
+  | Vote of { txn : Dvp_core.Ids.txn; yes : bool }
+  | Precommit of { txn : Dvp_core.Ids.txn }
+  | Precommit_ack of { txn : Dvp_core.Ids.txn }
+  | Decision of { txn : Dvp_core.Ids.txn; commit : bool }
+  | Decision_ack of { txn : Dvp_core.Ids.txn }
+  | Status_query of { txn : Dvp_core.Ids.txn }
+  | Status_reply of { txn : Dvp_core.Ids.txn; decision : bool option }
       (** [None]: coordinator does not know (yet) — keep waiting. *)
 
 val pp : Format.formatter -> t -> unit

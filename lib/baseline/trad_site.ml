@@ -1,8 +1,8 @@
 module Engine = Dvp_sim.Engine
 module Wal = Dvp_storage.Wal
-module Ids = Dvp.Ids
-module Op = Dvp.Op
-module Metrics = Dvp.Metrics
+module Ids = Dvp_core.Ids
+module Op = Dvp_core.Op
+module Metrics = Dvp_core.Metrics
 
 type protocol = Two_phase | Three_phase
 
@@ -78,7 +78,7 @@ type coord_txn = {
   mutable c_pre_acks : Ids.site list;
   mutable c_phase : coord_phase;
   mutable c_timer : Engine.timer option;
-  c_on_done : Dvp.Site.txn_result -> unit;
+  c_on_done : Dvp_core.Site.txn_result -> unit;
 }
 
 type t = {
@@ -304,8 +304,8 @@ let coord_finish t c result =
   Hashtbl.remove t.coords c.c_txn;
   let latency = Engine.now t.engine -. c.c_started in
   (match result with
-  | Dvp.Site.Committed _ -> Metrics.txn_committed t.metrics ~latency
-  | Dvp.Site.Aborted reason -> Metrics.txn_aborted t.metrics ~reason ~latency);
+  | Dvp_core.Site.Committed _ -> Metrics.txn_committed t.metrics ~latency
+  | Dvp_core.Site.Aborted reason -> Metrics.txn_aborted t.metrics ~reason ~latency);
   c.c_on_done result
 
 let coord_decide t c commit ~reason =
@@ -314,8 +314,8 @@ let coord_decide t c commit ~reason =
   let recipients = if commit then c.c_quorum else c.c_participants in
   List.iter (fun dst -> t.send ~dst (Trad_msg.Decision { txn = c.c_txn; commit })) recipients;
   if commit then
-    coord_finish t c (Dvp.Site.Committed { read_value = c.c_read_value })
-  else coord_finish t c (Dvp.Site.Aborted reason)
+    coord_finish t c (Dvp_core.Site.Committed { read_value = c.c_read_value })
+  else coord_finish t c (Dvp_core.Site.Aborted reason)
 
 let coord_timeout t txn () =
   match Hashtbl.find_opt t.coords txn with
@@ -390,11 +390,11 @@ let begin_txn t ~ops ~is_read ~on_done =
   ()
 
 let submit t ~ops ~on_done =
-  if not t.up then on_done (Dvp.Site.Aborted Metrics.Crashed)
+  if not t.up then on_done (Dvp_core.Site.Aborted Metrics.Crashed)
   else begin_txn t ~ops ~is_read:false ~on_done
 
 let submit_read t ~item ~on_done =
-  if not t.up then on_done (Dvp.Site.Aborted Metrics.Crashed)
+  if not t.up then on_done (Dvp_core.Site.Aborted Metrics.Crashed)
   else begin_txn t ~ops:[ (item, Op.Incr 0) ] ~is_read:true ~on_done
 
 let current_values c =
@@ -542,7 +542,7 @@ let crash t =
         c.c_timer <- cancel t c.c_timer;
         Metrics.txn_aborted t.metrics ~reason:Metrics.Crashed
           ~latency:(Engine.now t.engine -. c.c_started);
-        c.c_on_done (Dvp.Site.Aborted Metrics.Crashed))
+        c.c_on_done (Dvp_core.Site.Aborted Metrics.Crashed))
       cs;
     Hashtbl.reset t.coords;
     (* Participant volatile state: in-doubt episodes end here for blocked

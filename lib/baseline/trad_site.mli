@@ -18,7 +18,7 @@ type protocol = Two_phase | Three_phase
 
 type placement =
   | Single_copy  (** item [i] lives whole at site [i mod n] *)
-  | Primary_copy of Dvp.Ids.site  (** every item lives whole at one primary site *)
+  | Primary_copy of Dvp_core.Ids.site  (** every item lives whole at one primary site *)
   | Replicated  (** every site replicates every item; majority quorums *)
 
 type config = {
@@ -34,45 +34,45 @@ type config = {
 
 val default_config : config
 
-val home : config -> n:int -> item:Dvp.Ids.item -> Dvp.Ids.site
+val home : config -> n:int -> item:Dvp_core.Ids.item -> Dvp_core.Ids.site
 
 type t
 
 val create :
   Dvp_sim.Engine.t ->
-  self:Dvp.Ids.site ->
+  self:Dvp_core.Ids.site ->
   n:int ->
-  send:(dst:Dvp.Ids.site -> Trad_msg.t -> unit) ->
+  send:(dst:Dvp_core.Ids.site -> Trad_msg.t -> unit) ->
   config:config ->
-  on_unilateral:(Dvp.Ids.txn -> bool -> unit) ->
+  on_unilateral:(Dvp_core.Ids.txn -> bool -> unit) ->
   unit ->
   t
 (** [on_unilateral txn commit] fires when the 3PC termination rule makes this
     site decide on its own; the system cross-checks it against the
     coordinator's decision to count atomicity violations. *)
 
-val self : t -> Dvp.Ids.site
+val self : t -> Dvp_core.Ids.site
 
 val is_up : t -> bool
 
-val install_value : t -> item:Dvp.Ids.item -> int -> unit
+val install_value : t -> item:Dvp_core.Ids.item -> int -> unit
 (** Give this site a (replica of a) whole item with the given value. *)
 
-val value_of : t -> item:Dvp.Ids.item -> int
+val value_of : t -> item:Dvp_core.Ids.item -> int
 
-val version_of : t -> item:Dvp.Ids.item -> int
+val version_of : t -> item:Dvp_core.Ids.item -> int
 
 val submit :
   t ->
-  ops:(Dvp.Ids.item * Dvp.Op.t) list ->
-  on_done:(Dvp.Site.txn_result -> unit) ->
+  ops:(Dvp_core.Ids.item * Dvp_core.Op.t) list ->
+  on_done:(Dvp_core.Site.txn_result -> unit) ->
   unit
 (** Coordinate a transaction from this site. *)
 
 val submit_read :
-  t -> item:Dvp.Ids.item -> on_done:(Dvp.Site.txn_result -> unit) -> unit
+  t -> item:Dvp_core.Ids.item -> on_done:(Dvp_core.Site.txn_result -> unit) -> unit
 
-val handle_message : t -> src:Dvp.Ids.site -> Trad_msg.t -> unit
+val handle_message : t -> src:Dvp_core.Ids.site -> Trad_msg.t -> unit
 
 val crash : t -> unit
 
@@ -88,9 +88,9 @@ val flush_blocked : t -> unit
 (** End-of-run accounting: record the still-running blocked episodes of
     in-doubt participants. *)
 
-val decision_of : t -> Dvp.Ids.txn -> bool option
+val decision_of : t -> Dvp_core.Ids.txn -> bool option
 (** Coordinator-side decision table lookup (for the consistency audit). *)
 
-val metrics : t -> Dvp.Metrics.t
+val metrics : t -> Dvp_core.Metrics.t
 
 val log_forces : t -> int

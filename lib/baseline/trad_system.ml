@@ -8,14 +8,14 @@ type t = {
   cfg : Trad_site.config;
   (* 3PC consistency audit: unilateral termination decisions to compare with
      the coordinator's. *)
-  unilateral : (Dvp.Ids.txn * bool) Queue.t;
+  unilateral : (Dvp_core.Ids.txn * bool) Queue.t;
   mutable inconsistent : int;
 }
 
 let create ?(seed = 42) ?(config = Trad_site.default_config) ?link ~n () =
   let engine = Engine.create () in
   let rng = Dvp_util.Rng.create seed in
-  let net = Network.create engine ~rng ~n ?default:link () in
+  let net = Network.create (Dvp_sim.Substrate_des.of_engine engine) ~rng ~n ?default:link () in
   let unilateral = Queue.create () in
   let sites =
     Array.init n (fun i ->
@@ -106,13 +106,13 @@ let inconsistencies t =
 let metrics t =
   let m =
     Array.fold_left
-      (fun acc s -> Dvp.Metrics.merge acc (Trad_site.metrics s))
-      (Dvp.Metrics.create ()) t.sites
+      (fun acc s -> Dvp_core.Metrics.merge acc (Trad_site.metrics s))
+      (Dvp_core.Metrics.create ()) t.sites
   in
   let stats = Network.stats t.net in
-  Dvp.Metrics.add_messages m stats.Network.sent;
-  Dvp.Metrics.add_drops m ~loss:stats.Network.dropped_loss
+  Dvp_core.Metrics.add_messages m stats.Network.sent;
+  Dvp_core.Metrics.add_drops m ~loss:stats.Network.dropped_loss
     ~partition:stats.Network.dropped_partition ~down:stats.Network.dropped_down
     ~inflight:stats.Network.dropped_inflight;
-  Array.iter (fun s -> Dvp.Metrics.add_log_forces m (Trad_site.log_forces s)) t.sites;
+  Array.iter (fun s -> Dvp_core.Metrics.add_log_forces m (Trad_site.log_forces s)) t.sites;
   m

@@ -1,5 +1,5 @@
 (** A traditional distributed database installation, API-compatible with
-    {!Dvp.System} so the benchmark harness can drive both uniformly.
+    {!Dvp_core.System} so the benchmark harness can drive both uniformly.
 
     Modes: 2PC or 3PC atomic commit, over single-copy placement (item [i]
     homed at site [i mod n]) or full replication with majority quorums. *)
@@ -22,33 +22,33 @@ val run_until : t -> float -> unit
 
 val n_sites : t -> int
 
-val site : t -> Dvp.Ids.site -> Trad_site.t
+val site : t -> Dvp_core.Ids.site -> Trad_site.t
 
-val add_item : t -> item:Dvp.Ids.item -> total:int -> unit
+val add_item : t -> item:Dvp_core.Ids.item -> total:int -> unit
 (** Install the item whole at its home site (single-copy) or at every
     replica (replicated). *)
 
 val submit :
   t ->
-  site:Dvp.Ids.site ->
-  ops:(Dvp.Ids.item * Dvp.Op.t) list ->
-  on_done:(Dvp.Site.txn_result -> unit) ->
+  site:Dvp_core.Ids.site ->
+  ops:(Dvp_core.Ids.item * Dvp_core.Op.t) list ->
+  on_done:(Dvp_core.Site.txn_result -> unit) ->
   unit
 
 val submit_read :
-  t -> site:Dvp.Ids.site -> item:Dvp.Ids.item -> on_done:(Dvp.Site.txn_result -> unit) -> unit
+  t -> site:Dvp_core.Ids.site -> item:Dvp_core.Ids.item -> on_done:(Dvp_core.Site.txn_result -> unit) -> unit
 
-val partition : t -> Dvp.Ids.site list list -> unit
+val partition : t -> Dvp_core.Ids.site list list -> unit
 
 val heal : t -> unit
 
-val crash_site : t -> Dvp.Ids.site -> unit
+val crash_site : t -> Dvp_core.Ids.site -> unit
 
-val recover_site : t -> Dvp.Ids.site -> unit
+val recover_site : t -> Dvp_core.Ids.site -> unit
 
-val value_at : t -> site:Dvp.Ids.site -> item:Dvp.Ids.item -> int
+val value_at : t -> site:Dvp_core.Ids.site -> item:Dvp_core.Ids.item -> int
 
-val committed_value : t -> item:Dvp.Ids.item -> int
+val committed_value : t -> item:Dvp_core.Ids.item -> int
 (** Single-copy: the home site's value.  Replicated: the highest-version
     replica value. *)
 
@@ -61,4 +61,4 @@ val inconsistencies : t -> int
 val flush_blocked : t -> unit
 (** End-of-run: close the books on still-blocked participants. *)
 
-val metrics : t -> Dvp.Metrics.t
+val metrics : t -> Dvp_core.Metrics.t

@@ -1,6 +1,6 @@
-module System = Dvp.System
-module Site = Dvp.Site
-module Metrics = Dvp.Metrics
+module System = Dvp_core.System
+module Site = Dvp_core.Site
+module Metrics = Dvp_core.Metrics
 module Wal = Dvp_storage.Wal
 module Engine = Dvp_sim.Engine
 module Faultplan = Dvp_workload.Faultplan
@@ -40,9 +40,9 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps ()
     if profile.Profile.detector then
       Some
         {
-          Dvp.Config.default with
-          Dvp.Config.health = Some Dvp_health.Health.default_config;
-          Dvp.Config.auto_evacuate = true;
+          Dvp_core.Config.default with
+          Dvp_core.Config.health = Some Dvp_health.Health.default_config;
+          Dvp_core.Config.auto_evacuate = true;
         }
     else None
   in

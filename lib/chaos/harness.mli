@@ -27,7 +27,7 @@ val run_seed :
   profile:Profile.t ->
   seed:int ->
   ?schedule:Dvp_workload.Faultplan.t ->
-  ?extra_checks:(Dvp.System.t -> Oracle.violation list) ->
+  ?extra_checks:(Dvp_core.System.t -> Oracle.violation list) ->
   ?crashdumps:string ->
   unit ->
   seed_result
@@ -62,7 +62,7 @@ val run :
   ?first_seed:int ->
   seeds:int ->
   profile:Profile.t ->
-  ?extra_checks:(Dvp.System.t -> Oracle.violation list) ->
+  ?extra_checks:(Dvp_core.System.t -> Oracle.violation list) ->
   ?crashdumps:string ->
   unit ->
   report

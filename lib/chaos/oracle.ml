@@ -1,8 +1,8 @@
-module System = Dvp.System
-module Site = Dvp.Site
+module System = Dvp_core.System
+module Site = Dvp_core.Site
 module Wal = Dvp_storage.Wal
-module Log_event = Dvp.Log_event
-module Metrics = Dvp.Metrics
+module Log_event = Dvp_core.Log_event
+module Metrics = Dvp_core.Metrics
 module Runner = Dvp_workload.Runner
 module Json = Dvp_util.Json
 

@@ -21,13 +21,13 @@
 
 type violation = { check : string; detail : string }
 
-val check_system : Dvp.System.t -> violation list
+val check_system : Dvp_core.System.t -> violation list
 (** All state invariants, meaningful between simulator events. *)
 
 val check_outcome : Dvp_workload.Runner.outcome -> violation list
 (** Counter cross-checks on a finished run. *)
 
-val check_liveness : Dvp.System.t -> Dvp_workload.Runner.outcome -> violation list
+val check_liveness : Dvp_core.System.t -> Dvp_workload.Runner.outcome -> violation list
 (** Degraded-mode liveness on a finished run: with a strict majority of
     sites up and at least 50 submissions, zero commits is a violation — a
     permanently dead minority must not stall the survivors. *)

@@ -1,3 +1,49 @@
+(* Substrate-facing cadence knobs, grouped: everything that tunes how value
+   and liveness evidence move over the wire, as opposed to what the protocol
+   decides.  [of_flat] keeps the flat-argument construction used by CLI
+   flags. *)
+module Transport = struct
+  type t = {
+    vm_retransmit : float;
+    ack_delay : float;
+    vm_batch : bool;
+    vm_backoff_mult : float;
+    vm_backoff_max : float;
+    probe_every : float;
+    probe_idle : float;
+  }
+
+  let default =
+    {
+      vm_retransmit = 0.15;
+      ack_delay = 0.0;
+      vm_batch = true;
+      vm_backoff_mult = 2.0;
+      vm_backoff_max = 0.6;
+      probe_every = 0.1;
+      probe_idle = 0.25;
+    }
+
+  let v ?(vm_retransmit = default.vm_retransmit) ?(ack_delay = default.ack_delay)
+      ?(vm_batch = default.vm_batch) ?(vm_backoff_mult = default.vm_backoff_mult)
+      ?(vm_backoff_max = default.vm_backoff_max) ?(probe_every = default.probe_every)
+      ?(probe_idle = default.probe_idle) () =
+    if vm_retransmit <= 0.0 then invalid_arg "Config.Transport.v: vm_retransmit <= 0";
+    if ack_delay < 0.0 then invalid_arg "Config.Transport.v: negative ack_delay";
+    if vm_backoff_mult < 1.0 then invalid_arg "Config.Transport.v: vm_backoff_mult < 1";
+    if vm_backoff_max < vm_retransmit then
+      invalid_arg "Config.Transport.v: vm_backoff_max < vm_retransmit";
+    if probe_every <= 0.0 then invalid_arg "Config.Transport.v: probe_every <= 0";
+    if probe_idle < 0.0 then invalid_arg "Config.Transport.v: negative probe_idle";
+    { vm_retransmit; ack_delay; vm_batch; vm_backoff_mult; vm_backoff_max;
+      probe_every; probe_idle }
+
+  let of_flat ~vm_retransmit ~ack_delay ~vm_batch ~vm_backoff_mult ~vm_backoff_max
+      ~probe_every ~probe_idle =
+    v ~vm_retransmit ~ack_delay ~vm_batch ~vm_backoff_mult ~vm_backoff_max
+      ~probe_every ~probe_idle ()
+end
+
 type request_policy = Ask_all_full | Ask_all_split | Ask_one_random | Ask_k of int
 
 type grant_policy = Grant_requested | Grant_all | Grant_double | Grant_half_keep
@@ -21,11 +67,7 @@ type t = {
   proactive : proactive option;
   request_retries : int;
   txn_timeout : float;
-  vm_retransmit : float;
-  ack_delay : float;
-  vm_batch : bool;
-  vm_backoff_mult : float;
-  vm_backoff_max : float;
+  transport : Transport.t;
   health : Dvp_health.Health.config option;
   auto_evacuate : bool;
   vm_outbox_warn : int;
@@ -39,11 +81,7 @@ let default =
     proactive = None;
     request_retries = 0;
     txn_timeout = 0.5;
-    vm_retransmit = 0.15;
-    ack_delay = 0.0;
-    vm_batch = true;
-    vm_backoff_mult = 2.0;
-    vm_backoff_max = 0.6;
+    transport = Transport.default;
     health = None;
     auto_evacuate = false;
     vm_outbox_warn = 512;
@@ -64,7 +102,8 @@ let pp_grant ppf = function
 let pp ppf t =
   Format.fprintf ppf "{%s %a %a timeout=%.3f rto=%.3f}"
     (match t.cc with Conc1 -> "conc1" | Conc2 -> "conc2")
-    pp_request t.request_policy pp_grant t.grant_policy t.txn_timeout t.vm_retransmit
+    pp_request t.request_policy pp_grant t.grant_policy t.txn_timeout
+    t.transport.Transport.vm_retransmit
 
 let grant_amount policy ~requested ~fragment =
   let granted =

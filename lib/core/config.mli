@@ -4,6 +4,69 @@
     the transactions and to reduce the message traffic" (Section 9); these
     policies are the knobs the ablation experiments (E6) sweep. *)
 
+(** Substrate-facing cadence knobs, grouped in one record: the Vm
+    retransmission scan, ack piggyback delay, real-message batching and
+    backoff, and the failure detector's probe cadence.  These tune how value
+    and liveness evidence move over the wire — the execution substrate's
+    domain — as opposed to the protocol policies around them. *)
+module Transport : sig
+  type t = {
+    vm_retransmit : float;
+        (** period of the Vm retransmission scan (seconds; default 0.15) *)
+    ack_delay : float;
+        (** how long to hold a standalone Vm acknowledgement hoping to
+            piggyback it on reverse traffic (seconds; default 0 =
+            immediate) *)
+    vm_batch : bool;
+        (** coalesce all due fragments to a destination into a single
+            {!Proto.constructor:Vm_batch} real message (Section 4.2: "a
+            single real message may carry several virtual messages"; default
+            true) *)
+    vm_backoff_mult : float;
+        (** per-destination retransmission backoff multiplier: each fruitless
+            retransmission to a destination multiplies its timeout by this,
+            acknowledgement progress resets it (default 2.0; 1.0 disables
+            backoff) *)
+    vm_backoff_max : float;
+        (** cap on the backed-off per-destination retransmission timeout
+            (seconds; default 0.6) *)
+    probe_every : float;
+        (** failure-detector scan (and probe rate-limit) period (seconds;
+            default 0.1); only meaningful with [health = Some _] *)
+    probe_idle : float;
+        (** probe a peer silent for longer than this (seconds; default
+            0.25) *)
+  }
+
+  val default : t
+
+  val v :
+    ?vm_retransmit:float ->
+    ?ack_delay:float ->
+    ?vm_batch:bool ->
+    ?vm_backoff_mult:float ->
+    ?vm_backoff_max:float ->
+    ?probe_every:float ->
+    ?probe_idle:float ->
+    unit ->
+    t
+  (** Smart constructor: defaults plus validation ([vm_retransmit] and
+      [probe_every] positive, [vm_backoff_mult >= 1],
+      [vm_backoff_max >= vm_retransmit], no negative delays). *)
+
+  val of_flat :
+    vm_retransmit:float ->
+    ack_delay:float ->
+    vm_batch:bool ->
+    vm_backoff_mult:float ->
+    vm_backoff_max:float ->
+    probe_every:float ->
+    probe_idle:float ->
+    t
+  (** Compatibility constructor from the flat per-knob arguments (CLI
+      flags).  Same validation as {!v}. *)
+end
+
 (** Whom to ask, and for how much, when the local fragment is inadequate
     (transaction step 2). *)
 type request_policy =
@@ -58,23 +121,9 @@ type t = {
   txn_timeout : float;
       (** transaction step 3's timeout: abort if the needed Vm have not
           arrived (seconds; default 0.5) *)
-  vm_retransmit : float;
-      (** period of the Vm retransmission scan (seconds; default 0.15) *)
-  ack_delay : float;
-      (** how long to hold a standalone Vm acknowledgement hoping to
-          piggyback it on reverse traffic (seconds; default 0 = immediate) *)
-  vm_batch : bool;
-      (** coalesce all due fragments to a destination into a single
-          {!Proto.constructor:Vm_batch} real message (Section 4.2: "a single
-          real message may carry several virtual messages"; default true) *)
-  vm_backoff_mult : float;
-      (** per-destination retransmission backoff multiplier: each fruitless
-          retransmission to a destination multiplies its timeout by this,
-          acknowledgement progress resets it (default 2.0; 1.0 disables
-          backoff) *)
-  vm_backoff_max : float;
-      (** cap on the backed-off per-destination retransmission timeout
-          (seconds; default 0.6) *)
+  transport : Transport.t;
+      (** substrate cadence knobs: Vm retransmission, ack piggyback delay,
+          batching, backoff, probe intervals (see {!Transport}) *)
   health : Dvp_health.Health.config option;
       (** [Some cfg] arms a per-site failure detector (Up / Suspected /
           Condemned, see {!Dvp_health.Health}); Suspected destinations get

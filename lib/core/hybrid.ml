@@ -85,9 +85,9 @@ let create sys ?(hi = 0.10) ?(lo = 0.02) ?(window = 2.0) ?(check_every = 1.0) ()
   in
   let rec tick () =
     evaluate t;
-    ignore (Dvp_sim.Engine.schedule (System.engine sys) ~delay:t.check_every tick)
+    ignore (Dvp_substrate.Substrate.schedule (System.sub sys) ~delay:t.check_every tick)
   in
-  ignore (Dvp_sim.Engine.schedule (System.engine sys) ~delay:t.check_every tick);
+  ignore (Dvp_substrate.Substrate.schedule (System.sub sys) ~delay:t.check_every tick);
   t
 
 let submit t ~site ~ops ~on_done =

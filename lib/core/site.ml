@@ -1,4 +1,4 @@
-module Engine = Dvp_sim.Engine
+module Substrate = Dvp_substrate.Substrate
 module Trace = Dvp_sim.Trace
 module Wal = Dvp_storage.Wal
 module Db = Dvp_storage.Local_db
@@ -13,7 +13,7 @@ type live_txn = {
   ops : (Ids.item * Op.t) list;
   started : float;
   mutable lock_time : float option; (* when the local locks were acquired *)
-  mutable timer : Engine.timer option;
+  mutable timer : Substrate.timer option;
   mutable awaiting : bool; (* in the redistribution (steps 2-3) phase *)
   drain_heard : (Ids.item * Ids.site, unit) Hashtbl.t;
   mutable drain_expect : int;
@@ -25,7 +25,7 @@ type live_txn = {
 }
 
 type t = {
-  engine : Engine.t;
+  sub : Substrate.t;
   self : Ids.site;
   n : int;
   send : dst:Ids.site -> Proto.t -> unit;
@@ -57,12 +57,12 @@ let vm_exn t = match t.vm with Some v -> v | None -> assert false
 
 let tracef t category fmt =
   match t.trace with
-  | Some tr -> Trace.recordf tr ~time:(Engine.now t.engine) ~category fmt
+  | Some tr -> Trace.recordf tr ~time:(Substrate.now t.sub) ~category fmt
   | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let emit t ev =
   match t.trace with
-  | Some tr -> Trace.emit tr ~time:(Engine.now t.engine) ev
+  | Some tr -> Trace.emit tr ~time:(Substrate.now t.sub) ev
   | None -> ()
 
 (* ------------------------------------------------------------ accessors *)
@@ -146,7 +146,7 @@ let try_credit t ~peer ~item ~amount ~reply_to =
 let release_and_account t txn =
   (match txn.lock_time with
   | Some since ->
-    Metrics.lock_held t.metrics (Engine.now t.engine -. since);
+    Metrics.lock_held t.metrics (Substrate.now t.sub -. since);
     emit t (Trace.Lock_release { site = t.self; txn = txn.id })
   | None -> ());
   ignore (Lock_table.release_all t.locks ~txn:txn.id)
@@ -156,12 +156,12 @@ let finish t txn result =
     txn.finished <- true;
     (match txn.timer with
     | Some h ->
-      ignore (Engine.cancel t.engine h);
+      ignore (Substrate.cancel h);
       txn.timer <- None
     | None -> ());
     Hashtbl.remove t.live txn.id;
     release_and_account t txn;
-    let latency = Engine.now t.engine -. txn.started in
+    let latency = Substrate.now t.sub -. txn.started in
     (match result with
     | Committed _ ->
       Metrics.txn_committed t.metrics ~latency;
@@ -234,7 +234,7 @@ let timeout_abort t id () =
   | Some _ | None -> ()
 
 let arm_timeout t txn =
-  txn.timer <- Some (Engine.schedule t.engine ~delay:t.cfg.txn_timeout (timeout_abort t txn.id))
+  txn.timer <- Some (Substrate.schedule t.sub ~delay:t.cfg.txn_timeout (timeout_abort t txn.id))
 
 (* ------------------------------------------------------ request sending *)
 
@@ -327,7 +327,7 @@ let arm_request_retries t txn =
     let gap = t.cfg.txn_timeout /. float_of_int (retries + 1) in
     for k = 1 to retries do
       ignore
-        (Engine.schedule t.engine ~delay:(gap *. float_of_int k) (fun () ->
+        (Substrate.schedule t.sub ~delay:(gap *. float_of_int k) (fun () ->
              if (not txn.finished) && txn.awaiting then begin
                match current_shortfalls t txn with
                | [] -> ()
@@ -338,7 +338,7 @@ let arm_request_retries t txn =
 
 (* Steps 2-7 once the local locks are held. *)
 let proceed_locked t txn =
-  txn.lock_time <- Some (Engine.now t.engine);
+  txn.lock_time <- Some (Substrate.now t.sub);
   emit t (Trace.Lock_acquire { site = t.self; txn = txn.id; items = List.map fst txn.ops });
   match txn.kind with
   | General ->
@@ -391,14 +391,14 @@ let begin_txn t ~kind ~ops ~on_done =
      the site id in the low-order bits.  Without this an idle site's counter
      would lag and all its requests would fail the Conc1 gate at busier
      sites. *)
-  Ids.Clock.witness_counter t.clock (int_of_float (Engine.now t.engine *. 1_000_000.0));
+  Ids.Clock.witness_counter t.clock (int_of_float (Substrate.now t.sub *. 1_000_000.0));
   let id = Ids.Clock.next t.clock in
   let txn =
     {
       id;
       kind;
       ops;
-      started = Engine.now t.engine;
+      started = Substrate.now t.sub;
       lock_time = None;
       timer = None;
       awaiting = false;
@@ -488,7 +488,7 @@ let note_asker t ~src ~item =
       Hashtbl.replace t.askers item m;
       m
   in
-  Hashtbl.replace m src (Engine.now t.engine)
+  Hashtbl.replace m src (Substrate.now t.sub)
 
 let rec handle_request t ~src ~txn_id ~item ~kind =
   note_asker t ~src ~item;
@@ -575,7 +575,7 @@ let push_value t ~dst ~item ~amount =
    ahead of their next shortfall.  Pure redistribution — Rds transactions in
    the paper's terms — so it can never affect any item's value. *)
 let proactive_scan t (p : Config.proactive) =
-  let now = Engine.now t.engine in
+  let now = Substrate.now t.sub in
   Hashtbl.iter
     (fun item m ->
       if (not (Lock_table.is_locked t.locks ~item)) && Db.mem t.db ~item then begin
@@ -607,9 +607,9 @@ let proactive_scan t (p : Config.proactive) =
 let start_proactive t p =
   let rec tick () =
     if t.up then proactive_scan t p;
-    ignore (Engine.schedule t.engine ~delay:p.Config.every tick)
+    ignore (Substrate.schedule t.sub ~delay:p.Config.every tick)
   in
-  ignore (Engine.schedule t.engine ~delay:p.Config.every tick)
+  ignore (Substrate.schedule t.sub ~delay:p.Config.every tick)
 
 (* --------------------------------------------------------------- layout *)
 
@@ -637,13 +637,13 @@ let crash t =
     List.iter
       (fun txn ->
         (match txn.timer with
-        | Some h -> ignore (Engine.cancel t.engine h)
+        | Some h -> ignore (Substrate.cancel h)
         | None -> ());
         txn.timer <- None;
         if not txn.finished then begin
           txn.finished <- true;
           Metrics.txn_aborted t.metrics ~reason:Metrics.Crashed
-            ~latency:(Engine.now t.engine -. txn.started);
+            ~latency:(Substrate.now t.sub -. txn.started);
           txn.on_done (Aborted Metrics.Crashed)
         end)
       victims;
@@ -661,7 +661,7 @@ let crash t =
    stable log alone. *)
 let recover t =
   if not t.up then begin
-    let started = Engine.now t.engine in
+    let started = Substrate.now t.sub in
     (* A torn or corrupted flush leaves bad records at the stable tail; drop
        them before replaying (and before anything new is appended, or the new
        records would sit invisibly beyond the bad tail).  Torn records were
@@ -675,7 +675,7 @@ let recover t =
     t.up <- true;
     (* Independent recovery: zero messages to other sites (Section 7). *)
     Metrics.recovery_event t.metrics ~messages:0 ~redo:view.Log_replay.redo
-      ~duration:(Engine.now t.engine -. started);
+      ~duration:(Substrate.now t.sub -. started);
     emit t (Trace.Recover { site = t.self; redo = view.Log_replay.redo })
   end
 
@@ -712,10 +712,10 @@ let stable_outstanding_to t ~dst =
 
 (* --------------------------------------------------------------- create *)
 
-let create engine ~self ~n ~send ~config ~rng ?trace () =
+let create sub ~self ~n ~send ~config ~rng ?trace () =
   let t =
     {
-      engine;
+      sub;
       self;
       n;
       send;
@@ -737,12 +737,15 @@ let create engine ~self ~n ~send ~config ~rng ?trace () =
     }
   in
   let vm =
-    Vm.create engine ~n ~self ~wal:t.wal ~send
+    Vm.create sub ~n ~self ~wal:t.wal ~send
       ~try_credit:(fun ~peer ~item ~amount ~reply_to -> try_credit t ~peer ~item ~amount ~reply_to)
       ~ts_counter:(fun () -> Ids.Clock.current_counter t.clock)
-      ~metrics:t.metrics ?trace ~retransmit_every:config.Config.vm_retransmit
-      ~ack_delay:config.Config.ack_delay ~batch:config.Config.vm_batch
-      ~backoff_mult:config.Config.vm_backoff_mult ~backoff_max:config.Config.vm_backoff_max
+      ~metrics:t.metrics ?trace
+      ~retransmit_every:config.Config.transport.Config.Transport.vm_retransmit
+      ~ack_delay:config.Config.transport.Config.Transport.ack_delay
+      ~batch:config.Config.transport.Config.Transport.vm_batch
+      ~backoff_mult:config.Config.transport.Config.Transport.vm_backoff_mult
+      ~backoff_max:config.Config.transport.Config.Transport.vm_backoff_max
       ~rng:(Dvp_util.Rng.split t.rng) ~outbox_warn:config.Config.vm_outbox_warn ()
   in
   t.vm <- Some vm;

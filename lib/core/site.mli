@@ -31,7 +31,7 @@ type txn_result =
   | Aborted of Metrics.abort_reason
 
 val create :
-  Dvp_sim.Engine.t ->
+  Dvp_substrate.Substrate.t ->
   self:Ids.site ->
   n:int ->
   send:(dst:Ids.site -> Proto.t -> unit) ->

@@ -1,4 +1,5 @@
 module Engine = Dvp_sim.Engine
+module Substrate = Dvp_substrate.Substrate
 module Network = Dvp_net.Network
 module Broadcast = Dvp_net.Broadcast
 module Health = Dvp_health.Health
@@ -11,7 +12,8 @@ type evacuation_report = {
 }
 
 type t = {
-  engine : Engine.t;
+  engine : Engine.t; (* the DES driver: [run_until] et al. live here *)
+  sub : Substrate.t; (* the same engine behind the substrate interface *)
   net : Proto.t Network.t;
   bcast : Proto.t list Broadcast.t option;
   sites : Site.t array;
@@ -26,7 +28,7 @@ type t = {
 
 let emit t ev =
   match t.trace with
-  | Some tr -> Dvp_sim.Trace.emit tr ~time:(Engine.now t.engine) ev
+  | Some tr -> Dvp_sim.Trace.emit tr ~time:(Substrate.now t.sub) ev
   | None -> ()
 
 (* -------------------------------------------- degraded-mode operation *)
@@ -198,16 +200,16 @@ and start_sweep t d =
           else remaining := !remaining + List.length pending
       end
     done;
-    if !remaining > 0 then ignore (Engine.schedule t.engine ~delay:0.5 sweep)
+    if !remaining > 0 then ignore (Substrate.schedule t.sub ~delay:0.5 sweep)
   in
-  ignore (Engine.schedule t.engine ~delay:0.5 sweep)
+  ignore (Substrate.schedule t.sub ~delay:0.5 sweep)
 
 and maybe_auto_evacuate t d =
   if t.cfg.Config.auto_evacuate && (not t.evacuated.(d)) && not (Site.is_up t.sites.(d)) then
     (* Defer one engine step: the condemnation fires inside a detector scan
        or a message delivery, and evacuation must run at an event boundary. *)
     ignore
-      (Engine.schedule t.engine ~delay:0.0 (fun () ->
+      (Substrate.schedule t.sub ~delay:0.0 (fun () ->
            if (not t.evacuated.(d)) && not (Site.is_up t.sites.(d)) then
              ignore (evacuate t ~site:d ())))
 
@@ -225,9 +227,12 @@ and handle_transition t i ~peer st =
 
 and arm_detectors t hcfg =
   let n = Array.length t.sites in
+  let tr = t.cfg.Config.transport in
   let dets =
     Array.init n (fun i ->
-        Health.create hcfg ~engine:t.engine ~self:i ~n
+        Health.create hcfg ~sub:t.sub ~self:i ~n
+          ~probe_every:tr.Config.Transport.probe_every
+          ~probe_idle:tr.Config.Transport.probe_idle
           ~send_probe:(fun dst ->
             if Site.is_up t.sites.(i) then Network.send t.net ~src:i ~dst Proto.Probe)
           ~on_transition:(fun ~peer st -> handle_transition t i ~peer st))
@@ -244,13 +249,14 @@ and arm_detectors t hcfg =
 let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   if n <= 0 then invalid_arg "System.create: need at least one site";
   let engine = Engine.create () in
+  let sub = Dvp_sim.Substrate_des.of_engine engine in
   let rng = Dvp_util.Rng.create seed in
   let net_rng = Dvp_util.Rng.split rng in
-  let net = Network.create engine ~rng:net_rng ~n ?default:link ?trace () in
+  let net = Network.create sub ~rng:net_rng ~n ?default:link ?trace () in
   let sites =
     Array.init n (fun i ->
         let site_rng = Dvp_util.Rng.split rng in
-        Site.create engine ~self:i ~n
+        Site.create sub ~self:i ~n
           ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
           ~config ~rng:site_rng ?trace ())
   in
@@ -260,7 +266,7 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   let bcast =
     match config.Config.cc with
     | Config.Conc2 ->
-      let b = Broadcast.create engine ~n () in
+      let b = Broadcast.create sub ~n () in
       Array.iteri
         (fun i site ->
           Broadcast.set_handler b i (fun ~src ~seq:_ msgs ->
@@ -273,6 +279,7 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   let t =
     {
       engine;
+      sub;
       net;
       bcast;
       sites;
@@ -291,6 +298,8 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   t
 
 let engine t = t.engine
+
+let sub t = t.sub
 
 let now t = Engine.now t.engine
 
@@ -382,28 +391,12 @@ let exec t (req : Txn.t) ~on_done =
           | Txn.Committed _ -> on_done result
           | Txn.Aborted _ when k < retries ->
             ignore
-              (Engine.schedule t.engine
+              (Substrate.schedule t.sub
                  ~delay:(backoff *. float_of_int (k + 1))
                  (fun () -> attempt (k + 1)))
           | Txn.Aborted _ -> on_done result)
     in
     attempt 0
-
-(* Legacy four-way submission surface: one-line wrappers over [exec]. *)
-
-let submit t ~site ~ops ~on_done =
-  exec t (Txn.write ~site ops) ~on_done:(fun o -> on_done (Txn.to_result o))
-
-let submit_read t ~site ~item ~on_done =
-  exec t (Txn.read ~site item) ~on_done:(fun o -> on_done (Txn.to_result o))
-
-let submit_read_many t ~site ~items ~on_done =
-  exec t (Txn.snapshot ~site items) ~on_done:(fun o -> on_done (Txn.to_reads o))
-
-let submit_retrying t ~site ~ops ?(retries = 3) ?(backoff = 0.2) ~on_done () =
-  exec t
-    (Txn.with_retry ~retries ~backoff (Txn.write ~site ops))
-    ~on_done:(fun o -> on_done (Txn.to_result o))
 
 (* -------------------------------------------------------------- faults *)
 
@@ -509,9 +502,9 @@ let checkpoint_all t =
 let start_periodic_checkpoints t ~every =
   let rec tick () =
     checkpoint_all t;
-    ignore (Engine.schedule t.engine ~delay:every tick)
+    ignore (Substrate.schedule t.sub ~delay:every tick)
   in
-  ignore (Engine.schedule t.engine ~delay:every tick)
+  ignore (Substrate.schedule t.sub ~delay:every tick)
 
 let recalibrate_expected t =
   List.iter

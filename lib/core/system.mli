@@ -26,6 +26,12 @@ val create :
   t
 
 val engine : t -> Dvp_sim.Engine.t
+(** The DES driver underneath: time only advances through
+    [Engine.run_until]-style calls on this engine. *)
+
+val sub : t -> Dvp_substrate.Substrate.t
+(** The same engine behind the substrate interface — what every component of
+    this system schedules against. *)
 
 val now : t -> float
 
@@ -69,40 +75,6 @@ val exec : t -> Txn.t -> on_done:(Txn.outcome -> unit) -> unit
     intermediate aborts are resubmitted as fresh transactions (fresh, higher
     timestamps) after [backoff * attempt] seconds, Section 8's
     livelock-avoidance mechanism. *)
-
-val submit :
-  t ->
-  site:Ids.site ->
-  ops:(Ids.item * Op.t) list ->
-  on_done:(Site.txn_result -> unit) ->
-  unit
-[@@deprecated "Use System.exec with Txn.write."]
-
-val submit_read : t -> site:Ids.site -> item:Ids.item -> on_done:(Site.txn_result -> unit) -> unit
-[@@deprecated "Use System.exec with Txn.read."]
-
-val submit_read_many :
-  t ->
-  site:Ids.site ->
-  items:Ids.item list ->
-  on_done:(((Ids.item * int) list, Metrics.abort_reason) result -> unit) ->
-  unit
-[@@deprecated "Use System.exec with Txn.snapshot."]
-(** Atomic multi-item snapshot read (see {!Site.submit_read_many}). *)
-
-val submit_retrying :
-  t ->
-  site:Ids.site ->
-  ops:(Ids.item * Op.t) list ->
-  ?retries:int ->
-  ?backoff:float ->
-  on_done:(Site.txn_result -> unit) ->
-  unit ->
-  unit
-[@@deprecated "Use System.exec with Txn.with_retry (Txn.write ...)."]
-(** Client-side retry loop — kept as a one-line wrapper over {!exec} with
-    {!Txn.with_retry} (default 3 retries, 0.2 s backoff).  [on_done] fires
-    once, with the final outcome. *)
 
 (** {2 Fault injection} *)
 

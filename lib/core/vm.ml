@@ -1,4 +1,4 @@
-module Engine = Dvp_sim.Engine
+module Substrate = Dvp_substrate.Substrate
 module Trace = Dvp_sim.Trace
 module Wal = Dvp_storage.Wal
 
@@ -20,7 +20,7 @@ type outbox_entry = { payload : outstanding; mutable last_sent : float }
 type dst_state = {
   q : (int * outbox_entry) Queue.t; (* ascending seq *)
   mutable rto : float; (* current (possibly backed-off) retransmission timeout *)
-  mutable next_retry : float; (* engine time before which this dst is not rescanned *)
+  mutable next_retry : float; (* substrate time before which this dst is not rescanned *)
   mutable parked : bool;
       (* circuit breaker: a suspected destination gets no (re)transmissions;
          entries keep queueing (bounded by the high-water warning) until the
@@ -32,7 +32,7 @@ type dst_state = {
 type item_tally = { mutable count : int; mutable amount_sum : int }
 
 type t = {
-  engine : Engine.t;
+  sub : Substrate.t;
   n : int;
   self : Ids.site;
   wal : Log_event.t Wal.t;
@@ -59,20 +59,20 @@ type t = {
   items_out : (Ids.item, item_tally) Hashtbl.t;
   (* Volatile receiver state (rebuilt from the log on recovery). *)
   mutable accepted : int array; (* per peer, highest in-order accepted seq *)
-  mutable timer : Engine.timer option;
+  mutable timer : Substrate.timer option;
   mutable running : bool;
   (* Per-peer pending standalone-ack timers (delayed-ack mode). *)
-  mutable ack_timers : Engine.timer option array;
+  mutable ack_timers : Substrate.timer option array;
 }
 
-let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
+let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
     ?(retransmit_every = 0.15) ?(ack_delay = 0.0) ?(batch = true) ?(backoff_mult = 2.0)
     ?backoff_max ?rng ?(outbox_warn = 0) () =
   let backoff_max =
     match backoff_max with Some m -> m | None -> 4.0 *. retransmit_every
   in
   {
-    engine;
+    sub;
     n;
     self;
     wal;
@@ -103,7 +103,7 @@ let create engine ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
 
 let emit t ev =
   match t.trace with
-  | Some tr -> Trace.emit tr ~time:(Engine.now t.engine) ev
+  | Some tr -> Trace.emit tr ~time:(Substrate.now t.sub) ev
   | None -> ()
 
 let tally_add t ~item ~amount =
@@ -155,7 +155,7 @@ let accepted_upto t ~peer = t.accepted.(peer)
 let cancel_ack_timer t peer =
   match t.ack_timers.(peer) with
   | Some h ->
-    ignore (Engine.cancel t.engine h);
+    ignore (Substrate.cancel h);
     t.ack_timers.(peer) <- None
   | None -> ()
 
@@ -235,7 +235,7 @@ let unpark t ~dst =
 let rec on_retransmit t =
   t.timer <- None;
   if t.running then begin
-    let now = Engine.now t.engine in
+    let now = Substrate.now t.sub in
     for dst = 0 to t.n - 1 do
       let st = t.dsts.(dst) in
       if (not st.parked) && (not (Queue.is_empty st.q)) && now >= st.next_retry then begin
@@ -262,7 +262,7 @@ let rec on_retransmit t =
 
 and arm t =
   if t.running && t.timer = None then
-    t.timer <- Some (Engine.schedule t.engine ~delay:t.retransmit_every (fun () -> on_retransmit t))
+    t.timer <- Some (Substrate.schedule t.sub ~delay:t.retransmit_every (fun () -> on_retransmit t))
 
 let start t =
   t.running <- true;
@@ -272,7 +272,7 @@ let stop t =
   t.running <- false;
   match t.timer with
   | Some h ->
-    ignore (Engine.cancel t.engine h);
+    ignore (Substrate.cancel h);
     t.timer <- None
   | None -> ()
 
@@ -296,7 +296,7 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
   let st = t.dsts.(dst) in
   (* A parked destination still gets the Vm queued (it must survive for
      evacuation or unparking), just no real message. *)
-  let last_sent = if st.parked then neg_infinity else Engine.now t.engine in
+  let last_sent = if st.parked then neg_infinity else Substrate.now t.sub in
   Queue.push (seq, { payload = { item; amount; reply_to }; last_sent }) st.q;
   tally_add t ~item ~amount;
   Metrics.vm_created t.metrics ~amount;
@@ -334,7 +334,7 @@ let schedule_ack t src =
   else if t.ack_timers.(src) = None then
     t.ack_timers.(src) <-
       Some
-        (Engine.schedule t.engine ~delay:t.ack_delay (fun () ->
+        (Substrate.schedule t.sub ~delay:t.ack_delay (fun () ->
              t.ack_timers.(src) <- None;
              t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src) })))
 

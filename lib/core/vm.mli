@@ -27,7 +27,7 @@
 type t
 
 val create :
-  Dvp_sim.Engine.t ->
+  Dvp_substrate.Substrate.t ->
   n:int ->
   self:Ids.site ->
   wal:Log_event.t Dvp_storage.Wal.t ->

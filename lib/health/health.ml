@@ -1,4 +1,4 @@
-module Engine = Dvp_sim.Engine
+module Substrate = Dvp_substrate.Substrate
 
 type state = Up | Suspected | Condemned
 
@@ -14,8 +14,6 @@ let state_of_string = function
   | _ -> None
 
 type config = {
-  probe_every : float;
-  probe_idle : float;
   suspect_after : float;
   condemn_after : float;
   flap_penalty : float;
@@ -25,8 +23,6 @@ type config = {
 
 let default_config =
   {
-    probe_every = 0.1;
-    probe_idle = 0.25;
     suspect_after = 0.5;
     condemn_after = 4.0;
     flap_penalty = 2.0;
@@ -36,7 +32,9 @@ let default_config =
 
 type t = {
   cfg : config;
-  engine : Engine.t;
+  sub : Substrate.t;
+  probe_every : float;
+  probe_idle : float;
   self : int;
   n : int;
   state : state array;
@@ -51,11 +49,13 @@ type t = {
 }
 
 let create ?(send_probe = fun _ -> ()) ?(on_transition = fun ~peer:_ _ -> ())
-    cfg ~engine ~self ~n =
-  let now = Engine.now engine in
+    ?(probe_every = 0.1) ?(probe_idle = 0.25) cfg ~sub ~self ~n =
+  let now = Substrate.now sub in
   {
     cfg;
-    engine;
+    sub;
+    probe_every;
+    probe_idle;
     self;
     n;
     state = Array.make n Up;
@@ -77,7 +77,7 @@ let set_state t peer st =
 
 let note_alive t ~peer =
   if peer <> t.self && peer >= 0 && peer < t.n then begin
-    let now = Engine.now t.engine in
+    let now = Substrate.now t.sub in
     t.last_heard.(peer) <- now;
     match t.state.(peer) with
     | Up -> ()
@@ -92,7 +92,7 @@ let note_alive t ~peer =
 
 let scan t =
   if not t.paused then begin
-    let now = Engine.now t.engine in
+    let now = Substrate.now t.sub in
     for peer = 0 to t.n - 1 do
       if peer <> t.self then begin
         (* Hysteresis decay: no flap for a while -> back to the base timeout. *)
@@ -112,8 +112,8 @@ let scan t =
         (* Idle-link probing, rate-limited to one per scan period. *)
         if
           t.state.(peer) <> Condemned
-          && silence >= t.cfg.probe_idle
-          && now -. t.last_probe.(peer) >= t.cfg.probe_every
+          && silence >= t.probe_idle
+          && now -. t.last_probe.(peer) >= t.probe_every
         then begin
           t.last_probe.(peer) <- now;
           t.send_probe peer
@@ -127,9 +127,9 @@ let start t =
     t.started <- true;
     let rec tick () =
       scan t;
-      ignore (Engine.schedule t.engine ~delay:t.cfg.probe_every tick)
+      ignore (Substrate.schedule t.sub ~delay:t.probe_every tick)
     in
-    ignore (Engine.schedule t.engine ~delay:t.cfg.probe_every tick)
+    ignore (Substrate.schedule t.sub ~delay:t.probe_every tick)
   end
 
 let state t peer = if peer = t.self then Up else t.state.(peer)
@@ -155,7 +155,7 @@ let condemn t ~peer =
 
 let reinstate t ~peer =
   if peer <> t.self && t.state.(peer) = Condemned then begin
-    t.last_heard.(peer) <- Engine.now t.engine;
+    t.last_heard.(peer) <- Substrate.now t.sub;
     t.scale.(peer) <- 1.0;
     set_state t peer Up
   end
@@ -165,7 +165,7 @@ let pause t = t.paused <- true
 let resume t =
   if t.paused then begin
     t.paused <- false;
-    let now = Engine.now t.engine in
+    let now = Substrate.now t.sub in
     for peer = 0 to t.n - 1 do
       if peer <> t.self && t.state.(peer) <> Condemned then begin
         t.last_heard.(peer) <- now;

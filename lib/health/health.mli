@@ -26,8 +26,8 @@
     re-suspected.  The scale decays back to 1 after [flap_window] seconds
     without a flap.
 
-    The detector is driven by the simulation {!Dvp_sim.Engine}: {!start}
-    schedules a recurring scan every [probe_every] seconds.  While
+    The detector is driven by an execution {!Dvp_substrate.Substrate}:
+    {!start} schedules a recurring scan every [probe_every] seconds.  While
     {!pause}d (its owner site is down) scans are no-ops; {!resume} refreshes
     every non-condemned peer's deadline so a recovering site does not
     condemn the world for its own silence. *)
@@ -40,8 +40,6 @@ val state_to_string : state -> string
 val state_of_string : string -> state option
 
 type config = {
-  probe_every : float;  (** scan (and probe rate-limit) period, seconds *)
-  probe_idle : float;  (** probe a peer silent for longer than this *)
   suspect_after : float;  (** base silence threshold for [Suspected] *)
   condemn_after : float;  (** silence threshold for [Condemned] *)
   flap_penalty : float;  (** timeout scale multiplier per flap, > 1 *)
@@ -50,23 +48,29 @@ type config = {
 }
 
 val default_config : config
-(** probe_every 0.1, probe_idle 0.25, suspect_after 0.5, condemn_after 4.0,
-    flap_penalty 2.0, flap_max_scale 8.0, flap_window 5.0. *)
+(** suspect_after 0.5, condemn_after 4.0, flap_penalty 2.0,
+    flap_max_scale 8.0, flap_window 5.0. *)
 
 type t
 
 val create :
   ?send_probe:(int -> unit) ->
   ?on_transition:(peer:int -> state -> unit) ->
+  ?probe_every:float ->
+  ?probe_idle:float ->
   config ->
-  engine:Dvp_sim.Engine.t ->
+  sub:Dvp_substrate.Substrate.t ->
   self:int ->
   n:int ->
   t
-(** A detector for site [self] in an [n]-site system.  [send_probe peer] is
-    called to solicit a liveness reply from an idle peer; [on_transition]
-    fires on every state change (including forced {!condemn} and
-    {!reinstate}). *)
+(** A detector for site [self] in an [n]-site system, driven by the given
+    execution substrate.  [send_probe peer] is called to solicit a liveness
+    reply from an idle peer; [on_transition] fires on every state change
+    (including forced {!condemn} and {!reinstate}).  [probe_every]
+    (default 0.1) is the scan/probe-rate-limit period and [probe_idle]
+    (default 0.25) the silence beyond which an idle peer is probed — these
+    are transport-cadence knobs and live in [Config.Transport] rather than
+    in the detector's own policy {!config}. *)
 
 val start : t -> unit
 (** Schedule the recurring scan.  Idempotent. *)

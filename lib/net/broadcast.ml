@@ -1,5 +1,7 @@
+module Substrate = Dvp_substrate.Substrate
+
 type 'p t = {
-  engine : Dvp_sim.Engine.t;
+  sub : Substrate.t;
   n : int;
   delay : float;
   handlers : (src:int -> seq:int -> 'p -> unit) option array;
@@ -7,8 +9,8 @@ type 'p t = {
   mutable sent : int;
 }
 
-let create engine ~n ?(delay = 0.005) () =
-  { engine; n; delay; handlers = Array.make n None; next_seq = 0; sent = 0 }
+let create sub ~n ?(delay = 0.005) () =
+  { sub; n; delay; handlers = Array.make n None; next_seq = 0; sent = 0 }
 
 let set_handler t i h =
   if i < 0 || i >= t.n then invalid_arg "Broadcast.set_handler: site out of range";
@@ -20,7 +22,7 @@ let broadcast t ~src payload =
   for dst = 0 to t.n - 1 do
     t.sent <- t.sent + 1;
     ignore
-      (Dvp_sim.Engine.schedule t.engine ~delay:t.delay (fun () ->
+      (Substrate.schedule t.sub ~delay:t.delay (fun () ->
            match t.handlers.(dst) with
            | Some h -> h ~src ~seq payload
            | None -> ()))

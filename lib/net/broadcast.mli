@@ -13,7 +13,7 @@
 
 type 'p t
 
-val create : Dvp_sim.Engine.t -> n:int -> ?delay:float -> unit -> 'p t
+val create : Dvp_substrate.Substrate.t -> n:int -> ?delay:float -> unit -> 'p t
 (** [delay] is the uniform delivery latency (default 5 ms).  Uniform latency
     plus deterministic FIFO ties in the engine yields total order. *)
 

@@ -10,8 +10,10 @@ type stats = {
 
 let dropped s = s.dropped_loss + s.dropped_partition + s.dropped_down + s.dropped_inflight
 
+module Substrate = Dvp_substrate.Substrate
+
 type 'p t = {
-  engine : Dvp_sim.Engine.t;
+  sub : Substrate.t;
   rng : Dvp_util.Rng.t;
   n : int;
   links : Linkstate.t array array; (* links.(src).(dst) *)
@@ -23,9 +25,9 @@ type 'p t = {
   mutable observer : (src:int -> dst:int -> unit) option;
 }
 
-let create engine ~rng ~n ?(default = Linkstate.default) ?trace () =
+let create sub ~rng ~n ?(default = Linkstate.default) ?trace () =
   {
-    engine;
+    sub;
     rng;
     n;
     links = Array.init n (fun _ -> Array.init n (fun _ -> Linkstate.create default));
@@ -48,12 +50,12 @@ let create engine ~rng ~n ?(default = Linkstate.default) ?trace () =
 
 let emit t ev =
   match t.trace with
-  | Some tr -> Dvp_sim.Trace.emit tr ~time:(Dvp_sim.Engine.now t.engine) ev
+  | Some tr -> Dvp_sim.Trace.emit tr ~time:(Substrate.now t.sub) ev
   | None -> ()
 
 let size t = t.n
 
-let engine t = t.engine
+let sub t = t.sub
 
 let check_site t i =
   if i < 0 || i >= t.n then invalid_arg "Network: site index out of range"
@@ -147,8 +149,7 @@ let send t ~src ~dst payload =
     | None -> begin
       let schedule_copy () =
         let delay = Linkstate.sample_delay l t.rng in
-        ignore
-          (Dvp_sim.Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst payload))
+        ignore (Substrate.schedule t.sub ~delay (fun () -> deliver t ~src ~dst payload))
       in
       schedule_copy ();
       if Linkstate.duplicates l t.rng then begin

@@ -28,20 +28,21 @@ val dropped : stats -> int
 (** Total losses across all four cause buckets. *)
 
 val create :
-  Dvp_sim.Engine.t ->
+  Dvp_substrate.Substrate.t ->
   rng:Dvp_util.Rng.t ->
   n:int ->
   ?default:Linkstate.params ->
   ?trace:Dvp_sim.Trace.t ->
   unit ->
   'p t
-(** [create engine ~rng ~n ()] builds a fully-connected [n]-site network.
+(** [create sub ~rng ~n ()] builds a fully-connected [n]-site network over
+    an execution substrate (deliveries are substrate timer callbacks).
     With [trace], every real transmission emits a {!Dvp_sim.Trace.Net_send}
     event and every loss (link drop, partition, down site) a [Net_drop]. *)
 
 val size : 'p t -> int
 
-val engine : 'p t -> Dvp_sim.Engine.t
+val sub : 'p t -> Dvp_substrate.Substrate.t
 
 val set_handler : 'p t -> int -> (src:int -> 'p -> unit) -> unit
 (** Install site [i]'s receive handler.  Must be set before traffic flows to

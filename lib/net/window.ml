@@ -2,8 +2,10 @@ type 'p frame =
   | Data of { seq : int; ack : int; payload : 'p }
   | Ack of { ack : int }
 
+module Substrate = Dvp_substrate.Substrate
+
 type 'p endpoint = {
-  engine : Dvp_sim.Engine.t;
+  sub : Substrate.t;
   send : 'p frame -> unit;
   deliver : 'p -> unit;
   window : int;
@@ -13,16 +15,16 @@ type 'p endpoint = {
   mutable next_seq : int;
   unacked_buf : (int, 'p) Hashtbl.t; (* seq -> payload, for retransmission *)
   pending : 'p Queue.t; (* submitted beyond the window *)
-  mutable timer : Dvp_sim.Engine.timer option;
+  mutable timer : Substrate.timer option;
   mutable sent_count : int;
   (* Receiver side. *)
   mutable expected : int; (* next in-order seq we will accept *)
 }
 
-let create engine ~send ~deliver ?(window = 8) ?(rto = 0.05) () =
+let create sub ~send ~deliver ?(window = 8) ?(rto = 0.05) () =
   if window <= 0 then invalid_arg "Window.create: window must be positive";
   {
-    engine;
+    sub;
     send;
     deliver;
     window;
@@ -51,14 +53,14 @@ let current_ack t = t.expected - 1
 let stop_timer t =
   match t.timer with
   | Some h ->
-    ignore (Dvp_sim.Engine.cancel t.engine h);
+    ignore (Substrate.cancel h);
     t.timer <- None
   | None -> ()
 
 let rec arm_timer t =
   stop_timer t;
   if unacked t > 0 then
-    t.timer <- Some (Dvp_sim.Engine.schedule t.engine ~delay:t.rto (fun () -> on_timeout t))
+    t.timer <- Some (Substrate.schedule t.sub ~delay:t.rto (fun () -> on_timeout t))
 
 (* Go-back-N: on timeout retransmit every unacked frame, then re-arm. *)
 and on_timeout t =

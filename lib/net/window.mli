@@ -24,7 +24,7 @@ type 'p frame =
 type 'p endpoint
 
 val create :
-  Dvp_sim.Engine.t ->
+  Dvp_substrate.Substrate.t ->
   send:('p frame -> unit) ->
   deliver:('p -> unit) ->
   ?window:int ->

@@ -173,59 +173,59 @@ let render t =
 
 let of_system ?(aborts_by_reason = true) sys =
   let t = create () in
-  let n = Dvp.System.n_sites sys in
+  let n = Dvp_core.System.n_sites sys in
   for i = 0 to n - 1 do
-    let site = Dvp.System.site sys i in
+    let site = Dvp_core.System.site sys i in
     counter t
       (Printf.sprintf "site%d.commits" i)
-      (fun () -> float_of_int (Dvp.Metrics.committed (Dvp.Site.metrics site)));
+      (fun () -> float_of_int (Dvp_core.Metrics.committed (Dvp_core.Site.metrics site)));
     counter t
       (Printf.sprintf "site%d.aborts" i)
-      (fun () -> float_of_int (Dvp.Metrics.aborted (Dvp.Site.metrics site)))
+      (fun () -> float_of_int (Dvp_core.Metrics.aborted (Dvp_core.Site.metrics site)))
   done;
   if aborts_by_reason then
     List.iter
       (fun reason ->
         counter t
-          ("abort." ^ Dvp.Metrics.abort_reason_label reason)
+          ("abort." ^ Dvp_core.Metrics.abort_reason_label reason)
           (fun () ->
             let total = ref 0 in
             for i = 0 to n - 1 do
               total :=
                 !total
-                + Dvp.Metrics.aborted_by (Dvp.Site.metrics (Dvp.System.site sys i)) reason
+                + Dvp_core.Metrics.aborted_by (Dvp_core.Site.metrics (Dvp_core.System.site sys i)) reason
             done;
             float_of_int !total))
-      Dvp.Metrics.all_abort_reasons;
+      Dvp_core.Metrics.all_abort_reasons;
   gauge t "vm.in_flight_value" (fun () ->
       List.fold_left
-        (fun acc item -> acc +. float_of_int (Dvp.System.in_flight sys ~item))
-        0.0 (Dvp.System.items sys));
-  gauge t "wal.length" (fun () -> float_of_int (Dvp.System.stable_log_length sys));
+        (fun acc item -> acc +. float_of_int (Dvp_core.System.in_flight sys ~item))
+        0.0 (Dvp_core.System.items sys));
+  gauge t "wal.length" (fun () -> float_of_int (Dvp_core.System.stable_log_length sys));
   counter t "vm.retransmits" (fun () ->
       let total = ref 0 in
       for i = 0 to n - 1 do
         total :=
-          !total + Dvp.Metrics.vm_retransmissions (Dvp.Site.metrics (Dvp.System.site sys i))
+          !total + Dvp_core.Metrics.vm_retransmissions (Dvp_core.Site.metrics (Dvp_core.System.site sys i))
       done;
       float_of_int !total);
   gauge t "vm.outbox_depth" (fun () ->
       let total = ref 0 in
       for i = 0 to n - 1 do
-        total := !total + Dvp.Vm.outbox_depth (Dvp.Site.vm (Dvp.System.site sys i))
+        total := !total + Dvp_core.Vm.outbox_depth (Dvp_core.Site.vm (Dvp_core.System.site sys i))
       done;
       float_of_int !total);
   (* Health-state gauges only exist when the system runs a failure detector:
      how many (observer, peer) verdicts currently sit in each degraded
      state.  0/0 in a healthy run; nonzero spans show detection latency and
      condemnation on the time axis. *)
-  (match Dvp.System.detector sys 0 with
+  (match Dvp_core.System.detector sys 0 with
   | None -> ()
   | Some _ ->
     let count st =
       let total = ref 0 in
       for i = 0 to n - 1 do
-        match Dvp.System.detector sys i with
+        match Dvp_core.System.detector sys i with
         | None -> ()
         | Some det ->
           Array.iteri

@@ -58,6 +58,6 @@ val render : t -> string
 (** ASCII table: one row per series with last/total/peak values and a
     sparkline of its windows. *)
 
-val of_system : ?aborts_by_reason:bool -> Dvp.System.t -> t
+val of_system : ?aborts_by_reason:bool -> Dvp_core.System.t -> t
 (** The standard DvP registry described above ([aborts_by_reason] defaults
     to true).  Call {!attach} with the system's engine to start sampling. *)

@@ -1,0 +1,308 @@
+module Substrate = Dvp_substrate.Substrate
+module Heap = Dvp_util.Heap
+module Site = Dvp_core.Site
+module Txn = Dvp_core.Txn
+module Op = Dvp_core.Op
+module Config = Dvp_core.Config
+module Proto = Dvp_core.Proto
+module Wal = Dvp_storage.Wal
+
+(* A one-shot synchronisation cell: the site domain fills it, the main
+   thread awaits it.  Domains run freely while the main thread blocks, so a
+   transaction that needs remote value still completes. *)
+module Cell = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let await t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.m;
+    v
+end
+
+type report = {
+  rep_fragments : (int * int) list; (* (item, fragment) *)
+  rep_active : int;
+  rep_outbox : int;
+}
+
+type ctl =
+  | Deliver of int * Proto.t
+  | Submit of Txn.t * Txn.outcome Cell.t
+  | Push of { dst : int; item : int; amount : int; reply : bool Cell.t }
+  | Report of report Cell.t
+  | Load of { item : int; amount : int; duration : float; reply : int Cell.t }
+  | Stop
+
+type t = {
+  n : int;
+  config : Config.t;
+  mailboxes : ctl Mailbox.t array;
+  domains : unit Domain.t array;
+  expected : (int, int) Hashtbl.t; (* main-thread view of Σ per item *)
+  item_list : int list;
+  mutable stopped : bool;
+}
+
+(* ------------------------------------------------------- site domain body *)
+
+(* Mirrors System.exec_once: one attempt of a request as a Txn.outcome. *)
+let exec_once site (req : Txn.t) k =
+  match req.Txn.kind with
+  | Txn.Update ->
+    Site.submit site ~ops:req.Txn.ops ~on_done:(fun r ->
+        k
+          (match r with
+          | Site.Committed _ -> Txn.Committed { reads = [] }
+          | Site.Aborted reason -> Txn.Aborted reason))
+  | Txn.Read item ->
+    Site.submit_read site ~item ~on_done:(fun r ->
+        k
+          (match r with
+          | Site.Committed { read_value = Some v } -> Txn.Committed { reads = [ (item, v) ] }
+          | Site.Committed { read_value = None } -> Txn.Committed { reads = [] }
+          | Site.Aborted reason -> Txn.Aborted reason))
+  | Txn.Snapshot items ->
+    Site.submit_read_many site ~items ~on_done:(fun r ->
+        k
+          (match r with
+          | Ok reads -> Txn.Committed { reads }
+          | Error reason -> Txn.Aborted reason))
+
+(* Mirrors System.exec: site-side retry on the site's own timers. *)
+let exec_in site sub (req : Txn.t) (reply : Txn.outcome Cell.t) =
+  match req.Txn.retry with
+  | None -> exec_once site req (Cell.fill reply)
+  | Some { Txn.retries; backoff } ->
+    let rec attempt k =
+      exec_once site req (fun result ->
+          match result with
+          | Txn.Committed _ -> Cell.fill reply result
+          | Txn.Aborted _ when k < retries ->
+            ignore
+              (Substrate.schedule sub
+                 ~delay:(backoff *. float_of_int (k + 1))
+                 (fun () -> attempt (k + 1)))
+          | Txn.Aborted _ -> Cell.fill reply result)
+    in
+    attempt 0
+
+(* Closed-loop escrow increments until the wall deadline.  Increments commit
+   synchronously, so run them in bounded batches and trampoline through a
+   zero-delay timer: the mailbox drains (acks, peer Vm) between batches and
+   the stack stays flat. *)
+let start_load site sub ~item ~amount ~duration (reply : int Cell.t) =
+  let committed = ref 0 in
+  let deadline = Substrate.now sub +. duration in
+  let rec step () =
+    if Substrate.now sub >= deadline then Cell.fill reply !committed
+    else begin
+      let batch = ref 0 in
+      while !batch < 256 && Substrate.now sub < deadline do
+        incr batch;
+        Site.submit site
+          ~ops:[ (item, Op.Incr amount) ]
+          ~on_done:(fun r -> match r with Site.Committed _ -> incr committed | _ -> ())
+      done;
+      ignore (Substrate.schedule sub ~delay:0.0 step)
+    end
+  in
+  step ()
+
+let report_of site item_list =
+  {
+    rep_fragments = List.map (fun item -> (item, Site.fragment site ~item)) item_list;
+    rep_active = Site.active_txns site;
+    rep_outbox = Dvp_core.Vm.outbox_depth (Site.vm site);
+  }
+
+let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
+    ~(ready : unit Cell.t) () =
+  let mb = mailboxes.(self) in
+  let timers : (unit -> unit) Heap.t = Heap.create () in
+  let now () = Unix.gettimeofday () -. epoch in
+  let sched at f =
+    let h = Heap.add timers ~priority:at f in
+    Substrate.timer_of_thunk (fun () -> Heap.cancel timers h)
+  in
+  let sub =
+    Substrate.make ~label:"domains" ~now
+      ~schedule:(fun ~delay f -> sched (now () +. Float.max 0.0 delay) f)
+      ~schedule_at:(fun ~at f -> sched at f)
+      ()
+  in
+  let send ~dst msg = Mailbox.push mailboxes.(dst) (Deliver (self, msg)) in
+  let site = Site.create sub ~self ~n ~send ~config ~rng () in
+  let wal_oc =
+    match wal_dir with
+    | None -> None
+    | Some dir ->
+      let oc = open_out_bin (Filename.concat dir (Printf.sprintf "site-%d.wal" self)) in
+      Wal.set_force_sink (Site.wal site) (fun recs ->
+          List.iter (fun r -> Marshal.to_channel oc r []) recs;
+          flush oc);
+      Some oc
+  in
+  List.iter (fun (item, frag) -> Site.install_fragment site ~item frag) layout;
+  Cell.fill ready ();
+  let stop = ref false in
+  let fire_due () =
+    let rec go () =
+      match Heap.peek timers with
+      | Some (at, _) when at <= now () ->
+        (match Heap.pop timers with Some (_, f) -> f () | None -> ());
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let handle = function
+    | Deliver (src, msg) -> Site.handle_message site ~src msg
+    | Submit (txn, reply) -> exec_in site sub txn reply
+    | Push { dst; item; amount; reply } ->
+      Cell.fill reply (Site.push_value site ~dst ~item ~amount)
+    | Report reply -> Cell.fill reply (report_of site item_list)
+    | Load { item; amount; duration; reply } ->
+      start_load site sub ~item ~amount ~duration reply
+    | Stop -> stop := true
+  in
+  while not !stop do
+    fire_due ();
+    List.iter handle (Mailbox.drain mb);
+    fire_due ();
+    if not !stop then begin
+      let timeout =
+        match Heap.peek timers with
+        | Some (at, _) -> Float.max 0.0 (at -. now ())
+        | None -> -1.0
+      in
+      Mailbox.wait mb ~timeout
+    end
+  done;
+  match wal_oc with Some oc -> close_out oc | None -> ()
+
+(* ------------------------------------------------------------ main thread *)
+
+let create ?(seed = 42) ?(config = Config.default) ?wal_dir ~n ~items () =
+  if n <= 0 then invalid_arg "Cluster.create: need at least one site";
+  List.iter
+    (fun (_, total) -> if total < 0 then invalid_arg "Cluster.create: negative total")
+    items;
+  let rng = Dvp_util.Rng.create seed in
+  let rngs = Array.init n (fun _ -> Dvp_util.Rng.split rng) in
+  let mailboxes = Array.init n (fun _ -> Mailbox.create ()) in
+  let item_list = List.map fst items in
+  let layout = Array.make n [] in
+  List.iter
+    (fun (item, total) ->
+      List.iteri
+        (fun i frag -> layout.(i) <- (item, frag) :: layout.(i))
+        (Dvp_core.Value.split_even total ~parts:n))
+    items;
+  let epoch = Unix.gettimeofday () in
+  let ready = Array.init n (fun _ -> Cell.create ()) in
+  let domains =
+    Array.init n (fun i ->
+        Domain.spawn
+          (run_site ~self:i ~n ~config ~rng:rngs.(i) ~wal_dir ~epoch ~mailboxes
+             ~layout:(List.rev layout.(i)) ~item_list ~ready:ready.(i)))
+  in
+  Array.iter Cell.await ready;
+  let expected = Hashtbl.create 8 in
+  List.iter (fun (item, total) -> Hashtbl.replace expected item total) items;
+  { n; config; mailboxes; domains; expected; item_list; stopped = false }
+
+let n_sites t = t.n
+
+let items t = t.item_list
+
+let exec t (req : Txn.t) =
+  let site = req.Txn.site in
+  if site < 0 || site >= t.n then invalid_arg "Cluster.exec: site out of range";
+  let reply = Cell.create () in
+  Mailbox.push t.mailboxes.(site) (Submit (req, reply));
+  let outcome = Cell.await reply in
+  (* Track committed deltas so conservation knows the expected aggregate
+     (the main-thread counterpart of System.wrap_delta). *)
+  (match (req.Txn.kind, outcome) with
+  | Txn.Update, Txn.Committed _ ->
+    List.iter
+      (fun (item, op) ->
+        match Hashtbl.find_opt t.expected item with
+        | Some total -> Hashtbl.replace t.expected item (total + Op.delta op)
+        | None -> ())
+      req.Txn.ops
+  | _ -> ());
+  outcome
+
+let push_value t ~src ~dst ~item ~amount =
+  let reply = Cell.create () in
+  Mailbox.push t.mailboxes.(src) (Push { dst; item; amount; reply });
+  Cell.await reply
+
+let report_all t =
+  Array.to_list t.mailboxes
+  |> List.map (fun mb ->
+         let reply = Cell.create () in
+         Mailbox.push mb (Report reply);
+         reply)
+  |> List.map Cell.await
+
+let run_load t ~duration ?(amount = 1) ~item () =
+  let replies =
+    Array.to_list t.mailboxes
+    |> List.map (fun mb ->
+           let reply = Cell.create () in
+           Mailbox.push mb (Load { item; amount; duration; reply });
+           reply)
+  in
+  let total = List.fold_left (fun acc r -> acc + Cell.await r) 0 replies in
+  (match Hashtbl.find_opt t.expected item with
+  | Some v -> Hashtbl.replace t.expected item (v + (total * amount))
+  | None -> ());
+  total
+
+let quiesce ?(timeout = 10.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go idle_rounds =
+    if idle_rounds >= 2 then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      let reps = report_all t in
+      let idle = List.for_all (fun r -> r.rep_active = 0 && r.rep_outbox = 0) reps in
+      if not idle then Unix.sleepf 0.002;
+      go (if idle then idle_rounds + 1 else 0)
+    end
+  in
+  go 0
+
+let fragments t ~item =
+  let reps = report_all t in
+  Array.of_list (List.map (fun r -> List.assoc item r.rep_fragments) reps)
+
+let conserved t ~item =
+  let total = Array.fold_left ( + ) 0 (fragments t ~item) in
+  match Hashtbl.find_opt t.expected item with
+  | Some expected -> total = expected
+  | None -> invalid_arg "Cluster.conserved: unknown item"
+
+let conserved_all t = List.for_all (fun item -> conserved t ~item) t.item_list
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Array.iter (fun mb -> Mailbox.push mb Stop) t.mailboxes;
+    Array.iter Domain.join t.domains;
+    Array.iter Mailbox.close t.mailboxes
+  end

@@ -1,0 +1,73 @@
+(** The multicore execution substrate: one OCaml 5 domain per site.
+
+    Where {!Dvp_core.System} composes sites over the deterministic simulation
+    engine, a cluster composes the {e same} {!Dvp_core.Site} code over real
+    parallelism: each site runs in its own domain with a serial event loop
+    (so the substrate's serial-execution invariant holds), wall-clock timers,
+    mailbox transport between domains (lossless, FIFO per pair — real
+    channels still go through the full Vm acknowledgement protocol), and
+    optionally a file per site backing every WAL force.
+
+    The main thread is the client: {!exec} ships a transaction to its home
+    site's mailbox and blocks for the outcome; {!run_load} puts every site in
+    a self-driving closed loop (the escrow-increment workload of bench
+    E20-wall) with zero main-thread involvement in the hot path.
+
+    Determinism note: cross-site interleavings are real races here.  The
+    cross-substrate equivalence tests therefore use commutative workloads
+    (increments and bounded explicit redistributions) whose final fragment
+    vector is interleaving-independent. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Dvp_core.Config.t ->
+  ?wal_dir:string ->
+  n:int ->
+  items:(Dvp_core.Ids.item * int) list ->
+  unit ->
+  t
+(** Spawn [n] site domains, install each item's total split evenly across
+    the sites, and wait until every site is live.  With [wal_dir], site [i]
+    appends every forced WAL record (marshalled) to [wal_dir]/site-[i].wal
+    and flushes on each force. *)
+
+val n_sites : t -> int
+
+val items : t -> Dvp_core.Ids.item list
+
+val exec : t -> Dvp_core.Txn.t -> Dvp_core.Txn.outcome
+(** Run one transaction at its home site and wait for the outcome.  Retry
+    policies ({!Dvp_core.Txn.with_retry}) are honoured site-side on the
+    site's own timers.  Main thread only. *)
+
+val push_value :
+  t -> src:Dvp_core.Ids.site -> dst:Dvp_core.Ids.site -> item:Dvp_core.Ids.item -> amount:int -> bool
+(** Explicit redistribution from [src], as {!Dvp_core.Site.push_value}.
+    Returns once the debit (not the remote credit) has happened. *)
+
+val run_load :
+  t -> duration:float -> ?amount:int -> item:Dvp_core.Ids.item -> unit -> int
+(** The wall-clock benchmark mode: every site runs a closed loop of
+    single-op [Incr amount] transactions against [item] for [duration]
+    seconds of wall time, entirely within its own domain, then reports its
+    commit count.  Returns the total committed across sites. *)
+
+val quiesce : ?timeout:float -> t -> bool
+(** Wait (polling site reports) until no site has an active transaction and
+    every Vm outbox has drained, twice in a row.  [false] if [timeout]
+    (default 10 s wall) elapses first. *)
+
+val fragments : t -> item:Dvp_core.Ids.item -> int array
+
+val conserved : t -> item:Dvp_core.Ids.item -> bool
+(** At quiesce: Σ fragments = initial total + committed deltas.  Call
+    {!quiesce} first — while transactions or Vm are in flight the check can
+    legitimately fail. *)
+
+val conserved_all : t -> bool
+
+val stop : t -> unit
+(** Stop every site domain, join them, close WAL files and mailboxes.
+    Idempotent.  The cluster is unusable afterwards. *)

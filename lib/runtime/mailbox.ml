@@ -1,0 +1,64 @@
+type 'a t = {
+  mutex : Mutex.t;
+  q : 'a Queue.t;
+  mutable sleeping : bool;
+  rd : Unix.file_descr;
+  wr : Unix.file_descr;
+}
+
+let create () =
+  let rd, wr = Unix.pipe () in
+  Unix.set_nonblock rd;
+  { mutex = Mutex.create (); q = Queue.create (); sleeping = false; rd; wr }
+
+let wake_byte = Bytes.make 1 '\001'
+
+let push t x =
+  Mutex.lock t.mutex;
+  Queue.push x t.q;
+  (* Claim the wake: the first producer after the consumer parks writes the
+     byte; later ones see [sleeping = false] and skip it. *)
+  let wake = t.sleeping in
+  t.sleeping <- false;
+  Mutex.unlock t.mutex;
+  if wake then ignore (Unix.write t.wr wake_byte 0 1)
+
+let drain t =
+  Mutex.lock t.mutex;
+  let acc = ref [] in
+  while not (Queue.is_empty t.q) do
+    acc := Queue.pop t.q :: !acc
+  done;
+  Mutex.unlock t.mutex;
+  List.rev !acc
+
+(* Swallow stale wake bytes so a byte from a previous cycle cannot turn a
+   future [wait] into a busy spin. *)
+let drain_pipe t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.rd buf 0 64 with
+    | 64 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let wait t ~timeout =
+  Mutex.lock t.mutex;
+  if not (Queue.is_empty t.q) then Mutex.unlock t.mutex
+  else begin
+    t.sleeping <- true;
+    Mutex.unlock t.mutex;
+    (try ignore (Unix.select [ t.rd ] [] [] timeout)
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    Mutex.lock t.mutex;
+    t.sleeping <- false;
+    Mutex.unlock t.mutex;
+    drain_pipe t
+  end
+
+let close t =
+  Unix.close t.rd;
+  Unix.close t.wr

@@ -1,0 +1,28 @@
+(** A multi-producer single-consumer mailbox with a timed blocking wait.
+
+    The consumer is one site domain; producers are the other domains and the
+    main thread.  The stdlib [Condition] has no timed wait, and the consumer
+    must wake for its earliest pending timer even when no message arrives, so
+    blocking is built on a self-pipe: {!wait} parks in [Unix.select] on the
+    read end with the timer-derived timeout, and {!push} writes one wake byte
+    only when the consumer is actually parked. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Enqueue and, if the consumer is parked in {!wait}, wake it.
+    Thread-safe. *)
+
+val drain : 'a t -> 'a list
+(** Remove and return every queued element, oldest first.  Consumer only. *)
+
+val wait : 'a t -> timeout:float -> unit
+(** Block until a message is pushed or [timeout] (seconds) elapses; a
+    negative timeout blocks indefinitely.  Returns immediately if the queue
+    is non-empty.  Consumer only. *)
+
+val close : 'a t -> unit
+(** Release the pipe file descriptors.  Call after the consumer has
+    stopped. *)

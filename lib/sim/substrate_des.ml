@@ -1,0 +1,12 @@
+module Substrate = Dvp_substrate.Substrate
+
+let of_engine e =
+  Substrate.make ~label:"des"
+    ~now:(fun () -> Engine.now e)
+    ~schedule:(fun ~delay f ->
+      let h = Engine.schedule e ~delay f in
+      Substrate.timer_of_thunk (fun () -> Engine.cancel e h))
+    ~schedule_at:(fun ~at f ->
+      let h = Engine.schedule_at e ~at f in
+      Substrate.timer_of_thunk (fun () -> Engine.cancel e h))
+    ()

@@ -45,6 +45,8 @@ type 'r t = {
      next fault is O(1). *)
   mutable valid_len : int;
   mutable valid_dirty : bool;
+  mutable force_sink : ('r list -> unit) option;
+      (* runtime hook: newly-stabilised records on each force *)
 }
 
 let checksum payload = Hashtbl.hash payload
@@ -65,6 +67,7 @@ let create () =
     repaired_count = 0;
     valid_len = 0;
     valid_dirty = false;
+    force_sink = None;
   }
 
 (* Length of the valid prefix, recomputing from the cache point if a fault
@@ -82,6 +85,8 @@ let valid_length t =
   end;
   t.valid_len
 
+let set_force_sink t sink = t.force_sink <- Some sink
+
 let force t =
   if t.buffer.len > 0 then begin
     let clean_before = (not t.valid_dirty) && t.valid_len = t.stable.len in
@@ -91,7 +96,15 @@ let force t =
     (* Freshly forced records are valid by construction: the prefix cache
        extends unless a corrupt tail already hides them. *)
     if clean_before then t.valid_len <- t.stable.len;
-    t.buffer.len <- 0
+    (match t.force_sink with
+    | Some sink ->
+      let recs = ref [] in
+      for i = t.buffer.len - 1 downto 0 do
+        recs := t.buffer.arr.(i).payload :: !recs
+      done;
+      t.buffer.len <- 0;
+      sink !recs
+    | None -> t.buffer.len <- 0)
   end;
   t.force_count <- t.force_count + 1
 

@@ -36,6 +36,14 @@ val append : ?forced:bool -> 'r t -> 'r -> unit
 val force : 'r t -> unit
 (** Flush the volatile buffer to stable storage. *)
 
+val set_force_sink : 'r t -> ('r list -> unit) -> unit
+(** Install a durability hook: on every {!force} that stabilises at least one
+    record, the sink receives the newly-stable records in log order, after
+    they have moved to the stable region.  Runtimes use this to back the
+    stable region with a real file (write + flush per force); the in-memory
+    log stays authoritative for recovery and the oracles.  At most one sink;
+    a second call replaces the first. *)
+
 val crash : 'r t -> unit
 (** Lose the volatile buffer (site crash).  If a {!fault} is armed it is
     applied first (and disarmed): part of the buffer may reach stable storage

@@ -1,0 +1,22 @@
+type timer = { cancel_thunk : unit -> bool }
+
+type t = {
+  label : string;
+  now : unit -> float;
+  schedule : delay:float -> (unit -> unit) -> timer;
+  schedule_at : at:float -> (unit -> unit) -> timer;
+}
+
+let make ~label ~now ~schedule ~schedule_at () = { label; now; schedule; schedule_at }
+
+let timer_of_thunk cancel_thunk = { cancel_thunk }
+
+let label t = t.label
+
+let now t = t.now ()
+
+let schedule t ~delay f = t.schedule ~delay f
+
+let schedule_at t ~at f = t.schedule_at ~at f
+
+let cancel timer = timer.cancel_thunk ()

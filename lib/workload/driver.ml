@@ -1,24 +1,27 @@
 type t = {
   name : string;
   engine : Dvp_sim.Engine.t;
+      (* the DES driver: Runner advances simulated time through it *)
+  sub : Dvp_substrate.Substrate.t;
+      (* scheduling interface for arrivals, telemetry and fault plans *)
   n_sites : int;
   submit :
-    site:Dvp.Ids.site ->
-    ops:(Dvp.Ids.item * Dvp.Op.t) list ->
-    on_done:(Dvp.Site.txn_result -> unit) ->
+    site:Dvp_core.Ids.site ->
+    ops:(Dvp_core.Ids.item * Dvp_core.Op.t) list ->
+    on_done:(Dvp_core.Site.txn_result -> unit) ->
     unit;
   submit_read :
-    site:Dvp.Ids.site -> item:Dvp.Ids.item -> on_done:(Dvp.Site.txn_result -> unit) -> unit;
-  partition : Dvp.Ids.site list list -> unit;
+    site:Dvp_core.Ids.site -> item:Dvp_core.Ids.item -> on_done:(Dvp_core.Site.txn_result -> unit) -> unit;
+  partition : Dvp_core.Ids.site list list -> unit;
   heal : unit -> unit;
-  crash : Dvp.Ids.site -> unit;
-  recover : Dvp.Ids.site -> unit;
-  kill_forever : Dvp.Ids.site -> unit;
+  crash : Dvp_core.Ids.site -> unit;
+  recover : Dvp_core.Ids.site -> unit;
+  kill_forever : Dvp_core.Ids.site -> unit;
   set_links : Dvp_net.Linkstate.params -> unit;
-  checkpoint : Dvp.Ids.site -> unit;
-  inject_storage_fault : Dvp.Ids.site -> Dvp_storage.Wal.fault -> unit;
+  checkpoint : Dvp_core.Ids.site -> unit;
+  inject_storage_fault : Dvp_core.Ids.site -> Dvp_storage.Wal.fault -> unit;
   finalize : unit -> unit;
-  metrics : unit -> Dvp.Metrics.t;
+  metrics : unit -> Dvp_core.Metrics.t;
   conserved : unit -> bool option;
       (* end-of-run value-conservation verdict; None when the system has no
          such invariant (baselines) *)
@@ -28,28 +31,29 @@ type t = {
 let of_dvp ?(name = "dvp") sys =
   {
     name;
-    engine = Dvp.System.engine sys;
-    n_sites = Dvp.System.n_sites sys;
+    engine = Dvp_core.System.engine sys;
+    sub = Dvp_core.System.sub sys;
+    n_sites = Dvp_core.System.n_sites sys;
     submit =
       (fun ~site ~ops ~on_done ->
-        Dvp.System.exec sys (Dvp.Txn.write ~site ops) ~on_done:(fun o ->
-            on_done (Dvp.Txn.to_result o)));
+        Dvp_core.System.exec sys (Dvp_core.Txn.write ~site ops) ~on_done:(fun o ->
+            on_done (Dvp_core.Txn.to_result o)));
     submit_read =
       (fun ~site ~item ~on_done ->
-        Dvp.System.exec sys (Dvp.Txn.read ~site item) ~on_done:(fun o ->
-            on_done (Dvp.Txn.to_result o)));
-    partition = (fun groups -> Dvp.System.partition sys groups);
-    heal = (fun () -> Dvp.System.heal sys);
-    crash = (fun s -> Dvp.System.crash_site sys s);
-    recover = (fun s -> Dvp.System.recover_site sys s);
-    kill_forever = (fun s -> Dvp.System.kill_forever sys s);
-    set_links = (fun p -> Dvp.System.set_all_links sys p);
-    checkpoint = (fun s -> Dvp.System.checkpoint_site sys s);
-    inject_storage_fault = (fun s f -> Dvp.System.inject_wal_fault sys s f);
+        Dvp_core.System.exec sys (Dvp_core.Txn.read ~site item) ~on_done:(fun o ->
+            on_done (Dvp_core.Txn.to_result o)));
+    partition = (fun groups -> Dvp_core.System.partition sys groups);
+    heal = (fun () -> Dvp_core.System.heal sys);
+    crash = (fun s -> Dvp_core.System.crash_site sys s);
+    recover = (fun s -> Dvp_core.System.recover_site sys s);
+    kill_forever = (fun s -> Dvp_core.System.kill_forever sys s);
+    set_links = (fun p -> Dvp_core.System.set_all_links sys p);
+    checkpoint = (fun s -> Dvp_core.System.checkpoint_site sys s);
+    inject_storage_fault = (fun s f -> Dvp_core.System.inject_wal_fault sys s f);
     finalize = (fun () -> ());
-    metrics = (fun () -> Dvp.System.metrics sys);
-    conserved = (fun () -> Some (Dvp.System.conserved_all sys));
-    trace = (fun () -> Dvp.System.trace sys);
+    metrics = (fun () -> Dvp_core.System.metrics sys);
+    conserved = (fun () -> Some (Dvp_core.System.conserved_all sys));
+    trace = (fun () -> Dvp_core.System.trace sys);
   }
 
 let of_trad ?(name = "trad") sys =
@@ -57,6 +61,7 @@ let of_trad ?(name = "trad") sys =
   {
     name;
     engine = T.engine sys;
+    sub = Dvp_sim.Substrate_des.of_engine (T.engine sys);
     n_sites = T.n_sites sys;
     submit = (fun ~site ~ops ~on_done -> T.submit sys ~site ~ops ~on_done);
     submit_read = (fun ~site ~item ~on_done -> T.submit_read sys ~site ~item ~on_done);
@@ -88,7 +93,7 @@ let of_hybrid ?(name = "hybrid") sys hybrid =
   let base = of_dvp ~name sys in
   {
     base with
-    submit = (fun ~site ~ops ~on_done -> Dvp.Hybrid.submit hybrid ~site ~ops ~on_done);
+    submit = (fun ~site ~ops ~on_done -> Dvp_core.Hybrid.submit hybrid ~site ~ops ~on_done);
     submit_read =
-      (fun ~site ~item ~on_done -> Dvp.Hybrid.submit_read hybrid ~site ~item ~on_done);
+      (fun ~site ~item ~on_done -> Dvp_core.Hybrid.submit_read hybrid ~site ~item ~on_done);
   }

@@ -1,14 +1,14 @@
 module Rng = Dvp_util.Rng
 
 type action =
-  | Partition of Dvp.Ids.site list list
+  | Partition of Dvp_core.Ids.site list list
   | Heal
-  | Crash of Dvp.Ids.site
-  | Recover of Dvp.Ids.site
-  | Kill_forever of Dvp.Ids.site
+  | Crash of Dvp_core.Ids.site
+  | Recover of Dvp_core.Ids.site
+  | Kill_forever of Dvp_core.Ids.site
   | Set_links of Dvp_net.Linkstate.params
-  | Checkpoint of Dvp.Ids.site
-  | Storage_fault of Dvp.Ids.site * Dvp_storage.Wal.fault
+  | Checkpoint of Dvp_core.Ids.site
+  | Storage_fault of Dvp_core.Ids.site * Dvp_storage.Wal.fault
 
 type event = { at : float; action : action }
 
@@ -127,7 +127,7 @@ let schedule d plan =
   List.iter
     (fun { at = time; action } ->
       ignore
-        (Dvp_sim.Engine.schedule_at d.Driver.engine ~at:time (fun () -> apply d action)))
+        (Dvp_substrate.Substrate.schedule_at d.Driver.sub ~at:time (fun () -> apply d action)))
     plan
 
 (* -------------------------------------------------------------- printing *)

@@ -7,16 +7,16 @@
     hand-written and randomized faults via {!merge}. *)
 
 type action =
-  | Partition of Dvp.Ids.site list list
+  | Partition of Dvp_core.Ids.site list list
   | Heal
-  | Crash of Dvp.Ids.site
-  | Recover of Dvp.Ids.site
-  | Kill_forever of Dvp.Ids.site
+  | Crash of Dvp_core.Ids.site
+  | Recover of Dvp_core.Ids.site
+  | Kill_forever of Dvp_core.Ids.site
       (** permanent crash: the site stays dead for the rest of the run *)
   | Set_links of Dvp_net.Linkstate.params
-  | Checkpoint of Dvp.Ids.site
+  | Checkpoint of Dvp_core.Ids.site
       (** force a snapshot record and truncate the site's log *)
-  | Storage_fault of Dvp.Ids.site * Dvp_storage.Wal.fault
+  | Storage_fault of Dvp_core.Ids.site * Dvp_storage.Wal.fault
       (** arm a WAL fault, applied at the site's next crash *)
 
 type event = { at : float; action : action }
@@ -27,15 +27,15 @@ val empty : t
 
 val at : float -> action -> event
 
-val partition_window : start:float -> len:float -> Dvp.Ids.site list list -> t
+val partition_window : start:float -> len:float -> Dvp_core.Ids.site list list -> t
 (** One partition episode: split at [start], heal at [start +. len]. *)
 
 val repeated_partitions :
-  period:float -> len:float -> until:float -> Dvp.Ids.site list list -> t
+  period:float -> len:float -> until:float -> Dvp_core.Ids.site list list -> t
 (** A partition of length [len] at the start of every [period], up to
     [until] — "flapping" connectivity. *)
 
-val crash_cycle : site:Dvp.Ids.site -> first:float -> downtime:float -> t
+val crash_cycle : site:Dvp_core.Ids.site -> first:float -> downtime:float -> t
 (** Crash the site at [first], recover it [downtime] later. *)
 
 val lossy_window : start:float -> len:float -> loss:float -> t

@@ -1,9 +1,10 @@
 module Rng = Dvp_util.Rng
 module Engine = Dvp_sim.Engine
+module Substrate = Dvp_substrate.Substrate
 
 type outcome = {
   label : string;
-  metrics : Dvp.Metrics.t;
+  metrics : Dvp_core.Metrics.t;
   duration : float;
   submitted : int;
   committed : int;
@@ -75,11 +76,11 @@ let generate_txn rng (spec : Spec.t) =
         if b = a then other () else b
       in
       let b = other () in
-      `Txn (site, [ (a, Dvp.Op.Decr amount); (b, Dvp.Op.Incr amount) ])
+      `Txn (site, [ (a, Dvp_core.Op.Decr amount); (b, Dvp_core.Op.Incr amount) ])
     end
     else if u2 < spec.Spec.transfer_fraction +. spec.Spec.incr_fraction then
-      `Txn (site, [ (pick_item (), Dvp.Op.Incr amount) ])
-    else `Txn (site, [ (pick_item (), Dvp.Op.Decr amount) ])
+      `Txn (site, [ (pick_item (), Dvp_core.Op.Incr amount) ])
+    else `Txn (site, [ (pick_item (), Dvp_core.Op.Decr amount) ])
   end
 
 let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bucket = 1.0)
@@ -91,42 +92,43 @@ let run (d : Driver.t) (spec : Spec.t) ?(faults = Faultplan.empty) ?(timeline_bu
   let buckets = max 1 (int_of_float (ceil (spec.Spec.duration /. timeline_bucket))) in
   let bucket_committed = Array.make buckets 0 and bucket_submitted = Array.make buckets 0 in
   let engine = d.Driver.engine in
+  let sub = d.Driver.sub in
   let record_result ~site ~bucket result =
     match result with
-    | Dvp.Site.Committed _ ->
+    | Dvp_core.Site.Committed _ ->
       incr committed;
       per_site_committed.(site) <- per_site_committed.(site) + 1;
       if bucket >= 0 && bucket < buckets then
         bucket_committed.(bucket) <- bucket_committed.(bucket) + 1
-    | Dvp.Site.Aborted _ -> incr aborted
+    | Dvp_core.Site.Aborted _ -> incr aborted
   in
   let submit_one () =
     match generate_txn rng spec with
     | `Read (site, item) ->
       incr submitted;
       per_site_submitted.(site) <- per_site_submitted.(site) + 1;
-      let bucket = int_of_float (Engine.now engine /. timeline_bucket) in
+      let bucket = int_of_float (Substrate.now sub /. timeline_bucket) in
       if bucket >= 0 && bucket < buckets then
         bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
       d.Driver.submit_read ~site ~item ~on_done:(record_result ~site ~bucket)
     | `Txn (site, ops) ->
       incr submitted;
       per_site_submitted.(site) <- per_site_submitted.(site) + 1;
-      let bucket = int_of_float (Engine.now engine /. timeline_bucket) in
+      let bucket = int_of_float (Substrate.now sub /. timeline_bucket) in
       if bucket >= 0 && bucket < buckets then
         bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
       d.Driver.submit ~site ~ops ~on_done:(record_result ~site ~bucket)
   in
   (* Open-loop Poisson arrivals. *)
   let rec arrival_loop () =
-    if Engine.now engine < spec.Spec.duration then begin
+    if Substrate.now sub < spec.Spec.duration then begin
       submit_one ();
       let gap = Rng.exponential rng (1.0 /. spec.Spec.arrival_rate) in
-      ignore (Engine.schedule engine ~delay:gap arrival_loop)
+      ignore (Substrate.schedule sub ~delay:gap arrival_loop)
     end
   in
   ignore
-    (Engine.schedule_at engine
+    (Substrate.schedule_at sub
        ~at:(Rng.exponential rng (1.0 /. spec.Spec.arrival_rate))
        arrival_loop);
   Faultplan.schedule d faults;
@@ -174,17 +176,18 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
   let buckets = max 1 (int_of_float (ceil (spec.Spec.duration /. timeline_bucket))) in
   let bucket_committed = Array.make buckets 0 and bucket_submitted = Array.make buckets 0 in
   let engine = d.Driver.engine in
+  let sub = d.Driver.sub in
   let rec client_loop () =
-    if Engine.now engine < spec.Spec.duration then begin
-      let bucket = int_of_float (Engine.now engine /. timeline_bucket) in
+    if Substrate.now sub < spec.Spec.duration then begin
+      let bucket = int_of_float (Substrate.now sub /. timeline_bucket) in
       let record result =
         (match result with
-        | Dvp.Site.Committed _ ->
+        | Dvp_core.Site.Committed _ ->
           incr committed;
           if bucket >= 0 && bucket < buckets then
             bucket_committed.(bucket) <- bucket_committed.(bucket) + 1
-        | Dvp.Site.Aborted _ -> incr aborted);
-        ignore (Engine.schedule engine ~delay:think client_loop)
+        | Dvp_core.Site.Aborted _ -> incr aborted);
+        ignore (Substrate.schedule sub ~delay:think client_loop)
       in
       match generate_txn rng spec with
       | `Read (site, item) ->
@@ -194,8 +197,8 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
           bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
         d.Driver.submit_read ~site ~item ~on_done:(fun r ->
             (match r with
-            | Dvp.Site.Committed _ -> per_site_committed.(site) <- per_site_committed.(site) + 1
-            | Dvp.Site.Aborted _ -> ());
+            | Dvp_core.Site.Committed _ -> per_site_committed.(site) <- per_site_committed.(site) + 1
+            | Dvp_core.Site.Aborted _ -> ());
             record r)
       | `Txn (site, ops) ->
         incr submitted;
@@ -204,13 +207,13 @@ let run_closed (d : Driver.t) (spec : Spec.t) ~clients ?(think = 0.001)
           bucket_submitted.(bucket) <- bucket_submitted.(bucket) + 1;
         d.Driver.submit ~site ~ops ~on_done:(fun r ->
             (match r with
-            | Dvp.Site.Committed _ -> per_site_committed.(site) <- per_site_committed.(site) + 1
-            | Dvp.Site.Aborted _ -> ());
+            | Dvp_core.Site.Committed _ -> per_site_committed.(site) <- per_site_committed.(site) + 1
+            | Dvp_core.Site.Aborted _ -> ());
             record r)
     end
   in
   for _ = 1 to clients do
-    ignore (Engine.schedule engine ~delay:(Rng.float rng 0.01) client_loop)
+    ignore (Substrate.schedule sub ~delay:(Rng.float rng 0.01) client_loop)
   done;
   Faultplan.schedule d faults;
   start_observers d ?telemetry ~timeline_bucket ();
@@ -272,15 +275,15 @@ let outcome_to_json o =
              (fun (t, ratio) ->
                Json.Obj [ ("t", num t); ("commit_ratio", num ratio) ])
              o.timeline) );
-      ("metrics", Dvp.Metrics.to_json o.metrics);
+      ("metrics", Dvp_core.Metrics.to_json o.metrics);
     ]
 
 let pp_outcome ppf o =
   Format.fprintf ppf
     "%s: %d submitted, %d committed (%.1f%%), %.1f txn/s, p50=%.1f ms p99=%.1f ms"
     o.label o.submitted o.committed (100.0 *. o.availability) o.throughput
-    (1000.0 *. Dvp.Metrics.latency_p50 o.metrics)
-    (1000.0 *. Dvp.Metrics.latency_p99 o.metrics);
+    (1000.0 *. Dvp_core.Metrics.latency_p50 o.metrics)
+    (1000.0 *. Dvp_core.Metrics.latency_p99 o.metrics);
   match (o.conserved, o.crashdump) with
   | Some false, Some path ->
     Format.fprintf ppf "@,CONSERVATION VIOLATED — crashdump written to %s" path

@@ -3,7 +3,7 @@
 
 type outcome = {
   label : string;
-  metrics : Dvp.Metrics.t;
+  metrics : Dvp_core.Metrics.t;
   duration : float;
   submitted : int;
   committed : int;
@@ -75,7 +75,7 @@ val outcome_to_json : outcome -> Dvp_util.Json.t
 (** The whole outcome as one JSON object: the scalar totals, per-site
     arrays, the availability timeline as [{t, commit_ratio}] pairs, the
     conservation verdict and crashdump path (both [null] when absent), and
-    the full {!Dvp.Metrics.to_json} under ["metrics"] (so throughput,
+    the full {!Dvp_core.Metrics.to_json} under ["metrics"] (so throughput,
     availability, latency percentiles, and the per-commit message/force
     overheads all appear machine-readably).  Non-finite floats serialize as
     [null]. *)

@@ -1,8 +1,8 @@
 let dvp_system ?config ?link ?trace (spec : Spec.t) =
   let sys =
-    Dvp.System.create ?config ?link ?trace ~seed:spec.Spec.seed ~n:spec.Spec.n_sites ()
+    Dvp_core.System.create ?config ?link ?trace ~seed:spec.Spec.seed ~n:spec.Spec.n_sites ()
   in
-  List.iter (fun (item, total) -> Dvp.System.add_item sys ~item ~total ()) spec.Spec.items;
+  List.iter (fun (item, total) -> Dvp_core.System.add_item sys ~item ~total ()) spec.Spec.items;
   sys
 
 let dvp ?config ?link ?trace ?(name = "dvp") spec =

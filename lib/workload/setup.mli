@@ -1,7 +1,7 @@
 (** Construct ready-to-run systems from a workload spec. *)
 
 val dvp :
-  ?config:Dvp.Config.t ->
+  ?config:Dvp_core.Config.t ->
   ?link:Dvp_net.Linkstate.params ->
   ?trace:Dvp_sim.Trace.t ->
   ?name:string ->
@@ -12,11 +12,11 @@ val dvp :
     events into it (see {!Dvp_sim.Trace}). *)
 
 val dvp_system :
-  ?config:Dvp.Config.t ->
+  ?config:Dvp_core.Config.t ->
   ?link:Dvp_net.Linkstate.params ->
   ?trace:Dvp_sim.Trace.t ->
   Spec.t ->
-  Dvp.System.t
+  Dvp_core.System.t
 (** The underlying system, when the caller needs invariant checks too. *)
 
 val trad :

@@ -1,7 +1,7 @@
 type t = {
   label : string;
   n_sites : int;
-  items : (Dvp.Ids.item * int) list;
+  items : (Dvp_core.Ids.item * int) list;
   arrival_rate : float;
   duration : float;
   read_fraction : float;

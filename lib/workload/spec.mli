@@ -8,7 +8,7 @@
 type t = {
   label : string;
   n_sites : int;
-  items : (Dvp.Ids.item * int) list;  (** (item, initial aggregate value) *)
+  items : (Dvp_core.Ids.item * int) list;  (** (item, initial aggregate value) *)
   arrival_rate : float;  (** transactions per second, whole system *)
   duration : float;  (** seconds of open-loop load *)
   read_fraction : float;  (** drain reads (DvP) / quorum reads (baselines) *)

@@ -101,6 +101,39 @@ else
   echo "(no python3/jq; checked only that BENCH_E1.json is non-empty)"
 fi
 
+# Multicore smoke: a short closed-loop run on the domains runtime, checking
+# that commits happen and value is conserved at quiesce.  Parallelism is
+# only real with >= 2 cores; single-core hosts (and the DES-only CI lanes)
+# skip it.  Width via DOMAINS.
+DOMAINS="${DOMAINS:-2}"
+cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$cores" -ge 2 ]; then
+  echo "== multicore smoke: bench --wall --domains $DOMAINS =="
+  wall_out=$(mktemp)
+  dune exec bin/dvp_cli.exe -- bench --wall --domains "$DOMAINS" --duration 0.5 --json \
+    >"$wall_out"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$wall_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["conserved"], "multicore run did not conserve value"
+assert doc["committed"] > 0, "multicore run committed nothing"
+print(f"multicore smoke ok: {doc['domains']} domains, "
+      f"{doc['throughput']:.0f} committed txns/s, conserved")
+EOF
+  else
+    grep -q '"conserved":true' "$wall_out" || {
+      echo "multicore smoke: value not conserved" >&2
+      exit 1
+    }
+    echo "multicore smoke ok (grep)"
+  fi
+  rm -f "$wall_out"
+else
+  echo "== skipping multicore smoke (host has $cores core(s), need >= 2) =="
+fi
+
 # Perf smoke: the micro benches in quick mode (shakes out bitrot in the
 # bench harness itself), then the regression gate comparing a fresh E18 run
 # against the committed baselines.  Tolerances via PERF_TOL / PERF_SLACK.

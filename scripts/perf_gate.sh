@@ -171,3 +171,68 @@ if failures:
 print(f"perf gate ok: {len(base)} E19 runs within {tol:.0%} of baseline, "
       f"detector-on at {cur['kill, detector on']['late_vs_share']:.0%} of pro-rata share")
 EOF
+
+# --- E20-wall: the multicore runtime's speedup contract -----------------
+#
+# Wall-clock throughput is host-dependent, so absolute rates are NOT
+# compared against the baseline.  What the gate enforces:
+#   - every run conserves value at quiesce (always);
+#   - with >= 4 real cores, 4 domains beat 1 domain by the contract factor
+#     recorded in the baseline (min_speedup_4v1).  On smaller hosts the
+#     domains time-slice one core and the contract is skipped with a notice.
+# Refresh the baseline with:
+#   dune exec bench/main.exe -- E20-wall --out bench/baselines
+
+baseline20="bench/baselines/BENCH_E20_wall.json"
+
+if [ ! -s "$baseline20" ]; then
+  echo "perf gate: no baseline at $baseline20" >&2
+  exit 1
+fi
+
+echo "== perf gate: bench E20-wall (contract from $baseline20) =="
+dune exec bench/main.exe -- E20-wall --out "$tmpdir" >/dev/null
+
+python3 - "$baseline20" "$tmpdir/BENCH_E20_wall.json" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+
+def contract(doc):
+    for r in doc["runs"]:
+        if "contract" in r:
+            return r["contract"]
+    return {}
+
+min_speedup = contract(base_doc).get("min_speedup_4v1", 1.5)
+runs = {r["domains"]: r for r in cur_doc["runs"] if "domains" in r}
+
+failures = []
+
+for d, r in sorted(runs.items()):
+    if not r["conserved"]:
+        failures.append(f"{d} domain(s): value NOT conserved at quiesce")
+    if r["committed"] <= 0:
+        failures.append(f"{d} domain(s): committed nothing")
+
+cores = next(iter(runs.values()))["cores"] if runs else 0
+if cores >= 4:
+    s4 = runs.get(4, {}).get("speedup_vs_1", 0.0)
+    if s4 < min_speedup:
+        failures.append(
+            f"4 domains at {s4:.2f}x vs 1 domain (contract: >= {min_speedup:.2f}x "
+            f"on a {cores}-core host)")
+    verdict = f"4 domains at {s4:.2f}x (contract >= {min_speedup:.2f}x)"
+else:
+    verdict = (f"speedup contract skipped: host has {cores} core(s), "
+               f"need >= 4 for a meaningful 4v1 measurement")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+print(f"perf gate ok: {len(runs)} E20-wall runs conserved; {verdict}")
+EOF

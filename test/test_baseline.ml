@@ -437,7 +437,7 @@ let test_primary_copy_dies_with_primary () =
 let mk_escrow ?(seed = 5) ?(mode = Escrow.Escrow_locking) ?(n = 4) ~total () =
   let engine = Engine.create () in
   let rng = Dvp_util.Rng.create seed in
-  let net = Dvp_net.Network.create engine ~rng ~n () in
+  let net = Dvp_net.Network.create (Dvp_sim.Substrate_des.of_engine engine) ~rng ~n () in
   let metrics = Dvp.Metrics.create () in
   let server =
     Escrow.server engine ~mode ~send:(fun ~dst msg -> Dvp_net.Network.send net ~src:0 ~dst msg) ()

@@ -301,10 +301,26 @@ let mk_system ?(seed = 11) ?(config = Config.default) ?link ?(n = 4) ?(items = [
   List.iter (fun (item, total) -> System.add_item sys ~item ~total ()) items;
   sys
 
+(* The deleted submit* wrappers, reconstructed locally on top of
+   System.exec: these tests assert on Site.txn_result shapes. *)
+let submit sys ~site ~ops ~on_done =
+  System.exec sys (Txn.write ~site ops) ~on_done:(fun o -> on_done (Txn.to_result o))
+
+let submit_read sys ~site ~item ~on_done =
+  System.exec sys (Txn.read ~site item) ~on_done:(fun o -> on_done (Txn.to_result o))
+
+let submit_read_many sys ~site ~items ~on_done =
+  System.exec sys (Txn.snapshot ~site items) ~on_done:(fun o -> on_done (Txn.to_reads o))
+
+let submit_retrying sys ~site ~ops ~retries ~backoff ~on_done () =
+  System.exec sys
+    (Txn.with_retry ~retries ~backoff (Txn.write ~site ops))
+    ~on_done:(fun o -> on_done (Txn.to_result o))
+
 let test_local_commit_no_messages () =
   let sys = mk_system () in
   let result = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 5) ] ~on_done:(fun r -> result := Some r);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 5) ] ~on_done:(fun r -> result := Some r);
   (* 25 locally available: commits synchronously without any network use. *)
   Alcotest.(check (option result_testable)) "committed"
     (Some (Site.Committed { read_value = None }))
@@ -315,7 +331,7 @@ let test_local_commit_no_messages () =
 let test_write_only_commit () =
   let sys = mk_system () in
   let result = ref None in
-  System.submit sys ~site:2 ~ops:[ (0, Op.Incr 7) ] ~on_done:(fun r -> result := Some r);
+  submit sys ~site:2 ~ops:[ (0, Op.Incr 7) ] ~on_done:(fun r -> result := Some r);
   Alcotest.(check (option result_testable)) "committed"
     (Some (Site.Committed { read_value = None }))
     !result;
@@ -325,7 +341,7 @@ let test_shortfall_via_vm () =
   let sys = mk_system () in
   let result = ref None in
   (* Site 1 holds 25; ask for 40: shortfall 15 gathered from peers. *)
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun r -> result := Some r);
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun r -> result := Some r);
   Alcotest.(check (option result_testable)) "pending" None !result;
   System.run_until sys 2.0;
   Alcotest.(check (option result_testable)) "committed"
@@ -338,7 +354,7 @@ let test_insufficient_times_out () =
   let sys = mk_system () in
   let result = ref None in
   (* More than the whole system holds. *)
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 150) ] ~on_done:(fun r -> result := Some r);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 150) ] ~on_done:(fun r -> result := Some r);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "timeout abort"
     (Some (Site.Aborted Metrics.Timeout))
@@ -349,8 +365,8 @@ let test_insufficient_times_out () =
 let test_single_site_system () =
   let sys = mk_system ~n:1 ~items:[ (0, 10) ] () in
   let r1 = ref None and r2 = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 4) ] ~on_done:(fun r -> r1 := Some r);
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 20) ] ~on_done:(fun r -> r2 := Some r);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 4) ] ~on_done:(fun r -> r1 := Some r);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 20) ] ~on_done:(fun r -> r2 := Some r);
   System.run_until sys 2.0;
   Alcotest.(check (option result_testable)) "local ok"
     (Some (Site.Committed { read_value = None }))
@@ -366,7 +382,7 @@ let test_section3_walkthrough () =
   let sys = mk_system ~seed:5 () in
   let commit_ok site m =
     let r = ref None in
-    System.submit sys ~site ~ops:[ (0, Op.Decr m) ] ~on_done:(fun x -> r := Some x);
+    submit sys ~site ~ops:[ (0, Op.Decr m) ] ~on_done:(fun x -> r := Some x);
     System.run_until sys (System.now sys +. 2.0);
     Alcotest.(check (option result_testable))
       (Printf.sprintf "site %d reserves %d" site m)
@@ -400,7 +416,7 @@ let test_partition_local_service_continues () =
   System.partition sys [ [ 0; 1 ]; [ 2; 3 ] ];
   let r = ref None in
   (* Local capacity suffices: partition is invisible. *)
-  System.submit sys ~site:2 ~ops:[ (0, Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
+  submit sys ~site:2 ~ops:[ (0, Op.Decr 10) ] ~on_done:(fun x -> r := Some x);
   System.run_until sys 2.0;
   Alcotest.(check (option result_testable)) "minority still serves"
     (Some (Site.Committed { read_value = None }))
@@ -410,7 +426,7 @@ let test_partition_remote_need_times_out () =
   let sys = mk_system ~seed:22 () in
   System.partition sys [ [ 0 ]; [ 1; 2; 3 ] ];
   let r = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r := Some x);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "aborts, does not block"
     (Some (Site.Aborted Metrics.Timeout))
@@ -425,12 +441,12 @@ let test_partition_heal_then_succeed () =
   let sys = mk_system ~seed:23 () in
   System.partition sys [ [ 0 ]; [ 1; 2; 3 ] ];
   let r1 = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "first aborts" (Some (Site.Aborted Metrics.Timeout)) !r1;
   System.heal sys;
   let r2 = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r2 := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r2 := Some x);
   System.run_until sys 10.0;
   Alcotest.(check (option result_testable)) "after heal succeeds"
     (Some (Site.Committed { read_value = None }))
@@ -441,10 +457,10 @@ let test_drain_read_full_value () =
   let sys = mk_system ~seed:31 () in
   (* Spend a bit so the total is not the initial. *)
   let r0 = ref None in
-  System.submit sys ~site:3 ~ops:[ (0, Op.Decr 5) ] ~on_done:(fun x -> r0 := Some x);
+  submit sys ~site:3 ~ops:[ (0, Op.Decr 5) ] ~on_done:(fun x -> r0 := Some x);
   System.run_until sys 1.0;
   let r = ref None in
-  System.submit_read sys ~site:1 ~item:0 ~on_done:(fun x -> r := Some x);
+  submit_read sys ~site:1 ~item:0 ~on_done:(fun x -> r := Some x);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "read sees 95"
     (Some (Site.Committed { read_value = Some 95 }))
@@ -457,7 +473,7 @@ let test_drain_read_during_partition_aborts () =
   let sys = mk_system ~seed:32 () in
   System.partition sys [ [ 0; 1 ]; [ 2; 3 ] ];
   let r = ref None in
-  System.submit_read sys ~site:0 ~item:0 ~on_done:(fun x -> r := Some x);
+  submit_read sys ~site:0 ~item:0 ~on_done:(fun x -> r := Some x);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "read aborts" (Some (Site.Aborted Metrics.Timeout)) !r;
   Alcotest.(check bool) "conserved (drained values redistribute)" true
@@ -468,7 +484,7 @@ let test_vm_survives_loss_and_duplication () =
   let sys = mk_system ~seed:33 ~link () in
   let commits = ref 0 and results = ref 0 in
   for i = 0 to 19 do
-    System.submit sys ~site:(i mod 4)
+    submit sys ~site:(i mod 4)
       ~ops:[ (0, Op.Decr 4) ]
       ~on_done:(fun x ->
         incr results;
@@ -484,7 +500,7 @@ let test_vm_survives_loss_and_duplication () =
 let test_crash_aborts_live_txns () =
   let sys = mk_system ~seed:34 () in
   let r = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r := Some x);
   (* Crash before any Vm can arrive. *)
   System.crash_site sys 0;
   Alcotest.(check (option result_testable)) "crashed abort" (Some (Site.Aborted Metrics.Crashed)) !r;
@@ -497,7 +513,7 @@ let test_recovery_rebuilds_database () =
   let sys = mk_system ~seed:35 () in
   let ok = ref 0 in
   for _ = 1 to 5 do
-    System.submit sys ~site:0 ~ops:[ (0, Op.Decr 3) ]
+    submit sys ~site:0 ~ops:[ (0, Op.Decr 3) ]
       ~on_done:(fun x -> match x with Site.Committed _ -> incr ok | _ -> ())
   done;
   System.run_until sys 1.0;
@@ -512,7 +528,7 @@ let test_recovery_is_independent () =
   (* Recovery sends zero messages: message counters do not move while the
      sole event is a recovery. *)
   let sys = mk_system ~seed:36 () in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:quiet;
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:quiet;
   System.run_until sys 2.0;
   System.crash_site sys 1;
   System.run_until sys 4.0;
@@ -534,7 +550,7 @@ let test_vm_outstanding_survives_receiver_crash () =
   (* Site 1's fragment (stable 25) is out of reach; sites 2,3 cover the
      shortfall of 5 with 5 each (over-collection is just redistribution). *)
   let r = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:(fun x -> r := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:(fun x -> r := Some x);
   System.run_until sys 3.0;
   Alcotest.(check (option result_testable)) "commits without site 1"
     (Some (Site.Committed { read_value = None }))
@@ -548,7 +564,7 @@ let test_conc2_basic_commit () =
   let config = { Config.default with Config.cc = Config.Conc2 } in
   let sys = mk_system ~seed:39 ~config () in
   let r = ref None in
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r := Some x);
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r := Some x);
   System.run_until sys 3.0;
   Alcotest.(check (option result_testable)) "conc2 commits"
     (Some (Site.Committed { read_value = None }))
@@ -560,10 +576,10 @@ let test_conc2_lock_conflict_waits_not_aborts () =
   let sys = mk_system ~seed:40 ~config () in
   let r1 = ref None and r2 = ref None in
   (* First txn needs remote help -> holds the lock while waiting. *)
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
   (* Second local txn arrives immediately: under Conc2 it waits and then
      commits; under Conc1 it would abort Lock_busy. *)
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~on_done:(fun x -> r2 := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~on_done:(fun x -> r2 := Some x);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "first commits"
     (Some (Site.Committed { read_value = None }))
@@ -576,8 +592,8 @@ let test_conc2_lock_conflict_waits_not_aborts () =
 let test_conc1_lock_conflict_aborts () =
   let sys = mk_system ~seed:41 () in
   let r1 = ref None and r2 = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~on_done:(fun x -> r2 := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~on_done:(fun x -> r2 := Some x);
   System.run_until sys 5.0;
   Alcotest.(check (option result_testable)) "second aborts busy"
     (Some (Site.Aborted Metrics.Lock_busy))
@@ -591,7 +607,7 @@ let test_multi_item_transfer () =
      Decr on 0 and Incr on 1 in one transaction. *)
   let sys = mk_system ~seed:42 ~items:[ (0, 100); (1, 40) ] () in
   let r = ref None in
-  System.submit sys ~site:2
+  submit sys ~site:2
     ~ops:[ (0, Op.Incr 2); (1, Op.Decr 2) ]
     ~on_done:(fun x -> r := Some x);
   System.run_until sys 2.0;
@@ -608,7 +624,7 @@ let test_no_overselling_under_stress () =
   let sys = mk_system ~seed:43 ~items:[ (0, 50) ] () in
   let sold = ref 0 in
   for i = 0 to 99 do
-    System.submit sys ~site:(i mod 4)
+    submit sys ~site:(i mod 4)
       ~ops:[ (0, Op.Decr 3) ]
       ~on_done:(fun x -> match x with Site.Committed _ -> sold := !sold + 3 | _ -> ())
   done;
@@ -621,7 +637,7 @@ let test_all_sites_fail_one_recovers () =
   (* Section 7: "even if all sites fail and subsequently one site recovers,
      we have the case that it can begin doing some useful work". *)
   let sys = mk_system ~seed:67 () in
-  System.submit sys ~site:2 ~ops:[ (0, Op.Decr 5) ] ~on_done:quiet;
+  submit sys ~site:2 ~ops:[ (0, Op.Decr 5) ] ~on_done:quiet;
   System.run_until sys 1.0;
   for i = 0 to 3 do
     System.crash_site sys i
@@ -630,13 +646,13 @@ let test_all_sites_fail_one_recovers () =
   System.recover_site sys 2;
   let r = ref None in
   (* A write-only transaction needs nobody else. *)
-  System.submit sys ~site:2 ~ops:[ (0, Op.Incr 3) ] ~on_done:(fun x -> r := Some x);
+  submit sys ~site:2 ~ops:[ (0, Op.Incr 3) ] ~on_done:(fun x -> r := Some x);
   Alcotest.(check (option result_testable)) "useful work alone"
     (Some (Site.Committed { read_value = None }))
     !r;
   (* And a local-capacity decrement works too. *)
   let r2 = ref None in
-  System.submit sys ~site:2 ~ops:[ (0, Op.Decr 2) ] ~on_done:(fun x -> r2 := Some x);
+  submit sys ~site:2 ~ops:[ (0, Op.Decr 2) ] ~on_done:(fun x -> r2 := Some x);
   Alcotest.(check (option result_testable)) "local decrement alone"
     (Some (Site.Committed { read_value = None }))
     !r2;
@@ -651,10 +667,10 @@ let test_codec_roundtrips_real_logs () =
   (* Serialise an actual site log (including Vm records and a checkpoint)
      through the textual codec and back. *)
   let sys = mk_system ~seed:66 () in
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:quiet;
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:quiet;
   System.run_until sys 2.0;
   System.checkpoint_all sys;
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 3) ] ~on_done:quiet;
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 3) ] ~on_done:quiet;
   System.run_until sys 3.0;
   for i = 0 to 3 do
     let records = Dvp_storage.Wal.records (Site.wal (System.site sys i)) in
@@ -671,7 +687,7 @@ let test_codec_roundtrips_real_logs () =
 let test_checkpoint_shrinks_log_and_recovers () =
   let sys = mk_system ~seed:61 () in
   for _ = 1 to 30 do
-    System.submit sys ~site:0 ~ops:[ (0, Op.Decr 1) ] ~on_done:quiet
+    submit sys ~site:0 ~ops:[ (0, Op.Decr 1) ] ~on_done:quiet
   done;
   System.run_until sys 1.0;
   let before = System.stable_log_length sys in
@@ -681,7 +697,7 @@ let test_checkpoint_shrinks_log_and_recovers () =
   Alcotest.(check bool) "checkpoint is tiny" true (after <= 4);
   (* Post-checkpoint traffic, then crash+recover: the snapshot plus the tail
      must rebuild the same fragment. *)
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~on_done:quiet;
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~on_done:quiet;
   System.run_until sys 2.0;
   let frag = Site.fragment (System.site sys 0) ~item:0 in
   System.crash_site sys 0;
@@ -698,7 +714,7 @@ let test_checkpoint_preserves_outstanding_vm () =
   let sys = mk_system ~seed:62 ~config () in
   System.crash_site sys 1;
   (* Honoring sites create Vm to site 0; site 1's response never comes. *)
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:quiet;
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:quiet;
   System.run_until sys 1.0;
   (* Send value toward the dead site so some Vm stay outstanding: a drain
      from site 1 is impossible, so instead create outbound Vm by asking from
@@ -719,7 +735,7 @@ let test_periodic_checkpoints_bound_log () =
       (Dvp_sim.Engine.schedule_at (System.engine sys)
          ~at:(0.04 *. float_of_int i)
          (fun () ->
-           System.submit sys ~site:(i mod 4) ~ops:[ (0, Op.Decr 1) ] ~on_done:quiet))
+           submit sys ~site:(i mod 4) ~ops:[ (0, Op.Decr 1) ] ~on_done:quiet))
   done;
   System.run_until sys 10.0;
   (* 200 committed txns would leave >200 records; periodic checkpoints keep
@@ -747,7 +763,7 @@ let test_proactive_redistribution_prepositions_value () =
       (Dvp_sim.Engine.schedule_at (System.engine sys)
          ~at:(0.1 *. float_of_int i)
          (fun () ->
-           System.submit sys ~site:1 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet))
+           submit sys ~site:1 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet))
   done;
   System.run_until sys 5.0;
   Alcotest.(check bool) "site 1 accumulated a working quota" true
@@ -758,7 +774,7 @@ let test_proactive_redistribution_prepositions_value () =
 let test_proactive_off_by_default () =
   let sys = System.create ~seed:65 ~n:4 () in
   System.add_item sys ~item:0 ~total:4000 ~split:(`Explicit [ 3940; 20; 20; 20 ]) ();
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet;
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet;
   System.run_until sys 3.0;
   (* Reactive only: site 1 received what it asked for, roughly; no daemon
      keeps topping it up. *)
@@ -770,8 +786,8 @@ let test_submit_retrying_succeeds_after_conflicts () =
      retries it eventually commits. *)
   let sys = mk_system ~seed:71 () in
   let r1 = ref None and r2 = ref None in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
-  System.submit_retrying sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~retries:5 ~backoff:0.1
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ] ~on_done:(fun x -> r1 := Some x);
+  submit_retrying sys ~site:0 ~ops:[ (0, Op.Decr 2) ] ~retries:5 ~backoff:0.1
     ~on_done:(fun x -> r2 := Some x)
     ();
   System.run_until sys 5.0;
@@ -787,7 +803,7 @@ let test_submit_retrying_gives_up () =
   let sys = mk_system ~seed:72 () in
   let r = ref None and calls = ref 0 in
   (* Impossible demand: every attempt times out; on_done fires exactly once. *)
-  System.submit_retrying sys ~site:0 ~ops:[ (0, Op.Decr 500) ] ~retries:2 ~backoff:0.05
+  submit_retrying sys ~site:0 ~ops:[ (0, Op.Decr 500) ] ~retries:2 ~backoff:0.05
     ~on_done:(fun x ->
       incr calls;
       r := Some x)
@@ -834,7 +850,7 @@ let test_recovery_idempotent_double_replay () =
   (* Recovering twice (crash during recovery) must give the same state. *)
   let sys = mk_system ~seed:75 () in
   for _ = 1 to 10 do
-    System.submit sys ~site:2 ~ops:[ (0, Op.Decr 2) ] ~on_done:quiet
+    submit sys ~site:2 ~ops:[ (0, Op.Decr 2) ] ~on_done:quiet
   done;
   System.run_until sys 1.0;
   let before = Site.fragment (System.site sys 2) ~item:0 in
@@ -866,7 +882,7 @@ let prop_drain_read_consistent =
                let s = Rng.int rng n in
                let m = 1 + Rng.int rng 8 in
                let op = if Rng.bool rng then Op.Decr m else Op.Incr m in
-               System.submit sys ~site:s ~ops:[ (0, op) ] ~on_done:quiet))
+               submit sys ~site:s ~ops:[ (0, op) ] ~on_done:quiet))
       done;
       for i = 0 to 2 do
         ignore
@@ -874,7 +890,7 @@ let prop_drain_read_consistent =
              ~at:(12.0 +. (2.0 *. float_of_int i))
              (fun () ->
                let s = Rng.int rng n in
-               System.submit_read sys ~site:s ~item:0 ~on_done:(fun r ->
+               submit_read sys ~site:s ~item:0 ~on_done:(fun r ->
                    match r with
                    | Site.Committed { read_value = Some v } ->
                      if v <> System.expected_total sys ~item:0 then ok := false
@@ -900,7 +916,7 @@ let test_request_retries_survive_lossy_requests () =
     let sys = System.create ~config ~link ~seed ~n:4 () in
     System.add_item sys ~item:0 ~total:100 ();
     let ok = ref 0 in
-    System.submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ]
+    submit sys ~site:0 ~ops:[ (0, Op.Decr 40) ]
       ~on_done:(fun r -> match r with Site.Committed _ -> incr ok | _ -> ());
     System.run_until sys 5.0;
     !ok
@@ -925,7 +941,7 @@ let ping_pong_messages ~ack_delay =
     {
       Config.default with
       Config.request_policy = Config.Ask_all_full;
-      Config.ack_delay = ack_delay;
+      Config.transport = Config.Transport.v ~ack_delay ();
     }
   in
   let sys = System.create ~config ~seed:85 ~n:2 () in
@@ -938,11 +954,11 @@ let ping_pong_messages ~ack_delay =
     let base = 0.4 *. float_of_int i in
     ignore
       (Dvp_sim.Engine.schedule_at (System.engine sys) ~at:base (fun () ->
-           System.submit sys ~site:1 ~ops:[ (0, Op.Decr 50) ] ~on_done:(fun r ->
+           submit sys ~site:1 ~ops:[ (0, Op.Decr 50) ] ~on_done:(fun r ->
                match r with Site.Committed _ -> incr ok | Site.Aborted _ -> ())));
     ignore
       (Dvp_sim.Engine.schedule_at (System.engine sys) ~at:(base +. 0.05) (fun () ->
-           System.submit sys ~site:0 ~ops:[ (1, Op.Decr 50) ] ~on_done:(fun r ->
+           submit sys ~site:0 ~ops:[ (1, Op.Decr 50) ] ~on_done:(fun r ->
                match r with Site.Committed _ -> incr ok | Site.Aborted _ -> ())));
   done;
   System.run_until sys 20.0;
@@ -958,9 +974,9 @@ let test_delayed_acks_reduce_messages () =
     true (delayed < immediate)
 
 let test_delayed_acks_still_settle () =
-  let config = { Config.default with Config.ack_delay = 0.05 } in
+  let config = { Config.default with Config.transport = Config.Transport.v ~ack_delay:0.05 () } in
   let sys = mk_system ~seed:86 ~config () in
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:quiet;
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:quiet;
   System.run_until sys 5.0;
   (* Everything acknowledged: no Vm outstanding anywhere. *)
   for i = 0 to 3 do
@@ -1090,11 +1106,11 @@ let test_capped_read () =
 
 let test_multi_item_snapshot_read () =
   let sys = mk_system ~seed:87 ~items:[ (0, 100); (1, 60) ] () in
-  System.submit sys ~site:3 ~ops:[ (0, Op.Decr 5) ] ~on_done:quiet;
-  System.submit sys ~site:2 ~ops:[ (1, Op.Incr 10) ] ~on_done:quiet;
+  submit sys ~site:3 ~ops:[ (0, Op.Decr 5) ] ~on_done:quiet;
+  submit sys ~site:2 ~ops:[ (1, Op.Incr 10) ] ~on_done:quiet;
   System.run_until sys 1.0;
   let r = ref None in
-  System.submit_read_many sys ~site:0 ~items:[ 0; 1 ] ~on_done:(fun x -> r := Some x);
+  submit_read_many sys ~site:0 ~items:[ 0; 1 ] ~on_done:(fun x -> r := Some x);
   System.run_until sys 5.0;
   (match !r with
   | Some (Ok values) ->
@@ -1110,7 +1126,7 @@ let test_multi_item_snapshot_read_times_out_under_partition () =
   let sys = mk_system ~seed:88 ~items:[ (0, 100); (1, 60) ] () in
   System.partition sys [ [ 0; 1 ]; [ 2; 3 ] ];
   let r = ref None in
-  System.submit_read_many sys ~site:0 ~items:[ 0; 1 ] ~on_done:(fun x -> r := Some x);
+  submit_read_many sys ~site:0 ~items:[ 0; 1 ] ~on_done:(fun x -> r := Some x);
   System.run_until sys 5.0;
   (match !r with
   | Some (Error Metrics.Timeout) -> ()
@@ -1122,8 +1138,8 @@ let test_multi_item_snapshot_read_times_out_under_partition () =
 let test_backup_roundtrip_system () =
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "dvp-backup-test" in
   let sys = mk_system ~seed:95 ~items:[ (0, 100); (1, 50) ] () in
-  System.submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:quiet;
-  System.submit sys ~site:2 ~ops:[ (1, Op.Incr 7) ] ~on_done:quiet;
+  submit sys ~site:1 ~ops:[ (0, Op.Decr 40) ] ~on_done:quiet;
+  submit sys ~site:2 ~ops:[ (1, Op.Incr 7) ] ~on_done:quiet;
   System.run_until sys 2.0;
   let frags0 = System.fragments sys ~item:0 and frags1 = System.fragments sys ~item:1 in
   let exported = Backup.export_system sys ~dir in
@@ -1138,7 +1154,7 @@ let test_backup_roundtrip_system () =
   Alcotest.(check bool) "restored system conserved" true (System.conserved_all sys2);
   (* And it is alive: new work commits. *)
   let r = ref None in
-  System.submit sys2 ~site:0 ~ops:[ (0, Op.Decr 5) ] ~on_done:(fun x -> r := Some x);
+  submit sys2 ~site:0 ~ops:[ (0, Op.Decr 5) ] ~on_done:(fun x -> r := Some x);
   System.run_until sys2 4.0;
   Alcotest.(check (option result_testable)) "restored system serves"
     (Some (Site.Committed { read_value = None }))
@@ -1151,7 +1167,7 @@ let test_backup_restores_outstanding_vm () =
   let config = { Config.default with Config.request_policy = Config.Ask_all_full } in
   let sys = mk_system ~seed:97 ~config () in
   System.crash_site sys 1;
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:quiet;
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 30) ] ~on_done:quiet;
   System.run_until sys 2.0;
   ignore (Backup.export_system sys ~dir);
   let sys2 = mk_system ~seed:98 ~config () in
@@ -1178,7 +1194,7 @@ let test_restore_system_atomic_on_corrupt_file () =
      just the corrupt one — exactly as it was. *)
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "dvp-backup-atomic-test" in
   let sys = mk_system ~seed:99 ~items:[ (0, 100) ] () in
-  System.submit sys ~site:0 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet;
+  submit sys ~site:0 ~ops:[ (0, Op.Decr 10) ] ~on_done:quiet;
   System.run_until sys 2.0;
   ignore (Backup.export_system sys ~dir);
   (* Corrupt the LAST site's file, so a non-atomic restore would already
@@ -1188,7 +1204,7 @@ let test_restore_system_atomic_on_corrupt_file () =
   output_string oc "garbage record\n";
   close_out oc;
   let sys2 = mk_system ~seed:100 ~items:[ (0, 100) ] () in
-  System.submit sys2 ~site:2 ~ops:[ (0, Op.Incr 5) ] ~on_done:quiet;
+  submit sys2 ~site:2 ~ops:[ (0, Op.Incr 5) ] ~on_done:quiet;
   System.run_until sys2 1.0;
   let before = System.fragments sys2 ~item:0 in
   let log_before = System.stable_log_length sys2 in
@@ -1226,7 +1242,7 @@ let test_conc2_contention_stress () =
     let at = Rng.float rng 5.0 in
     ignore
       (Dvp_sim.Engine.schedule_at (System.engine sys) ~at (fun () ->
-           System.submit sys ~site:(Rng.int rng 4)
+           submit sys ~site:(Rng.int rng 4)
              ~ops:[ (0, Op.Decr (5 + Rng.int rng 10)) ]
              ~on_done:(fun r ->
                incr resolved;
@@ -1289,7 +1305,7 @@ let test_system_determinism_under_faults () =
       ignore
         (Dvp_sim.Engine.schedule_at (System.engine sys) ~at (fun () ->
              if System.site_up sys 1 || true then
-               System.submit sys ~site:(Rng.int rng 4)
+               submit sys ~site:(Rng.int rng 4)
                  ~ops:[ (0, Op.Decr (1 + Rng.int rng 5)) ]
                  ~on_done:(fun r ->
                    match r with
@@ -1410,7 +1426,7 @@ let prop_history_serializable =
                let m = 1 + Rng.int rng 6 in
                let op = if Rng.bool rng then Op.Decr m else Op.Incr m in
                let t0 = Dvp_sim.Engine.now engine in
-               System.submit sys ~site ~ops:[ (0, op) ] ~on_done:(fun r ->
+               submit sys ~site ~ops:[ (0, op) ] ~on_done:(fun r ->
                    match r with
                    | Site.Committed _ ->
                      History.record_update h ~delta:(Op.delta op) ~start_time:t0
@@ -1424,7 +1440,7 @@ let prop_history_serializable =
           (Dvp_sim.Engine.schedule_at engine ~at (fun () ->
                let site = Rng.int rng n in
                let t0 = Dvp_sim.Engine.now engine in
-               System.submit_read sys ~site ~item:0 ~on_done:(fun r ->
+               submit_read sys ~site ~item:0 ~on_done:(fun r ->
                    match r with
                    | Site.Committed { read_value = Some v } ->
                      History.record_read h ~value:v ~start_time:t0
@@ -1448,7 +1464,7 @@ let test_all_features_soak () =
       Config.request_policy = Config.Ask_all_full;
       Config.proactive = Some { Config.default_proactive with Config.min_surplus = 100 };
       Config.request_retries = 2;
-      Config.ack_delay = 0.05;
+      Config.transport = Config.Transport.v ~ack_delay:0.05 ();
     }
   in
   let link = { Dvp_net.Linkstate.default with loss_prob = 0.15; dup_prob = 0.1 } in
@@ -1467,7 +1483,7 @@ let test_all_features_soak () =
              let item = Rng.int rng 2 in
              let m = 1 + Rng.int rng 12 in
              let op = if Rng.bernoulli rng 0.7 then Op.Decr m else Op.Incr m in
-             System.submit sys ~site ~ops:[ (item, op) ] ~on_done:(fun _ -> incr resolved)
+             submit sys ~site ~ops:[ (item, op) ] ~on_done:(fun _ -> incr resolved)
            end
            else incr resolved))
   done;
@@ -1511,7 +1527,7 @@ let prop_conservation_under_chaos =
                if System.site_up sys s then
                  let m = 1 + Rng.int rng 15 in
                  let op = if Rng.bool rng then Op.Decr m else Op.Incr m in
-                 System.submit sys ~site:s ~ops:[ (0, op) ] ~on_done:quiet))
+                 submit sys ~site:s ~ops:[ (0, op) ] ~on_done:quiet))
       done;
       (* Random faults: crashes with recovery, one partition window. *)
       let crash_site = Rng.int rng n in

@@ -24,9 +24,7 @@ let state_testable = Alcotest.testable (fun ppf s -> Format.pp_print_string ppf 
    reason about exact transition times. *)
 let det_config =
   {
-    Health.probe_every = 0.1;
-    probe_idle = 0.25;
-    suspect_after = 0.5;
+    Health.suspect_after = 0.5;
     condemn_after = 2.0;
     flap_penalty = 2.0;
     flap_max_scale = 8.0;
@@ -41,7 +39,7 @@ let test_detector_transitions () =
   let det =
     Health.create
       ~on_transition:(fun ~peer st -> log := (Engine.now engine, peer, st) :: !log)
-      det_config ~engine ~self:0 ~n:2
+      det_config ~sub:(Dvp_sim.Substrate_des.of_engine engine) ~self:0 ~n:2
   in
   Health.start det;
   Alcotest.check state_testable "initially up" Health.Up (Health.state det 1);
@@ -61,7 +59,7 @@ let test_detector_transitions () =
 
 let test_detector_revive_and_sticky_condemn () =
   let engine = Engine.create () in
-  let det = Health.create det_config ~engine ~self:0 ~n:2 in
+  let det = Health.create det_config ~sub:(Dvp_sim.Substrate_des.of_engine engine) ~self:0 ~n:2 in
   Health.start det;
   Engine.run_until engine 1.0;
   Alcotest.check state_testable "suspected" Health.Suspected (Health.state det 1);
@@ -82,7 +80,7 @@ let test_detector_revive_and_sticky_condemn () =
 
 let test_detector_flap_hysteresis () =
   let engine = Engine.create () in
-  let det = Health.create det_config ~engine ~self:0 ~n:2 in
+  let det = Health.create det_config ~sub:(Dvp_sim.Substrate_des.of_engine engine) ~self:0 ~n:2 in
   Health.start det;
   (* First flap: suspected at ~0.5 s of silence, then revived. *)
   Engine.run_until engine 1.0;
@@ -102,7 +100,7 @@ let test_detector_probes_idle_peer () =
   let det =
     Health.create
       ~send_probe:(fun peer -> probes := (Engine.now engine, peer) :: !probes)
-      det_config ~engine ~self:0 ~n:3
+      det_config ~sub:(Dvp_sim.Substrate_des.of_engine engine) ~self:0 ~n:3
   in
   Health.start det;
   (* Keep peer 1 chatty; leave peer 2 idle.  Only the idle one should be
@@ -119,7 +117,7 @@ let test_detector_probes_idle_peer () =
 
 let test_detector_pause_resume () =
   let engine = Engine.create () in
-  let det = Health.create det_config ~engine ~self:0 ~n:2 in
+  let det = Health.create det_config ~sub:(Dvp_sim.Substrate_des.of_engine engine) ~self:0 ~n:2 in
   Health.start det;
   Engine.run_until engine 0.2;
   (* Down across the whole condemnation window: a paused detector must not

@@ -8,7 +8,7 @@ module Rng = Dvp_util.Rng
 let mk ?(n = 4) ?(seed = 1) ?default () =
   let e = Engine.create () in
   let rng = Rng.create seed in
-  let net = Network.create e ~rng ~n ?default () in
+  let net = Network.create (Dvp_sim.Substrate_des.of_engine e) ~rng ~n ?default () in
   (e, net)
 
 (* ------------------------------------------------------------ Linkstate *)
@@ -157,18 +157,18 @@ let test_network_delay_ordering_jitter () =
 let wire_pair ?(seed = 7) ?(params = Linkstate.default) ?window ?rto () =
   let e = Engine.create () in
   let rng = Rng.create seed in
-  let net = Network.create e ~rng ~n:2 ~default:params () in
+  let net = Network.create (Dvp_sim.Substrate_des.of_engine e) ~rng ~n:2 ~default:params () in
   let delivered_a = ref [] and delivered_b = ref [] in
   let ep_a = ref None and ep_b = ref None in
   let get = function Some x -> x | None -> assert false in
   let a =
-    Window.create e
+    Window.create (Dvp_sim.Substrate_des.of_engine e)
       ~send:(fun f -> Network.send net ~src:0 ~dst:1 f)
       ~deliver:(fun p -> delivered_a := p :: !delivered_a)
       ?window ?rto ()
   in
   let b =
-    Window.create e
+    Window.create (Dvp_sim.Substrate_des.of_engine e)
       ~send:(fun f -> Network.send net ~src:1 ~dst:0 f)
       ~deliver:(fun p -> delivered_b := p :: !delivered_b)
       ?window ?rto ()
@@ -316,7 +316,7 @@ let prop_window_exactly_once =
 
 let test_broadcast_total_order () =
   let e = Engine.create () in
-  let bc = Broadcast.create e ~n:3 () in
+  let bc = Broadcast.create (Dvp_sim.Substrate_des.of_engine e) ~n:3 () in
   let seen = Array.make 3 [] in
   for i = 0 to 2 do
     Broadcast.set_handler bc i (fun ~src ~seq payload ->
@@ -333,7 +333,7 @@ let test_broadcast_total_order () =
 
 let test_broadcast_includes_sender () =
   let e = Engine.create () in
-  let bc = Broadcast.create e ~n:2 () in
+  let bc = Broadcast.create (Dvp_sim.Substrate_des.of_engine e) ~n:2 () in
   let self = ref 0 in
   Broadcast.set_handler bc 0 (fun ~src ~seq:_ _ -> if src = 0 then incr self);
   Broadcast.set_handler bc 1 (fun ~src:_ ~seq:_ _ -> ());
@@ -343,7 +343,7 @@ let test_broadcast_includes_sender () =
 
 let test_broadcast_seq_increases () =
   let e = Engine.create () in
-  let bc = Broadcast.create e ~n:2 () in
+  let bc = Broadcast.create (Dvp_sim.Substrate_des.of_engine e) ~n:2 () in
   Broadcast.set_handler bc 0 (fun ~src:_ ~seq:_ _ -> ());
   Broadcast.set_handler bc 1 (fun ~src:_ ~seq:_ _ -> ());
   let s1 = Broadcast.broadcast bc ~src:0 () in

@@ -29,7 +29,7 @@ let mk_harness ?(items = 4) () =
   let defer = [| false; false |] in
   let metrics = [| Metrics.create (); Metrics.create () |] in
   let mk self =
-    Vm.create engine ~n:2 ~self ~wal:wals.(self)
+    Vm.create (Dvp_sim.Substrate_des.of_engine engine) ~n:2 ~self ~wal:wals.(self)
       ~send:(fun ~dst msg ->
         ignore dst;
         Queue.add (self, msg) queues.(self))
@@ -360,7 +360,7 @@ let blackholed_retransmissions ~mult ~outstanding ~seconds =
   let wal = Wal.create () in
   let metrics = Metrics.create () in
   let vm =
-    Vm.create engine ~n:2 ~self:0 ~wal
+    Vm.create (Dvp_sim.Substrate_des.of_engine engine) ~n:2 ~self:0 ~wal
       ~send:(fun ~dst:_ _ -> ())
       ~try_credit:(fun ~peer:_ ~item:_ ~amount:_ ~reply_to:_ -> None)
       ~ts_counter:(fun () -> 0)
