@@ -1546,6 +1546,132 @@ let e19 () =
      the run.  The oracle-instant row bounds what zero detection latency\n\
      would buy.  scripts/perf_gate.sh regresses against this table."
 
+(* ----------------------------------------------------------- E21-elastic *)
+
+(* Claim (elastic membership): the membership subsystem pays for itself in
+   throughput.  With an item's quota concentrated on one hot site and
+   single-target asks, most transactions at the cold sites must win a
+   1-in-3 draw of the hot peer to gather value — auto-rebalancing pours the
+   hot site's excess out through ordinary push_value Vm and restores
+   near-balanced throughput.  Join and leave rows exercise the epoch-fenced
+   transitions under load: a spare seeded mid-run serves like any member,
+   and a graceful leave sheds its quota onto the survivors — value
+   conservation holding across every epoch bump. *)
+let e21_elastic () =
+  section "E21_elastic  Elastic membership: join, leave, and auto-rebalance";
+  let n = 4 in
+  let duration = 16.0 in
+  let early_until = 4.0 in
+  let late_from = 8.0 in
+  let spec =
+    {
+      Spec.default with
+      Spec.label = "e21";
+      Spec.n_sites = n;
+      Spec.items = [ (0, 16_000) ];
+      Spec.arrival_rate = 100.0;
+      (* Decrement-heavy with chunky amounts: a cold site cannot build a
+         working fragment out of its own increments, so placement — not
+         demand — decides who commits locally. *)
+      Spec.incr_fraction = 0.3;
+      Spec.op_min = 2;
+      Spec.op_max = 8;
+      Spec.duration;
+      Spec.seed = 211;
+    }
+  in
+  let window_throughput ~from ~until (o : Runner.outcome) =
+    let committed = ref 0 in
+    Array.iteri
+      (fun i c ->
+        let t = float_of_int i *. o.Runner.timeline_bucket in
+        if t >= from && t < until then committed := !committed + c)
+      o.Runner.bucket_committed;
+    float_of_int !committed /. (until -. from)
+  in
+  (* Single-target asks make placement decisive (as in E19): a cold site's
+     shortfall asks one random peer for the whole amount, so only a draw of
+     the hot site can cover it. *)
+  let base_config =
+    { Dvp.Config.default with Dvp.Config.request_policy = Dvp.Config.Ask_one_random }
+  in
+  let rebalance_config =
+    { base_config with Dvp.Config.rebalance = Some Dvp.Config.default_rebalance }
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "4 sites, 100 txn/s, item quota all on site 0 in the skewed rows — \
+            early window t in [0, %.0f), late t in [%.0f, %.0f)"
+           early_until late_from duration)
+      [
+        ("scenario", Table.Left);
+        ("avail", Table.Right);
+        ("txn/s", Table.Right);
+        ("early txn/s", Table.Right);
+        ("late txn/s", Table.Right);
+        ("epoch", Table.Right);
+        ("members", Table.Right);
+        ("conserved", Table.Right);
+      ]
+  in
+  let row scenario ~sys ~faults () =
+    let o = Runner.run (Dvp.Driver.of_dvp ~name:scenario sys) spec ~faults () in
+    let early = window_throughput ~from:0.0 ~until:early_until o in
+    let late = window_throughput ~from:late_from ~until:duration o in
+    let conserved = Dvp.System.conserved_all sys in
+    let members = List.length (Dvp.System.members sys) in
+    Report.record o
+      ~extra:
+        [
+          ("scenario", Json.String scenario);
+          ("system", Json.String scenario);
+          ("early_throughput", Json.Float early);
+          ("late_throughput", Json.Float late);
+          ("end_conserved", Json.Bool conserved);
+          ("epoch", Json.Int (Dvp.System.epoch sys));
+          ("members", Json.Int members);
+        ];
+    Table.add_row t
+      [
+        scenario;
+        Table.fpct o.Runner.availability;
+        Table.ffloat ~dec:1 o.Runner.throughput;
+        Table.ffloat ~dec:1 early;
+        Table.ffloat ~dec:1 late;
+        Table.fint (Dvp.System.epoch sys);
+        Table.fint members;
+        (if conserved then "yes" else "NO");
+      ]
+  in
+  let skewed config =
+    skewed_dvp_system ~config ~seed:spec.Spec.seed ~n ~items:spec.Spec.items
+      ~home:(fun _ -> 0) ~keep:0 ()
+  in
+  row "balanced" ~sys:(Setup.dvp_system ~config:base_config spec) ~faults:Faultplan.empty ();
+  row "skewed" ~sys:(skewed base_config) ~faults:Faultplan.empty ();
+  row "skewed, rebalanced" ~sys:(skewed rebalance_config) ~faults:Faultplan.empty ();
+  row "join mid-run"
+    ~sys:(Setup.dvp_system ~config:base_config ~capacity:(n + 1) spec)
+    ~faults:[ Faultplan.at 4.0 (Faultplan.Join n) ]
+    ();
+  row "leave mid-run"
+    ~sys:(Setup.dvp_system ~config:base_config spec)
+    ~faults:[ Faultplan.at 4.0 (Faultplan.Leave (n - 1)) ]
+    ();
+  Table.print t;
+  print_endline
+    "The skewed row stays starved for the whole run: a cold site's\n\
+     decrement commits only when its single-target ask happens to draw the\n\
+     hot peer, and the decrement-heavy demand never lets local increments\n\
+     build a working fragment.  Auto-rebalancing pours the hot site's\n\
+     excess out within its first pass and the late window matches the\n\
+     balanced rate.  The join row bumps the epoch and ends with 5 members;\n\
+     the leave row sheds the leaver's quota (aborting only its own late\n\
+     arrivals) and ends with 3 — conservation holds in every row.\n\
+     scripts/perf_gate.sh regresses against this table."
+
 (* -------------------------------------------------------------- CHAOS *)
 
 (* Claim (Section 7 + the non-blocking property, end to end): under seeded
@@ -1667,4 +1793,4 @@ let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
             ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
             ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
             ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-            ("E20-WALL", e20_wall); ("CHAOS", chaos) ]
+            ("E20-WALL", e20_wall); ("E21-ELASTIC", e21_elastic); ("CHAOS", chaos) ]

@@ -343,6 +343,143 @@ let evacuate_cmd workload sites rate duration seed kill_at victim force json =
       exit 1
     end
 
+let membership_line sys sites capacity =
+  String.concat ", "
+    (List.map
+       (fun i ->
+         Printf.sprintf "site %d: %s" i
+           (Dvp.Membership.to_string (Dvp.System.member_state sys i)))
+       (List.init (max sites capacity) Fun.id))
+
+let join_cmd workload sites rate duration seed join_at json =
+  (* Operator drill for elastic scale-out: run a workload on [sites]
+     members plus one detached spare, bring the spare online mid-run
+     through the membership handshake, and verify it ends up a seeded,
+     transaction-serving member with conservation intact. *)
+  let spec = build_spec workload sites rate duration seed in
+  let config =
+    { Dvp.Config.default with Dvp.Config.health = Some Dvp.Health.default_config }
+  in
+  let sys = Setup.dvp_system ~config ~capacity:(sites + 1) spec in
+  let driver = Dvp.Driver.of_dvp ~name:"dvp" sys in
+  let joiner = sites in
+  let faults = [ Faultplan.at join_at (Faultplan.Join joiner) ] in
+  let o = Runner.run driver spec ~faults () in
+  let state = Dvp.System.member_state sys joiner in
+  let joined = state = Dvp.Membership.Member in
+  let conserved = Dvp.System.conserved_all sys in
+  if json then
+    print_endline
+      (Dvp.Util.Json.to_string_pretty
+         (Dvp.Util.Json.Obj
+            [
+              ("joiner", Dvp.Util.Json.Int joiner);
+              ("state", Dvp.Util.Json.String (Dvp.Membership.to_string state));
+              ("epoch", Dvp.Util.Json.Int (Dvp.System.epoch sys));
+              ("conserved", Dvp.Util.Json.Bool conserved);
+            ]))
+  else begin
+    Format.printf "%a@." Runner.pp_outcome o;
+    Printf.printf "\nsite %d joined at t=%g; %s; epoch %d\n" joiner join_at
+      (membership_line sys sites (sites + 1))
+      (Dvp.System.epoch sys);
+    print_endline "fragments after the join:";
+    print_fragments sys;
+    Printf.printf "conservation: %b\n" conserved
+  end;
+  if not joined then begin
+    Printf.eprintf "ERROR: joiner ended as %s, not a member\n"
+      (Dvp.Membership.to_string state);
+    exit 1
+  end;
+  if not conserved then begin
+    prerr_endline "ERROR: conservation violated after the join";
+    exit 1
+  end
+
+let leave_cmd workload sites rate duration seed leave_at leaver json =
+  (* Operator drill for graceful scale-in: a member drains and detaches
+     mid-run; its fragments must end up shed onto the survivors with
+     conservation intact. *)
+  let leaver = match leaver with Some s -> s | None -> sites - 1 in
+  if leaver < 0 || leaver >= sites then begin
+    Printf.eprintf "leave: leaver %d out of range for %d sites\n" leaver sites;
+    exit 2
+  end;
+  let spec = build_spec workload sites rate duration seed in
+  let config =
+    { Dvp.Config.default with Dvp.Config.health = Some Dvp.Health.default_config }
+  in
+  let sys = Setup.dvp_system ~config spec in
+  let driver = Dvp.Driver.of_dvp ~name:"dvp" sys in
+  let faults = [ Faultplan.at leave_at (Faultplan.Leave leaver) ] in
+  let o = Runner.run driver spec ~faults () in
+  let state = Dvp.System.member_state sys leaver in
+  let left = state = Dvp.Membership.Detached in
+  let conserved = Dvp.System.conserved_all sys in
+  if json then
+    print_endline
+      (Dvp.Util.Json.to_string_pretty
+         (Dvp.Util.Json.Obj
+            [
+              ("leaver", Dvp.Util.Json.Int leaver);
+              ("state", Dvp.Util.Json.String (Dvp.Membership.to_string state));
+              ("epoch", Dvp.Util.Json.Int (Dvp.System.epoch sys));
+              ("conserved", Dvp.Util.Json.Bool conserved);
+            ]))
+  else begin
+    Format.printf "%a@." Runner.pp_outcome o;
+    Printf.printf "\nsite %d left at t=%g; %s; epoch %d\n" leaver leave_at
+      (membership_line sys sites sites)
+      (Dvp.System.epoch sys);
+    print_endline "fragments after the leave:";
+    print_fragments sys;
+    Printf.printf "conservation: %b\n" conserved
+  end;
+  if not left then begin
+    Printf.eprintf "ERROR: leaver ended as %s, not detached\n"
+      (Dvp.Membership.to_string state);
+    exit 1
+  end;
+  if not conserved then begin
+    prerr_endline "ERROR: conservation violated after the leave";
+    exit 1
+  end
+
+let rebalance_cmd sites total slack json =
+  (* Operator drill for load leveling: start with all of one item's value
+     on site 0, run one rebalance pass, and verify the fragments even out
+     with conservation intact. *)
+  let sys = Dvp.System.create ~seed:1 ~n:sites () in
+  Dvp.System.add_item sys ~item:0 ~total
+    ~split:(`Explicit (total :: List.init (sites - 1) (fun _ -> 0)))
+    ();
+  if not json then begin
+    print_endline "fragments before rebalancing:";
+    print_fragments sys
+  end;
+  let moved = Dvp.System.rebalance ~slack sys in
+  Dvp.System.run_for sys 2.0;
+  let conserved = Dvp.System.conserved_all sys in
+  if json then
+    print_endline
+      (Dvp.Util.Json.to_string_pretty
+         (Dvp.Util.Json.Obj
+            [
+              ("moved", Dvp.Util.Json.Int moved);
+              ("conserved", Dvp.Util.Json.Bool conserved);
+            ]))
+  else begin
+    Printf.printf "rebalance pass moved %d unit(s)\n" moved;
+    print_endline "fragments after rebalancing:";
+    print_fragments sys;
+    Printf.printf "conservation: %b\n" conserved
+  end;
+  if not conserved then begin
+    prerr_endline "ERROR: conservation violated after rebalancing";
+    exit 1
+  end
+
 let chaos_cmd seeds first_seed profile_name crashdumps json =
   match Dvp.Chaos.Profile.of_string profile_name with
   | None ->
@@ -407,7 +544,7 @@ let info_cmd () =
     \  quorum  full replication with majority quorums over 2PC\n\n\
      Workloads: airline, banking, inventory, default.\n\
      Analyze a trace dump with `dvp-cli analyze trace.jsonl`.\n\
-     See bench/main.exe for the full experiment suite (E1-E17)."
+     See bench/main.exe for the full experiment suite (E1-E21)."
 
 (* ------------------------------------------------- multicore runtime *)
 
@@ -428,7 +565,7 @@ let bench_cmd wall domains duration transport json =
   if not wall then begin
     Printf.eprintf
       "dvp-cli bench: only the wall-clock mode lives here (pass --wall).\n\
-       The DES experiment suite is `dune exec bench/main.exe` (E1-E20).\n";
+       The DES experiment suite is `dune exec bench/main.exe` (E1-E21).\n";
     exit 2
   end;
   let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
@@ -520,7 +657,13 @@ let serve_cmd domains items total transport =
         in
         Printf.printf "committed %d increments\n" n
          | _ -> print_endline "unknown command (incr/decr/push/load/report/quit)"
-       with Failure _ | Invalid_argument _ -> print_endline "bad argument");
+       with
+      (* The REPL must survive any malformed input — bad integers,
+         out-of-range sites, whatever — with an error line, never a raise
+         that tears down the live domains.  Exit is the quit path. *)
+      | Exit -> raise Exit
+      | Failure _ | Invalid_argument _ -> print_endline "bad argument"
+      | e -> Printf.printf "error: %s\n" (Printexc.to_string e));
       loop ()
   in
   (try loop () with Exit -> stop ())
@@ -613,6 +756,48 @@ let evacuate_term =
     const evacuate_cmd $ workload_arg $ sites_arg $ rate_arg $ duration_arg $ seed_arg
     $ kill_at_arg $ victim_arg $ force_arg $ json_arg)
 
+let join_at_arg =
+  Arg.(
+    value
+    & opt float 3.0
+    & info [ "join-at" ] ~doc:"Simulated time at which the spare site joins.")
+
+let join_term =
+  Term.(
+    const join_cmd $ workload_arg $ sites_arg $ rate_arg $ duration_arg $ seed_arg
+    $ join_at_arg $ json_arg)
+
+let leave_at_arg =
+  Arg.(
+    value
+    & opt float 3.0
+    & info [ "leave-at" ] ~doc:"Simulated time at which the leaver starts its drain.")
+
+let leaver_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "leaver" ] ~doc:"Site that leaves (default: the last site).")
+
+let leave_term =
+  Term.(
+    const leave_cmd $ workload_arg $ sites_arg $ rate_arg $ duration_arg $ seed_arg
+    $ leave_at_arg $ leaver_arg $ json_arg)
+
+let slack_arg =
+  Arg.(
+    value
+    & opt int Dvp.Config.default_rebalance.Dvp.Config.slack
+    & info [ "slack" ] ~doc:"Per-item imbalance tolerated before value moves.")
+
+let rebalance_total_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "total" ] ~doc:"Initial aggregate value of the drill item.")
+
+let rebalance_term =
+  Term.(const rebalance_cmd $ sites_arg $ rebalance_total_arg $ slack_arg $ json_arg)
+
 let seeds_arg =
   Arg.(value & opt int 50 & info [ "seeds" ] ~doc:"Number of consecutive seeds to fuzz.")
 
@@ -623,7 +808,8 @@ let profile_arg =
   Arg.(
     value
     & opt string "bounded"
-    & info [ "profile" ] ~doc:"Chaos profile: bounded, default, or heavy.")
+    & info [ "profile" ]
+        ~doc:"Chaos profile: bounded, default, heavy, killer, or churn.")
 
 let crashdumps_arg =
   Arg.(
@@ -723,6 +909,26 @@ let cmds =
             detector condemn it, then evacuate its fragments onto the survivors and \
             verify value conservation")
       evacuate_term;
+    Cmd.v
+      (Cmd.info "join"
+         ~doc:
+           "Elasticity drill: run a workload on n members plus one detached spare, \
+            bring the spare online mid-run through the membership handshake, and \
+            verify it ends up a seeded member with value conservation intact")
+      join_term;
+    Cmd.v
+      (Cmd.info "leave"
+         ~doc:
+           "Elasticity drill: a member gracefully drains, sheds its fragments onto \
+            the survivors, and detaches mid-run; verifies the epoch bump and value \
+            conservation")
+      leave_term;
+    Cmd.v
+      (Cmd.info "rebalance"
+         ~doc:
+           "Elasticity drill: start with all value on one hot site, run a rebalance \
+            pass, and verify the fragments even out with value conservation intact")
+      rebalance_term;
     Cmd.v
       (Cmd.info "chaos"
          ~doc:

@@ -54,6 +54,38 @@ let with_kill rng ~n_sites ~duration plan =
     [ Faultplan.at kill_at (Faultplan.Kill_forever victim) ]
     (List.filter keep plan)
 
+(* Membership churn: join attempts (random spare slot) and graceful-leave
+   attempts (random slot, spares included — the system refuses the silly
+   ones) as independent Poisson processes.  Attempts stop well before the
+   end of offered load so in-flight handshakes drain before the final
+   oracle pass.  Draws from the rng only when enabled, keeping historical
+   profiles' schedule streams seed-for-seed identical. *)
+let with_churn rng ~(profile : Profile.t) plan =
+  let n = profile.Profile.n_sites and spares = profile.Profile.spare_sites in
+  let until = profile.Profile.duration *. 0.75 in
+  let poisson ~rate pick_action =
+    if rate <= 0.0 then []
+    else begin
+      let rec go time acc =
+        let time = time +. Rng.exponential rng (1.0 /. rate) in
+        if time >= until then List.rev acc
+        else go time (Faultplan.at time (pick_action ()) :: acc)
+      in
+      go 0.0 []
+    end
+  in
+  let joins =
+    if spares = 0 then []
+    else
+      poisson ~rate:profile.Profile.join_rate (fun () ->
+          Faultplan.Join (n + Rng.int rng spares))
+  in
+  let leaves =
+    poisson ~rate:profile.Profile.leave_rate (fun () ->
+        Faultplan.Leave (Rng.int rng (n + spares)))
+  in
+  Faultplan.merge plan (Faultplan.merge joins leaves)
+
 let schedule ~seed ~(profile : Profile.t) =
   let rng = rng_of_seed seed in
   let base =
@@ -73,9 +105,14 @@ let schedule ~seed ~(profile : Profile.t) =
     with_storage_faults rng ~prob:profile.Profile.storage_fault_prob
       (Faultplan.merge base ckpts)
   in
-  (* Killing draws from the rng only when enabled, so existing profiles keep
-     their historical schedule streams seed-for-seed. *)
-  if profile.Profile.kill_forever then
-    with_kill rng ~n_sites:profile.Profile.n_sites ~duration:profile.Profile.duration
-      plan
+  (* Killing and churn draw from the rng only when enabled, so existing
+     profiles keep their historical schedule streams seed-for-seed. *)
+  let plan =
+    if profile.Profile.kill_forever then
+      with_kill rng ~n_sites:profile.Profile.n_sites
+        ~duration:profile.Profile.duration plan
+    else plan
+  in
+  if profile.Profile.join_rate > 0.0 || profile.Profile.leave_rate > 0.0 then
+    with_churn rng ~profile plan
   else plan

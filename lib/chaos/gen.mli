@@ -4,8 +4,10 @@
     storms, flapping partitions, link-loss windows, and checkpoint jitter
     via {!Dvp_workload.Faultplan.random}, plus storage faults — each crash
     is preceded, with the profile's probability, by an armed WAL fault so the
-    crash tears the in-progress flush.  Deterministic in [(seed, profile)],
-    and independent of the workload's random stream even though both derive
+    crash tears the in-progress flush.  Profiles with membership churn
+    enabled also get Poisson join/leave attempts over the first three
+    quarters of the run.  Deterministic in [(seed, profile)], and
+    independent of the workload's random stream even though both derive
     from the same seed. *)
 
 val schedule : seed:int -> profile:Profile.t -> Dvp_workload.Faultplan.t

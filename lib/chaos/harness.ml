@@ -37,16 +37,26 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps ()
     match crashdumps with Some _ -> Some (Dvp_sim.Trace.create ()) | None -> None
   in
   let config =
-    if profile.Profile.detector then
+    if profile.Profile.detector || profile.Profile.rebalance then
       Some
         {
           Dvp_core.Config.default with
-          Dvp_core.Config.health = Some Dvp_health.Health.default_config;
-          Dvp_core.Config.auto_evacuate = true;
+          Dvp_core.Config.health =
+            (if profile.Profile.detector then Some Dvp_health.Health.default_config
+             else None);
+          Dvp_core.Config.auto_evacuate = profile.Profile.detector;
+          Dvp_core.Config.rebalance =
+            (if profile.Profile.rebalance then Some Dvp_core.Config.default_rebalance
+             else None);
         }
     else None
   in
-  let sys = Setup.dvp_system ?config ?trace spec in
+  let capacity =
+    if profile.Profile.spare_sites > 0 then
+      Some (profile.Profile.n_sites + profile.Profile.spare_sites)
+    else None
+  in
+  let sys = Setup.dvp_system ?config ?trace ?capacity spec in
   let driver = Driver.of_dvp sys in
   let plan =
     match schedule with Some p -> p | None -> Gen.schedule ~seed ~profile
@@ -77,6 +87,12 @@ let run_seed ~(profile : Profile.t) ~seed ?schedule ?extra_checks ?crashdumps ()
           in
           ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at))
         | _ -> ())
+      | Faultplan.Join _ | Faultplan.Leave _ ->
+        (* Membership transitions complete asynchronously (seed handshake,
+           drain); check once shortly after the attempt and rely on the
+           end-of-run pass for the slow completions. *)
+        let at = e.Faultplan.at +. 1.0 in
+        ignore (Engine.schedule_at (System.engine sys) ~at (fun () -> check_at at))
       | _ -> ())
     plan;
   let telemetry, flight =

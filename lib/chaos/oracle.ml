@@ -68,6 +68,10 @@ let vm_exactly_once sys =
         | Log_event.Checkpoint { accepted; _ } ->
           Array.fill wm 0 n (-1);
           List.iter (fun (peer, s) -> wm.(peer) <- s) accepted
+        | Log_event.Vm_channel_reset { peer; _ } ->
+          (* Membership transition: the channel with [peer] restarted at
+             sequence zero under a new epoch, so acceptance restarts too. *)
+          wm.(peer) <- -1
         | Log_event.Vm_create _ | Log_event.Txn_commit _ | Log_event.Txn_applied _
         | Log_event.Ack_progress _ -> ())
   done;
@@ -123,14 +127,14 @@ let check_outcome (o : Runner.outcome) =
    stalling the whole system (e.g. every Ask splitting across a peer that can
    never answer, with no detector to route around it) shows up here. *)
 let check_liveness sys (o : Runner.outcome) =
-  let n = System.n_sites sys in
-  let up = ref 0 in
-  for i = 0 to n - 1 do
-    if System.site_up sys i then incr up
-  done;
-  if (2 * !up > n) && o.Runner.submitted >= 50 && o.Runner.committed = 0 then
+  (* Membership-aware: detached spare slots are down by design and must not
+     count against (or toward) the healthy majority. *)
+  let ms = System.members sys in
+  let m = List.length ms in
+  let up = List.length (List.filter (fun i -> System.site_up sys i) ms) in
+  if (2 * up > m) && o.Runner.submitted >= 50 && o.Runner.committed = 0 then
     [
-      v "liveness" "%d/%d sites up, %d transactions submitted, none committed" !up n
+      v "liveness" "%d/%d members up, %d transactions submitted, none committed" up m
         o.Runner.submitted;
     ]
   else []

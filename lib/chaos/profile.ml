@@ -19,6 +19,10 @@ type t = {
   checkpoint_rate : float;
   detector : bool;
   kill_forever : bool;
+  spare_sites : int;
+  join_rate : float;
+  leave_rate : float;
+  rebalance : bool;
 }
 
 (* Small and quick: the tier-1 torture test and the check.sh smoke stage run
@@ -44,6 +48,10 @@ let bounded =
     checkpoint_rate = 0.4;
     detector = false;
     kill_forever = false;
+    spare_sites = 0;
+    join_rate = 0.0;
+    leave_rate = 0.0;
+    rebalance = false;
   }
 
 let default =
@@ -66,6 +74,10 @@ let default =
     checkpoint_rate = 0.6;
     detector = false;
     kill_forever = false;
+    spare_sites = 0;
+    join_rate = 0.0;
+    leave_rate = 0.0;
+    rebalance = false;
   }
 
 let heavy =
@@ -88,6 +100,10 @@ let heavy =
     checkpoint_rate = 1.0;
     detector = false;
     kill_forever = false;
+    spare_sites = 0;
+    join_rate = 0.0;
+    leave_rate = 0.0;
+    rebalance = false;
   }
 
 (* Degraded-mode torture: every run arms the failure detector with
@@ -114,9 +130,46 @@ let killer =
     checkpoint_rate = 0.4;
     detector = true;
     kill_forever = true;
+    spare_sites = 0;
+    join_rate = 0.0;
+    leave_rate = 0.0;
+    rebalance = false;
   }
 
-let all = [ bounded; default; heavy; killer ]
+(* Elastic-membership torture: two spare slots churn in and out (Poisson
+   join/leave attempts), auto-rebalancing runs throughout, and the detector
+   is armed — all on top of moderate crash/partition/loss noise.  No
+   permanent kills: a dead-forever peer would stall a graceful leave's
+   drain, which is a documented operator situation ([evacuate] the dead
+   site first), not a chaos finding.  The oracle must see conservation and
+   Vm exactly-once hold through every epoch bump and channel restart. *)
+let churn =
+  {
+    label = "churn";
+    n_sites = 4;
+    duration = 12.0;
+    drain = 4.0;
+    arrival_rate = 50.0;
+    n_items = 2;
+    item_total = 3000;
+    crash_rate = 0.3;
+    mean_downtime = 0.5;
+    storage_fault_prob = 0.3;
+    partition_rate = 0.15;
+    mean_partition_len = 0.6;
+    loss_rate = 0.15;
+    mean_loss_len = 0.6;
+    max_loss = 0.25;
+    checkpoint_rate = 0.4;
+    detector = true;
+    kill_forever = false;
+    spare_sites = 2;
+    join_rate = 0.4;
+    leave_rate = 0.25;
+    rebalance = true;
+  }
+
+let all = [ bounded; default; heavy; killer; churn ]
 
 let of_string s =
   List.find_opt (fun p -> p.label = String.lowercase_ascii s) all
@@ -157,4 +210,8 @@ let to_json t =
       ("checkpoint_rate", Json.Float t.checkpoint_rate);
       ("detector", Json.Bool t.detector);
       ("kill_forever", Json.Bool t.kill_forever);
+      ("spare_sites", Json.Int t.spare_sites);
+      ("join_rate", Json.Float t.join_rate);
+      ("leave_rate", Json.Float t.leave_rate);
+      ("rebalance", Json.Bool t.rebalance);
     ]

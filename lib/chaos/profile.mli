@@ -33,6 +33,13 @@ type t = {
   kill_forever : bool;
       (** permanently kill one random site partway through the run — the
           degraded-mode scenario the detector and evacuation must survive *)
+  spare_sites : int;
+      (** detached spare slots beyond [n_sites], available for {!Dvp_workload.Faultplan.Join} *)
+  join_rate : float;  (** join attempts per second (Poisson), random spare slot *)
+  leave_rate : float;
+      (** graceful-leave attempts per second (Poisson), random slot — the
+          system's own refusals (non-member, down, too few members) apply *)
+  rebalance : bool;  (** arm policy-driven auto-rebalancing on the system under test *)
 }
 
 val bounded : t
@@ -45,6 +52,13 @@ val heavy : t
 val killer : t
 (** Degraded-mode torture: detector + auto-evacuation on, one site killed
     forever mid-run, plus moderate background chaos. *)
+
+val churn : t
+(** Elastic-membership torture: spare slots join and members leave
+    throughout the run (epoch bumps, Vm-channel restarts), with
+    auto-rebalancing and the detector armed, plus moderate background
+    chaos.  No permanent kills — a dead-forever peer legitimately stalls a
+    graceful drain. *)
 
 val all : t list
 

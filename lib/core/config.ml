@@ -60,6 +60,10 @@ type proactive = {
 let default_proactive =
   { every = 0.5; min_surplus = 50; share_fraction = 0.5; asker_window = 2.0 }
 
+type rebalance = { every : float; slack : int }
+
+let default_rebalance = { every = 0.5; slack = 8 }
+
 type t = {
   cc : cc_mode;
   request_policy : request_policy;
@@ -70,6 +74,7 @@ type t = {
   transport : Transport.t;
   health : Dvp_health.Health.config option;
   auto_evacuate : bool;
+  rebalance : rebalance option;
   vm_outbox_warn : int;
 }
 
@@ -84,6 +89,7 @@ let default =
     transport = Transport.default;
     health = None;
     auto_evacuate = false;
+    rebalance = None;
     vm_outbox_warn = 512;
   }
 

@@ -108,6 +108,20 @@ type proactive = {
 
 val default_proactive : proactive
 
+(** Policy-driven auto-rebalancing (elastic membership): on a cadence, move
+    fragment value from hot member sites (above the per-item even-split
+    target by more than [slack]) to cold ones, via ordinary Rds/push_value
+    Vms. *)
+type rebalance = {
+  every : float;  (** rebalance pass period (seconds) *)
+  slack : int;
+      (** tolerated per-item deviation above the even-split target before a
+          site is considered hot *)
+}
+
+val default_rebalance : rebalance
+(** 0.5 s cadence, slack 8. *)
+
 type t = {
   cc : cc_mode;
   request_policy : request_policy;
@@ -134,6 +148,10 @@ type t = {
       (** evacuate a site's fragments onto survivors automatically the
           moment its peers condemn it (default false: evacuation is an
           operator action via [System.evacuate]) *)
+  rebalance : rebalance option;
+      (** [Some policy] arms the periodic auto-rebalancer
+          ([System.start_auto_rebalance]); [None] (the default) leaves
+          rebalancing to operator action ([System.rebalance]) *)
   vm_outbox_warn : int;
       (** high-water mark on a site's total outstanding/parked Vm outbox
           depth; crossing it emits a one-shot

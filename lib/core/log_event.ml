@@ -19,6 +19,9 @@ type t =
   | Txn_commit of { txn : Ids.txn; actions : db_action list }
   | Txn_applied of { txn : Ids.txn }
   | Ack_progress of { dst : Ids.site; upto : int }
+  | Vm_channel_reset of { peer : Ids.site; epoch : int }
+      (** membership transition: the Vm channel to/from [peer] starts over at
+          seq 0 under [epoch]; earlier watermarks for that peer are void *)
   | Checkpoint of {
       fragments : (Ids.item * int) list;
       accepted : (Ids.site * int) list;
@@ -51,6 +54,8 @@ let pp ppf = function
     Format.fprintf ppf "TxnCommit(%a [%a])" Ids.pp_txn txn pp_actions actions
   | Txn_applied { txn } -> Format.fprintf ppf "TxnApplied(%a)" Ids.pp_txn txn
   | Ack_progress { dst; upto } -> Format.fprintf ppf "AckProgress(dst=%d upto=%d)" dst upto
+  | Vm_channel_reset { peer; epoch } ->
+    Format.fprintf ppf "VmChannelReset(peer=%d epoch=%d)" peer epoch
   | Checkpoint { fragments; outbox; max_counter; _ } ->
     Format.fprintf ppf "Checkpoint(%d fragments, %d outstanding vm, counter=%d)"
       (List.length fragments) (List.length outbox) max_counter
@@ -151,6 +156,7 @@ let encode = function
     Printf.sprintf "T|%d|%d|%s" c s (encode_actions actions)
   | Txn_applied { txn = c, s } -> Printf.sprintf "D|%d|%d" c s
   | Ack_progress { dst; upto } -> Printf.sprintf "K|%d|%d" dst upto
+  | Vm_channel_reset { peer; epoch } -> Printf.sprintf "R|%d|%d" peer epoch
   | Checkpoint { fragments; accepted; next_seq; acked; outbox; max_counter } ->
     Printf.sprintf "P|%s|%s|%s|%s|%s|%d" (encode_pairs fragments) (encode_pairs accepted)
       (encode_pairs next_seq) (encode_pairs acked) (encode_outbox outbox) max_counter
@@ -201,6 +207,10 @@ let decode line =
   | [ "K"; dst; upto ] -> (
     match (int_of_string_opt dst, int_of_string_opt upto) with
     | Some dst, Some upto -> Some (Ack_progress { dst; upto })
+    | _ -> None)
+  | [ "R"; peer; epoch ] -> (
+    match (int_of_string_opt peer, int_of_string_opt epoch) with
+    | Some peer, Some epoch -> Some (Vm_channel_reset { peer; epoch })
     | _ -> None)
   | [ "P"; fragments; accepted; next_seq; acked; outbox; max_counter ] -> (
     match

@@ -40,6 +40,12 @@ type t =
   | Txn_commit of { txn : Ids.txn; actions : db_action list }
   | Txn_applied of { txn : Ids.txn }
   | Ack_progress of { dst : Ids.site; upto : int }
+  | Vm_channel_reset of { peer : Ids.site; epoch : int }
+      (** Membership transition (forced): the Vm channel with [peer] starts
+          over at seq 0 under [epoch].  Earlier watermarks for that peer are
+          void — replay resets next_seq/acked/accepted and drops any
+          outstanding entries toward the peer (the transition drained them
+          first, so the drop is value-neutral). *)
   | Checkpoint of {
       fragments : (Ids.item * int) list;
       accepted : (Ids.site * int) list;  (** per-peer acceptance watermark *)

@@ -26,6 +26,17 @@ let vm_view ~n wal =
         Hashtbl.replace v.vm_outbox (dst, seq) { item; amount; reply_to }
       | Log_event.Ack_progress { dst; upto } ->
         if upto > v.vm_acked.(dst) then v.vm_acked.(dst) <- upto
+      | Log_event.Vm_channel_reset { peer; _ } ->
+        (* Membership transition: the channel with [peer] starts over at seq 0.
+           Outstanding entries toward [peer] were drained before the reset was
+           logged, so dropping them is value-neutral. *)
+        v.vm_next_seq.(peer) <- 0;
+        v.vm_acked.(peer) <- -1;
+        v.vm_accepted.(peer) <- -1;
+        Hashtbl.iter
+          (fun (dst, seq) _ ->
+            if dst = peer then Hashtbl.remove v.vm_outbox (dst, seq))
+          (Hashtbl.copy v.vm_outbox)
       | Log_event.Vm_accept { peer; seq; _ } ->
         if seq > v.vm_accepted.(peer) then v.vm_accepted.(peer) <- seq
       | Log_event.Checkpoint { accepted; next_seq; acked; outbox; _ } ->
@@ -71,7 +82,7 @@ let db_view ?into wal =
         Hashtbl.reset applied;
         List.iter (fun (item, value) -> Db.set_value db ~item value) fragments;
         if mc > !max_counter then max_counter := mc
-      | Log_event.Ack_progress _ -> ());
+      | Log_event.Ack_progress _ | Log_event.Vm_channel_reset _ -> ());
   let redo =
     Hashtbl.fold
       (fun txn () acc -> if Hashtbl.mem applied txn then acc else acc + 1)

@@ -1,0 +1,23 @@
+(* Membership state of a site slot.
+
+   A [System] is created with [capacity] slots of which the first [n] start
+   as members; the rest start [Detached] (powered off, ineligible for
+   routing, workload, and health verdicts).  Slots move through
+
+     Detached --join--> Joining --seeded--> Member
+     Member --leave--> Leaving --drained--> Detached
+
+   Every completed transition bumps the system-wide membership epoch, which
+   is stamped into every Vm wire message at transmit time; receivers reject
+   messages from a stale epoch so fragments shipped under an old membership
+   view are retransmitted (with a fresh stamp) rather than double-counted. *)
+
+type state = Detached | Joining | Member | Leaving
+
+let to_string = function
+  | Detached -> "detached"
+  | Joining -> "joining"
+  | Member -> "member"
+  | Leaving -> "leaving"
+
+let active = function Detached -> false | Joining | Member | Leaving -> true

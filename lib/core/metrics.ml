@@ -10,6 +10,7 @@ type abort_reason =
   | Deadlock
   | No_quorum
   | Blocked_failure
+  | Not_member
 
 let abort_reason_label = function
   | Lock_busy -> "lock-busy"
@@ -21,6 +22,7 @@ let abort_reason_label = function
   | Deadlock -> "deadlock"
   | No_quorum -> "no-quorum"
   | Blocked_failure -> "blocked-failure"
+  | Not_member -> "not-member"
 
 let all_abort_reasons =
   [
@@ -33,6 +35,7 @@ let all_abort_reasons =
     Deadlock;
     No_quorum;
     Blocked_failure;
+    Not_member;
   ]
 
 type t = {
@@ -51,6 +54,7 @@ type t = {
   mutable vm_accepted_amount : int;
   mutable vm_retrans : int;
   mutable vm_dups : int;
+  mutable vm_stale : int;
   mutable req_honored : int;
   mutable req_ignored : int;
   mutable recoveries : int;
@@ -83,6 +87,7 @@ let create () =
     vm_accepted_amount = 0;
     vm_retrans = 0;
     vm_dups = 0;
+    vm_stale = 0;
     req_honored = 0;
     req_ignored = 0;
     recoveries = 0;
@@ -128,6 +133,8 @@ let vm_accepted t ~amount =
 let vm_retransmitted t = t.vm_retrans <- t.vm_retrans + 1
 
 let vm_duplicate_discarded t = t.vm_dups <- t.vm_dups + 1
+
+let vm_stale_epoch t = t.vm_stale <- t.vm_stale + 1
 
 let request_honored t = t.req_honored <- t.req_honored + 1
 
@@ -201,6 +208,8 @@ let vm_retransmissions t = t.vm_retrans
 
 let vm_duplicates t = t.vm_dups
 
+let vm_stale_epochs t = t.vm_stale
+
 let requests_honored t = t.req_honored
 
 let requests_ignored t = t.req_ignored
@@ -245,6 +254,7 @@ let merge a b =
   t.vm_accepted_amount <- a.vm_accepted_amount + b.vm_accepted_amount;
   t.vm_retrans <- a.vm_retrans + b.vm_retrans;
   t.vm_dups <- a.vm_dups + b.vm_dups;
+  t.vm_stale <- a.vm_stale + b.vm_stale;
   t.req_honored <- a.req_honored + b.req_honored;
   t.req_ignored <- a.req_ignored + b.req_ignored;
   t.recoveries <- a.recoveries + b.recoveries;
@@ -299,6 +309,7 @@ let to_json t =
       ("vm_accepted_amount", Json.Int t.vm_accepted_amount);
       ("vm_retransmissions", Json.Int t.vm_retrans);
       ("vm_duplicates", Json.Int t.vm_dups);
+      ("vm_stale_epoch", Json.Int t.vm_stale);
       ("requests_honored", Json.Int t.req_honored);
       ("requests_ignored", Json.Int t.req_ignored);
       ("recoveries", Json.Int t.recoveries);

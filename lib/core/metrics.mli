@@ -21,6 +21,9 @@ type abort_reason =
   | Blocked_failure
       (** baseline: coordinator/participant unreachable → aborted after its
           blocking episode (2PC/3PC accounting) *)
+  | Not_member
+      (** the submitting site is not currently a full member (joining,
+          leaving, or detached) — elastic membership refuses new work *)
 
 val abort_reason_label : abort_reason -> string
 
@@ -51,6 +54,11 @@ val vm_accepted : t -> amount:int -> unit
 val vm_retransmitted : t -> unit
 
 val vm_duplicate_discarded : t -> unit
+
+val vm_stale_epoch : t -> unit
+(** A Vm-protocol message stamped with an outdated membership epoch was
+    fenced off at the receiver (it will be retransmitted with a fresh
+    stamp). *)
 
 val request_honored : t -> unit
 
@@ -113,6 +121,8 @@ val vm_accepted_count : t -> int
 val vm_retransmissions : t -> int
 
 val vm_duplicates : t -> int
+
+val vm_stale_epochs : t -> int
 
 val requests_honored : t -> int
 

@@ -11,9 +11,10 @@ type t =
       ts_counter : int;
       reply_to : Ids.txn option;
       ack_upto : int;
+      epoch : int;
     }
-  | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int }
-  | Vm_ack of { upto : int }
+  | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int; epoch : int }
+  | Vm_ack of { upto : int; epoch : int }
   | Probe
   | Probe_reply
 
@@ -21,12 +22,13 @@ let pp ppf = function
   | Request { txn; item; kind } ->
     let k = match kind with Need n -> Printf.sprintf "need %d" n | Drain -> "drain" in
     Format.fprintf ppf "Request(txn=%a item=%d %s)" Ids.pp_txn txn item k
-  | Vm_data { seq; item; amount; _ } ->
-    Format.fprintf ppf "Vm_data(seq=%d item=%d amount=%d)" seq item amount
-  | Vm_batch { frags; ack_upto; _ } ->
+  | Vm_data { seq; item; amount; epoch; _ } ->
+    Format.fprintf ppf "Vm_data(seq=%d item=%d amount=%d epoch=%d)" seq item amount epoch
+  | Vm_batch { frags; ack_upto; epoch; _ } ->
     let seqs = List.map (fun f -> string_of_int f.seq) frags in
-    Format.fprintf ppf "Vm_batch(seqs=[%s] ack_upto=%d)" (String.concat ";" seqs) ack_upto
-  | Vm_ack { upto } -> Format.fprintf ppf "Vm_ack(upto=%d)" upto
+    Format.fprintf ppf "Vm_batch(seqs=[%s] ack_upto=%d epoch=%d)" (String.concat ";" seqs)
+      ack_upto epoch
+  | Vm_ack { upto; epoch } -> Format.fprintf ppf "Vm_ack(upto=%d epoch=%d)" upto epoch
   | Probe -> Format.pp_print_string ppf "Probe"
   | Probe_reply -> Format.pp_print_string ppf "Probe_reply"
 

@@ -51,15 +51,23 @@ type t =
           (** piggybacked cumulative acknowledgement (Section 4.2: "Every
               message ... should carry a piggybacked acknowledgement"): all
               Vm from the recipient with seq ≤ [ack_upto] are accepted *)
+      epoch : int;
+          (** membership epoch at *transmit* time.  Receivers reject any
+              Vm-protocol message whose epoch is older than their own view:
+              after a membership transition resets a channel's sequence
+              space, a stale in-flight duplicate (or a stale cumulative ack)
+              must not be matched against the fresh watermarks.  Rejection
+              never destroys value — the sender retransmits with a fresh
+              stamp. *)
     }
-  | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int }
+  | Vm_batch of { frags : vm_frag list; ts_counter : int; ack_upto : int; epoch : int }
       (** Several Vm coalesced into one real message (Section 4.2: "a single
           real message may carry several virtual messages").  Fragments are
           in ascending [seq] order; the receiver applies the in-order /
           duplicate rules to each fragment independently, so a batch is
           semantically the fragments delivered back to back — it only costs
           one real message. *)
-  | Vm_ack of { upto : int }
+  | Vm_ack of { upto : int; epoch : int }
       (** All Vm from the receiver of this ack's peer with seq ≤ [upto] are
           accepted. *)
   | Probe

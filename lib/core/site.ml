@@ -51,6 +51,12 @@ type t = {
   (* The failure detector's verdict on each peer, wired by the system layer;
      [None] = no detector, everyone presumed Up (the paper's fault model). *)
   mutable health : (Ids.site -> Dvp_health.Health.state) option;
+  (* The membership view, wired by the system layer; [None] = the paper's
+     fixed site set, everyone a Member forever. *)
+  mutable membership : (Ids.site -> Membership.state) option;
+  (* The current membership epoch, wired by the system layer; [None] = no
+     elastic membership, epoch constantly 0. *)
+  mutable epoch_view : (unit -> int) option;
 }
 
 let vm_exn t = match t.vm with Some v -> v | None -> assert false
@@ -95,26 +101,42 @@ let set_broadcast t b = t.broadcast <- Some b
 
 let set_health_view t f = t.health <- Some f
 
+let set_membership_view t f = t.membership <- Some f
+
+let set_epoch_view t f = t.epoch_view <- Some f
+
 let peer_state t peer =
   match t.health with None -> Dvp_health.Health.Up | Some f -> f peer
 
-(* Whom to ask for value: only peers the detector calls Up.  Suspected peers
-   are skipped too — that is the point of suspicion: stop waiting out the
-   transaction timeout on a silent site and spread the shortfall across the
-   peers that answer. *)
+let member_state t peer =
+  match t.membership with None -> Membership.Member | Some f -> f peer
+
+let current_epoch t = match t.epoch_view with None -> 0 | Some f -> f ()
+
+(* Whom to ask for value: only peers the detector calls Up, and only full
+   Members — a Joining site has not been seeded yet (asking it yields
+   nothing) and a Leaving site is shedding what it has. *)
 let ask_candidates t =
   List.filter
-    (fun p -> p <> t.self && peer_state t p = Dvp_health.Health.Up)
+    (fun p ->
+      p <> t.self
+      && peer_state t p = Dvp_health.Health.Up
+      && member_state t p = Membership.Member)
     (List.init t.n (fun i -> i))
 
 (* Whom a drain must hear from: everyone not Condemned.  A Suspected peer may
    well be alive and holding value — excluding it would silently misread the
    total — so the drain still waits on it (and times out if it really is
    gone).  A Condemned peer's fragments are evacuation property; its stable
-   value is (or will be) zero, so reads complete without it. *)
+   value is (or will be) zero, so reads complete without it.  Likewise a
+   Joining or Leaving site may hold value mid-transfer and must answer, but
+   a Detached slot holds nothing by construction. *)
 let drain_peers t =
   List.filter
-    (fun p -> p <> t.self && peer_state t p <> Dvp_health.Health.Condemned)
+    (fun p ->
+      p <> t.self
+      && peer_state t p <> Dvp_health.Health.Condemned
+      && member_state t p <> Membership.Detached)
     (List.init t.n (fun i -> i))
 
 (* ------------------------------------------------------- Vm integration *)
@@ -415,6 +437,10 @@ let begin_txn t ~kind ~ops ~on_done =
 
 let submit t ~ops ~on_done =
   if not t.up then on_done (Aborted Metrics.Crashed)
+  else if member_state t t.self <> Membership.Member then
+    (* A Leaving site refuses new work (it is shedding its fragments); a
+       Joining one has no seeded value to serve yet. *)
+    on_done (Aborted Metrics.Not_member)
   else begin
     let item_list = List.map fst ops in
     let txn = begin_txn t ~kind:General ~ops ~on_done in
@@ -425,6 +451,8 @@ let submit t ~ops ~on_done =
 
 let submit_read_many t ~items ~on_done =
   if not t.up then on_done (Error Metrics.Crashed)
+  else if member_state t t.self <> Membership.Member then
+    on_done (Error Metrics.Not_member)
   else begin
     let ops = List.map (fun item -> (item, Op.Incr 0)) items in
     let wrapped = function
@@ -518,21 +546,42 @@ let rec handle_request t ~src ~txn_id ~item ~kind =
 
 (* ------------------------------------------------------------ messaging *)
 
+(* Epoch fencing: a Vm-protocol message stamped with an older membership
+   epoch is rejected outright — no credit, no ack processing, no ack back.
+   After a membership transition resets a channel's watermarks, a stale
+   in-flight duplicate (or a stale cumulative ack that would pop fresh
+   outbox entries) could otherwise double-count or destroy value.  Nothing
+   is lost: the sender retransmits with a fresh stamp. *)
+let stale_epoch t ~src ~epoch ~what =
+  epoch < current_epoch t
+  && begin
+       Metrics.vm_stale_epoch t.metrics;
+       tracef t "epoch" "rejected stale %s from site %d (epoch %d < %d)" what src epoch
+         (current_epoch t);
+       true
+     end
+
 let handle_message t ~src msg =
   if t.up then begin
     match msg with
     | Proto.Request { txn; item; kind } ->
       Ids.Clock.witness t.clock txn;
       handle_request t ~src ~txn_id:txn ~item ~kind
-    | Proto.Vm_data { seq; item; amount; ts_counter; reply_to; ack_upto } ->
-      Ids.Clock.witness_counter t.clock ts_counter;
-      Vm.handle_data (vm_exn t) ~src ~seq ~item ~amount ~reply_to ~ack_upto;
-      run_pending_progress t
-    | Proto.Vm_batch { frags; ts_counter; ack_upto } ->
-      Ids.Clock.witness_counter t.clock ts_counter;
-      Vm.handle_batch (vm_exn t) ~src ~frags ~ack_upto;
-      run_pending_progress t
-    | Proto.Vm_ack { upto } -> Vm.handle_ack (vm_exn t) ~src ~upto
+    | Proto.Vm_data { seq; item; amount; ts_counter; reply_to; ack_upto; epoch } ->
+      if not (stale_epoch t ~src ~epoch ~what:"vm_data") then begin
+        Ids.Clock.witness_counter t.clock ts_counter;
+        Vm.handle_data (vm_exn t) ~src ~seq ~item ~amount ~reply_to ~ack_upto;
+        run_pending_progress t
+      end
+    | Proto.Vm_batch { frags; ts_counter; ack_upto; epoch } ->
+      if not (stale_epoch t ~src ~epoch ~what:"vm_batch") then begin
+        Ids.Clock.witness_counter t.clock ts_counter;
+        Vm.handle_batch (vm_exn t) ~src ~frags ~ack_upto;
+        run_pending_progress t
+      end
+    | Proto.Vm_ack { upto; epoch } ->
+      if not (stale_epoch t ~src ~epoch ~what:"vm_ack") then
+        Vm.handle_ack (vm_exn t) ~src ~upto
     | Proto.Probe ->
       (* The reply's delivery is the liveness evidence; nothing to log. *)
       t.send ~dst:src Proto.Probe_reply
@@ -584,7 +633,11 @@ let proactive_scan t (p : Config.proactive) =
           let recent =
             Hashtbl.fold
               (fun site time acc ->
-                if now -. time <= p.Config.asker_window && site <> t.self then site :: acc
+                if
+                  now -. time <= p.Config.asker_window
+                  && site <> t.self
+                  && member_state t site = Membership.Member
+                then site :: acc
                 else acc)
               m []
             |> List.sort compare
@@ -734,12 +787,15 @@ let create sub ~self ~n ~send ~config ~rng ?trace () =
       askers = Hashtbl.create 8;
       up = true;
       health = None;
+      membership = None;
+      epoch_view = None;
     }
   in
   let vm =
     Vm.create sub ~n ~self ~wal:t.wal ~send
       ~try_credit:(fun ~peer ~item ~amount ~reply_to -> try_credit t ~peer ~item ~amount ~reply_to)
       ~ts_counter:(fun () -> Ids.Clock.current_counter t.clock)
+      ~epoch:(fun () -> current_epoch t)
       ~metrics:t.metrics ?trace
       ~retransmit_every:config.Config.transport.Config.Transport.vm_retransmit
       ~ack_delay:config.Config.transport.Config.Transport.ack_delay

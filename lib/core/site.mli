@@ -53,6 +53,26 @@ val set_health_view : t -> (Ids.site -> Dvp_health.Health.state) -> unit
     property).  Without this, every peer is presumed [Up] — the paper's
     original fault model. *)
 
+val set_membership_view : t -> (Ids.site -> Membership.state) -> unit
+(** Wire the system's membership view into routing and admission (elastic
+    membership): [Ask] strategies only target full [Member] peers (a
+    [Joining] site is unseeded, a [Leaving] one is shedding), drains wait on
+    everyone except [Detached] slots, the proactive daemon only pushes to
+    members, and a site that is not itself a [Member] refuses new
+    transactions with [Not_member].  Without this, every slot is presumed a
+    permanent [Member] — the paper's fixed site set. *)
+
+val set_epoch_view : t -> (unit -> int) -> unit
+(** Wire the system-wide membership epoch in.  It is stamped into every
+    outgoing Vm wire message at transmit time, and incoming Vm messages
+    carrying an older stamp are rejected (no credit, no ack) — see
+    {!Vm.reset_channel}.  Without this the epoch is constantly 0. *)
+
+val member_state : t -> Ids.site -> Membership.state
+(** This site's view of a peer's membership ([Member] when no view wired). *)
+
+val current_epoch : t -> int
+
 val self : t -> Ids.site
 
 val config : t -> Config.t

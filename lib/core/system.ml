@@ -24,6 +24,10 @@ type t = {
   mutable detectors : Health.t array; (* empty = no failure detector *)
   dead_forever : bool array; (* [kill_forever] victims: recovery refused *)
   evacuated : bool array;
+  membership : Membership.state array;
+  mutable epoch : int;
+      (* global membership epoch, bumped when a join or leave completes;
+         stamped into every Vm at transmit time and fenced at receive time *)
 }
 
 let emit t ev =
@@ -54,7 +58,11 @@ let condemned_by t d =
 let rec evacuate ?(force = false) t ~site:d () =
   let n = Array.length t.sites in
   let dead = t.sites.(d) in
-  if Site.is_up dead then Error "site is up; evacuation is for long-dead sites"
+  if t.evacuated.(d) then
+    (* Idempotent: the fragments are already re-homed and the stable log
+       already swept; a second invocation has nothing left to move. *)
+    Ok { evac_site = d; value_moved = 0; vms_delivered = 0; stranded = 0 }
+  else if Site.is_up dead then Error "site is up; evacuation is for long-dead sites"
   else if (not force) && not (condemned_by t d) then
     Error "site is not condemned by any live peer (pass ~force:true to override)"
   else begin
@@ -84,10 +92,12 @@ let rec evacuate ?(force = false) t ~site:d () =
                    ts_counter = Ids.Clock.current_counter (Site.clock sp);
                    reply_to = None;
                    ack_upto = Vm.accepted_upto pvm ~peer:d;
+                   epoch = t.epoch;
                  });
             if Vm.accepted_upto dvm ~peer:p > before then incr vms_delivered)
           (Vm.outstanding_to pvm d);
-        Site.handle_message sp ~src:d (Proto.Vm_ack { upto = Vm.accepted_upto dvm ~peer:p }))
+        Site.handle_message sp ~src:d
+          (Proto.Vm_ack { upto = Vm.accepted_upto dvm ~peer:p; epoch = t.epoch }))
       survivors;
     (* Phase 3: re-home the fragments — plain Rds redistribution, split
        evenly across the survivors, logged as ordinary Vm creations at [d]. *)
@@ -128,10 +138,12 @@ let rec evacuate ?(force = false) t ~site:d () =
                    ts_counter = Ids.Clock.current_counter (Site.clock dead);
                    reply_to = None;
                    ack_upto = Vm.accepted_upto dvm ~peer:p;
+                   epoch = t.epoch;
                  });
             if Vm.accepted_upto pvm ~peer:d > before then incr vms_delivered)
           (Vm.outstanding_to dvm p);
-        Site.handle_message dead ~src:p (Proto.Vm_ack { upto = Vm.accepted_upto pvm ~peer:d }))
+        Site.handle_message dead ~src:p
+          (Proto.Vm_ack { upto = Vm.accepted_upto pvm ~peer:d; epoch = t.epoch }))
       survivors;
     (* Vm towards peers that are themselves down right now stay stranded in
        the stable log; the sweep below re-delivers them if those peers come
@@ -191,6 +203,7 @@ and start_sweep t d =
                        ts_counter = Ids.Clock.current_counter (Site.clock dead);
                        reply_to = None;
                        ack_upto = Site.stable_accepted_upto dead ~peer:p;
+                       epoch = t.epoch;
                      }))
               pending;
             let acked' = Vm.accepted_upto (Site.vm sp) ~peer:d in
@@ -246,17 +259,99 @@ and arm_detectors t hcfg =
     t.sites;
   Array.iter Health.start dets
 
-let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
+(* ------------------------------------------------- elastic membership *)
+
+let member_state t i = t.membership.(i)
+
+let epoch t = t.epoch
+
+let members t =
+  let acc = ref [] in
+  for i = Array.length t.sites - 1 downto 0 do
+    if t.membership.(i) = Membership.Member then acc := i :: !acc
+  done;
+  !acc
+
+let up_members t = List.filter (fun i -> Site.is_up t.sites.(i)) (members t)
+
+(* One auto-rebalance pass: for every item, members holding more than the
+   even-split target plus [slack] pour their excess into members below the
+   target, through ordinary Rds/[push_value] Vm — so conservation holds at
+   every intermediate step, exactly as for evacuation.  An item locked at a
+   hot site is simply skipped this pass; the next pass retries. *)
+let rebalance ?(slack = Config.default_rebalance.Config.slack) t =
+  let moved = ref 0 in
+  let ms = up_members t in
+  let m = List.length ms in
+  if m >= 2 then
+    List.iter
+      (fun item ->
+        let frags = List.map (fun s -> (s, Site.fragment t.sites.(s) ~item)) ms in
+        let total = List.fold_left (fun acc (_, f) -> acc + f) 0 frags in
+        let target = total / m in
+        let cold =
+          ref
+            (List.filter_map
+               (fun (s, f) -> if f < target then Some (s, target - f) else None)
+               frags)
+        in
+        List.iter
+          (fun (s, f) ->
+            if f > target + slack then begin
+              let surplus = ref (f - target) in
+              let continue = ref true in
+              while !continue && !surplus > 0 do
+                match !cold with
+                | [] -> continue := false
+                | (c, deficit) :: rest ->
+                  let amount = min !surplus deficit in
+                  if amount > 0 && Site.push_value t.sites.(s) ~dst:c ~item ~amount
+                  then begin
+                    moved := !moved + amount;
+                    surplus := !surplus - amount;
+                    cold := if deficit > amount then (c, deficit - amount) :: rest else rest
+                  end
+                  else continue := false (* locked at the source: next pass *)
+              done
+            end)
+          frags)
+      (List.rev !(t.item_list));
+  if !moved > 0 then emit t (Dvp_sim.Trace.Rebalance { moved = !moved });
+  !moved
+
+let start_auto_rebalance t ~every ~slack =
+  let rec tick () =
+    ignore (rebalance ~slack t);
+    ignore (Substrate.schedule t.sub ~delay:every tick)
+  in
+  ignore (Substrate.schedule t.sub ~delay:every tick)
+
+(* Keep every detector's world consistent with the membership array: a slot
+   is monitored iff it is not Detached.  [Health.set_monitored] is a no-op
+   when the flag is unchanged, so this is cheap to call after any
+   transition. *)
+let sync_health t =
+  let n = Array.length t.sites in
+  Array.iter
+    (fun det ->
+      for p = 0 to n - 1 do
+        Health.set_monitored det ~peer:p (t.membership.(p) <> Membership.Detached)
+      done)
+    t.detectors
+
+let create ?(seed = 42) ?(config = Config.default) ?link ?trace ?capacity ~n () =
   if n <= 0 then invalid_arg "System.create: need at least one site";
+  let capacity = match capacity with None -> n | Some c -> c in
+  if capacity < n then invalid_arg "System.create: capacity < n";
   let engine = Engine.create () in
   let sub = Dvp_sim.Substrate_des.of_engine engine in
   let rng = Dvp_util.Rng.create seed in
   let net_rng = Dvp_util.Rng.split rng in
-  let net = Network.create sub ~rng:net_rng ~n ?default:link ?trace () in
+  let net = Network.create sub ~rng:net_rng ~n:capacity ?default:link ?trace () in
   let sites =
-    Array.init n (fun i ->
+    Array.init capacity (fun i ->
         let site_rng = Dvp_util.Rng.split rng in
-        Site.create sub ~self:i ~n
+        Site.create sub ~self:i ~n:capacity
           ~send:(fun ~dst msg -> Network.send net ~src:i ~dst msg)
           ~config ~rng:site_rng ?trace ())
   in
@@ -266,7 +361,7 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
   let bcast =
     match config.Config.cc with
     | Config.Conc2 ->
-      let b = Broadcast.create sub ~n () in
+      let b = Broadcast.create sub ~n:capacity () in
       Array.iteri
         (fun i site ->
           Broadcast.set_handler b i (fun ~src ~seq:_ msgs ->
@@ -288,13 +383,40 @@ let create ?(seed = 42) ?(config = Config.default) ?link ?trace ~n () =
       item_list = ref [];
       trace;
       detectors = [||];
-      dead_forever = Array.make n false;
-      evacuated = Array.make n false;
+      dead_forever = Array.make capacity false;
+      evacuated = Array.make capacity false;
+      membership =
+        Array.init capacity (fun i ->
+            if i < n then Membership.Member else Membership.Detached);
+      epoch = 0;
     }
   in
+  (* Every site reads the shared membership array and epoch through these
+     views: Ask/drain candidate filtering, submission gating, and the
+     transmit-time epoch stamp all flow from here. *)
+  Array.iter
+    (fun site ->
+      Site.set_membership_view site (fun peer -> t.membership.(peer));
+      Site.set_epoch_view site (fun () -> t.epoch))
+    sites;
+  (* Spare slots [n, capacity) start detached: crashed, off the network, and
+     (below) outside every detector's world. *)
+  for i = n to capacity - 1 do
+    Network.set_site_up net i false;
+    Network.set_member net i false;
+    Site.crash sites.(i)
+  done;
   (match config.Config.health with
   | None -> ()
-  | Some hcfg -> arm_detectors t hcfg);
+  | Some hcfg ->
+    arm_detectors t hcfg;
+    for i = n to capacity - 1 do
+      Health.pause t.detectors.(i)
+    done;
+    sync_health t);
+  (match config.Config.rebalance with
+  | None -> ()
+  | Some policy -> start_auto_rebalance t ~every:policy.Config.every ~slack:policy.Config.slack);
   t
 
 let engine t = t.engine
@@ -322,22 +444,25 @@ let items t = List.rev !(t.item_list)
 let add_item t ~item ~total ?(split = `Even) () =
   if Hashtbl.mem t.expected item then invalid_arg "System.add_item: item already exists";
   if total < 0 then invalid_arg "System.add_item: negative total";
-  let n = Array.length t.sites in
+  (* Initial placement goes to the current members only; detached spare
+     slots receive value later, through the join seeding handshake. *)
+  let ms = members t in
+  let m = List.length ms in
   let fragments =
     match split with
-    | `Even -> Value.split_even total ~parts:n
+    | `Even -> Value.split_even total ~parts:m
     | `Weights w ->
-      if List.length w <> n then invalid_arg "System.add_item: need one weight per site";
+      if List.length w <> m then invalid_arg "System.add_item: need one weight per member";
       Value.split_weighted total ~weights:w
     | `Explicit parts ->
-      if List.length parts <> n then
-        invalid_arg "System.add_item: need one fragment per site";
+      if List.length parts <> m then
+        invalid_arg "System.add_item: need one fragment per member";
       if Value.pi parts <> total then invalid_arg "System.add_item: fragments must sum to total";
       if not (Value.valid_multiset parts) then
         invalid_arg "System.add_item: negative fragment";
       parts
   in
-  List.iteri (fun i v -> Site.install_fragment t.sites.(i) ~item v) fragments;
+  List.iter2 (fun i v -> Site.install_fragment t.sites.(i) ~item v) ms fragments;
   Hashtbl.replace t.expected item total;
   t.item_list := item :: !(t.item_list)
 
@@ -405,6 +530,10 @@ let partition t groups = Network.set_partition t.net groups
 let heal t = Network.heal_partition t.net
 
 let crash_site t i =
+  (* A crash aborts an in-flight graceful leave: the site reverts to plain
+     membership and, on recovery, rejoins the ordinary traffic flow with its
+     remaining fragments (the shed value already pushed stays shed). *)
+  if t.membership.(i) = Membership.Leaving then t.membership.(i) <- Membership.Member;
   Network.set_site_up t.net i false;
   Site.crash t.sites.(i);
   (* The crashed site's own detector must not condemn the whole world while
@@ -412,7 +541,10 @@ let crash_site t i =
   if t.detectors <> [||] then Health.pause t.detectors.(i)
 
 let recover_site t i =
-  if not t.dead_forever.(i) then begin
+  (* A detached slot has no membership: it comes back only through [join].
+     A crash mid-join leaves the slot [Joining]; recovery is allowed and the
+     pending join completes once the seed value lands. *)
+  if (not t.dead_forever.(i)) && t.membership.(i) <> Membership.Detached then begin
     Network.set_site_up t.net i true;
     Site.recover t.sites.(i);
     t.evacuated.(i) <- false;
@@ -460,6 +592,182 @@ let health_state t ~observer ~peer =
 let evacuated t i = t.evacuated.(i)
 
 let dead_forever t i = t.dead_forever.(i)
+
+(* Online join: bring a detached slot up, seed it with value from the
+   members through ordinary [push_value] Vm, and promote it to [Member]
+   (bumping the epoch) once the seed value has landed.  Until the promotion
+   the joiner is not Ask-eligible and refuses submissions, but it accepts
+   and acknowledges Vm like any site — so conservation holds throughout. *)
+let join t i =
+  let n = Array.length t.sites in
+  if i < 0 || i >= n then Error "site index out of range"
+  else if t.dead_forever.(i) then Error "slot was killed forever"
+  else if t.membership.(i) <> Membership.Detached then
+    Error
+      (Printf.sprintf "site is %s; join needs a detached slot"
+         (Membership.to_string t.membership.(i)))
+  else begin
+    let ms = members t in
+    let m = List.length ms in
+    t.membership.(i) <- Membership.Joining;
+    Network.set_member t.net i true;
+    Network.set_site_up t.net i true;
+    Site.recover t.sites.(i);
+    t.evacuated.(i) <- false;
+    if t.detectors <> [||] then begin
+      Health.resume t.detectors.(i);
+      sync_health t
+    end;
+    emit t (Dvp_sim.Trace.Note { category = "member"; message = Printf.sprintf "site %d joining" i });
+    (* Seed: every up member ships the joiner a 1/(m+1) share of each of its
+       fragments, so the joiner arrives holding roughly an even slice.
+       Locked items and down members are skipped — the auto-rebalancer
+       evens those out later. *)
+    let seeded = ref 0 in
+    List.iter
+      (fun p ->
+        let sp = t.sites.(p) in
+        if Site.is_up sp then
+          List.iter
+            (fun item ->
+              let amount = Site.fragment sp ~item / (m + 1) in
+              if amount > 0 && Site.push_value sp ~dst:i ~item ~amount then
+                seeded := !seeded + amount)
+            (Site.items sp))
+      ms;
+    (* Promote once the handshake has settled: the joiner is up and no up
+       member still has unacknowledged Vm toward it.  A member that crashed
+       mid-seed is excused — its stranded Vm retransmit after it recovers,
+       stamped with whatever epoch is then current, and land normally. *)
+    let rec poll () =
+      if t.membership.(i) = Membership.Joining then begin
+        let settled =
+          Site.is_up t.sites.(i)
+          && List.for_all
+               (fun p ->
+                 (not (Site.is_up t.sites.(p)))
+                 || Vm.outstanding_to (Site.vm t.sites.(p)) i = [])
+               ms
+        in
+        if settled then begin
+          t.membership.(i) <- Membership.Member;
+          t.epoch <- t.epoch + 1;
+          emit t (Dvp_sim.Trace.Join { site = i; epoch = t.epoch; seeded = !seeded })
+        end
+        else ignore (Substrate.schedule t.sub ~delay:0.05 poll)
+      end
+    in
+    ignore (Substrate.schedule t.sub ~delay:0.05 poll);
+    Ok ()
+  end
+
+(* Graceful voluntary leave, the counterpart of [evacuate] for a site that
+   is still alive: stop taking new work, drain obligations, shed every
+   fragment onto the surviving members through ordinary [push_value] Vm,
+   and only then detach — bumping the epoch and restarting the Vm channels
+   between the leaver and every up peer at sequence zero.  Channels to down
+   peers keep their watermarks on both sides, so they re-converge normally
+   if those peers return.  A crash during the drain aborts the leave (the
+   slot reverts to [Member], see [crash_site]). *)
+let leave t i =
+  let n = Array.length t.sites in
+  if i < 0 || i >= n then Error "site index out of range"
+  else if t.membership.(i) <> Membership.Member then Error "site is not a member"
+  else if not (Site.is_up t.sites.(i)) then
+    Error "site is down; evacuation, not leave, re-homes a dead site's value"
+  else if List.length (members t) <= 2 then
+    Error "refusing: fewer than two members would remain"
+  else begin
+    t.membership.(i) <- Membership.Leaving;
+    emit t (Dvp_sim.Trace.Note { category = "member"; message = Printf.sprintf "site %d leaving" i });
+    let leaver = t.sites.(i) in
+    let lvm = Site.vm leaver in
+    let shed_total = ref 0 in
+    let rec tick () =
+      (* [crash_site] reverts Leaving to Member; a stale tick then just
+         stops.  (The site cannot be down while still Leaving.) *)
+      if t.membership.(i) = Membership.Leaving && not (Site.is_up leaver) then
+        (* Crashed outside [crash_site] while draining: abort the leave. *)
+        t.membership.(i) <- Membership.Member
+      else if t.membership.(i) = Membership.Leaving then begin
+        (* Shed whatever is currently unlocked, split evenly over the up
+           members; locked fragments wait for the next tick. *)
+        let ms =
+          List.filter
+            (fun p ->
+              p <> i && t.membership.(p) = Membership.Member && Site.is_up t.sites.(p))
+            (List.init n (fun p -> p))
+        in
+        (match ms with
+        | [] -> ()
+        | _ ->
+          List.iter
+            (fun item ->
+              let frag = Site.fragment leaver ~item in
+              if frag > 0 then
+                List.iter2
+                  (fun p amount ->
+                    if amount > 0 && Site.push_value leaver ~dst:p ~item ~amount then
+                      shed_total := !shed_total + amount)
+                  ms
+                  (Value.split_even frag ~parts:(List.length ms)))
+            (Site.items leaver));
+        (* Drained when nothing is held here and nothing is owed in either
+           direction: fragments zero, outbox empty, no live transactions,
+           and no peer — live (checked directly) or down (checked against
+           its stable outbox minus our acceptance watermark) — still has
+           unaccepted Vm toward us. *)
+        let drained =
+          List.for_all (fun item -> Site.fragment leaver ~item = 0) (Site.items leaver)
+          && Vm.outbox_depth lvm = 0
+          && Site.active_txns leaver = 0
+          && List.for_all
+               (fun p ->
+                 p = i
+                 || t.membership.(p) = Membership.Detached
+                 ||
+                 if Site.is_up t.sites.(p) then
+                   Vm.outstanding_to (Site.vm t.sites.(p)) i = []
+                 else
+                   List.for_all
+                     (fun (seq, _, _) -> seq <= Vm.accepted_upto lvm ~peer:p)
+                     (Site.stable_outstanding_to t.sites.(p) ~dst:i))
+               (List.init n (fun p -> p))
+        in
+        if drained then begin
+          t.epoch <- t.epoch + 1;
+          (* Pairwise channel restart under the new epoch, both directions,
+             with every up attached peer.  Any Vm still in flight on the
+             wire carries the old epoch stamp and is fenced at the receiver
+             — but the drain above guarantees there is no such value, so
+             the fence only ever rejects duplicates and stale acks. *)
+          for p = 0 to n - 1 do
+            if
+              p <> i
+              && t.membership.(p) <> Membership.Detached
+              && Site.is_up t.sites.(p)
+            then begin
+              Vm.reset_channel (Site.vm t.sites.(p)) ~peer:i ~epoch:t.epoch;
+              Vm.reset_channel lvm ~peer:p ~epoch:t.epoch
+            end
+          done;
+          Dvp_storage.Wal.force (Site.wal leaver);
+          Site.crash leaver;
+          Network.set_site_up t.net i false;
+          Network.set_member t.net i false;
+          t.membership.(i) <- Membership.Detached;
+          if t.detectors <> [||] then begin
+            Health.pause t.detectors.(i);
+            sync_health t
+          end;
+          emit t (Dvp_sim.Trace.Leave { site = i; epoch = t.epoch; shed = !shed_total })
+        end
+        else ignore (Substrate.schedule t.sub ~delay:0.05 tick)
+      end
+    in
+    ignore (Substrate.schedule t.sub ~delay:0.05 tick);
+    Ok ()
+  end
 
 (* --------------------------------------------------------- observation *)
 
@@ -522,8 +830,11 @@ let metrics t =
   in
   let stats = Network.stats t.net in
   Metrics.add_messages m stats.Network.sent;
+  (* Membership drops are a site-unavailability flavour: fold them into the
+     down bucket rather than widening the metrics schema. *)
   Metrics.add_drops m ~loss:stats.Network.dropped_loss
-    ~partition:stats.Network.dropped_partition ~down:stats.Network.dropped_down
+    ~partition:stats.Network.dropped_partition
+    ~down:(stats.Network.dropped_down + stats.Network.dropped_membership)
     ~inflight:stats.Network.dropped_inflight;
   (match t.bcast with
   | Some b -> Metrics.add_messages m (Broadcast.messages_sent b)

@@ -21,9 +21,14 @@ val create :
   ?config:Config.t ->
   ?link:Dvp_net.Linkstate.params ->
   ?trace:Dvp_sim.Trace.t ->
+  ?capacity:int ->
   n:int ->
   unit ->
   t
+(** [capacity] (default [n], must be [>= n]) sizes the installation's slot
+    table: slots [0, n) start as members, slots [n, capacity) start
+    {e detached} — crashed, off the network, outside every failure
+    detector's world — and come alive only through {!join}. *)
 
 val engine : t -> Dvp_sim.Engine.t
 (** The DES driver underneath: time only advances through
@@ -40,6 +45,7 @@ val run_until : t -> float -> unit
 val run_for : t -> float -> unit
 
 val n_sites : t -> int
+(** Total slots ([capacity]), members and detached spares alike. *)
 
 val site : t -> Ids.site -> Site.t
 
@@ -62,7 +68,10 @@ val add_item :
   unit ->
   unit
 (** Install an item with aggregate value [total], partitioned across the
-    sites ([`Even] by default). *)
+    {e current members} ([`Even] by default; [`Weights] and [`Explicit]
+    take one entry per member, in member order).  Detached spare slots get
+    no initial fragment — they receive value through the {!join}
+    handshake. *)
 
 val items : t -> Ids.item list
 
@@ -141,6 +150,56 @@ val evacuated : t -> Ids.site -> bool
     recovers). *)
 
 val dead_forever : t -> Ids.site -> bool
+
+(** {2 Elastic membership}
+
+    Sites join and leave the installation while it runs.  Every transition
+    is fenced by a global {e membership epoch}: the epoch is stamped into
+    each Vm at transmit time, receivers reject Vm stamped with an older
+    epoch (never destroying value — the sender retransmits with a fresh
+    stamp), and the epoch bumps exactly when a join or leave completes.
+    The fence is what makes the Vm-channel sequence restart on a leave safe:
+    a stale ack or data message from before the restart cannot be confused
+    with the fresh numbering. *)
+
+val member_state : t -> Ids.site -> Membership.state
+
+val epoch : t -> int
+(** Current membership epoch (starts at 0). *)
+
+val members : t -> Ids.site list
+(** Slots currently in state [Member], ascending. *)
+
+val join : t -> Ids.site -> (unit, string) result
+(** Bring a detached slot online: recover it from its (possibly empty)
+    stable log, seed it with a [1/(m+1)] share of every item from each of
+    the [m] current members — all through ordinary [push_value] Vm — and,
+    asynchronously, promote it to [Member] (epoch bump, {!Dvp_sim.Trace.Join})
+    once the seed value has been accepted.  Run the engine to complete the
+    handshake; poll {!member_state} to observe it.  Refuses slots that are
+    not detached or were killed forever.  A crash mid-join leaves the slot
+    [Joining]; {!recover_site} it and the join completes. *)
+
+val leave : t -> Ids.site -> (unit, string) result
+(** Graceful voluntary leave of an up member (the counterpart of
+    {!evacuate} for a live site): the site immediately stops accepting new
+    transactions, drains its obligations, sheds every fragment onto the up
+    members through ordinary [push_value] Vm, and — once nothing is held or
+    owed in either direction — detaches: epoch bump, pairwise Vm-channel
+    restart with every up peer, {!Dvp_sim.Trace.Leave}.  Run the engine to
+    complete the drain.  Refuses non-members, down sites, and leaves that
+    would drop the installation below two members.  A crash during the
+    drain aborts the leave (the slot reverts to [Member]). *)
+
+val rebalance : ?slack:int -> t -> int
+(** One auto-rebalance pass: hot members (above the per-item even-split
+    target by more than [slack], default {!Config.default_rebalance}) pour
+    their excess into cold ones via ordinary [push_value] Vm.  Returns the
+    total value moved; emits {!Dvp_sim.Trace.Rebalance} when nonzero. *)
+
+val start_auto_rebalance : t -> every:float -> slack:int -> unit
+(** Run {!rebalance} on a fixed period until the simulation ends.  Armed
+    automatically by {!create} when [config.rebalance] is [Some _]. *)
 
 (** {2 Observation} *)
 

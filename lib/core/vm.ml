@@ -40,6 +40,10 @@ type t = {
   try_credit :
     peer:Ids.site -> item:Ids.item -> amount:int -> reply_to:Ids.txn option -> int option;
   ts_counter : unit -> int;
+  epoch : unit -> int;
+      (* current membership epoch, stamped into every wire message at
+         transmit time — so retransmissions of a Vm created under an older
+         membership view self-heal with a fresh stamp *)
   metrics : Metrics.t;
   trace : Trace.t option;
   retransmit_every : float;
@@ -65,9 +69,9 @@ type t = {
   mutable ack_timers : Substrate.timer option array;
 }
 
-let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
-    ?(retransmit_every = 0.15) ?(ack_delay = 0.0) ?(batch = true) ?(backoff_mult = 2.0)
-    ?backoff_max ?rng ?(outbox_warn = 0) () =
+let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ?(epoch = fun () -> 0) ~metrics
+    ?trace ?(retransmit_every = 0.15) ?(ack_delay = 0.0) ?(batch = true)
+    ?(backoff_mult = 2.0) ?backoff_max ?rng ?(outbox_warn = 0) () =
   let backoff_max =
     match backoff_max with Some m -> m | None -> 4.0 *. retransmit_every
   in
@@ -79,6 +83,7 @@ let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ~metrics ?trace
     send;
     try_credit;
     ts_counter;
+    epoch;
     metrics;
     trace;
     retransmit_every;
@@ -165,7 +170,15 @@ let transmit t ~dst ~seq ~item ~amount ~reply_to =
   cancel_ack_timer t dst;
   t.send ~dst
     (Proto.Vm_data
-       { seq; item; amount; ts_counter = t.ts_counter (); reply_to; ack_upto = t.accepted.(dst) })
+       {
+         seq;
+         item;
+         amount;
+         ts_counter = t.ts_counter ();
+         reply_to;
+         ack_upto = t.accepted.(dst);
+         epoch = t.epoch ();
+       })
 
 (* Ship the due fragments for one destination: one Vm_batch real message when
    batching is on and there are several, plain Vm_data otherwise.  Either way
@@ -186,7 +199,9 @@ let send_due t ~dst frags =
         frags
     in
     t.send ~dst
-      (Proto.Vm_batch { frags; ts_counter = t.ts_counter (); ack_upto = t.accepted.(dst) })
+      (Proto.Vm_batch
+         { frags; ts_counter = t.ts_counter (); ack_upto = t.accepted.(dst);
+           epoch = t.epoch () })
   | _ ->
     List.iter
       (fun (seq, (e : outbox_entry)) ->
@@ -330,13 +345,14 @@ let handle_ack t ~src ~upto =
 (* Acknowledge [src] — immediately, or after a grace period during which a
    reverse data message may carry the ack for free. *)
 let schedule_ack t src =
-  if t.ack_delay <= 0.0 then t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src) })
+  if t.ack_delay <= 0.0 then
+    t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src); epoch = t.epoch () })
   else if t.ack_timers.(src) = None then
     t.ack_timers.(src) <-
       Some
         (Substrate.schedule t.sub ~delay:t.ack_delay (fun () ->
              t.ack_timers.(src) <- None;
-             t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src) })))
+             t.send ~dst:src (Proto.Vm_ack { upto = t.accepted.(src); epoch = t.epoch () })))
 
 (* The in-order / duplicate / deferred-credit acceptance rules for one
    fragment.  Returns whether the fragment warrants (re-)acknowledging —
@@ -435,6 +451,27 @@ let recover t =
       tally_add t ~item:v.item ~amount:v.amount)
     entries;
   start t
+
+(* Membership transition: the channel with [peer] starts over at seq 0 under
+   the new epoch.  Callers guarantee the channel is quiescent (no outstanding
+   value either way) — anything still queued here would be destroyed, so it
+   is removed from the tallies and the reset is forced to the stable log
+   before any message of the new epoch can be created. *)
+let reset_channel t ~peer ~epoch =
+  let st = t.dsts.(peer) in
+  Queue.iter
+    (fun (_, (e : outbox_entry)) ->
+      tally_remove t ~item:e.payload.item ~amount:e.payload.amount)
+    st.q;
+  Queue.clear st.q;
+  st.rto <- t.retransmit_every;
+  st.next_retry <- 0.0;
+  st.parked <- false;
+  t.next_seq.(peer) <- 0;
+  t.acked_upto.(peer) <- -1;
+  t.accepted.(peer) <- -1;
+  cancel_ack_timer t peer;
+  Wal.append t.wal (Log_event.Vm_channel_reset { peer; epoch })
 
 (* A state snapshot for checkpointing (Section 7): everything [recover]
    would need, as one log record. *)

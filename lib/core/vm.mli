@@ -35,6 +35,7 @@ val create :
   try_credit:
     (peer:Ids.site -> item:Ids.item -> amount:int -> reply_to:Ids.txn option -> int option) ->
   ts_counter:(unit -> int) ->
+  ?epoch:(unit -> int) ->
   metrics:Metrics.t ->
   ?trace:Dvp_sim.Trace.t ->
   ?retransmit_every:float ->
@@ -49,6 +50,10 @@ val create :
 (** [try_credit] must either apply the credit to the local database and
     return [Some new_fragment_value], or return [None] to defer acceptance.
     [ts_counter] supplies the Lamport counter piggybacked on data messages.
+    [epoch] supplies the current membership epoch, stamped into every wire
+    message *at transmit time* (default: constantly 0) — a Vm created under
+    an old membership view is retransmitted with a fresh stamp, so epoch
+    fencing at the receiver never destroys value.
     [ack_delay] > 0 holds standalone acknowledgements for that long, hoping
     a reverse data message will piggyback them (Section 4.2); 0 (default)
     acknowledges immediately.
@@ -150,6 +155,13 @@ val crash : t -> unit
 val recover : t -> unit
 (** Rebuild sender outbox, sequence counters, and acceptance watermarks from
     the stable log, then restart retransmission. *)
+
+val reset_channel : t -> peer:Ids.site -> epoch:int -> unit
+(** Membership transition: restart the channel with [peer] at seq 0 under
+    [epoch], forcing a [Vm_channel_reset] record so recovery (and the
+    exactly-once oracle) see the watermark reset.  The caller must ensure
+    the channel is quiescent — no outstanding value in either direction —
+    or in-flight value would be destroyed. *)
 
 val snapshot :
   t -> fragments:(Ids.item * int) list -> max_counter:int -> Log_event.t

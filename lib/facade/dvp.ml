@@ -21,6 +21,7 @@ module Ids = Dvp_core.Ids
 module Value = Dvp_core.Value
 module Proto = Dvp_core.Proto
 module Metrics = Dvp_core.Metrics
+module Membership = Dvp_core.Membership
 module Log_event = Dvp_core.Log_event
 module Log_replay = Dvp_core.Log_replay
 module Lock_table = Dvp_core.Lock_table

@@ -42,6 +42,10 @@ type t = {
   last_probe : float array;
   scale : float array;  (* suspicion-timeout multiplier, flap hysteresis *)
   last_flap : float array;
+  monitored : bool array;
+      (* elastic membership: a detached slot is nobody's business — it is
+         never scanned, never probed, and liveness evidence about it is
+         ignored, so it can never be Suspected or Condemned *)
   mutable paused : bool;
   mutable started : bool;
   send_probe : int -> unit;
@@ -63,6 +67,7 @@ let create ?(send_probe = fun _ -> ()) ?(on_transition = fun ~peer:_ _ -> ())
     last_probe = Array.make n neg_infinity;
     scale = Array.make n 1.0;
     last_flap = Array.make n neg_infinity;
+    monitored = Array.make n true;
     paused = false;
     started = false;
     send_probe;
@@ -76,7 +81,7 @@ let set_state t peer st =
   end
 
 let note_alive t ~peer =
-  if peer <> t.self && peer >= 0 && peer < t.n then begin
+  if peer <> t.self && peer >= 0 && peer < t.n && t.monitored.(peer) then begin
     let now = Substrate.now t.sub in
     t.last_heard.(peer) <- now;
     match t.state.(peer) with
@@ -94,7 +99,7 @@ let scan t =
   if not t.paused then begin
     let now = Substrate.now t.sub in
     for peer = 0 to t.n - 1 do
-      if peer <> t.self then begin
+      if peer <> t.self && t.monitored.(peer) then begin
         (* Hysteresis decay: no flap for a while -> back to the base timeout. *)
         if
           t.scale.(peer) > 1.0
@@ -150,7 +155,7 @@ let condemned t =
   !acc
 
 let condemn t ~peer =
-  if peer <> t.self && t.state.(peer) <> Condemned then
+  if peer <> t.self && t.monitored.(peer) && t.state.(peer) <> Condemned then
     set_state t peer Condemned
 
 let reinstate t ~peer =
@@ -159,6 +164,21 @@ let reinstate t ~peer =
     t.scale.(peer) <- 1.0;
     set_state t peer Up
   end
+
+(* Elastic membership: start or stop monitoring one peer.  Re-monitoring a
+   peer (it just joined) wipes any stale verdict: fresh deadline, base
+   hysteresis, state Up.  Un-monitoring (it left cleanly) likewise clears
+   the verdict, so a later rejoin does not inherit a Condemned badge. *)
+let set_monitored t ~peer flag =
+  if peer <> t.self && peer >= 0 && peer < t.n && t.monitored.(peer) <> flag then begin
+    t.monitored.(peer) <- flag;
+    t.last_heard.(peer) <- Substrate.now t.sub;
+    t.last_probe.(peer) <- neg_infinity;
+    t.scale.(peer) <- 1.0;
+    set_state t peer Up
+  end
+
+let monitored t ~peer = peer = t.self || t.monitored.(peer)
 
 let pause t = t.paused <- true
 

@@ -96,6 +96,15 @@ val reinstate : t -> peer:int -> unit
 (** Operator override: forget a [Condemned] verdict, returning the peer to
     [Up] with a fresh deadline. *)
 
+val set_monitored : t -> peer:int -> bool -> unit
+(** Elastic membership: [false] removes [peer] from this detector's world —
+    no scans, no probes, no verdicts, liveness evidence ignored — and clears
+    any existing verdict (a clean leave must not strand a [Condemned] badge
+    for a later rejoin).  [true] re-admits the peer with a fresh deadline,
+    base hysteresis, and state [Up].  No-op when the flag is unchanged. *)
+
+val monitored : t -> peer:int -> bool
+
 val pause : t -> unit
 (** Owner site went down: stop judging peers. *)
 

@@ -4,11 +4,14 @@ type stats = {
   mutable dropped_loss : int;
   mutable dropped_partition : int;
   mutable dropped_down : int;
+  mutable dropped_membership : int;
   mutable dropped_inflight : int;
   mutable duplicated : int;
 }
 
-let dropped s = s.dropped_loss + s.dropped_partition + s.dropped_down + s.dropped_inflight
+let dropped s =
+  s.dropped_loss + s.dropped_partition + s.dropped_down + s.dropped_membership
+  + s.dropped_inflight
 
 module Substrate = Dvp_substrate.Substrate
 
@@ -19,6 +22,9 @@ type 'p t = {
   links : Linkstate.t array array; (* links.(src).(dst) *)
   handlers : (src:int -> 'p -> unit) option array;
   up : bool array;
+  member : bool array;
+      (* elastic membership: a detached slot neither sends nor receives;
+         flipped by the system layer on join/leave *)
   group_of : int array; (* partition group id per site *)
   stats : stats;
   trace : Dvp_sim.Trace.t option;
@@ -33,6 +39,7 @@ let create sub ~rng ~n ?(default = Linkstate.default) ?trace () =
     links = Array.init n (fun _ -> Array.init n (fun _ -> Linkstate.create default));
     handlers = Array.make n None;
     up = Array.make n true;
+    member = Array.make n true;
     group_of = Array.make n 0;
     stats =
       {
@@ -41,6 +48,7 @@ let create sub ~rng ~n ?(default = Linkstate.default) ?trace () =
         dropped_loss = 0;
         dropped_partition = 0;
         dropped_down = 0;
+        dropped_membership = 0;
         dropped_inflight = 0;
         duplicated = 0;
       };
@@ -82,6 +90,14 @@ let set_site_up t i v =
   check_site t i;
   t.up.(i) <- v
 
+let is_member t i =
+  check_site t i;
+  t.member.(i)
+
+let set_member t i v =
+  check_site t i;
+  t.member.(i) <- v
+
 let set_partition t groups =
   (* Unmentioned sites each get a singleton group. *)
   Array.iteri (fun i _ -> t.group_of.(i) <- -(i + 1)) t.group_of;
@@ -105,7 +121,8 @@ let deliver t ~src ~dst payload =
   (* Delivery-time checks: destination must be up and still reachable.  Every
      loss here is an in-flight discard — the message left the sender before
      the world changed underneath it. *)
-  if t.up.(dst) && not (partitioned t ~src ~dst) then begin
+  if t.up.(dst) && t.member.(src) && t.member.(dst) && not (partitioned t ~src ~dst)
+  then begin
     match t.handlers.(dst) with
     | Some h ->
       t.stats.delivered <- t.stats.delivered + 1;
@@ -135,6 +152,7 @@ let send t ~src ~dst payload =
        the same order as before so the RNG draw sequence is unchanged. *)
     let cause =
       if not t.up.(src) then Some `Down
+      else if (not t.member.(src)) || not t.member.(dst) then Some `Membership
       else if partitioned t ~src ~dst then Some `Partition
       else if Linkstate.drops l t.rng then Some `Loss
       else None
@@ -143,6 +161,7 @@ let send t ~src ~dst payload =
     | Some c ->
       (match c with
       | `Down -> t.stats.dropped_down <- t.stats.dropped_down + 1
+      | `Membership -> t.stats.dropped_membership <- t.stats.dropped_membership + 1
       | `Partition -> t.stats.dropped_partition <- t.stats.dropped_partition + 1
       | `Loss -> t.stats.dropped_loss <- t.stats.dropped_loss + 1);
       emit t (Dvp_sim.Trace.Net_drop { src; dst })
@@ -167,5 +186,6 @@ let reset_stats t =
   t.stats.dropped_loss <- 0;
   t.stats.dropped_partition <- 0;
   t.stats.dropped_down <- 0;
+  t.stats.dropped_membership <- 0;
   t.stats.dropped_inflight <- 0;
   t.stats.duplicated <- 0

@@ -18,6 +18,9 @@ type stats = {
   mutable dropped_loss : int;  (** lost to per-link loss probability *)
   mutable dropped_partition : int;  (** refused at send time by a partition *)
   mutable dropped_down : int;  (** sender was down at send time *)
+  mutable dropped_membership : int;
+      (** sender or destination was a non-member (detached slot) at send
+          time — elastic membership's fence at the fabric level *)
   mutable dropped_inflight : int;
       (** discarded at delivery time: destination down, partitioned away, or
           handler-less by the time the message arrived *)
@@ -25,7 +28,7 @@ type stats = {
 }
 
 val dropped : stats -> int
-(** Total losses across all four cause buckets. *)
+(** Total losses across all five cause buckets. *)
 
 val create :
   Dvp_substrate.Substrate.t ->
@@ -70,6 +73,14 @@ val site_up : 'p t -> int -> bool
 val set_site_up : 'p t -> int -> bool -> unit
 (** Downing a site makes it drop all traffic in both directions.  In-flight
     messages destined to it are discarded at delivery time. *)
+
+val is_member : 'p t -> int -> bool
+
+val set_member : 'p t -> int -> bool -> unit
+(** Elastic membership: a non-member (detached) slot neither sends nor
+    receives — traffic touching it is dropped at send time
+    ([dropped_membership]) or discarded in flight.  All slots start as
+    members; the system layer flips this on join/leave. *)
 
 val set_partition : 'p t -> int list list -> unit
 (** [set_partition t groups] installs a partition: messages flow only within

@@ -193,7 +193,8 @@ let of_events ?(dropped = 0) events =
         v.v_dups <- v.v_dups + 1
       | Trace.Crash _ | Trace.Recover _ | Trace.Checkpoint _ | Trace.Storage_fault _
       | Trace.Wal_repair _ | Trace.Net_send _ | Trace.Net_drop _ | Trace.Health _
-      | Trace.Evacuation _ | Trace.Outbox_high _ | Trace.Note _ -> ())
+      | Trace.Evacuation _ | Trace.Outbox_high _ | Trace.Join _ | Trace.Leave _
+      | Trace.Rebalance _ | Trace.Note _ -> ())
     events;
   let txn_list =
     Hashtbl.fold
@@ -321,9 +322,11 @@ let site_of_event = function
   | Trace.Wal_repair { site; _ }
   | Trace.Health { site; _ }
   | Trace.Evacuation { site; _ }
-  | Trace.Outbox_high { site; _ } -> Some site
+  | Trace.Outbox_high { site; _ }
+  | Trace.Join { site; _ }
+  | Trace.Leave { site; _ } -> Some site
   | Trace.Net_send { src; _ } | Trace.Net_drop { src; _ } -> Some src
-  | Trace.Note _ -> None
+  | Trace.Rebalance _ | Trace.Note _ -> None
 
 let timeline ?(buckets = 60) events =
   let t0 = ref infinity and t1 = ref neg_infinity in

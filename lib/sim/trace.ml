@@ -25,6 +25,9 @@ type event =
   | Health of { site : int; peer : int; state : string }
   | Evacuation of { site : int; value_moved : int; vms_delivered : int; stranded : int }
   | Outbox_high of { site : int; depth : int; limit : int }
+  | Join of { site : int; epoch : int; seeded : int }
+  | Leave of { site : int; epoch : int; shed : int }
+  | Rebalance of { moved : int }
   | Note of { category : string; message : string }
 
 type entry = { time : float; category : string; message : string }
@@ -111,6 +114,7 @@ let category_of_event = function
   | Health _ -> "health"
   | Evacuation _ -> "evac"
   | Outbox_high _ -> "outbox"
+  | Join _ | Leave _ | Rebalance _ -> "member"
   | Note { category; _ } -> category
 
 let pp_txn_id ppf (c, s) = Format.fprintf ppf "%d.%d" c s
@@ -154,6 +158,11 @@ let message_of_event = function
       site value_moved vms_delivered stranded
   | Outbox_high { site; depth; limit } ->
     Printf.sprintf "site %d outbox depth %d past high-water %d" site depth limit
+  | Join { site; epoch; seeded } ->
+    Printf.sprintf "site %d joined (epoch %d, seeded %d units)" site epoch seeded
+  | Leave { site; epoch; shed } ->
+    Printf.sprintf "site %d left (epoch %d, shed %d units)" site epoch shed
+  | Rebalance { moved } -> Printf.sprintf "rebalance moved %d units" moved
   | Note { message; _ } -> message
 
 let entry_of (time, ev) =
@@ -285,6 +294,11 @@ let event_to_json ~time ev =
   | Outbox_high { site; depth; limit } ->
     base "outbox_high"
       [ ("site", Json.Int site); ("depth", Json.Int depth); ("limit", Json.Int limit) ]
+  | Join { site; epoch; seeded } ->
+    base "join" [ ("site", Json.Int site); ("epoch", Json.Int epoch); ("seeded", Json.Int seeded) ]
+  | Leave { site; epoch; shed } ->
+    base "leave" [ ("site", Json.Int site); ("epoch", Json.Int epoch); ("shed", Json.Int shed) ]
+  | Rebalance { moved } -> base "rebalance" [ ("moved", Json.Int moved) ]
   | Note { category; message } ->
     base "note" [ ("category", Json.String category); ("message", Json.String message) ]
 
@@ -420,6 +434,19 @@ let event_of_json j =
       let* depth = int "depth" in
       let* limit = int "limit" in
       Some (Outbox_high { site; depth; limit })
+    | "join" ->
+      let* site = int "site" in
+      let* epoch = int "epoch" in
+      let* seeded = int "seeded" in
+      Some (Join { site; epoch; seeded })
+    | "leave" ->
+      let* site = int "site" in
+      let* epoch = int "epoch" in
+      let* shed = int "shed" in
+      Some (Leave { site; epoch; shed })
+    | "rebalance" ->
+      let* moved = int "moved" in
+      Some (Rebalance { moved })
     | "note" ->
       let* category = str "category" in
       let* message = str "message" in
@@ -535,11 +562,13 @@ let to_chrome t =
       | Wal_repair { site; _ }
       | Health { site; _ }
       | Evacuation { site; _ }
-      | Outbox_high { site; _ } -> note_site site
+      | Outbox_high { site; _ }
+      | Join { site; _ }
+      | Leave { site; _ } -> note_site site
       | Net_send { src; dst } | Net_drop { src; dst } ->
         note_site src;
         note_site dst
-      | Note _ -> ())
+      | Rebalance _ | Note _ -> ())
     evs;
   (* A transaction's duration slice: B at begin, E at commit/abort.  Lanes
      (tids) are allocated per live transaction so overlapping transactions at
@@ -668,8 +697,23 @@ let to_chrome t =
                      ("stranded", Json.Int stranded);
                    ] );
              ])
+      | Join { site; epoch; seeded } ->
+        push
+          (chrome_common ~name:"join" ~cat:"member" ~ph:"i" ~time ~pid:site ~tid:0
+             [
+               ("s", Json.String "p");
+               ("args", Json.Obj [ ("epoch", Json.Int epoch); ("seeded", Json.Int seeded) ]);
+             ])
+      | Leave { site; epoch; shed } ->
+        push
+          (chrome_common ~name:"leave" ~cat:"member" ~ph:"i" ~time ~pid:site ~tid:0
+             [
+               ("s", Json.String "p");
+               ("args", Json.Obj [ ("epoch", Json.Int epoch); ("shed", Json.Int shed) ]);
+             ])
       | Vm_retransmit _ | Vm_dup _ | Lock_acquire _ | Lock_release _ | Request_sent _
-      | Request_honored _ | Request_ignored _ | Net_send _ | Outbox_high _ | Note _ ->
+      | Request_honored _ | Request_ignored _ | Net_send _ | Outbox_high _ | Rebalance _
+      | Note _ ->
         (* Kept out of the Chrome view: high-volume noise there, but all
            present in the JSONL export. *)
         ())

@@ -52,6 +52,14 @@ type event =
       (** a condemned [site]'s fragments were re-homed onto survivors *)
   | Outbox_high of { site : int; depth : int; limit : int }
       (** the site's parked/outstanding Vm outbox crossed its high-water mark *)
+  | Join of { site : int; epoch : int; seeded : int }
+      (** [site] completed its join and became a member at [epoch]; the
+          members shipped it [seeded] units during the handshake *)
+  | Leave of { site : int; epoch : int; shed : int }
+      (** [site] completed a graceful leave at [epoch], having shed [shed]
+          units onto the survivors *)
+  | Rebalance of { moved : int }
+      (** one rebalance pass moved [moved] units from hot to cold members *)
   | Note of { category : string; message : string }
 
 type entry = { time : float; category : string; message : string }

@@ -20,6 +20,8 @@ type t = {
   set_links : Dvp_net.Linkstate.params -> unit;
   checkpoint : Dvp_core.Ids.site -> unit;
   inject_storage_fault : Dvp_core.Ids.site -> Dvp_storage.Wal.fault -> unit;
+  join : Dvp_core.Ids.site -> unit;
+  leave : Dvp_core.Ids.site -> unit;
   finalize : unit -> unit;
   metrics : unit -> Dvp_core.Metrics.t;
   conserved : unit -> bool option;
@@ -50,6 +52,11 @@ let of_dvp ?(name = "dvp") sys =
     set_links = (fun p -> Dvp_core.System.set_all_links sys p);
     checkpoint = (fun s -> Dvp_core.System.checkpoint_site sys s);
     inject_storage_fault = (fun s f -> Dvp_core.System.inject_wal_fault sys s f);
+    (* Chaos schedules fire joins and leaves blind — the system's own
+       refusals (slot not detached, too few members, site down) are the
+       membership policy, not errors worth aborting a run over. *)
+    join = (fun s -> ignore (Dvp_core.System.join sys s));
+    leave = (fun s -> ignore (Dvp_core.System.leave sys s));
     finalize = (fun () -> ());
     metrics = (fun () -> Dvp_core.System.metrics sys);
     conserved = (fun () -> Some (Dvp_core.System.conserved_all sys));
@@ -83,6 +90,9 @@ let of_trad ?(name = "trad") sys =
         (* The baselines model neither checkpointing nor torn writes; chaos
            schedules degrade gracefully to their network/site faults. *)
         ());
+    (* Fixed roster: the baselines have no elastic membership. *)
+    join = (fun _ -> ());
+    leave = (fun _ -> ());
     finalize = (fun () -> T.flush_blocked sys);
     metrics = (fun () -> T.metrics sys);
     conserved = (fun () -> None);

@@ -33,6 +33,12 @@ type t = {
   inject_storage_fault : Dvp_core.Ids.site -> Dvp_storage.Wal.fault -> unit;
       (** arm a WAL fault applied at the site's next crash (no-op for
           baselines, which do not model torn writes) *)
+  join : Dvp_core.Ids.site -> unit;
+      (** start the membership join handshake for a detached spare slot;
+          refusals are swallowed (no-op for baselines) *)
+  leave : Dvp_core.Ids.site -> unit;
+      (** start a graceful voluntary leave of a member; refusals are
+          swallowed (no-op for baselines) *)
   finalize : unit -> unit;
       (** end-of-run accounting hook (e.g. close still-blocked episodes) *)
   metrics : unit -> Dvp_core.Metrics.t;

@@ -9,6 +9,8 @@ type action =
   | Set_links of Dvp_net.Linkstate.params
   | Checkpoint of Dvp_core.Ids.site
   | Storage_fault of Dvp_core.Ids.site * Dvp_storage.Wal.fault
+  | Join of Dvp_core.Ids.site
+  | Leave of Dvp_core.Ids.site
 
 type event = { at : float; action : action }
 
@@ -122,6 +124,8 @@ let apply (d : Driver.t) = function
   | Set_links p -> d.Driver.set_links p
   | Checkpoint s -> d.Driver.checkpoint s
   | Storage_fault (s, f) -> d.Driver.inject_storage_fault s f
+  | Join s -> d.Driver.join s
+  | Leave s -> d.Driver.leave s
 
 let schedule d plan =
   List.iter
@@ -151,6 +155,8 @@ let action_label = function
     Printf.sprintf "storage-fault site %d: torn flush (persist %d)" s persist
   | Storage_fault (s, Dvp_storage.Wal.Corrupt_tail) ->
     Printf.sprintf "storage-fault site %d: corrupt tail" s
+  | Join s -> Printf.sprintf "join site %d" s
+  | Leave s -> Printf.sprintf "leave site %d" s
 
 let pp_event ppf e = Format.fprintf ppf "[%8.4f] %s" e.at (action_label e.action)
 

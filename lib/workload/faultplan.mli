@@ -18,6 +18,12 @@ type action =
       (** force a snapshot record and truncate the site's log *)
   | Storage_fault of Dvp_core.Ids.site * Dvp_storage.Wal.fault
       (** arm a WAL fault, applied at the site's next crash *)
+  | Join of Dvp_core.Ids.site
+      (** bring a detached spare slot online through the membership
+          handshake (no-op for baselines, which have a fixed roster) *)
+  | Leave of Dvp_core.Ids.site
+      (** start a graceful voluntary leave of a member (no-op for
+          baselines) *)
 
 type event = { at : float; action : action }
 

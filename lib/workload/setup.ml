@@ -1,12 +1,13 @@
-let dvp_system ?config ?link ?trace (spec : Spec.t) =
+let dvp_system ?config ?link ?trace ?capacity (spec : Spec.t) =
   let sys =
-    Dvp_core.System.create ?config ?link ?trace ~seed:spec.Spec.seed ~n:spec.Spec.n_sites ()
+    Dvp_core.System.create ?config ?link ?trace ?capacity ~seed:spec.Spec.seed
+      ~n:spec.Spec.n_sites ()
   in
   List.iter (fun (item, total) -> Dvp_core.System.add_item sys ~item ~total ()) spec.Spec.items;
   sys
 
-let dvp ?config ?link ?trace ?(name = "dvp") spec =
-  Driver.of_dvp ~name (dvp_system ?config ?link ?trace spec)
+let dvp ?config ?link ?trace ?capacity ?(name = "dvp") spec =
+  Driver.of_dvp ~name (dvp_system ?config ?link ?trace ?capacity spec)
 
 let trad ?config ?link ?(name = "trad") (spec : Spec.t) =
   let sys =

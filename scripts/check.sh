@@ -36,6 +36,14 @@ KILLER_SEEDS="${KILLER_SEEDS:-15}"
 echo "== dvp-cli chaos --profile killer --seeds $KILLER_SEEDS =="
 dune exec bin/dvp_cli.exe -- chaos --profile killer --seeds "$KILLER_SEEDS"
 
+# Elastic-membership chaos: seeds mix live joins, graceful leaves, and
+# auto-rebalancing on top of crashes, partitions, and loss.  The oracle
+# must see conservation and exactly-once delivery hold across every epoch
+# bump and Vm channel reset.  Widen with e.g. CHURN_SEEDS=200.
+CHURN_SEEDS="${CHURN_SEEDS:-10}"
+echo "== dvp-cli chaos --profile churn --seeds $CHURN_SEEDS =="
+dune exec bin/dvp_cli.exe -- chaos --profile churn --seeds "$CHURN_SEEDS"
+
 # Analyze smoke: the trace tour writes a JSONL trace into artifacts/, and
 # the analyzer must reconstruct non-empty spans from it.
 echo "== dvp-cli analyze smoke run =="

@@ -236,3 +236,90 @@ if failures:
 
 print(f"perf gate ok: {len(runs)} E20-wall runs conserved; {verdict}")
 EOF
+
+# --- E21-elastic: the elastic-membership throughput contract ------------
+#
+# Deterministic DES quantities, compared per scenario against the committed
+# baseline, plus the tentpole claims on the current run alone:
+#   - every row conserves value at end of run;
+#   - auto-rebalancing restores the hot-site workload to >= 90% of the
+#     balanced late-window rate (and beats no-rebalance by >= 1.5x);
+#   - the join row ends with one more member, the leave row with one
+#     fewer, both past at least one epoch bump.
+# Refresh the baseline with:
+#   dune exec bench/main.exe -- E21-elastic --out bench/baselines
+
+baseline21="bench/baselines/BENCH_E21_elastic.json"
+
+if [ ! -s "$baseline21" ]; then
+  echo "perf gate: no baseline at $baseline21" >&2
+  exit 1
+fi
+
+echo "== perf gate: bench E21-elastic vs $baseline21 (tol ${PERF_TOL}) =="
+dune exec bench/main.exe -- E21-elastic --out "$tmpdir" >/dev/null
+
+python3 - "$baseline21" "$tmpdir/BENCH_E21_elastic.json" "$PERF_TOL" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+base = {r["scenario"]: r for r in base_doc["runs"]}
+cur = {r["scenario"]: r for r in cur_doc["runs"]}
+
+failures = []
+
+missing = set(base) - set(cur)
+if missing:
+    failures.append(f"runs missing from current output: {sorted(missing)}")
+
+for k, b in base.items():
+    c = cur.get(k)
+    if c is None:
+        continue
+    for field in ("throughput", "late_throughput"):
+        if c[field] < b[field] * (1.0 - tol):
+            failures.append(
+                f"{k}: {field} {c[field]:.1f} < baseline {b[field]:.1f} - {tol:.0%}")
+
+for k, c in cur.items():
+    if not c.get("end_conserved", False):
+        failures.append(f"{k}: value NOT conserved at end of run")
+
+balanced = cur.get("balanced")
+skewed = cur.get("skewed")
+reb = cur.get("skewed, rebalanced")
+if balanced and skewed and reb:
+    if reb["late_throughput"] < balanced["late_throughput"] * 0.90:
+        failures.append(
+            f"rebalanced late throughput {reb['late_throughput']:.1f} below 90% "
+            f"of balanced {balanced['late_throughput']:.1f}")
+    if reb["late_throughput"] < skewed["late_throughput"] * 1.5:
+        failures.append(
+            f"rebalancing buys only "
+            f"{reb['late_throughput'] / max(skewed['late_throughput'], 1e-9):.2f}x "
+            f"over the skewed row (need >= 1.5x)")
+
+join = cur.get("join mid-run")
+if join is not None and (join["members"] != 5 or join["epoch"] < 1):
+    failures.append(
+        f"join row ended with {join['members']} members at epoch {join['epoch']} "
+        f"(want 5 members past an epoch bump)")
+leave = cur.get("leave mid-run")
+if leave is not None and (leave["members"] != 3 or leave["epoch"] < 1):
+    failures.append(
+        f"leave row ended with {leave['members']} members at epoch {leave['epoch']} "
+        f"(want 3 members past an epoch bump)")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+ratio = reb["late_throughput"] / max(skewed["late_throughput"], 1e-9)
+print(f"perf gate ok: {len(base)} E21 runs within {tol:.0%} of baseline, "
+      f"rebalancing restores {ratio:.1f}x over the skewed row")
+EOF

@@ -189,6 +189,47 @@ let test_bounded_torture () =
     (report.Harness.total_wal_repairs > 0);
   Alcotest.(check bool) "work still committed" true (report.Harness.total_committed > 0)
 
+(* Churn schedules must contain membership events, and legacy profiles must
+   keep their historical schedule streams (the churn generator draws from
+   the rng only when the profile enables it). *)
+let test_churn_schedule_shape () =
+  let plan = Gen.schedule ~seed:5 ~profile:Profile.churn in
+  let is_member_event e =
+    match e.Faultplan.action with
+    | Faultplan.Join _ | Faultplan.Leave _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "churn plans carry joins/leaves" true
+    (List.exists is_member_event plan);
+  List.iter
+    (fun e ->
+      match e.Faultplan.action with
+      | Faultplan.Join s ->
+        Alcotest.(check bool) "joins target spare slots" true
+          (s >= Profile.churn.Profile.n_sites
+          && s < Profile.churn.Profile.n_sites + Profile.churn.Profile.spare_sites)
+      | _ -> ())
+    plan;
+  let legacy = Gen.schedule ~seed:5 ~profile:Profile.killer in
+  Alcotest.(check bool) "legacy profiles stay churn-free" false
+    (List.exists is_member_event legacy)
+
+(* A few churn seeds end to end: joins, leaves, epoch bumps and channel
+   restarts under background crash/partition/loss noise, with every
+   invariant checked along the way.  Fixed seeds keep it deterministic. *)
+let test_churn_torture () =
+  let report = Harness.run ~first_seed:1 ~seeds:4 ~profile:Profile.churn () in
+  List.iter
+    (fun (f : Harness.failure) ->
+      List.iter
+        (fun (at, viol) ->
+          Printf.printf "seed %d t=%.3f %s: %s\n" f.Harness.result.Harness.seed at
+            viol.Oracle.check viol.Oracle.detail)
+        f.Harness.result.Harness.violations)
+    report.Harness.failures;
+  Alcotest.(check int) "zero invariant violations" 0 (List.length report.Harness.failures);
+  Alcotest.(check bool) "work still committed" true (report.Harness.total_committed > 0)
+
 let test_failure_report_shape () =
   (* No real seed fails, so exercise the violation-report path on a
      synthesized failure: the rendering must carry the reproducing seed and
@@ -270,6 +311,8 @@ let () =
         [
           Alcotest.test_case "run_seed deterministic" `Quick test_run_seed_deterministic;
           Alcotest.test_case "failure report shape" `Quick test_failure_report_shape;
+          Alcotest.test_case "churn schedule shape" `Quick test_churn_schedule_shape;
           Alcotest.test_case "bounded torture" `Slow test_bounded_torture;
+          Alcotest.test_case "churn torture" `Slow test_churn_torture;
         ] );
     ]

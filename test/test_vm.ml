@@ -53,7 +53,7 @@ let deliver h ~src msg =
   | Proto.Vm_data { seq; item; amount; reply_to; ack_upto; _ } ->
     Vm.handle_data h.vms.(dst) ~src ~seq ~item ~amount ~reply_to ~ack_upto
   | Proto.Vm_batch { frags; ack_upto; _ } -> Vm.handle_batch h.vms.(dst) ~src ~frags ~ack_upto
-  | Proto.Vm_ack { upto } -> Vm.handle_ack h.vms.(dst) ~src ~upto
+  | Proto.Vm_ack { upto; _ } -> Vm.handle_ack h.vms.(dst) ~src ~upto
   | Proto.Request _ | Proto.Probe | Proto.Probe_reply -> ()
 
 let pump_one h ~src =
