@@ -1789,8 +1789,110 @@ let e20_wall () =
     (Json.Obj [ ("contract", Json.Obj [ ("min_speedup_4v1", Json.Float 1.5) ]) ]);
   Table.print t
 
+(* ----------------------------------------------------------- E22-trace *)
+
+(* The observability plane's cost contract: per-domain trace shards are
+   single-writer bounded rings — no cross-domain locking on the hot path —
+   so tracing on must cost < 5% committed/s against tracing off at 4
+   domains.  Wall rates are noisy (worse when domains time-slice few
+   cores), so each mode keeps the best of three trials; the perf gate only
+   enforces the overhead contract on hosts with >= 2 real cores, and always
+   enforces conservation and (with tracing) span/Metrics agreement. *)
+let e22_trace () =
+  section "E22_trace  Tracing overhead on the domains runtime";
+  let cores = Domain.recommended_domain_count () in
+  let domains = 4 and duration = 1.0 and trials = 3 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "escrow-increment closed loop at %d domains, best of %d x %.1f s (%d core(s))"
+           domains trials duration cores)
+      [
+        ("tracing", Table.Left);
+        ("committed/s", Table.Right);
+        ("trace events", Table.Right);
+        ("spans=metrics", Table.Right);
+        ("conserved", Table.Right);
+      ]
+  in
+  let run_mode ~tracing =
+    let best_rate = ref 0.0 and best_committed = ref 0 in
+    let conserved = ref true and events = ref 0 and spans_agree = ref true in
+    for _ = 1 to trials do
+      let c =
+        Dvp.Cluster.create ~seed:42 ~tracing ~trace_capacity:(1 lsl 21) ~n:domains
+          ~items:[ (0, 1_000_000) ] ()
+      in
+      let committed = Dvp.Cluster.run_load c ~duration ~item:0 () in
+      let quiesced = Dvp.Cluster.quiesce c in
+      if not (quiesced && Dvp.Cluster.conserved_all c) then conserved := false;
+      if tracing then begin
+        (* The merged shard stream must reconstruct to exactly the commits
+           Metrics counted — completeness, not just speed. *)
+        let stats = Dvp.Cluster.stats c in
+        let metrics_committed =
+          Array.fold_left
+            (fun acc st -> acc + Dvp.Metrics.committed st.Dvp.Cluster.st_metrics)
+            0 stats
+        in
+        match Dvp.Cluster.trace_jsonl c with
+        | Some jsonl ->
+          let spans = Dvp.Obs.Spans.of_jsonl jsonl in
+          events := spans.Dvp.Obs.Spans.events;
+          if
+            (not spans.Dvp.Obs.Spans.complete)
+            || Dvp.Obs.Spans.committed_count spans <> metrics_committed
+          then spans_agree := false
+        | None -> spans_agree := false
+      end;
+      Dvp.Cluster.stop c;
+      let rate = float_of_int committed /. duration in
+      if rate > !best_rate then begin
+        best_rate := rate;
+        best_committed := committed
+      end
+    done;
+    Report.record_json
+      (Json.Obj
+         [
+           ("mode", Json.String (if tracing then "on" else "off"));
+           ("domains", Json.Int domains);
+           ("cores", Json.Int cores);
+           ("duration", Json.Float duration);
+           ("trials", Json.Int trials);
+           ("committed", Json.Int !best_committed);
+           ("throughput", Json.Float !best_rate);
+           ("trace_events", Json.Int !events);
+           ("spans_match_metrics", Json.Bool !spans_agree);
+           ("conserved", Json.Bool !conserved);
+         ]);
+    Table.add_row t
+      [
+        (if tracing then "on" else "off");
+        Printf.sprintf "%.0f" !best_rate;
+        (if tracing then string_of_int !events else "-");
+        (if tracing then if !spans_agree then "yes" else "NO" else "-");
+        (if !conserved then "yes" else "NO");
+      ];
+    !best_rate
+  in
+  let off = run_mode ~tracing:false in
+  let on = run_mode ~tracing:true in
+  let overhead_pct = if off > 0.0 then (off -. on) /. off *. 100.0 else 0.0 in
+  Report.record_json
+    (Json.Obj
+       [
+         ("overhead_pct", Json.Float overhead_pct);
+         ("contract", Json.Obj [ ("max_overhead_pct", Json.Float 5.0) ]);
+       ]);
+  Table.print t;
+  Printf.printf "tracing overhead: %.1f%% (contract < 5%% on >= 2-core hosts)\n"
+    overhead_pct
+
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
             ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
             ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
             ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
-            ("E20-WALL", e20_wall); ("E21-ELASTIC", e21_elastic); ("CHAOS", chaos) ]
+            ("E20-WALL", e20_wall); ("E21-ELASTIC", e21_elastic);
+            ("E22-TRACE", e22_trace); ("CHAOS", chaos) ]

@@ -505,12 +505,19 @@ let analyze_cmd file json =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let events = Trace.of_jsonl contents in
+  (* of_jsonl_stats tolerates a clipped final line (crash- or kill-truncated
+     dump): unparseable lines count as dropped events, not a hard error. *)
+  let events, malformed = Trace.of_jsonl_stats contents in
   if events = [] then begin
     Printf.eprintf "analyze: no trace events found in %s\n" file;
     exit 1
   end;
+  if malformed > 0 then
+    Printf.eprintf "analyze: %d truncated/unparseable line(s) counted as dropped\n"
+      malformed;
   let dropped =
+    malformed
+    +
     match Trace.meta_of_jsonl contents with
     | Some m -> m.Trace.dropped
     | None -> 0
@@ -561,7 +568,11 @@ let print_cluster_state c =
         (String.concat "; " (Array.to_list (Array.map string_of_int frags))))
     (Dvp.Cluster.items c)
 
-let bench_cmd wall domains duration transport json =
+let write_text_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let bench_cmd wall domains duration transport trace_out stats_out watchdog json =
   if not wall then begin
     Printf.eprintf
       "dvp-cli bench: only the wall-clock mode lives here (pass --wall).\n\
@@ -569,11 +580,31 @@ let bench_cmd wall domains duration transport json =
     exit 2
   end;
   let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
-  let c = Dvp.Cluster.create ~seed:42 ~config ~n:domains ~items:[ (0, 1_000_000) ] () in
+  let tracing = trace_out <> None in
+  let c =
+    (* Generous per-shard rings when a dump was asked for: the closed loop
+       emits a handful of events per commit, and a clipped window would make
+       the span-derived commit count disagree with Metrics. *)
+    Dvp.Cluster.create ~seed:42 ~config ~tracing ~trace_capacity:(1 lsl 21) ~n:domains
+      ~items:[ (0, 1_000_000) ] ()
+  in
+  let observer =
+    if stats_out <> None || watchdog then
+      Some (Dvp.Observer.start ?stats_out ~watchdog c)
+    else None
+  in
   let committed = Dvp.Cluster.run_load c ~duration ~item:0 () in
   let quiesced = Dvp.Cluster.quiesce c in
   let conserved = quiesced && Dvp.Cluster.conserved_all c in
+  (match observer with Some o -> Dvp.Observer.stop o | None -> ());
+  let alarms =
+    match observer with Some o -> List.length (Dvp.Observer.alarms o) | None -> 0
+  in
+  let trace_jsonl = Dvp.Cluster.trace_jsonl c in
   Dvp.Cluster.stop c;
+  (match (trace_out, trace_jsonl) with
+  | Some path, Some jsonl -> write_text_file path jsonl
+  | _ -> ());
   let rate = float_of_int committed /. duration in
   if json then
     print_endline
@@ -586,11 +617,18 @@ let bench_cmd wall domains duration transport json =
               ("committed", Dvp.Util.Json.Int committed);
               ("throughput", Dvp.Util.Json.Float rate);
               ("conserved", Dvp.Util.Json.Bool conserved);
+              ("tracing", Dvp.Util.Json.Bool tracing);
+              ("watchdog_alarms", Dvp.Util.Json.Int alarms);
             ]))
-  else
+  else begin
     Printf.printf "%d domain(s): %d committed in %.2f s wall — %.0f txns/s, conserved: %b\n"
       domains committed duration rate conserved;
-  if not conserved then exit 1
+    if watchdog then
+      Printf.printf "watchdog: %s\n"
+        (if alarms = 0 then "every cut conserved"
+         else Printf.sprintf "%d alarm(s) — see crashdump" alarms)
+  end;
+  if (not conserved) || alarms > 0 then exit 1
 
 let serve_cmd domains items total transport =
   let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
@@ -604,6 +642,7 @@ let serve_cmd domains items total transport =
     \  push <src> <dst> <item> <amount> explicit redistribution\n\
     \  load <seconds> <item>            closed-loop increments on every site\n\
     \  report                           fragments and conservation at quiesce\n\
+    \  stats                            live per-site telemetry (no quiesce)\n\
     \  quit\n"
     domains items total;
   let outcome_line = function
@@ -632,6 +671,21 @@ let serve_cmd domains items total transport =
         if not (Dvp.Cluster.quiesce c) then print_endline "  (did not quiesce in time)";
         print_cluster_state c;
         Printf.printf "  conservation: %b\n" (Dvp.Cluster.conserved_all c)
+      | [ "stats" ] ->
+        (* Live snapshot, no quiesce: each site answers from its own loop. *)
+        Printf.printf "  %-5s %9s %8s %8s %8s %6s %7s %6s %6s\n" "site" "committed"
+          "aborted" "p99ms" "mailbox" "outbox" "wal" "epoch" "active";
+        Array.iteri
+          (fun i st ->
+            let m = st.Dvp.Cluster.st_metrics in
+            let p99 = Dvp.Metrics.latency_p99 m *. 1000.0 in
+            Printf.printf "  %-5d %9d %8d %8s %8d %6d %7d %6d %6d\n" i
+              (Dvp.Metrics.committed m) (Dvp.Metrics.aborted m)
+              (if Float.is_nan p99 then "-" else Printf.sprintf "%.2f" p99)
+              (Dvp.Cluster.mailbox_depth c i)
+              st.Dvp.Cluster.st_outbox st.Dvp.Cluster.st_wal st.Dvp.Cluster.st_epoch
+              st.Dvp.Cluster.st_active)
+          (Dvp.Cluster.stats c)
       | [ "incr"; s; i; a ] ->
         print_endline
           (outcome_line
@@ -656,7 +710,7 @@ let serve_cmd domains items total transport =
           Dvp.Cluster.run_load c ~duration:(float_of_string secs) ~item:(int_of_string i) ()
         in
         Printf.printf "committed %d increments\n" n
-         | _ -> print_endline "unknown command (incr/decr/push/load/report/quit)"
+         | _ -> print_endline "unknown command (incr/decr/push/load/report/stats/quit)"
        with
       (* The REPL must survive any malformed input — bad integers,
          out-of-range sites, whatever — with an error line, never a raise
@@ -667,6 +721,74 @@ let serve_cmd domains items total transport =
       loop ()
   in
   (try loop () with Exit -> stop ())
+
+(* `dvp-cli top`: spin a cluster under the closed-loop load and let an
+   observer paint one aggregated telemetry row per sampling tick while the
+   main thread sits in run_load.  Printing happens on the observer domain —
+   the site domains never block on the terminal. *)
+let top_cmd domains duration every watchdog transport =
+  let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
+  let c = Dvp.Cluster.create ~seed:42 ~config ~n:domains ~items:[ (0, 1_000_000) ] () in
+  Printf.printf "%d domain(s), %.1f s load, sampling every %.2f s%s\n" domains duration
+    every
+    (if watchdog then ", conservation watchdog armed" else "");
+  Printf.printf "%8s %9s %9s %8s %8s %8s %9s %s\n" "t(s)" "commit/s" "committed"
+    "aborted" "p99ms" "mailbox" "in-flight" (if watchdog then "conserved" else "");
+  let prev = ref (0.0, 0) in
+  let on_sample stats cut =
+    let now = Dvp.Cluster.now c in
+    let committed =
+      Array.fold_left
+        (fun acc st -> acc + Dvp.Metrics.committed st.Dvp.Cluster.st_metrics)
+        0 stats
+    in
+    let aborted =
+      Array.fold_left
+        (fun acc st -> acc + Dvp.Metrics.aborted st.Dvp.Cluster.st_metrics)
+        0 stats
+    in
+    let p99 =
+      Array.fold_left
+        (fun acc st ->
+          let p = Dvp.Metrics.latency_p99 st.Dvp.Cluster.st_metrics *. 1000.0 in
+          if Float.is_nan acc then p
+          else if Float.is_nan p then acc
+          else Float.max acc p)
+        nan stats
+    in
+    let mailbox = ref 0 in
+    for i = 0 to domains - 1 do
+      mailbox := !mailbox + Dvp.Cluster.mailbox_depth c i
+    done;
+    let in_flight =
+      Array.fold_left
+        (fun acc st ->
+          let sum l = List.fold_left (fun a (_, v) -> a + v) 0 l in
+          acc + sum st.Dvp.Cluster.st_sent - sum st.Dvp.Cluster.st_recv)
+        0 stats
+    in
+    let t0, c0 = !prev in
+    prev := (now, committed);
+    let rate = float_of_int (committed - c0) /. Float.max 1e-9 (now -. t0) in
+    Printf.printf "%8.2f %9.0f %9d %8d %8s %8d %9d %s\n%!" now rate committed aborted
+      (if Float.is_nan p99 then "-" else Printf.sprintf "%.2f" p99)
+      !mailbox in_flight
+      (match cut with
+      | Some cut -> if Dvp.Cluster.cut_ok cut then "ok" else "VIOLATED"
+      | None -> "")
+  in
+  let observer = Dvp.Observer.start ~every ~watchdog ~on_sample c in
+  let committed = Dvp.Cluster.run_load c ~duration ~item:0 () in
+  let quiesced = Dvp.Cluster.quiesce c in
+  Dvp.Observer.stop observer;
+  let alarms = List.length (Dvp.Observer.alarms observer) in
+  let conserved = quiesced && Dvp.Cluster.conserved_all c in
+  Dvp.Cluster.stop c;
+  Printf.printf "total: %d committed (%.0f txns/s), conserved: %b, watchdog alarms: %d\n"
+    committed
+    (float_of_int committed /. duration)
+    conserved alarms;
+  if (not conserved) || alarms > 0 then exit 1
 
 (* ------------------------------------------------------------ cmdliner *)
 
@@ -890,11 +1012,44 @@ let items_count_arg =
 let total_arg =
   Arg.(value & opt int 1000 & info [ "total" ] ~doc:"Initial aggregate value per item.")
 
+let bench_trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:"Write the merged per-domain trace (totally ordered JSONL, analyze-able with \
+              `dvp-cli analyze`) to this file.")
+
+let stats_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-out" ]
+        ~doc:"Append one JSON object per sampling tick (live telemetry feed) to this file.")
+
+let watchdog_arg =
+  Arg.(
+    value & flag
+    & info [ "watchdog" ]
+        ~doc:"Arm the conservation watchdog: epoch-consistent cuts over fragments plus \
+              in-flight Vm value; any drift from the expected aggregate alarms, dumps a \
+              crash-dump, and fails the run.")
+
+let every_arg =
+  Arg.(value & opt float 0.25 & info [ "every" ] ~doc:"Observer sampling period (seconds).")
+
 let bench_term =
-  Term.(const bench_cmd $ wall_arg $ domains_arg $ wall_duration_arg $ transport_term $ json_arg)
+  Term.(
+    const bench_cmd $ wall_arg $ domains_arg $ wall_duration_arg $ transport_term
+    $ bench_trace_out_arg $ stats_out_arg $ watchdog_arg $ json_arg)
 
 let serve_term =
   Term.(const serve_cmd $ domains_arg $ items_count_arg $ total_arg $ transport_term)
+
+let top_term =
+  Term.(
+    const top_cmd $ domains_arg $ wall_duration_arg $ every_arg $ watchdog_arg
+    $ transport_term)
 
 let cmds =
   [
@@ -955,6 +1110,13 @@ let cmds =
            "Wall-clock throughput of the multicore runtime: a closed loop of escrow \
             increments on every site domain (--wall required)")
       bench_term;
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Live telemetry over a multicore cluster under closed-loop load: one \
+            aggregated row per sampling tick (commit rate, p99 latency, mailbox/Vm \
+            depths), optionally with the conservation watchdog armed")
+      top_term;
     Cmd.v (Cmd.info "demo" ~doc:"A canned partition demo") Term.(const demo_cmd $ const ());
     Cmd.v (Cmd.info "info" ~doc:"Describe the systems and workloads") Term.(const info_cmd $ const ());
   ]

@@ -76,6 +76,7 @@ type t = {
   auto_evacuate : bool;
   rebalance : rebalance option;
   vm_outbox_warn : int;
+  mailbox_warn : int;
 }
 
 let default =
@@ -91,6 +92,7 @@ let default =
     auto_evacuate = false;
     rebalance = None;
     vm_outbox_warn = 512;
+    mailbox_warn = 1024;
   }
 
 let pp_request ppf = function

@@ -57,6 +57,12 @@ type t = {
   (* The current membership epoch, wired by the system layer; [None] = no
      elastic membership, epoch constantly 0. *)
   mutable epoch_view : (unit -> int) option;
+  (* Cumulative committed operator delta per item, maintained at the commit
+     point.  Together with the Vm layer's cumulative shipped/accepted value
+     it gives each site an instantaneous local conservation identity
+     (fragment = installed + received + delta - sent), which the runtime's
+     watchdog folds across a consistent cut. *)
+  cum_delta : (Ids.item, int) Hashtbl.t;
 }
 
 let vm_exn t = match t.vm with Some v -> v | None -> assert false
@@ -90,6 +96,13 @@ let clock t = t.clock
 let fragment t ~item = Db.value t.db ~item
 
 let items t = Db.items t.db
+
+let committed_delta t ~item =
+  Option.value ~default:0 (Hashtbl.find_opt t.cum_delta item)
+
+let value_sent t ~item = Vm.value_sent (vm_exn t) ~item
+
+let value_received t ~item = Vm.value_received (vm_exn t) ~item
 
 let locked t ~item = Lock_table.is_locked t.locks ~item
 
@@ -212,6 +225,13 @@ let commit t txn =
   in
   Wal.append t.wal (Log_event.Txn_commit { txn = txn.id; actions });
   List.iter (Log_event.apply_action t.db) actions;
+  List.iter
+    (fun (item, op) ->
+      let d = Op.delta op in
+      if d <> 0 then
+        Hashtbl.replace t.cum_delta item
+          (d + Option.value ~default:0 (Hashtbl.find_opt t.cum_delta item)))
+    txn.ops;
   Wal.append ~forced:false t.wal (Log_event.Txn_applied { txn = txn.id });
   let read_value =
     match txn.kind with
@@ -766,6 +786,9 @@ let stable_outstanding_to t ~dst =
 (* --------------------------------------------------------------- create *)
 
 let create sub ~self ~n ~send ~config ~rng ?trace () =
+  (* No explicit sink: inherit the substrate's (the runtime installs each
+     domain's trace shard there, so wall-mode sites emit unchanged). *)
+  let trace = match trace with Some _ -> trace | None -> Substrate.trace sub in
   let t =
     {
       sub;
@@ -789,6 +812,7 @@ let create sub ~self ~n ~send ~config ~rng ?trace () =
       health = None;
       membership = None;
       epoch_view = None;
+      cum_delta = Hashtbl.create 8;
     }
   in
   let vm =

@@ -89,6 +89,21 @@ val fragment : t -> item:Ids.item -> int
 
 val items : t -> Ids.item list
 
+val committed_delta : t -> item:Ids.item -> int
+(** Cumulative committed operator delta on [item] at this site since
+    creation (Σ {!Dvp_core.Op.delta} over the ops of every committed
+    transaction).  One term of the per-site conservation ledger:
+    [fragment = installed + value_received + committed_delta - value_sent]
+    holds at every instant of the site's serial execution — the identity
+    the runtime's conservation watchdog folds across a consistent cut. *)
+
+val value_sent : t -> item:Ids.item -> int
+(** The Vm layer's cumulative shipped value ({!Dvp_core.Vm.value_sent}). *)
+
+val value_received : t -> item:Ids.item -> int
+(** The Vm layer's cumulative accepted value
+    ({!Dvp_core.Vm.value_received}). *)
+
 (** {2 Transactions} *)
 
 val submit :

@@ -61,6 +61,15 @@ type t = {
   mutable acked_upto : int array; (* per destination, cumulative *)
   dsts : dst_state array;
   items_out : (Ids.item, item_tally) Hashtbl.t;
+  (* Cumulative per-item value ever shipped (Vm created) / ever accepted,
+     since creation.  Unlike [items_out] these never roll back — together
+     with the site's cumulative committed delta they form the local
+     conservation ledger the runtime watchdog folds on a consistent cut:
+     fragment = installed + received + delta - sent, at every instant of the
+     owning domain's serial loop.  Not rebuilt by [recover]: the ledger is a
+     live-process observability aid, not crash-durable protocol state. *)
+  cum_sent : (Ids.item, int) Hashtbl.t;
+  cum_recv : (Ids.item, int) Hashtbl.t;
   (* Volatile receiver state (rebuilt from the log on recovery). *)
   mutable accepted : int array; (* per peer, highest in-order accepted seq *)
   mutable timer : Substrate.timer option;
@@ -100,6 +109,8 @@ let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ?(epoch = fun () -> 0
       Array.init n (fun _ ->
           { q = Queue.create (); rto = retransmit_every; next_retry = 0.0; parked = false });
     items_out = Hashtbl.create 16;
+    cum_sent = Hashtbl.create 16;
+    cum_recv = Hashtbl.create 16;
     accepted = Array.make n (-1);
     timer = None;
     running = false;
@@ -150,6 +161,13 @@ let check_depth t =
 
 let outstanding_amount t ~item =
   match Hashtbl.find_opt t.items_out item with Some tl -> tl.amount_sum | None -> 0
+
+let ledger_add tbl ~item ~amount =
+  Hashtbl.replace tbl item (amount + Option.value ~default:0 (Hashtbl.find_opt tbl item))
+
+let value_sent t ~item = Option.value ~default:0 (Hashtbl.find_opt t.cum_sent item)
+
+let value_received t ~item = Option.value ~default:0 (Hashtbl.find_opt t.cum_recv item)
 
 let has_outstanding t ~item = Hashtbl.mem t.items_out item
 
@@ -314,6 +332,7 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
   let last_sent = if st.parked then neg_infinity else Substrate.now t.sub in
   Queue.push (seq, { payload = { item; amount; reply_to }; last_sent }) st.q;
   tally_add t ~item ~amount;
+  ledger_add t.cum_sent ~item ~amount;
   Metrics.vm_created t.metrics ~amount;
   emit t (Trace.Vm_created { site = t.self; dst; seq; item; amount });
   check_depth t;
@@ -380,6 +399,7 @@ let handle_fragment t ~src ~seq ~item ~amount ~reply_to =
       (* The Vm dies here: [database-actions] forced at the receiver. *)
       Wal.append t.wal (Log_event.Vm_accept { peer = src; seq; item; amount; new_value });
       t.accepted.(src) <- seq;
+      ledger_add t.cum_recv ~item ~amount;
       Metrics.vm_accepted t.metrics ~amount;
       emit t (Trace.Vm_accepted { site = t.self; src; seq; item; amount });
       true

@@ -122,6 +122,17 @@ val outstanding_amount : t -> item:Ids.item -> int
 val has_outstanding : t -> item:Ids.item -> bool
 (** The drain-honoring test of Section 5. *)
 
+val value_sent : t -> item:Ids.item -> int
+(** Cumulative value ever shipped from this site as Vm of [item], since
+    creation.  Monotone; together with {!value_received} and the site's
+    committed delta it forms the conservation ledger the runtime watchdog
+    samples ([value_sent - value_received] summed over a consistent cut is
+    exactly the in-flight mailbox/outbox Vm value).  Not rebuilt by
+    {!recover} — a live-process observability aid, not durable state. *)
+
+val value_received : t -> item:Ids.item -> int
+(** Cumulative value ever accepted at this site as Vm of [item]. *)
+
 val next_seq : t -> dst:Ids.site -> int
 
 (** {2 Receiver side} *)

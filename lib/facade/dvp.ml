@@ -36,8 +36,10 @@ module Substrate = Dvp_substrate.Substrate
 module Substrate_des = Dvp_sim.Substrate_des
 module Engine = Dvp_sim.Engine
 module Trace = Dvp_sim.Trace
+module Shards = Dvp_trace.Shards
 module Probe = Dvp_sim.Probe
 module Cluster = Dvp_runtime.Cluster
+module Observer = Dvp_runtime.Observer
 
 (* Failure detection. *)
 module Health = Dvp_health.Health

@@ -32,6 +32,8 @@ type 'p t = {
 }
 
 let create sub ~rng ~n ?(default = Linkstate.default) ?trace () =
+  (* No explicit sink: inherit the substrate's (see Substrate.trace). *)
+  let trace = match trace with Some _ -> trace | None -> Dvp_substrate.Substrate.trace sub in
   {
     sub;
     rng;

@@ -3,16 +3,21 @@ module Json = Dvp_util.Json
 
 type t = {
   dir : string;
-  trace : Trace.t;
+  source : unit -> string;  (* renders the trace window as JSONL at dump time *)
+  ring : Trace.t option;  (* the live ring, when there is exactly one *)
   mutable telemetry : (unit -> Json.t) option;
   mutable dumps : string list;  (* newest first *)
 }
 
 let default_dir = "artifacts/crashdumps"
 
-let create ?(dir = default_dir) trace = { dir; trace; telemetry = None; dumps = [] }
+let create ?(dir = default_dir) trace =
+  { dir; source = (fun () -> Trace.to_jsonl trace); ring = Some trace; telemetry = None; dumps = [] }
 
-let trace t = t.trace
+let create_source ?(dir = default_dir) source =
+  { dir; source; ring = None; telemetry = None; dumps = [] }
+
+let trace t = t.ring
 
 let set_telemetry t f = t.telemetry <- Some f
 
@@ -52,7 +57,7 @@ let fresh_dir t label =
 let dump t ~label ~verdict =
   let dir = fresh_dir t label in
   mkdir_p dir;
-  write_file (Filename.concat dir "trace.jsonl") (Trace.to_jsonl t.trace);
+  write_file (Filename.concat dir "trace.jsonl") (t.source ());
   let telemetry = match t.telemetry with Some f -> f () | None -> Json.Null in
   write_file (Filename.concat dir "telemetry.json") (Json.to_string_pretty telemetry);
   write_file (Filename.concat dir "verdict.json") (Json.to_string_pretty verdict);

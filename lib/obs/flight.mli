@@ -26,7 +26,14 @@ val create : ?dir:string -> Dvp_sim.Trace.t -> t
 (** Wrap an existing trace ring (typically the one the system under test
     writes into). *)
 
-val trace : t -> Dvp_sim.Trace.t
+val create_source : ?dir:string -> (unit -> string) -> t
+(** Wrap an arbitrary JSONL provider instead of a single ring — e.g.
+    [Shards.to_jsonl] over a multicore cluster's per-domain shards, merged
+    at dump time.  The provider must produce the same stream shape
+    [Trace.to_jsonl] does (meta header + event lines). *)
+
+val trace : t -> Dvp_sim.Trace.t option
+(** The underlying ring; [None] for a {!create_source} recorder. *)
 
 val set_telemetry : t -> (unit -> Dvp_util.Json.t) -> unit
 (** Provider called at dump time — e.g. [fun () -> Telemetry.snapshot tel]

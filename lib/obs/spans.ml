@@ -193,8 +193,8 @@ let of_events ?(dropped = 0) events =
         v.v_dups <- v.v_dups + 1
       | Trace.Crash _ | Trace.Recover _ | Trace.Checkpoint _ | Trace.Storage_fault _
       | Trace.Wal_repair _ | Trace.Net_send _ | Trace.Net_drop _ | Trace.Health _
-      | Trace.Evacuation _ | Trace.Outbox_high _ | Trace.Join _ | Trace.Leave _
-      | Trace.Rebalance _ | Trace.Note _ -> ())
+      | Trace.Evacuation _ | Trace.Outbox_high _ | Trace.Mailbox_high _ | Trace.Join _
+      | Trace.Leave _ | Trace.Rebalance _ | Trace.Note _ -> ())
     events;
   let txn_list =
     Hashtbl.fold
@@ -252,6 +252,15 @@ let of_events ?(dropped = 0) events =
   }
 
 let of_trace tr = of_events ~dropped:(Trace.drop_count tr) (Trace.events tr)
+
+let of_jsonl jsonl =
+  (* A crash- or kill-clipped dump ends in a truncated line; count it as
+     dropped (incomplete window) rather than failing the whole analysis. *)
+  let events, malformed = Trace.of_jsonl_stats jsonl in
+  let meta_dropped =
+    match Trace.meta_of_jsonl jsonl with Some m -> m.Trace.dropped | None -> 0
+  in
+  of_events ~dropped:(meta_dropped + malformed) events
 
 (* ------------------------------------------------------------- summaries *)
 
@@ -323,6 +332,7 @@ let site_of_event = function
   | Trace.Health { site; _ }
   | Trace.Evacuation { site; _ }
   | Trace.Outbox_high { site; _ }
+  | Trace.Mailbox_high { site; _ }
   | Trace.Join { site; _ }
   | Trace.Leave { site; _ } -> Some site
   | Trace.Net_send { src; _ } | Trace.Net_drop { src; _ } -> Some src

@@ -73,6 +73,13 @@ val of_events : ?dropped:int -> (float * Dvp_sim.Trace.event) list -> t
 val of_trace : Dvp_sim.Trace.t -> t
 (** [of_events] over the live ring, with [dropped = Trace.drop_count]. *)
 
+val of_jsonl : string -> t
+(** Parse a JSONL dump (DES {!Dvp_sim.Trace.to_jsonl} or the merged
+    multi-shard wall dump) and fold it.  Tolerates a truncated final line —
+    the usual tail of a dump clipped by a crash or kill — by counting each
+    unparseable non-empty line as one dropped event ([complete = false])
+    instead of erroring. *)
+
 (** {2 Aggregates} *)
 
 val committed_count : t -> int

@@ -36,6 +36,23 @@ let attach t engine ~period =
       (Probe.start engine ~period ~sample:(fun _ ->
            Array.map (fun i -> i.read ()) ins))
 
+let attach_clock t ~clock ~period =
+  if t.probe <> None then invalid_arg "Telemetry.attach_clock: already attached";
+  let ins = Array.of_list (List.rev t.instruments) in
+  t.attached <- ins;
+  t.baseline <- Array.map (fun i -> i.read ()) ins;
+  (* Manual probe: nothing scheduled — the caller (e.g. the wall-clock
+     observer domain) drives sampling via sample_now on its own cadence. *)
+  t.probe <-
+    Some
+      (Probe.manual ~clock ~period ~sample:(fun _ ->
+           Array.map (fun i -> i.read ()) ins))
+
+let sample_now t =
+  match t.probe with
+  | None -> invalid_arg "Telemetry.sample_now: not attached"
+  | Some p -> Probe.sample_now p
+
 let attached t = t.probe <> None
 
 let stop t =
@@ -207,6 +224,13 @@ let of_system ?(aborts_by_reason = true) sys =
       for i = 0 to n - 1 do
         total :=
           !total + Dvp_core.Metrics.vm_retransmissions (Dvp_core.Site.metrics (Dvp_core.System.site sys i))
+      done;
+      float_of_int !total);
+  counter t "vm.stale_epochs" (fun () ->
+      let total = ref 0 in
+      for i = 0 to n - 1 do
+        total :=
+          !total + Dvp_core.Metrics.vm_stale_epochs (Dvp_core.Site.metrics (Dvp_core.System.site sys i))
       done;
       float_of_int !total);
   gauge t "vm.outbox_depth" (fun () ->

@@ -9,8 +9,9 @@
 
     {!of_system} wires the standard instruments for a DvP installation:
     per-site commit/abort counters, global abort counters by reason, the
-    total in-flight Vm value (the paper's N_M), the stable WAL length, and
-    the Vm retransmit counter. *)
+    total in-flight Vm value (the paper's N_M), the stable WAL length, the
+    Vm retransmit counter, and the stale-epoch rejection counter
+    ([vm.stale_epochs] — Vm traffic fenced off by membership epochs). *)
 
 type t
 
@@ -27,6 +28,16 @@ val gauge : t -> string -> (unit -> float) -> unit
 val attach : t -> Dvp_sim.Engine.t -> period:float -> unit
 (** Start periodic sampling.  Counter baselines are read here, so windows
     report increments since attach, not since zero. *)
+
+val attach_clock : t -> clock:(unit -> float) -> period:float -> unit
+(** Attach without an engine (a {!Dvp_sim.Probe.manual} probe): nothing is
+    scheduled, the caller drives sampling by calling {!sample_now} on its
+    own cadence (nominally every [period]) and timestamps come from
+    [clock].  This is the wall-clock observer's path. *)
+
+val sample_now : t -> unit
+(** Read every instrument once, at the current clock time.  Raises
+    [Invalid_argument] before attach. *)
 
 val attached : t -> bool
 

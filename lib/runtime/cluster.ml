@@ -5,7 +5,10 @@ module Txn = Dvp_core.Txn
 module Op = Dvp_core.Op
 module Config = Dvp_core.Config
 module Proto = Dvp_core.Proto
+module Metrics = Dvp_core.Metrics
 module Wal = Dvp_storage.Wal
+module Trace = Dvp_trace.Trace
+module Shards = Dvp_trace.Shards
 
 (* A one-shot synchronisation cell: the site domain fills it, the main
    thread awaits it.  Domains run freely while the main thread blocks, so a
@@ -31,17 +34,76 @@ module Cell = struct
     v
 end
 
+(* An n-party one-shot rendezvous: every site domain snapshots its stats,
+   then blocks here until all have — so no site resumes (and thus no value
+   moves) between the first and last per-site snapshot.  That makes the
+   assembled cut consistent: a Vm send after one site's snapshot cannot be
+   accepted before another's, because acceptance happens in a handler and
+   every handler is paused until the rendezvous completes. *)
+module Barrier = struct
+  type t = { m : Mutex.t; c : Condition.t; total : int; mutable arrived : int }
+
+  let create total = { m = Mutex.create (); c = Condition.create (); total; arrived = 0 }
+
+  let arrive_and_wait t =
+    Mutex.lock t.m;
+    t.arrived <- t.arrived + 1;
+    if t.arrived >= t.total then Condition.broadcast t.c
+    else
+      while t.arrived < t.total do
+        Condition.wait t.c t.m
+      done;
+    Mutex.unlock t.m
+end
+
 type report = {
   rep_fragments : (int * int) list; (* (item, fragment) *)
   rep_active : int;
   rep_outbox : int;
 }
 
+type site_stats = {
+  st_site : int;
+  st_metrics : Metrics.t;  (* a detached copy, safe to read from any thread *)
+  st_fragments : (int * int) list;  (* (item, fragment) *)
+  st_sent : (int * int) list;  (* (item, cumulative Vm value shipped) *)
+  st_recv : (int * int) list;  (* (item, cumulative Vm value accepted) *)
+  st_delta : (int * int) list;  (* (item, cumulative committed op delta) *)
+  st_outbox : int;
+  st_wal : int;
+  st_epoch : int;
+  st_active : int;
+}
+
+(* Per-item verdict of one conservation cut: summed over every site on the
+   cut, fragments plus in-flight value (sent − recv) must equal the
+   installed baseline plus committed deltas.  [ci_in_flight] is exactly the
+   Vm value sitting in mailboxes/outboxes at the cut. *)
+type cut_item = {
+  ci_item : int;
+  ci_expected : int;  (* initial + Σ committed deltas on the cut *)
+  ci_fragments : int;  (* Σ per-site fragments on the cut *)
+  ci_in_flight : int;  (* Σ sent − Σ recv: value launched but not accepted *)
+  ci_delta : int;  (* Σ committed deltas on the cut *)
+  ci_ok : bool;  (* ci_fragments + ci_in_flight = ci_expected *)
+}
+
+type cut = {
+  cut_at : float;  (* wall time (cluster clock) the cut completed *)
+  cut_epoch : int;  (* common membership epoch, -1 if inconsistent *)
+  cut_consistent : bool;  (* all sites reported the same epoch *)
+  cut_items : cut_item list;
+  cut_sites : site_stats array;
+}
+
+let cut_ok c = c.cut_consistent && List.for_all (fun ci -> ci.ci_ok) c.cut_items
+
 type ctl =
   | Deliver of int * Proto.t
   | Submit of Txn.t * Txn.outcome Cell.t
   | Push of { dst : int; item : int; amount : int; reply : bool Cell.t }
   | Report of report Cell.t
+  | Stats of { reply : site_stats Cell.t; barrier : Barrier.t option }
   | Load of { item : int; amount : int; duration : float; reply : int Cell.t }
   | Stop
 
@@ -52,6 +114,10 @@ type t = {
   domains : unit Domain.t array;
   expected : (int, int) Hashtbl.t; (* main-thread view of Σ per item *)
   item_list : int list;
+  epoch : float; (* wall instant of creation: origin of the cluster clock *)
+  initial : (int, int) Hashtbl.t; (* the installed totals, cut baseline *)
+  shards : Shards.t option; (* site i -> shard i; shard n = control plane *)
+  cut_mutex : Mutex.t; (* serialises concurrent cut takers (barrier safety) *)
   mutable stopped : bool;
 }
 
@@ -127,17 +193,49 @@ let report_of site item_list =
     rep_outbox = Dvp_core.Vm.outbox_depth (Site.vm site);
   }
 
-let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
+(* The per-site snapshot that stats/cut sampling assembles.  Runs inside the
+   site's serial loop, so fragments / ledgers / metrics are read between
+   handler callbacks — each list is internally consistent. *)
+let stats_of site ~self ~item_list =
+  let vm = Site.vm site in
+  let per f = List.map (fun item -> (item, f ~item)) item_list in
+  {
+    st_site = self;
+    (* Detach: merge into a fresh Metrics.t so the main thread never reads
+       the site domain's live counters. *)
+    st_metrics = Metrics.merge (Site.metrics site) (Metrics.create ());
+    st_fragments = per (fun ~item -> Site.fragment site ~item);
+    st_sent = per (fun ~item -> Site.value_sent site ~item);
+    st_recv = per (fun ~item -> Site.value_received site ~item);
+    st_delta = per (fun ~item -> Site.committed_delta site ~item);
+    st_outbox = Dvp_core.Vm.outbox_depth vm;
+    st_wal = Dvp_storage.Wal.appended (Site.wal site);
+    st_epoch = Site.current_epoch site;
+    st_active = Site.active_txns site;
+  }
+
+let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list ~shard
     ~(ready : unit Cell.t) () =
   let mb = mailboxes.(self) in
   let timers : (unit -> unit) Heap.t = Heap.create () in
-  let now () = Unix.gettimeofday () -. epoch in
+  (* Clamp the wall clock monotone per domain: gettimeofday can step
+     backwards (NTP), and the trace-merge total order leans on per-shard
+     timestamps never regressing. *)
+  let now =
+    let last = ref 0.0 in
+    fun () ->
+      let t = Unix.gettimeofday () -. epoch in
+      if t > !last then last := t;
+      !last
+  in
   let sched at f =
     let h = Heap.add timers ~priority:at f in
     Substrate.timer_of_thunk (fun () -> Heap.cancel timers h)
   in
   let sub =
-    Substrate.make ~label:"domains" ~now
+    (* The domain's trace shard rides on the substrate: Site/Network/Health
+       pick it up via Substrate.trace without further plumbing. *)
+    Substrate.make ?trace:shard ~label:"domains" ~now
       ~schedule:(fun ~delay f -> sched (now () +. Float.max 0.0 delay) f)
       ~schedule_at:(fun ~at f -> sched at f)
       ()
@@ -173,13 +271,39 @@ let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
     | Push { dst; item; amount; reply } ->
       Cell.fill reply (Site.push_value site ~dst ~item ~amount)
     | Report reply -> Cell.fill reply (report_of site item_list)
+    | Stats { reply; barrier } ->
+      Cell.fill reply (stats_of site ~self ~item_list);
+      (* Consistent cut: hold here until every site has snapshotted, so no
+         value can move between the first and last snapshot.  Deadlock-free
+         because sends are asynchronous mailbox pushes. *)
+      (match barrier with Some b -> Barrier.arrive_and_wait b | None -> ())
     | Load { item; amount; duration; reply } ->
       start_load site sub ~item ~amount ~duration reply
     | Stop -> stop := true
   in
+  (* One-shot mailbox high-water warning, mirroring Vm's Outbox_high: warn
+     when a drained batch crosses the mark, re-arm once it falls to half. *)
+  let mailbox_warned = ref false in
+  let check_mailbox_depth batch_len =
+    if config.Config.mailbox_warn > 0 then begin
+      if (not !mailbox_warned) && batch_len > config.Config.mailbox_warn then begin
+        mailbox_warned := true;
+        match shard with
+        | Some tr ->
+          Trace.emit tr ~time:(now ())
+            (Trace.Mailbox_high
+               { site = self; depth = batch_len; limit = config.Config.mailbox_warn })
+        | None -> ()
+      end
+      else if !mailbox_warned && batch_len <= config.Config.mailbox_warn / 2 then
+        mailbox_warned := false
+    end
+  in
   while not !stop do
     fire_due ();
-    List.iter handle (Mailbox.drain mb);
+    let batch = Mailbox.drain mb in
+    check_mailbox_depth (List.length batch);
+    List.iter handle batch;
     fire_due ();
     if not !stop then begin
       let timeout =
@@ -194,7 +318,8 @@ let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
 
 (* ------------------------------------------------------------ main thread *)
 
-let create ?(seed = 42) ?(config = Config.default) ?wal_dir ~n ~items () =
+let create ?(seed = 42) ?(config = Config.default) ?wal_dir ?(tracing = false)
+    ?(trace_capacity = 65536) ~n ~items () =
   if n <= 0 then invalid_arg "Cluster.create: need at least one site";
   List.iter
     (fun (_, total) -> if total < 0 then invalid_arg "Cluster.create: negative total")
@@ -211,21 +336,47 @@ let create ?(seed = 42) ?(config = Config.default) ?wal_dir ~n ~items () =
         (Dvp_core.Value.split_even total ~parts:n))
     items;
   let epoch = Unix.gettimeofday () in
+  (* n site shards plus one control shard (index n) for the observer /
+     watchdog — single writer per ring, no cross-domain locking. *)
+  let shards =
+    if tracing then Some (Shards.create ~capacity:trace_capacity ~n:(n + 1) ()) else None
+  in
+  let shard_of i = Option.map (fun s -> Shards.shard s i) shards in
   let ready = Array.init n (fun _ -> Cell.create ()) in
   let domains =
     Array.init n (fun i ->
         Domain.spawn
           (run_site ~self:i ~n ~config ~rng:rngs.(i) ~wal_dir ~epoch ~mailboxes
-             ~layout:(List.rev layout.(i)) ~item_list ~ready:ready.(i)))
+             ~layout:(List.rev layout.(i)) ~item_list ~shard:(shard_of i)
+             ~ready:ready.(i)))
   in
   Array.iter Cell.await ready;
   let expected = Hashtbl.create 8 in
-  List.iter (fun (item, total) -> Hashtbl.replace expected item total) items;
-  { n; config; mailboxes; domains; expected; item_list; stopped = false }
+  let initial = Hashtbl.create 8 in
+  List.iter
+    (fun (item, total) ->
+      Hashtbl.replace expected item total;
+      Hashtbl.replace initial item total)
+    items;
+  {
+    n;
+    config;
+    mailboxes;
+    domains;
+    expected;
+    item_list;
+    epoch;
+    initial;
+    shards;
+    cut_mutex = Mutex.create ();
+    stopped = false;
+  }
 
 let n_sites t = t.n
 
 let items t = t.item_list
+
+let now t = Unix.gettimeofday () -. t.epoch
 
 let exec t (req : Txn.t) =
   let site = req.Txn.site in
@@ -258,6 +409,87 @@ let report_all t =
          Mailbox.push mb (Report reply);
          reply)
   |> List.map Cell.await
+
+let stats t =
+  let replies =
+    Array.map
+      (fun mb ->
+        let reply = Cell.create () in
+        Mailbox.push mb (Stats { reply; barrier = None });
+        reply)
+      t.mailboxes
+  in
+  Array.map Cell.await replies
+
+let mailbox_depth t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.mailbox_depth: site out of range";
+  Mailbox.length t.mailboxes.(i)
+
+let assemble_cut ~at ~initial ~item_list (sites : site_stats array) =
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 sites in
+  let epoch0 = if Array.length sites = 0 then 0 else sites.(0).st_epoch in
+  let consistent = Array.for_all (fun st -> st.st_epoch = epoch0) sites in
+  let items =
+    List.map
+      (fun item ->
+        let look l = Option.value ~default:0 (List.assoc_opt item l) in
+        let fragments = sum (fun st -> look st.st_fragments) in
+        let sent = sum (fun st -> look st.st_sent) in
+        let recv = sum (fun st -> look st.st_recv) in
+        let delta = sum (fun st -> look st.st_delta) in
+        let base = Option.value ~default:0 (Hashtbl.find_opt initial item) in
+        let expected = base + delta in
+        let in_flight = sent - recv in
+        {
+          ci_item = item;
+          ci_expected = expected;
+          ci_fragments = fragments;
+          ci_in_flight = in_flight;
+          ci_delta = delta;
+          ci_ok = fragments + in_flight = expected;
+        })
+      item_list
+  in
+  {
+    cut_at = at;
+    cut_epoch = (if consistent then epoch0 else -1);
+    cut_consistent = consistent;
+    cut_items = items;
+    cut_sites = sites;
+  }
+
+let cut_of_stats ~at ~initial ~items sites =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (item, v) -> Hashtbl.replace tbl item v) initial;
+  assemble_cut ~at ~initial:tbl ~item_list:items sites
+
+let sample_cut t =
+  (* Serialise concurrent cut takers: two overlapping cuts would hand the
+     sites two different barriers in unpredictable orders and deadlock. *)
+  Mutex.lock t.cut_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.cut_mutex)
+    (fun () ->
+      let barrier = Barrier.create t.n in
+      let replies =
+        Array.map
+          (fun mb ->
+            let reply = Cell.create () in
+            Mailbox.push mb (Stats { reply; barrier = Some barrier });
+            reply)
+          t.mailboxes
+      in
+      let sites = Array.map Cell.await replies in
+      assemble_cut ~at:(now t) ~initial:t.initial ~item_list:t.item_list sites)
+
+let shards t = t.shards
+
+let ctl_trace t = Option.map (fun s -> Shards.shard s t.n) t.shards
+
+let trace_jsonl t =
+  match t.shards with
+  | Some s -> Some (Shards.to_jsonl s)
+  | None -> None
 
 let run_load t ~duration ?(amount = 1) ~item () =
   let replies =

@@ -24,6 +24,8 @@ val create :
   ?seed:int ->
   ?config:Dvp_core.Config.t ->
   ?wal_dir:string ->
+  ?tracing:bool ->
+  ?trace_capacity:int ->
   n:int ->
   items:(Dvp_core.Ids.item * int) list ->
   unit ->
@@ -31,11 +33,24 @@ val create :
 (** Spawn [n] site domains, install each item's total split evenly across
     the sites, and wait until every site is live.  With [wal_dir], site [i]
     appends every forced WAL record (marshalled) to [wal_dir]/site-[i].wal
-    and flushes on each force. *)
+    and flushes on each force.
+
+    With [tracing] (default false), the cluster carries a
+    {!Dvp_trace.Shards.t} of [n + 1] bounded rings: shard [i] is written
+    only by site [i]'s domain (installed as its substrate trace sink, so
+    core/net/health emit into it unchanged and without cross-domain
+    locking), and shard [n] is the control plane for the observer/watchdog.
+    [trace_capacity] (default 65536) is the per-shard ring size; size it to
+    the run — roughly four events per committed transaction. *)
 
 val n_sites : t -> int
 
 val items : t -> Dvp_core.Ids.item list
+
+val now : t -> float
+(** Seconds since the cluster came up — the same clock origin the site
+    domains timestamp their trace shards with, so observer-side emissions
+    into the control shard order sensibly against site events. *)
 
 val exec : t -> Dvp_core.Txn.t -> Dvp_core.Txn.outcome
 (** Run one transaction at its home site and wait for the outcome.  Retry
@@ -67,6 +82,96 @@ val conserved : t -> item:Dvp_core.Ids.item -> bool
     legitimately fail. *)
 
 val conserved_all : t -> bool
+
+(** {1 Live observability}
+
+    Wall-clock telemetry and the conservation watchdog sample a running
+    cluster without pausing the workload (stats) or with a momentary
+    freeze-barrier rendezvous (cuts). *)
+
+(** One site's self-reported snapshot, taken inside its serial event loop
+    (so every field is consistent with every other at a point between
+    handler callbacks). *)
+type site_stats = {
+  st_site : int;
+  st_metrics : Dvp_core.Metrics.t;
+      (** a detached copy — safe to read from any thread *)
+  st_fragments : (Dvp_core.Ids.item * int) list;
+  st_sent : (Dvp_core.Ids.item * int) list;
+      (** cumulative Vm value shipped, per item (never rolled back) *)
+  st_recv : (Dvp_core.Ids.item * int) list;
+      (** cumulative Vm value accepted, per item *)
+  st_delta : (Dvp_core.Ids.item * int) list;
+      (** cumulative committed op delta, per item *)
+  st_outbox : int;  (** Vm outstanding + parked fragments *)
+  st_wal : int;  (** WAL records appended *)
+  st_epoch : int;  (** membership epoch the site believes in *)
+  st_active : int;  (** in-flight transactions *)
+}
+
+val stats : t -> site_stats array
+(** Snapshot every site, without any freeze: each site answers from its own
+    loop, so the array is {e per-site} consistent but not a consistent cut —
+    use for telemetry gauges, not conservation checks.  Any thread. *)
+
+val mailbox_depth : t -> int -> int
+(** Messages queued for site [i]'s domain right now (the live mailbox-depth
+    gauge).  Any thread. *)
+
+(** Per-item verdict of a conservation cut. *)
+type cut_item = {
+  ci_item : Dvp_core.Ids.item;
+  ci_expected : int;  (** installed baseline + Σ committed deltas on the cut *)
+  ci_fragments : int;  (** Σ per-site fragments on the cut *)
+  ci_in_flight : int;
+      (** Σ sent − Σ recv: Vm value launched but not yet accepted — the
+          value in mailboxes and outboxes at the cut *)
+  ci_delta : int;  (** Σ committed deltas on the cut *)
+  ci_ok : bool;  (** [ci_fragments + ci_in_flight = ci_expected] *)
+}
+
+type cut = {
+  cut_at : float;  (** {!now}-clock time the cut completed *)
+  cut_epoch : int;  (** the common membership epoch; [-1] if inconsistent *)
+  cut_consistent : bool;  (** all sites reported the same epoch *)
+  cut_items : cut_item list;
+  cut_sites : site_stats array;  (** the raw per-site snapshots *)
+}
+
+val cut_ok : cut -> bool
+(** Epoch-consistent and every item conserves exactly. *)
+
+val cut_of_stats :
+  at:float ->
+  initial:(Dvp_core.Ids.item * int) list ->
+  items:Dvp_core.Ids.item list ->
+  site_stats array ->
+  cut
+(** The pure verdict fold {!sample_cut} applies to its snapshots — exposed
+    so tests and offline tooling can re-run the conservation check over
+    recorded [site_stats]. *)
+
+val sample_cut : t -> cut
+(** Take an epoch-consistent conservation cut.  Every site snapshots its
+    stats and then blocks on a rendezvous barrier until {e all} sites have
+    snapshotted, so no Vm send can cross the cut backwards: the equality
+    [fragments + in_flight = expected] is exact per cut, no tolerance
+    needed.  The freeze lasts one rendezvous (microseconds at small [n]);
+    sends are asynchronous mailbox pushes, so the rendezvous cannot
+    deadlock.  Concurrent callers are serialised internally.  Any thread. *)
+
+val shards : t -> Dvp_trace.Shards.t option
+(** The trace shards when [create ~tracing:true], site [i] on shard [i]. *)
+
+val ctl_trace : t -> Dvp_trace.Trace.t option
+(** The control-plane shard (index [n]) — the observer/watchdog's ring.
+    Single writer: only one observer should emit into it. *)
+
+val trace_jsonl : t -> string option
+(** Merge all shards into one totally-ordered JSONL dump (same stream shape
+    the DES {!Dvp_sim.Trace.to_jsonl} produces, plus [shard]/[seq] fields),
+    ready for [dvp-cli analyze].  Call after the workload has quiesced —
+    the merge reads rings the site domains write. *)
 
 val stop : t -> unit
 (** Stop every site domain, join them, close WAL files and mailboxes.

@@ -23,6 +23,12 @@ let push t x =
   Mutex.unlock t.mutex;
   if wake then ignore (Unix.write t.wr wake_byte 0 1)
 
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mutex;
+  n
+
 let drain t =
   Mutex.lock t.mutex;
   let acc = ref [] in

@@ -15,6 +15,10 @@ val push : 'a t -> 'a -> unit
 (** Enqueue and, if the consumer is parked in {!wait}, wake it.
     Thread-safe. *)
 
+val length : 'a t -> int
+(** Messages currently queued (not yet drained).  Thread-safe; any thread
+    may read it — this is the live telemetry's mailbox-depth gauge. *)
+
 val drain : 'a t -> 'a list
 (** Remove and return every queued element, oldest first.  Consumer only. *)
 

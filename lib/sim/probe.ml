@@ -1,5 +1,10 @@
+(* Time comes either from the engine (scheduled, self-rescheduling ticks) or
+   from a caller-supplied clock (manual mode: the caller drives sampling,
+   e.g. a wall-clock observer domain). *)
+type clock = Engine_clock of Engine.t | Manual_clock of (unit -> float)
+
 type 'a t = {
-  engine : Engine.t;
+  clock : clock;
   period : float;
   sample : float -> 'a;
   mutable series : (float * 'a) list; (* newest first *)
@@ -7,22 +12,34 @@ type 'a t = {
   mutable running : bool;
 }
 
+let now t =
+  match t.clock with Engine_clock e -> Engine.now e | Manual_clock f -> f ()
+
 let rec tick t () =
   if t.running then begin
-    let now = Engine.now t.engine in
-    t.series <- (now, t.sample now) :: t.series;
-    t.n <- t.n + 1;
-    ignore (Engine.schedule t.engine ~delay:t.period (tick t))
+    match t.clock with
+    | Manual_clock _ -> ()
+    | Engine_clock engine ->
+      let now = Engine.now engine in
+      t.series <- (now, t.sample now) :: t.series;
+      t.n <- t.n + 1;
+      ignore (Engine.schedule engine ~delay:t.period (tick t))
   end
 
 let start engine ~period ~sample =
   if period <= 0.0 then invalid_arg "Probe.start: period must be positive";
-  let t = { engine; period; sample; series = []; n = 0; running = true } in
+  let t =
+    { clock = Engine_clock engine; period; sample; series = []; n = 0; running = true }
+  in
   ignore (Engine.schedule engine ~delay:period (tick t));
   t
 
+let manual ~clock ~period ~sample =
+  if period <= 0.0 then invalid_arg "Probe.manual: period must be positive";
+  { clock = Manual_clock clock; period; sample; series = []; n = 0; running = true }
+
 let sample_now t =
-  let now = Engine.now t.engine in
+  let now = now t in
   t.series <- (now, t.sample now) :: t.series;
   t.n <- t.n + 1
 

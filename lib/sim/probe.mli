@@ -17,10 +17,17 @@ val start : Engine.t -> period:float -> sample:(float -> 'a) -> 'a t
     [period] until {!stop}.  The sampler receives the current simulated
     time. *)
 
+val manual : clock:(unit -> float) -> period:float -> sample:(float -> 'a) -> 'a t
+(** A probe with no engine: nothing is scheduled, the caller drives
+    sampling by calling {!sample_now} on its own cadence (nominally every
+    [period]) and timestamps come from [clock].  This is how the wall-clock
+    observer reuses the telemetry machinery outside the DES. *)
+
 val sample_now : 'a t -> unit
-(** Take one sample immediately, at the current simulated time, outside the
+(** Take one sample immediately, at the current clock time, outside the
     periodic cadence.  Used at end of run so the last partial window is not
-    silently lost: call it just before {!stop}. *)
+    silently lost (call it just before {!stop}) — and as the {e only}
+    sampling path of a {!manual} probe. *)
 
 val stop : 'a t -> unit
 

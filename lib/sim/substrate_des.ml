@@ -1,7 +1,7 @@
 module Substrate = Dvp_substrate.Substrate
 
-let of_engine e =
-  Substrate.make ~label:"des"
+let of_engine ?trace e =
+  Substrate.make ?trace ~label:"des"
     ~now:(fun () -> Engine.now e)
     ~schedule:(fun ~delay f ->
       let h = Engine.schedule e ~delay f in

@@ -5,9 +5,11 @@ type t = {
   now : unit -> float;
   schedule : delay:float -> (unit -> unit) -> timer;
   schedule_at : at:float -> (unit -> unit) -> timer;
+  trace : Dvp_trace.Trace.t option;
 }
 
-let make ~label ~now ~schedule ~schedule_at () = { label; now; schedule; schedule_at }
+let make ?trace ~label ~now ~schedule ~schedule_at () =
+  { label; now; schedule; schedule_at; trace }
 
 let timer_of_thunk cancel_thunk = { cancel_thunk }
 
@@ -18,5 +20,7 @@ let now t = t.now ()
 let schedule t ~delay f = t.schedule ~delay f
 
 let schedule_at t ~at f = t.schedule_at ~at f
+
+let trace t = t.trace
 
 let cancel timer = timer.cancel_thunk ()

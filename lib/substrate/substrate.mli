@@ -47,9 +47,16 @@ type t = {
   now : unit -> float;  (** seconds; virtual (DES) or wall since start *)
   schedule : delay:float -> (unit -> unit) -> timer;
   schedule_at : at:float -> (unit -> unit) -> timer;
+  trace : Dvp_trace.Trace.t option;
+      (** the substrate's trace sink, if it carries one — in the multicore
+          runtime this is the calling domain's own shard
+          ({!Dvp_trace.Shards}); protocol components created without an
+          explicit [?trace] default to it, so the same core code emits
+          events unchanged on both substrates *)
 }
 
 val make :
+  ?trace:Dvp_trace.Trace.t ->
   label:string ->
   now:(unit -> float) ->
   schedule:(delay:float -> (unit -> unit) -> timer) ->
@@ -70,6 +77,10 @@ val schedule : t -> delay:float -> (unit -> unit) -> timer
     "as soon as possible". *)
 
 val schedule_at : t -> at:float -> (unit -> unit) -> timer
+
+val trace : t -> Dvp_trace.Trace.t option
+(** The substrate-carried trace sink ([None] unless the composition root
+    installed one at {!make} time). *)
 
 val cancel : timer -> bool
 (** Deschedule a pending timer; [false] if it already fired or was already

@@ -1,0 +1,79 @@
+module Json = Dvp_util.Json
+
+type t = { rings : Trace.t array }
+
+let create ?capacity ~n () =
+  if n <= 0 then invalid_arg "Shards.create: need at least one shard";
+  { rings = Array.init n (fun _ -> Trace.create ?capacity ()) }
+
+let n_shards t = Array.length t.rings
+
+let shard t i =
+  if i < 0 || i >= Array.length t.rings then invalid_arg "Shards.shard: out of range";
+  t.rings.(i)
+
+let total_dropped t = Array.fold_left (fun acc r -> acc + Trace.drop_count r) 0 t.rings
+
+let total_events t =
+  Array.fold_left (fun acc r -> acc + List.length (Trace.events r)) 0 t.rings
+
+let set_enabled t v = Array.iter (fun r -> Trace.set_enabled r v) t.rings
+
+let clear t = Array.iter Trace.clear t.rings
+
+(* The merge key.  Within one shard, timestamps are monotone (the runtime
+   clamps its clock) and sequence numbers strictly increase, so sorting by
+   (time, shard, seq) is a total order that refines per-shard emission order.
+   Equal wall timestamps across shards break ties by shard id — arbitrary
+   but deterministic, which is all a cross-domain order can honestly claim
+   at equal clock readings. *)
+let merge_key (time, shardid, seq) (time', shardid', seq') =
+  match Float.compare time time' with
+  | 0 -> ( match Int.compare shardid shardid' with 0 -> Int.compare seq seq' | c -> c)
+  | c -> c
+
+let merged t =
+  let all = ref [] in
+  Array.iteri
+    (fun shardid ring ->
+      List.iter
+        (fun (seq, time, ev) -> all := (shardid, seq, time, ev) :: !all)
+        (Trace.seq_events ring))
+    t.rings;
+  List.sort
+    (fun (s, q, tm, _) (s', q', tm', _) -> merge_key (tm, s, q) (tm', s', q'))
+    !all
+
+let merged_events t = List.map (fun (_, _, time, ev) -> (time, ev)) (merged t)
+
+let to_jsonl t =
+  let buf = Buffer.create 65536 in
+  let evs = merged t in
+  (* Same meta header shape as [Trace.to_jsonl] — [Trace.meta_of_jsonl] and
+     every downstream consumer read the merged stream exactly like a
+     single-ring dump — plus a "shards" field for provenance. *)
+  Buffer.add_string buf
+    (Json.to_string
+       (Json.Obj
+          [
+            ("type", Json.String "meta");
+            ("events", Json.Int (List.length evs));
+            ("dropped", Json.Int (total_dropped t));
+            ( "capacity",
+              Json.Int
+                (Array.fold_left (fun acc r -> acc + Trace.capacity r) 0 t.rings) );
+            ("shards", Json.Int (Array.length t.rings));
+          ]));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (shardid, seq, time, ev) ->
+      let line =
+        match Trace.event_to_json ~time ev with
+        | Json.Obj fields ->
+          Json.Obj (fields @ [ ("shard", Json.Int shardid); ("seq", Json.Int seq) ])
+        | other -> other
+      in
+      Buffer.add_string buf (Json.to_string line);
+      Buffer.add_char buf '\n')
+    evs;
+  Buffer.contents buf

@@ -52,6 +52,9 @@ type event =
       (** a condemned [site]'s fragments were re-homed onto survivors *)
   | Outbox_high of { site : int; depth : int; limit : int }
       (** the site's parked/outstanding Vm outbox crossed its high-water mark *)
+  | Mailbox_high of { site : int; depth : int; limit : int }
+      (** a runtime site domain drained a mailbox batch past its high-water
+          mark — the domain is falling behind its peers' sends *)
   | Join of { site : int; epoch : int; seeded : int }
       (** [site] completed its join and became a member at [epoch]; the
           members shipped it [seeded] units during the handshake *)
@@ -81,6 +84,12 @@ val emit : t -> time:float -> event -> unit
 val events : t -> (float * event) list
 (** Oldest first (of the retained window). *)
 
+val seq_events : t -> (int * float * event) list
+(** Oldest first, each event paired with its per-ring sequence number: the
+    i-th retained event was the ({!drop_count} + i)-th ever emitted.
+    Sequence numbers are dense and strictly increasing within one ring, so
+    [(time, ring, seq)] totally orders a multi-ring merge. *)
+
 val iter_events : t -> (time:float -> event -> unit) -> unit
 (** Walk the retained window oldest-first without materialising a list —
     the allocation-free way to scan a large trace. *)
@@ -90,6 +99,9 @@ val find_events : t -> f:(event -> bool) -> (float * event) list
 val count_events : t -> f:(event -> bool) -> int
 (** Number of retained events satisfying [f]; no lists built, nothing
     rendered.  [count] is this with a category predicate. *)
+
+val capacity : t -> int
+(** The bound the ring was created with. *)
 
 val drop_count : t -> int
 (** Number of events evicted because the buffer was full.  Non-zero means
@@ -154,6 +166,12 @@ val to_jsonl : t -> string
 val of_jsonl : string -> (float * event) list
 (** Parse a {!to_jsonl} dump back; the meta header and malformed lines are
     skipped. *)
+
+val of_jsonl_stats : string -> (float * event) list * int
+(** {!of_jsonl} plus the number of non-empty lines that were not parseable
+    as events (meta headers excluded) — typically the single line a
+    crash-time dump clipped mid-write.  Consumers should treat that count as
+    additional dropped events, not as a parse failure. *)
 
 val meta_of_jsonl : string -> meta option
 (** The header of a {!to_jsonl} dump; [None] for dumps written before the

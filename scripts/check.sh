@@ -138,6 +138,48 @@ EOF
     echo "multicore smoke ok (grep)"
   fi
   rm -f "$wall_out"
+
+  # Wall observability smoke: the same closed loop with the per-domain trace
+  # shards, the live stats feed, and the conservation watchdog all armed.
+  # The bench exits non-zero on any watchdog alarm; the analyzer must then
+  # reconstruct the merged dump to exactly the commit count the bench
+  # reported (total order + completeness, end to end).
+  echo "== wall observability smoke: tracing + watchdog at $DOMAINS domains =="
+  obs_dir=$(mktemp -d)
+  dune exec bin/dvp_cli.exe -- bench --wall --domains "$DOMAINS" --duration 0.3 \
+    --trace-out "$obs_dir/trace.jsonl" --stats-out "$obs_dir/stats.jsonl" \
+    --watchdog --json >"$obs_dir/bench.json"
+  test -s "$obs_dir/trace.jsonl" || {
+    echo "wall smoke: no trace written" >&2
+    exit 1
+  }
+  test -s "$obs_dir/stats.jsonl" || {
+    echo "wall smoke: no stats feed written" >&2
+    exit 1
+  }
+  dune exec bin/dvp_cli.exe -- analyze "$obs_dir/trace.jsonl" --json \
+    >"$obs_dir/analyze.json"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$obs_dir/bench.json" "$obs_dir/analyze.json" <<'EOF'
+import json, sys
+bench = json.load(open(sys.argv[1]))
+spans = json.load(open(sys.argv[2]))
+assert bench["conserved"], "wall smoke did not conserve value"
+assert bench["watchdog_alarms"] == 0, "conservation watchdog alarmed"
+assert spans["complete"], "merged trace was clipped"
+assert spans["txns"]["committed"] == bench["committed"], (
+    f"span commits {spans['txns']['committed']} != bench {bench['committed']}")
+print(f"wall observability ok: {bench['committed']} commits, spans agree, "
+      f"watchdog quiet")
+EOF
+  else
+    grep -q '"watchdog_alarms":0' "$obs_dir/bench.json" || {
+      echo "wall smoke: watchdog alarmed" >&2
+      exit 1
+    }
+    echo "wall observability ok (grep)"
+  fi
+  rm -rf "$obs_dir"
 else
   echo "== skipping multicore smoke (host has $cores core(s), need >= 2) =="
 fi

@@ -323,3 +323,78 @@ ratio = reb["late_throughput"] / max(skewed["late_throughput"], 1e-9)
 print(f"perf gate ok: {len(base)} E21 runs within {tol:.0%} of baseline, "
       f"rebalancing restores {ratio:.1f}x over the skewed row")
 EOF
+
+# --- E22-trace: the observability plane's overhead contract -------------
+#
+# Wall-clock rates are host-dependent, so nothing is compared against the
+# baseline's absolute numbers.  What the gate enforces on the current run:
+#   - both modes conserve value at quiesce (always);
+#   - with tracing on, the merged shard stream reconstructs to exactly the
+#     commit count Metrics reports (always — completeness, not speed);
+#   - with >= 2 real cores, tracing costs < max_overhead_pct committed/s
+#     (the contract recorded in the committed baseline).  On a single-core
+#     host the 4 domains time-slice and tracing work is serialised onto the
+#     same core, inflating the measurement, so the contract is skipped.
+# Refresh the baseline with:
+#   dune exec bench/main.exe -- E22-trace --out bench/baselines
+
+baseline22="bench/baselines/BENCH_E22_trace.json"
+
+if [ ! -s "$baseline22" ]; then
+  echo "perf gate: no baseline at $baseline22" >&2
+  exit 1
+fi
+
+echo "== perf gate: bench E22-trace (contract from $baseline22) =="
+dune exec bench/main.exe -- E22-trace --out "$tmpdir" >/dev/null
+
+python3 - "$baseline22" "$tmpdir/BENCH_E22_trace.json" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+
+def pick(doc, key):
+    for r in doc["runs"]:
+        if key in r:
+            return r[key]
+    return None
+
+max_overhead = (pick(base_doc, "contract") or {}).get("max_overhead_pct", 5.0)
+modes = {r["mode"]: r for r in cur_doc["runs"] if "mode" in r}
+overhead = pick(cur_doc, "overhead_pct")
+
+failures = []
+
+for mode, r in sorted(modes.items()):
+    if not r["conserved"]:
+        failures.append(f"tracing {mode}: value NOT conserved at quiesce")
+    if r["committed"] <= 0:
+        failures.append(f"tracing {mode}: committed nothing")
+
+on = modes.get("on")
+if on is None or "off" not in modes:
+    failures.append("expected one 'on' and one 'off' mode row")
+elif not on["spans_match_metrics"]:
+    failures.append("merged trace spans disagree with Metrics commit counts")
+
+cores = next(iter(modes.values()))["cores"] if modes else 0
+if cores >= 2 and overhead is not None:
+    if overhead > max_overhead:
+        failures.append(
+            f"tracing overhead {overhead:.1f}% exceeds contract "
+            f"{max_overhead:.1f}% on a {cores}-core host")
+    verdict = f"tracing overhead {overhead:.1f}% (contract <= {max_overhead:.1f}%)"
+else:
+    verdict = (f"overhead contract skipped: host has {cores} core(s), need >= 2 "
+               f"for a meaningful tracing-overhead measurement "
+               f"(measured {overhead:.1f}%)")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+print(f"perf gate ok: E22-trace spans match metrics; {verdict}")
+EOF

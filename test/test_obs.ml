@@ -74,6 +74,9 @@ let event_gen =
         (fun s d l -> Trace.Outbox_high { site = s; depth = d; limit = l })
         site (int_bound 500) (int_bound 200);
       map3
+        (fun s d l -> Trace.Mailbox_high { site = s; depth = d; limit = l })
+        site (int_bound 500) (int_bound 200);
+      map3
         (fun s e d -> Trace.Join { site = s; epoch = e; seeded = d })
         site (int_bound 9) amount;
       map3 (fun s e d -> Trace.Leave { site = s; epoch = e; shed = d }) site (int_bound 9) amount;
