@@ -163,6 +163,72 @@ let m9_single_delivery =
              ~ack_upto:(-1)
          done))
 
+(* The event-queue pair at scale: steady-state push/pop with 10^5 pending
+   timers, on the reference heap and on the wheel that replaced it. *)
+let m10_heap_100k =
+  let h = Dvp.Util.Heap.create () in
+  for i = 1 to 100_000 do
+    ignore (Dvp.Util.Heap.add h ~priority:(0.001 *. float_of_int i) i)
+  done;
+  let next = ref 101.0 in
+  Test.make ~name:"m10-heap-push-pop-100k"
+    (Staged.stage (fun () ->
+         ignore (Dvp.Util.Heap.add h ~priority:!next 0);
+         next := !next +. 0.001;
+         ignore (Dvp.Util.Heap.pop h)))
+
+let m10_wheel_100k =
+  let w = Dvp.Util.Timer_wheel.create () in
+  for i = 1 to 100_000 do
+    ignore (Dvp.Util.Timer_wheel.add w ~priority:(0.001 *. float_of_int i) i)
+  done;
+  let next = ref 101.0 in
+  Test.make ~name:"m10-wheel-push-pop-100k"
+    (Staged.stage (fun () ->
+         ignore (Dvp.Util.Timer_wheel.add w ~priority:!next 0);
+         next := !next +. 0.001;
+         ignore (Dvp.Util.Timer_wheel.pop w)))
+
+let m10_wheel_cancel =
+  (* The O(1) tombstone path — what every rearmed retransmission timer pays. *)
+  let w = Dvp.Util.Timer_wheel.create () in
+  for i = 1 to 100_000 do
+    ignore (Dvp.Util.Timer_wheel.add w ~priority:(0.001 *. float_of_int i) i)
+  done;
+  let next = ref 101.0 in
+  Test.make ~name:"m10-wheel-add-cancel-100k"
+    (Staged.stage (fun () ->
+         let h = Dvp.Util.Timer_wheel.add w ~priority:!next 0 in
+         next := !next +. 0.001;
+         ignore (Dvp.Util.Timer_wheel.cancel w h)))
+
+(* Idle-installation overhead: one simulated second of a 256-site system with
+   nothing to do (checkpoint daemon armed, all sites quiet).  The
+   activity-driven daemons make this O(active), so it should cost close to
+   nothing; the synthetic global-tick baseline below is what the old design
+   paid — a daemon touching all 256 sites every 50 ms regardless. *)
+let m11_idle_sites =
+  let sys = Dvp.System.create ~seed:3 ~n:256 () in
+  Dvp.System.add_item sys ~item:0 ~total:25_600 ();
+  Dvp.System.start_periodic_checkpoints sys ~every:0.1;
+  Dvp.System.run_until sys 1.0;
+  Test.make ~name:"m11-idle-sites-256-1s"
+    (Staged.stage (fun () -> Dvp.System.run_until sys (Dvp.System.now sys +. 1.0)))
+
+let m11_global_tick =
+  let engine = Dvp.Engine.create () in
+  let sites = Array.make 256 1 in
+  let acc = ref 0 in
+  let rec tick () =
+    for i = 0 to Array.length sites - 1 do
+      acc := !acc + sites.(i)
+    done;
+    ignore (Dvp.Engine.schedule engine ~delay:0.05 tick)
+  in
+  ignore (Dvp.Engine.schedule engine ~delay:0.05 tick);
+  Test.make ~name:"m11-global-tick-256-1s"
+    (Staged.stage (fun () -> Dvp.Engine.run_until engine (Dvp.Engine.now engine +. 1.0)))
+
 let tests =
   [
     m1_wal_append;
@@ -177,7 +243,41 @@ let tests =
     m8_outstanding_read;
     m9_batch_delivery;
     m9_single_delivery;
+    m10_heap_100k;
+    m10_wheel_100k;
+    m10_wheel_cancel;
+    m11_idle_sites;
+    m11_global_tick;
   ]
+
+(* m12: allocation per simulator event, from Gc.allocated_bytes over a loaded
+   64-site run.  Not a Bechamel test — the interesting number is bytes/event
+   across a whole workload (hot paths plus daemons), not ns of one closure. *)
+let m12_alloc_per_event () =
+  let n = 64 in
+  let sys = Dvp.System.create ~seed:11 ~n () in
+  Dvp.System.add_item sys ~item:0 ~total:(n * 1000) ();
+  let sub = Dvp.System.sub sys in
+  let t_end = 3.0 in
+  for site = 0 to n - 1 do
+    let rec drive () =
+      Dvp.System.exec sys (Dvp.Txn.write ~site [ (0, Dvp.Op.Incr 1) ]) ~on_done:ignore;
+      if Dvp.Substrate.now sub +. 0.002 < t_end then
+        ignore (Dvp.Substrate.schedule sub ~delay:0.002 drive)
+    in
+    ignore
+      (Dvp.Substrate.schedule sub
+         ~delay:(0.002 *. float_of_int site /. float_of_int n)
+         drive)
+  done;
+  Dvp.System.run_until sys 0.5;
+  let engine = Dvp.System.engine sys in
+  let e0 = Dvp.Engine.events engine and b0 = Gc.allocated_bytes () in
+  Dvp.System.run_until sys t_end;
+  let e1 = Dvp.Engine.events engine and b1 = Gc.allocated_bytes () in
+  let events = e1 - e0 in
+  if events > 0 then
+    Printf.printf "  %-32s %10.1f B/event (%d events)\n" "m12-alloc-per-event-64" ((b1 -. b0) /. float_of_int events) events
 
 let run ?(quick = false) () =
   print_endline "\nMicro-benchmarks (Bechamel, monotonic clock)";
@@ -202,4 +302,5 @@ let run ?(quick = false) () =
         match Analyze.OLS.estimates ols with
         | Some [ ns ] -> Printf.printf "  %-32s %10.1f ns/op\n" name ns
         | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
-      rows
+      rows;
+    m12_alloc_per_event ()

@@ -63,6 +63,15 @@ type t = {
      (fragment = installed + received + delta - sent), which the runtime's
      watchdog folds across a consistent cut. *)
   cum_delta : (Ids.item, int) Hashtbl.t;
+  (* Shared, permanently-empty drain ledger handed to General transactions —
+     only Drain_read transactions ever write one, so the common commit path
+     allocates no per-txn table. *)
+  no_drain : (Ids.item * Ids.site, unit) Hashtbl.t;
+  (* Stable-view caches keyed on the WAL's stable-contents version: the
+     conservation oracle probes every site's replayed state after each fault,
+     and without the cache each probe costs a full log replay per call. *)
+  mutable vm_view_cache : (int * Log_replay.vm_view) option;
+  mutable db_view_cache : (int * Log_replay.db_view) option;
 }
 
 let vm_exn t = match t.vm with Some v -> v | None -> assert false
@@ -444,7 +453,8 @@ let begin_txn t ~kind ~ops ~on_done =
       lock_time = None;
       timer = None;
       awaiting = false;
-      drain_heard = Hashtbl.create 4;
+      drain_heard =
+        (match kind with Drain_read _ -> Hashtbl.create 4 | General -> t.no_drain);
       drain_expect = t.n - 1;
       on_done;
       finished = false;
@@ -768,15 +778,35 @@ let checkpoint t =
 
 (* ------------------------------------------------- stable-state oracles *)
 
-let stable_fragment t ~item =
-  let view = Log_replay.db_view t.wal in
-  Db.value view.Log_replay.db ~item
+(* The oracles below replay the stable log, which the invariant checker does
+   for every site after every fault — and, pairwise, for every (src, dst)
+   edge.  Both views are cached against the WAL's stable-contents version,
+   so a burst of oracle calls over a quiet log replays it at most once. *)
 
-let stable_accepted_upto t ~peer =
-  (Log_replay.vm_view ~n:t.n t.wal).Log_replay.vm_accepted.(peer)
+let stable_vm_view t =
+  let v = Wal.version t.wal in
+  match t.vm_view_cache with
+  | Some (v', view) when v' = v -> view
+  | _ ->
+    let view = Log_replay.vm_view ~n:t.n t.wal in
+    t.vm_view_cache <- Some (v, view);
+    view
+
+let stable_db_view t =
+  let v = Wal.version t.wal in
+  match t.db_view_cache with
+  | Some (v', view) when v' = v -> view
+  | _ ->
+    let view = Log_replay.db_view t.wal in
+    t.db_view_cache <- Some (v, view);
+    view
+
+let stable_fragment t ~item = Db.value (stable_db_view t).Log_replay.db ~item
+
+let stable_accepted_upto t ~peer = (stable_vm_view t).Log_replay.vm_accepted.(peer)
 
 let stable_outstanding_to t ~dst =
-  let view = Log_replay.vm_view ~n:t.n t.wal in
+  let view = stable_vm_view t in
   Hashtbl.fold
     (fun (d, seq) o acc ->
       if d = dst then (seq, o.Log_replay.item, o.Log_replay.amount) :: acc else acc)
@@ -785,7 +815,7 @@ let stable_outstanding_to t ~dst =
 
 (* --------------------------------------------------------------- create *)
 
-let create sub ~self ~n ~send ~config ~rng ?trace () =
+let create sub ~self ~n ~send ~config ~rng ?trace ?on_inflight () =
   (* No explicit sink: inherit the substrate's (the runtime installs each
      domain's trace shard there, so wall-mode sites emit unchanged). *)
   let trace = match trace with Some _ -> trace | None -> Substrate.trace sub in
@@ -813,6 +843,9 @@ let create sub ~self ~n ~send ~config ~rng ?trace () =
       membership = None;
       epoch_view = None;
       cum_delta = Hashtbl.create 8;
+      no_drain = Hashtbl.create 1;
+      vm_view_cache = None;
+      db_view_cache = None;
     }
   in
   let vm =
@@ -826,7 +859,8 @@ let create sub ~self ~n ~send ~config ~rng ?trace () =
       ~batch:config.Config.transport.Config.Transport.vm_batch
       ~backoff_mult:config.Config.transport.Config.Transport.vm_backoff_mult
       ~backoff_max:config.Config.transport.Config.Transport.vm_backoff_max
-      ~rng:(Dvp_util.Rng.split t.rng) ~outbox_warn:config.Config.vm_outbox_warn ()
+      ~rng:(Dvp_util.Rng.split t.rng) ~outbox_warn:config.Config.vm_outbox_warn
+      ?on_inflight ()
   in
   t.vm <- Some vm;
   Vm.start vm;

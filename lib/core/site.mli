@@ -38,8 +38,12 @@ val create :
   config:Config.t ->
   rng:Dvp_util.Rng.t ->
   ?trace:Dvp_sim.Trace.t ->
+  ?on_inflight:(Ids.item -> int -> unit) ->
   unit ->
   t
+(** [on_inflight] is forwarded to {!Vm.create}: called with [+amount] on each
+    [Vm_create] forced here and [-amount] on each [Vm_accept] — the system
+    layer's incremental in-flight ledger. *)
 
 val set_broadcast : t -> (Proto.t list -> unit) -> unit
 (** Conc2 transport: how a transaction's request set leaves the site as one
@@ -181,7 +185,13 @@ val timestamp_of : t -> item:Ids.item -> Ids.ts
 
     These replay the stable log into scratch structures without touching the
     live site, so the conservation invariant can be evaluated even while the
-    site is crashed. *)
+    site is crashed.  The replayed views are cached against the WAL's
+    stable-contents version ({!Dvp_storage.Wal.version}), so repeated oracle
+    calls over a quiet log replay it at most once. *)
+
+val stable_vm_view : t -> Log_replay.vm_view
+(** The site's full replayed Vm view (cached).  The system-wide in-flight
+    oracle folds one of these per site instead of one per (src, dst) pair. *)
 
 val stable_fragment : t -> item:Ids.item -> int
 

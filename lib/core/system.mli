@@ -22,13 +22,19 @@ val create :
   ?link:Dvp_net.Linkstate.params ->
   ?trace:Dvp_sim.Trace.t ->
   ?capacity:int ->
+  ?queue:[ `Wheel | `Heap_reference ] ->
   n:int ->
   unit ->
   t
 (** [capacity] (default [n], must be [>= n]) sizes the installation's slot
     table: slots [0, n) start as members, slots [n, capacity) start
     {e detached} — crashed, off the network, outside every failure
-    detector's world — and come alive only through {!join}. *)
+    detector's world — and come alive only through {!join}.
+
+    [queue] selects the engine's event-queue implementation (see
+    {!Dvp_sim.Engine.create}); the default timer wheel and the
+    [`Heap_reference] binary heap implement the same total event order, so
+    a same-seed run traces byte-identically on either. *)
 
 val engine : t -> Dvp_sim.Engine.t
 (** The DES driver underneath: time only advances through
@@ -257,7 +263,10 @@ type probe_sample = {
 }
 
 val probe_sample : t -> probe_sample
-(** One sample, now. *)
+(** One sample, now.  [in_flight] comes from the live incremental ledger
+    (fed by the sites' Vm create/accept hooks) — O(items), no log replay —
+    while the {!in_flight} oracle below stays log-derived; the two agree
+    whenever the stable logs are consistent. *)
 
 val start_probe : t -> every:float -> probe_sample Dvp_sim.Probe.t
 (** Sample on a fixed simulated-time period until [Probe.stop]. *)

@@ -54,12 +54,30 @@ type t = {
   backoff_mult : float; (* 1.0 disables backoff *)
   backoff_max : float;
   rng : Dvp_util.Rng.t option; (* jitter for backed-off retry times *)
+  on_inflight : (Ids.item -> int -> unit) option;
+      (* +amount at Vm_create, -amount at Vm_accept: the system-wide
+         incremental N_M ledger the conservation probe samples *)
   outbox_warn : int; (* high-water mark on total outbox depth; <= 0 disables *)
   mutable warned : bool; (* one-shot latch for the Outbox_high warning *)
   (* Volatile sender state (rebuilt from the log on recovery). *)
   mutable next_seq : int array; (* per destination *)
   mutable acked_upto : int array; (* per destination, cumulative *)
-  dsts : dst_state array;
+  dsts : dst_state option array;
+      (* lazily created on first traffic to a destination: most site pairs
+         in a large installation never exchange Vm, and an eager n-queue
+         array per site made the fleet O(sites^2) in memory *)
+  (* Activity index over [dsts]: the destinations with a non-empty outbox,
+     unordered, with O(1) insert/remove (swap-with-last).  The retransmission
+     scan walks this — O(active destinations) — instead of all [n] queues,
+     and the scan timer is only armed while something is actually owed.
+     [scratch] holds the ascending-dst copy the scan sorts into, so the scan
+     order (and therefore the trace and RNG draw order) is identical to the
+     old full sweep's. *)
+  active : int array;
+  active_pos : int array; (* dst -> index in [active], or -1 *)
+  mutable n_active : int;
+  scratch : int array;
+  mutable depth : int; (* total queued entries across all destinations *)
   items_out : (Ids.item, item_tally) Hashtbl.t;
   (* Cumulative per-item value ever shipped (Vm created) / ever accepted,
      since creation.  Unlike [items_out] these never roll back — together
@@ -80,7 +98,7 @@ type t = {
 
 let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ?(epoch = fun () -> 0) ~metrics
     ?trace ?(retransmit_every = 0.15) ?(ack_delay = 0.0) ?(batch = true)
-    ?(backoff_mult = 2.0) ?backoff_max ?rng ?(outbox_warn = 0) () =
+    ?(backoff_mult = 2.0) ?backoff_max ?rng ?(outbox_warn = 0) ?on_inflight () =
   let backoff_max =
     match backoff_max with Some m -> m | None -> 4.0 *. retransmit_every
   in
@@ -101,13 +119,17 @@ let create sub ~n ~self ~wal ~send ~try_credit ~ts_counter ?(epoch = fun () -> 0
     backoff_mult;
     backoff_max;
     rng;
+    on_inflight;
     outbox_warn;
     warned = false;
     next_seq = Array.make n 0;
     acked_upto = Array.make n (-1);
-    dsts =
-      Array.init n (fun _ ->
-          { q = Queue.create (); rto = retransmit_every; next_retry = 0.0; parked = false });
+    dsts = Array.make n None;
+    active = Array.make n 0;
+    active_pos = Array.make n (-1);
+    n_active = 0;
+    scratch = Array.make n 0;
+    depth = 0;
     items_out = Hashtbl.create 16;
     cum_sent = Hashtbl.create 16;
     cum_recv = Hashtbl.create 16;
@@ -137,14 +159,45 @@ let tally_remove t ~item ~amount =
     if tl.count <= 0 then Hashtbl.remove t.items_out item
   | None -> ()
 
-let outstanding_to t dst =
-  Queue.fold
-    (fun acc (seq, e) -> (seq, e.payload.item, e.payload.amount) :: acc)
-    [] t.dsts.(dst).q
-  |> List.rev
+let mark_active t dst =
+  if t.active_pos.(dst) < 0 then begin
+    t.active.(t.n_active) <- dst;
+    t.active_pos.(dst) <- t.n_active;
+    t.n_active <- t.n_active + 1
+  end
 
-let outbox_depth t =
-  Array.fold_left (fun acc st -> acc + Queue.length st.q) 0 t.dsts
+let mark_inactive t dst =
+  let i = t.active_pos.(dst) in
+  if i >= 0 then begin
+    let last = t.n_active - 1 in
+    let moved = t.active.(last) in
+    t.active.(i) <- moved;
+    t.active_pos.(moved) <- i;
+    t.n_active <- last;
+    t.active_pos.(dst) <- -1
+  end
+
+(* The per-destination sender state, created on first use. *)
+let dst_st t dst =
+  match t.dsts.(dst) with
+  | Some st -> st
+  | None ->
+    let st =
+      { q = Queue.create (); rto = t.retransmit_every; next_retry = 0.0; parked = false }
+    in
+    t.dsts.(dst) <- Some st;
+    st
+
+let outstanding_to t dst =
+  match t.dsts.(dst) with
+  | None -> []
+  | Some st ->
+    Queue.fold
+      (fun acc (seq, e) -> (seq, e.payload.item, e.payload.amount) :: acc)
+      [] st.q
+    |> List.rev
+
+let outbox_depth t = t.depth
 
 (* One-shot high-water warning: fires once when the total outbox crosses the
    mark (typically because a parked destination keeps accumulating), re-arms
@@ -231,7 +284,7 @@ let send_due t ~dst frags =
    acknowledgement progress narrows it back to the base period.  Jitter keeps
    a fleet of senders from re-synchronising their storms after a partition. *)
 let backoff t dst ~now =
-  let st = t.dsts.(dst) in
+  let st = dst_st t dst in
   st.rto <- Float.min (st.rto *. t.backoff_mult) (Float.max t.backoff_max t.retransmit_every);
   let jittered =
     match t.rng with
@@ -241,56 +294,70 @@ let backoff t dst ~now =
   st.next_retry <- now +. jittered
 
 let reset_backoff t dst =
-  let st = t.dsts.(dst) in
+  let st = dst_st t dst in
   st.rto <- t.retransmit_every;
   st.next_retry <- 0.0
 
-let park t ~dst = t.dsts.(dst).parked <- true
+let park t ~dst = (dst_st t dst).parked <- true
 
-let is_parked t ~dst = t.dsts.(dst).parked
-
-(* Re-opening the breaker: reset the backoff to the base period and mark
-   every queued entry stale, so the very next retransmission scan (at most
-   one period away) resends the whole backlog in order. *)
-let unpark t ~dst =
-  let st = t.dsts.(dst) in
-  if st.parked then begin
-    st.parked <- false;
-    reset_backoff t dst;
-    Queue.iter (fun (_, (e : outbox_entry)) -> e.last_sent <- neg_infinity) st.q;
-    check_depth t
-  end
+let is_parked t ~dst =
+  match t.dsts.(dst) with Some st -> st.parked | None -> false
 
 (* Retransmission scan: every outstanding Vm to a due destination is sent
    again, lowest sequence numbers first so the receiver's in-order rule makes
    progress.  Destinations that keep not answering are rescanned on their
-   (backed-off) schedule, not every period. *)
+   (backed-off) schedule, not every period.
+
+   The scan walks only the active (non-empty) destinations — sorted into
+   [scratch] so transmissions, trace events, and jitter draws happen in the
+   same ascending-dst order as the old O(n) sweep — and re-arms its timer
+   only while some unparked destination still owes value.  An idle site pays
+   nothing: no timer, no sweep. *)
 let rec on_retransmit t =
   t.timer <- None;
   if t.running then begin
     let now = Substrate.now t.sub in
-    for dst = 0 to t.n - 1 do
-      let st = t.dsts.(dst) in
-      if (not st.parked) && (not (Queue.is_empty st.q)) && now >= st.next_retry then begin
-        let due = ref [] in
-        Queue.iter
-          (fun (seq, e) ->
-            (* Only resend what has gone a full period without an ack. *)
-            if now -. e.last_sent >= t.retransmit_every *. 0.9 then begin
-              Metrics.vm_retransmitted t.metrics;
-              emit t
-                (Trace.Vm_retransmit
-                   { site = t.self; dst; seq; item = e.payload.item; amount = e.payload.amount });
-              e.last_sent <- now;
-              due := (seq, e) :: !due
-            end)
-          st.q;
-        let due = List.rev !due in
-        send_due t ~dst due;
-        if due <> [] then backoff t dst ~now
+    let k = t.n_active in
+    Array.blit t.active 0 t.scratch 0 k;
+    (* Insertion sort: [k] is the handful of busy peers, not [n]. *)
+    for i = 1 to k - 1 do
+      let v = t.scratch.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && t.scratch.(!j) > v do
+        t.scratch.(!j + 1) <- t.scratch.(!j);
+        decr j
+      done;
+      t.scratch.(!j + 1) <- v
+    done;
+    let live_work = ref false in
+    for i = 0 to k - 1 do
+      let dst = t.scratch.(i) in
+      let st = dst_st t dst in
+      if not st.parked then begin
+        live_work := true;
+        if (not (Queue.is_empty st.q)) && now >= st.next_retry then begin
+          let due = ref [] in
+          Queue.iter
+            (fun (seq, e) ->
+              (* Only resend what has gone a full period without an ack. *)
+              if now -. e.last_sent >= t.retransmit_every *. 0.9 then begin
+                Metrics.vm_retransmitted t.metrics;
+                emit t
+                  (Trace.Vm_retransmit
+                     { site = t.self; dst; seq; item = e.payload.item; amount = e.payload.amount });
+                e.last_sent <- now;
+                due := (seq, e) :: !due
+              end)
+            st.q;
+          let due = List.rev !due in
+          send_due t ~dst due;
+          if due <> [] then backoff t dst ~now
+        end
       end
     done;
-    arm t
+    (* Destinations that are all parked wake the scan again via [unpark];
+       re-arming for them would just spin a no-op timer. *)
+    if !live_work then arm t
   end
 
 and arm t =
@@ -299,7 +366,23 @@ and arm t =
 
 let start t =
   t.running <- true;
-  arm t
+  if t.n_active > 0 then arm t
+
+(* Re-opening the breaker: reset the backoff to the base period and mark
+   every queued entry stale, so the very next retransmission scan (at most
+   one period away) resends the whole backlog in order. *)
+let unpark t ~dst =
+  match t.dsts.(dst) with
+  | None -> ()
+  | Some st ->
+  if st.parked then begin
+    st.parked <- false;
+    reset_backoff t dst;
+    Queue.iter (fun (_, (e : outbox_entry)) -> e.last_sent <- neg_infinity) st.q;
+    check_depth t;
+    (* The scan timer may have gone quiet while everything was parked. *)
+    if not (Queue.is_empty st.q) then arm t
+  end
 
 let stop t =
   t.running <- false;
@@ -326,11 +409,14 @@ let send_value t ~dst ~item ~amount ?reply_to ~new_local () =
          reply_to;
          actions = [ Log_event.Set_fragment { item; value = new_local } ];
        });
-  let st = t.dsts.(dst) in
+  (match t.on_inflight with Some f -> f item amount | None -> ());
+  let st = dst_st t dst in
   (* A parked destination still gets the Vm queued (it must survive for
      evacuation or unparking), just no real message. *)
   let last_sent = if st.parked then neg_infinity else Substrate.now t.sub in
   Queue.push (seq, { payload = { item; amount; reply_to }; last_sent }) st.q;
+  t.depth <- t.depth + 1;
+  mark_active t dst;
   tally_add t ~item ~amount;
   ledger_add t.cum_sent ~item ~amount;
   Metrics.vm_created t.metrics ~amount;
@@ -343,15 +429,17 @@ let handle_ack t ~src ~upto =
   if upto > t.acked_upto.(src) then begin
     (* Acks are cumulative, so the acknowledged messages are exactly a prefix
        of the (sorted) queue. *)
-    let q = t.dsts.(src).q in
+    let q = (dst_st t src).q in
     let continue = ref true in
     while !continue do
       match Queue.peek_opt q with
       | Some (seq, e) when seq <= upto ->
         ignore (Queue.pop q);
+        t.depth <- t.depth - 1;
         tally_remove t ~item:e.payload.item ~amount:e.payload.amount
       | Some _ | None -> continue := false
     done;
+    if Queue.is_empty q then mark_inactive t src;
     t.acked_upto.(src) <- upto;
     check_depth t;
     (* Progress: the peer is reachable again — retry at the base period. *)
@@ -398,6 +486,7 @@ let handle_fragment t ~src ~seq ~item ~amount ~reply_to =
     | Some new_value ->
       (* The Vm dies here: [database-actions] forced at the receiver. *)
       Wal.append t.wal (Log_event.Vm_accept { peer = src; seq; item; amount; new_value });
+      (match t.on_inflight with Some f -> f item (-amount) | None -> ());
       t.accepted.(src) <- seq;
       ledger_add t.cum_recv ~item ~amount;
       Metrics.vm_accepted t.metrics ~amount;
@@ -432,13 +521,12 @@ let crash t =
   t.next_seq <- Array.make t.n 0;
   t.acked_upto <- Array.make t.n (-1);
   t.accepted <- Array.make t.n (-1);
-  Array.iter
-    (fun st ->
-      Queue.clear st.q;
-      st.rto <- t.retransmit_every;
-      st.next_retry <- 0.0;
-      st.parked <- false)
-    t.dsts;
+  (* Volatile per-destination state is simply dropped; [dst_st] recreates a
+     fresh one (base rto, unparked, empty queue) on next use. *)
+  Array.fill t.dsts 0 t.n None;
+  Array.fill t.active_pos 0 t.n (-1);
+  t.n_active <- 0;
+  t.depth <- 0;
   Hashtbl.reset t.items_out;
   t.warned <- false
 
@@ -450,13 +538,10 @@ let recover t =
   t.next_seq <- view.Log_replay.vm_next_seq;
   t.acked_upto <- view.Log_replay.vm_acked;
   t.accepted <- view.Log_replay.vm_accepted;
-  Array.iter
-    (fun st ->
-      Queue.clear st.q;
-      st.rto <- t.retransmit_every;
-      st.next_retry <- 0.0;
-      st.parked <- false)
-    t.dsts;
+  Array.fill t.dsts 0 t.n None;
+  Array.fill t.active_pos 0 t.n (-1);
+  t.n_active <- 0;
+  t.depth <- 0;
   Hashtbl.reset t.items_out;
   t.warned <- false;
   (* The replay view is unordered; sort once here so the queues are ascending
@@ -467,7 +552,9 @@ let recover t =
   in
   List.iter
     (fun (dst, seq, (v : outstanding)) ->
-      Queue.push (seq, { payload = v; last_sent = neg_infinity }) t.dsts.(dst).q;
+      Queue.push (seq, { payload = v; last_sent = neg_infinity }) (dst_st t dst).q;
+      t.depth <- t.depth + 1;
+      mark_active t dst;
       tally_add t ~item:v.item ~amount:v.amount)
     entries;
   start t
@@ -478,15 +565,16 @@ let recover t =
    is removed from the tallies and the reset is forced to the stable log
    before any message of the new epoch can be created. *)
 let reset_channel t ~peer ~epoch =
-  let st = t.dsts.(peer) in
-  Queue.iter
-    (fun (_, (e : outbox_entry)) ->
-      tally_remove t ~item:e.payload.item ~amount:e.payload.amount)
-    st.q;
-  Queue.clear st.q;
-  st.rto <- t.retransmit_every;
-  st.next_retry <- 0.0;
-  st.parked <- false;
+  (match t.dsts.(peer) with
+  | None -> ()
+  | Some st ->
+    Queue.iter
+      (fun (_, (e : outbox_entry)) ->
+        tally_remove t ~item:e.payload.item ~amount:e.payload.amount)
+      st.q;
+    t.depth <- t.depth - Queue.length st.q;
+    t.dsts.(peer) <- None;
+    mark_inactive t peer);
   t.next_seq.(peer) <- 0;
   t.acked_upto.(peer) <- -1;
   t.accepted.(peer) <- -1;
@@ -505,10 +593,13 @@ let snapshot t ~fragments ~max_counter =
        result is (dst, seq)-sorted without sorting. *)
     let acc = ref [] in
     for dst = 0 to t.n - 1 do
-      Queue.iter
-        (fun (seq, (e : outbox_entry)) ->
-          acc := (dst, seq, e.payload.item, e.payload.amount, e.payload.reply_to) :: !acc)
-        t.dsts.(dst).q
+      match t.dsts.(dst) with
+      | None -> ()
+      | Some st ->
+        Queue.iter
+          (fun (seq, (e : outbox_entry)) ->
+            acc := (dst, seq, e.payload.item, e.payload.amount, e.payload.reply_to) :: !acc)
+          st.q
     done;
     List.rev !acc
   in

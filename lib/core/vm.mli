@@ -45,6 +45,7 @@ val create :
   ?backoff_max:float ->
   ?rng:Dvp_util.Rng.t ->
   ?outbox_warn:int ->
+  ?on_inflight:(Ids.item -> int -> unit) ->
   unit ->
   t
 (** [try_credit] must either apply the credit to the local database and
@@ -69,7 +70,15 @@ val create :
     [outbox_warn] > 0 arms a one-shot {!Dvp_sim.Trace.constructor:Outbox_high}
     warning when the total outbox depth (across all destinations, parked
     included) crosses it; the warning re-arms once the depth falls back to
-    half the mark.  0 (default) disables the check. *)
+    half the mark.  0 (default) disables the check.
+
+    [on_inflight item delta] is called with [+amount] when a [Vm_create] is
+    forced here and [-amount] when a [Vm_accept] is forced here.  Summed
+    across all sites this tracks the log-derived in-flight value N_M
+    incrementally, which is what lets {!System}'s conservation probe sample
+    in O(items) instead of replaying every site's log.  The hook fires only
+    on live log appends, never during {!recover} replay, so it stays
+    consistent with the stable logs across crashes. *)
 
 val start : t -> unit
 (** Arm the periodic retransmission scan. *)

@@ -48,6 +48,8 @@ type t = {
          ignored, so it can never be Suspected or Condemned *)
   mutable paused : bool;
   mutable started : bool;
+  mutable armed : bool; (* a tick is scheduled *)
+  mutable n_monitored : int; (* monitored peers other than self *)
   send_probe : int -> unit;
   on_transition : peer:int -> state -> unit;
 }
@@ -70,6 +72,8 @@ let create ?(send_probe = fun _ -> ()) ?(on_transition = fun ~peer:_ _ -> ())
     monitored = Array.make n true;
     paused = false;
     started = false;
+    armed = false;
+    n_monitored = max 0 (n - 1);
     send_probe;
     on_transition;
   }
@@ -127,14 +131,27 @@ let scan t =
     done
   end
 
+(* The tick timer lives only while there is something to watch: a paused
+   detector (or one with no monitored peers) lets its timer lapse instead of
+   rescheduling a no-op forever — at scale, most detectors are paused spares.
+   [resume] and [set_monitored] re-arm it. *)
+let rec tick t () =
+  t.armed <- false;
+  if t.started && (not t.paused) && t.n_monitored > 0 then begin
+    scan t;
+    arm t
+  end
+
+and arm t =
+  if t.started && (not t.paused) && t.n_monitored > 0 && not t.armed then begin
+    t.armed <- true;
+    ignore (Substrate.schedule t.sub ~delay:t.probe_every (tick t))
+  end
+
 let start t =
   if not t.started then begin
     t.started <- true;
-    let rec tick () =
-      scan t;
-      ignore (Substrate.schedule t.sub ~delay:t.probe_every tick)
-    in
-    ignore (Substrate.schedule t.sub ~delay:t.probe_every tick)
+    arm t
   end
 
 let state t peer = if peer = t.self then Up else t.state.(peer)
@@ -172,10 +189,12 @@ let reinstate t ~peer =
 let set_monitored t ~peer flag =
   if peer <> t.self && peer >= 0 && peer < t.n && t.monitored.(peer) <> flag then begin
     t.monitored.(peer) <- flag;
+    t.n_monitored <- (t.n_monitored + if flag then 1 else -1);
     t.last_heard.(peer) <- Substrate.now t.sub;
     t.last_probe.(peer) <- neg_infinity;
     t.scale.(peer) <- 1.0;
-    set_state t peer Up
+    set_state t peer Up;
+    if flag then arm t
   end
 
 let monitored t ~peer = peer = t.self || t.monitored.(peer)
@@ -191,5 +210,6 @@ let resume t =
         t.last_heard.(peer) <- now;
         if t.state.(peer) = Suspected then set_state t peer Up
       end
-    done
+    done;
+    arm t
   end

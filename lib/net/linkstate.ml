@@ -22,12 +22,24 @@ let is_up t = t.up
 
 let set_up t v = t.up <- v
 
-let sample_delay t rng =
+(* Params-level sampling: the network keeps links as a flat params array (no
+   per-link object), so the draw logic lives here at the params level and the
+   [t]-level functions below are thin wrappers.  The conditional draws
+   (jitter, duplication) and the [up] short-circuit are load-bearing — they
+   fix the RNG consumption sequence that same-seed traces depend on. *)
+
+let sample_delay_p p rng =
   let jitter =
-    if t.p.delay_jitter <= 0.0 then 0.0 else Dvp_util.Rng.float rng t.p.delay_jitter
+    if p.delay_jitter <= 0.0 then 0.0 else Dvp_util.Rng.float rng p.delay_jitter
   in
-  Float.max 1e-6 (t.p.delay_mean +. jitter)
+  Float.max 1e-6 (p.delay_mean +. jitter)
 
-let drops t rng = (not t.up) || Dvp_util.Rng.bernoulli rng t.p.loss_prob
+let drops_p p ~up rng = (not up) || Dvp_util.Rng.bernoulli rng p.loss_prob
 
-let duplicates t rng = t.p.dup_prob > 0.0 && Dvp_util.Rng.bernoulli rng t.p.dup_prob
+let duplicates_p p rng = p.dup_prob > 0.0 && Dvp_util.Rng.bernoulli rng p.dup_prob
+
+let sample_delay t rng = sample_delay_p t.p rng
+
+let drops t rng = drops_p t.p ~up:t.up rng
+
+let duplicates t rng = duplicates_p t.p rng

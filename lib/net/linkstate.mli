@@ -39,3 +39,19 @@ val drops : t -> Dvp_util.Rng.t -> bool
 (** Decide whether this transmission is lost (link down counts as lost). *)
 
 val duplicates : t -> Dvp_util.Rng.t -> bool
+
+(** {2 Params-level sampling}
+
+    The same draws without a [t]: the network stores its [n²] links as a
+    flat {!params} array plus an up-flag byte per link (no per-link heap
+    object), and samples through these.  Each function consumes exactly the
+    same RNG draws as its [t]-level counterpart, so flattening the link
+    table cannot perturb a seeded run. *)
+
+val sample_delay_p : params -> Dvp_util.Rng.t -> float
+
+val drops_p : params -> up:bool -> Dvp_util.Rng.t -> bool
+(** A downed link loses everything without consuming a draw (mirrors
+    {!drops}'s short-circuit). *)
+
+val duplicates_p : params -> Dvp_util.Rng.t -> bool

@@ -19,7 +19,11 @@ type 'p t = {
   sub : Substrate.t;
   rng : Dvp_util.Rng.t;
   n : int;
-  links : Linkstate.t array array; (* links.(src).(dst) *)
+  link_params : Linkstate.params array;
+      (* flat n*n, row-major [(src * n) + dst].  Immutable records, so the
+         whole table can share one params value until a link is overridden —
+         a 1024-site fabric costs one word per link, not one object. *)
+  link_up : Bytes.t; (* n*n up flags, '\001' = up *)
   handlers : (src:int -> 'p -> unit) option array;
   up : bool array;
   member : bool array;
@@ -38,7 +42,8 @@ let create sub ~rng ~n ?(default = Linkstate.default) ?trace () =
     sub;
     rng;
     n;
-    links = Array.init n (fun _ -> Array.init n (fun _ -> Linkstate.create default));
+    link_params = Array.make (n * n) default;
+    link_up = Bytes.make (n * n) '\001';
     handlers = Array.make n None;
     up = Array.make n true;
     member = Array.make n true;
@@ -76,13 +81,23 @@ let set_handler t i h =
 
 let set_observer t obs = t.observer <- Some obs
 
-let link t ~src ~dst =
+let link_index t ~src ~dst =
   check_site t src;
   check_site t dst;
-  t.links.(src).(dst)
+  (src * t.n) + dst
+
+let link_params t ~src ~dst = t.link_params.(link_index t ~src ~dst)
+
+let set_link_params t ~src ~dst p = t.link_params.(link_index t ~src ~dst) <- p
+
+let link_is_up t ~src ~dst =
+  Bytes.get t.link_up (link_index t ~src ~dst) <> '\000'
+
+let set_link_up t ~src ~dst v =
+  Bytes.set t.link_up (link_index t ~src ~dst) (if v then '\001' else '\000')
 
 let set_all_links t params =
-  Array.iter (fun row -> Array.iter (fun l -> Linkstate.set_params l params) row) t.links
+  Array.fill t.link_params 0 (Array.length t.link_params) params
 
 let site_up t i =
   check_site t i;
@@ -149,14 +164,16 @@ let send t ~src ~dst payload =
   else begin
     t.stats.sent <- t.stats.sent + 1;
     emit t (Dvp_sim.Trace.Net_send { src; dst });
-    let l = t.links.(src).(dst) in
+    let li = (src * t.n) + dst in
+    let p = t.link_params.(li) in
+    let lup = Bytes.unsafe_get t.link_up li <> '\000' in
     (* Classify the send-time loss by its cause; the checks short-circuit in
        the same order as before so the RNG draw sequence is unchanged. *)
     let cause =
       if not t.up.(src) then Some `Down
       else if (not t.member.(src)) || not t.member.(dst) then Some `Membership
       else if partitioned t ~src ~dst then Some `Partition
-      else if Linkstate.drops l t.rng then Some `Loss
+      else if Linkstate.drops_p p ~up:lup t.rng then Some `Loss
       else None
     in
     match cause with
@@ -169,11 +186,11 @@ let send t ~src ~dst payload =
       emit t (Dvp_sim.Trace.Net_drop { src; dst })
     | None -> begin
       let schedule_copy () =
-        let delay = Linkstate.sample_delay l t.rng in
+        let delay = Linkstate.sample_delay_p p t.rng in
         ignore (Substrate.schedule t.sub ~delay (fun () -> deliver t ~src ~dst payload))
       in
       schedule_copy ();
-      if Linkstate.duplicates l t.rng then begin
+      if Linkstate.duplicates_p p t.rng then begin
         t.stats.duplicated <- t.stats.duplicated + 1;
         schedule_copy ()
       end

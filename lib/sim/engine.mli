@@ -12,10 +12,19 @@ type t
 type timer
 (** A cancellable handle for a scheduled event. *)
 
-val create : unit -> t
+val create : ?queue:[ `Wheel | `Heap_reference ] -> unit -> t
+(** [`Wheel] (the default) backs the engine with the calendar-queue timer
+    wheel ({!Dvp_util.Timer_wheel}); [`Heap_reference] keeps the original
+    binary heap ({!Dvp_util.Heap}).  Both implement the same total order —
+    (time, scheduling order) — so same-seed runs produce byte-identical
+    traces on either; the reference flavour exists for the equivalence and
+    trace-regression suites. *)
 
 val now : t -> float
 (** Current simulated time. *)
+
+val events : t -> int
+(** Total events fired so far (throughput accounting for scale benches). *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> timer
 (** [schedule t ~delay f] runs [f] at [now t +. delay].  Negative delays are

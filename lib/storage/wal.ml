@@ -45,6 +45,10 @@ type 'r t = {
      next fault is O(1). *)
   mutable valid_len : int;
   mutable valid_dirty : bool;
+  (* Bumped whenever the *stable* contents change (force, faulty crash,
+     repair, truncation).  Readers that cache a replayed view key it on this
+     and skip the replay while the counter stands still. *)
+  mutable version : int;
   mutable force_sink : ('r list -> unit) option;
       (* runtime hook: newly-stabilised records on each force *)
 }
@@ -67,8 +71,11 @@ let create () =
     repaired_count = 0;
     valid_len = 0;
     valid_dirty = false;
+    version = 0;
     force_sink = None;
   }
+
+let version t = t.version
 
 (* Length of the valid prefix, recomputing from the cache point if a fault
    invalidated it.  Faults only ever touch records at or beyond the old
@@ -89,6 +96,7 @@ let set_force_sink t sink = t.force_sink <- Some sink
 
 let force t =
   if t.buffer.len > 0 then begin
+    t.version <- t.version + 1;
     let clean_before = (not t.valid_dirty) && t.valid_len = t.stable.len in
     for i = 0 to t.buffer.len - 1 do
       vec_push t.stable t.buffer.arr.(i)
@@ -128,6 +136,7 @@ let apply_fault t f =
     | Corrupt_tail -> t.buffer.len
   in
   if persist > 0 then begin
+    t.version <- t.version + 1;
     for i = 0 to persist - 1 do
       let e = t.buffer.arr.(i) in
       vec_push t.stable (if i = persist - 1 then { e with sum = lnot e.sum } else e)
@@ -154,6 +163,7 @@ let corrupt_tail t = t.stable.len - valid_length t
 let repair t =
   let bad = corrupt_tail t in
   if bad > 0 then begin
+    t.version <- t.version + 1;
     t.stable.len <- valid_length t;
     t.repair_count <- t.repair_count + 1;
     t.repaired_count <- t.repaired_count + bad
@@ -194,6 +204,7 @@ let iter_from t ~from f =
 let truncate_before t ~keep_from =
   let drop = keep_from - t.base_index in
   if drop > 0 then begin
+    t.version <- t.version + 1;
     let keep = max 0 (t.stable.len - drop) in
     if keep > 0 then Array.blit t.stable.arr drop t.stable.arr 0 keep;
     t.stable.len <- keep;

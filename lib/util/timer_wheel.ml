@@ -1,0 +1,286 @@
+(* Calendar-queue timer wheel.  See the .mli for the design; the key
+   invariants maintained here are:
+
+   - [cur <= h_tick] for every live entry (adds clamp their tick up to the
+     cursor, pops advance the cursor to the popped tick);
+   - within a slot, (prio, seq) order implies tick order, so the slot-heap
+     top carries the slot's earliest tick;
+   - the occupancy bitmap has a bit set exactly for slots with [size > 0]
+     (tombstones included until purged).
+
+   Together these make the cursor sweep in [find_min_slot] return the entry
+   with the globally smallest (prio, seq) — the same total order as
+   [Heap] — for arbitrary priority sequences, not just monotone ones. *)
+
+type 'a handle = {
+  h_prio : float;
+  h_seq : int;
+  h_value : 'a;
+  h_tick : int;
+  mutable h_live : bool;
+}
+
+type 'a slot = {
+  (* data.(0 .. size-1) is a binary heap ordered by (h_prio, h_seq). *)
+  mutable data : 'a handle array;
+  mutable size : int;
+}
+
+type 'a t = {
+  slots : 'a slot array;
+  mask : int;
+  inv_width : float;
+  mutable cur : int; (* absolute tick; no live entry sits before it *)
+  mutable live : int;
+  mutable dead : int; (* tombstones still buried in slots *)
+  mutable next_seq : int;
+  occ : int array; (* 32 occupancy bits per word *)
+}
+
+(* Headroom so [cur + offset] arithmetic can never overflow. *)
+let max_tick = max_int / 4
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let create ?(slots = 1024) ?(width = 1e-3) () =
+  if width <= 0.0 then invalid_arg "Timer_wheel.create: width must be positive";
+  let n = pow2_at_least (max 1 slots) 1 in
+  {
+    slots = Array.init n (fun _ -> { data = [||]; size = 0 });
+    mask = n - 1;
+    inv_width = 1.0 /. width;
+    cur = 0;
+    live = 0;
+    dead = 0;
+    next_seq = 0;
+    occ = Array.make ((n + 31) / 32) 0;
+  }
+
+let length t = t.live
+
+let is_empty t = t.live = 0
+
+let less a b = a.h_prio < b.h_prio || (a.h_prio = b.h_prio && a.h_seq < b.h_seq)
+
+(* --- per-slot binary heap ------------------------------------------------ *)
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less s.data.(i) s.data.(parent) then begin
+      let a = s.data.(i) and b = s.data.(parent) in
+      s.data.(i) <- b;
+      s.data.(parent) <- a;
+      sift_up s parent
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < s.size && less s.data.(l) s.data.(!smallest) then smallest := l;
+  if r < s.size && less s.data.(r) s.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let a = s.data.(i) and b = s.data.(!smallest) in
+    s.data.(i) <- b;
+    s.data.(!smallest) <- a;
+    sift_down s !smallest
+  end
+
+let slot_push s e =
+  let cap = Array.length s.data in
+  if s.size = cap then begin
+    let fresh = Array.make (if cap = 0 then 4 else 2 * cap) e in
+    Array.blit s.data 0 fresh 0 s.size;
+    s.data <- fresh
+  end;
+  s.data.(s.size) <- e;
+  s.size <- s.size + 1;
+  sift_up s (s.size - 1)
+
+(* Remove and return the slot top.  The caller keeps [occ] in sync. *)
+let slot_pop s =
+  let top = s.data.(0) in
+  s.size <- s.size - 1;
+  if s.size > 0 then begin
+    s.data.(0) <- s.data.(s.size);
+    sift_down s 0
+  end;
+  top
+
+(* --- occupancy bitmap ---------------------------------------------------- *)
+
+let occ_set t idx = t.occ.(idx lsr 5) <- t.occ.(idx lsr 5) lor (1 lsl (idx land 31))
+
+let occ_clear t idx =
+  t.occ.(idx lsr 5) <- t.occ.(idx lsr 5) land lnot (1 lsl (idx land 31))
+
+let occ_get t idx = t.occ.(idx lsr 5) land (1 lsl (idx land 31)) <> 0
+
+(* --- insertion ----------------------------------------------------------- *)
+
+let tick_of_prio t prio =
+  let f = Float.floor (prio *. t.inv_width) in
+  if f >= float_of_int max_tick then max_tick
+  else if f <= 0.0 then 0
+  else int_of_float f
+
+let add t ~priority value =
+  let tick =
+    let k = tick_of_prio t priority in
+    if k < t.cur then t.cur else k
+  in
+  let e =
+    { h_prio = priority; h_seq = t.next_seq; h_value = value; h_tick = tick; h_live = true }
+  in
+  t.next_seq <- t.next_seq + 1;
+  let idx = tick land t.mask in
+  slot_push t.slots.(idx) e;
+  occ_set t idx;
+  t.live <- t.live + 1;
+  e
+
+(* --- minimum lookup ------------------------------------------------------ *)
+
+(* Discard tombstones sitting at the slot top; clears the occupancy bit if
+   the slot empties. *)
+let purge_dead t idx =
+  let s = t.slots.(idx) in
+  while s.size > 0 && not s.data.(0).h_live do
+    ignore (slot_pop s);
+    t.dead <- t.dead - 1
+  done;
+  if s.size = 0 then occ_clear t idx
+
+(* Find the slot whose top is the global minimum, advancing [cur] to its
+   tick.  Precondition: [t.live > 0] (so a live top exists somewhere). *)
+let find_min_slot t =
+  let rec scan off =
+    if off > t.mask then jump ()
+    else begin
+      let idx = (t.cur + off) land t.mask in
+      if t.occ.(idx lsr 5) = 0 then
+        (* Whole 32-slot word empty: hop to its end. *)
+        scan (off + 32 - (idx land 31))
+      else if not (occ_get t idx) then scan (off + 1)
+      else begin
+        purge_dead t idx;
+        let s = t.slots.(idx) in
+        if s.size = 0 then scan (off + 1)
+        else if s.data.(0).h_tick = t.cur + off then begin
+          t.cur <- t.cur + off;
+          idx
+        end
+        else scan (off + 1) (* occupied, but only by later revolutions *)
+      end
+    end
+  and jump () =
+    (* A full revolution found nothing due: every live entry lies at least
+       one revolution out.  Leap the cursor to the earliest live tick. *)
+    let best = ref max_int in
+    for idx = 0 to t.mask do
+      if occ_get t idx then begin
+        purge_dead t idx;
+        let s = t.slots.(idx) in
+        if s.size > 0 && s.data.(0).h_tick < !best then best := s.data.(0).h_tick
+      end
+    done;
+    t.cur <- !best;
+    scan 0
+  in
+  scan 0
+
+let next_at t = if t.live = 0 then infinity else (t.slots.(find_min_slot t)).data.(0).h_prio
+
+let has_due t ~horizon =
+  t.live > 0 && (t.slots.(find_min_slot t)).data.(0).h_prio <= horizon
+
+let pop t =
+  if t.live = 0 then None
+  else begin
+    let idx = find_min_slot t in
+    let s = t.slots.(idx) in
+    let e = slot_pop s in
+    if s.size = 0 then occ_clear t idx;
+    e.h_live <- false;
+    t.live <- t.live - 1;
+    Some (e.h_prio, e.h_value)
+  end
+
+let pop_min t =
+  if t.live = 0 then invalid_arg "Timer_wheel.pop_min: empty";
+  let idx = find_min_slot t in
+  let s = t.slots.(idx) in
+  let e = slot_pop s in
+  if s.size = 0 then occ_clear t idx;
+  e.h_live <- false;
+  t.live <- t.live - 1;
+  e.h_value
+
+let peek t =
+  if t.live = 0 then None
+  else
+    let top = (t.slots.(find_min_slot t)).data.(0) in
+    Some (top.h_prio, top.h_value)
+
+(* --- cancellation -------------------------------------------------------- *)
+
+(* Rebuild every slot without its tombstones.  Entries never change slot
+   (ticks are immutable), so this is a per-slot filter + heapify. *)
+let compact t =
+  for idx = 0 to t.mask do
+    let s = t.slots.(idx) in
+    if s.size > 0 then begin
+      let kept = ref 0 in
+      for i = 0 to s.size - 1 do
+        let e = s.data.(i) in
+        if e.h_live then begin
+          s.data.(!kept) <- e;
+          incr kept
+        end
+      done;
+      s.size <- !kept;
+      for i = (s.size / 2) - 1 downto 0 do
+        sift_down s i
+      done;
+      if s.size = 0 then occ_clear t idx
+    end
+  done;
+  t.dead <- 0
+
+let cancel t h =
+  if h.h_live then begin
+    h.h_live <- false;
+    t.live <- t.live - 1;
+    t.dead <- t.dead + 1;
+    if t.dead > 64 && t.dead > t.live then compact t;
+    true
+  end
+  else false
+
+let mem _t h = h.h_live
+
+let clear t =
+  for idx = 0 to t.mask do
+    let s = t.slots.(idx) in
+    for i = 0 to s.size - 1 do
+      s.data.(i).h_live <- false
+    done;
+    s.size <- 0;
+    s.data <- [||]
+  done;
+  Array.fill t.occ 0 (Array.length t.occ) 0;
+  t.live <- 0;
+  t.dead <- 0
+
+let to_list t =
+  let acc = ref [] in
+  for idx = 0 to t.mask do
+    let s = t.slots.(idx) in
+    for i = 0 to s.size - 1 do
+      let e = s.data.(i) in
+      if e.h_live then acc := e :: !acc
+    done
+  done;
+  let sorted = List.sort (fun a b -> if less a b then -1 else 1) !acc in
+  List.map (fun e -> (e.h_prio, e.h_value)) sorted

@@ -184,6 +184,13 @@ else
   echo "== skipping multicore smoke (host has $cores core(s), need >= 2) =="
 fi
 
+# Scale smoke: 64 sites through the E23 closed loop on a short horizon.
+# The experiment itself exits non-zero if value is not conserved or nothing
+# commits, so this catches event-core scaling regressions without the full
+# (and slower) E23 curve that perf_gate.sh runs.
+echo "== scale smoke: bench E23-SMOKE (64 sites) =="
+dune exec bench/main.exe -- E23-SMOKE
+
 # Perf smoke: the micro benches in quick mode (shakes out bitrot in the
 # bench harness itself), then the regression gate comparing a fresh E18 run
 # against the committed baselines.  Tolerances via PERF_TOL / PERF_SLACK.

@@ -398,3 +398,98 @@ if failures:
 
 print(f"perf gate ok: E22-trace spans match metrics; {verdict}")
 EOF
+
+# --- E23-scale: the DES core's scalability contract ---------------------
+#
+# DES-side quantities (committed, events, conservation) are deterministic
+# in the seed and compared per row; wall-clock throughput and RSS are
+# host-dependent, so the gate gives them a wide band (E23_TOL, default
+# 0.5) and anchors it at the 256-site row — small enough to be stable,
+# large enough that an O(sites) regression in the event core shows up as
+# multiples.  The 1024-site row is gated only on the tentpole claim
+# itself: it completes, conserves value, and commits > min_committed_1024.
+# Refresh the baseline with:
+#   dune exec bench/main.exe -- E23-SCALE --out bench/baselines
+
+baseline23="bench/baselines/BENCH_E23_scale.json"
+E23_TOL="${E23_TOL:-0.5}"
+
+if [ ! -s "$baseline23" ]; then
+  echo "perf gate: no baseline at $baseline23" >&2
+  exit 1
+fi
+
+echo "== perf gate: bench E23-scale vs $baseline23 (tol ${E23_TOL}) =="
+dune exec bench/main.exe -- E23-SCALE --out "$tmpdir" >/dev/null
+
+python3 - "$baseline23" "$tmpdir/BENCH_E23_scale.json" "$E23_TOL" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+tol = float(sys.argv[3])
+
+def contract(doc):
+    for r in doc["runs"]:
+        if "contract" in r:
+            return r["contract"]
+    return {}
+
+c = contract(base_doc)
+min_committed = c.get("min_committed_1024", 1_000_000)
+gate_sites = c.get("gate_sites", 256)
+
+base = {r["sites"]: r for r in base_doc["runs"] if "sites" in r}
+cur = {r["sites"]: r for r in cur_doc["runs"] if "sites" in r}
+
+failures = []
+
+missing = set(base) - set(cur)
+if missing:
+    failures.append(f"rows missing from current output: {sorted(missing)}")
+
+for sites, b in sorted(base.items()):
+    r = cur.get(sites)
+    if r is None:
+        continue
+    if not r["conserved"]:
+        failures.append(f"{sites} sites: value NOT conserved at end of run")
+    # Deterministic DES quantities: must match the baseline exactly.
+    for field in ("submitted", "committed", "events"):
+        if r[field] != b[field]:
+            failures.append(
+                f"{sites} sites: {field} {r[field]} != baseline {b[field]} "
+                f"(DES quantities are seed-deterministic)")
+
+g, bg = cur.get(gate_sites), base.get(gate_sites)
+if g is not None and bg is not None:
+    if g["events_per_sec"] < bg["events_per_sec"] * (1.0 - tol):
+        failures.append(
+            f"{gate_sites} sites: events/s {g['events_per_sec']:.0f} < baseline "
+            f"{bg['events_per_sec']:.0f} - {tol:.0%}")
+    if g["committed_per_sec"] < bg["committed_per_sec"] * (1.0 - tol):
+        failures.append(
+            f"{gate_sites} sites: committed/s {g['committed_per_sec']:.0f} < baseline "
+            f"{bg['committed_per_sec']:.0f} - {tol:.0%}")
+    if g["peak_rss_kb"] > bg["peak_rss_kb"] * (1.0 + tol):
+        failures.append(
+            f"{gate_sites} sites: peak RSS {g['peak_rss_kb']} kB > baseline "
+            f"{bg['peak_rss_kb']} kB + {tol:.0%}")
+
+big = cur.get(1024)
+if big is None:
+    failures.append("no 1024-site row in current output")
+elif big["committed"] < min_committed:
+    failures.append(
+        f"1024 sites: committed {big['committed']} < contract {min_committed}")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+print(f"perf gate ok: {len(base)} E23 rows conserved and seed-exact; "
+      f"1024 sites committed {big['committed']} in {big['wall_s']:.1f}s wall "
+      f"({big['committed_per_sec']:.0f}/s)")
+EOF

@@ -532,7 +532,7 @@ let test_escrow_ttl_returns_abandoned () =
   Escrow.request (client_exn clients 1) ~item:0 ~op:(Dvp.Op.Decr 10) ~on_done:(fun _ -> ());
   ignore
     (Engine.schedule engine ~delay:0.004 (fun () ->
-         Dvp_net.Linkstate.set_up (Dvp_net.Network.link net ~src:1 ~dst:0) false));
+         Dvp_net.Network.set_link_up net ~src:1 ~dst:0 false));
   Engine.run_until engine 1.0;
   Alcotest.(check int) "escrow held" 10 (Escrow.escrowed server ~item:0);
   Engine.run_until engine 4.0;

@@ -251,13 +251,13 @@ let test_window_link_outage_recovers () =
     Window.submit a i
   done;
   Engine.run_until e 1.0;
-  Linkstate.set_up (Network.link net ~src:0 ~dst:1) false;
+  Network.set_link_up net ~src:0 ~dst:1 false;
   for i = 6 to 10 do
     Window.submit a i
   done;
   Engine.run_until e 2.0;
   Alcotest.(check bool) "stalled during outage" true (List.length !delivered_b < 10);
-  Linkstate.set_up (Network.link net ~src:0 ~dst:1) true;
+  Network.set_link_up net ~src:0 ~dst:1 true;
   Engine.run_until e 10.0;
   Alcotest.(check (list int)) "caught up in order" (List.init 10 (fun i -> i + 1))
     (List.rev !delivered_b)

@@ -15,9 +15,9 @@ open Dvp
 
 (* A workload with enough variety to touch timers, Vm retransmission and the
    request protocol: concentrated quotas force cross-site pulls. *)
-let traced_run () =
+let traced_run ?queue () =
   let trace = Trace.create ~capacity:65_536 () in
-  let sys = System.create ~seed:77 ~trace ~n:4 () in
+  let sys = System.create ~seed:77 ~trace ?queue ~n:4 () in
   System.add_item sys ~item:0 ~total:120 ~split:(`Explicit [ 90; 10; 10; 10 ]) ();
   System.add_item sys ~item:1 ~total:80 ();
   for i = 0 to 11 do
@@ -40,6 +40,15 @@ let test_des_determinism () =
   let b = traced_run () in
   Alcotest.(check bool) "trace non-trivial" true (String.length a > 1000);
   Alcotest.(check string) "byte-identical traces" a b
+
+(* The engine-swap regression: the timer wheel (default) and the reference
+   binary heap implement the same total event order, so the same seeded
+   workload must trace byte-identically on either queue. *)
+let test_des_engine_swap () =
+  let wheel = traced_run ~queue:`Wheel () in
+  let heap = traced_run ~queue:`Heap_reference () in
+  Alcotest.(check bool) "trace non-trivial" true (String.length wheel > 1000);
+  Alcotest.(check string) "wheel and heap traces byte-identical" wheel heap
 
 (* ------------------------------------------- cross-substrate equivalence *)
 
@@ -210,7 +219,12 @@ let test_equivalence_fixed () =
 let () =
   Alcotest.run "dvp_substrate"
     [
-      ("determinism", [ Alcotest.test_case "byte-identical traces" `Quick test_des_determinism ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical traces" `Quick test_des_determinism;
+          Alcotest.test_case "engine swap (wheel vs heap)" `Quick
+            test_des_engine_swap;
+        ] );
       ( "equivalence",
         [
           Alcotest.test_case "fixed script" `Quick test_equivalence_fixed;

@@ -242,6 +242,151 @@ let test_heap_clear () =
   Alcotest.(check bool) "empty" true (Heap.is_empty h);
   Alcotest.(check (option (pair (float 0.0) unit))) "no peek" None (Heap.peek h)
 
+(* ---------------------------------------------------------- Timer wheel *)
+
+module W = Timer_wheel
+
+let test_wheel_fifo_ties () =
+  let w = W.create () in
+  ignore (W.add w ~priority:1.0 "a");
+  ignore (W.add w ~priority:1.0 "b");
+  ignore (W.add w ~priority:1.0 "c");
+  let pop () = match W.pop w with Some (_, v) -> v | None -> "?" in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ())
+
+let test_wheel_cancel_mem_clear () =
+  let w = W.create () in
+  let _a = W.add w ~priority:1.0 "a" in
+  let b = W.add w ~priority:2.0 "b" in
+  let c = W.add w ~priority:3.0 "c" in
+  Alcotest.(check bool) "cancel live" true (W.cancel w b);
+  Alcotest.(check bool) "cancel twice" false (W.cancel w b);
+  Alcotest.(check bool) "mem cancelled" false (W.mem w b);
+  Alcotest.(check bool) "mem live" true (W.mem w c);
+  Alcotest.(check int) "two left" 2 (W.length w);
+  Alcotest.(check (list string)) "order skips tombstone" [ "a"; "c" ]
+    (List.map snd (W.to_list w));
+  W.clear w;
+  Alcotest.(check bool) "empty" true (W.is_empty w);
+  Alcotest.(check bool) "mem after clear" false (W.mem w c);
+  Alcotest.(check bool) "next_at empty" true (W.next_at w = infinity)
+
+let test_wheel_next_at_pop_min () =
+  let w = W.create () in
+  ignore (W.add w ~priority:0.7 11);
+  ignore (W.add w ~priority:0.2 22);
+  check_float "next_at = min" 0.2 (W.next_at w);
+  Alcotest.(check bool) "due at horizon" true (W.has_due w ~horizon:0.2);
+  Alcotest.(check bool) "not due before" false (W.has_due w ~horizon:0.1);
+  Alcotest.(check int) "pop_min value" 22 (W.pop_min w);
+  Alcotest.(check int) "then next" 11 (W.pop_min w);
+  Alcotest.(check bool) "pop_min empty raises" true
+    (try
+       ignore (W.pop_min w);
+       false
+     with Invalid_argument _ -> true)
+
+let test_wheel_ring_wrap () =
+  (* A tiny ring (4 slots of width 1) forces entries many revolutions apart
+     to share slots; order must still be global (priority, seq). *)
+  let w = W.create ~slots:4 ~width:1.0 () in
+  let ps = [ 0.5; 17.2; 3.9; 100.0; 4.1; 17.2; 0.6; 63.0 ] in
+  List.iteri (fun i p -> ignore (W.add w ~priority:p i)) ps;
+  let expected =
+    List.sort compare (List.mapi (fun i p -> (p, i)) ps)
+  in
+  let rec drain acc =
+    match W.pop w with None -> List.rev acc | Some pv -> drain (pv :: acc)
+  in
+  Alcotest.(check (list (pair (float 0.0) int))) "wrap order" expected (drain [])
+
+(* The equivalence suite: the wheel must produce the exact (priority,
+   fifo-order, value) stream of the reference Heap under any interleaving of
+   add / cancel / pop — including adds whose priority lies "in the past"
+   relative to already-popped entries (the wheel clamps their tick to the
+   cursor but must still pop them by true priority). *)
+let run_wheel_heap_script ~seed ~n_ops ~slots ~width () =
+  let r = Rng.create seed in
+  let h = Heap.create () in
+  let w = W.create ~slots ~width () in
+  let handles = ref [] in
+  (* (heap handle, wheel handle) pairs, any order *)
+  let n_handles = ref 0 in
+  let seq = ref 0 in
+  let recent = Array.make 8 0.0 in
+  let pops_agree () =
+    match (Heap.pop h, W.pop w) with
+    | None, None -> ()
+    | Some (hp, hv), Some (wp, wv) ->
+      Alcotest.(check (float 0.0)) "pop priority" hp wp;
+      Alcotest.(check int) "pop value" hv wv
+    | None, Some _ -> Alcotest.fail "wheel non-empty, heap empty"
+    | Some _, None -> Alcotest.fail "heap non-empty, wheel empty"
+  in
+  for _ = 1 to n_ops do
+    (match Rng.int r 5 with
+    | 0 | 1 ->
+      (* Add: fresh uniform priority, or (1 in 4) an exact replay of a recent
+         one to force FIFO ties. *)
+      let p =
+        if Rng.int r 4 = 0 then recent.(Rng.int r 8) else Rng.float r 100.0
+      in
+      recent.(Rng.int r 8) <- p;
+      let hh = Heap.add h ~priority:p !seq in
+      let wh = W.add w ~priority:p !seq in
+      incr seq;
+      handles := (hh, wh) :: !handles;
+      incr n_handles
+    | 2 -> (
+      (* Cancel a random outstanding handle pair (may already be popped). *)
+      match !handles with
+      | [] -> ()
+      | l ->
+        let k = Rng.int r !n_handles in
+        let hh, wh = List.nth l k in
+        let ch = Heap.cancel h hh and cw = W.cancel w wh in
+        Alcotest.(check bool) "cancel agrees" ch cw;
+        Alcotest.(check bool) "mem agrees" (Heap.mem h hh) (W.mem w wh))
+    | _ -> pops_agree ());
+    Alcotest.(check int) "length agrees" (Heap.length h) (W.length w);
+    let hnext = match Heap.peek h with Some (p, _) -> p | None -> infinity in
+    (* plain [=]: Alcotest's float comparator is NaN on two infinities *)
+    Alcotest.(check bool) "next_at agrees" true (hnext = W.next_at w)
+  done;
+  (* Drain both, alternating pop with the non-allocating next_at/pop_min
+     path so both pop flavours are pinned to the heap stream. *)
+  let flip = ref false in
+  let continue = ref true in
+  while !continue do
+    if W.is_empty w then begin
+      Alcotest.(check bool) "heap drained too" true (Heap.is_empty h);
+      continue := false
+    end
+    else if !flip then begin
+      flip := false;
+      let wp = W.next_at w in
+      let wv = W.pop_min w in
+      match Heap.pop h with
+      | Some (hp, hv) ->
+        Alcotest.(check (float 0.0)) "drain priority" hp wp;
+        Alcotest.(check int) "drain value" hv wv
+      | None -> Alcotest.fail "heap drained early"
+    end
+    else begin
+      flip := true;
+      pops_agree ()
+    end
+  done
+
+let test_wheel_vs_heap_script () =
+  (* Three geometries: default; a coarse tiny ring (heavy slot sharing and
+     revolution wrap); sub-tick widths (every entry lands near the cursor). *)
+  run_wheel_heap_script ~seed:101 ~n_ops:3000 ~slots:1024 ~width:1e-3 ();
+  run_wheel_heap_script ~seed:202 ~n_ops:2000 ~slots:4 ~width:2.0 ();
+  run_wheel_heap_script ~seed:303 ~n_ops:2000 ~slots:16 ~width:40.0 ()
+
 (* --------------------------------------------------------------- Dstats *)
 
 let test_stats_basic () =
@@ -360,6 +505,54 @@ let prop_heap_sorted =
       let popped = drain [] in
       popped = List.sort compare priorities)
 
+let prop_wheel_heap_bulk =
+  QCheck.Test.make ~name:"wheel pops = heap pops (bulk load)" ~count:300
+    QCheck.(list (float_bound_inclusive 100.0))
+    (fun priorities ->
+      let h = Heap.create () and w = W.create ~slots:16 ~width:0.25 () in
+      List.iteri
+        (fun i p ->
+          ignore (Heap.add h ~priority:p i);
+          ignore (W.add w ~priority:p i))
+        priorities;
+      let rec drain () =
+        match (Heap.pop h, W.pop w) with
+        | None, None -> true
+        | Some (hp, hv), Some (wp, wv) -> hp = wp && hv = wv && drain ()
+        | _ -> false
+      in
+      drain ())
+
+let prop_wheel_heap_interleaved =
+  (* Pops advance the wheel cursor mid-stream, so later adds with smaller
+     priorities exercise the past-tick clamp; the streams must still agree. *)
+  QCheck.Test.make ~name:"wheel = heap under interleaved add/pop" ~count:300
+    QCheck.(list (pair bool (float_bound_inclusive 100.0)))
+    (fun ops ->
+      let h = Heap.create () and w = W.create ~slots:8 ~width:0.5 () in
+      let i = ref 0 and ok = ref true in
+      List.iter
+        (fun (do_pop, p) ->
+          if do_pop then (
+            match (Heap.pop h, W.pop w) with
+            | None, None -> ()
+            | Some (hp, hv), Some (wp, wv) ->
+              if not (hp = wp && hv = wv) then ok := false
+            | _ -> ok := false)
+          else begin
+            ignore (Heap.add h ~priority:p !i);
+            ignore (W.add w ~priority:p !i);
+            incr i
+          end)
+        ops;
+      let rec drain () =
+        match (Heap.pop h, W.pop w) with
+        | None, None -> true
+        | Some (hp, hv), Some (wp, wv) -> hp = wp && hv = wv && drain ()
+        | _ -> false
+      in
+      drain () && !ok)
+
 let prop_percentile_monotone =
   QCheck.Test.make ~name:"percentiles monotone in p" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 100.0))
@@ -411,6 +604,17 @@ let () =
           Alcotest.test_case "random ops vs model" `Quick test_heap_random_ops;
           Alcotest.test_case "clear" `Quick test_heap_clear;
           QCheck_alcotest.to_alcotest prop_heap_sorted;
+        ] );
+      ( "timer_wheel",
+        [
+          Alcotest.test_case "fifo ties" `Quick test_wheel_fifo_ties;
+          Alcotest.test_case "cancel/mem/clear" `Quick test_wheel_cancel_mem_clear;
+          Alcotest.test_case "next_at/pop_min" `Quick test_wheel_next_at_pop_min;
+          Alcotest.test_case "ring wrap" `Quick test_wheel_ring_wrap;
+          Alcotest.test_case "equivalence script vs heap" `Quick
+            test_wheel_vs_heap_script;
+          QCheck_alcotest.to_alcotest prop_wheel_heap_bulk;
+          QCheck_alcotest.to_alcotest prop_wheel_heap_interleaved;
         ] );
       ( "dstats",
         [
