@@ -2048,10 +2048,126 @@ let e23_smoke () =
   end;
   print_endline "E23-SMOKE ok"
 
+(* ----------------------------------------------------------- E24-wallchaos *)
+
+(* The crash-restart claim, measured: hard-kill one of four site domains
+   mid-traffic (its on-disk WAL tail torn, so the respawn runs the repair
+   path too), bring it back through file replay + crash recovery, and time
+   it.  "revive ms" is the full wall cost of the synchronous respawn — read
+   the frame prefix, truncate the torn tail, replay into the database and Vm
+   state, rejoin the membership; "post commits/s" shows the background load
+   re-absorbing the recovered site.  Value must conserve at quiesce in every
+   trial; rates are host-dependent and only gated on multi-core hosts. *)
+let e24_wallchaos () =
+  section "E24_wallchaos  Crash-restart recovery on the domains runtime";
+  let cores = Domain.recommended_domain_count () in
+  let duration = 3.0 in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "kill 1 of 4 domains at 0.8 s, torn WAL tail, revive at 1.2 s (%d core(s))"
+           cores)
+      [
+        ("seed", Table.Right);
+        ("pre commits/s", Table.Right);
+        ("replayed", Table.Right);
+        ("revive ms", Table.Right);
+        ("post commits/s", Table.Right);
+        ("conserved", Table.Right);
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let wal_dir =
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "dvp-e24-%d-%d" (Unix.getpid ()) seed)
+        in
+        Unix.mkdir dir 0o700;
+        dir
+      in
+      let c = Dvp.Cluster.create ~seed ~wal_dir ~n:4 ~items:[ (0, 200_000) ] () in
+      let sup = Dvp.Supervisor.create c in
+      let t0 = Unix.gettimeofday () in
+      Dvp.Cluster.start_bg_load c ~duration ();
+      Unix.sleepf 0.8;
+      let pre_committed = Dvp.Cluster.bg_committed c in
+      let pre_rate = float_of_int pre_committed /. (Unix.gettimeofday () -. t0) in
+      ignore (Dvp.Supervisor.kill sup 1);
+      (match Dvp.Cluster.wal_path c 1 with
+      | Some path -> Dvp.Walfile.tear path ~junk:64
+      | None -> ());
+      Unix.sleepf 0.4;
+      let r0 = Unix.gettimeofday () in
+      let replayed =
+        match Dvp.Supervisor.revive sup 1 with Some n -> n | None -> 0
+      in
+      let revive_ms = (Unix.gettimeofday () -. r0) *. 1000.0 in
+      (* Post-recovery throughput over the rest of the load window. *)
+      let post_t0 = Unix.gettimeofday () in
+      let post_base = Dvp.Cluster.bg_committed c in
+      let post_window = Float.max 0.3 (t0 +. duration -. post_t0 -. 0.1) in
+      Unix.sleepf post_window;
+      let post_rate =
+        float_of_int (Dvp.Cluster.bg_committed c - post_base)
+        /. (Unix.gettimeofday () -. post_t0)
+      in
+      let remain = t0 +. duration -. Unix.gettimeofday () in
+      if remain > 0.0 then Unix.sleepf remain;
+      let quiesced = Dvp.Cluster.quiesce ~timeout:30.0 c in
+      let conserved = quiesced && Dvp.Cluster.conserved_all c in
+      let committed = Dvp.Cluster.bg_committed c in
+      Dvp.Cluster.stop c;
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat wal_dir f) with _ -> ())
+        (Sys.readdir wal_dir);
+      (try Unix.rmdir wal_dir with _ -> ());
+      Report.record_json
+        (Json.Obj
+           [
+             ("seed", Json.Int seed);
+             ("cores", Json.Int cores);
+             ("duration", Json.Float duration);
+             ("committed", Json.Int committed);
+             ("pre_rate", Json.Float pre_rate);
+             ("replayed", Json.Int replayed);
+             ("torn_tail", Json.Bool true);
+             ("revive_ms", Json.Float revive_ms);
+             ("post_rate", Json.Float post_rate);
+             ("conserved", Json.Bool conserved);
+           ]);
+      Table.add_row t
+        [
+          Table.fint seed;
+          Printf.sprintf "%.0f" pre_rate;
+          Table.fint replayed;
+          Printf.sprintf "%.1f" revive_ms;
+          Printf.sprintf "%.0f" post_rate;
+          (if conserved then "yes" else "NO");
+        ])
+    [ 42; 43 ];
+  (* The gate's contract: recovery must replay and conserve everywhere;
+     on >= 2 real cores the respawn must also be fast and the load must
+     re-absorb the site. *)
+  Report.record_json
+    (Json.Obj
+       [
+         ( "contract",
+           Json.Obj
+             [
+               ("max_revive_ms", Json.Float 1500.0);
+               ("min_post_frac", Json.Float 0.4);
+             ] );
+       ]);
+  Table.print t
+
 let all = [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5);
             ("E6", e6); ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10);
             ("E11", e11); ("E12", e12); ("E13", e13); ("E14", e14);
             ("E15", e15); ("E16", e16); ("E17", e17); ("E18", e18); ("E19", e19);
             ("E20-WALL", e20_wall); ("E21-ELASTIC", e21_elastic);
             ("E22-TRACE", e22_trace); ("E23-SCALE", e23_scale);
-            ("E23-SMOKE", e23_smoke); ("CHAOS", chaos) ]
+            ("E23-SMOKE", e23_smoke); ("E24-WALLCHAOS", e24_wallchaos);
+            ("CHAOS", chaos) ]

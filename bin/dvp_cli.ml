@@ -480,19 +480,37 @@ let rebalance_cmd sites total slack json =
     exit 1
   end
 
-let chaos_cmd seeds first_seed profile_name crashdumps json =
-  match Dvp.Chaos.Profile.of_string profile_name with
+(* `chaos --wall` targets the multicore runtime: real domain kills, on-disk
+   WAL recovery, wall-clock fault plans — the DES fuzzer's sibling. *)
+let wall_chaos_cmd seeds first_seed profile_name crashdumps json =
+  match Dvp.Chaos.Wall.profile_of_string profile_name with
   | None ->
-    Printf.eprintf "unknown chaos profile %S (%s)\n" profile_name
-      (String.concat "|" Dvp.Chaos.Profile.names);
+    Printf.eprintf "unknown wall chaos profile %S (bounded|default|killer)\n"
+      profile_name;
     exit 2
   | Some profile ->
-    let report = Dvp.Chaos.Harness.run ~first_seed ~seeds ~profile ?crashdumps () in
+    let report = Dvp.Chaos.Wall.run ~profile ~seeds ~first_seed ?crashdumps () in
     if json then
       print_endline
-        (Dvp.Util.Json.to_string_pretty (Dvp.Chaos.Harness.report_to_json report))
-    else Format.printf "%a@." Dvp.Chaos.Harness.pp_report report;
-    if report.Dvp.Chaos.Harness.failures <> [] then exit 1
+        (Dvp.Util.Json.to_string_pretty (Dvp.Chaos.Wall.report_to_json report))
+    else Format.printf "%a@." Dvp.Chaos.Wall.pp_report report;
+    if not (Dvp.Chaos.Wall.ok report) then exit 1
+
+let chaos_cmd wall seeds first_seed profile_name crashdumps json =
+  if wall then wall_chaos_cmd seeds first_seed profile_name crashdumps json
+  else
+    match Dvp.Chaos.Profile.of_string profile_name with
+    | None ->
+      Printf.eprintf "unknown chaos profile %S (%s)\n" profile_name
+        (String.concat "|" Dvp.Chaos.Profile.names);
+      exit 2
+    | Some profile ->
+      let report = Dvp.Chaos.Harness.run ~first_seed ~seeds ~profile ?crashdumps () in
+      if json then
+        print_endline
+          (Dvp.Util.Json.to_string_pretty (Dvp.Chaos.Harness.report_to_json report))
+      else Format.printf "%a@." Dvp.Chaos.Harness.pp_report report;
+      if report.Dvp.Chaos.Harness.failures <> [] then exit 1
 
 let analyze_cmd file json =
   if not (Sys.file_exists file) then begin
@@ -632,19 +650,32 @@ let bench_cmd wall domains duration transport trace_out stats_out watchdog json 
 
 let serve_cmd domains items total transport =
   let config = { Dvp.Config.default with Dvp.Config.transport = transport } in
-  let c =
-    Dvp.Cluster.create ~seed:42 ~config ~n:domains ~items:(cluster_items ~items ~total) ()
+  (* File-backed WALs so `kill` is survivable: `revive` replays the on-disk
+     frame prefix through real crash recovery. *)
+  let wal_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dvp-serve-%d" (Unix.getpid ()))
   in
+  Unix.mkdir wal_dir 0o700;
+  let c =
+    Dvp.Cluster.create ~seed:42 ~config ~wal_dir ~n:domains
+      ~items:(cluster_items ~items ~total) ()
+  in
+  let sup = Dvp.Supervisor.create c in
   Printf.printf
-    "serving %d site domain(s), %d item(s) of %d each; commands:\n\
+    "serving %d site domain(s), %d item(s) of %d each; WALs in %s\n\
+     commands:\n\
     \  incr <site> <item> <amount>      local escrow increment\n\
     \  decr <site> <item> <amount>      decrement (pulls value, retries)\n\
     \  push <src> <dst> <item> <amount> explicit redistribution\n\
     \  load <seconds> <item>            closed-loop increments on every site\n\
+    \  kill <site>                      hard-kill the site's domain (volatile state lost)\n\
+    \  revive <site>                    respawn it from its on-disk WAL\n\
     \  report                           fragments and conservation at quiesce\n\
     \  stats                            live per-site telemetry (no quiesce)\n\
     \  quit\n"
-    domains items total;
+    domains items total wal_dir;
   let outcome_line = function
     | Dvp.Txn.Committed { reads = [] } -> "committed"
     | Dvp.Txn.Committed { reads } ->
@@ -656,6 +687,12 @@ let serve_cmd domains items total transport =
   in
   let stop () =
     Dvp.Cluster.stop c;
+    (try
+       Array.iter
+         (fun f -> try Sys.remove (Filename.concat wal_dir f) with _ -> ())
+         (Sys.readdir wal_dir);
+       Unix.rmdir wal_dir
+     with _ -> ());
     print_endline "bye"
   in
   let rec loop () =
@@ -710,7 +747,20 @@ let serve_cmd domains items total transport =
           Dvp.Cluster.run_load c ~duration:(float_of_string secs) ~item:(int_of_string i) ()
         in
         Printf.printf "committed %d increments\n" n
-         | _ -> print_endline "unknown command (incr/decr/push/load/report/stats/quit)"
+      | [ "kill"; s ] ->
+        let i = int_of_string s in
+        if Dvp.Supervisor.kill sup i then
+          Printf.printf "site %d killed — volatile state gone, log survives\n" i
+        else print_endline "already dead"
+      | [ "revive"; s ] ->
+        let i = int_of_string s in
+        if Dvp.Supervisor.breaker_tripped sup i then Dvp.Supervisor.reset_breaker sup i;
+        (match Dvp.Supervisor.revive sup i with
+        | Some n -> Printf.printf "site %d recovered: %d record(s) replayed\n" i n
+        | None -> print_endline "already alive")
+         | _ ->
+           print_endline
+             "unknown command (incr/decr/push/load/kill/revive/report/stats/quit)"
        with
       (* The REPL must survive any malformed input — bad integers,
          out-of-range sites, whatever — with an error line, never a raise
@@ -931,7 +981,19 @@ let profile_arg =
     value
     & opt string "bounded"
     & info [ "profile" ]
-        ~doc:"Chaos profile: bounded, default, heavy, killer, or churn.")
+        ~doc:
+          "Chaos profile: bounded, default, heavy, killer, or churn (DES); with \
+           $(b,--wall): bounded, default, or killer.")
+
+let chaos_wall_arg =
+  Arg.(
+    value & flag
+    & info [ "wall" ]
+        ~doc:
+          "Fuzz the multicore wall-clock runtime instead of the DES: hard domain \
+           kills mid-traffic, file-backed WAL recovery (torn tails repaired for \
+           real), link storms, forced-write faults — audited by freeze-barrier \
+           conservation cuts and an offline replay of the on-disk logs.")
 
 let crashdumps_arg =
   Arg.(
@@ -944,7 +1006,8 @@ let crashdumps_arg =
 
 let chaos_term =
   Term.(
-    const chaos_cmd $ seeds_arg $ first_seed_arg $ profile_arg $ crashdumps_arg $ json_arg)
+    const chaos_cmd $ chaos_wall_arg $ seeds_arg $ first_seed_arg $ profile_arg
+    $ crashdumps_arg $ json_arg)
 
 let trace_file_arg =
   Arg.(

@@ -1,10 +1,8 @@
-module Faultplan = Dvp_workload.Faultplan
-
 (* Greedy drop-one-event minimization: repeatedly try removing each event and
    keep any removal under which the failure still reproduces, until no single
    removal does.  O(n²) re-runs in the worst case, but failing schedules are
-   short and each re-run is a bounded simulation. *)
-let minimize ~fails (plan : Faultplan.t) =
+   short and each re-run is a bounded run. *)
+let minimize ~fails plan =
   let drop i l = List.filteri (fun j _ -> j <> i) l in
   let rec pass plan i =
     if i >= List.length plan then plan

@@ -6,9 +6,12 @@
     failure vanish).  If [fails plan] is already false the plan is returned
     unchanged — the caller's predicate must be deterministic, which holds
     for chaos runs because a run is a pure function of [(profile, seed,
-    schedule)]. *)
+    schedule)].
 
-val minimize :
-  fails:(Dvp_workload.Faultplan.t -> bool) ->
-  Dvp_workload.Faultplan.t ->
-  Dvp_workload.Faultplan.t
+    Polymorphic over the event type: the DES harness minimizes
+    {!Dvp_workload.Faultplan.t}, the wall harness {!Dvp_runtime.Fault.t}
+    plans (whose re-runs are only as deterministic as real scheduling — the
+    wall caller re-checks the shrunk plan and reports it as evidence, not
+    proof). *)
+
+val minimize : fails:('a list -> bool) -> 'a list -> 'a list

@@ -8,7 +8,12 @@ type vm_view = {
   vm_acked : int array;
   vm_accepted : int array;
   vm_outbox : (Ids.site * int, vm_outstanding) Hashtbl.t;
+  vm_cum_sent : (Ids.item, int) Hashtbl.t;
+  vm_cum_recv : (Ids.item, int) Hashtbl.t;
 }
+
+let tbl_add tbl key amount =
+  Hashtbl.replace tbl key (amount + Option.value ~default:0 (Hashtbl.find_opt tbl key))
 
 let vm_view ~n wal =
   let v =
@@ -17,12 +22,20 @@ let vm_view ~n wal =
       vm_acked = Array.make n (-1);
       vm_accepted = Array.make n (-1);
       vm_outbox = Hashtbl.create 32;
+      vm_cum_sent = Hashtbl.create 16;
+      vm_cum_recv = Hashtbl.create 16;
     }
   in
   Wal.iter wal (fun record ->
       match record with
       | Log_event.Vm_create { dst; seq; item; amount; reply_to; _ } ->
-        if seq >= v.vm_next_seq.(dst) then v.vm_next_seq.(dst) <- seq + 1;
+        (* [seq < next_seq] means a duplicate record image (e.g. a file
+           mirror that re-offered a batch after a torn write); the first
+           image already counted toward the sent ledger. *)
+        if seq >= v.vm_next_seq.(dst) then begin
+          v.vm_next_seq.(dst) <- seq + 1;
+          tbl_add v.vm_cum_sent item amount
+        end;
         Hashtbl.replace v.vm_outbox (dst, seq) { item; amount; reply_to }
       | Log_event.Ack_progress { dst; upto } ->
         if upto > v.vm_acked.(dst) then v.vm_acked.(dst) <- upto
@@ -37,8 +50,14 @@ let vm_view ~n wal =
           (fun (dst, seq) _ ->
             if dst = peer then Hashtbl.remove v.vm_outbox (dst, seq))
           (Hashtbl.copy v.vm_outbox)
-      | Log_event.Vm_accept { peer; seq; _ } ->
-        if seq > v.vm_accepted.(peer) then v.vm_accepted.(peer) <- seq
+      | Log_event.Vm_accept { peer; seq; item; amount; _ } ->
+        (* The acceptance watermark filters duplicates, so only in-order
+           accepts feed the cumulative-received ledger — same rule the live
+           receiver applies before logging. *)
+        if seq > v.vm_accepted.(peer) then begin
+          v.vm_accepted.(peer) <- seq;
+          tbl_add v.vm_cum_recv item amount
+        end
       | Log_event.Checkpoint { accepted; next_seq; acked; outbox; _ } ->
         (* Snapshot: replace everything reconstructed so far. *)
         Array.fill v.vm_next_seq 0 n 0;
@@ -60,11 +79,18 @@ let vm_view ~n wal =
     (Hashtbl.copy v.vm_outbox);
   v
 
-type db_view = { db : Db.t; redo : int; max_counter : int }
+type db_view = {
+  db : Db.t;
+  redo : int;
+  max_counter : int;
+  deltas : (Ids.item, int) Hashtbl.t;
+  installed : (Ids.item, int) Hashtbl.t;
+}
 
 let db_view ?into wal =
   let db = match into with Some db -> db | None -> Db.create () in
   let committed = Hashtbl.create 16 and applied = Hashtbl.create 16 in
+  let deltas = Hashtbl.create 16 and installed = Hashtbl.create 16 in
   let max_counter = ref 0 in
   Wal.iter wal (fun record ->
       match record with
@@ -72,9 +98,23 @@ let db_view ?into wal =
         List.iter (Log_event.apply_action db) actions
       | Log_event.Vm_accept { item; new_value; _ } -> Db.set_value db ~item new_value
       | Log_event.Txn_commit { txn; actions } ->
+        (* Commit actions carry absolute values, so the operator's semantic
+           delta is recoverable as (new - current): records replay in the
+           exact order the serial site appended them, making "current" here
+           equal to the live pre-commit value.  Installs (the pseudo-txn
+           [Ids.ts_zero]) are provisioning, not operator work — they feed the
+           installed ledger instead.  Both reads are idempotent under
+           duplicate record images (the delta is 0 the second time). *)
+        let ledger = if txn = Ids.ts_zero then installed else deltas in
+        List.iter
+          (fun (Log_event.Set_fragment { item; value }) ->
+            tbl_add ledger item (value - Db.value db ~item))
+          actions;
         List.iter (Log_event.apply_action db) actions;
-        Hashtbl.replace committed txn ();
-        if fst txn > !max_counter then max_counter := fst txn
+        if txn <> Ids.ts_zero then begin
+          Hashtbl.replace committed txn ();
+          if fst txn > !max_counter then max_counter := fst txn
+        end
       | Log_event.Txn_applied { txn } -> Hashtbl.replace applied txn ()
       | Log_event.Checkpoint { fragments; max_counter = mc; _ } ->
         Db.wipe db;
@@ -88,4 +128,4 @@ let db_view ?into wal =
       (fun txn () acc -> if Hashtbl.mem applied txn then acc else acc + 1)
       committed 0
   in
-  { db; redo; max_counter = !max_counter }
+  { db; redo; max_counter = !max_counter; deltas; installed }

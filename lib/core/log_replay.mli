@@ -17,14 +17,29 @@ type vm_view = {
   vm_accepted : int array;  (** acceptance watermark, per peer *)
   vm_outbox : (Ids.site * int, vm_outstanding) Hashtbl.t;
       (** (dst, seq) → payload still owed delivery *)
+  vm_cum_sent : (Ids.item, int) Hashtbl.t;
+      (** cumulative value shipped per item, reconstructed from [Vm_create]
+          records (duplicate images deduplicated by sequence number) *)
+  vm_cum_recv : (Ids.item, int) Hashtbl.t;
+      (** cumulative value accepted per item, from in-order [Vm_accept]s *)
 }
 
 val vm_view : n:int -> Log_event.t Dvp_storage.Wal.t -> vm_view
+(** The cumulative ledgers ([vm_cum_sent]/[vm_cum_recv], and [db_view]'s
+    [deltas]/[installed]) are exact since birth only while the log has never
+    been checkpoint-truncated — a [Checkpoint] snapshot does not carry them,
+    so on a truncated log they cover the retained suffix.  The wall-clock
+    runtime, whose crash-restart conservation cut depends on them, never
+    checkpoints; the DES uses the omniscient network ledger instead. *)
 
 type db_view = {
   db : Dvp_storage.Local_db.t;
   redo : int;  (** committed transactions lacking an applied record *)
   max_counter : int;  (** highest transaction counter seen *)
+  deltas : (Ids.item, int) Hashtbl.t;
+      (** cumulative committed operator delta per item (excludes installs) *)
+  installed : (Ids.item, int) Hashtbl.t;
+      (** value provisioned by [Ids.ts_zero] install records per item *)
 }
 
 val db_view : ?into:Dvp_storage.Local_db.t -> Log_event.t Dvp_storage.Wal.t -> db_view

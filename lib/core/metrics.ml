@@ -68,6 +68,7 @@ type t = {
   mutable drops_down : int;
   mutable drops_inflight : int;
   mutable trace_dropped : int;
+  mutable storage_force_errors : int;
 }
 
 let create () =
@@ -101,6 +102,7 @@ let create () =
     drops_down = 0;
     drops_inflight = 0;
     trace_dropped = 0;
+    storage_force_errors = 0;
   }
 
 let txn_committed t ~latency =
@@ -155,6 +157,10 @@ let add_drops t ~loss ~partition ~down ~inflight =
   t.drops_partition <- t.drops_partition + partition;
   t.drops_down <- t.drops_down + down;
   t.drops_inflight <- t.drops_inflight + inflight
+
+let storage_force_error t = t.storage_force_errors <- t.storage_force_errors + 1
+
+let storage_force_errors t = t.storage_force_errors
 
 let set_trace_dropped t n = t.trace_dropped <- n
 
@@ -267,6 +273,7 @@ let merge a b =
   t.drops_partition <- a.drops_partition + b.drops_partition;
   t.drops_down <- a.drops_down + b.drops_down;
   t.drops_inflight <- a.drops_inflight + b.drops_inflight;
+  t.storage_force_errors <- a.storage_force_errors + b.storage_force_errors;
   (* Sites sharing one trace would double-count its evictions; max keeps the
      invariant "evictions of the busiest trace seen". *)
   t.trace_dropped <- max a.trace_dropped b.trace_dropped;
@@ -327,6 +334,7 @@ let to_json t =
             ("inflight", Json.Int t.drops_inflight);
             ("total", Json.Int (drops_total t));
           ] );
+      ("storage_force_errors", Json.Int t.storage_force_errors);
       ("messages_per_commit", num (messages_per_commit t));
       ("forces_per_commit", num (forces_per_commit t));
       ("trace_dropped", Json.Int t.trace_dropped);

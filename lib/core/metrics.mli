@@ -76,6 +76,11 @@ val add_drops : t -> loss:int -> partition:int -> down:int -> inflight:int -> un
     [Network.stats]): per-link loss, send-time partition refusals, down
     senders, and in-flight discards at delivery time. *)
 
+val storage_force_error : t -> unit
+(** Count one storage-sink force failure (the backing file of a file-mirrored
+    WAL refused a write — ENOSPC, EIO, ...).  The in-memory stable log is
+    unaffected; see [Wal.set_on_force_error]. *)
+
 val set_trace_dropped : t -> int -> unit
 (** Record how many trace-ring events were evicted ([Trace.drop_count]) so
     offline consumers of the JSON can tell analyses over a clipped trace
@@ -149,6 +154,8 @@ val drops_inflight : t -> int
 val drops_total : t -> int
 
 val trace_dropped : t -> int
+
+val storage_force_errors : t -> int
 
 val messages_per_commit : t -> float
 

@@ -754,6 +754,14 @@ let recover t =
     Db.wipe t.db;
     let view = Log_replay.db_view ~into:t.db t.wal in
     Ids.Clock.reset_to t.clock view.Log_replay.max_counter;
+    (* Rebuild the cumulative committed-delta ledger alongside the database:
+       commit records are forced, so the replayed sums equal the live
+       counters at the moment of the last force, and the conservation cut
+       identity (fragment = installed + received + delta - sent) holds again
+       the instant the site rejoins. *)
+    Hashtbl.reset t.cum_delta;
+    Hashtbl.iter (fun item d -> Hashtbl.replace t.cum_delta item d)
+      view.Log_replay.deltas;
     Vm.recover (vm_exn t);
     t.up <- true;
     (* Independent recovery: zero messages to other sites (Section 7). *)

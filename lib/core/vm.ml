@@ -84,8 +84,10 @@ type t = {
      with the site's cumulative committed delta they form the local
      conservation ledger the runtime watchdog folds on a consistent cut:
      fragment = installed + received + delta - sent, at every instant of the
-     owning domain's serial loop.  Not rebuilt by [recover]: the ledger is a
-     live-process observability aid, not crash-durable protocol state. *)
+     owning domain's serial loop.  [recover] rebuilds them from the stable
+     log (every contributing record is forced at the point it is created),
+     so the cut identity survives a hard kill and respawn — which is what
+     lets the wall-clock supervisor check conservation across restarts. *)
   cum_sent : (Ids.item, int) Hashtbl.t;
   cum_recv : (Ids.item, int) Hashtbl.t;
   (* Volatile receiver state (rebuilt from the log on recovery). *)
@@ -198,6 +200,9 @@ let outstanding_to t dst =
     |> List.rev
 
 let outbox_depth t = t.depth
+
+let outbox_depth_to t ~dst =
+  match t.dsts.(dst) with None -> 0 | Some st -> Queue.length st.q
 
 (* One-shot high-water warning: fires once when the total outbox crosses the
    mark (typically because a parked destination keeps accumulating), re-arms
@@ -538,6 +543,12 @@ let recover t =
   t.next_seq <- view.Log_replay.vm_next_seq;
   t.acked_upto <- view.Log_replay.vm_acked;
   t.accepted <- view.Log_replay.vm_accepted;
+  Hashtbl.reset t.cum_sent;
+  Hashtbl.reset t.cum_recv;
+  Hashtbl.iter (fun item v -> Hashtbl.replace t.cum_sent item v)
+    view.Log_replay.vm_cum_sent;
+  Hashtbl.iter (fun item v -> Hashtbl.replace t.cum_recv item v)
+    view.Log_replay.vm_cum_recv;
   Array.fill t.dsts 0 t.n None;
   Array.fill t.active_pos 0 t.n (-1);
   t.n_active <- 0;

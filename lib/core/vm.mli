@@ -112,6 +112,11 @@ val outbox_depth : t -> int
 (** Total unacknowledged Vm across all destinations, parked included — the
     quantity the [outbox_warn] high-water mark watches. *)
 
+val outbox_depth_to : t -> dst:Ids.site -> int
+(** Unacknowledged Vm queued toward one destination.  The wall-clock
+    quiesce loop uses this to discount backlog owed to a permanently dead
+    site, which can never drain. *)
+
 val park : t -> dst:Ids.site -> unit
 (** Open the circuit breaker towards [dst]: stop transmitting and
     retransmitting to it.  Vm keep being created and queued (they must
@@ -136,8 +141,9 @@ val value_sent : t -> item:Ids.item -> int
     creation.  Monotone; together with {!value_received} and the site's
     committed delta it forms the conservation ledger the runtime watchdog
     samples ([value_sent - value_received] summed over a consistent cut is
-    exactly the in-flight mailbox/outbox Vm value).  Not rebuilt by
-    {!recover} — a live-process observability aid, not durable state. *)
+    exactly the in-flight mailbox/outbox Vm value).  Rebuilt from the stable
+    log by {!recover} (every contributing record is forced when created), so
+    the cut identity survives hard kills and respawns. *)
 
 val value_received : t -> item:Ids.item -> int
 (** Cumulative value ever accepted at this site as Vm of [item]. *)

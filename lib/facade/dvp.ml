@@ -40,6 +40,9 @@ module Shards = Dvp_trace.Shards
 module Probe = Dvp_sim.Probe
 module Cluster = Dvp_runtime.Cluster
 module Observer = Dvp_runtime.Observer
+module Supervisor = Dvp_runtime.Supervisor
+module Fault = Dvp_runtime.Fault
+module Walfile = Dvp_runtime.Walfile
 
 (* Failure detection. *)
 module Health = Dvp_health.Health

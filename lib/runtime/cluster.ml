@@ -1,5 +1,6 @@
 module Substrate = Dvp_substrate.Substrate
 module Heap = Dvp_util.Heap
+module Rng = Dvp_util.Rng
 module Site = Dvp_core.Site
 module Txn = Dvp_core.Txn
 module Op = Dvp_core.Op
@@ -7,6 +8,7 @@ module Config = Dvp_core.Config
 module Proto = Dvp_core.Proto
 module Metrics = Dvp_core.Metrics
 module Wal = Dvp_storage.Wal
+module Health = Dvp_health.Health
 module Trace = Dvp_trace.Trace
 module Shards = Dvp_trace.Shards
 
@@ -56,10 +58,17 @@ module Barrier = struct
     Mutex.unlock t.m
 end
 
+(* The dying incarnation's unwind: raised by the [Kill] control message out
+   of the handler dispatch, never from inside a site handler — so every WAL
+   force that happened, happened completely, and the abandoned state is
+   exactly "everything since the last force is lost". *)
+exception Killed
+
 type report = {
   rep_fragments : (int * int) list; (* (item, fragment) *)
   rep_active : int;
   rep_outbox : int;
+  rep_outbox_to : (int * int) list; (* (dst, Vm queued toward dst), non-zero only *)
 }
 
 type site_stats = {
@@ -75,16 +84,20 @@ type site_stats = {
   st_active : int;
 }
 
-(* Per-item verdict of one conservation cut: summed over every site on the
-   cut, fragments plus in-flight value (sent − recv) must equal the
-   installed baseline plus committed deltas.  [ci_in_flight] is exactly the
-   Vm value sitting in mailboxes/outboxes at the cut. *)
+(* Per-item verdict of one conservation cut: summed over every *live* site
+   on the cut, fragments plus in-flight value (sent − recv) must equal the
+   live installed baseline plus committed deltas.  The per-site identity
+   [fragment = installed + received + delta − sent] holds at every instant
+   of a site's serial execution and every term is rebuilt from the stable
+   log on respawn, so restricting all five sums to the same live set keeps
+   the equality exact even while some sites are dead — value owed to or by
+   a dead site shows up as (possibly negative) [ci_in_flight]. *)
 type cut_item = {
   ci_item : int;
-  ci_expected : int;  (* initial + Σ committed deltas on the cut *)
-  ci_fragments : int;  (* Σ per-site fragments on the cut *)
-  ci_in_flight : int;  (* Σ sent − Σ recv: value launched but not accepted *)
-  ci_delta : int;  (* Σ committed deltas on the cut *)
+  ci_expected : int;  (* live installed baseline + Σ live committed deltas *)
+  ci_fragments : int;  (* Σ live fragments on the cut *)
+  ci_in_flight : int;  (* Σ sent − Σ recv over the live set *)
+  ci_delta : int;  (* Σ live committed deltas on the cut *)
   ci_ok : bool;  (* ci_fragments + ci_in_flight = ci_expected *)
 }
 
@@ -94,6 +107,7 @@ type cut = {
   cut_consistent : bool;  (* all sites reported the same epoch *)
   cut_items : cut_item list;
   cut_sites : site_stats array;
+  cut_dead : int list;  (* sites excluded from the cut (hard-killed) *)
 }
 
 let cut_ok c = c.cut_consistent && List.for_all (fun ci -> ci.ci_ok) c.cut_items
@@ -102,22 +116,61 @@ type ctl =
   | Deliver of int * Proto.t
   | Submit of Txn.t * Txn.outcome Cell.t
   | Push of { dst : int; item : int; amount : int; reply : bool Cell.t }
-  | Report of report Cell.t
-  | Stats of { reply : site_stats Cell.t; barrier : Barrier.t option }
+  | Report of report option Cell.t
+  | Stats of { reply : site_stats option Cell.t; barrier : Barrier.t option }
   | Load of { item : int; amount : int; duration : float; reply : int Cell.t }
+  | Bgload of { deadline : float; amount : int }
+  | Kill
+  | Peer_up of int
+  | Fail_forces of int
   | Stop
+
+(* Fail a control message a dead site will never answer: every client-facing
+   cell gets the outcome a crash gives it.  Used on the dying incarnation's
+   unconsumed batch remainder and on the backlog the supervisor sweeps out
+   of a poisoned mailbox. *)
+let fail_ctl = function
+  | Submit (_, reply) -> Cell.fill reply (Txn.Aborted Metrics.Crashed)
+  | Push { reply; _ } -> Cell.fill reply false
+  | Report reply -> Cell.fill reply None
+  | Stats { reply; _ } ->
+    (* A barriered Stats can never reach a dead site's backlog: cuts run to
+       completion under the cut mutex, which kills also take. *)
+    Cell.fill reply None
+  | Load { reply; _ } -> Cell.fill reply 0
+  | Deliver _ | Bgload _ | Kill | Peer_up _ | Fail_forces _ | Stop -> ()
+
+type chaos_counters = {
+  cc_drops : int Atomic.t;
+  cc_dups : int Atomic.t;
+  cc_delays : int Atomic.t;
+}
+
+type spawn_mode = Fresh | Respawn
 
 type t = {
   n : int;
   config : Config.t;
   mailboxes : ctl Mailbox.t array;
-  domains : unit Domain.t array;
+  domains : unit Domain.t option array; (* None once killed and joined *)
+  alive : bool array; (* written under cut_mutex; racy reads are benign *)
   expected : (int, int) Hashtbl.t; (* main-thread view of Σ per item *)
   item_list : int list;
+  item_arr : int array;
+  item_idx : (int, int) Hashtbl.t; (* item -> index in item_arr *)
   epoch : float; (* wall instant of creation: origin of the cluster clock *)
-  initial : (int, int) Hashtbl.t; (* the installed totals, cut baseline *)
+  initial : (int, int) Hashtbl.t; (* the installed totals, full-cut baseline *)
+  layouts : (int * int) list array; (* per-site install layout, cut baselines *)
   shards : Shards.t option; (* site i -> shard i; shard n = control plane *)
-  cut_mutex : Mutex.t; (* serialises concurrent cut takers (barrier safety) *)
+  cut_mutex : Mutex.t; (* serialises cut takers, kills, and respawns *)
+  wal_dir : string option;
+  master_rng : Rng.t; (* respawn streams; guarded by cut_mutex *)
+  links : Fault.links Atomic.t;
+  chaos : chaos_counters;
+  bg_deltas : int Atomic.t array array; (* site × item index *)
+  bg_committed : int Atomic.t array; (* per site *)
+  mutable bg : (float * int) option; (* (deadline, amount) of the active load *)
+  replays : int array; (* cumulative records replayed by respawns, per site *)
   mutable stopped : bool;
 }
 
@@ -146,33 +199,42 @@ let exec_once site (req : Txn.t) k =
           | Ok reads -> Txn.Committed { reads }
           | Error reason -> Txn.Aborted reason))
 
-(* Mirrors System.exec: site-side retry on the site's own timers. *)
-let exec_in site sub (req : Txn.t) (reply : Txn.outcome Cell.t) =
+(* Mirrors System.exec: site-side retry on the site's own timers.  [fill]
+   fires at most once; if the domain is killed first, the pending-reply
+   registry fails the caller's cell instead. *)
+let exec_in site sub (req : Txn.t) fill =
   match req.Txn.retry with
-  | None -> exec_once site req (Cell.fill reply)
+  | None -> exec_once site req fill
   | Some { Txn.retries; backoff } ->
     let rec attempt k =
       exec_once site req (fun result ->
           match result with
-          | Txn.Committed _ -> Cell.fill reply result
+          | Txn.Committed _ -> fill result
           | Txn.Aborted _ when k < retries ->
             ignore
               (Substrate.schedule sub
                  ~delay:(backoff *. float_of_int (k + 1))
                  (fun () -> attempt (k + 1)))
-          | Txn.Aborted _ -> Cell.fill reply result)
+          | Txn.Aborted _ -> fill result)
     in
     attempt 0
 
 (* Closed-loop escrow increments until the wall deadline.  Increments commit
    synchronously, so run them in bounded batches and trampoline through a
    zero-delay timer: the mailbox drains (acks, peer Vm) between batches and
-   the stack stays flat. *)
-let start_load site sub ~item ~amount ~duration (reply : int Cell.t) =
+   the stack stays flat.  [fill] reports the committed count; on a kill the
+   registry reports the count committed so far — which is exact, because
+   each commit (a forced log append) and its count increment happen inside
+   one handler and kills never land mid-handler. *)
+let start_load site sub ~item ~amount ~duration ~register ~resolve reply =
   let committed = ref 0 in
+  let id = register (fun () -> Cell.fill reply !committed) in
   let deadline = Substrate.now sub +. duration in
   let rec step () =
-    if Substrate.now sub >= deadline then Cell.fill reply !committed
+    if Substrate.now sub >= deadline then begin
+      resolve id;
+      Cell.fill reply !committed
+    end
     else begin
       let batch = ref 0 in
       while !batch < 256 && Substrate.now sub < deadline do
@@ -186,11 +248,18 @@ let start_load site sub ~item ~amount ~duration (reply : int Cell.t) =
   in
   step ()
 
-let report_of site item_list =
+let report_of site ~n item_list =
+  let vm = Site.vm site in
+  let outbox_to = ref [] in
+  for d = n - 1 downto 0 do
+    let k = Dvp_core.Vm.outbox_depth_to vm ~dst:d in
+    if k > 0 then outbox_to := (d, k) :: !outbox_to
+  done;
   {
     rep_fragments = List.map (fun item -> (item, Site.fragment site ~item)) item_list;
     rep_active = Site.active_txns site;
-    rep_outbox = Dvp_core.Vm.outbox_depth (Site.vm site);
+    rep_outbox = Dvp_core.Vm.outbox_depth vm;
+    rep_outbox_to = !outbox_to;
   }
 
 (* The per-site snapshot that stats/cut sampling assembles.  Runs inside the
@@ -214,8 +283,8 @@ let stats_of site ~self ~item_list =
     st_active = Site.active_txns site;
   }
 
-let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list ~shard
-    ~(ready : unit Cell.t) () =
+let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
+    ~item_arr ~shard ~links ~chaos ~bg_row ~bg_done ~mode ~(ready : int Cell.t) () =
   let mb = mailboxes.(self) in
   let timers : (unit -> unit) Heap.t = Heap.create () in
   (* Clamp the wall clock monotone per domain: gettimeofday can step
@@ -240,20 +309,164 @@ let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
       ~schedule_at:(fun ~at f -> sched at f)
       ()
   in
-  let send ~dst msg = Mailbox.push mailboxes.(dst) (Deliver (self, msg)) in
+  let emit ev =
+    match shard with Some tr -> Trace.emit tr ~time:(now ()) ev | None -> ()
+  in
+  let net_rng = Rng.split rng in
+  let bg_rng = Rng.split rng in
+  let deliver dst msg = Mailbox.push mailboxes.(dst) (Deliver (self, msg)) in
+  (* Every inter-domain send passes through the live link-quality knob: a
+     storm turns the lossless mailbox transport into a lossy, reordering,
+     duplicating network — precisely the fault model the Vm acknowledgement
+     protocol exists to absorb. *)
+  let send ~dst msg =
+    let l = Atomic.get links in
+    if l.Fault.drop > 0.0 && Rng.bernoulli net_rng l.Fault.drop then
+      Atomic.incr chaos.cc_drops
+    else begin
+      if l.Fault.dup > 0.0 && Rng.bernoulli net_rng l.Fault.dup then begin
+        Atomic.incr chaos.cc_dups;
+        deliver dst msg
+      end;
+      if l.Fault.delay > 0.0 then begin
+        Atomic.incr chaos.cc_delays;
+        ignore (sched (now () +. Rng.float net_rng l.Fault.delay) (fun () -> deliver dst msg))
+      end
+      else deliver dst msg
+    end
+  in
   let site = Site.create sub ~self ~n ~send ~config ~rng () in
+  (* Injected sink-failure budget ([Fail_forces]): the sink raises before
+     touching the file, so the WAL retains the whole batch and re-offers it
+     on the next force — a fault the storage layer heals, now observable as
+     a typed force_error, a metric, and a Storage_fault trace event. *)
+  let sink_budget = ref 0 in
+  Wal.set_on_force_error (Site.wal site) (fun (_ : Wal.force_error) ->
+      Metrics.storage_force_error (Site.metrics site);
+      emit (Trace.Storage_fault { site = self; kind = "force_sink" }));
+  let attach_sink oc =
+    Wal.set_force_sink (Site.wal site) (fun recs ->
+        if !sink_budget > 0 then begin
+          decr sink_budget;
+          failwith "injected force-sink fault"
+        end;
+        List.iter (Walfile.append oc) recs)
+  in
+  let replayed = ref 0 in
   let wal_oc =
-    match wal_dir with
-    | None -> None
-    | Some dir ->
-      let oc = open_out_bin (Filename.concat dir (Printf.sprintf "site-%d.wal" self)) in
-      Wal.set_force_sink (Site.wal site) (fun recs ->
-          List.iter (fun r -> Marshal.to_channel oc r []) recs;
-          flush oc);
+    match (mode, wal_dir) with
+    | Fresh, None ->
+      List.iter (fun (item, frag) -> Site.install_fragment site ~item frag) layout;
+      None
+    | Fresh, Some dir ->
+      let oc = Walfile.create (Walfile.path ~dir ~site:self) in
+      attach_sink oc;
+      List.iter (fun (item, frag) -> Site.install_fragment site ~item frag) layout;
+      Some oc
+    | Respawn, None -> invalid_arg "Cluster: cannot respawn a site without a wal_dir"
+    | Respawn, Some dir ->
+      (* Recovery from the on-disk mirror: read the valid frame prefix,
+         repair any torn tail, seed the in-memory WAL with the replayed
+         records (forced with no sink attached, so nothing is re-written to
+         the file), then run the ordinary crash/recover pair.  The sink is
+         re-attached only afterwards: post-recovery appends extend the same
+         file.  Fragments are NOT re-installed — the install records are in
+         the log and replay like everything else. *)
+      let path = Walfile.path ~dir ~site:self in
+      let r = Walfile.read path in
+      if r.Walfile.torn then begin
+        Walfile.truncate path r.Walfile.valid_bytes;
+        emit (Trace.Storage_fault { site = self; kind = "torn_tail" });
+        emit (Trace.Wal_repair { site = self; dropped = 1 })
+      end;
+      let wal = Site.wal site in
+      List.iter (fun record -> Wal.append ~forced:false wal record) r.Walfile.records;
+      Wal.force wal;
+      replayed := List.length r.Walfile.records;
+      Site.crash site;
+      Site.recover site;
+      let oc = Walfile.open_append path in
+      attach_sink oc;
       Some oc
   in
-  List.iter (fun (item, frag) -> Site.install_fragment site ~item frag) layout;
-  Cell.fill ready ();
+  (* Failure detector: same Health policy the DES runs, driven by this
+     domain's timers.  Every delivery is liveness evidence about its sender
+     (the piggyback tap); transitions park/unpark the Vm circuit breakers so
+     a killed peer stops eating retransmissions until it provably returns. *)
+  let detector =
+    match config.Config.health with
+    | None -> None
+    | Some hcfg ->
+      let tr = config.Config.transport in
+      let det =
+        Health.create hcfg ~sub ~self ~n
+          ~probe_every:tr.Config.Transport.probe_every
+          ~probe_idle:tr.Config.Transport.probe_idle
+          ~send_probe:(fun dst -> if Site.is_up site then send ~dst Proto.Probe)
+          ~on_transition:(fun ~peer st ->
+            emit (Trace.Health { site = self; peer; state = Health.state_to_string st });
+            let vm = Site.vm site in
+            match st with
+            | Health.Up -> Dvp_core.Vm.unpark vm ~dst:peer
+            | Health.Suspected | Health.Condemned -> Dvp_core.Vm.park vm ~dst:peer)
+      in
+      Site.set_health_view site (fun peer -> Health.state det peer);
+      Health.start det;
+      Some det
+  in
+  (* Background chaos load: self-driving mixed traffic (escrow increments,
+     decrements that may need remote value, explicit cross-site pushes)
+     until the wall deadline.  Commits are counted into cluster-level
+     atomics inside the same handler that forces the commit record, so the
+     main thread's expected totals stay exact across kills. *)
+  let start_bg ~deadline ~amount =
+    let items = Array.length item_arr in
+    let rec step () =
+      if now () < deadline && Site.is_up site then begin
+        let batch = ref 0 in
+        while !batch < 64 && now () < deadline do
+          incr batch;
+          let idx = Rng.int bg_rng items in
+          let item = item_arr.(idx) in
+          let r = Rng.float bg_rng 1.0 in
+          if r < 0.15 && n > 1 then begin
+            let dst =
+              let d = Rng.int bg_rng (n - 1) in
+              if d >= self then d + 1 else d
+            in
+            ignore (Site.push_value site ~dst ~item ~amount)
+          end
+          else begin
+            let op = if r < 0.3 then Op.Decr amount else Op.Incr amount in
+            Site.submit site
+              ~ops:[ (item, op) ]
+              ~on_done:(fun res ->
+                match res with
+                | Site.Committed _ ->
+                  Atomic.incr bg_done;
+                  ignore (Atomic.fetch_and_add bg_row.(idx) (Op.delta op))
+                | Site.Aborted _ -> ())
+          end
+        done;
+        ignore (Substrate.schedule sub ~delay:0.001 step)
+      end
+    in
+    step ()
+  in
+  (* Pending-reply registry: client cells whose answer is still in flight
+     inside this domain (submitted transactions awaiting remote value, load
+     loops awaiting their deadline).  A kill fails every one of them, so the
+     main thread can never block on a cell a dead domain owned. *)
+  let pending : (int, unit -> unit) Hashtbl.t = Hashtbl.create 16 in
+  let next_pending = ref 0 in
+  let register fail =
+    let id = !next_pending in
+    incr next_pending;
+    Hashtbl.replace pending id fail;
+    id
+  in
+  let resolve id = Hashtbl.remove pending id in
+  Cell.fill ready !replayed;
   let stop = ref false in
   let fire_due () =
     let rec go () =
@@ -266,19 +479,34 @@ let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
     go ()
   in
   let handle = function
-    | Deliver (src, msg) -> Site.handle_message site ~src msg
-    | Submit (txn, reply) -> exec_in site sub txn reply
+    | Deliver (src, msg) ->
+      (match detector with Some d -> Health.note_alive d ~peer:src | None -> ());
+      Site.handle_message site ~src msg
+    | Submit (txn, reply) ->
+      let id = register (fun () -> Cell.fill reply (Txn.Aborted Metrics.Crashed)) in
+      exec_in site sub txn (fun outcome ->
+          resolve id;
+          Cell.fill reply outcome)
     | Push { dst; item; amount; reply } ->
       Cell.fill reply (Site.push_value site ~dst ~item ~amount)
-    | Report reply -> Cell.fill reply (report_of site item_list)
+    | Report reply -> Cell.fill reply (Some (report_of site ~n item_list))
     | Stats { reply; barrier } ->
-      Cell.fill reply (stats_of site ~self ~item_list);
-      (* Consistent cut: hold here until every site has snapshotted, so no
-         value can move between the first and last snapshot.  Deadlock-free
-         because sends are asynchronous mailbox pushes. *)
+      Cell.fill reply (Some (stats_of site ~self ~item_list));
+      (* Consistent cut: hold here until every live site has snapshotted, so
+         no value can move between the first and last snapshot.  Deadlock-
+         free because sends are asynchronous mailbox pushes. *)
       (match barrier with Some b -> Barrier.arrive_and_wait b | None -> ())
     | Load { item; amount; duration; reply } ->
-      start_load site sub ~item ~amount ~duration reply
+      start_load site sub ~item ~amount ~duration ~register ~resolve reply
+    | Bgload { deadline; amount } -> start_bg ~deadline ~amount
+    | Kill -> raise Killed
+    | Peer_up peer ->
+      (match detector with
+      | Some d ->
+        if Health.state d peer = Health.Condemned then Health.reinstate d ~peer
+        else Health.note_alive d ~peer
+      | None -> ())
+    | Fail_forces k -> sink_budget := !sink_budget + k
     | Stop -> stop := true
   in
   (* One-shot mailbox high-water warning, mirroring Vm's Outbox_high: warn
@@ -288,33 +516,54 @@ let run_site ~self ~n ~config ~rng ~wal_dir ~epoch ~mailboxes ~layout ~item_list
     if config.Config.mailbox_warn > 0 then begin
       if (not !mailbox_warned) && batch_len > config.Config.mailbox_warn then begin
         mailbox_warned := true;
-        match shard with
-        | Some tr ->
-          Trace.emit tr ~time:(now ())
-            (Trace.Mailbox_high
-               { site = self; depth = batch_len; limit = config.Config.mailbox_warn })
-        | None -> ()
+        emit
+          (Trace.Mailbox_high
+             { site = self; depth = batch_len; limit = config.Config.mailbox_warn })
       end
       else if !mailbox_warned && batch_len <= config.Config.mailbox_warn / 2 then
         mailbox_warned := false
     end
   in
-  while not !stop do
-    fire_due ();
-    let batch = Mailbox.drain mb in
-    check_mailbox_depth (List.length batch);
-    List.iter handle batch;
-    fire_due ();
-    if not !stop then begin
-      let timeout =
-        match Heap.peek timers with
-        | Some (at, _) -> Float.max 0.0 (at -. now ())
-        | None -> -1.0
-      in
-      Mailbox.wait mb ~timeout
-    end
-  done;
-  match wal_oc with Some oc -> close_out oc | None -> ()
+  (* Track the unconsumed remainder of the batch in flight, so a kill can
+     fail the cells of messages it will never handle. *)
+  let batch_rest = ref [] in
+  let rec consume = function
+    | [] -> ()
+    | m :: rest ->
+      batch_rest := rest;
+      handle m;
+      consume rest
+  in
+  let close_wal () = match wal_oc with Some oc -> close_out_noerr oc | None -> () in
+  (try
+     while not !stop do
+       fire_due ();
+       let batch = Mailbox.drain mb in
+       check_mailbox_depth (List.length batch);
+       consume batch;
+       fire_due ();
+       if not !stop then begin
+         let timeout =
+           match Heap.peek timers with
+           | Some (at, _) -> Float.max 0.0 (at -. now ())
+           | None -> -1.0
+         in
+         Mailbox.wait mb ~timeout
+       end
+     done;
+     close_wal ()
+   with Killed ->
+     (* Hard death, in order: fail the batch remainder; crash the site
+        (aborts in-flight transactions with [Crashed], firing their
+        callbacks, and emits the Crash trace event); fail whatever pending
+        replies remain (retry loops, load loops); release the file.  The
+        Site.t, timers, and detector are simply abandoned — volatile state
+        is the casualty, the stable file is the survivor. *)
+     List.iter fail_ctl !batch_rest;
+     Site.crash site;
+     let fails = Hashtbl.fold (fun _ f acc -> f :: acc) pending [] in
+     List.iter (fun f -> f ()) fails;
+     close_wal ())
 
 (* ------------------------------------------------------------ main thread *)
 
@@ -328,6 +577,9 @@ let create ?(seed = 42) ?(config = Config.default) ?wal_dir ?(tracing = false)
   let rngs = Array.init n (fun _ -> Dvp_util.Rng.split rng) in
   let mailboxes = Array.init n (fun _ -> Mailbox.create ()) in
   let item_list = List.map fst items in
+  let item_arr = Array.of_list item_list in
+  let item_idx = Hashtbl.create 8 in
+  Array.iteri (fun i item -> Hashtbl.replace item_idx item i) item_arr;
   let layout = Array.make n [] in
   List.iter
     (fun (item, total) ->
@@ -335,6 +587,7 @@ let create ?(seed = 42) ?(config = Config.default) ?wal_dir ?(tracing = false)
         (fun i frag -> layout.(i) <- (item, frag) :: layout.(i))
         (Dvp_core.Value.split_even total ~parts:n))
     items;
+  let layouts = Array.map List.rev layout in
   let epoch = Unix.gettimeofday () in
   (* n site shards plus one control shard (index n) for the observer /
      watchdog — single writer per ring, no cross-domain locking. *)
@@ -342,15 +595,25 @@ let create ?(seed = 42) ?(config = Config.default) ?wal_dir ?(tracing = false)
     if tracing then Some (Shards.create ~capacity:trace_capacity ~n:(n + 1) ()) else None
   in
   let shard_of i = Option.map (fun s -> Shards.shard s i) shards in
+  let links = Atomic.make Fault.no_links in
+  let chaos =
+    { cc_drops = Atomic.make 0; cc_dups = Atomic.make 0; cc_delays = Atomic.make 0 }
+  in
+  let bg_deltas =
+    Array.init n (fun _ -> Array.init (Array.length item_arr) (fun _ -> Atomic.make 0))
+  in
+  let bg_committed = Array.init n (fun _ -> Atomic.make 0) in
   let ready = Array.init n (fun _ -> Cell.create ()) in
   let domains =
     Array.init n (fun i ->
-        Domain.spawn
-          (run_site ~self:i ~n ~config ~rng:rngs.(i) ~wal_dir ~epoch ~mailboxes
-             ~layout:(List.rev layout.(i)) ~item_list ~shard:(shard_of i)
-             ~ready:ready.(i)))
+        Some
+          (Domain.spawn
+             (run_site ~self:i ~n ~config ~rng:rngs.(i) ~wal_dir ~epoch ~mailboxes
+                ~layout:layouts.(i) ~item_list ~item_arr ~shard:(shard_of i) ~links
+                ~chaos ~bg_row:bg_deltas.(i) ~bg_done:bg_committed.(i) ~mode:Fresh
+                ~ready:ready.(i))))
   in
-  Array.iter Cell.await ready;
+  Array.iter (fun c -> ignore (Cell.await c : int)) ready;
   let expected = Hashtbl.create 8 in
   let initial = Hashtbl.create 8 in
   List.iter
@@ -363,12 +626,24 @@ let create ?(seed = 42) ?(config = Config.default) ?wal_dir ?(tracing = false)
     config;
     mailboxes;
     domains;
+    alive = Array.make n true;
     expected;
     item_list;
+    item_arr;
+    item_idx;
     epoch;
     initial;
+    layouts;
     shards;
     cut_mutex = Mutex.create ();
+    wal_dir;
+    master_rng = rng;
+    links;
+    chaos;
+    bg_deltas;
+    bg_committed;
+    bg = None;
+    replays = Array.make n 0;
     stopped = false;
   }
 
@@ -378,54 +653,85 @@ let items t = t.item_list
 
 let now t = Unix.gettimeofday () -. t.epoch
 
+let wal_path t i =
+  Option.map (fun dir -> Walfile.path ~dir ~site:i) t.wal_dir
+
+let site_alive t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.site_alive: site out of range";
+  t.alive.(i)
+
+let live_sites t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.alive.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let dead_sites t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if not t.alive.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let replayed t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.replayed: site out of range";
+  t.replays.(i)
+
 let exec t (req : Txn.t) =
   let site = req.Txn.site in
   if site < 0 || site >= t.n then invalid_arg "Cluster.exec: site out of range";
   let reply = Cell.create () in
-  Mailbox.push t.mailboxes.(site) (Submit (req, reply));
-  let outcome = Cell.await reply in
-  (* Track committed deltas so conservation knows the expected aggregate
-     (the main-thread counterpart of System.wrap_delta). *)
-  (match (req.Txn.kind, outcome) with
-  | Txn.Update, Txn.Committed _ ->
-    List.iter
-      (fun (item, op) ->
-        match Hashtbl.find_opt t.expected item with
-        | Some total -> Hashtbl.replace t.expected item (total + Op.delta op)
-        | None -> ())
-      req.Txn.ops
-  | _ -> ());
-  outcome
+  match Mailbox.send t.mailboxes.(site) (Submit (req, reply)) with
+  | Mailbox.Poisoned | Mailbox.Closed -> Txn.Aborted Metrics.Crashed
+  | Mailbox.Sent ->
+    let outcome = Cell.await reply in
+    (* Track committed deltas so conservation knows the expected aggregate
+       (the main-thread counterpart of System.wrap_delta). *)
+    (match (req.Txn.kind, outcome) with
+    | Txn.Update, Txn.Committed _ ->
+      List.iter
+        (fun (item, op) ->
+          match Hashtbl.find_opt t.expected item with
+          | Some total -> Hashtbl.replace t.expected item (total + Op.delta op)
+          | None -> ())
+        req.Txn.ops
+    | _ -> ());
+    outcome
 
 let push_value t ~src ~dst ~item ~amount =
   let reply = Cell.create () in
-  Mailbox.push t.mailboxes.(src) (Push { dst; item; amount; reply });
-  Cell.await reply
+  match Mailbox.send t.mailboxes.(src) (Push { dst; item; amount; reply }) with
+  | Mailbox.Poisoned | Mailbox.Closed -> false
+  | Mailbox.Sent -> Cell.await reply
 
-let report_all t =
-  Array.to_list t.mailboxes
-  |> List.map (fun mb ->
-         let reply = Cell.create () in
-         Mailbox.push mb (Report reply);
-         reply)
-  |> List.map Cell.await
+(* Ask every live site; a site that dies between the liveness check and the
+   answer resolves to None (its message was either dropped by the poisoned
+   mailbox or swept and failed by the supervisor), so callers never block on
+   a dead site. *)
+let query_live t make =
+  let cells = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.alive.(i) then begin
+      let reply = Cell.create () in
+      match Mailbox.send t.mailboxes.(i) (make reply) with
+      | Mailbox.Sent -> cells := (i, reply) :: !cells
+      | Mailbox.Poisoned | Mailbox.Closed -> ()
+    end
+  done;
+  List.filter_map (fun (i, r) -> Option.map (fun v -> (i, v)) (Cell.await r)) !cells
+
+let report_all t = query_live t (fun reply -> Report reply)
 
 let stats t =
-  let replies =
-    Array.map
-      (fun mb ->
-        let reply = Cell.create () in
-        Mailbox.push mb (Stats { reply; barrier = None });
-        reply)
-      t.mailboxes
-  in
-  Array.map Cell.await replies
+  query_live t (fun reply -> Stats { reply; barrier = None })
+  |> List.map snd |> Array.of_list
 
 let mailbox_depth t i =
   if i < 0 || i >= t.n then invalid_arg "Cluster.mailbox_depth: site out of range";
   Mailbox.length t.mailboxes.(i)
 
-let assemble_cut ~at ~initial ~item_list (sites : site_stats array) =
+let assemble_cut ~at ~base ~item_list ~dead (sites : site_stats array) =
   let sum f = Array.fold_left (fun acc st -> acc + f st) 0 sites in
   let epoch0 = if Array.length sites = 0 then 0 else sites.(0).st_epoch in
   let consistent = Array.for_all (fun st -> st.st_epoch = epoch0) sites in
@@ -437,8 +743,7 @@ let assemble_cut ~at ~initial ~item_list (sites : site_stats array) =
         let sent = sum (fun st -> look st.st_sent) in
         let recv = sum (fun st -> look st.st_recv) in
         let delta = sum (fun st -> look st.st_delta) in
-        let base = Option.value ~default:0 (Hashtbl.find_opt initial item) in
-        let expected = base + delta in
+        let expected = base item + delta in
         let in_flight = sent - recv in
         {
           ci_item = item;
@@ -456,31 +761,137 @@ let assemble_cut ~at ~initial ~item_list (sites : site_stats array) =
     cut_consistent = consistent;
     cut_items = items;
     cut_sites = sites;
+    cut_dead = dead;
   }
 
 let cut_of_stats ~at ~initial ~items sites =
   let tbl = Hashtbl.create 8 in
   List.iter (fun (item, v) -> Hashtbl.replace tbl item v) initial;
-  assemble_cut ~at ~initial:tbl ~item_list:items sites
+  assemble_cut ~at
+    ~base:(fun item -> Option.value ~default:0 (Hashtbl.find_opt tbl item))
+    ~item_list:items ~dead:[] sites
 
 let sample_cut t =
-  (* Serialise concurrent cut takers: two overlapping cuts would hand the
-     sites two different barriers in unpredictable orders and deadlock. *)
+  (* Serialise concurrent cut takers, kills and respawns: the live set must
+     not change between choosing the barrier's party count and the last
+     arrival, and two overlapping cuts would hand the sites two different
+     barriers in unpredictable orders and deadlock. *)
   Mutex.lock t.cut_mutex;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.cut_mutex)
     (fun () ->
-      let barrier = Barrier.create t.n in
+      let live = live_sites t in
+      let dead = dead_sites t in
+      let barrier = Barrier.create (List.length live) in
       let replies =
-        Array.map
-          (fun mb ->
+        List.map
+          (fun i ->
             let reply = Cell.create () in
-            Mailbox.push mb (Stats { reply; barrier = Some barrier });
+            Mailbox.push t.mailboxes.(i) (Stats { reply; barrier = Some barrier });
             reply)
-          t.mailboxes
+          live
       in
-      let sites = Array.map Cell.await replies in
-      assemble_cut ~at:(now t) ~initial:t.initial ~item_list:t.item_list sites)
+      let sites = Array.of_list (List.filter_map Cell.await replies) in
+      (* The cut baseline is what the *live* set was installed with: install
+         values are immutable after creation, so this is exact whatever the
+         dead sites were holding when they died. *)
+      let base item =
+        List.fold_left
+          (fun acc i ->
+            acc + Option.value ~default:0 (List.assoc_opt item t.layouts.(i)))
+          0 live
+      in
+      assemble_cut ~at:(now t) ~base ~item_list:t.item_list ~dead sites)
+
+(* --------------------------------------------------------- fault surface *)
+
+let set_links t l = Atomic.set t.links l
+
+let links t = Atomic.get t.links
+
+let chaos_counts t =
+  (Atomic.get t.chaos.cc_drops, Atomic.get t.chaos.cc_dups, Atomic.get t.chaos.cc_delays)
+
+let fail_forces t i ~count =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.fail_forces: site out of range";
+  ignore (Mailbox.send t.mailboxes.(i) (Fail_forces count) : Mailbox.send_result)
+
+let announce_up t =
+  let live = live_sites t in
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j -> if j <> i then Mailbox.push t.mailboxes.(i) (Peer_up j))
+        live)
+    live
+
+let kill_site t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.kill_site: site out of range";
+  Mutex.lock t.cut_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.cut_mutex)
+    (fun () ->
+      if not t.alive.(i) then false
+      else begin
+        (* Order matters: the Kill message must enter the queue before the
+           poison gate closes it; everything behind Kill is backlog, swept
+           and failed once the domain is gone. *)
+        Mailbox.push t.mailboxes.(i) Kill;
+        Mailbox.poison t.mailboxes.(i);
+        (match t.domains.(i) with Some d -> Domain.join d | None -> ());
+        t.domains.(i) <- None;
+        t.alive.(i) <- false;
+        List.iter fail_ctl (Mailbox.sweep t.mailboxes.(i));
+        true
+      end)
+
+let respawn_site t i =
+  if i < 0 || i >= t.n then invalid_arg "Cluster.respawn_site: site out of range";
+  if t.wal_dir = None then invalid_arg "Cluster.respawn_site: cluster has no wal_dir";
+  Mutex.lock t.cut_mutex;
+  let replayed_here =
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.cut_mutex)
+      (fun () ->
+        if t.alive.(i) then None
+        else begin
+          Mailbox.unpoison t.mailboxes.(i);
+          let rng = Rng.split t.master_rng in
+          let shard_of =
+            Option.map (fun s -> Shards.shard s i) t.shards
+          in
+          let ready = Cell.create () in
+          let d =
+            Domain.spawn
+              (run_site ~self:i ~n:t.n ~config:t.config ~rng ~wal_dir:t.wal_dir
+                 ~epoch:t.epoch ~mailboxes:t.mailboxes ~layout:t.layouts.(i)
+                 ~item_list:t.item_list ~item_arr:t.item_arr ~shard:shard_of
+                 ~links:t.links ~chaos:t.chaos ~bg_row:t.bg_deltas.(i)
+                 ~bg_done:t.bg_committed.(i) ~mode:Respawn ~ready)
+          in
+          let replayed = Cell.await ready in
+          t.domains.(i) <- Some d;
+          t.alive.(i) <- true;
+          t.replays.(i) <- t.replays.(i) + replayed;
+          Some replayed
+        end)
+  in
+  match replayed_here with
+  | None -> None
+  | Some replayed ->
+    (* Announce the rejoin so peers' detectors reinstate it promptly (a
+       condemned verdict is sticky by design) and parked outboxes unpark —
+       then resume the background load if its deadline is still ahead. *)
+    List.iter
+      (fun j -> if j <> i then Mailbox.push t.mailboxes.(j) (Peer_up i))
+      (live_sites t);
+    (match t.bg with
+    | Some (deadline, amount) when now t < deadline ->
+      Mailbox.push t.mailboxes.(i) (Bgload { deadline; amount })
+    | _ -> ());
+    Some replayed
+
+(* ---------------------------------------------------------------- load *)
 
 let shards t = t.shards
 
@@ -493,17 +904,35 @@ let trace_jsonl t =
 
 let run_load t ~duration ?(amount = 1) ~item () =
   let replies =
-    Array.to_list t.mailboxes
-    |> List.map (fun mb ->
+    List.map
+      (fun (_, r) -> r)
+      (let cells = ref [] in
+       for i = t.n - 1 downto 0 do
+         if t.alive.(i) then begin
            let reply = Cell.create () in
-           Mailbox.push mb (Load { item; amount; duration; reply });
-           reply)
+           match Mailbox.send t.mailboxes.(i) (Load { item; amount; duration; reply }) with
+           | Mailbox.Sent -> cells := (i, reply) :: !cells
+           | Mailbox.Poisoned | Mailbox.Closed -> ()
+         end
+       done;
+       !cells)
   in
   let total = List.fold_left (fun acc r -> acc + Cell.await r) 0 replies in
   (match Hashtbl.find_opt t.expected item with
   | Some v -> Hashtbl.replace t.expected item (v + (total * amount))
   | None -> ());
   total
+
+let start_bg_load t ~duration ?(amount = 1) () =
+  let deadline = now t +. duration in
+  t.bg <- Some (deadline, amount);
+  Array.iteri
+    (fun i mb ->
+      if t.alive.(i) then
+        ignore (Mailbox.send mb (Bgload { deadline; amount }) : Mailbox.send_result))
+    t.mailboxes
+
+let bg_committed t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.bg_committed
 
 let quiesce ?(timeout = 10.0) t =
   let deadline = Unix.gettimeofday () +. timeout in
@@ -512,7 +941,21 @@ let quiesce ?(timeout = 10.0) t =
     else if Unix.gettimeofday () > deadline then false
     else begin
       let reps = report_all t in
-      let idle = List.for_all (fun r -> r.rep_active = 0 && r.rep_outbox = 0) reps in
+      let dead = dead_sites t in
+      (* Vm queued toward a permanently dead site can never drain — the
+         mailbox drops every retransmission — so it does not count against
+         quiescence.  The value is still accounted: it shows up in the cut's
+         in-flight term and in the sender's stable log. *)
+      let owed r =
+        List.fold_left
+          (fun acc (d, k) -> if List.mem d dead then acc + k else acc)
+          0 r.rep_outbox_to
+      in
+      let idle =
+        List.for_all
+          (fun (_, r) -> r.rep_active = 0 && r.rep_outbox - owed r <= 0)
+          reps
+      in
       if not idle then Unix.sleepf 0.002;
       go (if idle then idle_rounds + 1 else 0)
     end
@@ -520,12 +963,33 @@ let quiesce ?(timeout = 10.0) t =
   go 0
 
 let fragments t ~item =
-  let reps = report_all t in
-  Array.of_list (List.map (fun r -> List.assoc item r.rep_fragments) reps)
+  let frags = Array.make t.n 0 in
+  List.iter
+    (fun (i, r) ->
+      match List.assoc_opt item r.rep_fragments with
+      | Some v -> frags.(i) <- v
+      | None -> ())
+    (report_all t);
+  frags
+
+(* The expected aggregate for one item: the main-thread ledger (installs,
+   exec deltas, run_load counts) plus the background load's atomically
+   counted committed deltas. *)
+let expected_total t ~item =
+  match Hashtbl.find_opt t.expected item with
+  | None -> None
+  | Some base ->
+    let bg =
+      match Hashtbl.find_opt t.item_idx item with
+      | None -> 0
+      | Some idx ->
+        Array.fold_left (fun acc row -> acc + Atomic.get row.(idx)) 0 t.bg_deltas
+    in
+    Some (base + bg)
 
 let conserved t ~item =
   let total = Array.fold_left ( + ) 0 (fragments t ~item) in
-  match Hashtbl.find_opt t.expected item with
+  match expected_total t ~item with
   | Some expected -> total = expected
   | None -> invalid_arg "Cluster.conserved: unknown item"
 
@@ -534,7 +998,10 @@ let conserved_all t = List.for_all (fun item -> conserved t ~item) t.item_list
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
-    Array.iter (fun mb -> Mailbox.push mb Stop) t.mailboxes;
-    Array.iter Domain.join t.domains;
+    Array.iteri
+      (fun i mb ->
+        if t.alive.(i) then ignore (Mailbox.send mb Stop : Mailbox.send_result))
+      t.mailboxes;
+    Array.iter (function Some d -> Domain.join d | None -> ()) t.domains;
     Array.iter Mailbox.close t.mailboxes
   end

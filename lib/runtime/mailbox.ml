@@ -1,27 +1,67 @@
+type state = S_open | S_poisoned | S_closed
+
 type 'a t = {
   mutex : Mutex.t;
   q : 'a Queue.t;
   mutable sleeping : bool;
+  mutable state : state;
   rd : Unix.file_descr;
   wr : Unix.file_descr;
 }
 
+type send_result = Sent | Poisoned | Closed
+
 let create () =
   let rd, wr = Unix.pipe () in
   Unix.set_nonblock rd;
-  { mutex = Mutex.create (); q = Queue.create (); sleeping = false; rd; wr }
+  {
+    mutex = Mutex.create ();
+    q = Queue.create ();
+    sleeping = false;
+    state = S_open;
+    rd;
+    wr;
+  }
 
 let wake_byte = Bytes.make 1 '\001'
 
-let push t x =
+(* The self-pipe wake must actually land: a producer that swallows EINTR or a
+   0-byte write leaves the consumer parked in [select] until its timer fires,
+   which under load turns a sub-millisecond handoff into a full timeout.  Retry
+   those; treat EPIPE/EBADF (consumer tore the pipe down concurrently) and a
+   full pipe (a wake byte is already in flight) as success. *)
+let rec write_wake t =
+  match Unix.write t.wr wake_byte 0 1 with
+  | 0 -> write_wake t
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_wake t
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) -> ()
+
+let send t x =
   Mutex.lock t.mutex;
-  Queue.push x t.q;
-  (* Claim the wake: the first producer after the consumer parks writes the
-     byte; later ones see [sleeping = false] and skip it. *)
-  let wake = t.sleeping in
-  t.sleeping <- false;
-  Mutex.unlock t.mutex;
-  if wake then ignore (Unix.write t.wr wake_byte 0 1)
+  match t.state with
+  | S_poisoned ->
+    Mutex.unlock t.mutex;
+    Poisoned
+  | S_closed ->
+    Mutex.unlock t.mutex;
+    Closed
+  | S_open ->
+    Queue.push x t.q;
+    (* Claim the wake: the first producer after the consumer parks writes the
+       byte; later ones see [sleeping = false] and skip it. *)
+    let wake = t.sleeping in
+    t.sleeping <- false;
+    Mutex.unlock t.mutex;
+    if wake then write_wake t;
+    Sent
+
+(* Fire-and-forget: a push to a poisoned or closed mailbox is dropped, the
+   same loss semantics as a message to a crashed site — the Vm retransmission
+   machinery is what heals it.  Producers that need to distinguish a dead
+   consumer use [send]. *)
+let push t x = ignore (send t x)
 
 let length t =
   Mutex.lock t.mutex;
@@ -37,6 +77,24 @@ let drain t =
   done;
   Mutex.unlock t.mutex;
   List.rev !acc
+
+let poison t =
+  Mutex.lock t.mutex;
+  if t.state = S_open then t.state <- S_poisoned;
+  Mutex.unlock t.mutex
+
+let unpoison t =
+  Mutex.lock t.mutex;
+  if t.state = S_poisoned then t.state <- S_open;
+  Mutex.unlock t.mutex
+
+let sweep t = drain t
+
+let is_poisoned t =
+  Mutex.lock t.mutex;
+  let p = t.state = S_poisoned in
+  Mutex.unlock t.mutex;
+  p
 
 (* Swallow stale wake bytes so a byte from a previous cycle cannot turn a
    future [wait] into a busy spin. *)
@@ -66,5 +124,11 @@ let wait t ~timeout =
   end
 
 let close t =
-  Unix.close t.rd;
-  Unix.close t.wr
+  Mutex.lock t.mutex;
+  let was = t.state in
+  t.state <- S_closed;
+  Mutex.unlock t.mutex;
+  if was <> S_closed then begin
+    Unix.close t.rd;
+    Unix.close t.wr
+  end

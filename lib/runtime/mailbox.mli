@@ -5,15 +5,32 @@
     must wake for its earliest pending timer even when no message arrives, so
     blocking is built on a self-pipe: {!wait} parks in [Unix.select] on the
     read end with the timer-derived timeout, and {!push} writes one wake byte
-    only when the consumer is actually parked. *)
+    only when the consumer is actually parked.
+
+    A mailbox has three states.  [Open] is the normal case.  [Poisoned] means
+    the consumer domain was hard-killed: producers' messages are dropped (the
+    same loss semantics as the network eating a message to a crashed site)
+    until {!unpoison} re-opens the box for the respawned incarnation.
+    [Closed] means the pipe fds are gone; it is terminal. *)
 
 type 'a t
+
+type send_result =
+  | Sent
+  | Poisoned  (** consumer was hard-killed; message dropped *)
+  | Closed  (** mailbox torn down; message dropped *)
 
 val create : unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** Enqueue and, if the consumer is parked in {!wait}, wake it.
-    Thread-safe. *)
+(** Enqueue and, if the consumer is parked in {!wait}, wake it.  On a
+    poisoned or closed mailbox the message is silently dropped — crash loss
+    semantics, healed by Vm retransmission.  Thread-safe. *)
+
+val send : 'a t -> 'a -> send_result
+(** Like {!push} but reports a dead consumer as a typed result instead of
+    dropping silently (and never raises across domains).  Client-facing
+    paths use this to fail fast with a typed abort. *)
 
 val length : 'a t -> int
 (** Messages currently queued (not yet drained).  Thread-safe; any thread
@@ -22,6 +39,21 @@ val length : 'a t -> int
 val drain : 'a t -> 'a list
 (** Remove and return every queued element, oldest first.  Consumer only. *)
 
+val poison : 'a t -> unit
+(** Mark the consumer as hard-killed: subsequent {!push}es drop, {!send}s
+    return [Poisoned].  Messages already queued stay queued — the supervisor
+    {!sweep}s them after joining the dead domain.  No-op if closed. *)
+
+val unpoison : 'a t -> unit
+(** Re-open a poisoned mailbox for a respawned consumer. *)
+
+val sweep : 'a t -> 'a list
+(** Remove and return the backlog (oldest first).  Unlike {!drain} this is
+    meant for the supervisor after the consumer domain has been joined:
+    pending client requests in the backlog must be failed, not leaked. *)
+
+val is_poisoned : 'a t -> bool
+
 val wait : 'a t -> timeout:float -> unit
 (** Block until a message is pushed or [timeout] (seconds) elapses; a
     negative timeout blocks indefinitely.  Returns immediately if the queue
@@ -29,4 +61,4 @@ val wait : 'a t -> timeout:float -> unit
 
 val close : 'a t -> unit
 (** Release the pipe file descriptors.  Call after the consumer has
-    stopped. *)
+    stopped.  Idempotent. *)

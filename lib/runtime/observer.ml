@@ -48,9 +48,14 @@ let register_instruments t =
   let read f = fun () -> float_of_int (f (Atomic.get t.latest)) in
   let n = Cluster.n_sites t.cluster in
   for i = 0 to n - 1 do
+    (* Find by identity, not position: the stats array covers live sites
+       only, so index i can hold another site's snapshot while some site is
+       dead.  A dead site's instruments read 0 until it respawns. *)
     let site_metric f =
       read (fun stats ->
-          if i < Array.length stats then f stats.(i).Cluster.st_metrics else 0)
+          match Array.find_opt (fun st -> st.Cluster.st_site = i) stats with
+          | Some st -> f st.Cluster.st_metrics
+          | None -> 0)
     in
     Telemetry.counter tel (Printf.sprintf "site%d.commits" i) (site_metric Metrics.committed);
     Telemetry.counter tel (Printf.sprintf "site%d.aborts" i) (site_metric Metrics.aborted)

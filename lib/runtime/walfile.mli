@@ -1,0 +1,49 @@
+(** Framed on-disk WAL mirror: the file format behind [Cluster]'s [wal_dir].
+
+    Each forced {!Dvp_core.Log_event.t} record is one self-delimiting frame:
+
+    {v magic "DVPW" (4) | payload length (4, LE) | checksum (4, LE) | payload v}
+
+    where the payload is the marshalled record and the checksum is
+    [Hashtbl.hash] of the payload bytes.  Framing is what makes hard kills
+    survivable: a reader never feeds garbage to [Marshal] — it stops at the
+    first frame whose magic, length, or checksum does not check out, and
+    reports everything before it as the valid prefix.  A kill (or an injected
+    {!tear}) can only ever cost the unforced suffix, exactly the loss budget
+    the protocol's log-before-send discipline already tolerates.
+
+    The in-memory {!Dvp_storage.Wal} stays authoritative while a site is up;
+    this file is its crash mirror, replayed on respawn. *)
+
+val path : dir:string -> site:int -> string
+(** [dir]/site-[site].wal — the naming convention [Cluster] uses. *)
+
+val create : string -> out_channel
+(** Open for writing, truncating any previous contents (fresh site). *)
+
+val open_append : string -> out_channel
+(** Open for appending (respawned site, after {!truncate}). *)
+
+val append : out_channel -> Dvp_core.Log_event.t -> unit
+(** Write one frame and flush — called from the WAL force sink, so every
+    frame on disk corresponds to a forced record. *)
+
+type read_result = {
+  records : Dvp_core.Log_event.t list;  (** valid prefix, oldest first *)
+  valid_bytes : int;  (** byte length of the valid prefix *)
+  total_bytes : int;  (** file size; [> valid_bytes] iff torn *)
+  torn : bool;  (** a bad frame (torn write / garbage) stopped the scan *)
+}
+
+val read : string -> read_result
+(** Scan the whole file.  Never raises on malformed content — a bad frame
+    just ends the valid prefix.  A missing file reads as empty. *)
+
+val truncate : string -> int -> unit
+(** Cut the file to the given byte length — how a respawn repairs a torn
+    tail before reopening the file for append. *)
+
+val tear : string -> junk:int -> unit
+(** Fault injection: append a frame header claiming a payload that is not
+    there, followed by [junk] garbage bytes — the on-disk image of a write
+    torn mid-frame by a crash. *)

@@ -51,7 +51,18 @@ type 'r t = {
   mutable version : int;
   mutable force_sink : ('r list -> unit) option;
       (* runtime hook: newly-stabilised records on each force *)
+  (* Sink failures (ENOSPC/EIO from the backing file) must not corrupt the
+     in-memory stable region — which is authoritative — nor escape as raw
+     exceptions into a site's event loop.  Failed batches are retained here
+     and re-offered on the next force, so a transient mirror fault heals
+     without losing file coverage of any stable record. *)
+  mutable sink_pending : 'r list; (* oldest first, not yet accepted by the sink *)
+  mutable sink_error_count : int;
+  mutable last_sink_error : force_error option;
+  mutable on_force_error : (force_error -> unit) option;
 }
+
+and force_error = { at_force : int; message : string }
 
 let checksum payload = Hashtbl.hash payload
 
@@ -73,6 +84,10 @@ let create () =
     valid_dirty = false;
     version = 0;
     force_sink = None;
+    sink_pending = [];
+    sink_error_count = 0;
+    last_sink_error = None;
+    on_force_error = None;
   }
 
 let version t = t.version
@@ -94,6 +109,34 @@ let valid_length t =
 
 let set_force_sink t sink = t.force_sink <- Some sink
 
+let set_on_force_error t f = t.on_force_error <- Some f
+
+(* Offer [recs] (plus any earlier failed batches) to the sink.  A sink
+   exception is converted into a typed, counted {!force_error}: the records
+   stay queued in [sink_pending] and are re-offered on the next force, and the
+   in-memory stable region — which recovery and the oracles read — was already
+   extended by the caller, so durability bookkeeping is unaffected. *)
+let offer_sink t recs =
+  match t.force_sink with
+  | None -> ()
+  | Some sink -> (
+    let batch =
+      match t.sink_pending with [] -> recs | pending -> pending @ recs
+    in
+    t.sink_pending <- [];
+    match batch with
+    | [] -> ()
+    | batch -> (
+      try sink batch
+      with exn ->
+        t.sink_pending <- batch;
+        t.sink_error_count <- t.sink_error_count + 1;
+        let err =
+          { at_force = t.force_count; message = Printexc.to_string exn }
+        in
+        t.last_sink_error <- Some err;
+        (match t.on_force_error with Some f -> f err | None -> ())))
+
 let force t =
   if t.buffer.len > 0 then begin
     t.version <- t.version + 1;
@@ -104,16 +147,14 @@ let force t =
     (* Freshly forced records are valid by construction: the prefix cache
        extends unless a corrupt tail already hides them. *)
     if clean_before then t.valid_len <- t.stable.len;
-    (match t.force_sink with
-    | Some sink ->
-      let recs = ref [] in
-      for i = t.buffer.len - 1 downto 0 do
-        recs := t.buffer.arr.(i).payload :: !recs
-      done;
-      t.buffer.len <- 0;
-      sink !recs
-    | None -> t.buffer.len <- 0)
-  end;
+    let recs = ref [] in
+    for i = t.buffer.len - 1 downto 0 do
+      recs := t.buffer.arr.(i).payload :: !recs
+    done;
+    t.buffer.len <- 0;
+    offer_sink t !recs
+  end
+  else if t.sink_pending <> [] then offer_sink t [];
   t.force_count <- t.force_count + 1
 
 let append ?(forced = true) t r =
@@ -175,6 +216,12 @@ let repairs t = t.repair_count
 let repaired_records t = t.repaired_count
 
 let forces t = t.force_count
+
+let force_errors t = t.sink_error_count
+
+let last_force_error t = t.last_sink_error
+
+let sink_pending t = List.length t.sink_pending
 
 let appended t = t.append_count
 

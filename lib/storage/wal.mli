@@ -44,6 +44,26 @@ val set_force_sink : 'r t -> ('r list -> unit) -> unit
     log stays authoritative for recovery and the oracles.  At most one sink;
     a second call replaces the first. *)
 
+(** A sink failure surfaced by {!force}: [at_force] is the force counter at
+    the time of the failure, [message] the printed exception (ENOSPC, EIO,
+    ...).  The failing batch is retained and re-offered on the next force, so
+    a transient mirror fault heals without a gap in file coverage. *)
+type force_error = { at_force : int; message : string }
+
+val set_on_force_error : 'r t -> (force_error -> unit) -> unit
+(** Called from within {!force} whenever the sink raises.  The runtime uses
+    this to count the fault in [Metrics] and emit a [Storage_fault] trace
+    event; the exception itself never escapes into the caller's event loop. *)
+
+val force_errors : 'r t -> int
+(** Total sink failures observed on this log. *)
+
+val last_force_error : 'r t -> force_error option
+
+val sink_pending : 'r t -> int
+(** Records stabilised in memory but not yet accepted by the sink (non-zero
+    only after a sink failure, until a later force re-offers them). *)
+
 val crash : 'r t -> unit
 (** Lose the volatile buffer (site crash).  If a {!fault} is armed it is
     applied first (and disarmed): part of the buffer may reach stable storage

@@ -184,6 +184,22 @@ else
   echo "== skipping multicore smoke (host has $cores core(s), need >= 2) =="
 fi
 
+# Wall-clock chaos smoke: seeded crash-restart fuzzing on the real domains
+# runtime — hard kills mid-traffic, torn WAL tails, WAL sink faults, and
+# link storms, with the freeze-barrier cut oracle and the offline log
+# replay oracle.  The bounded profile keeps plans small and shrinks on
+# failure.  Real parallelism (and a meaningful kill of a *running* domain)
+# needs >= 2 cores; below that the stage is skipped with a notice.  Widen
+# with e.g. WALL_CHAOS_SEEDS=20.
+WALL_CHAOS_SEEDS="${WALL_CHAOS_SEEDS:-2}"
+if [ "$cores" -ge 2 ]; then
+  echo "== dvp-cli chaos --wall --profile bounded --seeds $WALL_CHAOS_SEEDS =="
+  dune exec bin/dvp_cli.exe -- chaos --wall --profile bounded \
+    --seeds "$WALL_CHAOS_SEEDS"
+else
+  echo "== skipping wall chaos smoke (host has $cores core(s), need >= 2) =="
+fi
+
 # Scale smoke: 64 sites through the E23 closed loop on a short horizon.
 # The experiment itself exits non-zero if value is not conserved or nothing
 # commits, so this catches event-core scaling regressions without the full

@@ -493,3 +493,89 @@ print(f"perf gate ok: {len(base)} E23 rows conserved and seed-exact; "
       f"1024 sites committed {big['committed']} in {big['wall_s']:.1f}s wall "
       f"({big['committed_per_sec']:.0f}/s)")
 EOF
+
+# --- E24-wallchaos: crash-restart recovery on the domains runtime -------
+#
+# Wall-clock rates and recovery latency are host-dependent, so absolute
+# numbers are NOT compared against the baseline.  What the gate enforces
+# on the current run:
+#   - every seed conserves value at quiesce after a hard kill with a torn
+#     WAL tail (always);
+#   - every revival provably replays the stable log and the run commits
+#     traffic (always);
+#   - with >= 2 real cores, revival completes within max_revive_ms and the
+#     post-recovery commit rate holds >= min_post_frac of the pre-kill
+#     rate (the contract recorded in the committed baseline).  On a
+#     single-core host the recovering domain time-slices against the bg
+#     load, inflating both measurements, so the timing band is skipped.
+# Refresh the baseline with:
+#   dune exec bench/main.exe -- E24-WALLCHAOS --out bench/baselines
+
+baseline24="bench/baselines/BENCH_E24_wallchaos.json"
+
+if [ ! -s "$baseline24" ]; then
+  echo "perf gate: no baseline at $baseline24" >&2
+  exit 1
+fi
+
+echo "== perf gate: bench E24-wallchaos (contract from $baseline24) =="
+dune exec bench/main.exe -- E24-WALLCHAOS --out "$tmpdir" >/dev/null
+
+python3 - "$baseline24" "$tmpdir/BENCH_E24_wallchaos.json" <<'EOF'
+import json, sys
+
+base_doc = json.load(open(sys.argv[1]))
+cur_doc = json.load(open(sys.argv[2]))
+
+def contract(doc):
+    for r in doc["runs"]:
+        if "contract" in r:
+            return r["contract"]
+    return {}
+
+c = contract(base_doc)
+max_revive_ms = c.get("max_revive_ms", 1500.0)
+min_post_frac = c.get("min_post_frac", 0.4)
+
+runs = [r for r in cur_doc["runs"] if "seed" in r]
+
+failures = []
+
+for r in runs:
+    s = r["seed"]
+    if not r["conserved"]:
+        failures.append(f"seed {s}: value NOT conserved at quiesce")
+    if r["committed"] <= 0:
+        failures.append(f"seed {s}: committed nothing")
+    if r["replayed"] <= 0:
+        failures.append(f"seed {s}: revival replayed no stable records")
+
+cores = runs[0]["cores"] if runs else 0
+if cores >= 2:
+    for r in runs:
+        s = r["seed"]
+        if r["revive_ms"] > max_revive_ms:
+            failures.append(
+                f"seed {s}: revive took {r['revive_ms']:.0f} ms "
+                f"(contract <= {max_revive_ms:.0f} ms on a {cores}-core host)")
+        if r["post_rate"] < r["pre_rate"] * min_post_frac:
+            failures.append(
+                f"seed {s}: post-recovery rate {r['post_rate']:.0f}/s below "
+                f"{min_post_frac:.0%} of pre-kill {r['pre_rate']:.0f}/s")
+    worst = max((r["revive_ms"] for r in runs), default=0.0)
+    verdict = f"worst revive {worst:.0f} ms (contract <= {max_revive_ms:.0f} ms)"
+else:
+    worst = max((r["revive_ms"] for r in runs), default=0.0)
+    verdict = (f"timing band skipped: host has {cores} core(s), need >= 2 for "
+               f"a meaningful recovery measurement (worst revive {worst:.0f} ms)")
+
+if failures:
+    print("perf gate FAILED:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+
+replayed = sum(r["replayed"] for r in runs)
+print(f"perf gate ok: {len(runs)} E24 seeds conserved through kill+torn-tail, "
+      f"{replayed} records replayed; {verdict}")
+EOF

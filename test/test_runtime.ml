@@ -1,0 +1,279 @@
+(* Units for the crash-restart layer of the multicore runtime: mailbox
+   poisoning (the kill path's loss semantics), the on-disk WAL frame codec
+   and its torn-tail repair, seeded fault plans, and supervisor kill/revive
+   with the restart-storm breaker. *)
+
+module Mailbox = Dvp_runtime.Mailbox
+module Walfile = Dvp_runtime.Walfile
+module Fault = Dvp_runtime.Fault
+module Cluster = Dvp_runtime.Cluster
+module Supervisor = Dvp_runtime.Supervisor
+module Log_event = Dvp_core.Log_event
+module Txn = Dvp_core.Txn
+module Op = Dvp_core.Op
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dvp-test-runtime-%d-%d" (Unix.getpid ()) !counter)
+    in
+    Unix.mkdir dir 0o700;
+    dir
+
+let rm_dir dir =
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+    (Sys.readdir dir);
+  try Unix.rmdir dir with _ -> ()
+
+(* ---------------------------------------------------------------- mailbox *)
+
+let test_mailbox_poison () =
+  let mb = Mailbox.create () in
+  Alcotest.(check bool) "send to open box" true (Mailbox.send mb 1 = Mailbox.Sent);
+  Mailbox.push mb 2;
+  Mailbox.poison mb;
+  Alcotest.(check bool) "poisoned" true (Mailbox.is_poisoned mb);
+  (* Producers' messages drop, typed for the client-facing path, silent for
+     push — but the backlog from before the kill stays for the sweep. *)
+  Alcotest.(check bool) "send reports poisoned" true
+    (Mailbox.send mb 3 = Mailbox.Poisoned);
+  Mailbox.push mb 4;
+  Alcotest.(check (list int)) "sweep returns pre-kill backlog" [ 1; 2 ]
+    (Mailbox.sweep mb);
+  Mailbox.unpoison mb;
+  Alcotest.(check bool) "unpoisoned accepts again" true
+    (Mailbox.send mb 5 = Mailbox.Sent);
+  Alcotest.(check (list int)) "respawn sees only post-revival traffic" [ 5 ]
+    (Mailbox.drain mb);
+  Mailbox.close mb;
+  Alcotest.(check bool) "closed is terminal" true (Mailbox.send mb 6 = Mailbox.Closed)
+
+let test_mailbox_wake () =
+  let mb = Mailbox.create () in
+  let got = Atomic.make (-1) in
+  let consumer =
+    Domain.spawn (fun () ->
+        Mailbox.wait mb ~timeout:5.0;
+        match Mailbox.drain mb with v :: _ -> Atomic.set got v | [] -> ())
+  in
+  Unix.sleepf 0.02;
+  Mailbox.push mb 42;
+  Domain.join consumer;
+  Mailbox.close mb;
+  Alcotest.(check int) "push woke the parked consumer" 42 (Atomic.get got)
+
+(* ---------------------------------------------------------------- walfile *)
+
+let sample_records =
+  [
+    Log_event.Txn_commit
+      {
+        txn = (1, 0);
+        actions = [ Log_event.Set_fragment { item = 0; value = 12 } ];
+      };
+    Log_event.Vm_create
+      {
+        dst = 1;
+        seq = 0;
+        item = 0;
+        amount = 3;
+        reply_to = None;
+        actions = [ Log_event.Set_fragment { item = 0; value = 9 } ];
+      };
+    Log_event.Vm_accept { peer = 1; seq = 0; item = 0; amount = 3; new_value = 12 };
+    Log_event.Ack_progress { dst = 1; upto = 0 };
+  ]
+
+let test_walfile_roundtrip () =
+  let dir = temp_dir () in
+  let path = Walfile.path ~dir ~site:0 in
+  let oc = Walfile.create path in
+  List.iter (Walfile.append oc) sample_records;
+  close_out oc;
+  let r = Walfile.read path in
+  Alcotest.(check bool) "clean file not torn" false r.Walfile.torn;
+  Alcotest.(check int) "all frames read" (List.length sample_records)
+    (List.length r.Walfile.records);
+  Alcotest.(check bool) "records survive the frame codec" true
+    (r.Walfile.records = sample_records);
+  Alcotest.(check int) "no trailing garbage" r.Walfile.total_bytes
+    r.Walfile.valid_bytes;
+  rm_dir dir
+
+let test_walfile_torn_tail () =
+  let dir = temp_dir () in
+  let path = Walfile.path ~dir ~site:3 in
+  let oc = Walfile.create path in
+  List.iter (Walfile.append oc) sample_records;
+  close_out oc;
+  Walfile.tear path ~junk:37;
+  let r = Walfile.read path in
+  Alcotest.(check bool) "tear detected" true r.Walfile.torn;
+  Alcotest.(check bool) "valid prefix intact" true (r.Walfile.records = sample_records);
+  Alcotest.(check bool) "junk counted beyond valid bytes" true
+    (r.Walfile.total_bytes > r.Walfile.valid_bytes);
+  (* The repair recovery performs: truncate to the valid prefix, then append
+     in the repaired file's tail position. *)
+  Walfile.truncate path r.Walfile.valid_bytes;
+  let oc = Walfile.open_append path in
+  Walfile.append oc (Log_event.Txn_applied { txn = (1, 0) });
+  close_out oc;
+  let r2 = Walfile.read path in
+  Alcotest.(check bool) "repaired file reads clean" false r2.Walfile.torn;
+  Alcotest.(check int) "old frames plus the post-repair append"
+    (List.length sample_records + 1)
+    (List.length r2.Walfile.records);
+  rm_dir dir
+
+let test_walfile_missing () =
+  let r = Walfile.read "/nonexistent/never/site-0.wal" in
+  Alcotest.(check bool) "missing file reads as empty, not torn" true
+    (r.Walfile.records = [] && not r.Walfile.torn)
+
+(* ------------------------------------------------------------ fault plans *)
+
+let test_fault_plan_deterministic () =
+  let a = Fault.plan ~seed:99 ~n:4 Fault.killer_spec in
+  let b = Fault.plan ~seed:99 ~n:4 Fault.killer_spec in
+  Alcotest.(check bool) "same seed, same plan" true (a = b);
+  let c = Fault.plan ~seed:100 ~n:4 Fault.killer_spec in
+  Alcotest.(check bool) "different seed, different plan" true (a <> c)
+
+let test_fault_plan_shape () =
+  for seed = 1 to 30 do
+    let plan = Fault.plan ~seed ~n:4 Fault.killer_spec in
+    Alcotest.(check bool) "at least one kill" true (Fault.kills_of plan <> []);
+    Alcotest.(check int) "exactly one permanent kill" 1
+      (List.length (Fault.forever_of plan));
+    (* An injected sink fault on a killed site would turn into real record
+       loss (the retained batch dies with the domain), so the generator must
+       keep the two fault classes on disjoint sites. *)
+    let killed = Fault.kills_of plan in
+    List.iter
+      (fun e ->
+        match e.Fault.action with
+        | Fault.Sink_fail { site; _ } ->
+          Alcotest.(check bool) "sink faults only on never-killed sites" false
+            (List.mem site killed)
+        | _ -> ())
+      plan;
+    (* Sorted by time, all inside the horizon. *)
+    let rec sorted = function
+      | [] | [ _ ] -> true
+      | a :: (b :: _ as rest) -> a.Fault.at <= b.Fault.at && sorted rest
+    in
+    Alcotest.(check bool) "events time-sorted" true (sorted plan);
+    List.iter
+      (fun e ->
+        Alcotest.(check bool) "event inside horizon" true
+          (e.Fault.at >= 0.0 && e.Fault.at <= Fault.killer_spec.Fault.horizon))
+      plan
+  done
+
+(* ------------------------------------------------------------- supervisor *)
+
+let test_kill_revive_conserves () =
+  let dir = temp_dir () in
+  let c = Cluster.create ~seed:21 ~wal_dir:dir ~n:2 ~items:[ (0, 100) ] () in
+  let sup = Supervisor.create c in
+  for _ = 1 to 10 do
+    match Cluster.exec c (Txn.write ~site:0 [ (0, Op.Incr 2) ]) with
+    | Txn.Committed _ -> ()
+    | Txn.Aborted _ -> Alcotest.fail "pre-kill increment aborted"
+  done;
+  Alcotest.(check bool) "kill lands" true (Supervisor.kill sup 0);
+  Alcotest.(check bool) "dead site listed" true (Cluster.dead_sites c = [ 0 ]);
+  (* Client calls against the dead site fail fast with the crash outcome. *)
+  (match Cluster.exec c (Txn.write ~site:0 [ (0, Op.Incr 1) ]) with
+  | Txn.Aborted _ -> ()
+  | Txn.Committed _ -> Alcotest.fail "exec against a dead site committed");
+  (* The survivor keeps working while its peer is down. *)
+  (match Cluster.exec c (Txn.write ~site:1 [ (0, Op.Incr 5) ]) with
+  | Txn.Committed _ -> ()
+  | Txn.Aborted _ -> Alcotest.fail "survivor aborted during the outage");
+  (match Supervisor.revive sup 0 with
+  | Some replayed ->
+    Alcotest.(check bool) "recovery replayed the stable log" true (replayed > 0)
+  | None -> Alcotest.fail "revive refused a dead site");
+  (* The respawned incarnation serves traffic under the same identity. *)
+  (match Cluster.exec c (Txn.write ~site:0 [ (0, Op.Incr 3) ]) with
+  | Txn.Committed _ -> ()
+  | Txn.Aborted _ -> Alcotest.fail "post-revival increment aborted");
+  Alcotest.(check bool) "quiesced" true (Cluster.quiesce c);
+  let conserved = Cluster.conserved_all c in
+  let frag_total = Array.fold_left ( + ) 0 (Cluster.fragments c ~item:0) in
+  Cluster.stop c;
+  rm_dir dir;
+  Alcotest.(check bool) "conserved across kill + recovery" true conserved;
+  (* 100 installed + 10×2 + 5 + 3 committed; the dead-site attempt aborted. *)
+  Alcotest.(check int) "fragment total" 128 frag_total
+
+let test_breaker_trips () =
+  let dir = temp_dir () in
+  let c = Cluster.create ~seed:22 ~wal_dir:dir ~n:2 ~items:[ (0, 50) ] () in
+  let policy = { Supervisor.default_policy with Supervisor.max_restarts = 2 } in
+  let sup = Supervisor.create ~policy c in
+  for _ = 1 to 2 do
+    Alcotest.(check bool) "kill" true (Supervisor.kill sup 1);
+    match Supervisor.revive sup 1 with
+    | Some _ -> ()
+    | None -> Alcotest.fail "revive under the breaker threshold refused"
+  done;
+  Alcotest.(check bool) "breaker tripped after max restarts in window" true
+    (Supervisor.breaker_tripped sup 1);
+  Alcotest.(check bool) "kill still works" true (Supervisor.kill sup 1);
+  Alcotest.(check bool) "tripped breaker refuses revival" true
+    (Supervisor.revive sup 1 = None);
+  Alcotest.(check bool) "site stays down" true (not (Cluster.site_alive c 1));
+  Supervisor.reset_breaker sup 1;
+  (match Supervisor.revive sup 1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "revive after reset refused");
+  Alcotest.(check int) "restart count survives the reset" 3 (Supervisor.restarts sup 1);
+  Alcotest.(check bool) "quiesced" true (Cluster.quiesce c);
+  let conserved = Cluster.conserved_all c in
+  Cluster.stop c;
+  rm_dir dir;
+  Alcotest.(check bool) "conserved" true conserved
+
+let test_supervisor_needs_wal_dir () =
+  let c = Cluster.create ~seed:23 ~n:2 ~items:[ (0, 10) ] () in
+  Alcotest.check_raises "memory-only cluster rejected"
+    (Invalid_argument
+       "Supervisor.create: cluster has no wal_dir (respawn needs the file)")
+    (fun () -> ignore (Supervisor.create c));
+  Cluster.stop c
+
+let () =
+  Alcotest.run "dvp_runtime"
+    [
+      ( "mailbox",
+        [
+          Alcotest.test_case "poison, sweep, unpoison" `Quick test_mailbox_poison;
+          Alcotest.test_case "push wakes a parked consumer" `Quick test_mailbox_wake;
+        ] );
+      ( "walfile",
+        [
+          Alcotest.test_case "frame round trip" `Quick test_walfile_roundtrip;
+          Alcotest.test_case "torn tail detected and repaired" `Quick
+            test_walfile_torn_tail;
+          Alcotest.test_case "missing file is empty" `Quick test_walfile_missing;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "plans are seed-deterministic" `Quick
+            test_fault_plan_deterministic;
+          Alcotest.test_case "plan shape invariants" `Quick test_fault_plan_shape;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "kill + revive conserves" `Quick test_kill_revive_conserves;
+          Alcotest.test_case "restart-storm breaker" `Quick test_breaker_trips;
+          Alcotest.test_case "requires a wal_dir" `Quick test_supervisor_needs_wal_dir;
+        ] );
+    ]

@@ -38,6 +38,45 @@ let test_wal_forced_append_flushes_earlier () =
   Wal.crash w;
   Alcotest.(check (list string)) "both stable" [ "early"; "forced" ] (Wal.records w)
 
+(* A transient sink fault (ENOSPC, EIO on the file mirror) must surface as a
+   typed, counted error — never an exception into the forcing event loop —
+   and the failing batch must be retained and re-offered so the file heals
+   without a coverage gap or a duplicate. *)
+let test_wal_sink_failure_heals () =
+  let w = Wal.create () in
+  let mirrored = ref [] in
+  let failures_left = ref 2 in
+  Wal.set_force_sink w (fun batch ->
+      if !failures_left > 0 then begin
+        decr failures_left;
+        failwith "ENOSPC"
+      end;
+      mirrored := !mirrored @ batch);
+  let errors_seen = ref [] in
+  Wal.set_on_force_error w (fun e -> errors_seen := e :: !errors_seen);
+  Wal.append w "a";
+  (* force #1: sink refused "a" — typed error, batch retained. *)
+  Alcotest.(check int) "one typed error" 1 (Wal.force_errors w);
+  Alcotest.(check int) "batch retained for re-offer" 1 (Wal.sink_pending w);
+  Alcotest.(check (list string)) "stable region unaffected" [ "a" ] (Wal.records w);
+  Alcotest.(check bool) "hook fired with the pre-increment force counter" true
+    (match !errors_seen with [ e ] -> e.Wal.at_force = 0 | _ -> false);
+  Wal.append w "b";
+  (* force #2 re-offers [a; b], fails again. *)
+  Alcotest.(check int) "second failure counted" 2 (Wal.force_errors w);
+  Alcotest.(check int) "both records pending" 2 (Wal.sink_pending w);
+  Wal.append w "c";
+  (* force #3: the fault cleared — everything reaches the mirror, in order,
+     exactly once. *)
+  Alcotest.(check int) "no more errors" 2 (Wal.force_errors w);
+  Alcotest.(check int) "nothing pending after heal" 0 (Wal.sink_pending w);
+  Alcotest.(check (list string)) "mirror caught up, no gaps, no duplicates"
+    [ "a"; "b"; "c" ] !mirrored;
+  Alcotest.(check bool) "last error kept for telemetry" true
+    (match Wal.last_force_error w with
+    | Some e -> e.Wal.message <> ""
+    | None -> false)
+
 let test_wal_records_survive_crash () =
   let w = Wal.create () in
   for i = 1 to 100 do
@@ -573,6 +612,8 @@ let () =
           Alcotest.test_case "force flushes batch" `Quick test_wal_force_flushes_batch;
           Alcotest.test_case "forced append flushes earlier" `Quick
             test_wal_forced_append_flushes_earlier;
+          Alcotest.test_case "sink failure typed, retained, healed" `Quick
+            test_wal_sink_failure_heals;
           Alcotest.test_case "records survive crash" `Quick test_wal_records_survive_crash;
           Alcotest.test_case "iter/fold" `Quick test_wal_iter_fold;
           Alcotest.test_case "appended counter" `Quick test_wal_appended_counter;

@@ -193,6 +193,77 @@ let test_equivalence =
     (QCheck.Test.make ~count:12 ~name:"DES and domains agree on commutative scripts"
        script_arb equivalence_prop)
 
+(* ------------------------------------------- crash-restart conservation *)
+
+(* The same commutative scripts, but the cluster gets hard-killed along the
+   way: after each third of the script one site's domain dies mid-traffic
+   (its WAL tail torn on every other kill), is revived from its on-disk log,
+   and the run continues.  The final fragment vector must still match the
+   pure arithmetic oracle — recovery may lose no committed value and invent
+   none — and every revival must provably replay the stable log. *)
+let crash_restart_prop script =
+  let script = clamp_script script in
+  let wal_dir =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dvp-sub-crash-%d-%d" (Unix.getpid ()) (Random.bits ()))
+    in
+    Unix.mkdir dir 0o700;
+    dir
+  in
+  let c = Cluster.create ~seed:5 ~wal_dir ~n:n_sites ~items () in
+  let sup = Supervisor.create c in
+  let committed = ref 0 in
+  let replays_ok = ref true in
+  let phase = max 1 ((List.length script + 2) / 3) in
+  List.iteri
+    (fun idx a ->
+      (match a with
+      | Incr (site, item, amount) ->
+        (match Cluster.exec c (Txn.write ~site [ (item, Op.Incr amount) ]) with
+        | Txn.Committed _ -> incr committed
+        | Txn.Aborted _ -> ())
+      | Push (src, dst, item, amount) ->
+        ignore (Cluster.push_value c ~src ~dst ~item ~amount));
+      if (idx + 1) mod phase = 0 then begin
+        let victim = (idx / phase) mod n_sites in
+        if Supervisor.kill sup victim then begin
+          (* Alternate clean kills with torn-tail kills so both respawn
+             paths run. *)
+          (if idx mod 2 = 0 then
+             match Cluster.wal_path c victim with
+             | Some path -> Dvp_runtime.Walfile.tear path ~junk:29
+             | None -> ());
+          match Supervisor.revive sup victim with
+          | Some replayed -> if replayed = 0 then replays_ok := false
+          | None -> replays_ok := false
+        end
+      end)
+    script;
+  let quiesced = Cluster.quiesce c in
+  let conserved = Cluster.conserved_all c in
+  let frags =
+    List.map (fun (item, _) -> (item, Array.to_list (Cluster.fragments c ~item))) items
+  in
+  Cluster.stop c;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat wal_dir f) with _ -> ())
+    (Sys.readdir wal_dir);
+  (try Unix.rmdir wal_dir with _ -> ());
+  (* Every Incr commits on a live site and kills happen between client
+     calls, so the full script survives into the oracle. *)
+  !replays_ok && quiesced && conserved
+  && !committed
+     = List.length (List.filter (function Incr _ -> true | _ -> false) script)
+  && frags = predicted_fragments script
+
+let test_crash_restart =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:8
+       ~name:"kill/recover mid-script preserves the fragment oracle" script_arb
+       crash_restart_prop)
+
 (* One fixed, busier script as a plain test so a regression names itself
    even if the random seed moves. *)
 let test_equivalence_fixed () =
@@ -230,4 +301,5 @@ let () =
           Alcotest.test_case "fixed script" `Quick test_equivalence_fixed;
           test_equivalence;
         ] );
+      ("crash-restart", [ test_crash_restart ]);
     ]

@@ -154,6 +154,52 @@ let test_cut_consistent_under_load () =
   Alcotest.(check int) "no cut violated conservation" 0 !violations;
   Alcotest.(check bool) "final conservation" true final
 
+(* Cuts taken while a site is hard-killed must still conserve exactly: every
+   term — the installed baseline included — is summed over the same live
+   set, so the dead site's fragments, ledgers, and share of the expectation
+   all drop out together.  The cut also has to name the dead site. *)
+let test_cut_during_outage () =
+  let wal_dir =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dvp-wallobs-kill-%d" (Unix.getpid ()))
+    in
+    Unix.mkdir dir 0o700;
+    dir
+  in
+  let c = Dvp_runtime.Cluster.create ~seed:13 ~wal_dir ~n:3 ~items:[ (0, 900) ] () in
+  let sup = Dvp_runtime.Supervisor.create c in
+  Dvp_runtime.Cluster.start_bg_load c ~duration:0.6 ();
+  Unix.sleepf 0.1;
+  Alcotest.(check bool) "kill lands" true (Dvp_runtime.Supervisor.kill sup 1);
+  let bad_during = ref 0 and saw_dead = ref false in
+  for _ = 1 to 8 do
+    let cut = Dvp_runtime.Cluster.sample_cut c in
+    if not (Cluster.cut_ok cut) then incr bad_during;
+    if cut.Cluster.cut_dead = [ 1 ] then saw_dead := true;
+    Unix.sleepf 0.01
+  done;
+  (match Dvp_runtime.Supervisor.revive sup 1 with
+  | Some replayed ->
+    Alcotest.(check bool) "revival replayed the log" true (replayed > 0)
+  | None -> Alcotest.fail "revive refused");
+  Unix.sleepf 0.4;
+  Alcotest.(check bool) "quiesced" true (Dvp_runtime.Cluster.quiesce c);
+  let final_cut = Dvp_runtime.Cluster.sample_cut c in
+  let conserved = Dvp_runtime.Cluster.conserved_all c in
+  Dvp_runtime.Cluster.stop c;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat wal_dir f) with _ -> ())
+    (Sys.readdir wal_dir);
+  (try Unix.rmdir wal_dir with _ -> ());
+  Alcotest.(check int) "every mid-outage cut conserved over the live set" 0
+    !bad_during;
+  Alcotest.(check bool) "cuts named the dead site" true !saw_dead;
+  Alcotest.(check bool) "post-revival cut ok" true (Cluster.cut_ok final_cut);
+  Alcotest.(check (list int)) "no dead sites at the end" [] final_cut.Cluster.cut_dead;
+  Alcotest.(check bool) "conserved after recovery" true conserved
+
 (* Concurrent cut takers must serialise, not deadlock. *)
 let test_concurrent_cuts () =
   let c = Cluster.create ~seed:9 ~n:2 ~items:[ (0, 500) ] () in
@@ -319,6 +365,8 @@ let () =
         [
           Alcotest.test_case "cuts conserve under load" `Quick
             test_cut_consistent_under_load;
+          Alcotest.test_case "cuts conserve during an outage" `Quick
+            test_cut_during_outage;
           Alcotest.test_case "concurrent cuts serialise" `Quick test_concurrent_cuts;
           Alcotest.test_case "cut verdict fold" `Quick test_cut_fold_cases;
         ] );
